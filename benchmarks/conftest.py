@@ -1,0 +1,45 @@
+"""Shared machinery for the paper-reproduction benchmarks.
+
+Every bench regenerates one table or figure of the paper: it runs the
+real placements (timed by pytest-benchmark), collects the paper's metrics
+from the results, prints the paper-style table/series, and saves it under
+``benchmarks/results/``. EXPERIMENTS.md records the paper-vs-measured
+comparison for each artifact.
+
+Scale: benches default to the reduced scale documented in
+``repro.sim.scenarios`` (the qualitative relationships are preserved);
+``REPRO_FULL_SCALE=1`` switches to the paper's exact scales.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def save_report(name: str, text: str) -> None:
+    """Print a report and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n[saved to benchmarks/results/{name}.txt]")
+
+
+@pytest.fixture(scope="session")
+def collected() -> Dict[str, dict]:
+    """Session-wide row collector keyed by experiment name."""
+    return {}
+
+
+def run_once(benchmark, fn):
+    """Run a placement exactly once under pytest-benchmark timing.
+
+    Placements take seconds; multiple rounds would multiply the suite's
+    runtime without adding information (the scheduler is deterministic for
+    a fixed seed).
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,90 @@
+"""Churn experiment (ours): schedulers under tenant arrivals/departures.
+
+Not in the paper, but the natural operator-facing consequence of its
+thesis: replay one Poisson tenant stream against one data center with
+each algorithm and compare admissions and the bandwidth bill. Expected
+shape: every algorithm sees the same stream; EGC packs compute tightest
+(never fewer admissions than the bandwidth-aware schedulers on
+compute-bound streams) while EG reserves far less network bandwidth for
+the tenants it admits -- Table I's trade-off, integrated over time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once, save_report
+from repro.core.scheduler import Ostro
+from repro.datacenter.builder import build_datacenter
+from repro.errors import PlacementError
+from repro.sim.arrivals import WorkloadTrace, default_app_factory, replay
+
+EXPERIMENT = "churn"
+ALGORITHMS = ("egc", "egbw", "eg")
+
+
+def _trace():
+    return WorkloadTrace.poisson(
+        arrivals=40,
+        app_factory=default_app_factory,
+        mean_interarrival_s=15,
+        mean_lifetime_s=900,
+        seed=42,
+    )
+
+
+def _bandwidth_bill(trace, cloud, algorithm):
+    """Total reserved bandwidth summed over admitted tenants."""
+    ostro = Ostro(cloud)
+    total = 0.0
+    admitted = 0
+    for event in trace.events:
+        if event.kind != "arrive":
+            continue
+        try:
+            result = ostro.place(
+                trace.topologies[event.app_id], algorithm=algorithm
+            )
+        except PlacementError:
+            continue
+        admitted += 1
+        total += result.reserved_bw_mbps
+    return total, admitted
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_churn(benchmark, collected, algorithm):
+    cloud = build_datacenter(num_racks=2, hosts_per_rack=8)
+    trace = _trace()
+    report = run_once(
+        benchmark, lambda: replay(trace, cloud, algorithm=algorithm)
+    )
+    bill, _ = _bandwidth_bill(trace, cloud, algorithm)
+    collected.setdefault(EXPERIMENT, {})[algorithm] = (report, bill)
+    assert report.arrivals == 40
+
+
+def test_churn_report(benchmark, collected):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    results = collected.get(EXPERIMENT, {})
+    assert len(results) == len(ALGORITHMS), "run the whole module"
+    lines = [
+        "Churn: one Poisson tenant stream (40 tenants, hot 128-core cloud) "
+        "replayed per algorithm",
+        f"{'algorithm':>9}  {'accepted':>8}  {'acceptance':>10}  "
+        f"{'peak cpu':>8}  {'bw bill (Gbps)':>14}",
+    ]
+    for algorithm in ALGORITHMS:
+        report, bill = results[algorithm]
+        lines.append(
+            f"{algorithm:>9}  {report.accepted:8d}  "
+            f"{report.acceptance_rate:10.1%}  "
+            f"{report.peak_cpu_used_frac:8.1%}  {bill / 1000:14.2f}"
+        )
+    save_report(EXPERIMENT, "\n".join(lines))
+    eg_report, eg_bill = results["eg"]
+    egc_report, egc_bill = results["egc"]
+    # the integrated Table-I trade-off: EG pays (much) less bandwidth for
+    # a comparable number of admissions
+    assert eg_bill < egc_bill
+    assert eg_report.accepted >= 0.8 * egc_report.accepted

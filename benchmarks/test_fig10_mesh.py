@@ -1,0 +1,95 @@
+"""Fig. 10: bandwidth and runtime for the mesh-communication application.
+
+Paper setup: mesh topologies (5-VM host-diverse zones, ~80% of zone pairs
+linked) at sizes 25..200 heterogeneous / 35..280 homogeneous. Expected
+shape: same algorithm ordering as the multi-tier case, but the absolute
+bandwidth is much larger (every VM carries many links) and so are the
+runtimes; DBA* beats every greedy baseline on bandwidth for the complex
+heterogeneous meshes.
+
+This module also feeds Fig. 11 (hosts used, same runs).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once, save_report
+from repro.sim.experiment import run_placement
+from repro.sim.reporting import format_series
+from repro.sim.scenarios import mesh_scenario, sweep_sizes
+
+EXPERIMENT = "fig10-mesh"
+ALGORITHMS = ("egc", "egbw", "eg", "dba*")
+REGIMES = (True, False)
+
+
+def _cases():
+    for heterogeneous in REGIMES:
+        for size in sweep_sizes("mesh", heterogeneous):
+            for algorithm in ALGORITHMS:
+                yield heterogeneous, size, algorithm
+
+
+@pytest.mark.parametrize(
+    "heterogeneous,size,algorithm",
+    list(_cases()),
+    ids=lambda v: str(v).replace("True", "het").replace("False", "hom"),
+)
+def test_fig10_runs(benchmark, collected, heterogeneous, size, algorithm):
+    scenario = mesh_scenario(heterogeneous)
+    row = run_once(
+        benchmark,
+        lambda: run_placement(algorithm, scenario, size, seed=0),
+    )
+    collected.setdefault(EXPERIMENT, []).append(row)
+
+
+def test_fig10_report(benchmark, collected):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = collected.get(EXPERIMENT, [])
+    assert rows, "run the whole module"
+    parts = []
+    for heterogeneous, label in ((True, "het"), (False, "hom")):
+        subset = [r for r in rows if r.heterogeneous == heterogeneous]
+        parts.append(
+            format_series(
+                subset,
+                metric="reserved_bw_gbps",
+                algorithms=["EGC", "EGBW", "EG", "DBA*"],
+                title=f"Fig 10{'a' if heterogeneous else 'b'} ({label}): "
+                "mesh reserved bandwidth (Gbps)",
+            )
+        )
+        parts.append(
+            format_series(
+                subset,
+                metric="runtime_s",
+                algorithms=["EGC", "EGBW", "EG", "DBA*"],
+                title=f"Fig 10{'c' if heterogeneous else 'd'} ({label}): "
+                "mesh scheduler runtime (s)",
+            )
+        )
+    save_report(EXPERIMENT, "\n\n".join(parts))
+    het = [r for r in rows if r.heterogeneous]
+    top = max(r.size for r in het)
+    at_top = {r.algorithm: r for r in het if r.size == top}
+    assert at_top["EGC"].reserved_bw_mbps > at_top["EG"].reserved_bw_mbps
+    assert (
+        at_top["DBA*"].reserved_bw_mbps <= at_top["EG"].reserved_bw_mbps + 1e-9
+    )
+    assert at_top["DBA*"].runtime_s >= at_top["EG"].runtime_s
+
+
+def test_fig10_mesh_heavier_than_multitier(benchmark, collected):
+    """The paper's observation: the mesh workload reserves significantly
+    more bandwidth than the multi-tier one at equal size."""
+    from repro.sim.scenarios import multitier_scenario
+
+    size = sweep_sizes("mesh", True)[1]
+    mesh_row = run_once(
+        benchmark,
+        lambda: run_placement("eg", mesh_scenario(True), size, seed=0),
+    )
+    tier_row = run_placement("eg", multitier_scenario(True), size, seed=0)
+    assert mesh_row.reserved_bw_mbps > tier_row.reserved_bw_mbps

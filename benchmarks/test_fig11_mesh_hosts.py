@@ -1,0 +1,49 @@
+"""Fig. 11: hosts used for the mesh-communication application.
+
+Rendered from the same runs as Fig. 10: EGC consolidates, EGBW spreads,
+EG/DBA* in between.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once, save_report
+from benchmarks.test_fig10_mesh import EXPERIMENT as FIG10
+from repro.sim.experiment import run_placement
+from repro.sim.reporting import format_series
+from repro.sim.scenarios import mesh_scenario, sweep_sizes
+
+
+def test_fig11_report(benchmark, collected):
+    rows = collected.get(FIG10)
+    if rows is None:
+        scenario = mesh_scenario(True)
+        size = sweep_sizes("mesh", True)[0]
+        rows = [
+            run_once(
+                benchmark,
+                lambda a=a: run_placement(a, scenario, size, seed=0),
+            )
+            for a in ("egc", "egbw", "eg", "dba*")
+        ]
+    else:
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        rows = [r for r in rows if r.heterogeneous]
+    total = format_series(
+        rows,
+        metric="total_active_hosts",
+        algorithms=["EGC", "EGBW", "EG", "DBA*"],
+        title="Fig 11: mesh total used hosts in the data center "
+        "(paper shape: EGC lowest, EGBW highest)",
+        fmt=lambda v: f"{v:.0f}",
+    )
+    touched = format_series(
+        rows,
+        metric="hosts_used",
+        algorithms=["EGC", "EGBW", "EG", "DBA*"],
+        title="Fig 11 (companion): hosts touched by the application",
+        fmt=lambda v: f"{v:.0f}",
+    )
+    save_report("fig11-mesh", total + "\n\n" + touched)
+    top = max(r.size for r in rows)
+    at_top = {r.algorithm: r for r in rows if r.size == top}
+    assert at_top["EGC"].new_active_hosts <= at_top["EGBW"].new_active_hosts

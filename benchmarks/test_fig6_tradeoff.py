@@ -1,0 +1,56 @@
+"""Fig. 6: tradeoff between the DBA* deadline T and placement optimality.
+
+Paper setup: DBA* on the 200-VM heterogeneous multi-tier topology over the
+2400-host data center, sweeping the time budget T; both reserved bandwidth
+and newly-used hosts drop steeply as T grows, then flatten. Reduced scale
+runs the 50-VM topology on the 384-host data center with a proportional
+deadline range (REPRO_FULL_SCALE=1 restores the paper's sizes).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once, save_report
+from repro.sim.experiment import run_placement
+from repro.sim.scenarios import full_scale, multitier_scenario
+
+EXPERIMENT = "fig6"
+SIZE = 200 if full_scale() else 50
+DEADLINES = (5.0, 10.0, 20.0, 40.0) if full_scale() else (2.0, 5.0, 10.0, 20.0)
+
+
+@pytest.mark.parametrize("deadline", DEADLINES)
+def test_fig6(benchmark, collected, deadline):
+    scenario = multitier_scenario(heterogeneous=True)
+    row = run_once(
+        benchmark,
+        lambda: run_placement(
+            "dba*", scenario, SIZE, seed=0, deadline_s=deadline
+        ),
+    )
+    collected.setdefault(EXPERIMENT, {})[deadline] = row
+
+
+def test_fig6_report(benchmark, collected):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = collected.get(EXPERIMENT, {})
+    assert len(rows) == len(DEADLINES), "run the whole module"
+    lines = [
+        f"Fig 6: DBA* deadline/optimality tradeoff "
+        f"(multitier {SIZE} VMs, heterogeneous; paper: both curves fall "
+        "steeply then flatten)",
+        f"{'T (s)':>8}  {'bandwidth (Gbps)':>17}  {'new hosts':>9}  {'runtime':>8}",
+    ]
+    for deadline in DEADLINES:
+        row = rows[deadline]
+        lines.append(
+            f"{deadline:8.1f}  {row.reserved_bw_gbps:17.2f}  "
+            f"{row.new_active_hosts:9.0f}  {row.runtime_s:7.2f}s"
+        )
+    save_report(EXPERIMENT, "\n".join(lines))
+    # larger budgets never hurt, and the largest budget strictly improves
+    # on the smallest (the paper's headline tradeoff)
+    first = rows[DEADLINES[0]]
+    last = rows[DEADLINES[-1]]
+    assert last.objective_value <= first.objective_value + 1e-9

@@ -1,0 +1,75 @@
+"""Fig. 7: bandwidth reserved for the multi-tier application.
+
+Paper setup: sizes 25..200 under (a) heterogeneous requirements on the
+Table-IV-loaded data center and (b) homogeneous requirements on the idle
+one; comparing EGC, EGBW, EG, DBA*. Expected shape: EGC reserves far more
+bandwidth than everyone else, EGBW the least, EG and DBA* in between with
+DBA* <= EG; gaps grow with size and are wider under heterogeneity.
+
+This module also feeds Figs. 8 and 9 (hosts used / runtime come from the
+same runs); the sibling modules render those series from the shared
+collector without re-running the placements.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once, save_report
+from repro.sim.experiment import run_placement
+from repro.sim.reporting import format_series
+from repro.sim.runner import sweep
+from repro.sim.scenarios import multitier_scenario, sweep_sizes
+
+EXPERIMENT = "fig7-multitier"
+ALGORITHMS = ("egc", "egbw", "eg", "dba*")
+REGIMES = (True, False)
+
+
+def _cases():
+    for heterogeneous in REGIMES:
+        for size in sweep_sizes("multitier", heterogeneous):
+            for algorithm in ALGORITHMS:
+                yield heterogeneous, size, algorithm
+
+
+@pytest.mark.parametrize(
+    "heterogeneous,size,algorithm",
+    list(_cases()),
+    ids=lambda v: str(v).replace("True", "het").replace("False", "hom"),
+)
+def test_fig7_runs(benchmark, collected, heterogeneous, size, algorithm):
+    scenario = multitier_scenario(heterogeneous)
+    row = run_once(
+        benchmark,
+        lambda: run_placement(algorithm, scenario, size, seed=0),
+    )
+    collected.setdefault(EXPERIMENT, []).append(row)
+
+
+def test_fig7_report(benchmark, collected):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = collected.get(EXPERIMENT, [])
+    assert rows, "run the whole module"
+    parts = []
+    for heterogeneous, label in ((True, "7a heterogeneous"), (False, "7b homogeneous")):
+        subset = [r for r in rows if r.heterogeneous == heterogeneous]
+        parts.append(
+            format_series(
+                subset,
+                metric="reserved_bw_gbps",
+                algorithms=["EGC", "EGBW", "EG", "DBA*"],
+                title=f"Fig {label}: multitier reserved bandwidth (Gbps)",
+            )
+        )
+    save_report(EXPERIMENT, "\n\n".join(parts))
+    # shape assertions at the largest common size, heterogeneous regime
+    het = [r for r in rows if r.heterogeneous]
+    top = max(r.size for r in het)
+    at_top = {r.algorithm: r for r in het if r.size == top}
+    assert at_top["EGC"].reserved_bw_mbps > at_top["EG"].reserved_bw_mbps
+    assert at_top["EGBW"].reserved_bw_mbps <= at_top["EG"].reserved_bw_mbps
+    assert (
+        at_top["DBA*"].reserved_bw_mbps
+        <= at_top["EG"].reserved_bw_mbps + 1e-9
+    )

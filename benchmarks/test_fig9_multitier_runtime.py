@@ -1,0 +1,50 @@
+"""Fig. 9: run-time comparison for the multi-tier application.
+
+Rendered from the same runs as Fig. 7: EG's runtime stays close to EGC's
+and EGBW's, while DBA* spends (much) longer -- it searches until its
+deadline under heterogeneity; under homogeneous/uniform conditions the
+first EG bound is tight and everything is faster.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once, save_report
+from benchmarks.test_fig7_multitier_bandwidth import EXPERIMENT as FIG7
+from repro.sim.experiment import run_placement
+from repro.sim.reporting import format_series
+from repro.sim.scenarios import multitier_scenario, sweep_sizes
+
+
+def test_fig9_report(benchmark, collected):
+    rows = collected.get(FIG7)
+    if rows is None:
+        scenario = multitier_scenario(True)
+        size = sweep_sizes("multitier", True)[0]
+        rows = [
+            run_once(
+                benchmark,
+                lambda a=a: run_placement(a, scenario, size, seed=0),
+            )
+            for a in ("egc", "egbw", "eg", "dba*")
+        ]
+    else:
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    parts = []
+    for heterogeneous, label in ((True, "9a heterogeneous"), (False, "9b homogeneous")):
+        subset = [r for r in rows if r.heterogeneous == heterogeneous]
+        if not subset:
+            continue
+        parts.append(
+            format_series(
+                subset,
+                metric="runtime_s",
+                algorithms=["EGC", "EGBW", "EG", "DBA*"],
+                title=f"Fig {label}: multitier scheduler runtime (s)",
+            )
+        )
+    save_report("fig9-multitier", "\n\n".join(parts))
+    het = [r for r in rows if r.heterogeneous]
+    top = max(r.size for r in het)
+    at_top = {r.algorithm: r for r in het if r.size == top}
+    assert at_top["EGC"].runtime_s <= at_top["EG"].runtime_s
+    assert at_top["DBA*"].runtime_s >= at_top["EG"].runtime_s

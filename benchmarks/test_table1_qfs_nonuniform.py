@@ -1,0 +1,69 @@
+"""Table I: QFS placement under non-uniform resource availability.
+
+Paper setup (Section IV-A/B): the QFS topology of Fig. 5 placed on the
+16-host testbed with 12 hosts preloaded (light/medium/constrained) and 4
+idle, theta_bw = 0.99. Expected shape:
+
+* EGC reserves roughly twice the bandwidth of every other algorithm (it
+  bin-packs and ignores links) while activating no idle host;
+* EGBW matches the minimum bandwidth but activates idle hosts;
+* EG matches/approaches the minimum bandwidth with no new hosts;
+* BA* and DBA* meet the best bandwidth; DBA* within its 0.5 s deadline,
+  BA* taking orders of magnitude longer;
+* runtimes: EGC < EGBW ~ EG << DBA* << BA*.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once, save_report
+from repro.sim.experiment import run_placement
+from repro.sim.reporting import format_table
+from repro.sim.scenarios import qfs_testbed_scenario
+
+EXPERIMENT = "table1"
+ALGORITHMS = ("egc", "egbw", "eg", "ba*", "dba*")
+_EXTRA = {"ba*": {"max_expansions": 500}, "dba*": {"deadline_s": 0.5}}
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_table1(benchmark, collected, algorithm):
+    scenario = qfs_testbed_scenario(uniform=False)
+    row = run_once(
+        benchmark,
+        lambda: run_placement(
+            algorithm,
+            scenario,
+            size=12,
+            seed=0,
+            **_EXTRA.get(algorithm, {}),
+        ),
+    )
+    collected.setdefault(EXPERIMENT, {})[row.algorithm] = row
+    assert row.reserved_bw_mbps > 0
+
+
+def test_table1_report(benchmark, collected):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = collected.get(EXPERIMENT, {})
+    assert len(rows) == len(ALGORITHMS), "run the whole module"
+    save_report(
+        EXPERIMENT,
+        format_table(
+            list(rows.values()),
+            algorithms=["EGC", "EGBW", "EG", "BA*", "DBA*"],
+            title="Table I: QFS under non-uniform resource availability "
+            "(paper: EGC 4480/0, EGBW 1980/4, EG 2000/0, BA* 1980/1, "
+            "DBA* 1980/1)",
+        ),
+    )
+    # The paper's qualitative relationships:
+    assert rows["EGC"].reserved_bw_mbps >= 1.5 * rows["EG"].reserved_bw_mbps
+    assert rows["EGBW"].new_active_hosts >= 1
+    assert rows["EGC"].new_active_hosts == 0
+    assert rows["EG"].new_active_hosts == 0
+    assert rows["EGBW"].reserved_bw_mbps <= rows["EGC"].reserved_bw_mbps
+    assert rows["DBA*"].reserved_bw_mbps <= rows["EG"].reserved_bw_mbps + 1e-9
+    assert rows["BA*"].reserved_bw_mbps <= rows["EG"].reserved_bw_mbps + 1e-9
+    assert rows["EGC"].runtime_s < rows["DBA*"].runtime_s < rows["BA*"].runtime_s

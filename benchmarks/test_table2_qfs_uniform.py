@@ -1,0 +1,62 @@
+"""Table II: QFS placement under uniform resource availability.
+
+Same as Table I but every testbed host starts idle. Expected shape: every
+algorithm except EGC converges to the same (minimum) reserved bandwidth
+and the same host count -- the host count is fixed by the chunk-volume
+diversity zone -- and the searches terminate much faster than in the
+non-uniform case because the first EG run bounds the space tightly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once, save_report
+from repro.sim.experiment import run_placement
+from repro.sim.reporting import format_table
+from repro.sim.scenarios import qfs_testbed_scenario
+
+EXPERIMENT = "table2"
+ALGORITHMS = ("egc", "egbw", "eg", "ba*", "dba*")
+_EXTRA = {"ba*": {"max_expansions": 500}, "dba*": {"deadline_s": 0.5}}
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_table2(benchmark, collected, algorithm):
+    scenario = qfs_testbed_scenario(uniform=True)
+    row = run_once(
+        benchmark,
+        lambda: run_placement(
+            algorithm,
+            scenario,
+            size=12,
+            seed=0,
+            **_EXTRA.get(algorithm, {}),
+        ),
+    )
+    collected.setdefault(EXPERIMENT, {})[row.algorithm] = row
+    assert row.reserved_bw_mbps > 0
+
+
+def test_table2_report(benchmark, collected):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = collected.get(EXPERIMENT, {})
+    assert len(rows) == len(ALGORITHMS), "run the whole module"
+    save_report(
+        EXPERIMENT,
+        format_table(
+            list(rows.values()),
+            algorithms=["EGC", "EGBW", "EG", "BA*", "DBA*"],
+            title="Table II: QFS under uniform resource availability "
+            "(paper: EGC 2380, all others 1980; 4 new hosts each)",
+        ),
+    )
+    optimal = rows["EG"].reserved_bw_mbps
+    for label in ("EGBW", "BA*", "DBA*"):
+        assert rows[label].reserved_bw_mbps == pytest.approx(optimal)
+    assert rows["EGC"].reserved_bw_mbps > optimal
+    # new-host counts identical across algorithms (set by diversity zones)
+    host_counts = {rows[l].new_active_hosts for l in ("EGBW", "EG", "BA*", "DBA*")}
+    assert len(host_counts) == 1
+    # uniform availability bounds the search much faster than Table I
+    assert rows["DBA*"].runtime_s < 2.0

@@ -1,0 +1,70 @@
+"""Objective-weight sensitivity (Section IV-B, final paragraph).
+
+The paper raises theta_c from 0.01 to 0.4 on the QFS testbed experiment:
+the greedy algorithms' placements stay fixed (their sorting is set up
+once), while BA* and DBA* adapt to the new weighting and converge to EG's
+host-frugal placement. We verify the searchers' adaptation: under the
+host-heavy objective their chosen placements activate no more hosts than
+under the bandwidth-heavy one, and never do worse than EG on the active
+objective.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once, save_report
+from repro.core.objective import Objective
+from repro.core.scheduler import make_algorithm
+from repro.sim.scenarios import qfs_testbed_scenario
+
+EXPERIMENT = "theta-sensitivity"
+WEIGHTS = ((0.99, 0.01), (0.6, 0.4))
+
+
+@pytest.mark.parametrize("theta", WEIGHTS, ids=lambda t: f"theta_c={t[1]}")
+@pytest.mark.parametrize("algorithm", ("eg", "dba*"))
+def test_theta(benchmark, collected, theta, algorithm):
+    theta_bw, theta_c = theta
+    scenario = qfs_testbed_scenario(uniform=False)
+    cloud = scenario.build_cloud()
+    state = scenario.build_state(cloud, 0)
+    topology = scenario.build_topology(12, 0)
+    objective = Objective.for_topology(topology, cloud, theta_bw, theta_c)
+    options = {"greedy_config": scenario.greedy_config}
+    if algorithm == "dba*":
+        options["deadline_s"] = 1.0
+    algo = make_algorithm(algorithm, **options)
+    result = run_once(
+        benchmark, lambda: algo.place(topology, cloud, state, objective)
+    )
+    collected.setdefault(EXPERIMENT, {})[(algorithm, theta_c)] = result
+
+
+def test_theta_report(benchmark, collected):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    results = collected.get(EXPERIMENT, {})
+    assert len(results) == 4, "run the whole module"
+    lines = [
+        "Theta sensitivity on the QFS testbed (paper: raising theta_c to "
+        "0.4 pulls BA*/DBA* onto EG's host-frugal placement)",
+        f"{'algorithm':>9}  {'theta_c':>7}  {'bandwidth':>9}  {'new hosts':>9}",
+    ]
+    for (algorithm, theta_c), result in sorted(results.items()):
+        lines.append(
+            f"{algorithm:>9}  {theta_c:7.2f}  "
+            f"{result.reserved_bw_mbps:9.0f}  {result.new_active_hosts:9d}"
+        )
+    save_report(EXPERIMENT, "\n".join(lines))
+    # under the host-heavy objective DBA* activates no more hosts than
+    # under the bandwidth-heavy one ...
+    assert (
+        results[("dba*", 0.4)].new_active_hosts
+        <= results[("dba*", 0.01)].new_active_hosts
+    )
+    # ... and never scores worse than EG on the same objective
+    for theta_c in (0.01, 0.4):
+        assert (
+            results[("dba*", theta_c)].objective_value
+            <= results[("eg", theta_c)].objective_value + 1e-9
+        )

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Capacity planning under churn: how schedulers behave as the cloud fills.
+
+Replays the same Poisson stream of tenant applications (arrivals,
+lifetimes, departures) against the same data center with three placement
+algorithms and reports admission statistics. The trade-off to look for:
+EGC's pure bin-packing squeezes in the most tenants when raw compute is
+the bottleneck, but it reserves far more network bandwidth per tenant
+(Table I); EG/EGBW spend a little admission headroom to keep flows local.
+Rerun with network-heavy tenants (crank the pipe bandwidths in
+``default_app_factory``) and the ranking flips.
+
+Run:  python examples/churn_capacity_planning.py
+"""
+
+from repro.datacenter import build_datacenter
+from repro.sim.arrivals import WorkloadTrace, default_app_factory, replay
+
+
+def main() -> None:
+    cloud = build_datacenter(num_racks=2, hosts_per_rack=8)
+    trace = WorkloadTrace.poisson(
+        arrivals=60,
+        app_factory=default_app_factory,
+        mean_interarrival_s=15,
+        mean_lifetime_s=900,  # ~60 concurrent tenants: the cloud runs hot
+        seed=42,
+    )
+    print(
+        f"trace: {len(trace.topologies)} tenants over "
+        f"{trace.events[-1].time / 60:.0f} simulated minutes, "
+        f"{cloud.num_hosts}-host data center\n"
+    )
+    print(f"{'algorithm':>9}  {'accepted':>8}  {'rejected':>8}  "
+          f"{'acceptance':>10}  {'peak cpu':>8}")
+    for algorithm in ("egc", "egbw", "eg"):
+        report = replay(trace, cloud, algorithm=algorithm)
+        print(
+            f"{algorithm:>9}  {report.accepted:8d}  {report.rejected:8d}  "
+            f"{report.acceptance_rate:10.1%}  "
+            f"{report.peak_cpu_used_frac:8.1%}"
+        )
+    print("\nEvery algorithm saw the identical tenant stream; differences "
+          "come only from how placements fragment capacity. Compare with "
+          "'repro sweep fig7' for the bandwidth each algorithm paid.")
+
+
+if __name__ == "__main__":
+    main()

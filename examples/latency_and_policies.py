@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Section-VI extensions: latency-bounded pipes and CPU policies.
+
+The paper's future-work section calls for (a) latency requirements on the
+communication links between nodes and (b) guaranteed vs. best-effort CPU
+reservations. Both are implemented; this example demonstrates them on a
+latency-sensitive trading-style application:
+
+* the gateway and the matching engine must be at most 2 network hops
+  apart (same rack);
+* the matching engine and its journal volume must be co-located
+  (max_hops=0);
+* analytics VMs are best-effort: they reserve only half their nominal
+  vCPUs, so they pack densely onto leftover capacity.
+
+Run:  python examples/latency_and_policies.py
+"""
+
+from repro import ApplicationTopology, Ostro
+from repro.datacenter import DataCenterState, build_datacenter
+
+
+def build_app() -> ApplicationTopology:
+    app = ApplicationTopology("trading")
+    app.add_vm("gateway", vcpus=4, mem_gb=8)
+    app.add_vm("engine", vcpus=8, mem_gb=16)
+    app.add_volume("journal", size_gb=200)
+    # hot path: bounded hop counts stand in for latency bounds
+    app.connect("gateway", "engine", bw_mbps=2000, max_hops=2)
+    app.connect("engine", "journal", bw_mbps=3000, max_hops=0)
+    # best-effort analytics fan-out
+    for i in range(4):
+        app.add_vm(f"analytics{i}", vcpus=8, mem_gb=4,
+                   cpu_policy="best_effort")
+        app.connect(f"analytics{i}", "engine", bw_mbps=50)
+    return app
+
+
+def main() -> None:
+    cloud = build_datacenter(num_racks=4, hosts_per_rack=4)
+    state = DataCenterState(cloud, best_effort_cpu_factor=0.5)
+    ostro = Ostro(cloud, state)
+    app = build_app()
+
+    result = ostro.place(app, algorithm="dba*", deadline_s=1.0)
+    placement = result.placement
+
+    gateway = placement.host_of("gateway")
+    engine = placement.host_of("engine")
+    journal = placement.host_of("journal")
+    print("latency-constrained placement:")
+    print(f"  gateway  on {cloud.hosts[gateway].name}")
+    print(f"  engine   on {cloud.hosts[engine].name} "
+          f"({cloud.hop_count(gateway, engine)} hops from gateway, bound 2)")
+    print(f"  journal  on {cloud.hosts[journal].name} "
+          f"({cloud.hop_count(engine, journal)} hops from engine, bound 0)")
+
+    print("\nbest-effort analytics packing (8 nominal vCPUs each, "
+          "4 reserved):")
+    for i in range(4):
+        host = placement.host_of(f"analytics{i}")
+        print(f"  analytics{i} on {cloud.hosts[host].name} "
+              f"(host now has {state.free_cpu[host]:.0f} free cores)")
+
+    reserved = sum(
+        16 - state.free_cpu[h] for h in range(cloud.num_hosts)
+    )
+    nominal = 4 + 8 + 4 * 8
+    print(f"\nvCPUs reserved across the cloud: {reserved:.0f} "
+          f"(nominal demand {nominal}; best-effort discount saved "
+          f"{nominal - reserved:.0f})")
+    print(f"reserved bandwidth: {result.reserved_bw_mbps:.0f} Mbps")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+"""repro: a full reproduction of Ostro (ICDCS 2015).
+
+Ostro is a holistic, topology-aware cloud scheduler: it places a whole
+application topology -- VMs, disk volumes, bandwidth-annotated links, and
+diversity (anti-affinity) zones -- onto a hierarchical data center at once,
+minimizing reserved network bandwidth and newly activated hosts subject to
+capacity and placement-diversity constraints.
+
+Quick start::
+
+    from repro import ApplicationTopology, DiversityLevel, Ostro
+    from repro.datacenter import build_testbed
+
+    app = ApplicationTopology("hello")
+    app.add_vm("web", vcpus=2, mem_gb=2)
+    app.add_vm("db", vcpus=4, mem_gb=8)
+    app.add_volume("data", size_gb=100)
+    app.connect("web", "db", bw_mbps=100)
+    app.connect("db", "data", bw_mbps=200)
+
+    ostro = Ostro(build_testbed())
+    result = ostro.place(app, algorithm="dba*", deadline_s=0.5)
+    print(result.reserved_bw_mbps, result.new_active_hosts)
+
+See DESIGN.md for the module map and EXPERIMENTS.md for the paper
+reproduction results.
+"""
+
+from repro.core import (
+    VM,
+    ApplicationTopology,
+    BAStar,
+    DBAStar,
+    DiversityLevel,
+    DiversityZone,
+    EG,
+    EGBW,
+    EGC,
+    EstimatorConfig,
+    GreedyConfig,
+    Objective,
+    Ostro,
+    Placement,
+    PlacementAlgorithm,
+    PlacementResult,
+    Volume,
+    make_algorithm,
+)
+from repro.datacenter import (
+    Cloud,
+    DataCenterState,
+    Level,
+    build_cloud,
+    build_datacenter,
+    build_testbed,
+)
+from repro.errors import (
+    CapacityError,
+    DataCenterError,
+    DeadlineError,
+    PlacementError,
+    ReproError,
+    SchedulerError,
+    TemplateError,
+    TopologyError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ApplicationTopology",
+    "BAStar",
+    "CapacityError",
+    "Cloud",
+    "DBAStar",
+    "DataCenterError",
+    "DataCenterState",
+    "DeadlineError",
+    "DiversityLevel",
+    "DiversityZone",
+    "EG",
+    "EGBW",
+    "EGC",
+    "EstimatorConfig",
+    "GreedyConfig",
+    "Level",
+    "Objective",
+    "Ostro",
+    "Placement",
+    "PlacementAlgorithm",
+    "PlacementError",
+    "PlacementResult",
+    "ReproError",
+    "SchedulerError",
+    "TemplateError",
+    "TopologyError",
+    "VM",
+    "Volume",
+    "build_cloud",
+    "build_datacenter",
+    "build_testbed",
+    "make_algorithm",
+    "__version__",
+]

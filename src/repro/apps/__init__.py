@@ -1,0 +1,20 @@
+"""Application-level simulations driven by placements.
+
+* :mod:`repro.apps.qfs_sim` -- a synthetic QFS read/write benchmark that
+  replays the paper's realistic experiment over a computed placement,
+  verifying that the traffic fits the reservations and measuring the
+  throughput the placement allows.
+* :mod:`repro.apps.multitier_sim` -- request-flow latency/throughput over
+  a placed multi-tier application: turns reserved bandwidth and hop
+  counts into the application-visible quantities an operator graphs.
+"""
+
+from repro.apps.multitier_sim import MultitierReport, MultitierSimulator
+from repro.apps.qfs_sim import BenchmarkReport, QFSBenchmark
+
+__all__ = [
+    "BenchmarkReport",
+    "MultitierReport",
+    "MultitierSimulator",
+    "QFSBenchmark",
+]

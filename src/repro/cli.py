@@ -1,0 +1,298 @@
+"""Command-line interface for the Ostro reproduction.
+
+Subcommands:
+
+* ``repro place --template stack.json --dc testbed --algorithm dba*`` --
+  optimize a QoS-enhanced Heat template and print the annotated template.
+* ``repro experiment {table1,table2,online}`` -- rerun the paper's
+  testbed experiments and print the tables.
+* ``repro sweep {fig7,fig8,fig9,fig10,fig11} [--hom]`` -- rerun a figure's
+  size sweep and print the data series.
+* ``repro tradeoff`` -- the Fig. 6 deadline/optimality tradeoff.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.core.scheduler import Ostro
+from repro.errors import ReproError
+from repro.heat.wrapper import OstroHeatWrapper
+from repro.sim.experiment import run_placement
+from repro.sim.reporting import format_series, format_table
+from repro.sim.runner import sweep as run_sweep
+from repro.sim.scenarios import (
+    mesh_scenario,
+    multitier_scenario,
+    qfs_testbed_scenario,
+    sweep_sizes,
+)
+
+
+def _build_cloud(spec: str):
+    from repro.datacenter.builder import build_datacenter, build_testbed
+
+    if spec == "testbed":
+        return build_testbed()
+    if spec.startswith("dc:"):
+        racks = int(spec.split(":", 1)[1])
+        return build_datacenter(num_racks=racks)
+    raise ReproError(
+        f"unknown data center spec {spec!r}; use 'testbed' or 'dc:<racks>'"
+    )
+
+
+def cmd_place(args: argparse.Namespace) -> int:
+    cloud = _build_cloud(args.dc)
+    ostro = Ostro(cloud)
+    wrapper = OstroHeatWrapper(ostro)
+    options = {}
+    if args.deadline is not None:
+        options["deadline_s"] = args.deadline
+    response = wrapper.handle(
+        args.template,
+        stack_name=args.stack,
+        algorithm=args.algorithm,
+        commit=False,
+        **options,
+    )
+    result = response.result
+    print(json.dumps(response.annotated_template, indent=2))
+    print(
+        f"# reserved bandwidth: {result.reserved_bw_mbps:.0f} Mbps, "
+        f"new active hosts: {result.new_active_hosts}, "
+        f"runtime: {result.runtime_s:.3f} s",
+        file=sys.stderr,
+    )
+    return 0
+
+
+_TESTBED_ALGOS = ["egc", "egbw", "eg", "ba*", "dba*"]
+_SWEEP_ALGOS = ["egc", "egbw", "eg", "dba*"]
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    if args.name in ("table1", "table2"):
+        scenario = qfs_testbed_scenario(uniform=args.name == "table2")
+        rows = [
+            run_placement(
+                algo,
+                scenario,
+                size=12,
+                seed=args.seed,
+                deadline_s=0.5,
+                **({"max_expansions": 5000} if algo == "ba*" else {}),
+            )
+            for algo in _TESTBED_ALGOS
+        ]
+        title = (
+            "Table I: QFS under non-uniform resource availability"
+            if args.name == "table1"
+            else "Table II: QFS under uniform resource availability"
+        )
+        print(format_table(rows, title=title))
+        return 0
+    if args.name == "online":
+        from repro.core.online import add_vms_to_tier
+        from repro.workloads.multitier import build_multitier
+
+        scenario = multitier_scenario(heterogeneous=True)
+        cloud = scenario.build_cloud()
+        ostro = Ostro(cloud, scenario.build_state(cloud, args.seed))
+        topo = build_multitier(total_vms=args.size)
+        ostro.place(topo, algorithm="eg", greedy_config=scenario.greedy_config)
+        grown = add_vms_to_tier(topo, "tier1", 0.1)
+        update = ostro.update(
+            grown,
+            algorithm="dba*",
+            deadline_s=0.3,
+            greedy_config=scenario.greedy_config,
+        )
+        print(
+            f"online adaptation: added {len(update.added)} VMs, "
+            f"moved {len(update.moved)} existing nodes, "
+            f"runtime {update.result.runtime_s:.3f} s"
+        )
+        return 0
+    raise ReproError(f"unknown experiment: {args.name!r}")
+
+
+_FIGS = {
+    "fig7": ("multitier", "reserved_bw_gbps"),
+    "fig8": ("multitier", "hosts_used"),
+    "fig9": ("multitier", "runtime_s"),
+    "fig10": ("mesh", "reserved_bw_gbps"),
+    "fig10rt": ("mesh", "runtime_s"),
+    "fig11": ("mesh", "hosts_used"),
+}
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    workload, metric = _FIGS[args.figure]
+    heterogeneous = not args.hom
+    scenario = (
+        multitier_scenario(heterogeneous)
+        if workload == "multitier"
+        else mesh_scenario(heterogeneous)
+    )
+    sizes = args.sizes or sweep_sizes(workload, heterogeneous)
+    rows = run_sweep(
+        scenario,
+        args.algorithms,
+        sizes,
+        seeds=tuple(range(args.seeds)),
+        skip_infeasible=True,
+    )
+    regime = "heterogeneous" if heterogeneous else "homogeneous"
+    title = f"{args.figure} ({workload}, {regime}): {metric}"
+    print(format_series(rows, metric=metric, title=title))
+    if args.chart:
+        from repro.sim.plots import ascii_chart
+
+        print()
+        print(ascii_chart(rows, metric=metric, title=title))
+    return 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    from repro.sim.arrivals import (
+        WorkloadTrace,
+        default_app_factory,
+        replay,
+    )
+
+    cloud = _build_cloud(args.dc)
+    trace = WorkloadTrace.poisson(
+        arrivals=args.arrivals,
+        app_factory=default_app_factory,
+        mean_interarrival_s=args.interarrival,
+        mean_lifetime_s=args.lifetime,
+        seed=args.seed,
+    )
+    print(
+        f"replaying {args.arrivals} tenants "
+        f"(1/{args.interarrival:.0f}s arrivals, {args.lifetime:.0f}s "
+        f"lifetimes) on {cloud.num_hosts} hosts\n"
+    )
+    print(f"{'algorithm':>9}  {'accepted':>8}  {'rejected':>8}  "
+          f"{'acceptance':>10}  {'peak cpu':>8}")
+    for algorithm in args.algorithms:
+        report = replay(trace, cloud, algorithm=algorithm)
+        print(
+            f"{algorithm:>9}  {report.accepted:8d}  {report.rejected:8d}  "
+            f"{report.acceptance_rate:10.1%}  "
+            f"{report.peak_cpu_used_frac:8.1%}"
+        )
+    return 0
+
+
+def cmd_util(args: argparse.Namespace) -> int:
+    from repro.datacenter.loadgen import apply_table_iv_load
+    from repro.datacenter.state import DataCenterState
+    from repro.sim.utilization import format_utilization, utilization_report
+
+    cloud = _build_cloud(args.dc)
+    state = DataCenterState(cloud)
+    if args.load == "tableiv":
+        apply_table_iv_load(state, seed=args.seed)
+    print(format_utilization(utilization_report(state)))
+    return 0
+
+
+def cmd_tradeoff(args: argparse.Namespace) -> int:
+    scenario = multitier_scenario(heterogeneous=True)
+    print(f"Fig 6 tradeoff (multitier {args.size} VMs): deadline sweep")
+    print("deadline_s  bandwidth_gbps  new_hosts  runtime_s")
+    for deadline in args.deadlines:
+        row = run_placement(
+            "dba*", scenario, args.size, seed=args.seed, deadline_s=deadline
+        )
+        print(
+            f"{deadline:10.2f}  {row.reserved_bw_gbps:14.2f}  "
+            f"{row.new_active_hosts:9.0f}  {row.runtime_s:9.2f}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Ostro (ICDCS 2015) reproduction: topology-aware placement",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    place = sub.add_parser("place", help="optimize a Heat template")
+    place.add_argument("--template", required=True, help="template JSON path")
+    place.add_argument("--dc", default="testbed", help="'testbed' or 'dc:<racks>'")
+    place.add_argument("--algorithm", default="dba*")
+    place.add_argument("--stack", default="stack")
+    place.add_argument("--deadline", type=float, default=None)
+    place.set_defaults(func=cmd_place)
+
+    experiment = sub.add_parser("experiment", help="rerun a paper experiment")
+    experiment.add_argument("name", choices=["table1", "table2", "online"])
+    experiment.add_argument("--seed", type=int, default=0)
+    experiment.add_argument("--size", type=int, default=50)
+    experiment.set_defaults(func=cmd_experiment)
+
+    sweep_cmd = sub.add_parser("sweep", help="rerun a figure's size sweep")
+    sweep_cmd.add_argument("figure", choices=sorted(_FIGS))
+    sweep_cmd.add_argument("--hom", action="store_true")
+    sweep_cmd.add_argument("--sizes", type=int, nargs="*", default=None)
+    sweep_cmd.add_argument("--seeds", type=int, default=1)
+    sweep_cmd.add_argument(
+        "--algorithms", nargs="*", default=_SWEEP_ALGOS
+    )
+    sweep_cmd.add_argument(
+        "--chart", action="store_true", help="also draw an ASCII chart"
+    )
+    sweep_cmd.set_defaults(func=cmd_sweep)
+
+    replay_cmd = sub.add_parser(
+        "replay", help="replay a tenant churn stream per algorithm"
+    )
+    replay_cmd.add_argument("--dc", default="dc:2")
+    replay_cmd.add_argument("--arrivals", type=int, default=30)
+    replay_cmd.add_argument("--interarrival", type=float, default=20.0)
+    replay_cmd.add_argument("--lifetime", type=float, default=600.0)
+    replay_cmd.add_argument("--seed", type=int, default=0)
+    replay_cmd.add_argument(
+        "--algorithms", nargs="*", default=["egc", "egbw", "eg"]
+    )
+    replay_cmd.set_defaults(func=cmd_replay)
+
+    util = sub.add_parser("util", help="show cluster utilization")
+    util.add_argument("--dc", default="dc:24")
+    util.add_argument(
+        "--load", choices=["none", "tableiv"], default="tableiv"
+    )
+    util.add_argument("--seed", type=int, default=0)
+    util.set_defaults(func=cmd_util)
+
+    tradeoff = sub.add_parser("tradeoff", help="Fig 6 deadline tradeoff")
+    tradeoff.add_argument("--size", type=int, default=50)
+    tradeoff.add_argument("--seed", type=int, default=0)
+    tradeoff.add_argument(
+        "--deadlines",
+        type=float,
+        nargs="*",
+        default=[0.5, 1.0, 2.0, 4.0, 8.0],
+    )
+    tradeoff.set_defaults(func=cmd_tradeoff)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

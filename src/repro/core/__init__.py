@@ -1,0 +1,84 @@
+"""Ostro's core: application topologies and holistic placement algorithms.
+
+Public surface:
+
+* :class:`~repro.core.topology.ApplicationTopology` with
+  :class:`~repro.core.topology.VM`, :class:`~repro.core.topology.Volume`,
+  and :class:`~repro.core.zones.DiversityZone`;
+* the algorithms :class:`~repro.core.greedy.EG`,
+  :class:`~repro.core.greedy.EGC`, :class:`~repro.core.greedy.EGBW`,
+  :class:`~repro.core.astar.BAStar`, :class:`~repro.core.deadline.DBAStar`;
+* the :class:`~repro.core.scheduler.Ostro` facade.
+"""
+
+from repro.core.astar import BAStar, node_equivalence_classes
+from repro.core.base import PlacementAlgorithm, PlacementResult, SearchStats
+from repro.core.deadline import DBAStar
+from repro.core.greedy import EG, EGBW, EGC, GreedyConfig
+from repro.core.heuristic import EstimatorConfig, LowerBoundEstimator
+from repro.core.migration import (
+    MigrationPlan,
+    MigrationStep,
+    apply_plan,
+    plan_migration,
+)
+from repro.core.objective import Objective
+from repro.core.online import UpdateResult, add_vms_to_tier, update_application
+from repro.core.persistence import (
+    load_inventory,
+    placement_from_dict,
+    placement_to_dict,
+    restore_inventory,
+    save_inventory,
+)
+from repro.core.placement import Assignment, PartialPlacement, Placement
+from repro.core.scheduler import Ostro, make_algorithm
+from repro.core.topology import VM, ApplicationTopology, PipeLink, Volume
+from repro.core.validate import (
+    PlacementViolation,
+    placement_violations,
+    validate_placement,
+)
+from repro.core.zones import DiversityLevel, DiversityZone
+
+__all__ = [
+    "ApplicationTopology",
+    "Assignment",
+    "BAStar",
+    "DBAStar",
+    "DiversityLevel",
+    "DiversityZone",
+    "EG",
+    "EGBW",
+    "EGC",
+    "EstimatorConfig",
+    "GreedyConfig",
+    "LowerBoundEstimator",
+    "MigrationPlan",
+    "MigrationStep",
+    "Objective",
+    "Ostro",
+    "PartialPlacement",
+    "PipeLink",
+    "Placement",
+    "PlacementAlgorithm",
+    "PlacementResult",
+    "PlacementViolation",
+    "SearchStats",
+    "UpdateResult",
+    "VM",
+    "Volume",
+    "add_vms_to_tier",
+    "apply_plan",
+    "load_inventory",
+    "make_algorithm",
+    "node_equivalence_classes",
+    "placement_from_dict",
+    "placement_to_dict",
+    "placement_violations",
+    "plan_migration",
+    "restore_inventory",
+    "save_inventory",
+    "update_application",
+    "validate_placement",
+]

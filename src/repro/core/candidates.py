@@ -1,0 +1,151 @@
+"""Candidate-host generation (``GetCandidates`` of Algorithm 1).
+
+For a node, the candidate set is every (host, disk) target that satisfies
+all constraints of :mod:`repro.core.constraints`. Because scoring a
+candidate is expensive (it runs the lower-bound estimator), this module
+also implements **exact equivalence-class deduplication**: two feasible
+hosts are interchangeable for the search when they have
+
+* identical free resources (CPU, memory, and for volumes the free space of
+  the chosen disk),
+* the same activity status (active vs idle -- this decides whether picking
+  them changes ``u_c``),
+* identical free bandwidth along their uplink chains, and
+* identical separation distances to every host used by the partial
+  placement.
+
+Those four facts determine both the candidate's score and the state that
+results from choosing it, up to a relabeling of physically symmetric hosts,
+so keeping only the lowest-indexed representative of each class is lossless.
+The paper's implementation instead evaluated all hosts in parallel
+(Section III-A2); dedup achieves the same effect on one core and can be
+disabled (``dedup=False``) for ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core import constraints
+from repro.core.placement import PartialPlacement
+
+
+@dataclass(frozen=True)
+class CandidateTarget:
+    """One feasible placement target for a node.
+
+    Attributes:
+        host: global host index.
+        disk: global disk index for volumes, None for VMs.
+        multiplicity: number of interchangeable hosts this target
+            represents (1 when dedup is off).
+    """
+
+    host: int
+    disk: Optional[int] = None
+    multiplicity: int = 1
+
+
+def _chain_signature(partial: PartialPlacement, host: int) -> tuple:
+    """Free bandwidth along the host's uplink chain (NIC upward)."""
+    state = partial.state
+    return tuple(
+        round(state.free_bw[link], 6)
+        for link in state.cloud.uplink_chain(host)
+    )
+
+
+def candidate_targets(
+    partial: PartialPlacement,
+    node_name: str,
+    dedup: bool = True,
+    limit: Optional[int] = None,
+) -> List[CandidateTarget]:
+    """Feasible targets for a node, optionally deduplicated.
+
+    Args:
+        partial: the placement under construction.
+        node_name: the node to place next.
+        dedup: collapse interchangeable hosts to one representative each.
+        limit: optional hard cap on the number of returned targets
+            (applied after dedup; targets keep cloud index order).
+
+    Returns:
+        Feasible :class:`CandidateTarget` records in ascending host order.
+        Empty when the node cannot be placed anywhere right now.
+    """
+    node = partial.topology.node(node_name)
+    state = partial.state
+    cloud = state.cloud
+    # Distances to the *distinct* hosts of the partial placement fully
+    # determine the candidate's relation to every placed node.
+    placed_hosts = tuple(sorted(partial.placed_hosts()))
+    results: List[CandidateTarget] = []
+    seen: dict = {}
+
+    if node.is_vm:
+        reserved = state.reserved_vcpus(node)
+        for host in range(cloud.num_hosts):
+            if not state.vm_fits(host, reserved, node.mem_gb):
+                continue
+            if not constraints.diversity_ok(partial, node_name, host):
+                continue
+            if not constraints.latency_ok(partial, node_name, host):
+                continue
+            if not constraints.bandwidth_ok(partial, node_name, host):
+                continue
+            if dedup:
+                sig = (
+                    round(state.free_cpu[host], 6),
+                    round(state.free_mem[host], 6),
+                    state.host_is_active(host),
+                    _chain_signature(partial, host),
+                    tuple(cloud.distance(host, p) for p in placed_hosts),
+                )
+                existing = seen.get(sig)
+                if existing is not None:
+                    results[existing] = CandidateTarget(
+                        host=results[existing].host,
+                        disk=None,
+                        multiplicity=results[existing].multiplicity + 1,
+                    )
+                    continue
+                seen[sig] = len(results)
+            results.append(CandidateTarget(host=host))
+            if limit is not None and not dedup and len(results) >= limit:
+                break
+    else:
+        for disk_index, disk in enumerate(cloud.disks):
+            if not state.volume_fits(disk_index, node.size_gb):
+                continue
+            host = disk.host.index
+            if not constraints.diversity_ok(partial, node_name, host):
+                continue
+            if not constraints.latency_ok(partial, node_name, host):
+                continue
+            if not constraints.bandwidth_ok(partial, node_name, host):
+                continue
+            if dedup:
+                sig = (
+                    round(state.free_disk[disk_index], 6),
+                    state.host_is_active(host),
+                    _chain_signature(partial, host),
+                    tuple(cloud.distance(host, p) for p in placed_hosts),
+                )
+                existing = seen.get(sig)
+                if existing is not None:
+                    results[existing] = CandidateTarget(
+                        host=results[existing].host,
+                        disk=results[existing].disk,
+                        multiplicity=results[existing].multiplicity + 1,
+                    )
+                    continue
+                seen[sig] = len(results)
+            results.append(CandidateTarget(host=host, disk=disk_index))
+            if limit is not None and not dedup and len(results) >= limit:
+                break
+
+    if limit is not None and len(results) > limit:
+        results = results[:limit]
+    return results

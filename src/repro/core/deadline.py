@@ -1,0 +1,181 @@
+"""Deadline-bounded A* (``DBA*``, Section III-C).
+
+DBA* extends BA* with *progress-biased probabilistic pruning* so that a
+near-optimal placement is produced within a caller-supplied time budget
+``T``:
+
+* When a path is popped for expansion it is pruned with probability
+  ``P(x > s)`` where ``x`` is uniform on ``[0, r)`` and ``s`` is the path's
+  progress ``|V*_p| / |V|``. Deep paths (s near 1) almost never get pruned,
+  biasing the search depth-first; shallow duplicated prefixes get culled.
+* The range bound ``r`` starts at 0 (no pruning) and is raised over time.
+  Whenever half of the previously estimated remaining time has elapsed,
+  DBA* estimates the number of paths it can still afford
+  (``|P| = T_left / avg-delay-per-path``) and the number it is on track to
+  explore (``|P_left|``, propagated over the open-queue depth histogram
+  with the paper's recurrence). If the search cannot finish in time, ``r``
+  is increased by ``alpha = 0.2 * (T / T_left)``.
+* When the wall clock passes ``T`` the incumbent (the best EG-completed
+  placement so far) is returned immediately.
+
+All randomness flows through an explicit seed, so runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections import Counter
+from typing import Optional, Sequence
+
+from repro.core.astar import BAStar
+from repro.core.greedy import GreedyConfig
+from repro.errors import DeadlineError
+
+
+class DBAStar(BAStar):
+    """Deadline-bounded A* placement (Section III-C of the paper).
+
+    Args:
+        deadline_s: time budget ``T`` in seconds (must be positive).
+        greedy_config: shared EG/candidate configuration (see
+            :class:`repro.core.greedy.GreedyConfig`).
+        symmetry_reduction: collapse interchangeable nodes (III-B3).
+        alpha_factor: the 0.2 multiplier in the paper's
+            ``alpha = 0.2 * (T / T_left)`` adjustment.
+        seed: seed for the pruning randomness.
+        max_expansions: optional extra safety cap on expanded paths.
+    """
+
+    name = "dba*"
+    ordering = "informative"
+    terminate_on_bound = False
+    eg_rerun_policy = "on-advance"
+    eg_rerun_every_pops = 25
+
+    def __init__(
+        self,
+        deadline_s: float = 1.0,
+        greedy_config: Optional[GreedyConfig] = None,
+        symmetry_reduction: bool = True,
+        alpha_factor: float = 0.2,
+        seed: int = 0,
+        max_expansions: Optional[int] = None,
+    ):
+        super().__init__(
+            greedy_config=greedy_config,
+            symmetry_reduction=symmetry_reduction,
+            max_expansions=max_expansions,
+        )
+        if deadline_s <= 0:
+            raise DeadlineError(f"deadline must be positive, got {deadline_s}")
+        self.deadline_s = deadline_s
+        self.alpha_factor = alpha_factor
+        self.seed = seed
+        # search-time mutable controller state
+        self._rng = random.Random(seed)
+        self._r = 0.0
+        self._t_start = 0.0
+        self._next_check = 0.0
+        self._t_left_estimate = deadline_s
+        self._pops = 0
+        self._avg_branching = 1.0
+
+    # ------------------------------------------------------------------
+    # BA* hooks
+    # ------------------------------------------------------------------
+
+    def _before_search(self, order: Sequence[str]) -> None:
+        self._rng = random.Random(self.seed)
+        self._r = 0.0
+        self._t_start = time.perf_counter()
+        self._t_left_estimate = self.deadline_s
+        self._next_check = self._t_start + self.deadline_s / 2.0
+        self._pops = 0
+        self._avg_branching = 1.0
+
+    def _out_of_time(self) -> bool:
+        return time.perf_counter() - self._t_start >= self.deadline_s
+
+    def _allow_bound_rerun(self, last_duration_s: float) -> bool:
+        """Refuse EG re-runs that would blow through the deadline.
+
+        An EG completion from a shallow prefix costs roughly as much as
+        the previous one did; starting one with less than that much time
+        left only produces overshoot, not better bounds.
+        """
+        remaining = self.deadline_s - (time.perf_counter() - self._t_start)
+        return remaining > last_duration_s
+
+    def _should_prune_pop(self, depth: int, total: int) -> bool:
+        """Prune with probability P(x > s), x ~ U[0, r), s = depth/total."""
+        self._pops += 1
+        if self._r <= 0.0 or total == 0:
+            return False
+        progress = depth / total
+        if progress >= self._r:
+            return False
+        x = self._rng.uniform(0.0, self._r)
+        return x > progress
+
+    def _after_expansion(self, open_depths: Counter, branching: float) -> None:
+        # Exponential moving average of the branching factor |P|-bar.
+        self._avg_branching = 0.9 * self._avg_branching + 0.1 * branching
+        now = time.perf_counter()
+        if now < self._next_check:
+            return
+        self._recalibrate(now, open_depths)
+
+    # ------------------------------------------------------------------
+    # pruning-rate controller
+    # ------------------------------------------------------------------
+
+    def _recalibrate(self, now: float, open_depths: Counter) -> None:
+        """Raise the pruning range ``r`` if the search cannot finish by T."""
+        elapsed = now - self._t_start
+        t_left = max(self.deadline_s - elapsed, 1e-6)
+        avg_delay = elapsed / max(self._pops, 1)
+        affordable = t_left / max(avg_delay, 1e-9)
+        on_track = self._estimate_paths_left(open_depths)
+        if on_track > affordable:
+            alpha = self.alpha_factor * (self.deadline_s / t_left)
+            self._r = min(self._r + alpha, 1.0)
+        self._t_left_estimate = t_left
+        self._next_check = now + t_left / 2.0
+
+    def _estimate_paths_left(self, open_depths: Counter) -> float:
+        """The paper's |P_left| recurrence over the open-queue histogram.
+
+        Each open path of depth ``i`` survives its pop with probability
+        ``1 - p_i`` and then spawns roughly ``|P|-bar`` children of depth
+        ``i + 1``, which are themselves pruned at rate ``p_(i+1)`` before
+        insertion; the estimate accumulates surviving pops over all depths.
+        """
+        if not open_depths:
+            return 0.0
+        depths = [d for d, count in open_depths.items() if count > 0]
+        if not depths:
+            return 0.0
+        total_depth = max(depths) + 1
+        horizon = max(total_depth, 1)
+        level = [0.0] * (horizon + 2)
+        for d, count in open_depths.items():
+            if count > 0:
+                level[d] += count
+
+        def survive(depth: int) -> float:
+            if self._r <= 0.0:
+                return 1.0
+            s = depth / horizon
+            if s >= self._r:
+                return 1.0
+            return 1.0 - (self._r - s) / self._r
+
+        paths_left = 0.0
+        for i in range(horizon + 1):
+            if level[i] <= 0:
+                continue
+            live = level[i] * survive(i)
+            paths_left += live
+            level[i + 1] += live * survive(i) * self._avg_branching
+        return paths_left

@@ -1,0 +1,464 @@
+"""Estimate-based lower bound (``GetHeuristic`` of Algorithm 1).
+
+Given a partial placement, the estimator *approximately* places every
+remaining node to bound, from below, the bandwidth the rest of the
+placement must reserve. Following Section III-A2:
+
+1. Remaining nodes are visited in decreasing order of their total link
+   bandwidth.
+2. Each node is tentatively assigned to an already-used real host or to an
+   **imaginary host** ``h-hat``. A fresh imaginary host is created when
+   (a) no existing target has capacity, (b) diversity zones rule out every
+   existing target, (c) the node has no link to any placed node, or
+   (d) the node is more strongly linked to still-remaining nodes than to
+   placed ones. Otherwise the node joins the target with which it shares
+   the most link bandwidth ("co-located with nodes that are linked with
+   more bandwidth").
+3. Imaginary hosts have the maximum capacity of any real host and are not
+   counted toward ``u_c``; their location is optimistic, so distances
+   involving them are the *minimum* allowed by the diversity zones the two
+   endpoints share.
+
+The returned bandwidth estimate covers every topology link not yet fully
+reserved by the partial placement; paired with the accumulated usage it
+forms the ``u* + u-bar`` value that EG minimizes and BA* uses as an
+admissible node evaluation.
+
+For scalability the estimator can be truncated to the ``max_nodes`` most
+bandwidth-hungry remaining nodes: unestimated links then contribute zero,
+which keeps the bound admissible (it can only get looser). The exhaustive
+behavior of the paper is ``max_nodes=None``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.placement import PartialPlacement
+from repro.datacenter.model import Cloud
+
+
+@dataclass(frozen=True)
+class EstimatorConfig:
+    """Tuning knobs for the lower-bound estimator.
+
+    Attributes:
+        max_nodes: cap on how many remaining nodes are approximately
+            placed (None = all, the paper's behavior). Truncation keeps the
+            bound admissible; it only loosens it.
+        optimistic_colocation: how to charge links whose endpoints the
+            estimator put on *imaginary* hosts. False (default, the
+            paper's literal ``max{dz, h != h'}`` formula) charges every
+            split pair at least a host separation: informative, which is
+            what makes EG's candidate choices good, but only
+            quasi-admissible. True charges only the separation forced by
+            shared diversity zones -- a genuine lower bound, used by
+            BA*/DBA* for search ordering and bounding so they can explore
+            below EG's value and beat it.
+    """
+
+    max_nodes: Optional[int] = None
+    optimistic_colocation: bool = False
+
+    def admissible(self) -> "EstimatorConfig":
+        """The relaxed (provably admissible) variant of this config."""
+        return EstimatorConfig(max_nodes=self.max_nodes,
+                               optimistic_colocation=True)
+
+
+@dataclass
+class _ImaginaryHost:
+    """An optimistically located host invented by the estimator."""
+
+    free_cpu: float
+    free_mem: float
+    free_disk: float
+    free_nic: float
+    nodes: List[str]
+
+
+class LowerBoundEstimator:
+    """Reusable estimator bound to one topology/cloud pair.
+
+    Args:
+        cloud: the physical structure (for distances and hop minima).
+        config: truncation knobs.
+    """
+
+    def __init__(self, cloud: Cloud, config: Optional[EstimatorConfig] = None):
+        self.cloud = cloud
+        self.config = config or EstimatorConfig()
+        self._imaginary_cpu = max(h.cpu_cores for h in cloud.hosts)
+        self._imaginary_mem = max(h.mem_gb for h in cloud.hosts)
+        self._imaginary_disk = max(
+            (d.capacity_gb for d in cloud.disks), default=0.0
+        )
+        self._imaginary_nic = max(h.nic_bw_mbps for h in cloud.hosts)
+        # refreshed from the state on every estimate() call
+        self._cpu_factor = 1.0
+        # NIC-bandwidth capacity tracking gives the informative estimator
+        # the foresight to penalize candidates that strand future
+        # neighbors behind drained NICs (the paper's capacity constraints
+        # include bandwidth). The admissible variant stays optimistic.
+        self._track_nic = not self.config.optimistic_colocation
+        # hop minima per separation distance, precomputed once
+        self._min_hops = [0] * 5
+        for dist in range(1, 5):
+            try:
+                self._min_hops[dist] = cloud.min_hops_for_distance(dist)
+            except Exception:
+                # distance not realizable in this cloud (e.g. single DC);
+                # any pair forced that far apart is infeasible anyway, use
+                # a large-but-finite pessimistic value so estimates stay
+                # comparable.
+                self._min_hops[dist] = 2 * 4
+
+    # ------------------------------------------------------------------
+
+    def estimate(
+        self,
+        partial: PartialPlacement,
+        remaining: Sequence[str],
+    ) -> Tuple[float, int]:
+        """Lower-bound (bandwidth, new-host) usage of placing ``remaining``.
+
+        Args:
+            partial: current partial placement (already includes every
+                node considered placed, e.g. the candidate being scored).
+            remaining: names of nodes not yet placed.
+
+        Returns:
+            ``(ubw_bar, uc_bar)`` -- estimated additional reserved
+            bandwidth in Mbps x links, and estimated additional newly
+            activated hosts (always 0, per the paper: imaginary hosts are
+            not counted).
+        """
+        topology = partial.topology
+        if not remaining:
+            return 0.0, 0
+
+        order = sorted(
+            remaining, key=lambda n: topology.bandwidth_of(n), reverse=True
+        )
+        if self.config.max_nodes is not None and not self._track_nic:
+            # Truncation only loosens the admissible bound. The informative
+            # (NIC-tracking) estimator must approximately place *every*
+            # remaining node, or it cannot see a low-bandwidth node at the
+            # tail getting stranded behind a drained NIC; its bandwidth sum
+            # is still limited to the head below.
+            order = order[: self.config.max_nodes]
+
+        # Local free-capacity ledger for the real hosts in use.
+        state = partial.state
+        self._cpu_factor = state.best_effort_cpu_factor
+        real_free: Dict[int, List[float]] = {}
+        for host in partial.placed_hosts():
+            real_free[host] = [
+                state.free_cpu[host],
+                state.free_mem[host],
+                max(
+                    (state.free_disk[d.index] for d in self.cloud.hosts[host].disks),
+                    default=0.0,
+                ),
+                state.free_bw[self.cloud.hosts[host].link_index],
+            ]
+        imaginary: List[_ImaginaryHost] = []
+        # node -> ('real', host_index) or ('imag', list_index)
+        location: Dict[str, Tuple[str, int]] = {}
+
+        for name in order:
+            placed = self._approx_place(
+                partial, name, real_free, imaginary, location
+            )
+            if not placed:
+                # Even a fresh imaginary host cannot carry this node's
+                # flows: the partial placement has stranded it behind
+                # drained NICs. Signal an (effectively) infeasible future.
+                return float("inf"), 0
+
+        ubw_bar = self._estimate_bandwidth(partial, location)
+        return ubw_bar, 0
+
+    # ------------------------------------------------------------------
+
+    def _approx_place(
+        self,
+        partial: PartialPlacement,
+        name: str,
+        real_free: Dict[int, List[float]],
+        imaginary: List[_ImaginaryHost],
+        location: Dict[str, Tuple[str, int]],
+    ) -> bool:
+        """Approximately place one node; False signals a stranded node."""
+        topology = partial.topology
+        node = topology.node(name)
+
+        # Link bandwidth of `name` toward already-located nodes, per target.
+        bw_to_target: Dict[Tuple[str, int], float] = {}
+        bw_to_placed = 0.0
+        bw_to_remaining = 0.0
+        for neighbor, bw in topology.neighbors(name):
+            assigned = partial.assignments.get(neighbor)
+            if assigned is not None:
+                bw_to_placed += bw
+                key = ("real", assigned.host)
+                bw_to_target[key] = bw_to_target.get(key, 0.0) + bw
+            elif neighbor in location:
+                bw_to_placed += bw
+                key = location[neighbor]
+                bw_to_target[key] = bw_to_target.get(key, 0.0) + bw
+            else:
+                bw_to_remaining += bw
+
+        force_new = bw_to_placed == 0.0 or bw_to_remaining > bw_to_placed
+
+        def best_existing() -> Optional[Tuple[str, int]]:
+            best, best_bw = None, -1.0
+            for key in self._targets(real_free, imaginary):
+                if not self._fits(node, key, real_free, imaginary):
+                    continue
+                if not self._diversity_ok(partial, name, key, location):
+                    continue
+                if self._track_nic and not self._nic_ok(
+                    key, bw_to_target, real_free, imaginary
+                ):
+                    continue
+                linked = bw_to_target.get(key, 0.0)
+                if linked > best_bw:
+                    best_bw = linked
+                    best = key
+            return best
+
+        best_key: Optional[Tuple[str, int]] = None
+        if not force_new:
+            best_key = best_existing()
+
+        if best_key is None:
+            fresh = ("imag", len(imaginary))
+            imaginary.append(
+                _ImaginaryHost(
+                    free_cpu=self._imaginary_cpu,
+                    free_mem=self._imaginary_mem,
+                    free_disk=self._imaginary_disk,
+                    free_nic=self._imaginary_nic,
+                    nodes=[],
+                )
+            )
+            if not self._track_nic or self._nic_ok(
+                fresh, bw_to_target, real_free, imaginary
+            ):
+                best_key = fresh
+            else:
+                # A fresh host cannot carry the flows (the bottleneck is at
+                # the neighbors' NICs); joining a neighbor may still work.
+                imaginary.pop()
+                best_key = best_existing()
+                if best_key is None:
+                    return False
+
+        self._consume(node, best_key, real_free, imaginary)
+        if self._track_nic:
+            self._consume_nic(best_key, bw_to_target, real_free, imaginary)
+        if best_key[0] == "imag":
+            imaginary[best_key[1]].nodes.append(name)
+        location[name] = best_key
+        return True
+
+    @staticmethod
+    def _targets(
+        real_free: Dict[int, List[float]],
+        imaginary: List[_ImaginaryHost],
+    ):
+        for host in real_free:
+            yield ("real", host)
+        for i in range(len(imaginary)):
+            yield ("imag", i)
+
+    def _fits(
+        self,
+        node,
+        key: Tuple[str, int],
+        real_free: Dict[int, List[float]],
+        imaginary: List[_ImaginaryHost],
+    ) -> bool:
+        vcpus = (
+            node.effective_vcpus(self._cpu_factor) if node.is_vm else 0.0
+        )
+        if key[0] == "real":
+            free = real_free[key[1]]
+            if node.is_vm:
+                return vcpus <= free[0] and node.mem_gb <= free[1]
+            return node.size_gb <= free[2]
+        imag = imaginary[key[1]]
+        if node.is_vm:
+            return vcpus <= imag.free_cpu and node.mem_gb <= imag.free_mem
+        return node.size_gb <= imag.free_disk
+
+    def _consume(
+        self,
+        node,
+        key: Tuple[str, int],
+        real_free: Dict[int, List[float]],
+        imaginary: List[_ImaginaryHost],
+    ) -> None:
+        vcpus = (
+            node.effective_vcpus(self._cpu_factor) if node.is_vm else 0.0
+        )
+        if key[0] == "real":
+            free = real_free[key[1]]
+            if node.is_vm:
+                free[0] -= vcpus
+                free[1] -= node.mem_gb
+            else:
+                free[2] -= node.size_gb
+            return
+        imag = imaginary[key[1]]
+        if node.is_vm:
+            imag.free_cpu -= vcpus
+            imag.free_mem -= node.mem_gb
+        else:
+            imag.free_disk -= node.size_gb
+
+    @staticmethod
+    def _nic_free(
+        key: Tuple[str, int],
+        real_free: Dict[int, List[float]],
+        imaginary: List[_ImaginaryHost],
+    ) -> float:
+        if key[0] == "real":
+            return real_free[key[1]][3]
+        return imaginary[key[1]].free_nic
+
+    def _nic_ok(
+        self,
+        target: Tuple[str, int],
+        bw_to_target: Dict[Tuple[str, int], float],
+        real_free: Dict[int, List[float]],
+        imaginary: List[_ImaginaryHost],
+    ) -> bool:
+        """NIC feasibility of routing the node's flows from ``target``.
+
+        Flows toward neighbors on other hosts must fit both the target's
+        NIC and each remote neighbor's host NIC (an approximation of the
+        full path check, catching the dominant bottleneck).
+        """
+        outbound = 0.0
+        for key, bw in bw_to_target.items():
+            if key == target or bw <= 0:
+                continue
+            outbound += bw
+            if bw > self._nic_free(key, real_free, imaginary) + 1e-9:
+                return False
+        return outbound <= self._nic_free(target, real_free, imaginary) + 1e-9
+
+    def _consume_nic(
+        self,
+        target: Tuple[str, int],
+        bw_to_target: Dict[Tuple[str, int], float],
+        real_free: Dict[int, List[float]],
+        imaginary: List[_ImaginaryHost],
+    ) -> None:
+        def debit(key: Tuple[str, int], amount: float) -> None:
+            if key[0] == "real":
+                real_free[key[1]][3] -= amount
+            else:
+                imaginary[key[1]].free_nic -= amount
+
+        outbound = 0.0
+        for key, bw in bw_to_target.items():
+            if key == target or bw <= 0:
+                continue
+            outbound += bw
+            debit(key, bw)
+        if outbound > 0:
+            debit(target, outbound)
+
+    def _diversity_ok(
+        self,
+        partial: PartialPlacement,
+        name: str,
+        key: Tuple[str, int],
+        location: Dict[str, Tuple[str, int]],
+    ) -> bool:
+        """Diversity screen for approximate placement.
+
+        Real-host targets are checked against real placements exactly; any
+        zone partner *approximately* located on the same target rules the
+        target out (co-location on one host violates every level).
+        Different targets are optimistically considered separable.
+        """
+        cloud = self.cloud
+        for zone in partial.topology.zones_of(name):
+            for member in zone.members:
+                if member == name:
+                    continue
+                assigned = partial.assignments.get(member)
+                if assigned is not None:
+                    if key[0] == "real" and not cloud.separated_at(
+                        key[1], assigned.host, zone.level
+                    ):
+                        return False
+                    continue
+                approx = location.get(member)
+                if approx is not None and approx == key:
+                    return False
+                if (
+                    approx is not None
+                    and approx[0] == "real"
+                    and key[0] == "real"
+                    and not cloud.separated_at(key[1], approx[1], zone.level)
+                ):
+                    return False
+        return True
+
+    # ------------------------------------------------------------------
+
+    def _estimate_bandwidth(
+        self,
+        partial: PartialPlacement,
+        location: Dict[str, Tuple[str, int]],
+    ) -> float:
+        """Optimistic reserved bandwidth of all not-yet-reserved links.
+
+        A link is already accounted in the partial's ``u_bw`` exactly when
+        both endpoints are really placed; every other link with at least
+        one estimated endpoint contributes ``bw x hops`` using real hop
+        counts where both locations are real hosts and the diversity-forced
+        minimum otherwise. Links to nodes beyond the truncation horizon
+        contribute zero (admissible).
+        """
+        topology = partial.topology
+        cloud = self.cloud
+        total = 0.0
+        for link in topology.links:
+            if link.bw_mbps <= 0:
+                continue
+            a_real = partial.assignments.get(link.a)
+            b_real = partial.assignments.get(link.b)
+            if a_real is not None and b_real is not None:
+                continue  # already reserved in the partial placement
+            loc_a = ("real", a_real.host) if a_real is not None else location.get(link.a)
+            loc_b = ("real", b_real.host) if b_real is not None else location.get(link.b)
+            if loc_a is None or loc_b is None:
+                continue  # beyond the truncation horizon: optimistically 0
+            if loc_a == loc_b:
+                continue  # co-located: no network hops
+            if loc_a[0] == "real" and loc_b[0] == "real":
+                total += link.bw_mbps * cloud.hop_count(loc_a[1], loc_b[1])
+            else:
+                dist = self._forced_distance(topology, link.a, link.b)
+                if not self.config.optimistic_colocation:
+                    dist = max(1, dist)
+                if dist > 0:
+                    total += link.bw_mbps * self._min_hops[dist]
+        return total
+
+    @staticmethod
+    def _forced_distance(topology, a: str, b: str) -> int:
+        """Minimum separation distance implied by shared diversity zones."""
+        forced = 0
+        for zone in topology.zones_of(a):
+            if b in zone.members:
+                forced = max(forced, int(zone.level) + 1)
+        return forced

@@ -1,0 +1,74 @@
+"""The placement objective function (Section II-B1).
+
+The paper minimizes a weighted, normalized sum of two usages::
+
+    min( theta_bw * u_bw / u_bw_hat  +  theta_c * u_c / u_c_hat )
+
+where ``u_bw`` is the bandwidth reserved across all network links for the
+application's flows, ``u_c`` is the number of previously idle hosts the
+placement activates, and the hatted values are worst-case normalizers so
+the two terms are commensurable. ``theta_bw + theta_c = 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.topology import ApplicationTopology
+from repro.datacenter.model import Cloud
+from repro.errors import TopologyError
+
+
+@dataclass(frozen=True)
+class Objective:
+    """A concrete, normalized objective for one (topology, cloud) pair.
+
+    Attributes:
+        theta_bw: weight of the bandwidth term.
+        theta_c: weight of the host-count term.
+        ubw_hat: worst-case reserved bandwidth (Mbps x links), used to
+            normalize ``u_bw``; zero when the topology has no links.
+        uc_hat: worst-case newly-activated host count.
+    """
+
+    theta_bw: float
+    theta_c: float
+    ubw_hat: float
+    uc_hat: float
+
+    def __post_init__(self) -> None:
+        if self.theta_bw < 0 or self.theta_c < 0:
+            raise TopologyError("objective weights must be non-negative")
+        if abs(self.theta_bw + self.theta_c - 1.0) > 1e-9:
+            raise TopologyError(
+                "objective weights must sum to 1 "
+                f"(got {self.theta_bw} + {self.theta_c})"
+            )
+
+    def score(self, ubw: float, uc: float) -> float:
+        """Normalized weighted objective value; lower is better."""
+        bw_term = (ubw / self.ubw_hat) if self.ubw_hat > 0 else 0.0
+        c_term = (uc / self.uc_hat) if self.uc_hat > 0 else 0.0
+        return self.theta_bw * bw_term + self.theta_c * c_term
+
+    @staticmethod
+    def for_topology(
+        topology: ApplicationTopology,
+        cloud: Cloud,
+        theta_bw: float = 0.6,
+        theta_c: float = 0.4,
+    ) -> "Objective":
+        """Build an objective with worst-case normalizers for this problem.
+
+        The worst-case bandwidth routes every link through the top of the
+        hierarchy (both endpoints' full uplink chains); the worst-case host
+        count activates a fresh host per node (bounded by the cloud size).
+        """
+        ubw_hat = topology.total_link_bandwidth() * cloud.max_hop_count()
+        uc_hat = float(min(topology.size(), cloud.num_hosts))
+        return Objective(
+            theta_bw=theta_bw,
+            theta_c=theta_c,
+            ubw_hat=ubw_hat,
+            uc_hat=max(uc_hat, 1.0),
+        )

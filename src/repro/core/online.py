@@ -1,0 +1,192 @@
+"""Online adaptation of deployed applications (Section IV-E).
+
+An application topology can be updated at runtime -- VMs added or removed,
+requirements changed. Re-placing the whole topology from scratch would both
+waste scheduler time and needlessly migrate running VMs, so
+:func:`update_application` re-places *incrementally*:
+
+1. Diff the new topology against the deployed one (added / removed /
+   changed nodes).
+2. Release the deployed application's reservations.
+3. Re-place with every unchanged node **pinned** to its current location,
+   searching only over the added/changed nodes.
+4. If pinning makes the problem infeasible, progressively unpin: first the
+   topological neighbors of the added/changed nodes (the paper's
+   observation that updates "can in fact spread out to a large portion of
+   the application nodes"), then everything.
+5. Commit the new placement and report which previously placed nodes moved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Tuple
+
+from repro.core.base import PlacementResult
+from repro.core.topology import ApplicationTopology
+from repro.errors import PlacementError
+
+
+@dataclass
+class UpdateResult:
+    """Outcome of one online adaptation.
+
+    Attributes:
+        result: the placement result of the incremental re-placement.
+        added: node names newly introduced by the update.
+        removed: node names dropped by the update.
+        changed: node names whose requirements changed.
+        moved: previously deployed nodes whose host changed.
+        unpin_rounds: how many progressive unpinning rounds were needed
+            (0 = all unchanged nodes stayed pinned).
+    """
+
+    result: PlacementResult
+    added: List[str] = field(default_factory=list)
+    removed: List[str] = field(default_factory=list)
+    changed: List[str] = field(default_factory=list)
+    moved: List[str] = field(default_factory=list)
+    unpin_rounds: int = 0
+
+
+def diff_topologies(
+    old: ApplicationTopology, new: ApplicationTopology
+) -> Tuple[List[str], List[str], List[str]]:
+    """Return (added, removed, changed-requirements) node name lists."""
+    added = sorted(new.nodes.keys() - old.nodes.keys())
+    removed = sorted(old.nodes.keys() - new.nodes.keys())
+    changed = sorted(
+        name
+        for name in new.nodes.keys() & old.nodes.keys()
+        if new.node(name) != old.node(name)
+    )
+    return added, removed, changed
+
+
+def update_application(
+    ostro,
+    new_topology: ApplicationTopology,
+    algorithm: str = "dba*",
+    max_unpin_rounds: int = 8,
+    **options,
+) -> UpdateResult:
+    """Incrementally re-place a deployed application after a topology update.
+
+    Args:
+        ostro: the :class:`repro.core.scheduler.Ostro` owning the app; the
+            application is looked up by ``new_topology.name``.
+        new_topology: the updated topology (same application name).
+        algorithm: placement algorithm for the incremental search.
+        max_unpin_rounds: bound on progressive unpinning expansions before
+            falling back to a full re-placement.
+        **options: forwarded to the algorithm factory (e.g. ``deadline_s``).
+
+    Raises:
+        PlacementError: when even a full re-placement is infeasible; the
+            original deployment is restored in that case.
+    """
+    deployed = ostro.deployed(new_topology.name)
+    old_topology = deployed.topology
+    old_placement = deployed.placement
+    added, removed, changed = diff_topologies(old_topology, new_topology)
+
+    # Release the old deployment; we re-commit (old or new) before returning.
+    ostro.remove(new_topology.name)
+
+    keep = [
+        name
+        for name in new_topology.nodes
+        if name in old_placement.assignments and name not in changed
+    ]
+    unpinned: Set[str] = set(added) | set(changed)
+    rounds = 0
+    while True:
+        pinned = {
+            name: (
+                old_placement.assignments[name].host,
+                old_placement.assignments[name].disk,
+            )
+            for name in keep
+            if name not in unpinned
+        }
+        try:
+            result = ostro.place(
+                new_topology,
+                algorithm=algorithm,
+                commit=True,
+                pinned=pinned,
+                **options,
+            )
+            break
+        except PlacementError:
+            if not pinned or rounds >= max_unpin_rounds:
+                # Even the fully free search failed: restore the original.
+                ostro.commit(old_topology, old_placement)
+                raise
+            frontier = _expand_frontier(new_topology, unpinned)
+            if frontier == unpinned:
+                unpinned = set(new_topology.nodes)  # unpin everything
+            else:
+                unpinned = frontier
+            rounds += 1
+
+    moved = [
+        name
+        for name in keep
+        if result.placement.host_of(name) != old_placement.host_of(name)
+    ]
+    return UpdateResult(
+        result=result,
+        added=added,
+        removed=removed,
+        changed=changed,
+        moved=moved,
+        unpin_rounds=rounds,
+    )
+
+
+def _expand_frontier(
+    topology: ApplicationTopology, current: Set[str]
+) -> Set[str]:
+    """Grow an unpinned set by one hop of topological neighbors."""
+    grown = set(current)
+    for name in current:
+        if name not in topology.nodes:
+            continue
+        grown.update(nbr for nbr, _ in topology.neighbors(name))
+    return grown
+
+
+def add_vms_to_tier(
+    topology: ApplicationTopology,
+    tier_prefix: str,
+    fraction: float,
+    link_bw_mbps: Optional[float] = None,
+) -> ApplicationTopology:
+    """Grow a tier of a topology by a fraction of small VMs (Section IV-E).
+
+    Clones the topology and adds ``ceil(fraction * tier_size)`` VMs whose
+    requirements and link structure mirror the tier's first member. Used by
+    the online-adaptation experiment ("adding 10% more small VMs on the
+    first or second tier").
+    """
+    members = [
+        name for name in topology.nodes if name.startswith(tier_prefix)
+        and topology.node(name).is_vm
+    ]
+    if not members:
+        raise PlacementError(f"no VMs with prefix {tier_prefix!r}")
+    template_name = members[0]
+    template = topology.node(template_name)
+    count = max(1, int(round(fraction * len(members))))
+    grown = topology.copy()
+    for i in range(count):
+        new_name = f"{tier_prefix}-extra{i + 1}"
+        grown.add_vm(new_name, template.vcpus, template.mem_gb)
+        for neighbor, bw in topology.neighbors(template_name):
+            grown.connect(
+                new_name,
+                neighbor,
+                bw if link_bw_mbps is None else link_bw_mbps,
+            )
+    return grown

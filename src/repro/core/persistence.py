@@ -1,0 +1,102 @@
+"""Persistence for placements and deployed-application inventories.
+
+Operators need to externalize scheduler decisions — hand them to a
+deployment system, audit them later, or warm-start a scheduler after a
+restart. This module round-trips :class:`~repro.core.placement.Placement`
+records and whole :class:`~repro.core.scheduler.Ostro` inventories through
+JSON-compatible dicts, addressing hosts and disks *by name* so the files
+stay meaningful across process boundaries.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.core.placement import Assignment, Placement
+from repro.core.scheduler import Ostro
+from repro.datacenter.model import Cloud
+from repro.errors import ReproError
+from repro.heat.template import template_from_topology, topology_from_template
+
+
+def placement_to_dict(placement: Placement, cloud: Cloud) -> Dict[str, Any]:
+    """Serialize a placement using host/disk names."""
+    assignments = {}
+    for name, assignment in sorted(placement.assignments.items()):
+        entry: Dict[str, Any] = {
+            "host": cloud.hosts[assignment.host].name
+        }
+        if assignment.disk is not None:
+            entry["disk"] = cloud.disks[assignment.disk].name
+        assignments[name] = entry
+    return {
+        "app_name": placement.app_name,
+        "assignments": assignments,
+        "reserved_bw_mbps": placement.reserved_bw_mbps,
+        "new_active_hosts": placement.new_active_hosts,
+        "hosts_used": placement.hosts_used,
+    }
+
+
+def placement_from_dict(data: Dict[str, Any], cloud: Cloud) -> Placement:
+    """Rebuild a placement; raises ReproError on unknown hosts/disks."""
+    try:
+        assignments = {}
+        for name, entry in data["assignments"].items():
+            host = cloud.host_by_name(entry["host"])
+            disk_name = entry.get("disk")
+            disk = (
+                cloud.disk_by_name(disk_name).index
+                if disk_name is not None
+                else None
+            )
+            assignments[name] = Assignment(
+                node=name, host=host.index, disk=disk
+            )
+        return Placement(
+            app_name=data["app_name"],
+            assignments=assignments,
+            reserved_bw_mbps=float(data.get("reserved_bw_mbps", 0.0)),
+            new_active_hosts=int(data.get("new_active_hosts", 0)),
+            hosts_used=int(data.get("hosts_used", 0)),
+        )
+    except KeyError as exc:
+        raise ReproError(f"placement record missing field {exc}") from exc
+
+
+def inventory_to_dict(ostro: Ostro) -> Dict[str, Any]:
+    """Serialize every deployed application (topology + placement)."""
+    applications = {}
+    for name, deployed in sorted(ostro.applications.items()):
+        applications[name] = {
+            "template": template_from_topology(deployed.topology),
+            "placement": placement_to_dict(deployed.placement, ostro.cloud),
+        }
+    return {"applications": applications}
+
+
+def restore_inventory(ostro: Ostro, data: Dict[str, Any]) -> None:
+    """Re-commit a serialized inventory into a fresh scheduler.
+
+    The target scheduler must have capacity for every recorded
+    reservation (typically: a scheduler over a pristine state of the same
+    cloud). Applications are committed in name order; on any failure the
+    scheduler is left with the applications committed so far.
+    """
+    for name, record in sorted(data.get("applications", {}).items()):
+        topology = topology_from_template(record["template"], name=name)
+        placement = placement_from_dict(record["placement"], ostro.cloud)
+        ostro.commit(topology, placement)
+
+
+def save_inventory(ostro: Ostro, path: str) -> None:
+    """Write the deployed-application inventory to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(inventory_to_dict(ostro), handle, indent=2)
+
+
+def load_inventory(ostro: Ostro, path: str) -> None:
+    """Load and re-commit an inventory from a JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        restore_inventory(ostro, json.load(handle))

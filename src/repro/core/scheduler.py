@@ -1,0 +1,345 @@
+"""The Ostro scheduler facade.
+
+:class:`Ostro` owns the live availability state of one cloud and exposes the
+paper's workflow: hand it an application topology, get back a holistic
+placement computed by one of the registered algorithms, optionally commit
+the placement into the live state (so subsequent applications see the
+consumed capacity), and later remove or update the application.
+
+Algorithms are addressed by name; the registry accepts the paper's labels::
+
+    "eg", "egc", "egbw", "ba*", "dba*"
+
+plus the aliases "ba"/"astar" and "dba".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.astar import BAStar
+from repro.core.base import PlacementAlgorithm, PlacementResult
+from repro.core.deadline import DBAStar
+from repro.core.greedy import EG, EGBW, EGC, GreedyConfig
+from repro.core.objective import Objective
+from repro.core.placement import Placement
+from repro.core.topology import ApplicationTopology
+from repro.datacenter.model import Cloud
+from repro.datacenter.network import PathResolver
+from repro.datacenter.state import DataCenterState
+from repro.errors import PlacementError, ReproError
+
+#: Canonical algorithm names -> constructor accepting keyword options.
+_ALIASES = {
+    "eg": "eg",
+    "egc": "egc",
+    "egbw": "egbw",
+    "ba*": "ba*",
+    "ba": "ba*",
+    "astar": "ba*",
+    "dba*": "dba*",
+    "dba": "dba*",
+}
+
+
+def make_algorithm(name: str, **options) -> PlacementAlgorithm:
+    """Instantiate a placement algorithm by (case-insensitive) name.
+
+    Keyword options are forwarded to the constructor: ``greedy_config`` /
+    ``config``, ``deadline_s``, ``seed``, ``symmetry_reduction``,
+    ``max_expansions``, ``dedup`` -- whichever the algorithm accepts.
+    """
+    canonical = _ALIASES.get(name.strip().lower())
+    if canonical is None:
+        raise ReproError(
+            f"unknown placement algorithm {name!r}; "
+            f"choose from {sorted(set(_ALIASES.values()))}"
+        )
+    if canonical == "eg":
+        return EG(config=options.get("config") or options.get("greedy_config"))
+    if canonical == "egc":
+        return EGC(dedup=options.get("dedup", True))
+    if canonical == "egbw":
+        return EGBW(
+            config=options.get("config") or options.get("greedy_config")
+        )
+    if canonical == "ba*":
+        return BAStar(
+            greedy_config=options.get("greedy_config") or options.get("config"),
+            symmetry_reduction=options.get("symmetry_reduction", True),
+            max_expansions=options.get("max_expansions"),
+        )
+    return DBAStar(
+        deadline_s=options.get("deadline_s", 1.0),
+        greedy_config=options.get("greedy_config") or options.get("config"),
+        symmetry_reduction=options.get("symmetry_reduction", True),
+        alpha_factor=options.get("alpha_factor", 0.2),
+        seed=options.get("seed", 0),
+        max_expansions=options.get("max_expansions"),
+    )
+
+
+@dataclass
+class DeployedApplication:
+    """Record of one committed application."""
+
+    topology: ApplicationTopology
+    placement: Placement
+
+
+class Ostro:
+    """Holistic application scheduler over one cloud (Section II).
+
+    Args:
+        cloud: the physical structure to schedule onto.
+        state: live availability; a pristine state is created when omitted.
+        theta_bw: objective weight of the bandwidth term.
+        theta_c: objective weight of the host-count term.
+        greedy_config: default EG/candidate configuration used by all
+            algorithms this scheduler instantiates.
+    """
+
+    def __init__(
+        self,
+        cloud: Cloud,
+        state: Optional[DataCenterState] = None,
+        theta_bw: float = 0.6,
+        theta_c: float = 0.4,
+        greedy_config: Optional[GreedyConfig] = None,
+    ):
+        self.cloud = cloud
+        self.state = state if state is not None else DataCenterState(cloud)
+        self.theta_bw = theta_bw
+        self.theta_c = theta_c
+        self.greedy_config = greedy_config or GreedyConfig()
+        self.resolver = PathResolver(cloud)
+        self.applications: Dict[str, DeployedApplication] = {}
+
+    # ------------------------------------------------------------------
+    # placement
+    # ------------------------------------------------------------------
+
+    def place(
+        self,
+        topology: ApplicationTopology,
+        algorithm: str = "dba*",
+        commit: bool = True,
+        pinned: Optional[Dict[str, Tuple[int, Optional[int]]]] = None,
+        **options,
+    ) -> PlacementResult:
+        """Compute (and by default commit) a placement for a topology.
+
+        Args:
+            topology: the application to place; its name must be unique
+                among committed applications when ``commit`` is True.
+            algorithm: registry name ("eg", "egc", "egbw", "ba*", "dba*")
+                -- or pass a ready :class:`PlacementAlgorithm` instance.
+            commit: reserve the placement in the live state and remember
+                the application for later removal/update.
+            pinned: optional node -> (host, disk) pre-assignments.
+            **options: forwarded to :func:`make_algorithm`.
+
+        Returns:
+            The :class:`PlacementResult` of the chosen algorithm.
+        """
+        if commit and topology.name in self.applications:
+            raise PlacementError(
+                f"application {topology.name!r} is already deployed; "
+                "use update() or remove() first"
+            )
+        if isinstance(algorithm, PlacementAlgorithm):
+            algo = algorithm
+        else:
+            options.setdefault("greedy_config", self.greedy_config)
+            algo = make_algorithm(algorithm, **options)
+        objective = Objective.for_topology(
+            topology, self.cloud, self.theta_bw, self.theta_c
+        )
+        result = algo.place(
+            topology, self.cloud, self.state, objective, pinned=pinned
+        )
+        if commit:
+            self.commit(topology, result.placement)
+        return result
+
+    # ------------------------------------------------------------------
+    # live-state bookkeeping
+    # ------------------------------------------------------------------
+
+    def commit(self, topology: ApplicationTopology, placement: Placement) -> None:
+        """Reserve a computed placement in the live state.
+
+        Applies host/disk reservations for every node and bandwidth
+        reservations for every link, then records the application. The
+        placement must cover every node of the topology.
+        """
+        missing = topology.nodes.keys() - placement.assignments.keys()
+        if missing:
+            raise PlacementError(
+                f"placement does not cover nodes: {sorted(missing)}"
+            )
+        applied = []
+        try:
+            for name in sorted(topology.nodes):
+                node = topology.node(name)
+                assignment = placement.assignments[name]
+                if node.is_vm:
+                    self.state.place_vm(
+                        assignment.host,
+                        self.state.reserved_vcpus(node),
+                        node.mem_gb,
+                    )
+                else:
+                    self.state.place_volume(assignment.disk, node.size_gb)
+                applied.append(("node", name))
+            for link in topology.links:
+                path = self.resolver.path(
+                    placement.host_of(link.a), placement.host_of(link.b)
+                )
+                self.state.reserve_path(path, link.bw_mbps)
+                applied.append(("link", link))
+        except ReproError:
+            self._rollback(topology, placement, applied)
+            raise
+        self.applications[topology.name] = DeployedApplication(
+            topology=topology.copy(), placement=placement
+        )
+
+    def remove(self, app_name: str) -> None:
+        """Release every reservation of a committed application."""
+        deployed = self.applications.pop(app_name, None)
+        if deployed is None:
+            raise PlacementError(f"unknown application: {app_name!r}")
+        topology, placement = deployed.topology, deployed.placement
+        for link in topology.links:
+            path = self.resolver.path(
+                placement.host_of(link.a), placement.host_of(link.b)
+            )
+            self.state.release_path(path, link.bw_mbps)
+        for name in sorted(topology.nodes):
+            node = topology.node(name)
+            assignment = placement.assignments[name]
+            if node.is_vm:
+                self.state.unplace_vm(
+                    assignment.host,
+                    self.state.reserved_vcpus(node),
+                    node.mem_gb,
+                )
+            else:
+                self.state.unplace_volume(assignment.disk, node.size_gb)
+
+    def _rollback(self, topology, placement, applied) -> None:
+        for kind, item in reversed(applied):
+            if kind == "node":
+                node = topology.node(item)
+                assignment = placement.assignments[item]
+                if node.is_vm:
+                    self.state.unplace_vm(
+                        assignment.host,
+                        self.state.reserved_vcpus(node),
+                        node.mem_gb,
+                    )
+                else:
+                    self.state.unplace_volume(assignment.disk, node.size_gb)
+            else:
+                path = self.resolver.path(
+                    placement.host_of(item.a), placement.host_of(item.b)
+                )
+                self.state.release_path(path, item.bw_mbps)
+
+    # ------------------------------------------------------------------
+    # convenience
+    # ------------------------------------------------------------------
+
+    def deployed(self, app_name: str) -> DeployedApplication:
+        """Look up a committed application."""
+        try:
+            return self.applications[app_name]
+        except KeyError:
+            raise PlacementError(f"unknown application: {app_name!r}") from None
+
+    def update(self, new_topology: ApplicationTopology, **kwargs):
+        """Online adaptation; see :func:`repro.core.online.update_application`."""
+        from repro.core.online import update_application
+
+        return update_application(self, new_topology, **kwargs)
+
+    def reoptimize(
+        self,
+        app_name: str,
+        algorithm: str = "dba*",
+        max_bounces: int = 8,
+        **options,
+    ):
+        """Re-place a deployed application from scratch and migrate to it.
+
+        The paper's runtime-adaptation scenario (Section I): conditions
+        changed since deployment, so compute a fresh holistic placement
+        with full freedom, derive a safe move-by-move migration plan from
+        the current one (see :mod:`repro.core.migration`), execute it, and
+        record the new placement. When the fresh placement is no better
+        than the current one, nothing moves.
+
+        Returns:
+            (result, plan): the new :class:`PlacementResult` and the
+            executed :class:`~repro.core.migration.MigrationPlan` (empty
+            when no move was needed).
+        """
+        from repro.core.migration import apply_plan, plan_migration
+
+        deployed = self.deployed(app_name)
+        topology, old_placement = deployed.topology, deployed.placement
+        # Search on a hypothetical state without this app's reservations.
+        self.remove(app_name)
+        try:
+            result = self.place(
+                topology, algorithm=algorithm, commit=False, **options
+            )
+            objective = Objective.for_topology(
+                topology, self.cloud, self.theta_bw, self.theta_c
+            )
+            current_value = self._placement_value(
+                topology, old_placement, objective
+            )
+            if result.objective_value >= current_value - 1e-12:
+                # not an improvement: keep everything where it is
+                self.commit(topology, old_placement)
+                from repro.core.migration import MigrationPlan
+
+                return result, MigrationPlan()
+            # plan against the live state *with* the old placement present
+            self.commit(topology, old_placement)
+            plan = plan_migration(
+                topology,
+                self.state,
+                old_placement,
+                result.placement,
+                max_bounces=max_bounces,
+            )
+            apply_plan(topology, self.state, old_placement, plan)
+            self.applications[app_name] = DeployedApplication(
+                topology=topology, placement=result.placement
+            )
+            return result, plan
+        except ReproError:
+            if app_name not in self.applications:
+                self.commit(topology, old_placement)
+            raise
+
+    def _placement_value(
+        self,
+        topology: ApplicationTopology,
+        placement: Placement,
+        objective: Objective,
+    ) -> float:
+        """Objective value of an existing placement (u_bw recomputed; the
+        committed hosts count as already active, so u_c is 0 here --
+        matching how a fresh search would score keeping everything put)."""
+        ubw = 0.0
+        for link in topology.links:
+            path = self.resolver.path(
+                placement.host_of(link.a), placement.host_of(link.b)
+            )
+            ubw += link.bw_mbps * len(path)
+        return objective.score(ubw, 0)

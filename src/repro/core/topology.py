@@ -1,0 +1,357 @@
+"""Application topology: the paper's unit of scheduling.
+
+An :class:`ApplicationTopology` is the graph ``T_a = <V, E>`` of Section
+II-A1: nodes are VMs or disk volumes, edges are communication links
+annotated with a bandwidth requirement, and a set of diversity zones
+constrains placement spread. The topology is the *indivisible* input to all
+placement algorithms.
+
+The builder API is incremental (``add_vm`` / ``add_volume`` / ``connect`` /
+``add_zone``) and validates as it goes; :meth:`ApplicationTopology.validate`
+re-checks global invariants and is called by the scheduler before any
+search starts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.zones import DiversityZone
+from repro.datacenter.model import Level
+from repro.errors import TopologyError
+
+
+@dataclass(frozen=True)
+class VM:
+    """A virtual machine node.
+
+    Attributes:
+        name: unique node name.
+        vcpus: number of virtual CPUs required.
+        mem_gb: memory requirement in GB.
+        cpu_policy: "guaranteed" reserves the full vCPU count;
+            "best_effort" reserves a discounted share (the state's
+            ``best_effort_cpu_factor``), the paper's envisioned
+            guaranteed-vs-best-effort CPU reservations (Section VI).
+    """
+
+    name: str
+    vcpus: float
+    mem_gb: float
+    cpu_policy: str = "guaranteed"
+
+    @property
+    def is_vm(self) -> bool:
+        return True
+
+    def effective_vcpus(self, best_effort_factor: float) -> float:
+        """vCPUs actually reserved on a host under the given policy."""
+        if self.cpu_policy == "best_effort":
+            return self.vcpus * best_effort_factor
+        return self.vcpus
+
+
+@dataclass(frozen=True)
+class Volume:
+    """A disk-volume node.
+
+    Attributes:
+        name: unique node name.
+        size_gb: volume size in GB.
+    """
+
+    name: str
+    size_gb: float
+
+    @property
+    def is_vm(self) -> bool:
+        return False
+
+
+Node = object  # VM | Volume; kept loose for Python 3.9 compatibility
+
+
+@dataclass(frozen=True)
+class PipeLink:
+    """An undirected communication link ("network pipe") between two nodes.
+
+    Attributes:
+        a: first endpoint node name.
+        b: second endpoint node name.
+        bw_mbps: required bandwidth in Mbps.
+        max_hops: optional latency bound, expressed as the maximum number
+            of network links the flow may traverse (0 forces co-location,
+            2 allows same-rack, 4 same pod / pod-less data center, ...).
+            This is the paper's Section-VI latency requirement, using hop
+            count as the latency proxy a hierarchical fabric provides.
+    """
+
+    a: str
+    b: str
+    bw_mbps: float
+    max_hops: Optional[int] = None
+
+
+class ApplicationTopology:
+    """The logical layout plus properties of one cloud application.
+
+    Args:
+        name: application name, used in reports and the scheduler registry.
+    """
+
+    def __init__(self, name: str = "app"):
+        self.name = name
+        self._nodes: Dict[str, Node] = {}
+        self._links: List[PipeLink] = []
+        self._adjacency: Dict[str, List[Tuple[str, float]]] = {}
+        self._link_index: Dict[Tuple[str, str], PipeLink] = {}
+        self._zones: Dict[str, DiversityZone] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def add_vm(
+        self,
+        name: str,
+        vcpus: float,
+        mem_gb: float,
+        cpu_policy: str = "guaranteed",
+    ) -> VM:
+        """Add a VM node and return it."""
+        self._check_new_node(name)
+        if vcpus <= 0 or mem_gb <= 0:
+            raise TopologyError(
+                f"VM {name!r} must have positive vcpus and memory"
+            )
+        if cpu_policy not in ("guaranteed", "best_effort"):
+            raise TopologyError(
+                f"VM {name!r}: unknown cpu_policy {cpu_policy!r}"
+            )
+        vm = VM(
+            name=name,
+            vcpus=float(vcpus),
+            mem_gb=float(mem_gb),
+            cpu_policy=cpu_policy,
+        )
+        self._nodes[name] = vm
+        self._adjacency[name] = []
+        return vm
+
+    def add_volume(self, name: str, size_gb: float) -> Volume:
+        """Add a disk-volume node and return it."""
+        self._check_new_node(name)
+        if size_gb <= 0:
+            raise TopologyError(f"volume {name!r} must have positive size")
+        volume = Volume(name=name, size_gb=float(size_gb))
+        self._nodes[name] = volume
+        self._adjacency[name] = []
+        return volume
+
+    def connect(
+        self,
+        a: str,
+        b: str,
+        bw_mbps: float,
+        max_hops: Optional[int] = None,
+    ) -> PipeLink:
+        """Add an undirected bandwidth-annotated link between two nodes.
+
+        Args:
+            a: first endpoint node name.
+            b: second endpoint node name.
+            bw_mbps: required bandwidth.
+            max_hops: optional latency bound (maximum network links the
+                flow may traverse; see :class:`PipeLink`).
+        """
+        if a not in self._nodes:
+            raise TopologyError(f"unknown link endpoint: {a!r}")
+        if b not in self._nodes:
+            raise TopologyError(f"unknown link endpoint: {b!r}")
+        if a == b:
+            raise TopologyError(f"self-link on node {a!r}")
+        if bw_mbps < 0:
+            raise TopologyError(f"negative bandwidth on link {a!r}-{b!r}")
+        if max_hops is not None and max_hops < 0:
+            raise TopologyError(f"negative max_hops on link {a!r}-{b!r}")
+        if not self._nodes[a].is_vm and not self._nodes[b].is_vm:
+            raise TopologyError(
+                f"link {a!r}-{b!r} connects two volumes; links must involve "
+                "at least one VM"
+            )
+        key = (a, b) if a <= b else (b, a)
+        if key in self._link_index:
+            raise TopologyError(
+                f"duplicate link {a!r}-{b!r}; merge the bandwidths into one"
+            )
+        link = PipeLink(
+            a=a, b=b, bw_mbps=float(bw_mbps), max_hops=max_hops
+        )
+        self._links.append(link)
+        self._link_index[key] = link
+        self._adjacency[a].append((b, link.bw_mbps))
+        self._adjacency[b].append((a, link.bw_mbps))
+        return link
+
+    def link_between(self, a: str, b: str) -> Optional[PipeLink]:
+        """The pipe between two nodes, or None when they are not linked."""
+        key = (a, b) if a <= b else (b, a)
+        return self._link_index.get(key)
+
+    def add_zone(
+        self, name: str, level: Level, members: Iterable[str]
+    ) -> DiversityZone:
+        """Add a diversity zone over existing nodes and return it."""
+        if name in self._zones:
+            raise TopologyError(f"duplicate diversity zone: {name!r}")
+        member_set = frozenset(members)
+        if len(member_set) < 2:
+            raise TopologyError(
+                f"diversity zone {name!r} needs at least two members"
+            )
+        unknown = member_set - self._nodes.keys()
+        if unknown:
+            raise TopologyError(
+                f"diversity zone {name!r} references unknown nodes: "
+                f"{sorted(unknown)}"
+            )
+        zone = DiversityZone(name=name, level=level, members=member_set)
+        self._zones[name] = zone
+        return zone
+
+    def remove_node(self, name: str) -> None:
+        """Remove a node, its links, and its zone memberships.
+
+        Zones shrinking below two members are dropped. Used by the online
+        adaptation path (Section IV-E).
+        """
+        if name not in self._nodes:
+            raise TopologyError(f"unknown node: {name!r}")
+        del self._nodes[name]
+        del self._adjacency[name]
+        self._links = [l for l in self._links if name not in (l.a, l.b)]
+        self._link_index = {
+            key: link
+            for key, link in self._link_index.items()
+            if name not in key
+        }
+        for other, neighbors in self._adjacency.items():
+            self._adjacency[other] = [
+                (nbr, bw) for nbr, bw in neighbors if nbr != name
+            ]
+        for zone_name in list(self._zones):
+            zone = self._zones[zone_name]
+            if name in zone.members:
+                remaining = zone.members - {name}
+                if len(remaining) >= 2:
+                    self._zones[zone_name] = DiversityZone(
+                        zone.name, zone.level, remaining
+                    )
+                else:
+                    del self._zones[zone_name]
+
+    def _check_new_node(self, name: str) -> None:
+        if not name:
+            raise TopologyError("node name must be non-empty")
+        if name in self._nodes:
+            raise TopologyError(f"duplicate node name: {name!r}")
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    @property
+    def nodes(self) -> Dict[str, Node]:
+        """Mapping of node name to VM/Volume (do not mutate)."""
+        return self._nodes
+
+    @property
+    def links(self) -> List[PipeLink]:
+        """All links (do not mutate)."""
+        return self._links
+
+    @property
+    def zones(self) -> List[DiversityZone]:
+        """All diversity zones."""
+        return list(self._zones.values())
+
+    def node(self, name: str) -> Node:
+        """Look up one node by name."""
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise TopologyError(f"unknown node: {name!r}") from None
+
+    def vms(self) -> List[VM]:
+        """All VM nodes, in insertion order."""
+        return [n for n in self._nodes.values() if n.is_vm]
+
+    def volumes(self) -> List[Volume]:
+        """All volume nodes, in insertion order."""
+        return [n for n in self._nodes.values() if not n.is_vm]
+
+    def neighbors(self, name: str) -> List[Tuple[str, float]]:
+        """(neighbor name, bandwidth) pairs of a node's incident links."""
+        return self._adjacency[name]
+
+    def zones_of(self, name: str) -> List[DiversityZone]:
+        """Diversity zones that contain the named node."""
+        return [z for z in self._zones.values() if name in z.members]
+
+    def bandwidth_of(self, name: str) -> float:
+        """Total bandwidth requirement of a node's incident links (Mbps)."""
+        return sum(bw for _, bw in self._adjacency[name])
+
+    def total_link_bandwidth(self) -> float:
+        """Sum of bandwidth requirements over all links (Mbps)."""
+        return sum(link.bw_mbps for link in self._links)
+
+    def requirement_vector(self, name: str) -> Tuple[float, float, float, float]:
+        """(cpu, mem, disk, bandwidth) requirement of one node."""
+        node = self.node(name)
+        if node.is_vm:
+            return (node.vcpus, node.mem_gb, 0.0, self.bandwidth_of(name))
+        return (0.0, 0.0, node.size_gb, self.bandwidth_of(name))
+
+    def size(self) -> int:
+        """Number of nodes."""
+        return len(self._nodes)
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Re-check global invariants; raises TopologyError on violation."""
+        if not self._nodes:
+            raise TopologyError(f"topology {self.name!r} has no nodes")
+        for zone in self._zones.values():
+            unknown = zone.members - self._nodes.keys()
+            if unknown:
+                raise TopologyError(
+                    f"zone {zone.name!r} references unknown nodes: "
+                    f"{sorted(unknown)}"
+                )
+        for link in self._links:
+            if link.a not in self._nodes or link.b not in self._nodes:
+                raise TopologyError(
+                    f"link {link.a!r}-{link.b!r} references unknown nodes"
+                )
+
+    def copy(self, name: Optional[str] = None) -> "ApplicationTopology":
+        """A deep-enough copy (nodes/links/zones are immutable records)."""
+        duplicate = ApplicationTopology(name or self.name)
+        duplicate._nodes = dict(self._nodes)
+        duplicate._links = list(self._links)
+        duplicate._adjacency = {k: list(v) for k, v in self._adjacency.items()}
+        duplicate._link_index = dict(self._link_index)
+        duplicate._zones = dict(self._zones)
+        return duplicate
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ApplicationTopology({self.name!r}, vms={len(self.vms())}, "
+            f"volumes={len(self.volumes())}, links={len(self._links)}, "
+            f"zones={len(self._zones)})"
+        )

@@ -1,0 +1,126 @@
+"""Independent validation of placements.
+
+:func:`validate_placement` re-derives every constraint of Section II-B for
+a finished placement against a base availability state: capacity, path
+bandwidth, diversity zones, latency bounds, and volume/disk consistency.
+It shares no code with the search (reservations are replayed onto a fresh
+clone), so it catches scheduler bugs rather than inheriting them — the
+test suite and the benchmarks both validate through it, and downstream
+users can check placements produced elsewhere.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.placement import Placement
+from repro.core.topology import ApplicationTopology
+from repro.datacenter.model import Cloud
+from repro.datacenter.network import PathResolver
+from repro.datacenter.state import DataCenterState
+from repro.errors import CapacityError
+
+
+class PlacementViolation(AssertionError):
+    """A placement failed validation; ``str()`` lists every violation."""
+
+    def __init__(self, violations: List[str]):
+        super().__init__("\n".join(violations))
+        self.violations = violations
+
+
+def placement_violations(
+    topology: ApplicationTopology,
+    cloud: Cloud,
+    base_state: DataCenterState,
+    placement: Placement,
+) -> List[str]:
+    """Collect every constraint violation of a placement (empty = valid).
+
+    Args:
+        topology: the application supposedly placed.
+        cloud: the physical structure.
+        base_state: availability *before* this placement (cloned; not
+            mutated).
+        placement: the placement to validate.
+    """
+    violations: List[str] = []
+    missing = topology.nodes.keys() - placement.assignments.keys()
+    if missing:
+        violations.append(f"nodes not placed: {sorted(missing)}")
+        return violations
+
+    state = base_state.clone()
+    # capacity, replayed one node at a time
+    for name in sorted(topology.nodes):
+        node = topology.node(name)
+        assignment = placement.assignments[name]
+        try:
+            if node.is_vm:
+                if assignment.disk is not None:
+                    violations.append(f"VM {name!r} carries a disk index")
+                state.place_vm(
+                    assignment.host,
+                    state.reserved_vcpus(node),
+                    node.mem_gb,
+                )
+            else:
+                if assignment.disk is None:
+                    violations.append(f"volume {name!r} has no disk")
+                    continue
+                disk = cloud.disks[assignment.disk]
+                if disk.host.index != assignment.host:
+                    violations.append(
+                        f"volume {name!r}: disk {disk.name} is not on "
+                        f"host {cloud.hosts[assignment.host].name}"
+                    )
+                    continue
+                state.place_volume(assignment.disk, node.size_gb)
+        except CapacityError as exc:
+            violations.append(f"capacity: {exc}")
+
+    # bandwidth, cumulatively over all links
+    resolver = PathResolver(cloud)
+    for link in topology.links:
+        path = resolver.path(
+            placement.host_of(link.a), placement.host_of(link.b)
+        )
+        try:
+            state.reserve_path(path, link.bw_mbps)
+        except CapacityError as exc:
+            violations.append(
+                f"bandwidth: link {link.a!r}-{link.b!r}: {exc}"
+            )
+        if link.max_hops is not None and len(path) > link.max_hops:
+            violations.append(
+                f"latency: link {link.a!r}-{link.b!r} spans {len(path)} "
+                f"hops, bound {link.max_hops}"
+            )
+
+    # diversity zones, pairwise
+    for zone in topology.zones:
+        members = sorted(zone.members)
+        for i, first in enumerate(members):
+            for second in members[i + 1 :]:
+                if not cloud.separated_at(
+                    placement.host_of(first),
+                    placement.host_of(second),
+                    zone.level,
+                ):
+                    violations.append(
+                        f"diversity: zone {zone.name!r} violated by "
+                        f"{first!r} and {second!r}"
+                    )
+    return violations
+
+
+def validate_placement(
+    topology: ApplicationTopology,
+    cloud: Cloud,
+    base_state: DataCenterState,
+    placement: Placement,
+) -> None:
+    """Raise :class:`PlacementViolation` unless the placement is valid."""
+    violations = placement_violations(topology, cloud, base_state, placement)
+    if violations:
+        raise PlacementViolation(violations)

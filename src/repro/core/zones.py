@@ -1,0 +1,43 @@
+"""Diversity zones (anti-affinity groups) for application topologies.
+
+A diversity zone ``dz`` names a set of topology nodes that must be placed
+pairwise apart at a given physical level: different hosts, racks, pods, or
+data centers (Section II-B2). A node may belong to several zones. For
+volumes, host-level diversity means the backing disks must live on
+different hosts; two volumes on distinct disks of the *same* host do not
+satisfy host diversity (matching the paper's "12 disk volumes on 12
+separate disks" via a dedicated DISK pseudo-level handled in constraints).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable
+
+from repro.datacenter.model import Level
+
+#: Re-exported so topology authors can write ``DiversityLevel.RACK``.
+DiversityLevel = Level
+
+
+@dataclass(frozen=True)
+class DiversityZone:
+    """A named anti-affinity group over topology nodes.
+
+    Attributes:
+        name: unique zone name within the topology.
+        level: the separation level every member pair must satisfy.
+        members: names of the member nodes (VMs and/or volumes).
+    """
+
+    name: str
+    level: Level
+    members: FrozenSet[str] = field(default_factory=frozenset)
+
+    @staticmethod
+    def of(name: str, level: Level, members: Iterable[str]) -> "DiversityZone":
+        """Convenience constructor accepting any iterable of member names."""
+        return DiversityZone(name=name, level=level, members=frozenset(members))
+
+    def __contains__(self, node_name: str) -> bool:
+        return node_name in self.members

@@ -1,0 +1,160 @@
+"""Constructors for the data-center configurations used in the paper.
+
+* :func:`build_testbed` -- the 16-host, single-rack experimental cluster of
+  Section IV-A (16 cores / 32 GB / 1 TB per host, 3200 Mbps host links).
+* :func:`build_datacenter` -- the simulated large-scale data center of
+  Section IV-C (150 racks x 16 hosts, 10 Gbps host links, 100 Gbps ToR
+  uplinks, no pod switches), with every dimension parameterizable.
+* :func:`build_cloud` -- multiple (optionally podded) data centers under a
+  WAN interconnect, for the "multiple connected data centers" case the
+  paper's model supports (Fig. 3).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.datacenter.model import Cloud, DataCenter, Disk, Host, Pod, Rack
+from repro.units import gbps, tb
+
+
+def _make_host(
+    name: str,
+    cpu_cores: float,
+    mem_gb: float,
+    disk_gb: float,
+    nic_bw_mbps: float,
+    disks_per_host: int = 1,
+) -> Host:
+    disks = [
+        Disk(name=f"{name}-disk{d}", capacity_gb=disk_gb / disks_per_host)
+        for d in range(disks_per_host)
+    ]
+    return Host(
+        name=name,
+        cpu_cores=cpu_cores,
+        mem_gb=mem_gb,
+        disks=disks,
+        nic_bw_mbps=nic_bw_mbps,
+    )
+
+
+def build_testbed(
+    num_hosts: int = 16,
+    cpu_cores: float = 16,
+    mem_gb: float = 32,
+    disk_gb: float = tb(1),
+    host_bw_mbps: float = 3200.0,
+    tor_uplink_mbps: float = gbps(40),
+) -> Cloud:
+    """Build the paper's 16-host experimental cluster (Section IV-A).
+
+    A single rack under one ToR switch; each host has dual Xeons modeled as
+    16 cores, 32 GB memory, and a 1 TB disk; the host-to-ToR bandwidth is
+    3200 Mbps. The ToR uplink is irrelevant for a single-rack cluster but is
+    given a generous default so multi-rack variants of the testbed work too.
+    """
+    hosts = [
+        _make_host(f"host{i + 1}", cpu_cores, mem_gb, disk_gb, host_bw_mbps)
+        for i in range(num_hosts)
+    ]
+    rack = Rack(name="rack1", hosts=hosts, uplink_bw_mbps=tor_uplink_mbps)
+    return Cloud([DataCenter(name="testbed", racks=[rack])])
+
+
+def build_datacenter(
+    num_racks: int = 150,
+    hosts_per_rack: int = 16,
+    cpu_cores: float = 16,
+    mem_gb: float = 32,
+    disk_gb: float = tb(1),
+    host_bw_mbps: float = gbps(10),
+    tor_uplink_mbps: float = gbps(100),
+    name: str = "dc1",
+) -> Cloud:
+    """Build the simulated large-scale data center of Section IV-C.
+
+    Defaults match the paper: 2400 hosts in 150 racks of 16, 10 Gbps host
+    links, 100 Gbps ToR-to-root links, and no pod switches ("for
+    simplicity"). Reduced-scale variants simply pass smaller ``num_racks``.
+    """
+    racks = []
+    for r in range(num_racks):
+        hosts = [
+            _make_host(
+                f"{name}-r{r + 1}-h{h + 1}",
+                cpu_cores,
+                mem_gb,
+                disk_gb,
+                host_bw_mbps,
+            )
+            for h in range(hosts_per_rack)
+        ]
+        racks.append(
+            Rack(
+                name=f"{name}-rack{r + 1}",
+                hosts=hosts,
+                uplink_bw_mbps=tor_uplink_mbps,
+            )
+        )
+    return Cloud([DataCenter(name=name, racks=racks)])
+
+
+def build_cloud(
+    num_datacenters: int = 3,
+    pods_per_dc: int = 2,
+    racks_per_pod: int = 4,
+    hosts_per_rack: int = 16,
+    cpu_cores: float = 16,
+    mem_gb: float = 32,
+    disk_gb: float = tb(1),
+    host_bw_mbps: float = gbps(10),
+    tor_uplink_mbps: float = gbps(40),
+    pod_uplink_mbps: float = gbps(100),
+    dc_uplink_mbps: Optional[float] = gbps(100),
+) -> Cloud:
+    """Build a multi-data-center cloud with the full Fig. 3 hierarchy.
+
+    Hosts sit in racks under ToR switches, racks group under pod switches,
+    pods connect to each data center's root, and roots interconnect over a
+    WAN link. This exercises every separation level (host, rack, pod, data
+    center) and is used by the diversity-zone and multi-DC tests.
+    """
+    datacenters = []
+    for d in range(num_datacenters):
+        pods = []
+        for p in range(pods_per_dc):
+            racks = []
+            for r in range(racks_per_pod):
+                hosts = [
+                    _make_host(
+                        f"dc{d + 1}-p{p + 1}-r{r + 1}-h{h + 1}",
+                        cpu_cores,
+                        mem_gb,
+                        disk_gb,
+                        host_bw_mbps,
+                    )
+                    for h in range(hosts_per_rack)
+                ]
+                racks.append(
+                    Rack(
+                        name=f"dc{d + 1}-p{p + 1}-rack{r + 1}",
+                        hosts=hosts,
+                        uplink_bw_mbps=tor_uplink_mbps,
+                    )
+                )
+            pods.append(
+                Pod(
+                    name=f"dc{d + 1}-pod{p + 1}",
+                    racks=racks,
+                    uplink_bw_mbps=pod_uplink_mbps,
+                )
+            )
+        datacenters.append(
+            DataCenter(
+                name=f"dc{d + 1}",
+                pods=pods,
+                uplink_bw_mbps=dc_uplink_mbps or gbps(100),
+            )
+        )
+    return Cloud(datacenters)

@@ -1,0 +1,158 @@
+"""Background-load generators for non-uniform resource availability.
+
+The paper evaluates its algorithms under two operating conditions:
+
+* **uniform** -- every host idle and fully available;
+* **non-uniform** -- free capacity varies host to host. Two concrete
+  configurations are given: the testbed preload of Section IV-A (four
+  lightly-used, four medium, four constrained, four idle hosts) and the
+  simulated-datacenter distribution of Table IV (per rack, one quarter of
+  hosts in each of four availability classes).
+
+The generators below install synthetic *background tenants* into a
+:class:`~repro.datacenter.state.DataCenterState`: they reserve host CPU and
+memory, reserve NIC bandwidth, and mark hosts active, exactly as previously
+placed applications would. All randomness flows through an explicit
+``random.Random`` seed for reproducibility.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.datacenter.state import DataCenterState
+from repro.units import gbps
+
+
+@dataclass(frozen=True)
+class AvailabilityClass:
+    """One row of Table IV: ranges of *free* resources left on a host.
+
+    Attributes:
+        cpu_range: inclusive (low, high) free vCPU cores.
+        mem_range: inclusive (low, high) free memory in GB.
+        bw_range: inclusive (low, high) free NIC bandwidth in Mbps.
+    """
+
+    cpu_range: tuple
+    mem_range: tuple
+    bw_range: tuple
+
+
+#: Table IV of the paper: free-capacity classes for the simulated data
+#: center, one quarter of the hosts of every rack in each class.
+TABLE_IV_CLASSES: Sequence[AvailabilityClass] = (
+    AvailabilityClass((9, 16), (17, 30), (0, gbps(1.5))),
+    AvailabilityClass((6, 8), (8, 16), (gbps(2), gbps(5))),
+    AvailabilityClass((0, 5), (0, 7), (gbps(6), gbps(8))),
+    AvailabilityClass((16, 16), (32, 32), (gbps(10), gbps(10))),  # idle
+)
+
+
+def _apply_class(
+    state: DataCenterState,
+    host: int,
+    cls: AvailabilityClass,
+    rng: random.Random,
+) -> None:
+    host_obj = state.cloud.hosts[host]
+    free_cpu = rng.uniform(*cls.cpu_range)
+    free_mem = rng.uniform(*cls.mem_range)
+    free_bw = rng.uniform(*cls.bw_range)
+    used_cpu = max(0.0, host_obj.cpu_cores - free_cpu)
+    used_mem = max(0.0, host_obj.mem_gb - free_mem)
+    used_bw = max(0.0, host_obj.nic_bw_mbps - free_bw)
+    if used_cpu <= 0 and used_mem <= 0 and used_bw <= 0:
+        return  # idle host: nothing to install
+    state.consume_background(host, used_cpu, used_mem, used_bw)
+
+
+def apply_table_iv_load(state: DataCenterState, seed: int = 0) -> None:
+    """Install Table IV non-uniform availability on every rack.
+
+    For each rack, hosts are split into four equal groups and each group
+    gets one availability class (first three loaded, last idle). Racks with
+    host counts not divisible by four assign the remainder round-robin.
+    """
+    rng = random.Random(seed)
+    for rack in state.cloud.racks:
+        hosts = [h.index for h in rack.hosts]
+        for i, host in enumerate(hosts):
+            cls = TABLE_IV_CLASSES[(i * len(TABLE_IV_CLASSES)) // len(hosts)]
+            _apply_class(state, host, cls, rng)
+
+
+#: The testbed preload of Section IV-A, as (free-cpu choices, free-mem range)
+#: per group of four hosts. The final group is idle.
+_TESTBED_GROUPS = (
+    {"cpu_choices": (8, 10), "mem_range": (20.0, 28.0)},  # lightly utilized
+    {"cpu_choices": (5, 6), "mem_range": (15.0, 19.0)},  # medium
+    {"cpu_choices": (2, 3, 4), "mem_range": (8.0, 14.0)},  # constrained
+    None,  # idle
+)
+
+
+#: NIC bandwidth each background core consumes in the testbed preload
+#: (Mbps per used core). This gives loaded hosts proportionally less free
+#: bandwidth, as the paper's pre-deployed VMs and volumes would.
+TESTBED_BW_PER_CORE_MBPS = 100.0
+
+
+def apply_testbed_load(state: DataCenterState, seed: int = 0) -> None:
+    """Install the Section IV-A testbed preload (16-host cluster).
+
+    The first four hosts are lightly utilized (8 or 10 free cores, more
+    than 20 GB free memory), the next four have medium utilization (5-6
+    free cores, 15-19 GB), the next four are resource constrained (fewer
+    than 5 free cores, under 15 GB), and the last four are idle. Each used
+    core also consumes :data:`TESTBED_BW_PER_CORE_MBPS` of the host's NIC,
+    reflecting the traffic of the pre-deployed VMs.
+    """
+    rng = random.Random(seed)
+    hosts = state.cloud.hosts
+    if len(hosts) < 16:
+        raise ValueError("testbed load expects at least 16 hosts")
+    for group_index, group in enumerate(_TESTBED_GROUPS):
+        if group is None:
+            continue
+        for host in hosts[group_index * 4 : group_index * 4 + 4]:
+            free_cpu = float(rng.choice(group["cpu_choices"]))
+            free_mem = rng.uniform(*group["mem_range"])
+            used_cores = host.cpu_cores - free_cpu
+            state.consume_background(
+                host.index,
+                vcpus=used_cores,
+                mem_gb=host.mem_gb - free_mem,
+                nic_mbps=used_cores * TESTBED_BW_PER_CORE_MBPS,
+            )
+
+
+def apply_random_load(
+    state: DataCenterState,
+    fraction_hosts: float = 0.5,
+    cpu_utilization: tuple = (0.2, 0.8),
+    mem_utilization: tuple = (0.2, 0.8),
+    bw_utilization: tuple = (0.0, 0.5),
+    seed: int = 0,
+) -> List[int]:
+    """Install random background load on a fraction of hosts.
+
+    Returns the indices of loaded hosts. Useful for property-based tests and
+    ablations that need "some" non-uniformity without the exact Table IV
+    shape.
+    """
+    rng = random.Random(seed)
+    hosts = [h.index for h in state.cloud.hosts]
+    rng.shuffle(hosts)
+    loaded = sorted(hosts[: int(len(hosts) * fraction_hosts)])
+    for host in loaded:
+        host_obj = state.cloud.hosts[host]
+        state.consume_background(
+            host,
+            vcpus=host_obj.cpu_cores * rng.uniform(*cpu_utilization),
+            mem_gb=host_obj.mem_gb * rng.uniform(*mem_utilization),
+            nic_mbps=host_obj.nic_bw_mbps * rng.uniform(*bw_utilization),
+        )
+    return loaded

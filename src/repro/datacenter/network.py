@@ -1,0 +1,89 @@
+"""Network path resolution and bandwidth tallying.
+
+The structural path computation lives on :class:`repro.datacenter.model.Cloud`
+(it is pure topology); this module adds the pieces the placement algorithms
+need on top of it:
+
+* :class:`PathResolver` -- a memoizing facade over ``Cloud.path`` /
+  ``Cloud.distance``; path lookups are hot inside the search loops.
+* :func:`tally_flows` -- aggregate the per-link bandwidth demand of a set of
+  flows, correctly summing flows that share links.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+from repro.datacenter.model import Cloud
+
+
+class PathResolver:
+    """Memoizing path / distance / hop-count lookups over a cloud.
+
+    The cache key is the unordered host pair, since paths are symmetric.
+    For the scales in the paper (hundreds of placed nodes) the cache stays
+    small: only pairs that the search actually inspects are stored.
+    """
+
+    def __init__(self, cloud: Cloud):
+        self.cloud = cloud
+        self._paths: Dict[Tuple[int, int], Tuple[int, ...]] = {}
+        self._distances: Dict[Tuple[int, int], int] = {}
+
+    def path(self, host_a: int, host_b: int) -> Tuple[int, ...]:
+        """Links traversed between two hosts (empty if the same host)."""
+        key = (host_a, host_b) if host_a <= host_b else (host_b, host_a)
+        cached = self._paths.get(key)
+        if cached is None:
+            cached = self.cloud.path(key[0], key[1])
+            self._paths[key] = cached
+        return cached
+
+    def distance(self, host_a: int, host_b: int) -> int:
+        """Separation distance between two hosts (0..4)."""
+        key = (host_a, host_b) if host_a <= host_b else (host_b, host_a)
+        cached = self._distances.get(key)
+        if cached is None:
+            cached = self.cloud.distance(key[0], key[1])
+            self._distances[key] = cached
+        return cached
+
+    def hop_count(self, host_a: int, host_b: int) -> int:
+        """Number of links between two hosts."""
+        return len(self.path(host_a, host_b))
+
+
+def tally_flows(
+    resolver: PathResolver,
+    flows: Iterable[Tuple[int, int, float]],
+) -> Dict[int, float]:
+    """Aggregate per-link bandwidth demand of ``(host_a, host_b, mbps)`` flows.
+
+    Flows between the same host pair, or distinct pairs whose paths share
+    links (for example two flows leaving the same rack), are summed on the
+    shared links -- this is what makes cumulative feasibility checks correct
+    when one node has several already-placed neighbors.
+    """
+    demand: Dict[int, float] = {}
+    for host_a, host_b, mbps in flows:
+        if mbps <= 0:
+            continue
+        for link in resolver.path(host_a, host_b):
+            demand[link] = demand.get(link, 0.0) + mbps
+    return demand
+
+
+def total_reserved_bandwidth(
+    resolver: PathResolver,
+    flows: Iterable[Tuple[int, int, float]],
+) -> float:
+    """Total bandwidth reserved across all links for the given flows.
+
+    This is the paper's ``u_bw``: each flow contributes its bandwidth once
+    per link it traverses, so widely separated endpoints cost more.
+    """
+    return sum(
+        mbps * len(resolver.path(host_a, host_b))
+        for host_a, host_b, mbps in flows
+        if mbps > 0
+    )

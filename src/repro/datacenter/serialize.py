@@ -1,0 +1,143 @@
+"""Serialize data-center descriptions to and from JSON-compatible dicts.
+
+Operators describe their fabric once (hosts, racks, pods, data centers,
+link capacities) and load it wherever a :class:`~repro.datacenter.model
+.Cloud` is needed; round-tripping is exact. The format mirrors the model
+hierarchy::
+
+    {
+      "datacenters": [
+        {"name": "dc1",
+         "uplink_bw_mbps": 1000000,
+         "pods": [ {"name": "p1", "uplink_bw_mbps": 400000,
+                    "racks": [ ... ]} ],
+         "racks": [                       # pod-less racks
+            {"name": "r1", "uplink_bw_mbps": 100000,
+             "hosts": [
+                {"name": "h1", "cpu_cores": 16, "mem_gb": 32,
+                 "nic_bw_mbps": 10000,
+                 "disks": [{"name": "h1-d0", "capacity_gb": 1000}]}
+             ]}
+         ]}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.datacenter.model import Cloud, DataCenter, Disk, Host, Pod, Rack
+from repro.errors import DataCenterError
+
+
+def cloud_to_dict(cloud: Cloud) -> Dict[str, Any]:
+    """Serialize a cloud's static structure (capacities, not state)."""
+
+    def host_dict(host: Host) -> Dict[str, Any]:
+        return {
+            "name": host.name,
+            "cpu_cores": host.cpu_cores,
+            "mem_gb": host.mem_gb,
+            "nic_bw_mbps": host.nic_bw_mbps,
+            "disks": [
+                {"name": d.name, "capacity_gb": d.capacity_gb}
+                for d in host.disks
+            ],
+        }
+
+    def rack_dict(rack: Rack) -> Dict[str, Any]:
+        return {
+            "name": rack.name,
+            "uplink_bw_mbps": rack.uplink_bw_mbps,
+            "hosts": [host_dict(h) for h in rack.hosts],
+        }
+
+    datacenters: List[Dict[str, Any]] = []
+    for dc in cloud.datacenters:
+        datacenters.append(
+            {
+                "name": dc.name,
+                "uplink_bw_mbps": dc.uplink_bw_mbps,
+                "pods": [
+                    {
+                        "name": pod.name,
+                        "uplink_bw_mbps": pod.uplink_bw_mbps,
+                        "racks": [rack_dict(r) for r in pod.racks],
+                    }
+                    for pod in dc.pods
+                ],
+                "racks": [rack_dict(r) for r in dc.racks],
+            }
+        )
+    return {"datacenters": datacenters}
+
+
+def cloud_from_dict(data: Dict[str, Any]) -> Cloud:
+    """Build a cloud from a description produced by :func:`cloud_to_dict`
+    (or written by hand)."""
+
+    def parse_host(entry: Dict[str, Any]) -> Host:
+        try:
+            return Host(
+                name=entry["name"],
+                cpu_cores=float(entry["cpu_cores"]),
+                mem_gb=float(entry["mem_gb"]),
+                nic_bw_mbps=float(entry.get("nic_bw_mbps", 10_000.0)),
+                disks=[
+                    Disk(name=d["name"], capacity_gb=float(d["capacity_gb"]))
+                    for d in entry.get("disks", [])
+                ],
+            )
+        except KeyError as exc:
+            raise DataCenterError(f"host entry missing {exc}") from exc
+
+    def parse_rack(entry: Dict[str, Any]) -> Rack:
+        try:
+            return Rack(
+                name=entry["name"],
+                uplink_bw_mbps=float(entry.get("uplink_bw_mbps", 100_000.0)),
+                hosts=[parse_host(h) for h in entry.get("hosts", [])],
+            )
+        except KeyError as exc:
+            raise DataCenterError(f"rack entry missing {exc}") from exc
+
+    datacenters = []
+    for dc_entry in data.get("datacenters", []):
+        try:
+            name = dc_entry["name"]
+        except KeyError as exc:
+            raise DataCenterError("data center entry missing name") from exc
+        pods = [
+            Pod(
+                name=p["name"],
+                uplink_bw_mbps=float(p.get("uplink_bw_mbps", 400_000.0)),
+                racks=[parse_rack(r) for r in p.get("racks", [])],
+            )
+            for p in dc_entry.get("pods", [])
+        ]
+        racks = [parse_rack(r) for r in dc_entry.get("racks", [])]
+        datacenters.append(
+            DataCenter(
+                name=name,
+                pods=pods,
+                racks=racks,
+                uplink_bw_mbps=float(
+                    dc_entry.get("uplink_bw_mbps", 1_000_000.0)
+                ),
+            )
+        )
+    return Cloud(datacenters)
+
+
+def save_cloud(cloud: Cloud, path: str) -> None:
+    """Write a cloud description to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(cloud_to_dict(cloud), handle, indent=2)
+
+
+def load_cloud(path: str) -> Cloud:
+    """Load a cloud description from a JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return cloud_from_dict(json.load(handle))

@@ -1,0 +1,204 @@
+"""Mutable availability state of a data center.
+
+A :class:`DataCenterState` tracks, in flat parallel lists indexed by the
+global indices assigned in :class:`repro.datacenter.model.Cloud`:
+
+* free vCPUs and memory per host,
+* free capacity per disk,
+* free bandwidth per network link,
+* the number of placed units (VMs or volumes) per host, which defines
+  whether a host is *active* (the paper's ``u_c`` counts newly activated
+  hosts).
+
+The search algorithms clone states when branching (``clone`` is a handful of
+``list.copy`` calls) and use reserve/release pairs when walking a single
+search path. All mutating operations validate capacity and raise
+:class:`repro.errors.CapacityError` on violation, leaving the state
+unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.datacenter.model import Cloud
+from repro.datacenter.resources import EPSILON
+from repro.errors import CapacityError
+
+
+class DataCenterState:
+    """Free-capacity bookkeeping for one cloud.
+
+    Args:
+        cloud: the static structure this state tracks.
+    """
+
+    def __init__(self, cloud: Cloud, best_effort_cpu_factor: float = 0.5):
+        self.cloud = cloud
+        self.free_cpu: List[float] = [h.cpu_cores for h in cloud.hosts]
+        self.free_mem: List[float] = [h.mem_gb for h in cloud.hosts]
+        self.free_disk: List[float] = [d.capacity_gb for d in cloud.disks]
+        self.free_bw: List[float] = list(cloud.link_capacity_mbps)
+        self.host_units: List[int] = [0] * len(cloud.hosts)
+        #: fraction of its nominal vCPUs a best-effort VM reserves
+        #: (Section VI's guaranteed-vs-best-effort CPU reservations)
+        self.best_effort_cpu_factor = best_effort_cpu_factor
+
+    # ------------------------------------------------------------------
+    # cloning / snapshots
+    # ------------------------------------------------------------------
+
+    def clone(self) -> "DataCenterState":
+        """Return an independent copy sharing only the immutable cloud."""
+        copy = DataCenterState.__new__(DataCenterState)
+        copy.cloud = self.cloud
+        copy.free_cpu = self.free_cpu.copy()
+        copy.free_mem = self.free_mem.copy()
+        copy.free_disk = self.free_disk.copy()
+        copy.free_bw = self.free_bw.copy()
+        copy.host_units = self.host_units.copy()
+        copy.best_effort_cpu_factor = self.best_effort_cpu_factor
+        return copy
+
+    def reserved_vcpus(self, node) -> float:
+        """vCPUs a VM node reserves under its CPU policy."""
+        return node.effective_vcpus(self.best_effort_cpu_factor)
+
+    def snapshot(self) -> Tuple[Tuple[float, ...], ...]:
+        """An immutable snapshot, useful for equality checks in tests."""
+        return (
+            tuple(self.free_cpu),
+            tuple(self.free_mem),
+            tuple(self.free_disk),
+            tuple(self.free_bw),
+            tuple(float(u) for u in self.host_units),
+        )
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def host_is_active(self, host: int) -> bool:
+        """True if the host already runs at least one VM or volume."""
+        return self.host_units[host] > 0
+
+    def active_host_indices(self) -> List[int]:
+        """Indices of all currently active hosts."""
+        return [i for i, units in enumerate(self.host_units) if units > 0]
+
+    def vm_fits(self, host: int, vcpus: float, mem_gb: float) -> bool:
+        """True if a VM of the given size fits on the host right now."""
+        return (
+            vcpus <= self.free_cpu[host] + EPSILON
+            and mem_gb <= self.free_mem[host] + EPSILON
+        )
+
+    def volume_fits(self, disk: int, size_gb: float) -> bool:
+        """True if a volume of the given size fits on the disk right now."""
+        return size_gb <= self.free_disk[disk] + EPSILON
+
+    def path_bandwidth_free(self, path: Sequence[int]) -> float:
+        """Smallest free bandwidth along a path (inf for the empty path)."""
+        if not path:
+            return float("inf")
+        return min(self.free_bw[link] for link in path)
+
+    # ------------------------------------------------------------------
+    # mutations
+    # ------------------------------------------------------------------
+
+    def place_vm(self, host: int, vcpus: float, mem_gb: float) -> None:
+        """Reserve CPU and memory for a VM on a host."""
+        if not self.vm_fits(host, vcpus, mem_gb):
+            raise CapacityError(
+                f"VM ({vcpus} vCPU, {mem_gb} GB) does not fit on host "
+                f"{self.cloud.hosts[host].name}: free "
+                f"({self.free_cpu[host]:.2f} vCPU, {self.free_mem[host]:.2f} GB)"
+            )
+        self.free_cpu[host] -= vcpus
+        self.free_mem[host] -= mem_gb
+        self.host_units[host] += 1
+
+    def unplace_vm(self, host: int, vcpus: float, mem_gb: float) -> None:
+        """Release a VM reservation made with :meth:`place_vm`."""
+        self.free_cpu[host] += vcpus
+        self.free_mem[host] += mem_gb
+        self.host_units[host] -= 1
+        if self.host_units[host] < 0:
+            raise CapacityError(
+                f"unbalanced unplace_vm on host {self.cloud.hosts[host].name}"
+            )
+
+    def place_volume(self, disk: int, size_gb: float) -> None:
+        """Reserve disk space for a volume, activating the owning host."""
+        if not self.volume_fits(disk, size_gb):
+            raise CapacityError(
+                f"volume ({size_gb} GB) does not fit on disk "
+                f"{self.cloud.disks[disk].name}: free {self.free_disk[disk]:.2f} GB"
+            )
+        self.free_disk[disk] -= size_gb
+        self.host_units[self.cloud.disks[disk].host.index] += 1
+
+    def unplace_volume(self, disk: int, size_gb: float) -> None:
+        """Release a volume reservation made with :meth:`place_volume`."""
+        self.free_disk[disk] += size_gb
+        host = self.cloud.disks[disk].host.index
+        self.host_units[host] -= 1
+        if self.host_units[host] < 0:
+            raise CapacityError(
+                f"unbalanced unplace_volume on disk {self.cloud.disks[disk].name}"
+            )
+
+    def reserve_path(self, path: Iterable[int], mbps: float) -> None:
+        """Reserve bandwidth on every link of a path (all-or-nothing)."""
+        if mbps <= 0:
+            return
+        links = list(path)
+        for link in links:
+            if self.free_bw[link] + EPSILON < mbps:
+                raise CapacityError(
+                    f"insufficient bandwidth on {self.cloud.link_names[link]}: "
+                    f"need {mbps} Mbps, free {self.free_bw[link]:.2f} Mbps"
+                )
+        for link in links:
+            self.free_bw[link] -= mbps
+
+    def release_path(self, path: Iterable[int], mbps: float) -> None:
+        """Release bandwidth reserved with :meth:`reserve_path`."""
+        if mbps <= 0:
+            return
+        for link in path:
+            self.free_bw[link] += mbps
+
+    def can_reserve(self, demand_per_link: dict) -> bool:
+        """True if all per-link demands fit simultaneously."""
+        return all(
+            needed <= self.free_bw[link] + EPSILON
+            for link, needed in demand_per_link.items()
+        )
+
+    # ------------------------------------------------------------------
+    # background load (used by loadgen and tests)
+    # ------------------------------------------------------------------
+
+    def consume_background(
+        self,
+        host: int,
+        vcpus: float = 0.0,
+        mem_gb: float = 0.0,
+        nic_mbps: float = 0.0,
+        count_as_unit: bool = True,
+    ) -> None:
+        """Install synthetic pre-existing load on a host.
+
+        Used to reproduce the paper's non-uniform availability scenarios.
+        The load reserves host resources and NIC bandwidth, and (by default)
+        marks the host active, exactly as a previously placed tenant would.
+        """
+        host_obj = self.cloud.hosts[host]
+        if vcpus or mem_gb:
+            self.place_vm(host, vcpus, mem_gb)
+            if not count_as_unit:
+                self.host_units[host] -= 1
+        if nic_mbps:
+            self.reserve_path((host_obj.link_index,), nic_mbps)

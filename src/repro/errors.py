@@ -1,0 +1,53 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by the library derive from :class:`ReproError`, so callers
+can catch one type to handle any library failure. More specific subclasses
+distinguish user mistakes (bad topology / template) from scheduling outcomes
+(no feasible placement exists).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class TopologyError(ReproError):
+    """An application topology is malformed (unknown node, bad requirement,
+    duplicate name, inconsistent diversity zone, ...)."""
+
+
+class TemplateError(ReproError):
+    """A QoS-enhanced Heat template could not be parsed or validated."""
+
+
+class DataCenterError(ReproError):
+    """A data-center description is malformed or an unknown element was
+    referenced."""
+
+
+class CapacityError(ReproError):
+    """A reservation was attempted that exceeds the available capacity of a
+    host, disk, or network link."""
+
+
+class PlacementError(ReproError):
+    """No feasible placement exists for the given topology on the given
+    data center (capacity, bandwidth, or diversity constraints cannot all
+    be satisfied)."""
+
+    def __init__(self, message: str, node_name: str | None = None):
+        super().__init__(message)
+        #: Name of the first node for which no candidate host was found,
+        #: if the failure is attributable to a single node.
+        self.node_name = node_name
+
+
+class SchedulerError(ReproError):
+    """An OpenStack-surrogate scheduler (Nova/Cinder) could not satisfy a
+    request."""
+
+
+class DeadlineError(ReproError):
+    """A deadline-bounded search was configured with an unusable deadline."""

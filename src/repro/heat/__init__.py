@@ -1,0 +1,30 @@
+"""Heat integration: the QoS-enhanced template pipeline of Fig. 1.
+
+* :mod:`repro.heat.template` -- parse and serialize QoS-enhanced Heat
+  templates (standard ``OS::Nova::Server`` / ``OS::Cinder::Volume``
+  resources extended with ``ATT::QoS::Pipe`` bandwidth pipes and
+  ``ATT::QoS::DiversityZone`` anti-affinity groups).
+* :mod:`repro.heat.wrapper` -- the Heat wrapper that hands the template's
+  application topology to Ostro and annotates every resource with the
+  placement decision (``scheduler_hints``).
+* :mod:`repro.heat.engine` -- a miniature Heat engine that deploys an
+  annotated template by calling the Nova/Cinder surrogates with the
+  forced hosts/disks.
+"""
+
+from repro.heat.engine import HeatEngine, Stack
+from repro.heat.template import (
+    parse_template,
+    template_from_topology,
+    topology_from_template,
+)
+from repro.heat.wrapper import OstroHeatWrapper
+
+__all__ = [
+    "HeatEngine",
+    "OstroHeatWrapper",
+    "Stack",
+    "parse_template",
+    "template_from_topology",
+    "topology_from_template",
+]

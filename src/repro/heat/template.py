@@ -1,0 +1,254 @@
+"""QoS-enhanced Heat templates (Section II, Fig. 1).
+
+The paper describes application topologies with "a Heat template extended
+with diversity zones and a network pipe concept". This module implements
+that format over plain dicts (JSON-compatible -- Heat's native YAML maps
+1:1 onto it):
+
+.. code-block:: python
+
+    {
+        "heat_template_version": "2013-05-23",
+        "description": "...",
+        "resources": {
+            "web": {"type": "OS::Nova::Server",
+                    "properties": {"flavor": "m1.small"}},
+            "db": {"type": "OS::Nova::Server",
+                   "properties": {"vcpus": 4, "ram_gb": 8}},
+            "data": {"type": "OS::Cinder::Volume",
+                     "properties": {"size": 100}},
+            "web-db": {"type": "ATT::QoS::Pipe",
+                       "properties": {"ends": ["web", "db"],
+                                      "bandwidth_mbps": 100}},
+            "db-ha": {"type": "ATT::QoS::DiversityZone",
+                      "properties": {"level": "rack",
+                                     "members": ["db", "data"]}},
+        },
+    }
+
+Servers take either a ``flavor`` name (resolved against the Nova flavor
+registry) or explicit ``vcpus`` / ``ram_gb``. The parser produces an
+:class:`~repro.core.topology.ApplicationTopology`;
+:func:`annotate_template` (used by the wrapper) adds per-resource
+``scheduler_hints`` carrying Ostro's decision.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+from typing import Any, Dict, Optional
+
+from repro.core.placement import Placement
+from repro.core.topology import ApplicationTopology
+from repro.datacenter.model import Cloud, Level
+from repro.errors import TemplateError
+from repro.openstack.api import flavor_by_name
+
+SERVER_TYPE = "OS::Nova::Server"
+VOLUME_TYPE = "OS::Cinder::Volume"
+PIPE_TYPE = "ATT::QoS::Pipe"
+ZONE_TYPE = "ATT::QoS::DiversityZone"
+
+_KNOWN_TYPES = {SERVER_TYPE, VOLUME_TYPE, PIPE_TYPE, ZONE_TYPE}
+
+
+def parse_template(source) -> Dict[str, Any]:
+    """Accept a template as a dict, JSON string, or file path."""
+    if isinstance(source, dict):
+        return source
+    if isinstance(source, str):
+        text = source
+        if not source.lstrip().startswith("{"):
+            with open(source, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        try:
+            return json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise TemplateError(f"template is not valid JSON: {exc}") from exc
+    raise TemplateError(
+        f"unsupported template source type: {type(source).__name__}"
+    )
+
+
+def _properties(name: str, resource: Dict[str, Any]) -> Dict[str, Any]:
+    properties = resource.get("properties")
+    if not isinstance(properties, dict):
+        raise TemplateError(f"resource {name!r} has no properties mapping")
+    return properties
+
+
+def topology_from_template(
+    source, name: str = "stack"
+) -> ApplicationTopology:
+    """Parse a QoS-enhanced Heat template into an application topology.
+
+    Args:
+        source: template dict, JSON string, or file path.
+        name: name for the resulting topology (the stack name).
+
+    Raises:
+        TemplateError: on unknown resource types, missing properties, or
+            references to undefined resources.
+    """
+    template = parse_template(source)
+    resources = template.get("resources")
+    if not isinstance(resources, dict) or not resources:
+        raise TemplateError("template has no resources")
+
+    topology = ApplicationTopology(name)
+    pipes = []
+    zones = []
+    for res_name, resource in resources.items():
+        res_type = resource.get("type")
+        if res_type not in _KNOWN_TYPES:
+            raise TemplateError(
+                f"resource {res_name!r} has unsupported type {res_type!r}"
+            )
+        properties = _properties(res_name, resource)
+        if res_type == SERVER_TYPE:
+            if "flavor" in properties:
+                flavor = flavor_by_name(properties["flavor"])
+                vcpus, ram_gb = flavor.vcpus, flavor.ram_gb
+            else:
+                try:
+                    vcpus = float(properties["vcpus"])
+                    ram_gb = float(properties["ram_gb"])
+                except KeyError as exc:
+                    raise TemplateError(
+                        f"server {res_name!r} needs a flavor or "
+                        "vcpus/ram_gb"
+                    ) from exc
+            topology.add_vm(
+                res_name,
+                vcpus,
+                ram_gb,
+                cpu_policy=str(properties.get("cpu_policy", "guaranteed")),
+            )
+        elif res_type == VOLUME_TYPE:
+            try:
+                size = float(properties["size"])
+            except KeyError as exc:
+                raise TemplateError(
+                    f"volume {res_name!r} needs a size"
+                ) from exc
+            topology.add_volume(res_name, size)
+        elif res_type == PIPE_TYPE:
+            pipes.append((res_name, properties))
+        else:
+            zones.append((res_name, properties))
+
+    for res_name, properties in pipes:
+        ends = properties.get("ends")
+        if not isinstance(ends, (list, tuple)) or len(ends) != 2:
+            raise TemplateError(
+                f"pipe {res_name!r} needs exactly two ends"
+            )
+        try:
+            bw = float(properties["bandwidth_mbps"])
+        except KeyError as exc:
+            raise TemplateError(
+                f"pipe {res_name!r} needs bandwidth_mbps"
+            ) from exc
+        max_hops = properties.get("max_hops")
+        topology.connect(
+            ends[0],
+            ends[1],
+            bw,
+            max_hops=None if max_hops is None else int(max_hops),
+        )
+
+    for res_name, properties in zones:
+        members = properties.get("members")
+        if not isinstance(members, (list, tuple)):
+            raise TemplateError(
+                f"diversity zone {res_name!r} needs a members list"
+            )
+        level = Level.parse(str(properties.get("level", "host")))
+        topology.add_zone(res_name, level, members)
+
+    topology.validate()
+    return topology
+
+
+def annotate_template(
+    source,
+    placement: Placement,
+    cloud: Cloud,
+) -> Dict[str, Any]:
+    """Return a deep copy of the template with Ostro's decision embedded.
+
+    Every server resource gains ``scheduler_hints: {"force_host": ...}``
+    and every volume resource ``scheduler_hints: {"force_disk": ...,
+    "force_host": ...}``, which the Heat engine forwards to Nova/Cinder.
+    """
+    template = copy.deepcopy(parse_template(source))
+    resources = template.get("resources", {})
+    for res_name, resource in resources.items():
+        res_type = resource.get("type")
+        if res_type not in (SERVER_TYPE, VOLUME_TYPE):
+            continue
+        assignment = placement.assignments.get(res_name)
+        if assignment is None:
+            raise TemplateError(
+                f"placement does not cover resource {res_name!r}"
+            )
+        hints = resource.setdefault("properties", {}).setdefault(
+            "scheduler_hints", {}
+        )
+        hints["force_host"] = cloud.hosts[assignment.host].name
+        if res_type == VOLUME_TYPE:
+            hints["force_disk"] = cloud.disks[assignment.disk].name
+    return template
+
+
+def template_from_topology(
+    topology: ApplicationTopology,
+    description: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Serialize a topology back into a QoS-enhanced Heat template.
+
+    Inverse of :func:`topology_from_template` (up to flavor names: sizes
+    are always emitted explicitly).
+    """
+    resources: Dict[str, Any] = {}
+    for name, node in topology.nodes.items():
+        if node.is_vm:
+            properties = {"vcpus": node.vcpus, "ram_gb": node.mem_gb}
+            if node.cpu_policy != "guaranteed":
+                properties["cpu_policy"] = node.cpu_policy
+            resources[name] = {
+                "type": SERVER_TYPE,
+                "properties": properties,
+            }
+        else:
+            resources[name] = {
+                "type": VOLUME_TYPE,
+                "properties": {"size": node.size_gb},
+            }
+    for i, link in enumerate(topology.links):
+        properties = {
+            "ends": [link.a, link.b],
+            "bandwidth_mbps": link.bw_mbps,
+        }
+        if link.max_hops is not None:
+            properties["max_hops"] = link.max_hops
+        resources[f"pipe-{i + 1}"] = {
+            "type": PIPE_TYPE,
+            "properties": properties,
+        }
+    for zone in topology.zones:
+        resources[zone.name] = {
+            "type": ZONE_TYPE,
+            "properties": {
+                "level": zone.level.name.lower(),
+                "members": sorted(zone.members),
+            },
+        }
+    template = {
+        "heat_template_version": "2013-05-23",
+        "resources": resources,
+    }
+    if description:
+        template["description"] = description
+    return template

@@ -1,0 +1,105 @@
+"""The Heat wrapper for Ostro (Fig. 1).
+
+The wrapper is the integration point the paper adds in front of the Heat
+service: it takes a QoS-enhanced Heat template, extracts the application
+topology, asks Ostro for a holistic placement, and returns the
+QoS-annotated template (with per-resource ``scheduler_hints``) plus the
+placement result. The annotated template can then be deployed by the
+:class:`~repro.heat.engine.HeatEngine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+from repro.core.base import PlacementResult
+from repro.core.scheduler import Ostro
+from repro.heat.template import annotate_template, topology_from_template
+
+
+@dataclass
+class WrapperResponse:
+    """Outcome of one wrapper invocation.
+
+    Attributes:
+        annotated_template: deep-copied template with ``scheduler_hints``.
+        result: Ostro's placement result for the stack.
+        stack_name: name of the stack/application.
+    """
+
+    annotated_template: Dict[str, Any]
+    result: PlacementResult
+    stack_name: str
+
+
+class OstroHeatWrapper:
+    """Template-in, annotated-template-out facade over an Ostro instance.
+
+    Args:
+        ostro: the scheduler owning the live data-center state.
+    """
+
+    def __init__(self, ostro: Ostro):
+        self.ostro = ostro
+
+    def handle(
+        self,
+        template,
+        stack_name: str = "stack",
+        algorithm: str = "dba*",
+        commit: bool = True,
+        **options,
+    ) -> WrapperResponse:
+        """Optimize a template's placement and annotate it.
+
+        Args:
+            template: QoS-enhanced Heat template (dict / JSON / path).
+            stack_name: name of the stack (must be unique when committed).
+            algorithm: Ostro algorithm name.
+            commit: reserve the placement in the live state.
+            **options: forwarded to the algorithm (e.g. ``deadline_s``).
+        """
+        topology = topology_from_template(template, name=stack_name)
+        result = self.ostro.place(
+            topology, algorithm=algorithm, commit=commit, **options
+        )
+        annotated = annotate_template(
+            template, result.placement, self.ostro.cloud
+        )
+        return WrapperResponse(
+            annotated_template=annotated,
+            result=result,
+            stack_name=stack_name,
+        )
+
+    def update(
+        self,
+        template,
+        stack_name: str,
+        algorithm: str = "dba*",
+        **options,
+    ) -> WrapperResponse:
+        """Stack-update: incremental re-placement of a committed stack.
+
+        Parses the updated template and routes it through Ostro's online
+        adaptation (Section IV-E): unchanged resources stay pinned to
+        their hosts, added/changed ones are placed into the gaps, and the
+        returned template is annotated with the complete new decision.
+        """
+        topology = topology_from_template(template, name=stack_name)
+        update = self.ostro.update(
+            topology, algorithm=algorithm, **options
+        )
+        annotated = annotate_template(
+            template, update.result.placement, self.ostro.cloud
+        )
+        return WrapperResponse(
+            annotated_template=annotated,
+            result=update.result,
+            stack_name=stack_name,
+        )
+
+    def delete(self, stack_name: str) -> None:
+        """Stack-delete: release every reservation of a committed stack."""
+        self.ostro.remove(stack_name)

@@ -1,0 +1,42 @@
+"""OpenStack surrogate: Nova and Cinder scheduler simulations.
+
+The paper contrasts Ostro's holistic placement with OpenStack's default
+behavior, where Nova (compute) and Cinder (block storage) schedule every
+VM and volume *independently*. This subpackage provides API-faithful
+simulations of both services:
+
+* :mod:`repro.openstack.api` -- request/response records and flavors;
+* :mod:`repro.openstack.nova` -- a filter scheduler (filters + weighers)
+  placing one VM at a time;
+* :mod:`repro.openstack.cinder` -- a capacity-weighted volume scheduler.
+
+Both schedulers honor ``scheduler_hints`` (``force_host`` / ``force_disk``),
+which is how Ostro's decisions flow through the stack (Fig. 1): the Heat
+engine calls Nova/Cinder with the hosts Ostro chose.
+"""
+
+from repro.openstack.api import (
+    FLAVORS,
+    Flavor,
+    ServerRequest,
+    VolumeRequest,
+)
+from repro.openstack.cinder import CinderScheduler
+from repro.openstack.nova import (
+    CoreFilter,
+    NovaScheduler,
+    RamFilter,
+    RamWeigher,
+)
+
+__all__ = [
+    "CinderScheduler",
+    "CoreFilter",
+    "FLAVORS",
+    "Flavor",
+    "NovaScheduler",
+    "RamFilter",
+    "RamWeigher",
+    "ServerRequest",
+    "VolumeRequest",
+]

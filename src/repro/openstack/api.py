@@ -1,0 +1,118 @@
+"""Request/response records for the OpenStack surrogate.
+
+Mirrors the slices of the Nova/Cinder APIs the reproduction needs: flavors,
+server-create and volume-create requests (with ``scheduler_hints``), and
+the resulting resource records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import SchedulerError
+
+
+@dataclass(frozen=True)
+class Flavor:
+    """A Nova flavor: a named VM size.
+
+    Attributes:
+        name: flavor name (e.g. "m1.small").
+        vcpus: vCPU count.
+        ram_gb: memory in GB.
+    """
+
+    name: str
+    vcpus: float
+    ram_gb: float
+
+
+#: The classic OpenStack flavor ladder (RAM expressed in GB).
+FLAVORS: Dict[str, Flavor] = {
+    flavor.name: flavor
+    for flavor in (
+        Flavor("m1.tiny", 1, 0.5),
+        Flavor("m1.small", 1, 2),
+        Flavor("m1.medium", 2, 4),
+        Flavor("m1.large", 4, 8),
+        Flavor("m1.xlarge", 8, 16),
+        # Fig. 5's vocabulary as convenience flavors:
+        Flavor("qfs.small", 2, 2),
+        Flavor("qfs.large", 4, 8),
+    )
+}
+
+
+def flavor_by_name(name: str) -> Flavor:
+    """Look up a flavor, raising SchedulerError for unknown names."""
+    try:
+        return FLAVORS[name]
+    except KeyError:
+        raise SchedulerError(f"unknown flavor: {name!r}") from None
+
+
+@dataclass
+class ServerRequest:
+    """A Nova server-create request.
+
+    Attributes:
+        name: server name.
+        vcpus: vCPU requirement (use :func:`from_flavor` for named sizes).
+        ram_gb: memory requirement in GB.
+        scheduler_hints: optional hints; ``force_host`` pins the placement
+            to a named host (how Ostro's decision is executed).
+    """
+
+    name: str
+    vcpus: float
+    ram_gb: float
+    scheduler_hints: Dict[str, str] = field(default_factory=dict)
+
+    @staticmethod
+    def from_flavor(
+        name: str,
+        flavor: str,
+        scheduler_hints: Optional[Dict[str, str]] = None,
+    ) -> "ServerRequest":
+        """Build a request from a flavor name."""
+        resolved = flavor_by_name(flavor)
+        return ServerRequest(
+            name=name,
+            vcpus=resolved.vcpus,
+            ram_gb=resolved.ram_gb,
+            scheduler_hints=dict(scheduler_hints or {}),
+        )
+
+
+@dataclass
+class VolumeRequest:
+    """A Cinder volume-create request.
+
+    Attributes:
+        name: volume name.
+        size_gb: requested size in GB.
+        scheduler_hints: optional hints; ``force_disk`` pins the placement
+            to a named disk.
+    """
+
+    name: str
+    size_gb: float
+    scheduler_hints: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Server:
+    """A scheduled server: name plus the chosen host."""
+
+    name: str
+    host: str
+
+
+@dataclass(frozen=True)
+class VolumeRecord:
+    """A scheduled volume: name plus the chosen disk and its host."""
+
+    name: str
+    disk: str
+    host: str

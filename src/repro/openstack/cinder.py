@@ -1,0 +1,62 @@
+"""Cinder volume-scheduler simulation.
+
+Mirrors Cinder's default behavior: a capacity filter drops disks that
+cannot hold the volume, then a capacity weigher prefers the disk with the
+most free space. Each volume request is handled in isolation. The
+``force_disk`` scheduler hint pins a volume to a specific disk, which is
+how Ostro's holistic decision is executed through Cinder (Fig. 1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.datacenter.state import DataCenterState
+from repro.errors import SchedulerError
+from repro.openstack.api import VolumeRecord, VolumeRequest
+
+
+class CinderScheduler:
+    """One-volume-at-a-time capacity scheduler.
+
+    Args:
+        state: the live availability state (shared with Nova/Ostro).
+    """
+
+    def __init__(self, state: DataCenterState):
+        self.state = state
+
+    def select_disk(self, request: VolumeRequest) -> int:
+        """Pick the best disk index for a request without reserving it."""
+        forced: Optional[str] = request.scheduler_hints.get("force_disk")
+        cloud = self.state.cloud
+        candidates = []
+        for disk_index in range(len(cloud.disks)):
+            if forced is not None and cloud.disks[disk_index].name != forced:
+                continue
+            if self.state.volume_fits(disk_index, request.size_gb):
+                candidates.append(disk_index)
+        if not candidates:
+            raise SchedulerError(
+                f"Cinder: no valid disk found for volume {request.name!r}"
+            )
+        # capacity weigher: most free space first, index as tie-break
+        return max(
+            candidates, key=lambda d: (self.state.free_disk[d], -d)
+        )
+
+    def create_volume(self, request: VolumeRequest) -> VolumeRecord:
+        """Schedule and reserve one volume; returns the placement record."""
+        disk_index = self.select_disk(request)
+        self.state.place_volume(disk_index, request.size_gb)
+        disk = self.state.cloud.disks[disk_index]
+        return VolumeRecord(
+            name=request.name, disk=disk.name, host=disk.host.name
+        )
+
+    def delete_volume(
+        self, record: VolumeRecord, request: VolumeRequest
+    ) -> None:
+        """Release a previously created volume's reservation."""
+        disk_index = self.state.cloud.disk_by_name(record.disk).index
+        self.state.unplace_volume(disk_index, request.size_gb)

@@ -1,0 +1,197 @@
+"""Nova filter-scheduler simulation.
+
+Reproduces the architecture of OpenStack Nova's default FilterScheduler:
+a chain of boolean *filters* narrows the host list, then *weighers* rank
+the survivors and the best-weighted host wins. Each server-create request
+is handled in isolation -- exactly the per-VM scheduling the paper argues
+is suboptimal for complex application topologies.
+
+The scheduler operates on the same :class:`~repro.datacenter.state
+.DataCenterState` as Ostro, so OpenStack-style and Ostro placements are
+directly comparable, and Ostro's decisions can be *executed* through Nova
+via the ``force_host`` scheduler hint (Fig. 1's deployment path).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Optional, Sequence
+
+from repro.datacenter.state import DataCenterState
+from repro.errors import SchedulerError
+from repro.openstack.api import Server, ServerRequest
+
+
+class HostFilter(ABC):
+    """A boolean host filter in the FilterScheduler chain."""
+
+    @abstractmethod
+    def passes(
+        self, state: DataCenterState, host: int, request: ServerRequest
+    ) -> bool:
+        """True if the host remains a candidate for this request."""
+
+
+class CoreFilter(HostFilter):
+    """Rejects hosts without enough free vCPUs.
+
+    Args:
+        allocation_ratio: CPU overcommit factor (Nova's
+            ``cpu_allocation_ratio``; 1.0 = no overcommit, matching how
+            the paper accounts capacity).
+    """
+
+    def __init__(self, allocation_ratio: float = 1.0):
+        self.allocation_ratio = allocation_ratio
+
+    def passes(self, state, host, request):
+        total = state.cloud.hosts[host].cpu_cores
+        used = total - state.free_cpu[host]
+        return used + request.vcpus <= total * self.allocation_ratio + 1e-9
+
+
+class RamFilter(HostFilter):
+    """Rejects hosts without enough free memory."""
+
+    def __init__(self, allocation_ratio: float = 1.0):
+        self.allocation_ratio = allocation_ratio
+
+    def passes(self, state, host, request):
+        total = state.cloud.hosts[host].mem_gb
+        used = total - state.free_mem[host]
+        return used + request.ram_gb <= total * self.allocation_ratio + 1e-9
+
+
+class ForceHostFilter(HostFilter):
+    """Honors the ``force_host`` scheduler hint (Ostro's execution path)."""
+
+    def passes(self, state, host, request):
+        forced = request.scheduler_hints.get("force_host")
+        if forced is None:
+            return True
+        return state.cloud.hosts[host].name == forced
+
+
+class DifferentHostFilter(HostFilter):
+    """Nova's anti-affinity hint: ``different_host`` names hosts to avoid.
+
+    This is the per-request shadow of Ostro's diversity zones -- and a
+    demonstration of why zones beat hints: the hint only works when the
+    caller already knows where the other VMs landed.
+    """
+
+    def passes(self, state, host, request):
+        avoid = request.scheduler_hints.get("different_host")
+        if not avoid:
+            return True
+        if isinstance(avoid, str):
+            avoid = [avoid]
+        return state.cloud.hosts[host].name not in avoid
+
+
+class SameHostFilter(HostFilter):
+    """Nova's affinity hint: ``same_host`` names acceptable hosts."""
+
+    def passes(self, state, host, request):
+        wanted = request.scheduler_hints.get("same_host")
+        if not wanted:
+            return True
+        if isinstance(wanted, str):
+            wanted = [wanted]
+        return state.cloud.hosts[host].name in wanted
+
+
+class HostWeigher(ABC):
+    """Scores surviving hosts; higher total weight wins."""
+
+    #: relative multiplier applied to this weigher's normalized score
+    multiplier: float = 1.0
+
+    @abstractmethod
+    def weigh(
+        self, state: DataCenterState, host: int, request: ServerRequest
+    ) -> float:
+        """Raw (unnormalized) score of one host."""
+
+
+class RamWeigher(HostWeigher):
+    """Nova's default spreading weigher: prefer the most free memory."""
+
+    def weigh(self, state, host, request):
+        return state.free_mem[host]
+
+
+class CoreWeigher(HostWeigher):
+    """Prefer the most free vCPUs."""
+
+    def weigh(self, state, host, request):
+        return state.free_cpu[host]
+
+
+class NovaScheduler:
+    """One-VM-at-a-time filter scheduler.
+
+    Args:
+        state: the live availability state to schedule against (shared
+            with Ostro when the two run side by side).
+        filters: filter chain; defaults to force-host + core + RAM.
+        weighers: weigher list; defaults to Nova's RAM-spreading default.
+    """
+
+    def __init__(
+        self,
+        state: DataCenterState,
+        filters: Optional[Sequence[HostFilter]] = None,
+        weighers: Optional[Sequence[HostWeigher]] = None,
+    ):
+        self.state = state
+        self.filters: List[HostFilter] = list(
+            filters
+            if filters is not None
+            else (
+                ForceHostFilter(),
+                DifferentHostFilter(),
+                SameHostFilter(),
+                CoreFilter(),
+                RamFilter(),
+            )
+        )
+        self.weighers: List[HostWeigher] = list(
+            weighers if weighers is not None else (RamWeigher(),)
+        )
+
+    def select_host(self, request: ServerRequest) -> int:
+        """Pick the best host index for a request without reserving it."""
+        candidates = [
+            host
+            for host in range(self.state.cloud.num_hosts)
+            if all(f.passes(self.state, host, request) for f in self.filters)
+        ]
+        if not candidates:
+            raise SchedulerError(
+                f"Nova: no valid host found for server {request.name!r}"
+            )
+        if not self.weighers:
+            return candidates[0]
+        best_host = None
+        best_weight = None
+        for host in candidates:
+            weight = sum(
+                w.multiplier * w.weigh(self.state, host, request)
+                for w in self.weighers
+            )
+            if best_weight is None or weight > best_weight:
+                best_weight = weight
+                best_host = host
+        return best_host  # type: ignore[return-value]
+
+    def create_server(self, request: ServerRequest) -> Server:
+        """Schedule and reserve one server; returns the placement record."""
+        host = self.select_host(request)
+        self.state.place_vm(host, request.vcpus, request.ram_gb)
+        return Server(name=request.name, host=self.state.cloud.hosts[host].name)
+
+    def delete_server(self, server: Server, request: ServerRequest) -> None:
+        """Release a previously created server's reservation."""
+        host = self.state.cloud.host_by_name(server.host).index
+        self.state.unplace_vm(host, request.vcpus, request.ram_gb)

@@ -1,0 +1,47 @@
+"""Experiment harness for reproducing the paper's evaluation (Section IV).
+
+* :mod:`repro.sim.metrics` -- per-run measurement records and aggregation.
+* :mod:`repro.sim.scenarios` -- canned (cloud, load, workload, objective)
+  configurations for every table and figure, with a reduced default scale
+  and ``REPRO_FULL_SCALE=1`` switching to the paper's exact scales.
+* :mod:`repro.sim.experiment` -- run one algorithm on one scenario.
+* :mod:`repro.sim.runner` -- sweeps over sizes x algorithms x seeds.
+* :mod:`repro.sim.reporting` -- paper-style text tables and series.
+"""
+
+from repro.sim.arrivals import ReplayReport, WorkloadTrace, replay
+from repro.sim.experiment import run_placement
+from repro.sim.metrics import MeasurementRow, aggregate_rows
+from repro.sim.plots import ascii_chart
+from repro.sim.reporting import format_series, format_table
+from repro.sim.runner import sweep
+from repro.sim.utilization import format_utilization, utilization_report
+from repro.sim.scenarios import (
+    Scenario,
+    full_scale,
+    mesh_scenario,
+    multitier_scenario,
+    qfs_testbed_scenario,
+    sim_datacenter,
+)
+
+__all__ = [
+    "MeasurementRow",
+    "ReplayReport",
+    "Scenario",
+    "WorkloadTrace",
+    "replay",
+    "aggregate_rows",
+    "ascii_chart",
+    "format_utilization",
+    "utilization_report",
+    "format_series",
+    "format_table",
+    "full_scale",
+    "mesh_scenario",
+    "multitier_scenario",
+    "qfs_testbed_scenario",
+    "run_placement",
+    "sim_datacenter",
+    "sweep",
+]

@@ -1,0 +1,67 @@
+"""Run one placement experiment: algorithm x scenario x size x seed."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.scheduler import make_algorithm
+from repro.sim.metrics import MeasurementRow
+from repro.sim.scenarios import Scenario, dba_deadline_s
+
+#: Display labels matching the paper's tables and figures.
+ALGORITHM_LABELS = {
+    "egc": "EGC",
+    "egbw": "EGBW",
+    "eg": "EG",
+    "ba*": "BA*",
+    "dba*": "DBA*",
+}
+
+
+def run_placement(
+    algorithm: str,
+    scenario: Scenario,
+    size: int,
+    seed: int = 0,
+    deadline_s: Optional[float] = None,
+    **options,
+) -> MeasurementRow:
+    """Execute one placement and return its measurement row.
+
+    Args:
+        algorithm: registry name ("eg", "egc", "egbw", "ba*", "dba*").
+        scenario: the experiment configuration.
+        size: workload size passed to the scenario's topology builder.
+        seed: seed for background load, workload randomness, and DBA*.
+        deadline_s: DBA* time budget; defaults to the scenario-scaled
+            budget of :func:`repro.sim.scenarios.dba_deadline_s`.
+        **options: extra algorithm options (e.g. ``max_expansions``).
+
+    Raises:
+        PlacementError: when the algorithm cannot place the workload.
+    """
+    cloud = scenario.build_cloud()
+    state = scenario.build_state(cloud, seed)
+    topology = scenario.build_topology(size, seed)
+    objective = scenario.objective(topology, cloud)
+
+    options.setdefault("greedy_config", scenario.greedy_config)
+    canonical = algorithm.strip().lower()
+    if canonical.startswith("dba"):
+        options.setdefault(
+            "deadline_s",
+            deadline_s if deadline_s is not None else dba_deadline_s(size),
+        )
+        options.setdefault("seed", seed)
+    algo = make_algorithm(algorithm, **options)
+    baseline_active = len(state.active_host_indices())
+    result = algo.place(topology, cloud, state, objective)
+    return MeasurementRow.from_result(
+        result,
+        algorithm=ALGORITHM_LABELS.get(canonical, algorithm),
+        workload=scenario.workload,
+        size=topology.size(),
+        heterogeneous=scenario.heterogeneous,
+        seed=seed,
+        baseline_active_hosts=baseline_active,
+    )

@@ -1,0 +1,115 @@
+"""Measurement records for the evaluation harness.
+
+Every placement run produces a :class:`MeasurementRow` carrying exactly the
+quantities the paper reports: reserved bandwidth, newly activated hosts,
+hosts used, and scheduler runtime. :func:`aggregate_rows` averages rows
+over seeds (the paper averages 20 executions per data point in Fig. 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from statistics import mean
+from typing import Dict, Iterable, List, Tuple
+
+from repro.core.base import PlacementResult
+
+
+@dataclass(frozen=True)
+class MeasurementRow:
+    """One (algorithm, scenario, size, seed) measurement.
+
+    Attributes:
+        algorithm: algorithm label ("EGC", "EG", "DBA*", ...).
+        workload: workload label ("qfs", "multitier", "mesh").
+        size: topology size in nodes (VMs + volumes).
+        heterogeneous: requirement regime of the run.
+        seed: load/workload seed of the run.
+        reserved_bw_mbps: total reserved bandwidth (the paper's tables
+            report Mbps; the figures Gbps -- see ``reserved_bw_gbps``).
+        new_active_hosts: previously idle hosts activated.
+        hosts_used: distinct hosts hosting at least one node of this
+            application.
+        baseline_active_hosts: hosts already active (background load)
+            before this placement.
+        runtime_s: scheduler wall-clock runtime.
+        objective_value: normalized objective of the placement.
+    """
+
+    algorithm: str
+    workload: str
+    size: int
+    heterogeneous: bool
+    seed: int
+    reserved_bw_mbps: float
+    new_active_hosts: float
+    hosts_used: float
+    runtime_s: float
+    objective_value: float
+    baseline_active_hosts: float = 0.0
+
+    @property
+    def total_active_hosts(self) -> float:
+        """Active hosts in the whole data center after the placement --
+        the paper's Figs. 8/11 metric (background + newly activated)."""
+        return self.baseline_active_hosts + self.new_active_hosts
+
+    @property
+    def reserved_bw_gbps(self) -> float:
+        """Reserved bandwidth in Gbps (the figures' unit)."""
+        return self.reserved_bw_mbps / 1000.0
+
+    @staticmethod
+    def from_result(
+        result: PlacementResult,
+        algorithm: str,
+        workload: str,
+        size: int,
+        heterogeneous: bool,
+        seed: int,
+        baseline_active_hosts: float = 0.0,
+    ) -> "MeasurementRow":
+        """Build a row from a placement result."""
+        return MeasurementRow(
+            algorithm=algorithm,
+            workload=workload,
+            size=size,
+            heterogeneous=heterogeneous,
+            seed=seed,
+            reserved_bw_mbps=result.reserved_bw_mbps,
+            new_active_hosts=result.new_active_hosts,
+            hosts_used=result.placement.hosts_used,
+            runtime_s=result.runtime_s,
+            objective_value=result.objective_value,
+            baseline_active_hosts=baseline_active_hosts,
+        )
+
+
+def aggregate_rows(rows: Iterable[MeasurementRow]) -> List[MeasurementRow]:
+    """Average rows over seeds, grouped by (algorithm, workload, size, regime).
+
+    The returned rows carry ``seed=-1`` and the arithmetic means of every
+    measured quantity, in first-appearance group order.
+    """
+    groups: Dict[Tuple, List[MeasurementRow]] = {}
+    for row in rows:
+        key = (row.algorithm, row.workload, row.size, row.heterogeneous)
+        groups.setdefault(key, []).append(row)
+    aggregated = []
+    for members in groups.values():
+        first = members[0]
+        aggregated.append(
+            replace(
+                first,
+                seed=-1,
+                reserved_bw_mbps=mean(m.reserved_bw_mbps for m in members),
+                new_active_hosts=mean(m.new_active_hosts for m in members),
+                hosts_used=mean(m.hosts_used for m in members),
+                runtime_s=mean(m.runtime_s for m in members),
+                objective_value=mean(m.objective_value for m in members),
+                baseline_active_hosts=mean(
+                    m.baseline_active_hosts for m in members
+                ),
+            )
+        )
+    return aggregated

@@ -1,0 +1,89 @@
+"""Terminal (ASCII) charts for the evaluation series.
+
+Dependency-free renderer for the figure data: one column block per x
+value, one glyph per algorithm, values scaled into a fixed-height grid.
+Good enough to *see* the paper's crossovers in a terminal or CI log;
+anything publication-grade should consume the raw series from
+:mod:`repro.sim.reporting` instead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.sim.metrics import MeasurementRow
+
+#: glyph per series, assigned in column order
+_GLYPHS = "ox*+#@%&"
+
+
+def ascii_chart(
+    rows: Iterable[MeasurementRow],
+    metric: str = "reserved_bw_gbps",
+    algorithms: Optional[Sequence[str]] = None,
+    height: int = 12,
+    title: str = "",
+) -> str:
+    """Render a size-vs-metric scatter chart for the given rows.
+
+    Args:
+        rows: measurement rows (one per (algorithm, size) after
+            aggregation).
+        metric: MeasurementRow attribute to plot.
+        algorithms: series order; defaults to first appearance.
+        height: chart height in text rows.
+        title: optional heading.
+
+    Returns:
+        A multi-line string: chart grid, x-axis labels, and a legend.
+    """
+    rows = list(rows)
+    if not rows:
+        return f"{title}\n(no data)" if title else "(no data)"
+    if algorithms is None:
+        algorithms = list(dict.fromkeys(r.algorithm for r in rows))
+    sizes = sorted({r.size for r in rows})
+    values: Dict[tuple, float] = {
+        (r.size, r.algorithm): float(getattr(r, metric)) for r in rows
+    }
+    peak = max(values.values())
+    floor = min(0.0, min(values.values()))
+    span = (peak - floor) or 1.0
+
+    col_width = max(6, max(len(str(s)) for s in sizes) + 2)
+    grid: List[List[str]] = [
+        [" "] * (col_width * len(sizes)) for _ in range(height)
+    ]
+    for si, size in enumerate(sizes):
+        for ai, algorithm in enumerate(algorithms):
+            value = values.get((size, algorithm))
+            if value is None:
+                continue
+            level = int(round((value - floor) / span * (height - 1)))
+            row = height - 1 - level
+            col = si * col_width + 1 + ai
+            if col < len(grid[row]):
+                grid[row][col] = _GLYPHS[ai % len(_GLYPHS)]
+
+    axis_width = max(len(f"{peak:.1f}"), len(f"{floor:.1f}"))
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = f"{peak:.1f}".rjust(axis_width)
+        elif i == height - 1:
+            label = f"{floor:.1f}".rjust(axis_width)
+        else:
+            label = " " * axis_width
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(
+        " " * axis_width
+        + " +"
+        + "".join(str(s).ljust(col_width) for s in sizes)
+    )
+    legend = "  ".join(
+        f"{_GLYPHS[i % len(_GLYPHS)]}={a}" for i, a in enumerate(algorithms)
+    )
+    lines.append(" " * axis_width + "   " + legend + f"   [{metric}]")
+    return "\n".join(lines)

@@ -1,0 +1,93 @@
+"""Paper-style rendering of measurement rows.
+
+Two layouts cover everything Section IV prints:
+
+* :func:`format_table` -- algorithms as columns, metrics as rows
+  (Tables I and II);
+* :func:`format_series` -- sizes as rows, algorithms as columns, one
+  metric (the data series behind Figs. 6-11).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from repro.sim.metrics import MeasurementRow
+
+
+def _render(grid: List[List[str]]) -> str:
+    widths = [
+        max(len(row[col]) for row in grid) for col in range(len(grid[0]))
+    ]
+    lines = []
+    for i, row in enumerate(grid):
+        lines.append(
+            "  ".join(cell.rjust(widths[c]) for c, cell in enumerate(row))
+        )
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def format_table(
+    rows: Sequence[MeasurementRow],
+    algorithms: Optional[Sequence[str]] = None,
+    title: str = "",
+) -> str:
+    """Render a Tables-I/II-style comparison (one size, many algorithms)."""
+    if algorithms is None:
+        algorithms = list(dict.fromkeys(row.algorithm for row in rows))
+    by_algorithm = {row.algorithm: row for row in rows}
+    grid: List[List[str]] = [[""] + list(algorithms)]
+    metrics = (
+        ("Bandwidth (Mbps)", lambda r: f"{r.reserved_bw_mbps:.0f}"),
+        ("New active hosts", lambda r: f"{r.new_active_hosts:.0f}"),
+        ("Run-time (sec)", lambda r: f"{r.runtime_s:.3f}"),
+    )
+    for label, fmt in metrics:
+        grid.append(
+            [label]
+            + [
+                fmt(by_algorithm[a]) if a in by_algorithm else "-"
+                for a in algorithms
+            ]
+        )
+    body = _render(grid)
+    return f"{title}\n{body}" if title else body
+
+
+def format_series(
+    rows: Iterable[MeasurementRow],
+    metric: str = "reserved_bw_gbps",
+    algorithms: Optional[Sequence[str]] = None,
+    title: str = "",
+    fmt: Callable[[float], str] = lambda v: f"{v:.2f}",
+) -> str:
+    """Render a figure-style series: size rows x algorithm columns.
+
+    Args:
+        rows: measurement rows (aggregated or raw).
+        metric: attribute of :class:`MeasurementRow` to tabulate
+            ("reserved_bw_gbps", "hosts_used", "runtime_s", ...).
+        algorithms: column order; defaults to first appearance.
+        title: optional heading line.
+        fmt: number formatter.
+    """
+    rows = list(rows)
+    if algorithms is None:
+        algorithms = list(dict.fromkeys(row.algorithm for row in rows))
+    sizes = sorted({row.size for row in rows})
+    cells = {
+        (row.size, row.algorithm): getattr(row, metric) for row in rows
+    }
+    grid: List[List[str]] = [["size"] + list(algorithms)]
+    for size in sizes:
+        grid.append(
+            [str(size)]
+            + [
+                fmt(cells[(size, a)]) if (size, a) in cells else "-"
+                for a in algorithms
+            ]
+        )
+    body = _render(grid)
+    return f"{title}\n{body}" if title else body

@@ -1,0 +1,55 @@
+"""Parameter sweeps over sizes, algorithms, and seeds."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.errors import PlacementError
+from repro.sim.experiment import run_placement
+from repro.sim.metrics import MeasurementRow, aggregate_rows
+from repro.sim.scenarios import Scenario
+
+
+def sweep(
+    scenario: Scenario,
+    algorithms: Sequence[str],
+    sizes: Iterable[int],
+    seeds: Sequence[int] = (0,),
+    aggregate: bool = True,
+    skip_infeasible: bool = False,
+    deadline_s: Optional[float] = None,
+) -> List[MeasurementRow]:
+    """Run every (algorithm, size, seed) combination of a sweep.
+
+    Args:
+        scenario: the experiment configuration.
+        algorithms: registry names to compare.
+        sizes: workload sizes (the figures' x axis).
+        seeds: seeds to average over.
+        aggregate: return per-(algorithm, size) means instead of raw rows.
+        skip_infeasible: drop combinations where the algorithm fails to
+            place the workload instead of propagating the error (useful
+            when sweeping naive baselines close to capacity limits).
+        deadline_s: fixed DBA* budget; default scales with size.
+
+    Returns:
+        Measurement rows ordered by (size, algorithm input order).
+    """
+    rows: List[MeasurementRow] = []
+    for size in sizes:
+        for algorithm in algorithms:
+            for seed in seeds:
+                try:
+                    rows.append(
+                        run_placement(
+                            algorithm,
+                            scenario,
+                            size,
+                            seed=seed,
+                            deadline_s=deadline_s,
+                        )
+                    )
+                except PlacementError:
+                    if not skip_infeasible:
+                        raise
+    return aggregate_rows(rows) if aggregate else rows

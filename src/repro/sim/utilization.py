@@ -1,0 +1,109 @@
+"""Cluster-utilization reporting.
+
+Summarizes a :class:`~repro.datacenter.state.DataCenterState` the way a
+capacity dashboard would: per-resource utilization, active-host counts,
+and the distribution of NIC/uplink headroom — the quantities the paper's
+objective trades off. Used by the CLI and handy in notebooks and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.datacenter.state import DataCenterState
+
+
+@dataclass(frozen=True)
+class UtilizationReport:
+    """Aggregate utilization of one data-center state.
+
+    Attributes:
+        hosts_total / hosts_active: host counts.
+        cpu_used_frac / mem_used_frac / disk_used_frac: cluster-wide used
+            fractions of each capacity pool.
+        nic_used_frac: used fraction of the aggregate host-NIC capacity.
+        uplink_used_frac: used fraction of the aggregate non-NIC links
+            (ToR/pod/WAN uplinks); 0.0 when the cloud has none.
+        busiest_nic_frac: utilization of the single most-loaded host NIC.
+    """
+
+    hosts_total: int
+    hosts_active: int
+    cpu_used_frac: float
+    mem_used_frac: float
+    disk_used_frac: float
+    nic_used_frac: float
+    uplink_used_frac: float
+    busiest_nic_frac: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dict form for logging/JSON."""
+        return {
+            "hosts_total": self.hosts_total,
+            "hosts_active": self.hosts_active,
+            "cpu_used_frac": self.cpu_used_frac,
+            "mem_used_frac": self.mem_used_frac,
+            "disk_used_frac": self.disk_used_frac,
+            "nic_used_frac": self.nic_used_frac,
+            "uplink_used_frac": self.uplink_used_frac,
+            "busiest_nic_frac": self.busiest_nic_frac,
+        }
+
+
+def _used_fraction(total: float, free: float) -> float:
+    if total <= 0:
+        return 0.0
+    return max(0.0, min(1.0, (total - free) / total))
+
+
+def utilization_report(state: DataCenterState) -> UtilizationReport:
+    """Compute the aggregate utilization of a state."""
+    cloud = state.cloud
+    cpu_total = sum(h.cpu_cores for h in cloud.hosts)
+    mem_total = sum(h.mem_gb for h in cloud.hosts)
+    disk_total = sum(d.capacity_gb for d in cloud.disks)
+    nic_indices = [h.link_index for h in cloud.hosts]
+    nic_set = set(nic_indices)
+    nic_total = sum(cloud.link_capacity_mbps[i] for i in nic_indices)
+    uplink_indices = [
+        i for i in range(cloud.num_links) if i not in nic_set
+    ]
+    uplink_total = sum(cloud.link_capacity_mbps[i] for i in uplink_indices)
+
+    busiest = 0.0
+    for i in nic_indices:
+        capacity = cloud.link_capacity_mbps[i]
+        if capacity > 0:
+            busiest = max(
+                busiest, _used_fraction(capacity, state.free_bw[i])
+            )
+
+    return UtilizationReport(
+        hosts_total=cloud.num_hosts,
+        hosts_active=len(state.active_host_indices()),
+        cpu_used_frac=_used_fraction(cpu_total, sum(state.free_cpu)),
+        mem_used_frac=_used_fraction(mem_total, sum(state.free_mem)),
+        disk_used_frac=_used_fraction(disk_total, sum(state.free_disk)),
+        nic_used_frac=_used_fraction(
+            nic_total, sum(state.free_bw[i] for i in nic_indices)
+        ),
+        uplink_used_frac=_used_fraction(
+            uplink_total, sum(state.free_bw[i] for i in uplink_indices)
+        ),
+        busiest_nic_frac=busiest,
+    )
+
+
+def format_utilization(report: UtilizationReport) -> str:
+    """Render a dashboard-style text block."""
+    lines: List[str] = [
+        f"hosts: {report.hosts_active}/{report.hosts_total} active",
+        f"cpu:    {report.cpu_used_frac:6.1%} used",
+        f"memory: {report.mem_used_frac:6.1%} used",
+        f"disk:   {report.disk_used_frac:6.1%} used",
+        f"NICs:   {report.nic_used_frac:6.1%} used "
+        f"(busiest {report.busiest_nic_frac:.1%})",
+        f"uplinks:{report.uplink_used_frac:7.1%} used",
+    ]
+    return "\n".join(lines)

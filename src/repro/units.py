@@ -1,0 +1,32 @@
+"""Unit conventions used throughout the library.
+
+The paper mixes Mbps and Gbps for bandwidth and GB for memory/disk. To avoid
+unit bugs, the library stores everything in *base units* and exposes helpers
+for the common conversions:
+
+* bandwidth: megabits per second (Mbps)
+* memory:    gigabytes (GB)
+* disk:      gigabytes (GB)
+* cpu:       vCPU count (dimensionless)
+* time:      seconds
+"""
+
+from __future__ import annotations
+
+#: Megabits per second in one gigabit per second.
+MBPS_PER_GBPS = 1000.0
+
+
+def gbps(value: float) -> float:
+    """Convert gigabits/second to the library's Mbps base unit."""
+    return value * MBPS_PER_GBPS
+
+
+def mbps_to_gbps(value: float) -> float:
+    """Convert the library's Mbps base unit to gigabits/second."""
+    return value / MBPS_PER_GBPS
+
+
+def tb(value: float) -> float:
+    """Convert terabytes to the library's GB base unit."""
+    return value * 1000.0

@@ -1,0 +1,33 @@
+"""Workload generators for the paper's evaluation (Section IV).
+
+* :mod:`repro.workloads.requirements` -- the heterogeneous requirement mix
+  of Table III and the homogeneous baseline.
+* :mod:`repro.workloads.multitier` -- the 5-tier topology (Fig. 2 left).
+* :mod:`repro.workloads.mesh` -- the mesh-communication topology
+  (Fig. 2 right).
+* :mod:`repro.workloads.qfs` -- the QFS cloud-storage application (Fig. 5).
+"""
+
+from repro.workloads.mesh import build_mesh
+from repro.workloads.multitier import build_multitier
+from repro.workloads.qfs import build_qfs
+from repro.workloads.requirements import (
+    HETEROGENEOUS_MIX,
+    HOMOGENEOUS_SPEC,
+    RequirementMix,
+    VMSpec,
+)
+from repro.workloads.vnf import DEFAULT_CHAIN, VNFStage, build_vnf_chain
+
+__all__ = [
+    "DEFAULT_CHAIN",
+    "HETEROGENEOUS_MIX",
+    "HOMOGENEOUS_SPEC",
+    "RequirementMix",
+    "VMSpec",
+    "VNFStage",
+    "build_mesh",
+    "build_multitier",
+    "build_qfs",
+    "build_vnf_chain",
+]

@@ -1,0 +1,110 @@
+"""The mesh-communication application topology (Fig. 2 right, Section IV-C).
+
+The paper's mesh workload consists of disjoint host-level diversity zones
+of 5 VMs each (topology size 25..200 VMs = 5..40 zones; the homogeneous
+sweep uses 35..280 = 7..56 zones). For each zone, around 80% of the other
+zones are randomly selected and communication links are established
+between the VMs of the two zones; we link the i-th VM of one zone to the
+``(i + o)``-th VM of the other, with a random per-pair offset ``o`` --
+giving every VM roughly ``0.8 * (zones - 1)`` links while keeping the
+pairing irregular (an aligned pairing would make the mesh trivially
+partitionable into co-locatable columns, which the paper's bandwidth
+numbers rule out). This is what makes the mesh far more bandwidth-hungry
+than the multi-tier workload (Fig. 10).
+
+Requirement classes are assigned per zone (zone-mates identical), using
+the Table III shares in the heterogeneous regime. A link's bandwidth is
+the smaller of its endpoints' class bandwidths. All randomness flows
+through an explicit seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.core.topology import ApplicationTopology
+from repro.datacenter.model import Level
+from repro.errors import TopologyError
+from repro.workloads.requirements import RequirementMix, VMSpec, mix_for
+
+
+def _zone_specs(mix: RequirementMix, zones: int) -> List[VMSpec]:
+    quotas = [share * zones for share, _ in mix.classes]
+    counts = [int(q) for q in quotas]
+    order = sorted(
+        range(len(quotas)), key=lambda i: quotas[i] - counts[i], reverse=True
+    )
+    for i in range(zones - sum(counts)):
+        counts[order[i % len(order)]] += 1
+    specs: List[VMSpec] = []
+    for count, (_, spec) in zip(counts, mix.classes):
+        specs.extend([spec] * count)
+    return specs[:zones]
+
+
+def build_mesh(
+    total_vms: int = 25,
+    vms_per_zone: int = 5,
+    link_fraction: float = 0.8,
+    heterogeneous: bool = True,
+    zone_level: Level = Level.HOST,
+    seed: int = 0,
+    name: Optional[str] = None,
+    mix: Optional[RequirementMix] = None,
+) -> ApplicationTopology:
+    """Build a mesh-communication topology of ``total_vms`` VMs.
+
+    Args:
+        total_vms: total VM count; must be divisible by ``vms_per_zone``.
+        vms_per_zone: diversity-zone size (the paper uses 5).
+        link_fraction: fraction of *other* zones each zone links to
+            (the paper uses ~80%).
+        heterogeneous: Table III mix per zone vs. the homogeneous spec.
+        zone_level: separation level of the zones (paper: host).
+        seed: seed for the random zone-pair selection.
+        name: topology name; defaults to a descriptive one.
+        mix: override the requirement mix entirely.
+    """
+    if vms_per_zone <= 0:
+        raise TopologyError("vms_per_zone must be positive")
+    if total_vms % vms_per_zone != 0:
+        raise TopologyError(
+            f"total_vms ({total_vms}) must be divisible by vms_per_zone "
+            f"({vms_per_zone})"
+        )
+    num_zones = total_vms // vms_per_zone
+    chosen_mix = mix or mix_for(heterogeneous)
+    specs = _zone_specs(chosen_mix, num_zones)
+    regime = "het" if heterogeneous else "hom"
+    topo = ApplicationTopology(name or f"mesh-{total_vms}-{regime}")
+    rng = random.Random(seed)
+
+    zone_members: List[List[str]] = []
+    for z in range(num_zones):
+        spec = specs[z]
+        members = []
+        for i in range(vms_per_zone):
+            vm_name = f"zone{z + 1}-vm{i + 1}"
+            topo.add_vm(vm_name, spec.vcpus, spec.mem_gb)
+            members.append(vm_name)
+        zone_members.append(members)
+        if vms_per_zone >= 2:
+            topo.add_zone(f"zone{z + 1}", zone_level, members)
+
+    linked = set()
+    for z in range(num_zones):
+        others = [o for o in range(num_zones) if o != z]
+        rng.shuffle(others)
+        peer_count = max(1, round(link_fraction * len(others)))
+        for other in others[:peer_count]:
+            pair = (min(z, other), max(z, other))
+            if pair in linked:
+                continue
+            linked.add(pair)
+            bw = min(specs[z].link_bw_mbps, specs[other].link_bw_mbps)
+            offset = rng.randrange(vms_per_zone)
+            for i, a in enumerate(zone_members[z]):
+                b = zone_members[other][(i + offset) % vms_per_zone]
+                topo.connect(a, b, bw)
+    return topo

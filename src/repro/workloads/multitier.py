@@ -1,0 +1,127 @@
+"""The multi-tier application topology (Fig. 2 left, Section IV-C).
+
+The paper's multi-tier workload has five tiers, each populated with 5 to 40
+VMs (total size 25..200), adjacent tiers interconnected, and the VMs of
+every tier split into two host-level diversity zones. Fig. 2 draws sparse
+inter-tier links (each component talks to a couple of instances of the
+next tier, as a load balancer chain would), so the default ``fanout`` is 2
+links from each VM to the next tier; ``fanout=None`` produces a fully
+bipartite variant.
+
+Requirement classes are assigned *per tier* so that zone-mates have
+identical requirements -- the assumption under which BA*'s symmetry
+reduction applies (Section III-B3) and the natural reading of "web tiers
+are network-intensive, database tiers compute-intensive". The Table III
+shares are apportioned over tiers: with five tiers and the heterogeneous
+mix, two tiers are network-intensive (1 vCPU / 100 Mbps), one balanced
+(2 / 50), and two compute-intensive (4 / 10).
+
+The bandwidth of an inter-tier link is the smaller of the two endpoint
+classes' link bandwidths.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.topology import ApplicationTopology
+from repro.datacenter.model import Level
+from repro.errors import TopologyError
+from repro.workloads.requirements import RequirementMix, VMSpec, mix_for
+
+
+def _tier_specs(mix: RequirementMix, tiers: int) -> List[VMSpec]:
+    """Apportion the mix's classes over whole tiers (largest remainder)."""
+    quotas = [share * tiers for share, _ in mix.classes]
+    counts = [int(q) for q in quotas]
+    order = sorted(
+        range(len(quotas)), key=lambda i: quotas[i] - counts[i], reverse=True
+    )
+    for i in range(tiers - sum(counts)):
+        counts[order[i % len(order)]] += 1
+    specs: List[VMSpec] = []
+    for count, (_, spec) in zip(counts, mix.classes):
+        specs.extend([spec] * count)
+    return specs[:tiers]
+
+
+def build_multitier(
+    total_vms: int = 25,
+    tiers: int = 5,
+    heterogeneous: bool = True,
+    zones_per_tier: int = 2,
+    zone_level: Level = Level.HOST,
+    fanout: Optional[int] = 2,
+    name: Optional[str] = None,
+    mix: Optional[RequirementMix] = None,
+) -> ApplicationTopology:
+    """Build a multi-tier topology of ``total_vms`` VMs.
+
+    Args:
+        total_vms: total VM count; must be divisible into ``tiers`` tiers.
+        tiers: number of tiers (the paper uses 5).
+        heterogeneous: use the Table III mix (per tier); otherwise every VM
+            is the homogeneous 2 vCPU / 2 GB / 50 Mbps spec.
+        zones_per_tier: how many diversity zones each tier is split into
+            (the paper uses 2 host-level zones per tier).
+        zone_level: separation level of the tier zones.
+        fanout: links from each VM to the next tier (wrapping); None makes
+            adjacent tiers fully bipartite.
+        name: topology name; defaults to a descriptive one.
+        mix: override the requirement mix entirely.
+
+    Returns:
+        The generated :class:`ApplicationTopology`.
+    """
+    if tiers <= 0:
+        raise TopologyError("tiers must be positive")
+    if total_vms % tiers != 0:
+        raise TopologyError(
+            f"total_vms ({total_vms}) must be divisible by tiers ({tiers})"
+        )
+    per_tier = total_vms // tiers
+    if per_tier < 1:
+        raise TopologyError("each tier needs at least one VM")
+    chosen_mix = mix or mix_for(heterogeneous)
+    specs = _tier_specs(chosen_mix, tiers)
+    regime = "het" if heterogeneous else "hom"
+    topo = ApplicationTopology(
+        name or f"multitier-{total_vms}-{regime}"
+    )
+
+    tier_members: List[List[str]] = []
+    for t in range(tiers):
+        spec = specs[t]
+        members = []
+        for i in range(per_tier):
+            vm_name = f"tier{t + 1}-vm{i + 1}"
+            topo.add_vm(vm_name, spec.vcpus, spec.mem_gb)
+            members.append(vm_name)
+        tier_members.append(members)
+        zones = min(zones_per_tier, per_tier)
+        if zones >= 1 and per_tier >= 2:
+            for z in range(zones):
+                zone_members = members[z::zones]
+                if len(zone_members) >= 2:
+                    topo.add_zone(
+                        f"tier{t + 1}-zone{z + 1}", zone_level, zone_members
+                    )
+
+    for t in range(tiers - 1):
+        bw = min(specs[t].link_bw_mbps, specs[t + 1].link_bw_mbps)
+        lower_tier = tier_members[t + 1]
+        for i, upper in enumerate(tier_members[t]):
+            if fanout is None:
+                peers = lower_tier
+            else:
+                peers = [
+                    lower_tier[(i + k) % len(lower_tier)]
+                    for k in range(min(fanout, len(lower_tier)))
+                ]
+            seen = set()
+            for lower in peers:
+                if lower in seen:
+                    continue
+                seen.add(lower)
+                topo.connect(upper, lower, bw)
+    return topo

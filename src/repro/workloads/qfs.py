@@ -1,0 +1,94 @@
+"""The QFS cloud-storage application topology (Fig. 5, Section IV-A).
+
+The paper's realistic experiment deploys a Quantcast File System cluster:
+chunk-server VMs storing file chunks on disk volumes, a meta-server VM
+keeping chunk locations, and a client VM running a file-system benchmark.
+Figure 5 gives the resource vocabulary:
+
+* small VM: 2 vCPUs / 2 GB; large VM: 4 vCPUs / 8 GB;
+* small volume: 10 GB; large volume: 120 GB;
+* high-bandwidth link: 100 Mbps; low-bandwidth link: 10 Mbps.
+
+The default topology matches the paper's headline counts -- 1 meta server,
+1 client, 12 chunk servers, and 15 disk volumes:
+
+* the client is a large VM (it drives the benchmark) with a small scratch
+  volume;
+* the meta server is a small VM with two small volumes (metadata +
+  transaction log);
+* each chunk server is a small VM with one large chunk volume attached by
+  a high-bandwidth link;
+* the client talks to every chunk server over a high-bandwidth pipe (bulk
+  data) and to the meta server over a low-bandwidth pipe (metadata);
+* each chunk server also exchanges low-bandwidth heartbeats with the meta
+  server;
+* the 12 chunk volumes form a host-level diversity zone -- the paper's
+  "12 disk volumes must be placed on 12 separate disks" reliability
+  requirement (the testbed has one disk per host, so disk and host
+  diversity coincide).
+"""
+
+from __future__ import annotations
+
+
+from repro.core.topology import ApplicationTopology
+from repro.datacenter.model import Level
+
+#: Fig. 5 resource vocabulary.
+SMALL_VM = (2, 2)
+LARGE_VM = (4, 8)
+SMALL_VOLUME_GB = 10
+LARGE_VOLUME_GB = 120
+HIGH_BW_MBPS = 100
+LOW_BW_MBPS = 10
+
+
+def build_qfs(
+    chunk_servers: int = 12,
+    name: str = "qfs",
+    diversity_level: Level = Level.HOST,
+    meta_volumes: int = 2,
+    client_volume: bool = True,
+    chunk_heartbeats: bool = True,
+) -> ApplicationTopology:
+    """Build the QFS application topology of Fig. 5.
+
+    Args:
+        chunk_servers: number of chunk-server VMs (the paper uses 12).
+        name: topology name.
+        diversity_level: separation level of the chunk-volume zone.
+        meta_volumes: small volumes attached to the meta server (2 gives
+            the paper's total of 15 volumes with 12 chunk servers).
+        client_volume: attach a small scratch volume to the client.
+        chunk_heartbeats: add low-bandwidth meta<->chunk-server links.
+    """
+    topo = ApplicationTopology(name)
+    topo.add_vm("client", *LARGE_VM)
+    topo.add_vm("meta", *SMALL_VM)
+    topo.connect("client", "meta", LOW_BW_MBPS)
+
+    if client_volume:
+        topo.add_volume("client-vol", SMALL_VOLUME_GB)
+        topo.connect("client", "client-vol", LOW_BW_MBPS)
+    for i in range(meta_volumes):
+        vol = f"meta-vol{i + 1}"
+        topo.add_volume(vol, SMALL_VOLUME_GB)
+        topo.connect("meta", vol, LOW_BW_MBPS)
+
+    chunk_volume_names = []
+    for i in range(chunk_servers):
+        server = f"chunk{i + 1}"
+        volume = f"chunk-vol{i + 1}"
+        topo.add_vm(server, *SMALL_VM)
+        topo.add_volume(volume, LARGE_VOLUME_GB)
+        topo.connect(server, volume, HIGH_BW_MBPS)
+        topo.connect("client", server, HIGH_BW_MBPS)
+        if chunk_heartbeats:
+            topo.connect("meta", server, LOW_BW_MBPS)
+        chunk_volume_names.append(volume)
+
+    if len(chunk_volume_names) >= 2:
+        topo.add_zone(
+            "chunk-volume-diversity", diversity_level, chunk_volume_names
+        )
+    return topo

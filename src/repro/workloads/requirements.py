@@ -1,0 +1,102 @@
+"""VM requirement mixes (Table III and the homogeneous baseline).
+
+The paper evaluates under two requirement regimes:
+
+* **heterogeneous** (Table III): 40% of VMs are network-intensive
+  (1 vCPU / 1 GB / 100 Mbps links), 20% balanced (2 / 2 / 50), and 40%
+  compute-intensive (4 / 4 / 10);
+* **homogeneous**: every VM is 2 vCPUs / 2 GB with 50 Mbps links.
+
+A :class:`RequirementMix` deterministically assigns a :class:`VMSpec` to
+the i-th VM of a workload by interleaving the classes according to their
+shares, so a topology of any size has (approximately) the paper's
+proportions and re-generating the same size yields the same topology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class VMSpec:
+    """Resource template for one VM class.
+
+    Attributes:
+        vcpus: vCPU requirement.
+        mem_gb: memory requirement in GB.
+        link_bw_mbps: bandwidth requirement of each link incident to VMs
+            of this class.
+    """
+
+    vcpus: float
+    mem_gb: float
+    link_bw_mbps: float
+
+
+@dataclass(frozen=True)
+class RequirementMix:
+    """A weighted set of VM classes.
+
+    Attributes:
+        classes: (share, spec) pairs; shares must sum to 1.
+    """
+
+    classes: Tuple[Tuple[float, VMSpec], ...]
+
+    def assign(self, count: int) -> List[VMSpec]:
+        """Deterministically expand the mix over ``count`` VMs.
+
+        Uses largest-remainder apportionment so class counts match the
+        shares as closely as integer counts allow, then interleaves the
+        classes round-robin so consecutive VMs (which usually land in the
+        same tier or diversity zone) still mix classes.
+        """
+        if count <= 0:
+            return []
+        quotas = [share * count for share, _ in self.classes]
+        counts = [int(q) for q in quotas]
+        remainders = sorted(
+            range(len(quotas)),
+            key=lambda i: quotas[i] - counts[i],
+            reverse=True,
+        )
+        for i in range(count - sum(counts)):
+            counts[remainders[i % len(remainders)]] += 1
+        pools = [
+            [spec] * n for n, (_, spec) in zip(counts, self.classes)
+        ]
+        result: List[VMSpec] = []
+        index = 0
+        while len(result) < count:
+            pool = pools[index % len(pools)]
+            if pool:
+                result.append(pool.pop())
+            index += 1
+        return result
+
+    def spec_for(self, index: int, count: int) -> VMSpec:
+        """Spec of the index-th VM in a ``count``-VM workload."""
+        return self.assign(count)[index]
+
+
+#: Table III of the paper.
+HETEROGENEOUS_MIX = RequirementMix(
+    classes=(
+        (0.4, VMSpec(vcpus=1, mem_gb=1, link_bw_mbps=100)),
+        (0.2, VMSpec(vcpus=2, mem_gb=2, link_bw_mbps=50)),
+        (0.4, VMSpec(vcpus=4, mem_gb=4, link_bw_mbps=10)),
+    )
+)
+
+#: The homogeneous baseline: "all VMs with 2 vCPUs, 2 GB memory, 50 Mbps".
+HOMOGENEOUS_SPEC = VMSpec(vcpus=2, mem_gb=2, link_bw_mbps=50)
+
+#: Homogeneous regime expressed as a (single-class) mix.
+HOMOGENEOUS_MIX = RequirementMix(classes=((1.0, HOMOGENEOUS_SPEC),))
+
+
+def mix_for(heterogeneous: bool) -> RequirementMix:
+    """The paper's requirement mix for the given regime."""
+    return HETEROGENEOUS_MIX if heterogeneous else HOMOGENEOUS_MIX

@@ -1,0 +1,102 @@
+"""Virtual-network-function (VNF) chain workloads.
+
+The paper's introduction motivates Ostro with VNFs: "firewalls, routers,
+and CDN caches that are virtualized and interconnected into a logical
+topology". This generator builds service chains of that shape --
+``N x firewall -> N x router -> N x cache`` stages with redundant,
+rack-diverse instances per stage, high-bandwidth pipes along the chain,
+and cache volumes at the tail -- giving the examples and tests a second
+realistic application beyond QFS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.topology import ApplicationTopology
+from repro.datacenter.model import Level
+from repro.errors import TopologyError
+
+
+@dataclass(frozen=True)
+class VNFStage:
+    """One stage of a service chain.
+
+    Attributes:
+        name: stage name ("firewall", "router", ...).
+        instances: redundant instances of the stage.
+        vcpus / mem_gb: per-instance size.
+        egress_bw_mbps: bandwidth of each pipe toward the next stage.
+        volume_gb: per-instance backing volume (0 = none).
+        diversity: separation level among the stage's instances.
+    """
+
+    name: str
+    instances: int = 2
+    vcpus: float = 2
+    mem_gb: float = 4
+    egress_bw_mbps: float = 500
+    volume_gb: float = 0
+    diversity: Level = Level.RACK
+
+
+#: A classic chain: redundant firewalls feed routers feeding CDN caches.
+DEFAULT_CHAIN: Sequence[VNFStage] = (
+    VNFStage("firewall", instances=2, vcpus=2, mem_gb=4, egress_bw_mbps=800),
+    VNFStage("router", instances=2, vcpus=4, mem_gb=8, egress_bw_mbps=1200),
+    VNFStage(
+        "cache",
+        instances=2,
+        vcpus=4,
+        mem_gb=8,
+        egress_bw_mbps=0,
+        volume_gb=500,
+    ),
+)
+
+
+def build_vnf_chain(
+    stages: Optional[Sequence[VNFStage]] = None,
+    name: str = "vnf-chain",
+    volume_bw_mbps: float = 1500,
+) -> ApplicationTopology:
+    """Build a VNF service-chain topology.
+
+    Adjacent stages are fully interconnected (every instance of a stage
+    pipes to every instance of the next, as a load-balanced chain does);
+    each stage's instances form a diversity zone at the stage's level;
+    instances with ``volume_gb > 0`` get a dedicated volume attached with
+    ``volume_bw_mbps``.
+    """
+    chain = list(stages if stages is not None else DEFAULT_CHAIN)
+    if not chain:
+        raise TopologyError("a VNF chain needs at least one stage")
+    topo = ApplicationTopology(name)
+    stage_members: List[List[str]] = []
+    for stage in chain:
+        if stage.instances < 1:
+            raise TopologyError(
+                f"stage {stage.name!r} needs at least one instance"
+            )
+        members = []
+        for i in range(stage.instances):
+            vm_name = f"{stage.name}{i + 1}"
+            topo.add_vm(vm_name, stage.vcpus, stage.mem_gb)
+            members.append(vm_name)
+            if stage.volume_gb > 0:
+                volume = f"{vm_name}-store"
+                topo.add_volume(volume, stage.volume_gb)
+                topo.connect(vm_name, volume, volume_bw_mbps)
+        if len(members) >= 2:
+            topo.add_zone(f"{stage.name}-ha", stage.diversity, members)
+        stage_members.append(members)
+    for upstream, downstream, stage in zip(
+        stage_members, stage_members[1:], chain
+    ):
+        if stage.egress_bw_mbps <= 0:
+            continue
+        for src in upstream:
+            for dst in downstream:
+                topo.connect(src, dst, stage.egress_bw_mbps)
+    return topo

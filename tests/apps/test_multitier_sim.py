@@ -1,0 +1,128 @@
+"""Tests for the multi-tier request-flow simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.multitier_sim import MultitierSimulator
+from repro.core.greedy import EG, EGC
+from repro.core.placement import Assignment, Placement
+from repro.datacenter.state import DataCenterState
+from repro.errors import ReproError
+from repro.workloads.multitier import build_multitier
+
+
+@pytest.fixture(scope="module")
+def placed(small_dc_module):
+    cloud = small_dc_module
+    topo = build_multitier(total_vms=10, tiers=5, heterogeneous=False)
+    result = EG().place(topo, cloud)
+    return topo, result.placement, cloud
+
+
+@pytest.fixture(scope="module")
+def small_dc_module():
+    from repro.datacenter.builder import build_datacenter
+
+    return build_datacenter(num_racks=4, hosts_per_rack=4)
+
+
+class TestTierInference:
+    def test_infers_five_tiers(self, placed):
+        topo, placement, cloud = placed
+        sim = MultitierSimulator(topo, placement, cloud)
+        assert len(sim.tiers) == 5
+        assert all(len(t) == 2 for t in sim.tiers)
+
+    def test_explicit_tiers_override(self, placed):
+        topo, placement, cloud = placed
+        sim = MultitierSimulator(
+            topo,
+            placement,
+            cloud,
+            tiers=[["tier1-vm1"], ["tier2-vm1"]],
+        )
+        assert len(sim.tiers) == 2
+
+    def test_single_tier_rejected(self, placed):
+        topo, placement, cloud = placed
+        with pytest.raises(ReproError, match=">= 2 tiers"):
+            MultitierSimulator(topo, placement, cloud, tiers=[["tier1-vm1"]])
+
+    def test_incomplete_placement_rejected(self, placed):
+        topo, placement, cloud = placed
+        partial = Placement(
+            app_name=placement.app_name,
+            assignments={
+                k: v
+                for k, v in placement.assignments.items()
+                if k != "tier1-vm1"
+            },
+            reserved_bw_mbps=0,
+            new_active_hosts=0,
+            hosts_used=0,
+        )
+        with pytest.raises(ReproError, match="does not cover"):
+            MultitierSimulator(topo, partial, cloud)
+
+
+class TestLatency:
+    def test_report_shape(self, placed):
+        topo, placement, cloud = placed
+        report = MultitierSimulator(topo, placement, cloud).run()
+        latency = report.latency
+        assert latency.paths_sampled >= 1
+        assert latency.mean_hops <= latency.max_hops
+        assert latency.mean_latency_us == pytest.approx(
+            latency.mean_hops * 20.0
+        )
+
+    def test_fully_colocated_placement_has_zero_latency(self, small_dc_module):
+        cloud = small_dc_module
+        topo = build_multitier(
+            total_vms=5, tiers=5, heterogeneous=False, zones_per_tier=1
+        )
+        # 5 tiers x 1 VM, no zones (single-member tiers): pile onto host 0
+        everything_on_h0 = Placement(
+            app_name=topo.name,
+            assignments={
+                name: Assignment(name, 0) for name in topo.nodes
+            },
+            reserved_bw_mbps=0,
+            new_active_hosts=1,
+            hosts_used=1,
+        )
+        report = MultitierSimulator(topo, everything_on_h0, cloud).run()
+        assert report.latency.max_hops == 0
+        assert report.colocated_link_fraction == 1.0
+        assert report.max_link_utilization == 0.0
+
+    def test_hop_cost_parameter(self, placed):
+        topo, placement, cloud = placed
+        fast = MultitierSimulator(topo, placement, cloud, hop_cost_us=1.0)
+        slow = MultitierSimulator(topo, placement, cloud, hop_cost_us=100.0)
+        assert slow.run().latency.mean_latency_us == pytest.approx(
+            100 * fast.run().latency.mean_latency_us
+        )
+
+
+class TestPlacementQualityShowsUp:
+    def test_eg_no_worse_latency_than_egc(self, small_dc_module):
+        """The bandwidth-aware placement puts communicating tiers closer,
+        which this simulator surfaces as lower request latency."""
+        cloud = small_dc_module
+        topo = build_multitier(total_vms=10, tiers=5, heterogeneous=True)
+        state = DataCenterState(cloud)
+        from repro.datacenter.loadgen import apply_table_iv_load
+
+        apply_table_iv_load(state, seed=0)
+        eg = EG().place(topo, cloud, state)
+        egc = EGC().place(topo, cloud, state)
+        eg_lat = MultitierSimulator(topo, eg.placement, cloud).run().latency
+        egc_lat = MultitierSimulator(topo, egc.placement, cloud).run().latency
+        assert eg_lat.mean_hops <= egc_lat.mean_hops + 1e-9
+
+    def test_utilization_within_capacity(self, placed):
+        topo, placement, cloud = placed
+        report = MultitierSimulator(topo, placement, cloud).run()
+        assert 0.0 <= report.max_link_utilization <= 1.0

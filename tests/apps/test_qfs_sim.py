@@ -1,0 +1,121 @@
+"""Tests for the synthetic QFS benchmark."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.qfs_sim import QFSBenchmark
+from repro.core.greedy import EG
+from repro.core.objective import Objective
+from repro.core.placement import Placement
+from repro.datacenter.builder import build_testbed
+from repro.datacenter.loadgen import apply_testbed_load
+from repro.datacenter.state import DataCenterState
+from repro.errors import ReproError
+from repro.workloads.qfs import build_qfs
+
+
+@pytest.fixture(scope="module")
+def placed_qfs():
+    cloud = build_testbed()
+    state = DataCenterState(cloud)
+    apply_testbed_load(state, seed=0)
+    topology = build_qfs()
+    objective = Objective.for_topology(topology, cloud, 0.99, 0.01)
+    result = EG().place(topology, cloud, state, objective)
+    return topology, result.placement, cloud
+
+
+class TestBenchmark:
+    def test_traffic_fits_reservations(self, placed_qfs):
+        topology, placement, cloud = placed_qfs
+        report = QFSBenchmark(topology, placement, cloud).run()
+        assert report.reservation_violations == []
+
+    def test_utilization_within_capacity(self, placed_qfs):
+        topology, placement, cloud = placed_qfs
+        report = QFSBenchmark(topology, placement, cloud).run()
+        assert 0.0 < report.max_link_utilization <= 1.0
+
+    def test_flow_count(self, placed_qfs):
+        topology, placement, cloud = placed_qfs
+        report = QFSBenchmark(topology, placement, cloud).run()
+        # 12 client->chunk + 12 chunk->volume + 12 heartbeats + client-meta
+        assert report.flows == 37
+
+    def test_throughput_capped_by_offered_load(self, placed_qfs):
+        topology, placement, cloud = placed_qfs
+        report = QFSBenchmark(topology, placement, cloud).run()
+        offered = sum(
+            bw for nbr, bw in topology.neighbors("client")
+            if nbr.startswith("chunk")
+        )
+        assert 0 < report.aggregate_throughput_mbps <= offered + 1e-9
+
+    def test_worse_placement_lower_throughput_or_equal(self, placed_qfs):
+        """An adversarial placement through one starved NIC throttles."""
+        topology, _, cloud = placed_qfs
+        # all VMs on host 0/1, all volumes elsewhere: every chunk stream
+        # shares host0's NIC
+        from itertools import cycle
+
+        from repro.core.placement import Assignment
+
+        assignments = {}
+        disk_cycle = cycle(range(2, 16))
+        for name, node in topology.nodes.items():
+            if node.is_vm:
+                assignments[name] = Assignment(name, 0)
+            else:
+                disk = next(disk_cycle)
+                assignments[name] = Assignment(
+                    name, cloud.disks[disk].host.index, disk
+                )
+        bad = Placement(
+            app_name="bad",
+            assignments=assignments,
+            reserved_bw_mbps=0,
+            new_active_hosts=0,
+            hosts_used=0,
+        )
+        report = QFSBenchmark(topology, bad, cloud).run()
+        # 12 chunk-volume flows of 100 Mbps + heartbeats through one
+        # 3200 Mbps NIC still fit, but utilization is far higher
+        assert report.max_link_utilization > 0.3
+
+
+class TestValidation:
+    def test_incomplete_placement_rejected(self, placed_qfs):
+        topology, placement, cloud = placed_qfs
+        partial = Placement(
+            app_name="x",
+            assignments={
+                k: v
+                for k, v in placement.assignments.items()
+                if k != "client"
+            },
+            reserved_bw_mbps=0,
+            new_active_hosts=0,
+            hosts_used=0,
+        )
+        with pytest.raises(ReproError, match="does not cover"):
+            QFSBenchmark(topology, partial, cloud)
+
+    def test_non_qfs_topology_rejected(self, small_dc):
+        from repro.core.topology import ApplicationTopology
+
+        topo = ApplicationTopology("not-qfs")
+        topo.add_vm("solo", 1, 1)
+        placement = Placement(
+            app_name="not-qfs",
+            assignments={
+                "solo": __import__(
+                    "repro.core.placement", fromlist=["Assignment"]
+                ).Assignment("solo", 0)
+            },
+            reserved_bw_mbps=0,
+            new_active_hosts=1,
+            hosts_used=1,
+        )
+        with pytest.raises(ReproError, match="no chunk servers"):
+            QFSBenchmark(topo, placement, small_dc)

@@ -1,0 +1,66 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.topology import ApplicationTopology
+from repro.datacenter.builder import build_cloud, build_datacenter, build_testbed
+from repro.datacenter.model import Level
+from repro.datacenter.state import DataCenterState
+
+
+@pytest.fixture
+def testbed():
+    """The paper's 16-host single-rack cluster."""
+    return build_testbed()
+
+
+@pytest.fixture
+def small_dc():
+    """A small pod-less data center: 4 racks x 4 hosts."""
+    return build_datacenter(num_racks=4, hosts_per_rack=4)
+
+
+@pytest.fixture
+def podded_cloud():
+    """A 2-DC cloud with pods, exercising every hierarchy level."""
+    return build_cloud(
+        num_datacenters=2, pods_per_dc=2, racks_per_pod=2, hosts_per_rack=2
+    )
+
+
+@pytest.fixture
+def small_state(small_dc):
+    return DataCenterState(small_dc)
+
+
+def make_three_tier(
+    web: int = 2, app: int = 2, db: int = 2, with_zones: bool = True
+) -> ApplicationTopology:
+    """A small three-tier topology used across tests."""
+    topo = ApplicationTopology("three-tier")
+    for i in range(web):
+        topo.add_vm(f"web{i}", vcpus=1, mem_gb=1)
+    for i in range(app):
+        topo.add_vm(f"app{i}", vcpus=2, mem_gb=2)
+    for i in range(db):
+        topo.add_vm(f"db{i}", vcpus=4, mem_gb=4)
+        topo.add_volume(f"vol{i}", size_gb=50)
+        topo.connect(f"db{i}", f"vol{i}", bw_mbps=200)
+    for i in range(web):
+        for j in range(app):
+            topo.connect(f"web{i}", f"app{j}", bw_mbps=100)
+    for i in range(app):
+        for j in range(db):
+            topo.connect(f"app{i}", f"db{j}", bw_mbps=50)
+    if with_zones and db >= 2:
+        topo.add_zone(
+            "db-diversity", Level.HOST, [f"db{i}" for i in range(db)]
+        )
+    return topo
+
+
+@pytest.fixture
+def three_tier():
+    return make_three_tier()

@@ -1,0 +1,143 @@
+"""Tests for BA* (bounded A*)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.astar import BAStar, node_equivalence_classes
+from repro.core.greedy import EG, GreedyConfig
+from repro.core.objective import Objective
+from repro.core.topology import ApplicationTopology
+from repro.datacenter.builder import build_datacenter
+from repro.datacenter.loadgen import apply_random_load
+from repro.datacenter.model import Level
+from repro.datacenter.state import DataCenterState
+from repro.errors import PlacementError
+from tests.conftest import make_three_tier
+from tests.core.test_greedy import verify_placement_feasible
+
+
+class TestEquivalenceClasses:
+    def test_identical_unlinked_nodes_merge(self):
+        t = ApplicationTopology()
+        t.add_vm("a", 1, 1)
+        t.add_vm("b", 1, 1)
+        t.add_vm("c", 2, 2)
+        classes = node_equivalence_classes(t)
+        assert classes["a"] == classes["b"]
+        assert classes["a"] != classes["c"]
+
+    def test_zone_membership_separates(self):
+        t = ApplicationTopology()
+        t.add_vm("a", 1, 1)
+        t.add_vm("b", 1, 1)
+        t.add_vm("c", 1, 1)
+        t.add_zone("z", Level.HOST, ["a", "b"])
+        classes = node_equivalence_classes(t)
+        assert classes["a"] == classes["b"]  # same zone set
+        assert classes["a"] != classes["c"]
+
+    def test_neighbor_structure_separates(self):
+        t = ApplicationTopology()
+        t.add_vm("a", 1, 1)
+        t.add_vm("b", 1, 1)
+        t.add_vm("hub", 2, 2)
+        t.connect("a", "hub", 100)
+        classes = node_equivalence_classes(t)
+        assert classes["a"] != classes["b"]
+
+    def test_mutually_linked_twins_merge(self):
+        t = ApplicationTopology()
+        t.add_vm("a", 1, 1)
+        t.add_vm("b", 1, 1)
+        t.add_vm("hub", 2, 2)
+        t.connect("a", "hub", 100)
+        t.connect("b", "hub", 100)
+        classes = node_equivalence_classes(t)
+        assert classes["a"] == classes["b"]
+
+    def test_pair_linked_to_each_other(self):
+        t = ApplicationTopology()
+        t.add_vm("a", 1, 1)
+        t.add_vm("b", 1, 1)
+        t.connect("a", "b", 100)
+        classes = node_equivalence_classes(t)
+        assert classes["a"] == classes["b"]
+
+
+class TestBAStar:
+    def test_feasible_and_complete(self, three_tier, small_dc):
+        base = DataCenterState(small_dc)
+        result = BAStar().place(three_tier, small_dc, base)
+        assert set(result.placement.assignments) == set(three_tier.nodes)
+        verify_placement_feasible(three_tier, small_dc, base, result.placement)
+
+    def test_never_worse_than_eg(self, small_dc):
+        # BA* bounds itself with EG, so its objective can't be worse.
+        for seed in range(4):
+            state = DataCenterState(small_dc)
+            apply_random_load(state, fraction_hosts=0.4, seed=seed)
+            topo = make_three_tier(web=2, app=2, db=2)
+            objective = Objective.for_topology(topo, small_dc)
+            eg = EG().place(topo, small_dc, state, objective)
+            bastar = BAStar().place(topo, small_dc, state, objective)
+            assert (
+                bastar.objective_value <= eg.objective_value + 1e-9
+            ), f"seed={seed}"
+
+    def test_finds_optimal_on_tiny_instance(self):
+        cloud = build_datacenter(num_racks=2, hosts_per_rack=2)
+        t = ApplicationTopology()
+        t.add_vm("a", 10, 10)
+        t.add_vm("b", 10, 10)
+        t.add_vm("c", 2, 2)
+        t.connect("a", "b", 100)
+        t.connect("b", "c", 40)
+        t.add_zone("z", Level.HOST, ["a", "b"])
+        result = BAStar().place(t, cloud)
+        # optimum: a,b in same rack (2 hops for the 100 Mbps link),
+        # c co-located with b (0 hops)
+        assert result.reserved_bw_mbps == 100 * 2
+        assert result.new_active_hosts == 2
+
+    def test_symmetry_reduction_preserves_value(self, small_dc):
+        topo = make_three_tier(web=2, app=2, db=2)
+        state = DataCenterState(small_dc)
+        apply_random_load(state, fraction_hosts=0.3, seed=1)
+        objective = Objective.for_topology(topo, small_dc)
+        with_sym = BAStar(symmetry_reduction=True).place(
+            topo, small_dc, state, objective
+        )
+        without = BAStar(symmetry_reduction=False).place(
+            topo, small_dc, state, objective
+        )
+        assert with_sym.objective_value == pytest.approx(
+            without.objective_value, abs=1e-9
+        )
+
+    def test_expansion_cap_returns_incumbent(self, three_tier, small_dc):
+        result = BAStar(max_expansions=1).place(three_tier, small_dc)
+        assert set(result.placement.assignments) == set(three_tier.nodes)
+
+    def test_infeasible_raises(self, small_dc):
+        t = ApplicationTopology()
+        t.add_vm("huge", 1000, 1000)
+        with pytest.raises(PlacementError):
+            BAStar().place(t, small_dc)
+
+    def test_stats_populated(self, three_tier, small_dc):
+        result = BAStar().place(three_tier, small_dc)
+        assert result.stats.eg_bound_runs >= 1
+        assert result.stats.runtime_s > 0
+
+    def test_input_state_not_mutated(self, three_tier, small_dc):
+        state = DataCenterState(small_dc)
+        before = state.snapshot()
+        BAStar().place(three_tier, small_dc, state)
+        assert state.snapshot() == before
+
+    def test_respects_pinned(self, three_tier, small_dc):
+        result = BAStar().place(
+            three_tier, small_dc, pinned={"web0": (9, None)}
+        )
+        assert result.placement.host_of("web0") == 9

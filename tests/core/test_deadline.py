@@ -1,0 +1,122 @@
+"""Tests for DBA* (deadline-bounded A*)."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.astar import BAStar
+from repro.core.deadline import DBAStar
+from repro.core.greedy import EG
+from repro.core.objective import Objective
+from repro.datacenter.loadgen import apply_random_load
+from repro.datacenter.state import DataCenterState
+from repro.errors import DeadlineError
+from tests.conftest import make_three_tier
+from tests.core.test_greedy import verify_placement_feasible
+
+
+class TestConstruction:
+    def test_nonpositive_deadline_rejected(self):
+        with pytest.raises(DeadlineError):
+            DBAStar(deadline_s=0)
+        with pytest.raises(DeadlineError):
+            DBAStar(deadline_s=-1)
+
+
+class TestPlacementQuality:
+    def test_feasible_and_complete(self, three_tier, small_dc):
+        base = DataCenterState(small_dc)
+        result = DBAStar(deadline_s=0.5).place(three_tier, small_dc, base)
+        assert set(result.placement.assignments) == set(three_tier.nodes)
+        verify_placement_feasible(three_tier, small_dc, base, result.placement)
+
+    def test_never_worse_than_eg(self, small_dc):
+        for seed in range(3):
+            state = DataCenterState(small_dc)
+            apply_random_load(state, fraction_hosts=0.4, seed=seed)
+            topo = make_three_tier()
+            objective = Objective.for_topology(topo, small_dc)
+            eg = EG().place(topo, small_dc, state, objective)
+            dba = DBAStar(deadline_s=0.5, seed=seed).place(
+                topo, small_dc, state, objective
+            )
+            assert dba.objective_value <= eg.objective_value + 1e-9
+
+    def test_bracketed_by_bastar_and_eg(self, small_dc):
+        """BA* (admissible, exhaustive) <= DBA* <= EG on the same input.
+
+        DBA* explores with the informative (quasi-admissible) estimate, so
+        it may miss BA*'s optimum, but it can never do worse than its EG
+        incumbent.
+        """
+        state = DataCenterState(small_dc)
+        apply_random_load(state, fraction_hosts=0.3, seed=2)
+        topo = make_three_tier(web=2, app=1, db=2)
+        objective = Objective.for_topology(topo, small_dc)
+        eg = EG().place(topo, small_dc, state, objective)
+        ba = BAStar().place(topo, small_dc, state, objective)
+        dba = DBAStar(deadline_s=30.0).place(topo, small_dc, state, objective)
+        assert ba.objective_value <= dba.objective_value + 1e-9
+        assert dba.objective_value <= eg.objective_value + 1e-9
+
+
+class TestDeadline:
+    def test_returns_within_deadline(self, small_dc):
+        state = DataCenterState(small_dc)
+        apply_random_load(state, fraction_hosts=0.5, seed=3)
+        topo = make_three_tier(web=4, app=4, db=3)
+        deadline = 0.3
+        start = time.perf_counter()
+        result = DBAStar(deadline_s=deadline).place(topo, small_dc, state)
+        elapsed = time.perf_counter() - start
+        # generous slack: one expansion can overshoot slightly
+        assert elapsed < deadline * 5 + 1.0
+        assert set(result.placement.assignments) == set(topo.nodes)
+
+    def test_tiny_deadline_still_returns_placement(self, small_dc):
+        topo = make_three_tier()
+        result = DBAStar(deadline_s=0.001).place(topo, small_dc)
+        assert set(result.placement.assignments) == set(topo.nodes)
+
+    def test_deterministic_for_seed(self, small_dc):
+        state = DataCenterState(small_dc)
+        apply_random_load(state, fraction_hosts=0.4, seed=5)
+        topo = make_three_tier()
+        a = DBAStar(deadline_s=10.0, seed=42).place(topo, small_dc, state)
+        b = DBAStar(deadline_s=10.0, seed=42).place(topo, small_dc, state)
+        assert a.placement.assignments == b.placement.assignments
+
+
+class TestPruningController:
+    def test_prune_probability_respects_progress(self):
+        dba = DBAStar(deadline_s=1.0, seed=1)
+        dba._r = 1.0
+        # complete paths (progress 1.0) are never pruned
+        assert not any(dba._should_prune_pop(10, 10) for _ in range(100))
+        # shallow paths get pruned sometimes
+        assert any(dba._should_prune_pop(0, 10) for _ in range(100))
+
+    def test_no_pruning_when_r_zero(self):
+        dba = DBAStar(deadline_s=1.0)
+        dba._r = 0.0
+        assert not any(dba._should_prune_pop(0, 10) for _ in range(100))
+
+    def test_recalibrate_raises_r_under_pressure(self):
+        from collections import Counter
+
+        dba = DBAStar(deadline_s=10.0)
+        dba._t_start = time.perf_counter() - 9.99  # nearly out of time
+        dba._pops = 1000
+        dba._avg_branching = 10.0
+        open_depths = Counter({1: 5000, 2: 3000})
+        r_before = dba._r
+        dba._recalibrate(time.perf_counter(), open_depths)
+        assert dba._r > r_before
+
+    def test_estimate_paths_left_zero_when_empty(self):
+        from collections import Counter
+
+        dba = DBAStar(deadline_s=1.0)
+        assert dba._estimate_paths_left(Counter()) == 0.0

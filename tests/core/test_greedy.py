@@ -1,0 +1,190 @@
+"""Tests for EG, EGC, and EGBW."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.greedy import (
+    EG,
+    EGBW,
+    EGC,
+    GreedyConfig,
+    sort_nodes_by_relative_weight,
+)
+from repro.core.objective import Objective
+from repro.core.topology import ApplicationTopology
+from repro.datacenter.loadgen import apply_testbed_load
+from repro.datacenter.model import Level
+from repro.datacenter.network import PathResolver
+from repro.datacenter.state import DataCenterState
+from repro.errors import PlacementError
+from tests.conftest import make_three_tier
+
+ALGORITHMS = [EG(), EGC(), EGBW()]
+
+
+def verify_placement_feasible(topology, cloud, base_state, placement):
+    """Assert a placement passes the library's independent validator.
+
+    Thin wrapper over :func:`repro.core.validate.validate_placement`,
+    shared by many test modules.
+    """
+    from repro.core.validate import validate_placement
+
+    validate_placement(topology, cloud, base_state, placement)
+
+
+class TestSorting:
+    def test_relative_weight_order(self):
+        t = ApplicationTopology()
+        t.add_vm("small", 1, 1)
+        t.add_vm("big", 8, 8)
+        assert sort_nodes_by_relative_weight(t) == ["big", "small"]
+
+    def test_bandwidth_contributes_to_weight(self):
+        t = ApplicationTopology()
+        t.add_vm("quiet", 2, 2)
+        t.add_vm("chatty", 2, 2)
+        t.add_vm("peer", 2, 2)
+        t.connect("chatty", "peer", 1000)
+        order = sort_nodes_by_relative_weight(t)
+        assert order.index("chatty") < order.index("quiet")
+
+    def test_deterministic_tie_break(self):
+        t = ApplicationTopology()
+        t.add_vm("b", 1, 1)
+        t.add_vm("a", 1, 1)
+        assert sort_nodes_by_relative_weight(t) == ["a", "b"]
+
+
+@pytest.mark.parametrize("algo", ALGORITHMS, ids=lambda a: a.name)
+class TestAllGreedy:
+    def test_places_every_node(self, algo, three_tier, small_dc):
+        result = algo.place(three_tier, small_dc)
+        assert set(result.placement.assignments) == set(three_tier.nodes)
+
+    def test_placement_is_feasible(self, algo, three_tier, small_dc):
+        base = DataCenterState(small_dc)
+        result = algo.place(three_tier, small_dc, base)
+        verify_placement_feasible(
+            three_tier, small_dc, base, result.placement
+        )
+
+    def test_input_state_not_mutated(self, algo, three_tier, small_dc):
+        state = DataCenterState(small_dc)
+        before = state.snapshot()
+        algo.place(three_tier, small_dc, state)
+        assert state.snapshot() == before
+
+    def test_infeasible_raises(self, algo, small_dc):
+        t = ApplicationTopology()
+        t.add_vm("huge", 100, 100)
+        with pytest.raises(PlacementError):
+            algo.place(t, small_dc)
+
+    def test_respects_pinned(self, algo, three_tier, small_dc):
+        pinned = {"web0": (7, None)}
+        result = algo.place(three_tier, small_dc, pinned=pinned)
+        assert result.placement.host_of("web0") == 7
+
+
+class TestEG:
+    def test_colocates_linked_nodes_when_possible(self, small_dc):
+        t = ApplicationTopology()
+        t.add_vm("a", 2, 2)
+        t.add_vm("b", 2, 2)
+        t.connect("a", "b", 500)
+        result = EG().place(t, small_dc)
+        assert result.reserved_bw_mbps == 0.0
+        assert result.new_active_hosts == 1
+
+    def test_prefers_active_hosts_under_host_weight(self, testbed):
+        state = DataCenterState(testbed)
+        apply_testbed_load(state, seed=0)
+        t = ApplicationTopology()
+        t.add_vm("x", 2, 2)
+        obj = Objective.for_topology(t, testbed, theta_bw=0.6, theta_c=0.4)
+        result = EG().place(t, testbed, state, obj)
+        host = result.placement.host_of("x")
+        assert state.host_is_active(host)
+        assert result.new_active_hosts == 0
+
+    def test_diversity_zone_respected(self, small_dc):
+        t = make_three_tier(db=3)
+        result = EG().place(t, small_dc)
+        hosts = {result.placement.host_of(f"db{i}") for i in range(3)}
+        assert len(hosts) == 3
+
+    def test_dedup_matches_exhaustive(self, three_tier, small_dc):
+        base = DataCenterState(small_dc)
+        with_dedup = EG(GreedyConfig(dedup=True)).place(
+            three_tier, small_dc, base
+        )
+        without = EG(GreedyConfig(dedup=False)).place(
+            three_tier, small_dc, base
+        )
+        assert with_dedup.objective_value == pytest.approx(
+            without.objective_value
+        )
+        assert with_dedup.reserved_bw_mbps == pytest.approx(
+            without.reserved_bw_mbps
+        )
+        assert with_dedup.new_active_hosts == without.new_active_hosts
+
+    def test_candidate_preselection_still_feasible(self, three_tier, small_dc):
+        config = GreedyConfig(max_full_candidates=2)
+        base = DataCenterState(small_dc)
+        result = EG(config).place(three_tier, small_dc, base)
+        verify_placement_feasible(three_tier, small_dc, base, result.placement)
+
+
+class TestEGC:
+    def test_packs_tightest_host_first(self, small_dc):
+        state = DataCenterState(small_dc)
+        state.place_vm(3, 10, 20)  # host 3 is tightest but still fits
+        t = ApplicationTopology()
+        t.add_vm("x", 4, 4)
+        result = EGC().place(t, small_dc, state)
+        assert result.placement.host_of("x") == 3
+
+    def test_ignores_links_when_packing(self, testbed):
+        state = DataCenterState(testbed)
+        apply_testbed_load(state, seed=0)
+        t = ApplicationTopology()
+        t.add_vm("a", 2, 2)
+        t.add_vm("b", 2, 2)
+        t.connect("a", "b", 100)
+        result = EGC().place(t, testbed, state)
+        # both go to constrained hosts regardless of the link
+        for name in ("a", "b"):
+            assert state.free_cpu[result.placement.host_of(name)] < 5
+
+    def test_volume_on_fullest_disk(self, small_dc):
+        state = DataCenterState(small_dc)
+        state.place_volume(2, 800)
+        t = ApplicationTopology()
+        t.add_vm("vm", 1, 1)
+        t.add_volume("vol", 100)
+        t.connect("vm", "vol", 10)
+        result = EGC().place(t, small_dc, state)
+        assert result.placement.disk_of("vol") == 2
+
+
+class TestEGBW:
+    def test_colocates_linked_nodes(self, small_dc):
+        t = ApplicationTopology()
+        t.add_vm("a", 2, 2)
+        t.add_vm("b", 2, 2)
+        t.connect("a", "b", 500)
+        result = EGBW().place(t, small_dc)
+        assert result.reserved_bw_mbps == 0.0
+
+    def test_prefers_idle_high_bandwidth_hosts(self, testbed):
+        state = DataCenterState(testbed)
+        apply_testbed_load(state, seed=0)
+        t = ApplicationTopology()
+        t.add_vm("x", 2, 2)
+        result = EGBW().place(t, testbed, state)
+        # idle hosts have the most free NIC bandwidth
+        assert not state.host_is_active(result.placement.host_of("x"))
+        assert result.new_active_hosts == 1

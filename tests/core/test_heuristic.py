@@ -1,0 +1,184 @@
+"""Tests for the lower-bound estimator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.heuristic import EstimatorConfig, LowerBoundEstimator
+from repro.core.placement import PartialPlacement
+from repro.core.topology import ApplicationTopology
+from repro.datacenter.model import Level
+from repro.datacenter.network import PathResolver
+from repro.datacenter.state import DataCenterState
+
+
+def make_partial(topo, cloud):
+    return PartialPlacement(topo, DataCenterState(cloud), PathResolver(cloud))
+
+
+@pytest.fixture
+def chain_topo():
+    t = ApplicationTopology()
+    t.add_vm("a", 2, 2)
+    t.add_vm("b", 2, 2)
+    t.add_vm("c", 2, 2)
+    t.connect("a", "b", 100)
+    t.connect("b", "c", 50)
+    return t
+
+
+class TestBasics:
+    def test_empty_remaining_is_zero(self, chain_topo, small_dc):
+        partial = make_partial(chain_topo, small_dc)
+        estimator = LowerBoundEstimator(small_dc)
+        assert estimator.estimate(partial, []) == (0.0, 0)
+
+    def test_colocatable_chain_estimates_zero(self, chain_topo, small_dc):
+        # Everything fits on one (imaginary) host: optimistic bound is 0.
+        partial = make_partial(chain_topo, small_dc)
+        estimator = LowerBoundEstimator(small_dc)
+        ubw, uc = estimator.estimate(partial, ["a", "b", "c"])
+        assert ubw == 0.0
+        assert uc == 0
+
+    def test_estimate_never_negative(self, chain_topo, small_dc):
+        partial = make_partial(chain_topo, small_dc)
+        estimator = LowerBoundEstimator(small_dc)
+        partial.assign("a", 0)
+        ubw, _ = estimator.estimate(partial, ["b", "c"])
+        assert ubw >= 0.0
+
+
+class TestDiversityForcesSpread:
+    def test_host_zone_forces_min_hops(self, small_dc):
+        t = ApplicationTopology()
+        t.add_vm("a", 2, 2)
+        t.add_vm("b", 2, 2)
+        t.connect("a", "b", 100)
+        t.add_zone("z", Level.HOST, ["a", "b"])
+        partial = make_partial(t, small_dc)
+        estimator = LowerBoundEstimator(small_dc)
+        ubw, _ = estimator.estimate(partial, ["a", "b"])
+        # must be at least different hosts: 2 hops minimum
+        assert ubw == 100 * 2
+
+    def test_rack_zone_forces_more_hops(self, small_dc):
+        t = ApplicationTopology()
+        t.add_vm("a", 2, 2)
+        t.add_vm("b", 2, 2)
+        t.connect("a", "b", 100)
+        t.add_zone("z", Level.RACK, ["a", "b"])
+        partial = make_partial(t, small_dc)
+        estimator = LowerBoundEstimator(small_dc)
+        ubw, _ = estimator.estimate(partial, ["a", "b"])
+        # pod-less DC: rack separation costs 4 hops
+        assert ubw == 100 * 4
+
+
+class TestCapacityForcesSpread:
+    def test_oversubscription_creates_imaginary_hosts(self, small_dc):
+        t = ApplicationTopology()
+        # each host has 16 cores; three 8-core VMs cannot co-locate
+        for name in ("a", "b", "c"):
+            t.add_vm(name, 8, 8)
+        t.connect("a", "b", 100)
+        t.connect("b", "c", 100)
+        partial = make_partial(t, small_dc)
+        estimator = LowerBoundEstimator(small_dc)
+        ubw, uc = estimator.estimate(partial, ["a", "b", "c"])
+        assert ubw >= 100 * 2  # at least one link crosses hosts
+        assert uc == 0  # imaginary hosts never count
+
+
+class TestAgainstPlaced:
+    def test_links_to_placed_nodes_counted(self, chain_topo, small_dc):
+        partial = make_partial(chain_topo, small_dc)
+        estimator = LowerBoundEstimator(small_dc)
+        partial.assign("a", 0)
+        # 'b' still fits next to 'a' (real host 0 is a target), so the
+        # optimistic estimate may co-locate the rest: bound is 0.
+        ubw, _ = estimator.estimate(partial, ["b", "c"])
+        assert ubw == 0.0
+
+    def test_full_host_pushes_neighbors_away(self, chain_topo, small_dc):
+        partial = make_partial(chain_topo, small_dc)
+        estimator = LowerBoundEstimator(small_dc)
+        partial.assign("a", 0)
+        partial.state.place_vm(0, 14, 29)  # host 0 now full
+        ubw, _ = estimator.estimate(partial, ["b", "c"])
+        # b cannot join a, so the a<->b link costs at least 2 hops
+        assert ubw >= 100 * 2
+
+    def test_placed_pair_links_not_double_counted(self, chain_topo, small_dc):
+        partial = make_partial(chain_topo, small_dc)
+        estimator = LowerBoundEstimator(small_dc)
+        partial.assign("a", 0)
+        partial.assign("b", 4)  # the a<->b link is already in partial.ubw
+        ubw, _ = estimator.estimate(partial, ["c"])
+        # only the b<->c link remains to estimate, optimally co-located
+        assert ubw == 0.0
+
+
+class TestTruncation:
+    def test_truncation_only_loosens(self, small_dc):
+        t = ApplicationTopology()
+        for i in range(8):
+            t.add_vm(f"v{i}", 8, 8)
+        for i in range(7):
+            t.connect(f"v{i}", f"v{i + 1}", 100)
+        partial = make_partial(t, small_dc)
+        full = LowerBoundEstimator(small_dc)
+        truncated = LowerBoundEstimator(small_dc, EstimatorConfig(max_nodes=2))
+        remaining = [f"v{i}" for i in range(8)]
+        full_bw, _ = full.estimate(partial, remaining)
+        trunc_bw, _ = truncated.estimate(partial, remaining)
+        assert trunc_bw <= full_bw
+
+
+class TestAdmissibilityOnSmallInstances:
+    """Estimator bound vs. true optimum found by brute force."""
+
+    def _brute_force_best(self, topo, cloud, objective):
+        from itertools import product
+
+        from repro.core.placement import PartialPlacement as PP
+
+        names = list(topo.nodes)
+        best = float("inf")
+        state = DataCenterState(cloud)
+        resolver = PathResolver(cloud)
+        for hosts in product(range(cloud.num_hosts), repeat=len(names)):
+            partial = PP(topo, state, resolver)
+            try:
+                for name, host in zip(names, hosts):
+                    node = topo.node(name)
+                    disk = (
+                        cloud.hosts[host].disks[0].index
+                        if not node.is_vm
+                        else None
+                    )
+                    partial.assign(name, host, disk)
+            except Exception:
+                continue
+            best = min(best, objective.score(partial.ubw, partial.uc))
+        return best
+
+    def test_root_estimate_below_true_optimum(self):
+        from repro.core.objective import Objective
+        from repro.datacenter.builder import build_datacenter
+
+        cloud = build_datacenter(num_racks=2, hosts_per_rack=2)
+        t = ApplicationTopology()
+        t.add_vm("a", 10, 10)
+        t.add_vm("b", 10, 10)
+        t.add_vm("c", 2, 2)
+        t.connect("a", "b", 100)
+        t.connect("b", "c", 40)
+        t.add_zone("z", Level.HOST, ["a", "b"])
+        objective = Objective.for_topology(t, cloud)
+        partial = make_partial(t, cloud)
+        estimator = LowerBoundEstimator(cloud)
+        est_bw, est_c = estimator.estimate(partial, list(t.nodes))
+        root_value = objective.score(est_bw, est_c)
+        optimum = self._brute_force_best(t, cloud, objective)
+        assert root_value <= optimum + 1e-9

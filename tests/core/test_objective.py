@@ -1,0 +1,72 @@
+"""Tests for the normalized objective function."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.objective import Objective
+from repro.core.topology import ApplicationTopology
+from repro.errors import TopologyError
+
+
+def _topo_with_links():
+    t = ApplicationTopology()
+    t.add_vm("a", 1, 1)
+    t.add_vm("b", 1, 1)
+    t.connect("a", "b", 100)
+    return t
+
+
+class TestWeights:
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(TopologyError):
+            Objective(theta_bw=0.5, theta_c=0.6, ubw_hat=1, uc_hat=1)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(TopologyError):
+            Objective(theta_bw=-0.1, theta_c=1.1, ubw_hat=1, uc_hat=1)
+
+
+class TestScore:
+    def test_zero_usage_scores_zero(self):
+        obj = Objective(0.6, 0.4, ubw_hat=1000, uc_hat=10)
+        assert obj.score(0, 0) == 0.0
+
+    def test_worst_case_scores_one(self):
+        obj = Objective(0.6, 0.4, ubw_hat=1000, uc_hat=10)
+        assert obj.score(1000, 10) == pytest.approx(1.0)
+
+    def test_monotone_in_both_terms(self):
+        obj = Objective(0.6, 0.4, ubw_hat=1000, uc_hat=10)
+        assert obj.score(100, 1) < obj.score(200, 1)
+        assert obj.score(100, 1) < obj.score(100, 2)
+
+    def test_no_links_bw_term_vanishes(self):
+        obj = Objective(0.6, 0.4, ubw_hat=0, uc_hat=10)
+        assert obj.score(0, 5) == pytest.approx(0.4 * 0.5)
+
+
+class TestForTopology:
+    def test_normalizers(self, small_dc):
+        topo = _topo_with_links()
+        obj = Objective.for_topology(topo, small_dc)
+        # worst case: 100 Mbps across the 4-hop maximum path
+        assert obj.ubw_hat == 100 * 4
+        assert obj.uc_hat == 2
+
+    def test_uc_hat_bounded_by_hosts(self, small_dc):
+        topo = ApplicationTopology()
+        for i in range(100):
+            topo.add_vm(f"v{i}", 1, 1)
+        obj = Objective.for_topology(topo, small_dc)
+        assert obj.uc_hat == small_dc.num_hosts
+
+    def test_paper_default_weights(self, small_dc):
+        obj = Objective.for_topology(_topo_with_links(), small_dc)
+        assert obj.theta_bw == 0.6
+        assert obj.theta_c == 0.4
+
+    def test_scores_in_unit_interval(self, small_dc):
+        topo = _topo_with_links()
+        obj = Objective.for_topology(topo, small_dc)
+        assert 0.0 <= obj.score(150, 1) <= 1.0

@@ -1,0 +1,146 @@
+"""Tests for online adaptation (Section IV-E)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.online import add_vms_to_tier, diff_topologies
+from repro.core.scheduler import Ostro
+from repro.core.topology import ApplicationTopology
+from repro.errors import PlacementError
+from tests.conftest import make_three_tier
+
+
+def deploy_three_tier(small_dc):
+    ostro = Ostro(small_dc)
+    topo = make_three_tier()
+    ostro.place(topo, algorithm="eg")
+    return ostro, topo
+
+
+class TestDiff:
+    def test_added_removed_changed(self):
+        old = make_three_tier()
+        new = old.copy()
+        new.remove_node("web1")
+        new.add_vm("cache0", 2, 4)
+        added, removed, changed = diff_topologies(old, new)
+        assert added == ["cache0"]
+        assert removed == ["web1"]
+        assert changed == []
+
+    def test_requirement_change_detected(self):
+        old = make_three_tier()
+        new = make_three_tier()
+        new.remove_node("web0")
+        new.add_vm("web0", 8, 8)  # resized
+        _, _, changed = diff_topologies(old, new)
+        assert changed == ["web0"]
+
+
+class TestUpdate:
+    def test_add_vms_keeps_existing_in_place(self, small_dc):
+        ostro, topo = deploy_three_tier(small_dc)
+        old_placement = ostro.deployed(topo.name).placement
+        grown = topo.copy()
+        grown.add_vm("web2", 1, 1)
+        grown.connect("web2", "app0", 100)
+        update = ostro.update(grown, algorithm="eg")
+        assert update.added == ["web2"]
+        assert update.moved == []
+        assert update.unpin_rounds == 0
+        for name in topo.nodes:
+            assert update.result.placement.host_of(name) == old_placement.host_of(
+                name
+            )
+
+    def test_remove_vm_releases_capacity(self, small_dc):
+        ostro, topo = deploy_three_tier(small_dc)
+        shrunk = topo.copy()
+        shrunk.remove_node("web1")
+        update = ostro.update(shrunk, algorithm="eg")
+        assert update.removed == ["web1"]
+        assert "web1" not in update.result.placement.assignments
+
+    def test_update_result_committed(self, small_dc):
+        ostro, topo = deploy_three_tier(small_dc)
+        grown = topo.copy()
+        grown.add_vm("extra", 2, 2)
+        grown.connect("extra", "db0", 50)
+        ostro.update(grown, algorithm="eg")
+        deployed = ostro.deployed(topo.name)
+        assert "extra" in deployed.placement.assignments
+
+    def test_unknown_app_raises(self, small_dc):
+        ostro = Ostro(small_dc)
+        with pytest.raises(PlacementError):
+            ostro.update(make_three_tier(), algorithm="eg")
+
+    def test_infeasible_update_restores_original(self, small_dc):
+        ostro, topo = deploy_three_tier(small_dc)
+        snapshot = ostro.state.snapshot()
+        impossible = topo.copy()
+        impossible.add_vm("monster", 1000, 1000)
+        with pytest.raises(PlacementError):
+            ostro.update(impossible, algorithm="eg")
+        assert ostro.state.snapshot() == snapshot
+        assert set(ostro.deployed(topo.name).placement.assignments) == set(
+            topo.nodes
+        )
+
+    def test_unpinning_when_pins_block(self, small_dc):
+        """Force repositioning: the added VM needs more bandwidth to its
+        pinned neighbor than the neighbor's host NIC has left, so the
+        neighbor must move (unpin) for the update to go through."""
+        ostro = Ostro(small_dc)
+        topo = ApplicationTopology("pair")
+        topo.add_vm("a", 8, 8)
+        topo.add_vm("b", 1, 1)
+        ostro.place(topo, algorithm="eg")
+        placement = ostro.deployed("pair").placement
+        host_a = placement.host_of("a")
+        spare = next(
+            h for h in range(small_dc.num_hosts)
+            if not ostro.state.host_is_active(h)
+        )
+        # exhaust a's host: no CPU for a newcomer, NIC below the new demand
+        ostro.state.place_vm(host_a, ostro.state.free_cpu[host_a], 0.5)
+        nic_a = small_dc.hosts[host_a].link_index
+        ostro.state.reserve_path((nic_a,), ostro.state.free_bw[nic_a] - 1000)
+        # fill every host except a's, b's, and one spare
+        keep_free = {host_a, placement.host_of("b"), spare}
+        for h in range(small_dc.num_hosts):
+            if h not in keep_free:
+                ostro.state.place_vm(
+                    h, ostro.state.free_cpu[h], ostro.state.free_mem[h]
+                )
+        grown = topo.copy()
+        grown.add_vm("c", 8, 8)
+        grown.connect("c", "a", 6000)  # exceeds a's remaining NIC headroom
+        update = ostro.update(grown, algorithm="eg")
+        assert "c" in update.result.placement.assignments
+        assert update.unpin_rounds >= 1
+        assert "a" in update.moved
+        # a and c ended up co-located (the only way to carry 6 Gbps)
+        assert update.result.placement.host_of(
+            "a"
+        ) == update.result.placement.host_of("c")
+
+
+class TestAddVmsToTier:
+    def test_grows_by_fraction(self):
+        topo = make_three_tier(web=10)
+        grown = add_vms_to_tier(topo, "web", 0.1)
+        new = [n for n in grown.nodes if n.startswith("web-extra")]
+        assert len(new) == 1
+
+    def test_new_vms_mirror_template_links(self):
+        topo = make_three_tier()
+        grown = add_vms_to_tier(topo, "web", 0.5)
+        template_neighbors = {n for n, _ in topo.neighbors("web0")}
+        extra_neighbors = {n for n, _ in grown.neighbors("web-extra1")}
+        assert extra_neighbors == template_neighbors
+
+    def test_unknown_prefix_raises(self):
+        with pytest.raises(PlacementError):
+            add_vms_to_tier(make_three_tier(), "nope", 0.1)

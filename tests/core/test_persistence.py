@@ -1,0 +1,100 @@
+"""Tests for placement and inventory persistence."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.persistence import (
+    inventory_to_dict,
+    load_inventory,
+    placement_from_dict,
+    placement_to_dict,
+    restore_inventory,
+    save_inventory,
+)
+from repro.core.scheduler import Ostro
+from repro.errors import DataCenterError, ReproError
+from tests.conftest import make_three_tier
+
+
+@pytest.fixture
+def deployed(small_dc):
+    ostro = Ostro(small_dc)
+    topo = make_three_tier()
+    result = ostro.place(topo, algorithm="eg")
+    return ostro, topo, result
+
+
+class TestPlacementRoundTrip:
+    def test_roundtrip_preserves_assignments(self, deployed, small_dc):
+        _, _, result = deployed
+        data = placement_to_dict(result.placement, small_dc)
+        restored = placement_from_dict(data, small_dc)
+        assert restored.assignments == result.placement.assignments
+        assert restored.reserved_bw_mbps == result.placement.reserved_bw_mbps
+
+    def test_uses_names_not_indices(self, deployed, small_dc):
+        _, _, result = deployed
+        data = placement_to_dict(result.placement, small_dc)
+        hosts = {entry["host"] for entry in data["assignments"].values()}
+        assert hosts <= {h.name for h in small_dc.hosts}
+
+    def test_volume_disks_preserved(self, deployed, small_dc):
+        _, _, result = deployed
+        data = placement_to_dict(result.placement, small_dc)
+        assert "disk" in data["assignments"]["vol0"]
+        restored = placement_from_dict(data, small_dc)
+        assert restored.disk_of("vol0") == result.placement.disk_of("vol0")
+
+    def test_json_serializable(self, deployed, small_dc):
+        _, _, result = deployed
+        json.dumps(placement_to_dict(result.placement, small_dc))
+
+    def test_unknown_host_rejected(self, deployed, small_dc):
+        _, _, result = deployed
+        data = placement_to_dict(result.placement, small_dc)
+        first = next(iter(data["assignments"].values()))
+        first["host"] = "ghost-host"
+        with pytest.raises(DataCenterError):
+            placement_from_dict(data, small_dc)
+
+    def test_missing_field_rejected(self, small_dc):
+        with pytest.raises(ReproError, match="missing field"):
+            placement_from_dict({"assignments": {}}, small_dc)
+
+
+class TestInventory:
+    def test_restore_reproduces_state(self, deployed, small_dc):
+        ostro, _, _ = deployed
+        data = inventory_to_dict(ostro)
+        fresh = Ostro(small_dc)
+        restore_inventory(fresh, data)
+        assert fresh.state.snapshot() == ostro.state.snapshot()
+        assert set(fresh.applications) == set(ostro.applications)
+
+    def test_restored_apps_are_removable(self, deployed, small_dc):
+        ostro, topo, _ = deployed
+        fresh = Ostro(small_dc)
+        pristine = fresh.state.snapshot()
+        restore_inventory(fresh, inventory_to_dict(ostro))
+        fresh.remove(topo.name)
+        assert fresh.state.snapshot() == pristine
+
+    def test_file_roundtrip(self, deployed, small_dc, tmp_path):
+        ostro, _, _ = deployed
+        path = str(tmp_path / "inventory.json")
+        save_inventory(ostro, path)
+        fresh = Ostro(small_dc)
+        load_inventory(fresh, path)
+        assert fresh.state.snapshot() == ostro.state.snapshot()
+
+    def test_multiple_applications(self, small_dc):
+        ostro = Ostro(small_dc)
+        for i in range(2):
+            ostro.place(make_three_tier().copy(f"app{i}"), algorithm="eg")
+        fresh = Ostro(small_dc)
+        restore_inventory(fresh, inventory_to_dict(ostro))
+        assert set(fresh.applications) == {"app0", "app1"}
+        assert fresh.state.snapshot() == ostro.state.snapshot()

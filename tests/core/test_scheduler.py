@@ -1,0 +1,141 @@
+"""Tests for the Ostro facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.greedy import EG
+from repro.core.scheduler import Ostro, make_algorithm
+from repro.core.topology import ApplicationTopology
+from repro.errors import PlacementError, ReproError
+from tests.conftest import make_three_tier
+
+
+class TestAlgorithmRegistry:
+    @pytest.mark.parametrize(
+        "name,cls_name",
+        [
+            ("eg", "EG"),
+            ("EGC", "EGC"),
+            ("egbw", "EGBW"),
+            ("ba*", "BAStar"),
+            ("ba", "BAStar"),
+            ("astar", "BAStar"),
+            ("dba*", "DBAStar"),
+            ("dba", "DBAStar"),
+        ],
+    )
+    def test_names_and_aliases(self, name, cls_name):
+        assert type(make_algorithm(name)).__name__ == cls_name
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ReproError, match="unknown placement algorithm"):
+            make_algorithm("simulated-annealing")
+
+    def test_options_forwarded(self):
+        dba = make_algorithm("dba*", deadline_s=2.5, seed=7)
+        assert dba.deadline_s == 2.5
+        assert dba.seed == 7
+
+
+class TestPlaceAndCommit:
+    def test_commit_consumes_live_state(self, small_dc, three_tier):
+        ostro = Ostro(small_dc)
+        before_cpu = sum(ostro.state.free_cpu)
+        result = ostro.place(three_tier, algorithm="eg")
+        total_vcpus = sum(vm.vcpus for vm in three_tier.vms())
+        assert sum(ostro.state.free_cpu) == before_cpu - total_vcpus
+        assert three_tier.name in ostro.applications
+
+    def test_commit_false_leaves_state(self, small_dc, three_tier):
+        ostro = Ostro(small_dc)
+        snapshot = ostro.state.snapshot()
+        ostro.place(three_tier, algorithm="eg", commit=False)
+        assert ostro.state.snapshot() == snapshot
+        assert three_tier.name not in ostro.applications
+
+    def test_duplicate_app_name_rejected(self, small_dc, three_tier):
+        ostro = Ostro(small_dc)
+        ostro.place(three_tier, algorithm="eg")
+        with pytest.raises(PlacementError, match="already deployed"):
+            ostro.place(three_tier, algorithm="eg")
+
+    def test_algorithm_instance_accepted(self, small_dc, three_tier):
+        ostro = Ostro(small_dc)
+        result = ostro.place(three_tier, algorithm=EG(), commit=False)
+        assert set(result.placement.assignments) == set(three_tier.nodes)
+
+    def test_sequential_apps_see_consumed_capacity(self, small_dc):
+        ostro = Ostro(small_dc)
+        first = make_three_tier()
+        first_result = ostro.place(first, algorithm="eg")
+        second = make_three_tier().copy("second")
+        second_result = ostro.place(second, algorithm="eg")
+        # second app was placed against reduced capacity: both committed
+        assert len(ostro.applications) == 2
+
+    def test_remove_restores_state(self, small_dc, three_tier):
+        ostro = Ostro(small_dc)
+        snapshot = ostro.state.snapshot()
+        ostro.place(three_tier, algorithm="eg")
+        ostro.remove(three_tier.name)
+        assert ostro.state.snapshot() == snapshot
+        assert three_tier.name not in ostro.applications
+
+    def test_remove_unknown_raises(self, small_dc):
+        with pytest.raises(PlacementError, match="unknown application"):
+            Ostro(small_dc).remove("ghost")
+
+    def test_commit_requires_full_coverage(self, small_dc, three_tier):
+        ostro = Ostro(small_dc)
+        result = ostro.place(three_tier, algorithm="eg", commit=False)
+        partial_placement = result.placement
+        incomplete = type(partial_placement)(
+            app_name=partial_placement.app_name,
+            assignments={
+                k: v
+                for k, v in partial_placement.assignments.items()
+                if k != "web0"
+            },
+            reserved_bw_mbps=0,
+            new_active_hosts=0,
+            hosts_used=0,
+        )
+        with pytest.raises(PlacementError, match="does not cover"):
+            ostro.commit(three_tier, incomplete)
+
+    def test_deployed_lookup(self, small_dc, three_tier):
+        ostro = Ostro(small_dc)
+        ostro.place(three_tier, algorithm="eg")
+        deployed = ostro.deployed(three_tier.name)
+        assert set(deployed.placement.assignments) == set(three_tier.nodes)
+        with pytest.raises(PlacementError):
+            ostro.deployed("ghost")
+
+
+class TestCapacityExhaustion:
+    def test_placement_error_when_cloud_full(self, small_dc):
+        ostro = Ostro(small_dc)
+        # fill the cloud with large apps until one fails
+        placed = 0
+        with pytest.raises(PlacementError):
+            for i in range(100):
+                app = ApplicationTopology(f"filler{i}")
+                for j in range(4):
+                    app.add_vm(f"vm{j}", 8, 16)
+                ostro.place(app, algorithm="egc")
+                placed += 1
+        # the failed placement must not have leaked reservations
+        assert len(ostro.applications) == placed
+
+    def test_failed_commit_rolls_back(self, small_dc, three_tier):
+        ostro = Ostro(small_dc)
+        result = ostro.place(three_tier, algorithm="eg", commit=False)
+        # sabotage: fill the chosen host so commit fails mid-way
+        host = result.placement.host_of("db0")
+        ostro.state.place_vm(host, ostro.state.free_cpu[host], 0.0)
+        snapshot = ostro.state.snapshot()
+        with pytest.raises(ReproError):
+            ostro.commit(three_tier, result.placement)
+        assert ostro.state.snapshot() == snapshot
+        assert three_tier.name not in ostro.applications

@@ -1,0 +1,78 @@
+"""Tests for the BA*/DBA* search-mode contracts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.astar import BAStar
+from repro.core.deadline import DBAStar
+from repro.core.greedy import GreedyConfig
+from repro.core.heuristic import EstimatorConfig
+from repro.errors import PlacementError
+from tests.conftest import make_three_tier
+
+
+class TestModeAttributes:
+    def test_bastar_is_sound_mode(self):
+        ba = BAStar()
+        assert ba.ordering == "admissible"
+        assert ba.terminate_on_bound is True
+        assert ba.eg_rerun_policy == "per-depth"
+
+    def test_dbastar_is_anytime_mode(self):
+        dba = DBAStar(deadline_s=1.0)
+        assert dba.ordering == "informative"
+        assert dba.terminate_on_bound is False
+        assert dba.eg_rerun_policy == "on-advance"
+        assert dba.eg_rerun_every_pops == 25
+
+
+class TestEstimatorConfigPlumbing:
+    def test_admissible_variant(self):
+        config = EstimatorConfig(max_nodes=7, optimistic_colocation=False)
+        relaxed = config.admissible()
+        assert relaxed.optimistic_colocation is True
+        assert relaxed.max_nodes == 7
+
+    def test_greedy_config_defaults_are_paper_faithful(self):
+        config = GreedyConfig()
+        assert config.dedup is True
+        assert config.max_full_candidates is None  # exhaustive, as in paper
+        assert config.estimator.optimistic_colocation is False  # literal
+
+
+class TestPinnedValidation:
+    def test_infeasible_pin_raises(self, small_dc):
+        topo = make_three_tier()
+        # pin two host-diverse db replicas onto the same host
+        with pytest.raises(PlacementError):
+            BAStar().place(
+                topo,
+                small_dc,
+                pinned={"db0": (0, None), "db1": (0, None)},
+            )
+
+    def test_pin_on_full_host_raises(self, small_dc):
+        from repro.datacenter.state import DataCenterState
+
+        topo = make_three_tier()
+        state = DataCenterState(small_dc)
+        state.place_vm(3, 16, 31)
+        with pytest.raises(PlacementError):
+            BAStar().place(topo, small_dc, state, pinned={"db0": (3, None)})
+
+
+class TestDeterminism:
+    def test_bastar_deterministic(self, small_dc):
+        topo = make_three_tier()
+        a = BAStar().place(topo, small_dc)
+        b = BAStar().place(topo, small_dc)
+        assert a.placement.assignments == b.placement.assignments
+
+    def test_eg_deterministic(self, small_dc):
+        from repro.core.greedy import EG
+
+        topo = make_three_tier()
+        a = EG().place(topo, small_dc)
+        b = EG().place(topo, small_dc)
+        assert a.placement.assignments == b.placement.assignments

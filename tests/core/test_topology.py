@@ -1,0 +1,156 @@
+"""Tests for the application-topology model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.topology import ApplicationTopology
+from repro.datacenter.model import Level
+from repro.errors import TopologyError
+
+
+@pytest.fixture
+def topo():
+    t = ApplicationTopology("t")
+    t.add_vm("a", 2, 4)
+    t.add_vm("b", 1, 1)
+    t.add_volume("v", 100)
+    t.connect("a", "b", 100)
+    t.connect("a", "v", 200)
+    return t
+
+
+class TestConstruction:
+    def test_nodes_and_kinds(self, topo):
+        assert topo.node("a").is_vm
+        assert not topo.node("v").is_vm
+        assert len(topo.vms()) == 2
+        assert len(topo.volumes()) == 1
+        assert topo.size() == 3
+
+    def test_duplicate_name_rejected(self, topo):
+        with pytest.raises(TopologyError, match="duplicate"):
+            topo.add_vm("a", 1, 1)
+        with pytest.raises(TopologyError, match="duplicate"):
+            topo.add_volume("b", 10)
+
+    def test_empty_name_rejected(self):
+        t = ApplicationTopology()
+        with pytest.raises(TopologyError):
+            t.add_vm("", 1, 1)
+
+    def test_nonpositive_requirements_rejected(self):
+        t = ApplicationTopology()
+        with pytest.raises(TopologyError):
+            t.add_vm("x", 0, 1)
+        with pytest.raises(TopologyError):
+            t.add_vm("x", 1, -1)
+        with pytest.raises(TopologyError):
+            t.add_volume("x", 0)
+
+    def test_unknown_node_lookup(self, topo):
+        with pytest.raises(TopologyError):
+            topo.node("zzz")
+
+
+class TestLinks:
+    def test_adjacency_is_symmetric(self, topo):
+        assert ("b", 100.0) in topo.neighbors("a")
+        assert ("a", 100.0) in topo.neighbors("b")
+
+    def test_self_link_rejected(self, topo):
+        with pytest.raises(TopologyError, match="self-link"):
+            topo.connect("a", "a", 10)
+
+    def test_unknown_endpoint_rejected(self, topo):
+        with pytest.raises(TopologyError):
+            topo.connect("a", "zzz", 10)
+
+    def test_volume_volume_link_rejected(self, topo):
+        topo.add_volume("v2", 10)
+        with pytest.raises(TopologyError, match="two volumes"):
+            topo.connect("v", "v2", 10)
+
+    def test_negative_bandwidth_rejected(self, topo):
+        with pytest.raises(TopologyError):
+            topo.connect("b", "v", -1)
+
+    def test_bandwidth_of_node(self, topo):
+        assert topo.bandwidth_of("a") == 300
+        assert topo.bandwidth_of("b") == 100
+        assert topo.bandwidth_of("v") == 200
+
+    def test_total_link_bandwidth(self, topo):
+        assert topo.total_link_bandwidth() == 300
+
+
+class TestZones:
+    def test_add_zone(self, topo):
+        zone = topo.add_zone("z", Level.RACK, ["a", "b"])
+        assert zone in topo.zones_of("a")
+        assert zone in topo.zones_of("b")
+        assert zone not in topo.zones_of("v")
+
+    def test_zone_needs_two_members(self, topo):
+        with pytest.raises(TopologyError, match="two members"):
+            topo.add_zone("z", Level.HOST, ["a"])
+
+    def test_zone_unknown_member_rejected(self, topo):
+        with pytest.raises(TopologyError, match="unknown"):
+            topo.add_zone("z", Level.HOST, ["a", "zzz"])
+
+    def test_duplicate_zone_rejected(self, topo):
+        topo.add_zone("z", Level.HOST, ["a", "b"])
+        with pytest.raises(TopologyError, match="duplicate"):
+            topo.add_zone("z", Level.HOST, ["a", "v"])
+
+    def test_node_in_multiple_zones(self, topo):
+        z1 = topo.add_zone("z1", Level.HOST, ["a", "b"])
+        z2 = topo.add_zone("z2", Level.RACK, ["a", "v"])
+        assert set(topo.zones_of("a")) == {z1, z2}
+
+
+class TestRequirementVector:
+    def test_vm_vector(self, topo):
+        assert topo.requirement_vector("a") == (2, 4, 0.0, 300)
+
+    def test_volume_vector(self, topo):
+        assert topo.requirement_vector("v") == (0.0, 0.0, 100, 200)
+
+
+class TestRemoveNode:
+    def test_remove_drops_links(self, topo):
+        topo.remove_node("a")
+        assert "a" not in topo.nodes
+        assert topo.neighbors("b") == []
+        assert all("a" not in (l.a, l.b) for l in topo.links)
+
+    def test_remove_shrinks_zones(self, topo):
+        topo.add_zone("z", Level.HOST, ["a", "b", "v"])
+        topo.remove_node("a")
+        (zone,) = topo.zones
+        assert zone.members == frozenset({"b", "v"})
+
+    def test_remove_drops_tiny_zones(self, topo):
+        topo.add_zone("z", Level.HOST, ["a", "b"])
+        topo.remove_node("a")
+        assert topo.zones == []
+
+    def test_remove_unknown_raises(self, topo):
+        with pytest.raises(TopologyError):
+            topo.remove_node("zzz")
+
+
+class TestCopyAndValidate:
+    def test_copy_is_independent(self, topo):
+        dup = topo.copy("dup")
+        dup.add_vm("c", 1, 1)
+        assert "c" not in topo.nodes
+        assert dup.name == "dup"
+
+    def test_validate_empty_fails(self):
+        with pytest.raises(TopologyError):
+            ApplicationTopology("empty").validate()
+
+    def test_validate_ok(self, topo):
+        topo.validate()

@@ -1,0 +1,112 @@
+"""Tests for the independent placement validator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.greedy import EG
+from repro.core.placement import Assignment, Placement
+from repro.core.topology import ApplicationTopology
+from repro.core.validate import (
+    PlacementViolation,
+    placement_violations,
+    validate_placement,
+)
+from repro.datacenter.model import Level
+from repro.datacenter.state import DataCenterState
+from tests.conftest import make_three_tier
+
+
+def place(mapping, name="app"):
+    return Placement(
+        app_name=name,
+        assignments={
+            n: Assignment(n, host, disk) for n, (host, disk) in mapping.items()
+        },
+        reserved_bw_mbps=0,
+        new_active_hosts=0,
+        hosts_used=0,
+    )
+
+
+@pytest.fixture
+def topo():
+    t = ApplicationTopology("v")
+    t.add_vm("a", 4, 8)
+    t.add_vm("b", 4, 8)
+    t.add_volume("vol", 100)
+    t.connect("a", "b", 500, max_hops=4)
+    t.connect("a", "vol", 200)
+    t.add_zone("z", Level.HOST, ["a", "b"])
+    return t
+
+
+class TestValid:
+    def test_algorithm_output_passes(self, small_dc):
+        topo = make_three_tier()
+        state = DataCenterState(small_dc)
+        result = EG().place(topo, small_dc, state)
+        validate_placement(topo, small_dc, state, result.placement)
+
+    def test_hand_built_valid_placement(self, topo, small_dc):
+        state = DataCenterState(small_dc)
+        good = place({"a": (0, None), "b": (1, None), "vol": (0, 0)})
+        assert placement_violations(topo, small_dc, state, good) == []
+
+
+class TestViolations:
+    def test_missing_node(self, topo, small_dc):
+        state = DataCenterState(small_dc)
+        bad = place({"a": (0, None)})
+        (violation,) = placement_violations(topo, small_dc, state, bad)
+        assert "not placed" in violation
+
+    def test_capacity_violation(self, topo, small_dc):
+        state = DataCenterState(small_dc)
+        state.place_vm(0, 14, 30)
+        bad = place({"a": (0, None), "b": (1, None), "vol": (1, 1)})
+        violations = placement_violations(topo, small_dc, state, bad)
+        assert any("capacity" in v for v in violations)
+
+    def test_diversity_violation(self, topo, small_dc):
+        state = DataCenterState(small_dc)
+        bad = place({"a": (0, None), "b": (0, None), "vol": (0, 0)})
+        violations = placement_violations(topo, small_dc, state, bad)
+        assert any("diversity" in v for v in violations)
+
+    def test_bandwidth_violation(self, topo, small_dc):
+        state = DataCenterState(small_dc)
+        nic = small_dc.hosts[0].link_index
+        state.reserve_path((nic,), small_dc.link_capacity_mbps[nic] - 100)
+        bad = place({"a": (0, None), "b": (4, None), "vol": (4, 4)})
+        violations = placement_violations(topo, small_dc, state, bad)
+        assert any("bandwidth" in v for v in violations)
+
+    def test_latency_violation(self, small_dc):
+        t = ApplicationTopology("lat")
+        t.add_vm("a", 1, 1)
+        t.add_vm("b", 1, 1)
+        t.connect("a", "b", 10, max_hops=2)
+        state = DataCenterState(small_dc)
+        bad = place({"a": (0, None), "b": (8, None)})  # cross-rack: 4 hops
+        violations = placement_violations(t, small_dc, state, bad)
+        assert any("latency" in v for v in violations)
+
+    def test_disk_host_mismatch(self, topo, small_dc):
+        state = DataCenterState(small_dc)
+        bad = place({"a": (0, None), "b": (1, None), "vol": (0, 5)})
+        violations = placement_violations(topo, small_dc, state, bad)
+        assert any("is not on" in v for v in violations)
+
+    def test_volume_without_disk(self, topo, small_dc):
+        state = DataCenterState(small_dc)
+        bad = place({"a": (0, None), "b": (1, None), "vol": (0, None)})
+        violations = placement_violations(topo, small_dc, state, bad)
+        assert any("has no disk" in v for v in violations)
+
+    def test_raise_form_collects_everything(self, topo, small_dc):
+        state = DataCenterState(small_dc)
+        bad = place({"a": (0, None), "b": (0, None), "vol": (0, None)})
+        with pytest.raises(PlacementViolation) as excinfo:
+            validate_placement(topo, small_dc, state, bad)
+        assert len(excinfo.value.violations) >= 2

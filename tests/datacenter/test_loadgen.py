@@ -1,0 +1,96 @@
+"""Tests for the background-load generators (Table IV / testbed preload)."""
+
+from __future__ import annotations
+
+from repro.datacenter.builder import build_datacenter, build_testbed
+from repro.datacenter.loadgen import (
+    apply_random_load,
+    apply_table_iv_load,
+    apply_testbed_load,
+)
+from repro.datacenter.state import DataCenterState
+
+
+class TestTestbedLoad:
+    def test_group_availability_matches_paper(self):
+        state = DataCenterState(build_testbed())
+        apply_testbed_load(state, seed=1)
+        # lightly utilized: 8 or 10 free cores, > 20 GB free
+        for h in range(0, 4):
+            assert state.free_cpu[h] in (8, 10)
+            assert state.free_mem[h] > 20
+        # medium: 5-6 free cores, 15-19 GB
+        for h in range(4, 8):
+            assert 5 <= state.free_cpu[h] <= 6
+            assert 15 <= state.free_mem[h] <= 19
+        # constrained: < 5 cores, < 15 GB
+        for h in range(8, 12):
+            assert state.free_cpu[h] < 5
+            assert state.free_mem[h] < 15
+        # idle
+        for h in range(12, 16):
+            assert state.free_cpu[h] == 16
+            assert state.free_mem[h] == 32
+            assert not state.host_is_active(h)
+
+    def test_loaded_hosts_are_active(self):
+        state = DataCenterState(build_testbed())
+        apply_testbed_load(state)
+        assert state.active_host_indices() == list(range(12))
+
+    def test_deterministic_per_seed(self):
+        a = DataCenterState(build_testbed())
+        b = DataCenterState(build_testbed())
+        apply_testbed_load(a, seed=7)
+        apply_testbed_load(b, seed=7)
+        assert a.snapshot() == b.snapshot()
+
+
+class TestTableIVLoad:
+    def test_quarters_per_rack(self):
+        cloud = build_datacenter(num_racks=3, hosts_per_rack=16)
+        state = DataCenterState(cloud)
+        apply_table_iv_load(state, seed=3)
+        for rack in cloud.racks:
+            hosts = [h.index for h in rack.hosts]
+            # first quarter: 9-16 free cores
+            for h in hosts[0:4]:
+                assert 9 <= state.free_cpu[h] <= 16
+            # second quarter: 6-8 free cores
+            for h in hosts[4:8]:
+                assert 6 <= state.free_cpu[h] <= 8
+            # third quarter: 0-5 free cores
+            for h in hosts[8:12]:
+                assert state.free_cpu[h] <= 5
+            # final quarter idle
+            for h in hosts[12:16]:
+                assert state.free_cpu[h] == 16
+                assert not state.host_is_active(h)
+
+    def test_bandwidth_classes(self):
+        cloud = build_datacenter(num_racks=1, hosts_per_rack=16)
+        state = DataCenterState(cloud)
+        apply_table_iv_load(state, seed=5)
+        hosts = [h.index for h in cloud.racks[0].hosts]
+        for h in hosts[0:4]:
+            nic = cloud.hosts[h].link_index
+            assert state.free_bw[nic] <= 1500
+        for h in hosts[12:16]:
+            nic = cloud.hosts[h].link_index
+            assert state.free_bw[nic] == 10_000
+
+
+class TestRandomLoad:
+    def test_respects_fraction(self):
+        cloud = build_datacenter(num_racks=2, hosts_per_rack=8)
+        state = DataCenterState(cloud)
+        loaded = apply_random_load(state, fraction_hosts=0.5, seed=2)
+        assert len(loaded) == 8
+        for h in loaded:
+            assert state.host_is_active(h)
+
+    def test_deterministic_per_seed(self):
+        cloud = build_datacenter(num_racks=2, hosts_per_rack=8)
+        a, b = DataCenterState(cloud), DataCenterState(cloud)
+        assert apply_random_load(a, seed=9) == apply_random_load(b, seed=9)
+        assert a.snapshot() == b.snapshot()

@@ -1,0 +1,189 @@
+"""Tests for the static data-center structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datacenter.builder import build_cloud, build_datacenter, build_testbed
+from repro.datacenter.model import Cloud, DataCenter, Disk, Host, Level, Rack
+from repro.errors import DataCenterError
+
+
+class TestIndexing:
+    def test_testbed_counts(self, testbed):
+        assert testbed.num_hosts == 16
+        assert len(testbed.racks) == 1
+        assert len(testbed.disks) == 16
+        # one NIC link per host plus one ToR uplink
+        assert testbed.num_links == 17
+
+    def test_large_dc_counts(self):
+        cloud = build_datacenter(num_racks=150, hosts_per_rack=16)
+        assert cloud.num_hosts == 2400
+        assert len(cloud.racks) == 150
+        assert cloud.num_links == 2400 + 150
+
+    def test_indices_are_dense_and_consistent(self, small_dc):
+        for i, host in enumerate(small_dc.hosts):
+            assert host.index == i
+        for i, disk in enumerate(small_dc.disks):
+            assert disk.index == i
+            assert disk.host.disks[0] is disk
+
+    def test_host_lookup_by_name(self, small_dc):
+        host = small_dc.hosts[5]
+        assert small_dc.host_by_name(host.name) is host
+        with pytest.raises(DataCenterError):
+            small_dc.host_by_name("nope")
+
+    def test_disk_lookup_by_name(self, small_dc):
+        disk = small_dc.disks[3]
+        assert small_dc.disk_by_name(disk.name) is disk
+        with pytest.raises(DataCenterError):
+            small_dc.disk_by_name("nope")
+
+    def test_duplicate_host_name_rejected(self):
+        hosts = [
+            Host(name="h", cpu_cores=4, mem_gb=8),
+            Host(name="h", cpu_cores=4, mem_gb=8),
+        ]
+        rack = Rack(name="r", hosts=hosts)
+        with pytest.raises(DataCenterError, match="duplicate host"):
+            Cloud([DataCenter(name="d", racks=[rack])])
+
+    def test_duplicate_disk_name_rejected(self):
+        hosts = [
+            Host(name="h1", cpu_cores=4, mem_gb=8, disks=[Disk("d", 10)]),
+            Host(name="h2", cpu_cores=4, mem_gb=8, disks=[Disk("d", 10)]),
+        ]
+        rack = Rack(name="r", hosts=hosts)
+        with pytest.raises(DataCenterError, match="duplicate disk"):
+            Cloud([DataCenter(name="d", racks=[rack])])
+
+    def test_empty_cloud_rejected(self):
+        with pytest.raises(DataCenterError):
+            Cloud([])
+        with pytest.raises(DataCenterError):
+            Cloud([DataCenter(name="d")])
+
+
+class TestDistance:
+    def test_same_host(self, small_dc):
+        assert small_dc.distance(0, 0) == 0
+
+    def test_same_rack(self, small_dc):
+        assert small_dc.distance(0, 1) == 1
+
+    def test_different_rack_podless_is_pod_distance(self, small_dc):
+        # pod-less DC: each rack is its own implicit pod
+        assert small_dc.distance(0, 4) == 3
+
+    def test_podded_hierarchy_distances(self, podded_cloud):
+        hosts = podded_cloud.hosts
+        # layout: dc1-p1-r1-h1, dc1-p1-r1-h2, dc1-p1-r2-h1, ... 8 per DC
+        assert podded_cloud.distance(0, 1) == 1  # same rack
+        assert podded_cloud.distance(0, 2) == 2  # same pod, diff rack
+        assert podded_cloud.distance(0, 4) == 3  # same DC, diff pod
+        assert podded_cloud.distance(0, 8) == 4  # diff DC
+        assert hosts[8].rack.datacenter.name == "dc2"
+
+    def test_separated_at_levels(self, podded_cloud):
+        assert podded_cloud.separated_at(0, 1, Level.HOST)
+        assert not podded_cloud.separated_at(0, 1, Level.RACK)
+        assert podded_cloud.separated_at(0, 2, Level.RACK)
+        assert not podded_cloud.separated_at(0, 2, Level.POD)
+        assert podded_cloud.separated_at(0, 4, Level.POD)
+        assert not podded_cloud.separated_at(0, 4, Level.DATACENTER)
+        assert podded_cloud.separated_at(0, 8, Level.DATACENTER)
+
+    def test_rack_diversity_in_podless_dc(self, small_dc):
+        # different racks in a pod-less DC satisfy rack AND pod diversity
+        assert small_dc.separated_at(0, 4, Level.RACK)
+        assert small_dc.separated_at(0, 4, Level.POD)
+
+
+class TestPaths:
+    def test_same_host_no_links(self, small_dc):
+        assert small_dc.path(2, 2) == ()
+
+    def test_same_rack_two_nic_links(self, small_dc):
+        path = small_dc.path(0, 1)
+        assert len(path) == 2
+        names = [small_dc.link_names[l] for l in path]
+        assert all(n.startswith("nic:") for n in names)
+
+    def test_cross_rack_podless_four_links(self, small_dc):
+        path = small_dc.path(0, 4)
+        assert len(path) == 4
+        names = [small_dc.link_names[l] for l in path]
+        assert sum(n.startswith("nic:") for n in names) == 2
+        assert sum(n.startswith("tor-uplink:") for n in names) == 2
+
+    def test_cross_pod_six_links(self, podded_cloud):
+        path = podded_cloud.path(0, 4)
+        assert len(path) == 6
+
+    def test_cross_dc_eight_links(self, podded_cloud):
+        path = podded_cloud.path(0, 8)
+        assert len(path) == 8
+        names = [podded_cloud.link_names[l] for l in path]
+        assert sum(n.startswith("wan:") for n in names) == 2
+
+    def test_path_is_symmetric(self, podded_cloud):
+        assert sorted(podded_cloud.path(0, 5)) == sorted(podded_cloud.path(5, 0))
+
+    def test_hop_count_matches_path(self, podded_cloud):
+        for a, b in [(0, 0), (0, 1), (0, 2), (0, 4), (0, 8)]:
+            assert podded_cloud.hop_count(a, b) == len(podded_cloud.path(a, b))
+
+
+class TestHopArithmetic:
+    def test_max_hop_count_podless(self, small_dc):
+        assert small_dc.max_hop_count() == 4
+
+    def test_max_hop_count_podded_multi_dc(self, podded_cloud):
+        assert podded_cloud.max_hop_count() == 8
+
+    def test_min_hops_for_distance_podless(self, small_dc):
+        assert small_dc.min_hops_for_distance(0) == 0
+        assert small_dc.min_hops_for_distance(1) == 2
+        assert small_dc.min_hops_for_distance(3) == 4
+
+    def test_min_hops_for_distance_podded(self, podded_cloud):
+        assert podded_cloud.min_hops_for_distance(1) == 2
+        assert podded_cloud.min_hops_for_distance(2) == 4
+        assert podded_cloud.min_hops_for_distance(3) == 6
+        assert podded_cloud.min_hops_for_distance(4) == 8
+
+
+class TestLevelParsing:
+    def test_parse_all_levels(self):
+        assert Level.parse("host") is Level.HOST
+        assert Level.parse("RACK") is Level.RACK
+        assert Level.parse(" pod ") is Level.POD
+        assert Level.parse("datacenter") is Level.DATACENTER
+
+    def test_parse_unknown_raises(self):
+        with pytest.raises(DataCenterError):
+            Level.parse("zone")
+
+
+class TestBuilders:
+    def test_testbed_host_specs(self, testbed):
+        host = testbed.hosts[0]
+        assert host.cpu_cores == 16
+        assert host.mem_gb == 32
+        assert host.total_disk_gb() == 1000.0
+        assert host.nic_bw_mbps == 3200.0
+
+    def test_large_dc_link_capacities(self):
+        cloud = build_datacenter(num_racks=2, hosts_per_rack=2)
+        host = cloud.hosts[0]
+        assert cloud.link_capacity_mbps[host.link_index] == 10_000.0
+        assert cloud.link_capacity_mbps[host.rack.link_index] == 100_000.0
+
+    def test_build_cloud_structure(self, podded_cloud):
+        assert len(podded_cloud.datacenters) == 2
+        assert len(podded_cloud.pods) == 4
+        assert len(podded_cloud.racks) == 8
+        assert podded_cloud.num_hosts == 16

@@ -1,0 +1,58 @@
+"""Tests for path resolution and flow tallying."""
+
+from __future__ import annotations
+
+from repro.datacenter.network import (
+    PathResolver,
+    tally_flows,
+    total_reserved_bandwidth,
+)
+
+
+class TestPathResolver:
+    def test_matches_cloud_path(self, podded_cloud):
+        resolver = PathResolver(podded_cloud)
+        for a, b in [(0, 0), (0, 1), (0, 2), (0, 4), (0, 8), (7, 3)]:
+            assert sorted(resolver.path(a, b)) == sorted(podded_cloud.path(a, b))
+            assert resolver.distance(a, b) == podded_cloud.distance(a, b)
+
+    def test_caches_symmetrically(self, small_dc):
+        resolver = PathResolver(small_dc)
+        first = resolver.path(0, 5)
+        assert resolver.path(5, 0) is first  # same cached object
+
+    def test_hop_count(self, small_dc):
+        resolver = PathResolver(small_dc)
+        assert resolver.hop_count(0, 1) == 2
+        assert resolver.hop_count(0, 0) == 0
+
+
+class TestTallyFlows:
+    def test_shared_links_accumulate(self, small_dc):
+        resolver = PathResolver(small_dc)
+        # two flows out of host 0 share host 0's NIC
+        demand = tally_flows(resolver, [(0, 1, 100), (0, 2, 50)])
+        nic0 = small_dc.hosts[0].link_index
+        assert demand[nic0] == 150
+
+    def test_zero_flows_skipped(self, small_dc):
+        resolver = PathResolver(small_dc)
+        assert tally_flows(resolver, [(0, 1, 0)]) == {}
+
+    def test_intra_host_flow_no_demand(self, small_dc):
+        resolver = PathResolver(small_dc)
+        assert tally_flows(resolver, [(3, 3, 1000)]) == {}
+
+
+class TestTotalReservedBandwidth:
+    def test_counts_bandwidth_per_link(self, small_dc):
+        resolver = PathResolver(small_dc)
+        # same rack: 2 links; cross rack (pod-less): 4 links
+        total = total_reserved_bandwidth(
+            resolver, [(0, 1, 100), (0, 4, 10)]
+        )
+        assert total == 100 * 2 + 10 * 4
+
+    def test_empty_flows(self, small_dc):
+        resolver = PathResolver(small_dc)
+        assert total_reserved_bandwidth(resolver, []) == 0.0

@@ -1,0 +1,52 @@
+"""Tests for ResourceVector arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datacenter.resources import EPSILON, ResourceVector
+
+
+class TestArithmetic:
+    def test_add_sub_roundtrip(self):
+        a = ResourceVector(4, 8, 100)
+        b = ResourceVector(1, 2, 30)
+        assert a + b == ResourceVector(5, 10, 130)
+        assert (a + b) - b == a
+
+    def test_scalar_multiplication(self):
+        v = ResourceVector(2, 4, 10)
+        assert v * 2 == ResourceVector(4, 8, 20)
+        assert 0.5 * v == ResourceVector(1, 2, 5)
+
+    def test_zero_identity(self):
+        v = ResourceVector(3, 5, 7)
+        assert v + ResourceVector.zero() == v
+
+
+class TestComparisons:
+    def test_fits_within(self):
+        small = ResourceVector(2, 2, 10)
+        big = ResourceVector(4, 8, 100)
+        assert small.fits_within(big)
+        assert not big.fits_within(small)
+
+    def test_fits_within_itself(self):
+        v = ResourceVector(2, 2, 2)
+        assert v.fits_within(v)
+
+    def test_epsilon_tolerance(self):
+        v = ResourceVector(2 + EPSILON / 2, 2, 2)
+        assert v.fits_within(ResourceVector(2, 2, 2))
+
+    def test_one_dimension_blocks(self):
+        assert not ResourceVector(1, 9, 1).fits_within(
+            ResourceVector(2, 8, 2)
+        )
+
+    def test_nonnegative(self):
+        assert ResourceVector(0, 0, 0).is_nonnegative()
+        assert ResourceVector(1, 2, 3).is_nonnegative()
+        assert not ResourceVector(-1, 2, 3).is_nonnegative()
+        # epsilon-scale negatives from float drift are tolerated
+        assert ResourceVector(-EPSILON / 2, 0, 0).is_nonnegative()

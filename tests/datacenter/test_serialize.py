@@ -1,0 +1,113 @@
+"""Tests for data-center JSON serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datacenter.builder import build_cloud, build_datacenter, build_testbed
+from repro.datacenter.serialize import (
+    cloud_from_dict,
+    cloud_to_dict,
+    load_cloud,
+    save_cloud,
+)
+from repro.errors import DataCenterError
+
+
+def structural_fingerprint(cloud):
+    return (
+        [(h.name, h.cpu_cores, h.mem_gb, h.nic_bw_mbps) for h in cloud.hosts],
+        [(d.name, d.capacity_gb, d.host.name) for d in cloud.disks],
+        [(r.name, r.uplink_bw_mbps) for r in cloud.racks],
+        [(p.name, p.uplink_bw_mbps) for p in cloud.pods],
+        list(cloud.link_capacity_mbps),
+        cloud.link_names,
+    )
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            build_testbed,
+            lambda: build_datacenter(num_racks=3, hosts_per_rack=4),
+            lambda: build_cloud(
+                num_datacenters=2, pods_per_dc=2, racks_per_pod=2,
+                hosts_per_rack=2,
+            ),
+        ],
+        ids=["testbed", "podless", "podded-multi-dc"],
+    )
+    def test_exact_roundtrip(self, builder):
+        original = builder()
+        restored = cloud_from_dict(cloud_to_dict(original))
+        assert structural_fingerprint(restored) == structural_fingerprint(
+            original
+        )
+
+    def test_file_roundtrip(self, tmp_path):
+        original = build_datacenter(num_racks=2, hosts_per_rack=2)
+        path = str(tmp_path / "dc.json")
+        save_cloud(original, path)
+        restored = load_cloud(path)
+        assert structural_fingerprint(restored) == structural_fingerprint(
+            original
+        )
+
+    def test_paths_survive_roundtrip(self):
+        original = build_cloud(
+            num_datacenters=2, pods_per_dc=2, racks_per_pod=2, hosts_per_rack=2
+        )
+        restored = cloud_from_dict(cloud_to_dict(original))
+        for a, b in [(0, 1), (0, 2), (0, 4), (0, 8)]:
+            assert restored.path(a, b) == original.path(a, b)
+            assert restored.distance(a, b) == original.distance(a, b)
+
+
+class TestValidation:
+    def test_missing_host_fields(self):
+        bad = {
+            "datacenters": [
+                {
+                    "name": "dc",
+                    "racks": [
+                        {"name": "r", "hosts": [{"name": "h"}]}
+                    ],
+                }
+            ]
+        }
+        with pytest.raises(DataCenterError, match="host entry missing"):
+            cloud_from_dict(bad)
+
+    def test_missing_dc_name(self):
+        with pytest.raises(DataCenterError, match="missing name"):
+            cloud_from_dict({"datacenters": [{}]})
+
+    def test_empty_description(self):
+        with pytest.raises(DataCenterError):
+            cloud_from_dict({"datacenters": []})
+
+    def test_defaults_applied(self):
+        cloud = cloud_from_dict(
+            {
+                "datacenters": [
+                    {
+                        "name": "dc",
+                        "racks": [
+                            {
+                                "name": "r",
+                                "hosts": [
+                                    {
+                                        "name": "h",
+                                        "cpu_cores": 8,
+                                        "mem_gb": 16,
+                                    }
+                                ],
+                            }
+                        ],
+                    }
+                ]
+            }
+        )
+        assert cloud.hosts[0].nic_bw_mbps == 10_000.0
+        assert cloud.racks[0].uplink_bw_mbps == 100_000.0

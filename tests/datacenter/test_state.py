@@ -1,0 +1,144 @@
+"""Tests for the mutable availability state."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datacenter.state import DataCenterState
+from repro.errors import CapacityError
+
+
+@pytest.fixture
+def state(small_dc):
+    return DataCenterState(small_dc)
+
+
+class TestInitialState:
+    def test_starts_fully_free(self, state, small_dc):
+        assert state.free_cpu == [h.cpu_cores for h in small_dc.hosts]
+        assert state.free_mem == [h.mem_gb for h in small_dc.hosts]
+        assert state.free_bw == list(small_dc.link_capacity_mbps)
+        assert not any(state.host_units)
+
+    def test_no_active_hosts_initially(self, state):
+        assert state.active_host_indices() == []
+
+
+class TestVMPlacement:
+    def test_place_and_unplace_roundtrip(self, state):
+        before = state.snapshot()
+        state.place_vm(0, 4, 8)
+        assert state.free_cpu[0] == 12
+        assert state.free_mem[0] == 24
+        assert state.host_is_active(0)
+        state.unplace_vm(0, 4, 8)
+        assert state.snapshot() == before
+
+    def test_overcommit_cpu_rejected(self, state):
+        with pytest.raises(CapacityError):
+            state.place_vm(0, 17, 1)
+
+    def test_overcommit_mem_rejected(self, state):
+        with pytest.raises(CapacityError):
+            state.place_vm(0, 1, 33)
+
+    def test_failed_placement_leaves_state_unchanged(self, state):
+        before = state.snapshot()
+        with pytest.raises(CapacityError):
+            state.place_vm(0, 99, 99)
+        assert state.snapshot() == before
+
+    def test_exact_fit_allowed(self, state):
+        state.place_vm(0, 16, 32)
+        assert state.free_cpu[0] == 0
+
+    def test_unbalanced_unplace_detected(self, state):
+        state.place_vm(0, 1, 1)
+        state.unplace_vm(0, 1, 1)
+        with pytest.raises(CapacityError):
+            state.unplace_vm(0, 1, 1)
+
+    def test_vm_fits(self, state):
+        assert state.vm_fits(0, 16, 32)
+        assert not state.vm_fits(0, 16.5, 32)
+
+
+class TestVolumePlacement:
+    def test_place_and_unplace_roundtrip(self, state):
+        before = state.snapshot()
+        state.place_volume(0, 100)
+        assert state.free_disk[0] == 900
+        assert state.host_is_active(0)  # volume activates its host
+        state.unplace_volume(0, 100)
+        assert state.snapshot() == before
+
+    def test_oversize_volume_rejected(self, state):
+        with pytest.raises(CapacityError):
+            state.place_volume(0, 1001)
+
+    def test_volume_fits(self, state):
+        assert state.volume_fits(0, 1000)
+        assert not state.volume_fits(0, 1000.5)
+
+
+class TestBandwidth:
+    def test_reserve_release_roundtrip(self, state, small_dc):
+        path = small_dc.path(0, 4)
+        before = state.snapshot()
+        state.reserve_path(path, 500)
+        for link in path:
+            assert state.free_bw[link] == small_dc.link_capacity_mbps[link] - 500
+        state.release_path(path, 500)
+        assert state.snapshot() == before
+
+    def test_reserve_is_all_or_nothing(self, state, small_dc):
+        path = small_dc.path(0, 4)
+        host_link = small_dc.hosts[0].link_index
+        # starve the first host NIC
+        state.reserve_path((host_link,), small_dc.link_capacity_mbps[host_link])
+        before = state.snapshot()
+        with pytest.raises(CapacityError):
+            state.reserve_path(path, 100)
+        assert state.snapshot() == before
+
+    def test_zero_bandwidth_is_noop(self, state, small_dc):
+        before = state.snapshot()
+        state.reserve_path(small_dc.path(0, 4), 0)
+        assert state.snapshot() == before
+
+    def test_path_bandwidth_free(self, state, small_dc):
+        path = small_dc.path(0, 4)
+        assert state.path_bandwidth_free(path) == min(
+            small_dc.link_capacity_mbps[l] for l in path
+        )
+        assert state.path_bandwidth_free(()) == float("inf")
+
+    def test_can_reserve_cumulative(self, state, small_dc):
+        host_link = small_dc.hosts[0].link_index
+        cap = small_dc.link_capacity_mbps[host_link]
+        assert state.can_reserve({host_link: cap})
+        assert not state.can_reserve({host_link: cap + 1})
+
+
+class TestClone:
+    def test_clone_is_independent(self, state):
+        clone = state.clone()
+        clone.place_vm(0, 4, 4)
+        assert state.free_cpu[0] == 16
+        assert clone.free_cpu[0] == 12
+
+    def test_clone_shares_cloud(self, state):
+        assert state.clone().cloud is state.cloud
+
+
+class TestBackgroundLoad:
+    def test_consume_background_activates(self, state):
+        state.consume_background(0, vcpus=4, mem_gb=4, nic_mbps=1000)
+        assert state.free_cpu[0] == 12
+        assert state.host_is_active(0)
+        nic = state.cloud.hosts[0].link_index
+        assert state.free_bw[nic] == state.cloud.link_capacity_mbps[nic] - 1000
+
+    def test_consume_background_without_unit(self, state):
+        state.consume_background(0, vcpus=4, mem_gb=4, count_as_unit=False)
+        assert not state.host_is_active(0)

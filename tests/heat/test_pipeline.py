@@ -1,0 +1,100 @@
+"""End-to-end tests of the Fig. 1 pipeline:
+
+template -> wrapper -> Ostro -> annotated template -> Heat engine ->
+Nova/Cinder.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.scheduler import Ostro
+from repro.datacenter.state import DataCenterState
+from repro.errors import SchedulerError
+from repro.heat.engine import HeatEngine
+from repro.heat.template import template_from_topology
+from repro.heat.wrapper import OstroHeatWrapper
+from repro.workloads.qfs import build_qfs
+from tests.conftest import make_three_tier
+
+
+@pytest.fixture
+def template():
+    return template_from_topology(make_three_tier(), "three tier stack")
+
+
+class TestWrapper:
+    def test_handle_returns_annotated_template(self, template, small_dc):
+        wrapper = OstroHeatWrapper(Ostro(small_dc))
+        response = wrapper.handle(template, stack_name="demo", algorithm="eg")
+        assert response.stack_name == "demo"
+        for res_name, resource in response.annotated_template[
+            "resources"
+        ].items():
+            if resource["type"].startswith("OS::"):
+                assert "force_host" in resource["properties"][
+                    "scheduler_hints"
+                ]
+
+    def test_commit_consumes_ostro_state(self, template, small_dc):
+        ostro = Ostro(small_dc)
+        wrapper = OstroHeatWrapper(ostro)
+        before = sum(ostro.state.free_cpu)
+        wrapper.handle(template, stack_name="demo", algorithm="eg")
+        assert sum(ostro.state.free_cpu) < before
+        assert "demo" in ostro.applications
+
+
+class TestEngineDeploysOstroDecision:
+    def test_deployment_matches_placement(self, template, small_dc):
+        ostro = Ostro(small_dc)
+        wrapper = OstroHeatWrapper(ostro)
+        response = wrapper.handle(template, stack_name="demo", algorithm="eg")
+        # deploy on a dedicated state so reservations aren't double-counted
+        engine = HeatEngine(DataCenterState(small_dc))
+        stack = engine.deploy(response.annotated_template, "demo")
+        placement = response.result.placement
+        for name in placement.assignments:
+            expected = small_dc.hosts[placement.host_of(name)].name
+            assert stack.host_of(name) == expected
+
+    def test_qfs_end_to_end(self, testbed):
+        ostro = Ostro(testbed)
+        template = template_from_topology(build_qfs())
+        response = OstroHeatWrapper(ostro).handle(
+            template, stack_name="qfs", algorithm="eg"
+        )
+        engine = HeatEngine(DataCenterState(testbed))
+        stack = engine.deploy(response.annotated_template, "qfs")
+        assert len(stack.servers) == 14
+        assert len(stack.volumes) == 15
+        # the 12 chunk volumes ended on 12 distinct hosts (diversity zone)
+        chunk_hosts = {
+            record.host
+            for name, record in stack.volumes.items()
+            if name.startswith("chunk-vol")
+        }
+        assert len(chunk_hosts) == 12
+
+    def test_failed_deploy_rolls_back(self, template, small_dc):
+        engine = HeatEngine(DataCenterState(small_dc))
+        bad = dict(template)
+        bad["resources"] = dict(template["resources"])
+        bad["resources"]["monster"] = {
+            "type": "OS::Nova::Server",
+            "properties": {"vcpus": 1000, "ram_gb": 1000},
+        }
+        before = engine.state.snapshot()
+        with pytest.raises(SchedulerError):
+            engine.deploy(bad, "doomed")
+        assert engine.state.snapshot() == before
+        assert "doomed" not in engine.stacks
+
+    def test_unannotated_template_uses_default_scheduling(
+        self, template, small_dc
+    ):
+        """Without Ostro hints the engine still works -- it just schedules
+        each resource independently (the paper's baseline behavior)."""
+        engine = HeatEngine(DataCenterState(small_dc))
+        stack = engine.deploy(template, "plain")
+        assert len(stack.servers) == len(make_three_tier().vms())

@@ -1,0 +1,171 @@
+"""Tests for QoS-enhanced Heat template parsing and serialization."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.datacenter.model import Level
+from repro.errors import TemplateError
+from repro.heat.template import (
+    annotate_template,
+    parse_template,
+    template_from_topology,
+    topology_from_template,
+)
+
+
+@pytest.fixture
+def template():
+    return {
+        "heat_template_version": "2013-05-23",
+        "description": "two-tier demo",
+        "resources": {
+            "web": {
+                "type": "OS::Nova::Server",
+                "properties": {"flavor": "m1.small"},
+            },
+            "db": {
+                "type": "OS::Nova::Server",
+                "properties": {"vcpus": 4, "ram_gb": 8},
+            },
+            "data": {
+                "type": "OS::Cinder::Volume",
+                "properties": {"size": 100},
+            },
+            "web-db": {
+                "type": "ATT::QoS::Pipe",
+                "properties": {"ends": ["web", "db"], "bandwidth_mbps": 100},
+            },
+            "db-data": {
+                "type": "ATT::QoS::Pipe",
+                "properties": {"ends": ["db", "data"], "bandwidth_mbps": 200},
+            },
+            "ha": {
+                "type": "ATT::QoS::DiversityZone",
+                "properties": {"level": "rack", "members": ["web", "db"]},
+            },
+        },
+    }
+
+
+class TestParsing:
+    def test_dict_json_and_file_sources(self, template, tmp_path):
+        as_json = json.dumps(template)
+        path = tmp_path / "stack.json"
+        path.write_text(as_json)
+        for source in (template, as_json, str(path)):
+            assert parse_template(source)["description"] == "two-tier demo"
+
+    def test_invalid_json_raises(self):
+        with pytest.raises(TemplateError, match="not valid JSON"):
+            parse_template("{broken")
+
+    def test_unsupported_source_type(self):
+        with pytest.raises(TemplateError):
+            parse_template(42)
+
+
+class TestTopologyFromTemplate:
+    def test_full_roundtrip_structure(self, template):
+        topo = topology_from_template(template, name="demo")
+        assert topo.name == "demo"
+        assert topo.node("web").vcpus == 1  # m1.small
+        assert topo.node("db").mem_gb == 8
+        assert topo.node("data").size_gb == 100
+        assert ("db", 100.0) in topo.neighbors("web")
+        (zone,) = topo.zones
+        assert zone.level is Level.RACK
+
+    def test_unknown_resource_type(self, template):
+        template["resources"]["lb"] = {
+            "type": "OS::Neutron::LoadBalancer",
+            "properties": {},
+        }
+        with pytest.raises(TemplateError, match="unsupported type"):
+            topology_from_template(template)
+
+    def test_server_without_size_info(self, template):
+        template["resources"]["web"]["properties"] = {}
+        with pytest.raises(TemplateError, match="flavor or"):
+            topology_from_template(template)
+
+    def test_volume_without_size(self, template):
+        template["resources"]["data"]["properties"] = {}
+        with pytest.raises(TemplateError, match="needs a size"):
+            topology_from_template(template)
+
+    def test_pipe_needs_two_ends(self, template):
+        template["resources"]["web-db"]["properties"]["ends"] = ["web"]
+        with pytest.raises(TemplateError, match="two ends"):
+            topology_from_template(template)
+
+    def test_pipe_to_unknown_resource(self, template):
+        template["resources"]["web-db"]["properties"]["ends"] = [
+            "web",
+            "ghost",
+        ]
+        with pytest.raises(Exception):
+            topology_from_template(template)
+
+    def test_empty_template(self):
+        with pytest.raises(TemplateError, match="no resources"):
+            topology_from_template({"resources": {}})
+
+
+class TestAnnotate:
+    def test_hints_added_for_every_resource(self, template, small_dc):
+        from repro.core.greedy import EG
+
+        topo = topology_from_template(template)
+        result = EG().place(topo, small_dc)
+        annotated = annotate_template(template, result.placement, small_dc)
+        web_hints = annotated["resources"]["web"]["properties"][
+            "scheduler_hints"
+        ]
+        assert web_hints["force_host"] == small_dc.hosts[
+            result.placement.host_of("web")
+        ].name
+        data_hints = annotated["resources"]["data"]["properties"][
+            "scheduler_hints"
+        ]
+        assert "force_disk" in data_hints
+
+    def test_original_template_untouched(self, template, small_dc):
+        from repro.core.greedy import EG
+
+        topo = topology_from_template(template)
+        result = EG().place(topo, small_dc)
+        annotate_template(template, result.placement, small_dc)
+        assert (
+            "scheduler_hints"
+            not in template["resources"]["web"]["properties"]
+        )
+
+    def test_missing_assignment_raises(self, template, small_dc):
+        from repro.core.placement import Placement
+
+        empty = Placement(
+            app_name="x",
+            assignments={},
+            reserved_bw_mbps=0,
+            new_active_hosts=0,
+            hosts_used=0,
+        )
+        with pytest.raises(TemplateError, match="does not cover"):
+            annotate_template(template, empty, small_dc)
+
+
+class TestTemplateFromTopology:
+    def test_roundtrip(self, template):
+        topo = topology_from_template(template)
+        regenerated = template_from_topology(topo)
+        back = topology_from_template(regenerated)
+        assert set(back.nodes) == set(topo.nodes)
+        assert back.total_link_bandwidth() == topo.total_link_bandwidth()
+        assert {z.name for z in back.zones} == {z.name for z in topo.zones}
+
+    def test_json_serializable(self, template):
+        topo = topology_from_template(template)
+        json.dumps(template_from_topology(topo))

@@ -1,0 +1,85 @@
+"""Tests for Nova's affinity/anti-affinity hint filters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datacenter.state import DataCenterState
+from repro.errors import SchedulerError
+from repro.openstack.api import ServerRequest
+from repro.openstack.nova import NovaScheduler
+
+
+@pytest.fixture
+def scheduler(small_dc):
+    return NovaScheduler(DataCenterState(small_dc))
+
+
+class TestDifferentHost:
+    def test_avoids_named_hosts(self, scheduler, small_dc):
+        first = scheduler.create_server(ServerRequest("a", 2, 2))
+        second = scheduler.create_server(
+            ServerRequest(
+                "b", 2, 2, scheduler_hints={"different_host": [first.host]}
+            )
+        )
+        assert second.host != first.host
+
+    def test_string_form_accepted(self, scheduler, small_dc):
+        target = small_dc.hosts[0].name
+        server = scheduler.create_server(
+            ServerRequest(
+                "x", 2, 2, scheduler_hints={"different_host": target}
+            )
+        )
+        assert server.host != target
+
+    def test_unsatisfiable_when_all_hosts_named(self, scheduler, small_dc):
+        everyone = [h.name for h in small_dc.hosts]
+        with pytest.raises(SchedulerError):
+            scheduler.create_server(
+                ServerRequest(
+                    "x", 2, 2, scheduler_hints={"different_host": everyone}
+                )
+            )
+
+
+class TestSameHost:
+    def test_restricts_to_named_hosts(self, scheduler, small_dc):
+        wanted = small_dc.hosts[5].name
+        server = scheduler.create_server(
+            ServerRequest("x", 2, 2, scheduler_hints={"same_host": wanted})
+        )
+        assert server.host == wanted
+
+    def test_full_named_host_fails(self, scheduler, small_dc):
+        wanted = small_dc.hosts[5].name
+        scheduler.state.place_vm(5, 16, 1)
+        with pytest.raises(SchedulerError):
+            scheduler.create_server(
+                ServerRequest(
+                    "x", 2, 2, scheduler_hints={"same_host": wanted}
+                )
+            )
+
+
+class TestHintsVersusZones:
+    def test_hints_cannot_express_future_anti_affinity(self, small_dc):
+        """The structural point of the paper: per-request hints only refer
+        to already-placed servers, so the first two replicas of a group can
+        land together unless the caller serializes and threads every
+        placement -- Ostro's diversity zones handle the group at once."""
+        from repro.core.scheduler import Ostro
+        from repro.core.topology import ApplicationTopology
+        from repro.datacenter.model import Level
+
+        topo = ApplicationTopology("group")
+        for i in range(3):
+            topo.add_vm(f"r{i}", 2, 2)
+        topo.add_zone("ha", Level.RACK, [f"r{i}" for i in range(3)])
+        result = Ostro(small_dc).place(topo, algorithm="eg", commit=False)
+        racks = {
+            small_dc.hosts[result.placement.host_of(f"r{i}")].rack.name
+            for i in range(3)
+        }
+        assert len(racks) == 3

@@ -1,0 +1,62 @@
+"""Tests for the Cinder volume-scheduler surrogate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datacenter.state import DataCenterState
+from repro.errors import SchedulerError
+from repro.openstack.api import VolumeRequest
+from repro.openstack.cinder import CinderScheduler
+
+
+@pytest.fixture
+def state(small_dc):
+    return DataCenterState(small_dc)
+
+
+class TestScheduling:
+    def test_create_reserves_capacity(self, state):
+        scheduler = CinderScheduler(state)
+        record = scheduler.create_volume(VolumeRequest("data", 100))
+        disk = state.cloud.disk_by_name(record.disk).index
+        assert state.free_disk[disk] == 900
+        assert record.host == state.cloud.disks[disk].host.name
+
+    def test_capacity_weigher_prefers_emptiest(self, state):
+        state.place_volume(0, 500)
+        scheduler = CinderScheduler(state)
+        record = scheduler.create_volume(VolumeRequest("data", 100))
+        assert record.disk != state.cloud.disks[0].name
+
+    def test_no_valid_disk_raises(self, state):
+        scheduler = CinderScheduler(state)
+        with pytest.raises(SchedulerError, match="no valid disk"):
+            scheduler.create_volume(VolumeRequest("big", 100_000))
+
+    def test_force_disk_hint(self, state):
+        scheduler = CinderScheduler(state)
+        target = state.cloud.disks[5].name
+        record = scheduler.create_volume(
+            VolumeRequest("data", 50, scheduler_hints={"force_disk": target})
+        )
+        assert record.disk == target
+
+    def test_force_disk_unsatisfiable(self, state):
+        state.place_volume(5, 1000)
+        scheduler = CinderScheduler(state)
+        target = state.cloud.disks[5].name
+        with pytest.raises(SchedulerError):
+            scheduler.create_volume(
+                VolumeRequest(
+                    "data", 50, scheduler_hints={"force_disk": target}
+                )
+            )
+
+    def test_delete_restores(self, state):
+        scheduler = CinderScheduler(state)
+        before = state.snapshot()
+        request = VolumeRequest("data", 100)
+        record = scheduler.create_volume(request)
+        scheduler.delete_volume(record, request)
+        assert state.snapshot() == before

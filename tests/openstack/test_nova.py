@@ -1,0 +1,116 @@
+"""Tests for the Nova filter-scheduler surrogate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datacenter.state import DataCenterState
+from repro.errors import SchedulerError
+from repro.openstack.api import ServerRequest, flavor_by_name
+from repro.openstack.nova import (
+    CoreFilter,
+    CoreWeigher,
+    NovaScheduler,
+    RamFilter,
+    RamWeigher,
+)
+
+
+@pytest.fixture
+def state(small_dc):
+    return DataCenterState(small_dc)
+
+
+class TestFilters:
+    def test_core_filter(self, state):
+        f = CoreFilter()
+        req = ServerRequest("x", vcpus=16, ram_gb=1)
+        assert f.passes(state, 0, req)
+        state.place_vm(0, 1, 1)
+        assert not f.passes(state, 0, req)
+
+    def test_core_filter_overcommit(self, state):
+        f = CoreFilter(allocation_ratio=2.0)
+        req = ServerRequest("x", vcpus=20, ram_gb=1)
+        assert f.passes(state, 0, req)
+
+    def test_ram_filter(self, state):
+        f = RamFilter()
+        req = ServerRequest("x", vcpus=1, ram_gb=32)
+        assert f.passes(state, 0, req)
+        state.place_vm(0, 1, 1)
+        assert not f.passes(state, 0, req)
+
+
+class TestWeighers:
+    def test_ram_weigher_spreads(self, state):
+        state.place_vm(0, 2, 16)
+        scheduler = NovaScheduler(state, weighers=[RamWeigher()])
+        host = scheduler.select_host(ServerRequest("x", 1, 1))
+        assert host != 0  # host 0 has the least free RAM
+
+    def test_core_weigher(self, state):
+        state.place_vm(0, 8, 1)
+        scheduler = NovaScheduler(state, weighers=[CoreWeigher()])
+        host = scheduler.select_host(ServerRequest("x", 1, 1))
+        assert host != 0
+
+
+class TestScheduling:
+    def test_create_reserves_resources(self, state):
+        scheduler = NovaScheduler(state)
+        server = scheduler.create_server(ServerRequest("web", 4, 8))
+        host = state.cloud.host_by_name(server.host).index
+        assert state.free_cpu[host] == 12
+        assert state.host_is_active(host)
+
+    def test_no_valid_host_raises(self, state):
+        scheduler = NovaScheduler(state)
+        with pytest.raises(SchedulerError, match="no valid host"):
+            scheduler.create_server(ServerRequest("big", 100, 1))
+
+    def test_force_host_hint(self, state):
+        scheduler = NovaScheduler(state)
+        target = state.cloud.hosts[7].name
+        server = scheduler.create_server(
+            ServerRequest("x", 2, 2, scheduler_hints={"force_host": target})
+        )
+        assert server.host == target
+
+    def test_force_host_unsatisfiable(self, state):
+        state.place_vm(7, 16, 1)
+        scheduler = NovaScheduler(state)
+        target = state.cloud.hosts[7].name
+        with pytest.raises(SchedulerError):
+            scheduler.create_server(
+                ServerRequest(
+                    "x", 4, 2, scheduler_hints={"force_host": target}
+                )
+            )
+
+    def test_delete_restores(self, state):
+        scheduler = NovaScheduler(state)
+        before = state.snapshot()
+        request = ServerRequest("x", 2, 2)
+        server = scheduler.create_server(request)
+        scheduler.delete_server(server, request)
+        assert state.snapshot() == before
+
+    def test_independent_scheduling_ignores_links(self, state):
+        """Nova knows nothing about pipes: two chatty VMs may land far
+        apart. This is the behavior Ostro improves on."""
+        scheduler = NovaScheduler(state)
+        a = scheduler.create_server(ServerRequest("a", 2, 16))
+        b = scheduler.create_server(ServerRequest("b", 2, 16))
+        # RAM-spreading weigher actively separates them
+        assert a.host != b.host
+
+
+class TestFlavors:
+    def test_from_flavor(self):
+        req = ServerRequest.from_flavor("web", "m1.large")
+        assert (req.vcpus, req.ram_gb) == (4, 8)
+
+    def test_unknown_flavor(self):
+        with pytest.raises(SchedulerError):
+            flavor_by_name("m1.galactic")

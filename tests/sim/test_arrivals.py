@@ -1,0 +1,118 @@
+"""Tests for the workload-replay (churn) simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datacenter.builder import build_datacenter
+from repro.sim.arrivals import (
+    WorkloadTrace,
+    default_app_factory,
+    replay,
+)
+
+
+@pytest.fixture(scope="module")
+def cloud():
+    return build_datacenter(num_racks=3, hosts_per_rack=4)
+
+
+class TestTraceGeneration:
+    def test_event_pairing(self):
+        trace = WorkloadTrace.poisson(10, default_app_factory, seed=1)
+        arrives = [e for e in trace.events if e.kind == "arrive"]
+        departs = [e for e in trace.events if e.kind == "depart"]
+        assert len(arrives) == len(departs) == 10
+        assert len(trace.topologies) == 10
+
+    def test_events_time_ordered(self):
+        trace = WorkloadTrace.poisson(20, default_app_factory, seed=2)
+        times = [e.time for e in trace.events]
+        assert times == sorted(times)
+
+    def test_departure_after_arrival(self):
+        trace = WorkloadTrace.poisson(15, default_app_factory, seed=3)
+        arrive_at = {
+            e.app_id: e.time for e in trace.events if e.kind == "arrive"
+        }
+        for event in trace.events:
+            if event.kind == "depart":
+                assert event.time >= arrive_at[event.app_id]
+
+    def test_deterministic_per_seed(self):
+        a = WorkloadTrace.poisson(10, default_app_factory, seed=7)
+        b = WorkloadTrace.poisson(10, default_app_factory, seed=7)
+        assert [(e.time, e.kind, e.app_id) for e in a.events] == [
+            (e.time, e.kind, e.app_id) for e in b.events
+        ]
+        for app_id in a.topologies:
+            assert set(a.topologies[app_id].nodes) == set(
+                b.topologies[app_id].nodes
+            )
+
+    def test_topologies_renamed_by_id(self):
+        trace = WorkloadTrace.poisson(3, default_app_factory, seed=4)
+        assert trace.topologies[0].name == "app-0"
+
+
+class TestReplay:
+    def test_all_admitted_on_roomy_cloud(self, cloud):
+        trace = WorkloadTrace.poisson(
+            8,
+            default_app_factory,
+            mean_interarrival_s=120,
+            mean_lifetime_s=60,  # mostly sequential: little concurrency
+            seed=5,
+        )
+        report = replay(trace, cloud, algorithm="eg")
+        assert report.arrivals == 8
+        assert report.rejected == 0
+        assert report.acceptance_rate == 1.0
+
+    def test_overload_produces_rejections(self):
+        tiny = build_datacenter(num_racks=1, hosts_per_rack=2)
+        trace = WorkloadTrace.poisson(
+            30,
+            default_app_factory,
+            mean_interarrival_s=1,
+            mean_lifetime_s=100_000,  # nobody leaves
+            seed=6,
+        )
+        report = replay(trace, tiny, algorithm="egc")
+        assert report.rejected > 0
+        assert report.accepted + report.rejected == report.arrivals
+        assert report.rejections  # ids recorded
+
+    def test_departures_free_capacity(self):
+        # 4 hosts: enough for any single generated app (HA zones span <= 3
+        # hosts), but not for several concurrent ones
+        tiny = build_datacenter(num_racks=2, hosts_per_rack=2)
+        # sequential arrivals with short lifetimes: each app leaves before
+        # the next arrives, so everything fits even on a tiny cloud
+        trace = WorkloadTrace.poisson(
+            10,
+            default_app_factory,
+            mean_interarrival_s=1000,
+            mean_lifetime_s=1,
+            seed=8,
+        )
+        report = replay(trace, tiny, algorithm="eg")
+        assert report.rejected == 0
+        assert report.peak_active_apps <= 2
+
+    def test_same_trace_compares_algorithms(self, cloud):
+        trace = WorkloadTrace.poisson(
+            10, default_app_factory, mean_lifetime_s=10_000, seed=9
+        )
+        eg = replay(trace, cloud, algorithm="eg")
+        egc = replay(trace, cloud, algorithm="egc")
+        assert eg.arrivals == egc.arrivals == 10
+        # both see the exact same applications
+        assert eg.algorithm != egc.algorithm
+
+    def test_utilization_tracked(self, cloud):
+        trace = WorkloadTrace.poisson(
+            6, default_app_factory, mean_lifetime_s=10_000, seed=10
+        )
+        report = replay(trace, cloud, algorithm="eg")
+        assert 0 < report.mean_cpu_used_frac <= report.peak_cpu_used_frac <= 1

@@ -1,0 +1,55 @@
+"""Tests for experiment plumbing details."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PlacementError
+from repro.sim.experiment import ALGORITHM_LABELS, run_placement
+from repro.sim.runner import sweep
+from repro.sim.scenarios import qfs_testbed_scenario
+
+
+class TestLabels:
+    def test_paper_labels(self):
+        assert ALGORITHM_LABELS == {
+            "egc": "EGC",
+            "egbw": "EGBW",
+            "eg": "EG",
+            "ba*": "BA*",
+            "dba*": "DBA*",
+        }
+
+    def test_label_applied_case_insensitively(self):
+        scenario = qfs_testbed_scenario()
+        row = run_placement("EGC", scenario, size=3, seed=0)
+        assert row.algorithm == "EGC"
+
+
+class TestSweepInfeasibleHandling:
+    def test_skip_infeasible_drops_rows(self):
+        scenario = qfs_testbed_scenario()
+        # 17 chunk servers need 17 host-diverse volumes; the testbed has 16
+        rows = sweep(
+            scenario,
+            ["egc"],
+            sizes=[3, 17],
+            seeds=(0,),
+            skip_infeasible=True,
+        )
+        # only the 3-chunk-server topology survived: 2 VMs (client, meta)
+        # + 3 chunk VMs + 3 chunk volumes + 2 meta volumes + 1 client volume
+        assert {r.size for r in rows} == {11}
+
+    def test_propagates_without_skip(self):
+        scenario = qfs_testbed_scenario()
+        with pytest.raises(PlacementError):
+            sweep(scenario, ["egc"], sizes=[17], seeds=(0,))
+
+
+class TestBaselineActive:
+    def test_baseline_active_recorded(self):
+        scenario = qfs_testbed_scenario(uniform=False)
+        row = run_placement("egc", scenario, size=3, seed=0)
+        assert row.baseline_active_hosts == 12
+        assert row.total_active_hosts >= 12

@@ -1,0 +1,75 @@
+"""Tests for measurement rows and aggregation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.greedy import EG
+from repro.sim.metrics import MeasurementRow, aggregate_rows
+from tests.conftest import make_three_tier
+
+
+def make_row(**overrides) -> MeasurementRow:
+    defaults = dict(
+        algorithm="EG",
+        workload="multitier",
+        size=25,
+        heterogeneous=True,
+        seed=0,
+        reserved_bw_mbps=1000.0,
+        new_active_hosts=2,
+        hosts_used=5,
+        runtime_s=0.5,
+        objective_value=0.1,
+    )
+    defaults.update(overrides)
+    return MeasurementRow(**defaults)
+
+
+class TestRow:
+    def test_gbps_conversion(self):
+        assert make_row(reserved_bw_mbps=2500).reserved_bw_gbps == 2.5
+
+    def test_from_result(self, small_dc):
+        topo = make_three_tier()
+        result = EG().place(topo, small_dc)
+        row = MeasurementRow.from_result(
+            result, "EG", "three-tier", topo.size(), True, 7
+        )
+        assert row.reserved_bw_mbps == result.reserved_bw_mbps
+        assert row.new_active_hosts == result.new_active_hosts
+        assert row.runtime_s == result.runtime_s
+        assert row.seed == 7
+
+
+class TestAggregate:
+    def test_means_over_seeds(self):
+        rows = [
+            make_row(seed=0, reserved_bw_mbps=100, runtime_s=1.0),
+            make_row(seed=1, reserved_bw_mbps=300, runtime_s=3.0),
+        ]
+        (agg,) = aggregate_rows(rows)
+        assert agg.reserved_bw_mbps == 200
+        assert agg.runtime_s == 2.0
+        assert agg.seed == -1
+
+    def test_groups_kept_separate(self):
+        rows = [
+            make_row(algorithm="EG", size=25),
+            make_row(algorithm="EGC", size=25),
+            make_row(algorithm="EG", size=50),
+        ]
+        agg = aggregate_rows(rows)
+        assert len(agg) == 3
+
+    def test_group_order_is_first_appearance(self):
+        rows = [
+            make_row(algorithm="EGC"),
+            make_row(algorithm="EG"),
+            make_row(algorithm="EGC", seed=1),
+        ]
+        agg = aggregate_rows(rows)
+        assert [r.algorithm for r in agg] == ["EGC", "EG"]
+
+    def test_empty(self):
+        assert aggregate_rows([]) == []

@@ -1,0 +1,51 @@
+"""Tests for the ASCII chart renderer."""
+
+from __future__ import annotations
+
+from repro.sim.plots import ascii_chart
+from tests.sim.test_metrics import make_row
+
+
+class TestAsciiChart:
+    def _rows(self):
+        return [
+            make_row(algorithm="EGC", size=25, reserved_bw_mbps=6000),
+            make_row(algorithm="EG", size=25, reserved_bw_mbps=2000),
+            make_row(algorithm="EGC", size=50, reserved_bw_mbps=13000),
+            make_row(algorithm="EG", size=50, reserved_bw_mbps=5000),
+        ]
+
+    def test_contains_axis_and_legend(self):
+        chart = ascii_chart(self._rows(), title="Fig 7")
+        assert "Fig 7" in chart
+        assert "o=EGC" in chart and "x=EG" in chart
+        assert "[reserved_bw_gbps]" in chart
+        assert "25" in chart and "50" in chart
+
+    def test_peak_on_top_row(self):
+        chart = ascii_chart(self._rows())
+        lines = chart.splitlines()
+        # the top grid row carries the peak label and the EGC@50 marker
+        assert "13.0" in lines[0]
+        assert "o" in lines[0]
+
+    def test_height_respected(self):
+        chart = ascii_chart(self._rows(), height=6)
+        grid_lines = [l for l in chart.splitlines() if "|" in l]
+        assert len(grid_lines) == 6
+
+    def test_missing_cells_tolerated(self):
+        rows = self._rows()[:3]  # EG@50 missing
+        chart = ascii_chart(rows)
+        assert "o=EGC" in chart
+
+    def test_empty_rows(self):
+        assert "(no data)" in ascii_chart([], title="empty")
+
+    def test_constant_series_no_divide_by_zero(self):
+        rows = [
+            make_row(algorithm="EG", size=25, reserved_bw_mbps=0),
+            make_row(algorithm="EG", size=50, reserved_bw_mbps=0),
+        ]
+        chart = ascii_chart(rows)
+        assert "x" in chart or "o" in chart

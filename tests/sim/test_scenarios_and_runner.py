@@ -1,0 +1,124 @@
+"""Tests for scenarios, the experiment runner, and reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.experiment import run_placement
+from repro.sim.metrics import MeasurementRow
+from repro.sim.reporting import format_series, format_table
+from repro.sim.runner import sweep
+from repro.sim.scenarios import (
+    dba_deadline_s,
+    full_scale,
+    mesh_scenario,
+    multitier_scenario,
+    qfs_testbed_scenario,
+    sweep_sizes,
+)
+
+
+class TestScenarioConstruction:
+    def test_qfs_scenarios(self):
+        nonuniform = qfs_testbed_scenario(uniform=False)
+        uniform = qfs_testbed_scenario(uniform=True)
+        cloud = nonuniform.build_cloud()
+        assert cloud.num_hosts == 16
+        loaded = nonuniform.build_state(cloud, seed=0)
+        assert len(loaded.active_host_indices()) == 12
+        idle = uniform.build_state(uniform.build_cloud(), seed=0)
+        assert idle.active_host_indices() == []
+        assert nonuniform.theta_bw == 0.99
+
+    def test_qfs_topology_size_param_is_chunk_count(self):
+        scenario = qfs_testbed_scenario()
+        topo = scenario.build_topology(12, 0)
+        assert len(topo.vms()) == 14
+
+    def test_multitier_scenarios(self):
+        het = multitier_scenario(heterogeneous=True)
+        hom = multitier_scenario(heterogeneous=False)
+        topo = het.build_topology(25, 0)
+        assert topo.size() == 25
+        het_state = het.build_state(het.build_cloud(), 0)
+        hom_state = hom.build_state(hom.build_cloud(), 0)
+        assert het_state.active_host_indices() != []
+        assert hom_state.active_host_indices() == []
+
+    def test_mesh_scenario_seeded(self):
+        scenario = mesh_scenario()
+        a = scenario.build_topology(25, seed=1)
+        b = scenario.build_topology(25, seed=1)
+        assert {(l.a, l.b) for l in a.links} == {(l.a, l.b) for l in b.links}
+
+    def test_sweep_sizes_shape(self):
+        het = sweep_sizes("multitier", True)
+        assert het[0] == 25
+        assert all(b - a == 25 for a, b in zip(het, het[1:]))
+        hom_mesh = sweep_sizes("mesh", False)
+        assert hom_mesh[0] == 35
+
+    def test_deadline_grows_with_size(self):
+        assert dba_deadline_s(200) >= dba_deadline_s(25)
+
+
+class TestRunPlacement:
+    def test_qfs_row(self):
+        scenario = qfs_testbed_scenario()
+        row = run_placement("egc", scenario, size=12, seed=0)
+        assert row.algorithm == "EGC"
+        assert row.workload == "qfs"
+        assert row.size == 29  # 14 VMs + 15 volumes
+        assert row.reserved_bw_mbps > 0
+
+    def test_dba_gets_deadline(self):
+        scenario = qfs_testbed_scenario()
+        row = run_placement("dba*", scenario, size=4, seed=0, deadline_s=0.3)
+        assert row.algorithm == "DBA*"
+
+
+class TestSweep:
+    def test_sweep_aggregates(self):
+        scenario = qfs_testbed_scenario()
+        rows = sweep(
+            scenario, ["egc", "eg"], sizes=[3, 6], seeds=(0, 1)
+        )
+        # 2 algorithms x 2 sizes, aggregated over 2 seeds
+        assert len(rows) == 4
+        assert all(r.seed == -1 for r in rows)
+
+    def test_sweep_raw(self):
+        scenario = qfs_testbed_scenario()
+        rows = sweep(
+            scenario, ["egc"], sizes=[3], seeds=(0, 1), aggregate=False
+        )
+        assert len(rows) == 2
+        assert {r.seed for r in rows} == {0, 1}
+
+
+class TestReporting:
+    @pytest.fixture
+    def rows(self):
+        scenario = qfs_testbed_scenario()
+        return sweep(scenario, ["egc", "eg"], sizes=[3, 6], seeds=(0,))
+
+    def test_format_table(self, rows):
+        text = format_table(
+            [r for r in rows if r.size == rows[0].size], title="Table I"
+        )
+        assert "Table I" in text
+        assert "Bandwidth (Mbps)" in text
+        assert "EGC" in text and "EG" in text
+
+    def test_format_series(self, rows):
+        text = format_series(rows, metric="reserved_bw_gbps")
+        lines = text.splitlines()
+        assert lines[0].split() == ["size", "EGC", "EG"]
+        assert len(lines) == 2 + 2  # header + rule + 2 sizes
+
+    def test_format_series_missing_cell(self):
+        from tests.sim.test_metrics import make_row
+
+        rows = [make_row(algorithm="EG", size=25)]
+        text = format_series(rows, algorithms=["EG", "DBA*"])
+        assert "-" in text

@@ -1,0 +1,71 @@
+"""Tests for the cluster-utilization report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.scheduler import Ostro
+from repro.datacenter.loadgen import apply_table_iv_load
+from repro.datacenter.state import DataCenterState
+from repro.sim.utilization import format_utilization, utilization_report
+from tests.conftest import make_three_tier
+
+
+class TestReport:
+    def test_pristine_state_all_zero(self, small_dc):
+        report = utilization_report(DataCenterState(small_dc))
+        assert report.hosts_active == 0
+        assert report.cpu_used_frac == 0.0
+        assert report.nic_used_frac == 0.0
+        assert report.busiest_nic_frac == 0.0
+        assert report.hosts_total == small_dc.num_hosts
+
+    def test_placement_moves_the_needles(self, small_dc):
+        ostro = Ostro(small_dc)
+        ostro.place(make_three_tier(), algorithm="eg")
+        report = utilization_report(ostro.state)
+        assert report.hosts_active >= 1
+        assert report.cpu_used_frac > 0
+        assert report.disk_used_frac > 0
+
+    def test_fractions_bounded(self, small_dc):
+        state = DataCenterState(small_dc)
+        apply_table_iv_load(state, seed=0)
+        report = utilization_report(state)
+        for value in report.as_dict().values():
+            assert 0.0 <= value <= max(1.0, report.hosts_total)
+
+    def test_busiest_nic_at_least_average(self, small_dc):
+        state = DataCenterState(small_dc)
+        state.reserve_path((small_dc.hosts[0].link_index,), 9_000)
+        report = utilization_report(state)
+        assert report.busiest_nic_frac == pytest.approx(0.9)
+        assert report.busiest_nic_frac >= report.nic_used_frac
+
+    def test_uplink_fraction_counts_only_uplinks(self, small_dc):
+        state = DataCenterState(small_dc)
+        tor = small_dc.racks[0].link_index
+        state.reserve_path((tor,), small_dc.link_capacity_mbps[tor] / 2)
+        report = utilization_report(state)
+        assert report.uplink_used_frac > 0
+        assert report.nic_used_frac == 0.0
+
+
+class TestFormatting:
+    def test_dashboard_lines(self, small_dc):
+        text = format_utilization(utilization_report(DataCenterState(small_dc)))
+        assert "hosts: 0/16 active" in text
+        assert "cpu:" in text and "uplinks:" in text
+
+    def test_as_dict_keys(self, small_dc):
+        report = utilization_report(DataCenterState(small_dc))
+        assert set(report.as_dict()) == {
+            "hosts_total",
+            "hosts_active",
+            "cpu_used_frac",
+            "mem_used_frac",
+            "disk_used_frac",
+            "nic_used_frac",
+            "uplink_used_frac",
+            "busiest_nic_frac",
+        }

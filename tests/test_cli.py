@@ -1,0 +1,144 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.heat.template import template_from_topology
+from tests.conftest import make_three_tier
+
+
+@pytest.fixture
+def template_file(tmp_path):
+    template = template_from_topology(make_three_tier())
+    path = tmp_path / "stack.json"
+    path.write_text(json.dumps(template))
+    return str(path)
+
+
+class TestPlace:
+    def test_place_outputs_annotated_template(self, template_file, capsys):
+        rc = main(
+            [
+                "place",
+                "--template",
+                template_file,
+                "--dc",
+                "dc:4",
+                "--algorithm",
+                "eg",
+            ]
+        )
+        assert rc == 0
+        out, err = capsys.readouterr()
+        annotated = json.loads(out)
+        assert any(
+            "scheduler_hints" in r.get("properties", {})
+            for r in annotated["resources"].values()
+        )
+        assert "reserved bandwidth" in err
+
+    def test_bad_dc_spec(self, template_file, capsys):
+        rc = main(["place", "--template", template_file, "--dc", "moon"])
+        assert rc == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestExperiments:
+    def test_table2(self, capsys):
+        rc = main(["experiment", "table2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+        assert "EGC" in out and "DBA*" in out
+        assert "Bandwidth (Mbps)" in out
+
+    def test_online(self, capsys):
+        rc = main(["experiment", "online", "--size", "25"])
+        assert rc == 0
+        assert "online adaptation" in capsys.readouterr().out
+
+
+class TestSweep:
+    def test_fig7_small(self, capsys):
+        rc = main(
+            [
+                "sweep",
+                "fig7",
+                "--sizes",
+                "25",
+                "--algorithms",
+                "egc",
+                "eg",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fig7" in out
+        assert "EGC" in out
+
+
+class TestUtil:
+    def test_pristine(self, capsys):
+        rc = main(["util", "--dc", "dc:2", "--load", "none"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "hosts: 0/32 active" in out
+
+    def test_table_iv_load(self, capsys):
+        rc = main(["util", "--dc", "dc:2", "--load", "tableiv"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "hosts: 24/32 active" in out
+
+
+class TestSweepChart:
+    def test_chart_flag(self, capsys):
+        rc = main(
+            [
+                "sweep",
+                "fig7",
+                "--sizes",
+                "25",
+                "--algorithms",
+                "egc",
+                "--chart",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "o=EGC" in out
+
+
+class TestReplay:
+    def test_replay_prints_comparison(self, capsys):
+        rc = main(
+            [
+                "replay",
+                "--dc",
+                "dc:2",
+                "--arrivals",
+                "5",
+                "--algorithms",
+                "egc",
+                "eg",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "replaying 5 tenants" in out
+        assert "egc" in out and "eg" in out
+
+
+class TestTradeoff:
+    def test_tradeoff_runs(self, capsys):
+        rc = main(
+            ["tradeoff", "--size", "25", "--deadlines", "0.2", "0.4"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Fig 6" in out
+        assert out.count("\n") >= 4

@@ -1,0 +1,143 @@
+"""Cross-module integration tests.
+
+These exercise the complete Fig. 1 pipeline and multi-tenant lifecycles:
+several applications arriving through the Heat wrapper onto one shared
+Ostro instance, departures releasing capacity exactly, and placements on
+multi-data-center clouds with every diversity level in play.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.scheduler import Ostro
+from repro.core.topology import ApplicationTopology
+from repro.datacenter.builder import build_cloud, build_datacenter
+from repro.datacenter.model import Level
+from repro.datacenter.state import DataCenterState
+from repro.errors import PlacementError
+from repro.heat.engine import HeatEngine
+from repro.heat.template import template_from_topology
+from repro.heat.wrapper import OstroHeatWrapper
+from tests.conftest import make_three_tier
+from tests.core.test_greedy import verify_placement_feasible
+
+
+class TestMultiTenantLifecycle:
+    def test_arrivals_and_departures_conserve_state(self, small_dc):
+        ostro = Ostro(small_dc)
+        pristine = ostro.state.snapshot()
+        apps = []
+        for i in range(3):
+            app = make_three_tier().copy(f"tenant{i}")
+            ostro.place(app, algorithm="eg")
+            apps.append(app)
+        # remove the middle tenant; the other two keep their reservations
+        ostro.remove("tenant1")
+        assert set(ostro.applications) == {"tenant0", "tenant2"}
+        ostro.remove("tenant0")
+        ostro.remove("tenant2")
+        assert ostro.state.snapshot() == pristine
+
+    def test_later_tenants_see_earlier_reservations(self, small_dc):
+        ostro = Ostro(small_dc)
+        first = make_three_tier().copy("first")
+        second = make_three_tier().copy("second")
+        r1 = ostro.place(first, algorithm="eg")
+        base = ostro.state.clone()
+        r2 = ostro.place(second, algorithm="eg", commit=False)
+        # second's placement is feasible on top of first's reservations
+        verify_placement_feasible(second, small_dc, base, r2.placement)
+
+    def test_heat_pipeline_multi_stack(self, small_dc):
+        ostro = Ostro(small_dc)
+        wrapper = OstroHeatWrapper(ostro)
+        engine = HeatEngine(DataCenterState(small_dc))
+        for i in range(2):
+            topo = make_three_tier().copy(f"stack{i}")
+            template = template_from_topology(topo)
+            response = wrapper.handle(
+                template, stack_name=f"stack{i}", algorithm="eg"
+            )
+            stack = engine.deploy(response.annotated_template, f"stack{i}")
+            for name in topo.nodes:
+                expected = small_dc.hosts[
+                    response.result.placement.host_of(name)
+                ].name
+                assert stack.host_of(name) == expected
+        assert len(engine.stacks) == 2
+
+
+class TestMultiDataCenter:
+    @pytest.fixture
+    def cloud(self):
+        return build_cloud(
+            num_datacenters=3, pods_per_dc=2, racks_per_pod=2, hosts_per_rack=4
+        )
+
+    def test_datacenter_diversity_spreads_across_dcs(self, cloud):
+        topo = ApplicationTopology("geo")
+        for i in range(3):
+            topo.add_vm(f"replica{i}", 4, 8)
+        topo.add_zone(
+            "geo-ha", Level.DATACENTER, [f"replica{i}" for i in range(3)]
+        )
+        ostro = Ostro(cloud)
+        result = ostro.place(topo, algorithm="eg", commit=False)
+        dcs = {
+            cloud.hosts[result.placement.host_of(f"replica{i}")]
+            .rack.datacenter.name
+            for i in range(3)
+        }
+        assert len(dcs) == 3
+
+    def test_wan_bandwidth_accounted(self, cloud):
+        topo = ApplicationTopology("wan")
+        topo.add_vm("a", 4, 8)
+        topo.add_vm("b", 4, 8)
+        topo.connect("a", "b", 500)
+        topo.add_zone("far", Level.DATACENTER, ["a", "b"])
+        ostro = Ostro(cloud)
+        result = ostro.place(topo, algorithm="eg")
+        # cross-DC path: 8 links (2x NIC, ToR, pod, WAN)
+        assert result.reserved_bw_mbps == 500 * 8
+        a_dc = cloud.hosts[result.placement.host_of("a")].rack.datacenter
+        wan_free = ostro.state.free_bw[a_dc.link_index]
+        assert wan_free == a_dc.uplink_bw_mbps - 500
+
+    def test_pod_diversity_with_real_pods(self, cloud):
+        topo = ApplicationTopology("pods")
+        topo.add_vm("x", 2, 2)
+        topo.add_vm("y", 2, 2)
+        topo.add_zone("pod-ha", Level.POD, ["x", "y"])
+        result = Ostro(cloud).place(topo, algorithm="eg", commit=False)
+        hx = cloud.hosts[result.placement.host_of("x")]
+        hy = cloud.hosts[result.placement.host_of("y")]
+        assert hx.rack.pod is not hy.rack.pod
+
+    def test_unsatisfiable_dc_diversity(self):
+        single_dc = build_datacenter(num_racks=2, hosts_per_rack=2)
+        topo = ApplicationTopology("impossible")
+        topo.add_vm("a", 1, 1)
+        topo.add_vm("b", 1, 1)
+        topo.add_zone("geo", Level.DATACENTER, ["a", "b"])
+        with pytest.raises(PlacementError):
+            Ostro(single_dc).place(topo, algorithm="eg")
+
+
+class TestAlgorithmsAgreeOnEasyInstances:
+    def test_all_algorithms_find_the_trivial_optimum(self, small_dc):
+        """A fully co-locatable app: every algorithm must reserve zero."""
+        topo = ApplicationTopology("tiny")
+        topo.add_vm("a", 2, 2)
+        topo.add_vm("b", 2, 2)
+        topo.add_volume("v", 50)
+        topo.connect("a", "b", 100)
+        topo.connect("b", "v", 100)
+        for algorithm in ("eg", "egbw", "ba*", "dba*"):
+            result = Ostro(small_dc).place(
+                topo, algorithm=algorithm, commit=False,
+                **({"deadline_s": 0.5} if algorithm == "dba*" else {}),
+            )
+            assert result.reserved_bw_mbps == 0.0, algorithm
+            assert result.placement.hosts_used == 1, algorithm

@@ -1,0 +1,41 @@
+"""Tests for unit helpers and the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors, units
+
+
+class TestUnits:
+    def test_gbps_roundtrip(self):
+        assert units.gbps(10) == 10_000.0
+        assert units.mbps_to_gbps(units.gbps(3.2)) == pytest.approx(3.2)
+
+    def test_tb(self):
+        assert units.tb(1) == 1000.0
+        assert units.tb(0.5) == 500.0
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.TopologyError,
+            errors.TemplateError,
+            errors.DataCenterError,
+            errors.CapacityError,
+            errors.PlacementError,
+            errors.SchedulerError,
+            errors.DeadlineError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+        with pytest.raises(errors.ReproError):
+            raise exc("boom")
+
+    def test_placement_error_carries_node(self):
+        exc = errors.PlacementError("no host", node_name="db0")
+        assert exc.node_name == "db0"
+        assert errors.PlacementError("x").node_name is None

@@ -1,0 +1,82 @@
+"""Tests for the mesh-communication workload generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datacenter.model import Level
+from repro.errors import TopologyError
+from repro.workloads.mesh import build_mesh
+
+
+class TestStructure:
+    def test_zones_of_five(self):
+        topo = build_mesh(total_vms=25)
+        assert len(topo.vms()) == 25
+        assert len(topo.zones) == 5
+        for zone in topo.zones:
+            assert len(zone.members) == 5
+            assert zone.level is Level.HOST
+
+    def test_zone_fanout_roughly_80_percent(self):
+        topo = build_mesh(total_vms=100, seed=1)
+        # 20 zones; each picked ~80% of the other 19 => ~15 peers; union of
+        # undirected pairs is at least that dense.
+        zone_pairs = set()
+        for link in topo.links:
+            za = link.a.split("-")[0]
+            zb = link.b.split("-")[0]
+            zone_pairs.add((min(za, zb), max(za, zb)))
+        max_pairs = 20 * 19 // 2
+        assert len(zone_pairs) >= 0.8 * max_pairs
+
+    def test_links_connect_distinct_zones(self):
+        topo = build_mesh(total_vms=50, seed=2)
+        for link in topo.links:
+            assert link.a.split("-")[0] != link.b.split("-")[0]
+
+    def test_homogeneous_sweep_sizes(self):
+        for size in range(35, 281, 35):
+            topo = build_mesh(total_vms=size, heterogeneous=False)
+            assert len(topo.vms()) == size
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(TopologyError, match="divisible"):
+            build_mesh(total_vms=26)
+
+
+class TestDeterminism:
+    def test_same_seed_same_topology(self):
+        a = build_mesh(total_vms=50, seed=7)
+        b = build_mesh(total_vms=50, seed=7)
+        assert {(l.a, l.b, l.bw_mbps) for l in a.links} == {
+            (l.a, l.b, l.bw_mbps) for l in b.links
+        }
+
+    def test_different_seed_different_links(self):
+        a = build_mesh(total_vms=50, seed=1)
+        b = build_mesh(total_vms=50, seed=2)
+        assert {(l.a, l.b) for l in a.links} != {(l.a, l.b) for l in b.links}
+
+
+class TestRequirements:
+    def test_zone_mates_identical(self):
+        topo = build_mesh(total_vms=100, heterogeneous=True, seed=3)
+        for zone in topo.zones:
+            sizes = {
+                (topo.node(m).vcpus, topo.node(m).mem_gb)
+                for m in zone.members
+            }
+            assert len(sizes) == 1
+
+    def test_mesh_is_more_bandwidth_hungry_than_multitier(self):
+        from repro.workloads.multitier import build_multitier
+
+        mesh = build_mesh(total_vms=100, heterogeneous=True)
+        tiered = build_multitier(total_vms=100, heterogeneous=True)
+        assert (
+            mesh.total_link_bandwidth() > tiered.total_link_bandwidth()
+        )
+
+    def test_generated_topologies_validate(self):
+        build_mesh(total_vms=75, seed=5).validate()

@@ -1,0 +1,87 @@
+"""Tests for the multi-tier workload generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datacenter.model import Level
+from repro.errors import TopologyError
+from repro.workloads.multitier import build_multitier
+
+
+class TestStructure:
+    def test_paper_default_shape(self):
+        topo = build_multitier(total_vms=25)
+        assert len(topo.vms()) == 25
+        assert len(topo.volumes()) == 0
+        # 5 tiers x 2 zones
+        assert len(topo.zones) == 10
+
+    def test_default_fanout_links(self):
+        topo = build_multitier(total_vms=25, tiers=5)
+        # 4 tier boundaries x 5 VMs x fanout 2
+        assert len(topo.links) == 4 * 5 * 2
+
+    def test_full_bipartite_option(self):
+        topo = build_multitier(total_vms=25, tiers=5, fanout=None)
+        assert len(topo.links) == 4 * 25
+
+    def test_fanout_larger_than_tier_clamped(self):
+        topo = build_multitier(total_vms=10, tiers=5, fanout=99)
+        # tiers of 2: at most 2 distinct peers per VM
+        assert len(topo.links) == 4 * 2 * 2
+
+    def test_all_sizes_of_figure7(self):
+        for size in range(25, 201, 25):
+            topo = build_multitier(total_vms=size)
+            assert len(topo.vms()) == size
+
+    def test_indivisible_size_rejected(self):
+        with pytest.raises(TopologyError, match="divisible"):
+            build_multitier(total_vms=26, tiers=5)
+
+    def test_zone_members_within_tier(self):
+        topo = build_multitier(total_vms=50)
+        for zone in topo.zones:
+            tiers = {m.split("-")[0] for m in zone.members}
+            assert len(tiers) == 1
+            assert zone.level is Level.HOST
+
+
+class TestRequirements:
+    def test_zone_mates_have_identical_requirements(self):
+        topo = build_multitier(total_vms=100, heterogeneous=True)
+        for zone in topo.zones:
+            vectors = {topo.requirement_vector(m)[:2] for m in zone.members}
+            assert len(vectors) == 1
+
+    def test_heterogeneous_mixes_classes_across_tiers(self):
+        topo = build_multitier(total_vms=100, heterogeneous=True)
+        cpu_values = {vm.vcpus for vm in topo.vms()}
+        assert cpu_values == {1, 2, 4}
+
+    def test_homogeneous_single_class(self):
+        topo = build_multitier(total_vms=100, heterogeneous=False)
+        assert {vm.vcpus for vm in topo.vms()} == {2}
+        assert {l.bw_mbps for l in topo.links} == {50}
+
+    def test_link_bw_is_min_of_endpoint_classes(self):
+        topo = build_multitier(total_vms=25, heterogeneous=True)
+        for link in topo.links:
+            a_bw = {
+                1: 100, 2: 50, 4: 10
+            }[topo.node(link.a).vcpus]
+            b_bw = {
+                1: 100, 2: 50, 4: 10
+            }[topo.node(link.b).vcpus]
+            assert link.bw_mbps == min(a_bw, b_bw)
+
+
+class TestValidation:
+    def test_generated_topologies_validate(self):
+        for size in (25, 100, 200):
+            build_multitier(total_vms=size).validate()
+
+    def test_descriptive_names(self):
+        assert build_multitier(50).name == "multitier-50-het"
+        assert build_multitier(50, heterogeneous=False).name == "multitier-50-hom"

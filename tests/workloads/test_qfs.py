@@ -1,0 +1,70 @@
+"""Tests for the QFS application topology (Fig. 5)."""
+
+from __future__ import annotations
+
+from repro.datacenter.model import Level
+from repro.workloads.qfs import (
+    HIGH_BW_MBPS,
+    LOW_BW_MBPS,
+    build_qfs,
+)
+
+
+class TestPaperCounts:
+    def test_headline_counts(self):
+        topo = build_qfs()
+        # 1 client + 1 meta + 12 chunk servers
+        assert len(topo.vms()) == 14
+        # 12 chunk volumes + 2 meta volumes + 1 client volume
+        assert len(topo.volumes()) == 15
+
+    def test_vm_sizes_match_fig5(self):
+        topo = build_qfs()
+        client = topo.node("client")
+        meta = topo.node("meta")
+        chunk = topo.node("chunk1")
+        assert (client.vcpus, client.mem_gb) == (4, 8)
+        assert (meta.vcpus, meta.mem_gb) == (2, 2)
+        assert (chunk.vcpus, chunk.mem_gb) == (2, 2)
+
+    def test_volume_sizes_match_fig5(self):
+        topo = build_qfs()
+        assert topo.node("chunk-vol1").size_gb == 120
+        assert topo.node("meta-vol1").size_gb == 10
+        assert topo.node("client-vol").size_gb == 10
+
+    def test_heterogeneous_bandwidths(self):
+        topo = build_qfs()
+        links = {(l.a, l.b): l.bw_mbps for l in topo.links}
+        assert links[("client", "meta")] == LOW_BW_MBPS
+        assert links[("chunk1", "chunk-vol1")] == HIGH_BW_MBPS
+        assert links[("client", "chunk1")] == HIGH_BW_MBPS
+
+    def test_chunk_volume_diversity_zone(self):
+        topo = build_qfs()
+        (zone,) = topo.zones
+        assert zone.level is Level.HOST
+        assert len(zone.members) == 12
+        assert all(m.startswith("chunk-vol") for m in zone.members)
+
+
+class TestParameterization:
+    def test_custom_chunk_count(self):
+        topo = build_qfs(chunk_servers=4)
+        assert len([v for v in topo.vms() if v.name.startswith("chunk")]) == 4
+        (zone,) = topo.zones
+        assert len(zone.members) == 4
+
+    def test_no_heartbeats(self):
+        topo = build_qfs(chunk_heartbeats=False)
+        assert all(
+            not (l.a == "meta" and l.b.startswith("chunk"))
+            for l in topo.links
+        )
+
+    def test_single_chunk_server_has_no_zone(self):
+        topo = build_qfs(chunk_servers=1)
+        assert topo.zones == []
+
+    def test_validates(self):
+        build_qfs().validate()

@@ -1,0 +1,65 @@
+"""Tests for the requirement mixes (Table III)."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.workloads.requirements import (
+    HETEROGENEOUS_MIX,
+    HOMOGENEOUS_MIX,
+    HOMOGENEOUS_SPEC,
+    mix_for,
+)
+
+
+class TestHeterogeneousMix:
+    def test_table_iii_shares_at_multiples_of_five(self):
+        specs = HETEROGENEOUS_MIX.assign(100)
+        counts = Counter(s.vcpus for s in specs)
+        assert counts[1] == 40
+        assert counts[2] == 20
+        assert counts[4] == 40
+
+    def test_apportionment_with_awkward_counts(self):
+        for count in (7, 13, 25, 33):
+            specs = HETEROGENEOUS_MIX.assign(count)
+            assert len(specs) == count
+            counts = Counter(s.vcpus for s in specs)
+            # each class within 1 of its exact quota
+            assert abs(counts[1] - 0.4 * count) <= 1
+            assert abs(counts[2] - 0.2 * count) <= 1
+            assert abs(counts[4] - 0.4 * count) <= 1
+
+    def test_deterministic(self):
+        assert HETEROGENEOUS_MIX.assign(50) == HETEROGENEOUS_MIX.assign(50)
+
+    def test_classes_interleaved(self):
+        specs = HETEROGENEOUS_MIX.assign(30)
+        first_ten = {s.vcpus for s in specs[:10]}
+        assert len(first_ten) > 1  # not a solid block of one class
+
+    def test_zero_and_negative_counts(self):
+        assert HETEROGENEOUS_MIX.assign(0) == []
+        assert HETEROGENEOUS_MIX.assign(-3) == []
+
+    def test_network_class_has_highest_bandwidth(self):
+        by_cpu = {s.vcpus: s for _, s in HETEROGENEOUS_MIX.classes}
+        assert by_cpu[1].link_bw_mbps == 100
+        assert by_cpu[4].link_bw_mbps == 10
+
+
+class TestHomogeneous:
+    def test_single_spec(self):
+        specs = HOMOGENEOUS_MIX.assign(10)
+        assert all(s == HOMOGENEOUS_SPEC for s in specs)
+
+    def test_paper_values(self):
+        assert HOMOGENEOUS_SPEC.vcpus == 2
+        assert HOMOGENEOUS_SPEC.mem_gb == 2
+        assert HOMOGENEOUS_SPEC.link_bw_mbps == 50
+
+
+class TestMixFor:
+    def test_selects_regime(self):
+        assert mix_for(True) is HETEROGENEOUS_MIX
+        assert mix_for(False) is HOMOGENEOUS_MIX

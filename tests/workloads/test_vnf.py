@@ -1,0 +1,77 @@
+"""Tests for the VNF service-chain workload generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.greedy import EG
+from repro.datacenter.model import Level
+from repro.errors import TopologyError
+from repro.workloads.vnf import DEFAULT_CHAIN, VNFStage, build_vnf_chain
+from tests.core.test_greedy import verify_placement_feasible
+
+
+class TestDefaultChain:
+    def test_structure(self):
+        topo = build_vnf_chain()
+        assert len(topo.vms()) == 6  # 2 fw + 2 routers + 2 caches
+        assert len(topo.volumes()) == 2  # cache stores
+        # 3 stages -> 3 HA zones
+        assert len(topo.zones) == 3
+        assert all(z.level is Level.RACK for z in topo.zones)
+
+    def test_chain_links(self):
+        topo = build_vnf_chain()
+        # fw->router 2x2 @ 800, router->cache 2x2 @ 1200, cache->store 2 @ 1500
+        bws = sorted(l.bw_mbps for l in topo.links)
+        assert bws == [800] * 4 + [1200] * 4 + [1500] * 2
+
+    def test_validates_and_places(self, small_dc):
+        topo = build_vnf_chain()
+        topo.validate()
+        from repro.datacenter.state import DataCenterState
+
+        base = DataCenterState(small_dc)
+        result = EG().place(topo, small_dc, base)
+        verify_placement_feasible(topo, small_dc, base, result.placement)
+        # HA actually achieved: firewalls on different racks
+        fw_racks = {
+            small_dc.hosts[result.placement.host_of(f"firewall{i}")].rack.name
+            for i in (1, 2)
+        }
+        assert len(fw_racks) == 2
+
+
+class TestCustomChains:
+    def test_single_stage(self):
+        topo = build_vnf_chain([VNFStage("lb", instances=3)])
+        assert len(topo.vms()) == 3
+        assert len(topo.links) == 0
+        (zone,) = topo.zones
+        assert len(zone.members) == 3
+
+    def test_single_instance_stage_has_no_zone(self):
+        topo = build_vnf_chain(
+            [VNFStage("nat", instances=1, egress_bw_mbps=100),
+             VNFStage("fw", instances=2)]
+        )
+        assert len(topo.zones) == 1  # only the fw stage
+
+    def test_zero_egress_breaks_chain(self):
+        topo = build_vnf_chain(
+            [VNFStage("a", instances=1, egress_bw_mbps=0),
+             VNFStage("b", instances=1)]
+        )
+        assert topo.links == []
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(TopologyError):
+            build_vnf_chain([])
+
+    def test_zero_instances_rejected(self):
+        with pytest.raises(TopologyError):
+            build_vnf_chain([VNFStage("x", instances=0)])
+
+    def test_default_chain_constant_sane(self):
+        names = [s.name for s in DEFAULT_CHAIN]
+        assert names == ["firewall", "router", "cache"]
