@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Telemetry: trace one DBA* placement and summarize the search effort.
+
+Enables the ``repro.obs`` telemetry subsystem, runs a single
+deadline-bounded A* placement on a 4-rack data center, then inspects the
+three surfaces the recorder captured: the typed event stream, the metric
+registry, and the nested trace tree (via the human-readable summary).
+
+Run:  python examples/tracing.py
+"""
+
+from repro import ApplicationTopology, DiversityLevel, Ostro, obs
+from repro.datacenter import build_datacenter
+
+
+def build_app() -> ApplicationTopology:
+    app = ApplicationTopology("traced")
+    for i in range(3):
+        app.add_vm(f"app{i}", vcpus=2, mem_gb=4)
+        app.add_vm(f"db{i}", vcpus=4, mem_gb=8)
+        app.add_volume(f"vol{i}", size_gb=100)
+        app.connect(f"app{i}", f"db{i}", bw_mbps=200)
+        app.connect(f"db{i}", f"vol{i}", bw_mbps=400)
+    for i in range(3):
+        app.connect(f"app{i}", f"app{(i + 1) % 3}", bw_mbps=100)
+    app.add_zone("db-ha", DiversityLevel.RACK, ["db0", "db1", "db2"])
+    return app
+
+
+def main() -> None:
+    cloud = build_datacenter(num_racks=4, hosts_per_rack=8)
+    app = build_app()
+
+    # Scoped enablement: everything inside the block records into this
+    # recorder; the process-wide no-op recorder is restored afterwards.
+    recorder = obs.TelemetryRecorder()
+    with obs.use(recorder):
+        result = Ostro(cloud).place(app, algorithm="dba*", deadline_s=1.0)
+
+    print(f"placed {app.name!r}: {result.reserved_bw_mbps:.0f} Mbps "
+          f"reserved, {result.new_active_hosts} new hosts, "
+          f"{result.runtime_s * 1000:.1f} ms\n")
+
+    # 1. The typed event stream -- every search decision, in order.
+    events = recorder.events
+    print(f"{events.count()} events recorded, by type:")
+    for event_type in ("estimate_computed", "path_expanded", "path_pruned",
+                       "bound_updated", "node_placed", "deadline_tick"):
+        print(f"  {event_type:18} {events.count(event_type):4}")
+    first_prune = next(iter(events.of_type("path_pruned")), None)
+    if first_prune is not None:
+        print(f"first prune: depth={first_prune.fields['depth']} "
+              f"reason={first_prune.fields['reason']!r}")
+
+    # 2. The metric registry -- Prometheus text exposition.
+    prometheus = obs.render_prometheus(recorder.registry)
+    print("\nselected metric samples:")
+    for line in prometheus.splitlines():
+        if line.startswith(("ostro_nodes_expanded_total",
+                            "ostro_placements_total",
+                            "ostro_estimate_seconds_count")):
+            print(f"  {line}")
+
+    # 3. The search-effort summary + trace tree.
+    print()
+    print(recorder.summary())
+
+
+if __name__ == "__main__":
+    main()

@@ -9,6 +9,11 @@ Subcommands:
 * ``repro sweep {fig7,fig8,fig9,fig10,fig11} [--hom]`` -- rerun a figure's
   size sweep and print the data series.
 * ``repro tradeoff`` -- the Fig. 6 deadline/optimality tradeoff.
+
+``place``, ``experiment``, and ``sweep`` accept ``--trace-out FILE``
+(JSONL event stream) and ``--metrics-out FILE`` (Prometheus text
+exposition); either flag enables the telemetry subsystem for the run and
+prints the search-effort summary to stderr (see docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
@@ -18,6 +23,7 @@ import json
 import sys
 from typing import List, Optional
 
+from repro import __version__, obs
 from repro.core.scheduler import Ostro
 from repro.errors import ReproError
 from repro.heat.wrapper import OstroHeatWrapper
@@ -52,13 +58,24 @@ def cmd_place(args: argparse.Namespace) -> int:
     options = {}
     if args.deadline is not None:
         options["deadline_s"] = args.deadline
-    response = wrapper.handle(
-        args.template,
-        stack_name=args.stack,
-        algorithm=args.algorithm,
-        commit=False,
-        **options,
-    )
+    try:
+        response = wrapper.handle(
+            args.template,
+            stack_name=args.stack,
+            algorithm=args.algorithm,
+            commit=False,
+            **options,
+        )
+    except ReproError as exc:
+        # A failed run still exits with a one-line diagnostic (and, when
+        # telemetry is on, still dumps the trace/metrics collected so far)
+        # instead of a raw traceback; exit code 2 distinguishes "the
+        # placement failed" from "the invocation was wrong" (1).
+        print(
+            f"# placement failed ({type(exc).__name__}): {exc}",
+            file=sys.stderr,
+        )
+        return 2
     result = response.result
     print(json.dumps(response.annotated_template, indent=2))
     print(
@@ -217,10 +234,28 @@ def cmd_tradeoff(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="enable telemetry and write the JSONL event stream here",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="enable telemetry and write Prometheus-style metrics here",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Ostro (ICDCS 2015) reproduction: topology-aware placement",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -230,12 +265,14 @@ def build_parser() -> argparse.ArgumentParser:
     place.add_argument("--algorithm", default="dba*")
     place.add_argument("--stack", default="stack")
     place.add_argument("--deadline", type=float, default=None)
+    _add_telemetry_flags(place)
     place.set_defaults(func=cmd_place)
 
     experiment = sub.add_parser("experiment", help="rerun a paper experiment")
     experiment.add_argument("name", choices=["table1", "table2", "online"])
     experiment.add_argument("--seed", type=int, default=0)
     experiment.add_argument("--size", type=int, default=50)
+    _add_telemetry_flags(experiment)
     experiment.set_defaults(func=cmd_experiment)
 
     sweep_cmd = sub.add_parser("sweep", help="rerun a figure's size sweep")
@@ -249,6 +286,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_cmd.add_argument(
         "--chart", action="store_true", help="also draw an ASCII chart"
     )
+    _add_telemetry_flags(sweep_cmd)
     sweep_cmd.set_defaults(func=cmd_sweep)
 
     replay_cmd = sub.add_parser(
@@ -287,11 +325,40 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    trace_out = getattr(args, "trace_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    recorder = None
+    if trace_out or metrics_out:
+        recorder = obs.enable()
+    rc = 1
     try:
-        return args.func(args)
+        rc = args.func(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        rc = 1
+    finally:
+        if recorder is not None:
+            try:
+                if trace_out:
+                    lines = obs.write_events_jsonl(recorder, trace_out)
+                    print(
+                        f"# wrote {lines} events to {trace_out}",
+                        file=sys.stderr,
+                    )
+                if metrics_out:
+                    obs.write_metrics_file(recorder, metrics_out)
+                    print(
+                        f"# wrote metrics to {metrics_out}", file=sys.stderr
+                    )
+                print(recorder.summary(), file=sys.stderr)
+            except OSError as exc:
+                print(
+                    f"error: cannot write telemetry: {exc}", file=sys.stderr
+                )
+                rc = 1
+            finally:
+                obs.disable()
+    return rc
 
 
 if __name__ == "__main__":

@@ -26,6 +26,7 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.core.base import PlacementAlgorithm, PlacementResult, SearchStats
 from repro.core.candidates import candidate_targets
 from repro.core.constraints import topology_obviously_infeasible
@@ -227,10 +228,13 @@ class BAStar(PlacementAlgorithm):
             )
             return frozenset(counted.items())
 
+        rec = obs.get_recorder()
         # Initial upper bound from a full EG run (Algorithm 2 line 3).
         best_partial, u_upper = self._eg_bound(
             root, order, objective, bound_estimator, stats
         )
+        if rec.enabled and best_partial is not None:
+            rec.event("bound_updated", bound=u_upper, source="eg_initial")
 
         counter = itertools.count()
         est_bw, est_c = estimator.estimate(root, order)
@@ -261,11 +265,24 @@ class BAStar(PlacementAlgorithm):
                 # Complete placement better than the incumbent (line 7).
                 if u_p < u_upper:
                     best_partial, u_upper = partial_p, u_p
+                    if rec.enabled:
+                        rec.event(
+                            "bound_updated", bound=u_upper,
+                            source="complete_path",
+                        )
                 if self.terminate_on_bound:
                     break
                 continue  # deadline mode: keep improving until time is up
             if self._should_prune_pop(depth, total):
                 stats.paths_pruned += 1
+                if rec.enabled:
+                    rec.inc("ostro_paths_pruned_total", reason="probabilistic")
+                    rec.event(
+                        "path_pruned",
+                        depth=depth,
+                        reason="probabilistic",
+                        evaluation=u_p,
+                    )
                 continue
             # "Search advanced" triggers for the EG bound re-run
             # (Algorithm 2 lines 15-18): the frontier's best evaluation
@@ -297,8 +314,16 @@ class BAStar(PlacementAlgorithm):
                 self._last_eg_duration = (
                     time.perf_counter() - rerun_started
                 )
+                if rec.enabled:
+                    rec.observe(
+                        "ostro_eg_bound_seconds", self._last_eg_duration
+                    )
                 if candidate is not None and candidate[1] < u_upper:
                     best_partial, u_upper = candidate
+                    if rec.enabled:
+                        rec.event(
+                            "bound_updated", bound=u_upper, source="eg_rerun"
+                        )
 
             node_name = order[depth]
             targets = candidate_targets(
@@ -323,15 +348,44 @@ class BAStar(PlacementAlgorithm):
                 if key in closed:
                     continue
                 closed.add(key)
-                child_est_bw, child_est_c = estimator.estimate(
-                    child, order[depth + 1 :]
-                )
+                rest = order[depth + 1 :]
+                if rec.enabled:
+                    est_started = time.perf_counter()
+                    child_est_bw, child_est_c = estimator.estimate(
+                        child, rest
+                    )
+                    est_dt = time.perf_counter() - est_started
+                    rec.inc("ostro_estimates_total")
+                    rec.inc("ostro_candidates_scored_total")
+                    rec.observe("ostro_estimate_seconds", est_dt)
+                    rec.event(
+                        "estimate_computed",
+                        node=node_name,
+                        host=target.host,
+                        remaining=len(rest),
+                        est_bw_mbps=child_est_bw,
+                        est_hosts=child_est_c,
+                        seconds=est_dt,
+                    )
+                else:
+                    child_est_bw, child_est_c = estimator.estimate(
+                        child, rest
+                    )
                 u_q = objective.score(
                     child.ubw + child_est_bw, child.uc + child_est_c
                 )
                 stats.candidates_scored += 1
                 if u_q >= u_upper - _BOUND_EPS:
                     stats.paths_pruned += 1
+                    if rec.enabled:
+                        rec.inc("ostro_paths_pruned_total", reason="bound")
+                        rec.event(
+                            "path_pruned",
+                            depth=depth + 1,
+                            reason="bound",
+                            evaluation=u_q,
+                            bound=u_upper,
+                        )
                     continue
                 heapq.heappush(
                     open_queue, (u_q, next(counter), depth + 1, child)
@@ -339,6 +393,15 @@ class BAStar(PlacementAlgorithm):
                 open_depths[depth + 1] += 1
                 branched += 1
             stats.paths_expanded += 1
+            if rec.enabled:
+                rec.inc("ostro_nodes_expanded_total")
+                rec.set_gauge("ostro_open_list_size", len(open_queue))
+                rec.event(
+                    "path_expanded",
+                    depth=depth,
+                    evaluation=u_p,
+                    open_size=len(open_queue),
+                )
             self._after_expansion(open_depths, float(max(branched, 1)))
             if (
                 self.limits.max_expansions is not None
@@ -395,6 +458,9 @@ class BAStar(PlacementAlgorithm):
         if bw_order != orders[0]:
             orders.append(bw_order)
         stats.eg_bound_runs += 1
+        rec = obs.get_recorder()
+        if rec.enabled:
+            rec.inc("ostro_eg_bound_runs_total")
         for order in orders:
             clone = partial.clone()
             try:

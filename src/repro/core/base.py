@@ -14,6 +14,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
+from repro import obs
 from repro.core.objective import Objective
 from repro.core.placement import Placement
 from repro.core.topology import ApplicationTopology
@@ -121,9 +122,62 @@ class PlacementAlgorithm(ABC):
             state = DataCenterState(cloud)
         if objective is None:
             objective = Objective.for_topology(topology, cloud)
+        rec = obs.get_recorder()
+        if rec.enabled:
+            rec.event(
+                "placement_started",
+                app=topology.name,
+                algorithm=self.name,
+                nodes=len(topology.nodes),
+                links=len(topology.links),
+            )
         start = time.perf_counter()
-        result = self._run(topology, cloud, state, objective, pinned or {})
+        try:
+            with rec.span(
+                f"{self.name}.place", app=topology.name
+            ):
+                result = self._run(
+                    topology, cloud, state, objective, pinned or {}
+                )
+        except Exception as exc:
+            if rec.enabled:
+                rec.inc(
+                    "ostro_placement_failures_total", algorithm=self.name
+                )
+                rec.event(
+                    "placement_failed",
+                    app=topology.name,
+                    algorithm=self.name,
+                    error=str(exc),
+                )
+            raise
         result.stats.runtime_s = time.perf_counter() - start
+        if rec.enabled:
+            stats = result.stats
+            rec.inc("ostro_placements_total", algorithm=self.name)
+            rec.observe(
+                "ostro_placement_seconds",
+                stats.runtime_s,
+                algorithm=self.name,
+            )
+            if stats.deadline_hit:
+                rec.inc("ostro_deadline_hits_total")
+            rec.event(
+                "placement_finished",
+                app=topology.name,
+                algorithm=self.name,
+                objective_value=result.objective_value,
+                reserved_bw_mbps=result.reserved_bw_mbps,
+                new_active_hosts=result.new_active_hosts,
+                runtime_s=stats.runtime_s,
+                candidates_scored=stats.candidates_scored,
+                paths_expanded=stats.paths_expanded,
+                paths_pruned=stats.paths_pruned,
+                eg_bound_runs=stats.eg_bound_runs,
+                backtracks=stats.backtracks,
+                restarts=stats.restarts,
+                deadline_hit=stats.deadline_hit,
+            )
         return result
 
     @abstractmethod

@@ -28,6 +28,7 @@ import time
 from collections import Counter
 from typing import Optional, Sequence
 
+from repro import obs
 from repro.core.astar import BAStar
 from repro.core.greedy import GreedyConfig
 from repro.errors import DeadlineError
@@ -142,6 +143,19 @@ class DBAStar(BAStar):
             self._r = min(self._r + alpha, 1.0)
         self._t_left_estimate = t_left
         self._next_check = now + t_left / 2.0
+        rec = obs.get_recorder()
+        if rec.enabled:
+            rec.set_gauge("ostro_deadline_remaining_seconds", t_left)
+            rec.set_gauge("ostro_pruning_range", self._r)
+            rec.event(
+                "deadline_tick",
+                elapsed_s=elapsed,
+                remaining_s=t_left,
+                pruning_range=self._r,
+                pops=self._pops,
+                paths_on_track=on_track,
+                paths_affordable=affordable,
+            )
 
     def _estimate_paths_left(self, open_depths: Counter) -> float:
         """The paper's |P_left| recurrence over the open-queue histogram.

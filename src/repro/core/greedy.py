@@ -13,9 +13,11 @@
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.core.base import PlacementAlgorithm, PlacementResult, SearchStats
 from repro.core.candidates import CandidateTarget, candidate_targets
 from repro.core.constraints import topology_obviously_infeasible
@@ -163,6 +165,7 @@ def greedy_with_restarts(
     structural ones (e.g. bandwidth-critical meshes want their chattiest
     nodes placed first and spread over free NICs).
     """
+    rec = obs.get_recorder()
     first_error: Optional[PlacementError] = None
     for attempt, strategy in enumerate(strategies):
         order, tie_factory = strategy[0], strategy[1]
@@ -170,6 +173,9 @@ def greedy_with_restarts(
         partial = PartialPlacement(topology, state, resolver)
         apply_pinned(partial, pinned)
         tie_key = tie_factory(partial) if tie_factory is not None else None
+        if rec.enabled and attempt > 0:
+            rec.inc("ostro_restarts_total")
+            rec.event("restart", strategy=attempt)
         try:
             run_greedy_from(
                 partial, list(order), scoring, estimator, config, stats,
@@ -310,6 +316,7 @@ def run_greedy_from(
             (EGBW uses it to prefer hosts with the most free bandwidth).
     """
     order = list(remaining)
+    rec = obs.get_recorder()
 
     def ranked_candidates(node_name: str) -> List[CandidateTarget]:
         """Feasible targets best-first: estimate-scored head + proxy tail."""
@@ -332,9 +339,25 @@ def run_greedy_from(
         scored = []
         for rank, target in enumerate(targets):
             partial.assign(node_name, target.host, target.disk)
-            est_bw, est_c = estimator.estimate(
-                partial, [n for n in order if not partial.is_placed(n)]
-            )
+            rest = [n for n in order if not partial.is_placed(n)]
+            if rec.enabled:
+                t0 = time.perf_counter()
+                est_bw, est_c = estimator.estimate(partial, rest)
+                est_dt = time.perf_counter() - t0
+                rec.inc("ostro_estimates_total")
+                rec.inc("ostro_candidates_scored_total")
+                rec.observe("ostro_estimate_seconds", est_dt)
+                rec.event(
+                    "estimate_computed",
+                    node=node_name,
+                    host=target.host,
+                    remaining=len(rest),
+                    est_bw_mbps=est_bw,
+                    est_hosts=est_c,
+                    seconds=est_dt,
+                )
+            else:
+                est_bw, est_c = estimator.estimate(partial, rest)
             score = objective.score(partial.ubw + est_bw, partial.uc + est_c)
             partial.unassign(node_name)
             stats.candidates_scored += 1
@@ -365,6 +388,7 @@ def backtracking_place(
     ``max_backtracks`` jumps are spent before giving up.
     """
     # Level i holds the not-yet-tried candidates for order[i].
+    rec = obs.get_recorder()
     pending: List[List[CandidateTarget]] = []
     backtracks = 0
     level = 0
@@ -397,12 +421,28 @@ def backtracking_place(
             del pending[target_level + 1 :]
             for j in range(level - 1, target_level - 1, -1):
                 partial.unassign(order[j])
+            if rec.enabled:
+                rec.inc("ostro_backtracks_total")
+                rec.event(
+                    "backtrack",
+                    node=node_name,
+                    from_level=level,
+                    to_level=target_level,
+                )
             level = target_level
             backtracks += 1
             stats.backtracks = backtracks
             continue
         target = candidates.pop(0)
         partial.assign(node_name, target.host, target.disk)
+        if rec.enabled:
+            rec.event(
+                "node_placed",
+                node=node_name,
+                host=target.host,
+                disk=target.disk,
+                level=level,
+            )
         level += 1
 
 

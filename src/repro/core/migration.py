@@ -32,6 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.core.placement import Placement
 from repro.core.topology import ApplicationTopology
 from repro.datacenter.network import PathResolver
@@ -283,9 +284,26 @@ def apply_plan(
     committed), move by move; raises mid-way only if the plan is stale."""
     resolver = PathResolver(state.cloud)
     sim = _Simulator(topology, state, resolver, old_placement)
+    rec = obs.get_recorder()
     for step in plan.steps:
         if not sim.try_move(step.node, step.to_host, step.to_disk):
             raise PlacementError(
                 f"migration step for {step.node!r} no longer fits; "
                 "re-plan against the current state"
+            )
+        if rec.enabled:
+            record = topology.node(step.node)
+            moved_gb = record.mem_gb if record.is_vm else record.size_gb
+            rec.inc(
+                "ostro_migration_steps_total",
+                kind="bounce" if step.bounce else "move",
+            )
+            rec.inc("ostro_migration_moved_gb_total", moved_gb)
+            rec.event(
+                "migration_step",
+                node=step.node,
+                to_host=step.to_host,
+                to_disk=step.to_disk,
+                bounce=step.bounce,
+                moved_gb=moved_gb,
             )

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Set, Tuple
 
+from repro import obs
 from repro.core.base import PlacementResult
 from repro.core.topology import ApplicationTopology
 from repro.errors import PlacementError
@@ -135,6 +136,18 @@ def update_application(
         for name in keep
         if result.placement.host_of(name) != old_placement.host_of(name)
     ]
+    rec = obs.get_recorder()
+    if rec.enabled:
+        rec.inc("ostro_updates_total")
+        rec.event(
+            "update_applied",
+            app=new_topology.name,
+            added=len(added),
+            removed=len(removed),
+            changed=len(changed),
+            moved=len(moved),
+            unpin_rounds=rounds,
+        )
     return UpdateResult(
         result=result,
         added=added,

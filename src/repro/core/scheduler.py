@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
+from repro import obs
 from repro.core.astar import BAStar
 from repro.core.base import PlacementAlgorithm, PlacementResult
 from repro.core.deadline import DBAStar
@@ -156,11 +157,15 @@ class Ostro:
         objective = Objective.for_topology(
             topology, self.cloud, self.theta_bw, self.theta_c
         )
-        result = algo.place(
-            topology, self.cloud, self.state, objective, pinned=pinned
-        )
-        if commit:
-            self.commit(topology, result.placement)
+        rec = obs.get_recorder()
+        with rec.span(
+            "ostro.place", app=topology.name, algorithm=algo.name
+        ):
+            result = algo.place(
+                topology, self.cloud, self.state, objective, pinned=pinned
+            )
+            if commit:
+                self.commit(topology, result.placement)
         return result
 
     # ------------------------------------------------------------------
@@ -179,32 +184,44 @@ class Ostro:
             raise PlacementError(
                 f"placement does not cover nodes: {sorted(missing)}"
             )
+        rec = obs.get_recorder()
         applied = []
         try:
-            for name in sorted(topology.nodes):
-                node = topology.node(name)
-                assignment = placement.assignments[name]
-                if node.is_vm:
-                    self.state.place_vm(
-                        assignment.host,
-                        self.state.reserved_vcpus(node),
-                        node.mem_gb,
+            with rec.span("ostro.commit", app=topology.name):
+                for name in sorted(topology.nodes):
+                    node = topology.node(name)
+                    assignment = placement.assignments[name]
+                    if node.is_vm:
+                        self.state.place_vm(
+                            assignment.host,
+                            self.state.reserved_vcpus(node),
+                            node.mem_gb,
+                        )
+                    else:
+                        self.state.place_volume(assignment.disk, node.size_gb)
+                    applied.append(("node", name))
+                for link in topology.links:
+                    path = self.resolver.path(
+                        placement.host_of(link.a), placement.host_of(link.b)
                     )
-                else:
-                    self.state.place_volume(assignment.disk, node.size_gb)
-                applied.append(("node", name))
-            for link in topology.links:
-                path = self.resolver.path(
-                    placement.host_of(link.a), placement.host_of(link.b)
-                )
-                self.state.reserve_path(path, link.bw_mbps)
-                applied.append(("link", link))
-        except ReproError:
+                    self.state.reserve_path(path, link.bw_mbps)
+                    applied.append(("link", link))
+        except ReproError as exc:
             self._rollback(topology, placement, applied)
+            if rec.enabled:
+                rec.inc("ostro_rollbacks_total")
+                rec.event(
+                    "rollback", app=topology.name, reason=str(exc)
+                )
             raise
         self.applications[topology.name] = DeployedApplication(
             topology=topology.copy(), placement=placement
         )
+        if rec.enabled:
+            rec.inc("ostro_commits_total")
+            rec.event(
+                "commit", app=topology.name, nodes=len(topology.nodes)
+            )
 
     def remove(self, app_name: str) -> None:
         """Release every reservation of a committed application."""
@@ -228,6 +245,10 @@ class Ostro:
                 )
             else:
                 self.state.unplace_volume(assignment.disk, node.size_gb)
+        rec = obs.get_recorder()
+        if rec.enabled:
+            rec.inc("ostro_removes_total")
+            rec.event("remove", app=app_name)
 
     def _rollback(self, topology, placement, applied) -> None:
         for kind, item in reversed(applied):
@@ -302,25 +323,39 @@ class Ostro:
             current_value = self._placement_value(
                 topology, old_placement, objective
             )
+            rec = obs.get_recorder()
             if result.objective_value >= current_value - 1e-12:
                 # not an improvement: keep everything where it is
                 self.commit(topology, old_placement)
                 from repro.core.migration import MigrationPlan
 
+                if rec.enabled:
+                    rec.inc("ostro_reoptimizations_total", outcome="kept")
+                    rec.event(
+                        "reoptimize", app=app_name, improved=False,
+                        moves=0, bounces=0,
+                    )
                 return result, MigrationPlan()
             # plan against the live state *with* the old placement present
             self.commit(topology, old_placement)
-            plan = plan_migration(
-                topology,
-                self.state,
-                old_placement,
-                result.placement,
-                max_bounces=max_bounces,
-            )
-            apply_plan(topology, self.state, old_placement, plan)
+            with rec.span("ostro.migrate", app=app_name):
+                plan = plan_migration(
+                    topology,
+                    self.state,
+                    old_placement,
+                    result.placement,
+                    max_bounces=max_bounces,
+                )
+                apply_plan(topology, self.state, old_placement, plan)
             self.applications[app_name] = DeployedApplication(
                 topology=topology, placement=result.placement
             )
+            if rec.enabled:
+                rec.inc("ostro_reoptimizations_total", outcome="improved")
+                rec.event(
+                    "reoptimize", app=app_name, improved=True,
+                    moves=len(plan.moves), bounces=len(plan.bounces),
+                )
             return result, plan
         except ReproError:
             if app_name not in self.applications:

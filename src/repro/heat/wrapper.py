@@ -13,9 +13,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict
 
+from repro import obs
 from repro.core.base import PlacementResult
 from repro.core.scheduler import Ostro
 from repro.heat.template import annotate_template, topology_from_template
+
+
+def _count_api_call(method: str, **fields) -> None:
+    rec = obs.get_recorder()
+    if rec.enabled:
+        rec.inc("ostro_api_calls_total", service="heat", method=method)
+        rec.event("api_call", service="heat", method=method, **fields)
 
 
 @dataclass
@@ -60,6 +68,7 @@ class OstroHeatWrapper:
             commit: reserve the placement in the live state.
             **options: forwarded to the algorithm (e.g. ``deadline_s``).
         """
+        _count_api_call("handle", stack=stack_name, algorithm=algorithm)
         topology = topology_from_template(template, name=stack_name)
         result = self.ostro.place(
             topology, algorithm=algorithm, commit=commit, **options
@@ -87,6 +96,7 @@ class OstroHeatWrapper:
         their hosts, added/changed ones are placed into the gaps, and the
         returned template is annotated with the complete new decision.
         """
+        _count_api_call("update", stack=stack_name, algorithm=algorithm)
         topology = topology_from_template(template, name=stack_name)
         update = self.ostro.update(
             topology, algorithm=algorithm, **options
@@ -102,4 +112,5 @@ class OstroHeatWrapper:
 
     def delete(self, stack_name: str) -> None:
         """Stack-delete: release every reservation of a committed stack."""
+        _count_api_call("delete", stack=stack_name)
         self.ostro.remove(stack_name)

@@ -1,0 +1,141 @@
+"""Telemetry subsystem: structured events, metrics, and search tracing.
+
+The ``obs`` package gives every layer of the scheduler a shared,
+dependency-free telemetry surface:
+
+* a :class:`~repro.obs.registry.Registry` of counters, gauges, and
+  histograms with label support (Prometheus-style);
+* a span/timer API that nests into a per-placement trace tree;
+* a typed, JSONL-serializable event stream (``node_placed``,
+  ``path_pruned``, ``estimate_computed``, ``deadline_tick``, ...);
+* exporters: JSONL events, Prometheus text exposition, and a
+  human-readable search-effort summary.
+
+**Telemetry is off by default.** The process-wide recorder starts as a
+shared :class:`~repro.obs.recorder.NullRecorder`; instrumented hot paths
+guard their work with ``if rec.enabled:`` so a disabled run pays only an
+attribute check. Enable it explicitly::
+
+    from repro import obs
+
+    rec = obs.enable()                 # install a live TelemetryRecorder
+    ostro.place(app, algorithm="dba*", deadline_s=0.5)
+    print(rec.summary())               # search-effort digest
+    obs.disable()
+
+or scoped::
+
+    with obs.use(obs.TelemetryRecorder()) as rec:
+        ostro.place(app)
+
+The CLI wires the same switch to ``--trace-out`` / ``--metrics-out``.
+The module-level :data:`ENABLED` flag mirrors the current state for cheap
+external checks; the authoritative guard is always ``recorder.enabled``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.obs.events import EVENT_SCHEMA, Event, EventLog, validate_event
+from repro.obs.export import (
+    render_prometheus,
+    render_summary,
+    write_events_jsonl,
+    write_metrics_file,
+)
+from repro.obs.recorder import (
+    METRIC_CATALOG,
+    NullRecorder,
+    Recorder,
+    TelemetryRecorder,
+)
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    Registry,
+    TelemetryError,
+)
+from repro.obs.trace import Span, Tracer, render_tree
+
+#: the one shared no-op recorder (never replaced; identity-stable)
+NULL = NullRecorder()
+
+#: module-level enabled flag; mirrors ``get_recorder().enabled``
+ENABLED: bool = False
+
+_recorder: Recorder = NULL
+
+
+def get_recorder() -> Recorder:
+    """The process-wide recorder (a NullRecorder when telemetry is off)."""
+    return _recorder
+
+
+def is_enabled() -> bool:
+    """True when a live recorder is installed."""
+    return ENABLED
+
+
+def enable(recorder: Optional[TelemetryRecorder] = None) -> TelemetryRecorder:
+    """Install (and return) a live recorder as the process-wide one."""
+    global _recorder, ENABLED
+    if recorder is None:
+        recorder = TelemetryRecorder()
+    _recorder = recorder
+    ENABLED = recorder.enabled
+    return recorder
+
+
+def disable() -> None:
+    """Restore the shared no-op recorder."""
+    global _recorder, ENABLED
+    _recorder = NULL
+    ENABLED = False
+
+
+@contextmanager
+def use(recorder: Recorder) -> Iterator[Recorder]:
+    """Temporarily install a recorder; restores the previous one on exit."""
+    global _recorder, ENABLED
+    previous, previous_enabled = _recorder, ENABLED
+    _recorder = recorder
+    ENABLED = recorder.enabled
+    try:
+        yield recorder
+    finally:
+        _recorder = previous
+        ENABLED = previous_enabled
+
+
+__all__ = [
+    "Counter",
+    "ENABLED",
+    "EVENT_SCHEMA",
+    "Event",
+    "EventLog",
+    "Gauge",
+    "Histogram",
+    "METRIC_CATALOG",
+    "NULL",
+    "NullRecorder",
+    "Recorder",
+    "Registry",
+    "Span",
+    "TelemetryError",
+    "TelemetryRecorder",
+    "Tracer",
+    "disable",
+    "enable",
+    "get_recorder",
+    "is_enabled",
+    "render_prometheus",
+    "render_summary",
+    "render_tree",
+    "use",
+    "validate_event",
+    "write_events_jsonl",
+    "write_metrics_file",
+]

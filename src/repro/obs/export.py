@@ -1,0 +1,176 @@
+"""Exporters: Prometheus text exposition, JSONL events, human summary.
+
+Three consumers, three formats:
+
+* :func:`render_prometheus` -- the text exposition format scrape endpoints
+  serve (``# HELP`` / ``# TYPE`` headers, ``name{labels} value`` samples,
+  cumulative histogram buckets with ``le`` labels).
+* :func:`write_events_jsonl` -- the event stream, one JSON object per
+  line, for offline analysis of individual scheduler decisions.
+* :func:`render_summary` -- a per-placement search-effort digest for
+  humans (what the CLI prints to stderr after a traced run).
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+from typing import TYPE_CHECKING, Union
+
+from repro.obs.registry import Histogram, Registry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.obs.recorder import TelemetryRecorder
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(registry: Registry) -> str:
+    """Render a registry in the Prometheus text exposition format."""
+    lines = []
+    for metric in registry.collect():
+        if metric.help:
+            lines.append(f"# HELP {metric.name} {metric.help}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        for sample_name, labelpairs, value in metric.samples():
+            if labelpairs:
+                labels = ",".join(
+                    f'{k}="{_escape_label_value(str(v))}"'
+                    for k, v in labelpairs
+                )
+                lines.append(f"{sample_name}{{{labels}}} {_format_value(value)}")
+            else:
+                lines.append(f"{sample_name} {_format_value(value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_metrics_file(
+    recorder: "TelemetryRecorder", path: Union[str, Path]
+) -> None:
+    """Write the recorder's registry as a Prometheus text file."""
+    Path(path).write_text(
+        render_prometheus(recorder.registry), encoding="utf-8"
+    )
+
+
+def write_events_jsonl(
+    recorder: "TelemetryRecorder", path: Union[str, Path]
+) -> int:
+    """Write the recorder's buffered events as JSONL; returns line count."""
+    with open(path, "w", encoding="utf-8") as sink:
+        return recorder.events.write_jsonl(sink)
+
+
+def _counter_value(registry: Registry, name: str, **labels) -> float:
+    metric = registry.get(name)
+    if metric is None:
+        return 0.0
+    try:
+        return metric.value(**labels)  # type: ignore[union-attr]
+    except Exception:
+        return 0.0
+
+
+def _counter_total(registry: Registry, name: str) -> float:
+    """Sum a counter over all label combinations."""
+    metric = registry.get(name)
+    if metric is None:
+        return 0.0
+    return sum(value for _, _, value in metric.samples())
+
+
+def _histogram_line(registry: Registry, name: str, label: str) -> str:
+    metric = registry.get(name)
+    if not isinstance(metric, Histogram):
+        return ""
+    total_count = 0
+    total_sum = 0.0
+    for sample_name, _, value in metric.samples():
+        if sample_name.endswith("_count"):
+            total_count += int(value)
+        elif sample_name.endswith("_sum"):
+            total_sum += value
+    if total_count == 0:
+        return ""
+    mean = total_sum / total_count
+    return (
+        f"  {label}: {total_count} observations, "
+        f"total {total_sum:.3f} s, mean {mean * 1000:.3f} ms"
+    )
+
+
+def render_summary(recorder: "TelemetryRecorder") -> str:
+    """Per-placement, human-readable search-effort summary."""
+    registry = recorder.registry
+    events = recorder.events
+    lines = ["=== ostro telemetry summary ==="]
+
+    placements = registry.get("ostro_placements_total")
+    if placements is not None:
+        per_algo = ", ".join(
+            f"{dict(labelpairs).get('algorithm', '?')}: {int(value)}"
+            for _, labelpairs, value in placements.samples()
+        )
+        total = int(_counter_total(registry, "ostro_placements_total"))
+        lines.append(f"placements: {total} ({per_algo})")
+    failures = int(_counter_total(registry, "ostro_placement_failures_total"))
+    if failures:
+        lines.append(f"placement failures: {failures}")
+
+    lines.append(
+        "search effort: "
+        f"{int(_counter_value(registry, 'ostro_candidates_scored_total'))} "
+        "candidates scored, "
+        f"{int(_counter_value(registry, 'ostro_nodes_expanded_total'))} "
+        "paths expanded, "
+        f"{int(_counter_total(registry, 'ostro_paths_pruned_total'))} "
+        "pruned, "
+        f"{int(_counter_value(registry, 'ostro_eg_bound_runs_total'))} "
+        "EG bound runs, "
+        f"{int(_counter_value(registry, 'ostro_backtracks_total'))} "
+        "backtracks, "
+        f"{int(_counter_value(registry, 'ostro_restarts_total'))} restarts"
+    )
+    for name, label in (
+        ("ostro_estimate_seconds", "estimates"),
+        ("ostro_eg_bound_seconds", "EG bound runs"),
+        ("ostro_placement_seconds", "placement runtime"),
+    ):
+        line = _histogram_line(registry, name, label)
+        if line:
+            lines.append(line)
+
+    migrations = int(
+        _counter_total(registry, "ostro_migration_steps_total")
+    )
+    if migrations:
+        moved = _counter_value(registry, "ostro_migration_moved_gb_total")
+        lines.append(f"migration: {migrations} steps, {moved:.0f} GB moved")
+    api_calls = int(_counter_total(registry, "ostro_api_calls_total"))
+    if api_calls:
+        lines.append(f"API calls: {api_calls}")
+
+    lines.append(
+        f"events: {events.count()} recorded"
+        + (f", {events.dropped} dropped" if events.dropped else "")
+    )
+    if recorder.tracer.roots:
+        from repro.obs.trace import render_tree
+
+        lines.append("trace:")
+        lines.append(render_tree(recorder.tracer.roots, indent=2))
+    return "\n".join(lines)

@@ -1,0 +1,283 @@
+"""Metric registry: counters, gauges, and histograms with label support.
+
+The registry is the aggregated half of the telemetry subsystem (the event
+stream in :mod:`repro.obs.events` is the per-decision half). Metrics follow
+Prometheus conventions -- monotonically increasing ``*_total`` counters,
+point-in-time gauges, and cumulative-bucket histograms -- and are rendered
+in the text exposition format by :func:`repro.obs.export.render_prometheus`.
+
+Everything here is dependency-free and allocation-light: a metric child
+(one label combination) is a float or a small bucket array, and lookups are
+one dict access keyed on the label-value tuple.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+
+
+class TelemetryError(ReproError):
+    """A metric was registered or used inconsistently (name reused with a
+    different kind, unknown/missing labels, bad bucket spec)."""
+
+
+#: Default histogram buckets, tuned for sub-second scheduler operations
+#: (estimate calls are typically 10us-10ms; whole placements up to ~10s).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.00001, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+    0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+def _label_key(
+    labelnames: Tuple[str, ...], labels: Dict[str, object], metric: str
+) -> Tuple[str, ...]:
+    """Validate a label dict against the declared names; return value tuple."""
+    if set(labels) != set(labelnames):
+        raise TelemetryError(
+            f"metric {metric!r} takes labels {sorted(labelnames)}, "
+            f"got {sorted(labels)}"
+        )
+    return tuple(str(labels[name]) for name in labelnames)
+
+
+class Metric:
+    """Base of all metric kinds.
+
+    Args:
+        name: Prometheus-style metric name (``ostro_*``).
+        help: one-line description for the exposition format.
+        labelnames: declared label names; every update must supply exactly
+            these as keyword arguments.
+    """
+
+    kind = "untyped"
+
+    def __init__(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ):
+        self.name = name
+        self.help = help
+        self.labelnames: Tuple[str, ...] = tuple(labelnames)
+
+    def samples(self) -> Iterable[Tuple[str, Tuple[Tuple[str, str], ...], float]]:
+        """Yield ``(sample_name, ((label, value), ...), numeric_value)``."""
+        raise NotImplementedError
+
+    def _labelpairs(self, key: Tuple[str, ...]) -> Tuple[Tuple[str, str], ...]:
+        return tuple(zip(self.labelnames, key))
+
+
+class Counter(Metric):
+    """A monotonically increasing counter."""
+
+    kind = "counter"
+
+    def __init__(self, name, help="", labelnames=()):
+        super().__init__(name, help, labelnames)
+        self._values: Dict[Tuple[str, ...], float] = {}
+
+    def inc(self, value: float = 1.0, **labels) -> None:
+        if value < 0:
+            raise TelemetryError(
+                f"counter {self.name!r} cannot decrease (inc by {value})"
+            )
+        key = _label_key(self.labelnames, labels, self.name)
+        self._values[key] = self._values.get(key, 0.0) + value
+
+    def value(self, **labels) -> float:
+        key = _label_key(self.labelnames, labels, self.name)
+        return self._values.get(key, 0.0)
+
+    def samples(self):
+        for key, value in sorted(self._values.items()):
+            yield self.name, self._labelpairs(key), value
+
+
+class Gauge(Metric):
+    """A point-in-time value that can go up and down."""
+
+    kind = "gauge"
+
+    def __init__(self, name, help="", labelnames=()):
+        super().__init__(name, help, labelnames)
+        self._values: Dict[Tuple[str, ...], float] = {}
+
+    def set(self, value: float, **labels) -> None:
+        key = _label_key(self.labelnames, labels, self.name)
+        self._values[key] = float(value)
+
+    def inc(self, value: float = 1.0, **labels) -> None:
+        key = _label_key(self.labelnames, labels, self.name)
+        self._values[key] = self._values.get(key, 0.0) + value
+
+    def value(self, **labels) -> float:
+        key = _label_key(self.labelnames, labels, self.name)
+        return self._values.get(key, 0.0)
+
+    def samples(self):
+        for key, value in sorted(self._values.items()):
+            yield self.name, self._labelpairs(key), value
+
+
+@dataclass
+class _HistogramChild:
+    """Bucket counts + sum/count for one label combination."""
+
+    bucket_counts: List[int]
+    total: float = 0.0
+    count: int = 0
+
+
+class Histogram(Metric):
+    """A cumulative-bucket histogram of observed values (e.g. durations)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name,
+        help="",
+        labelnames=(),
+        buckets: Optional[Sequence[float]] = None,
+    ):
+        super().__init__(name, help, labelnames)
+        bounds = tuple(buckets) if buckets is not None else DEFAULT_BUCKETS
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise TelemetryError(
+                f"histogram {name!r} buckets must be strictly increasing"
+            )
+        self.buckets: Tuple[float, ...] = bounds
+        self._children: Dict[Tuple[str, ...], _HistogramChild] = {}
+
+    def observe(self, value: float, **labels) -> None:
+        key = _label_key(self.labelnames, labels, self.name)
+        child = self._children.get(key)
+        if child is None:
+            child = _HistogramChild([0] * len(self.buckets))
+            self._children[key] = child
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                child.bucket_counts[i] += 1
+                break
+        child.total += value
+        child.count += 1
+
+    def count(self, **labels) -> int:
+        key = _label_key(self.labelnames, labels, self.name)
+        child = self._children.get(key)
+        return child.count if child else 0
+
+    def sum(self, **labels) -> float:
+        key = _label_key(self.labelnames, labels, self.name)
+        child = self._children.get(key)
+        return child.total if child else 0.0
+
+    def bucket_values(self, **labels) -> List[Tuple[float, int]]:
+        """Cumulative ``(upper_bound, count)`` pairs, ending with +Inf."""
+        key = _label_key(self.labelnames, labels, self.name)
+        child = self._children.get(key)
+        if child is None:
+            return [(bound, 0) for bound in self.buckets] + [
+                (float("inf"), 0)
+            ]
+        out = []
+        running = 0
+        for bound, n in zip(self.buckets, child.bucket_counts):
+            running += n
+            out.append((bound, running))
+        out.append((float("inf"), child.count))
+        return out
+
+    def samples(self):
+        for key, child in sorted(self._children.items()):
+            pairs = self._labelpairs(key)
+            running = 0
+            for bound, n in zip(self.buckets, child.bucket_counts):
+                running += n
+                yield (
+                    self.name + "_bucket",
+                    pairs + (("le", _format_bound(bound)),),
+                    float(running),
+                )
+            yield (
+                self.name + "_bucket",
+                pairs + (("le", "+Inf"),),
+                float(child.count),
+            )
+            yield self.name + "_sum", pairs, child.total
+            yield self.name + "_count", pairs, float(child.count)
+
+
+def _format_bound(bound: float) -> str:
+    """Render a bucket bound the way Prometheus clients do (no trailing
+    zeros, integers without a dot -- except keeping '1.0' style for exact
+    integers is unnecessary; use repr-ish minimal form)."""
+    text = f"{bound:.10f}".rstrip("0").rstrip(".")
+    return text if text else "0"
+
+
+class Registry:
+    """A named collection of metrics.
+
+    Metric constructors are idempotent: asking for an existing name returns
+    the existing metric (after checking that kind and labels match), so
+    instrumented call sites never need to coordinate registration order.
+    """
+
+    def __init__(self):
+        self._metrics: Dict[str, Metric] = {}
+
+    def counter(self, name, help="", labelnames=()) -> Counter:
+        return self._get_or_create(Counter, name, help, labelnames)
+
+    def gauge(self, name, help="", labelnames=()) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labelnames)
+
+    def histogram(
+        self, name, help="", labelnames=(), buckets=None
+    ) -> Histogram:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = Histogram(name, help, labelnames, buckets=buckets)
+            self._metrics[name] = metric
+            return metric
+        self._check(metric, Histogram, name, labelnames)
+        return metric  # type: ignore[return-value]
+
+    def _get_or_create(self, cls, name, help, labelnames):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, help, labelnames)
+            self._metrics[name] = metric
+            return metric
+        self._check(metric, cls, name, labelnames)
+        return metric
+
+    @staticmethod
+    def _check(metric, cls, name, labelnames):
+        if not isinstance(metric, cls):
+            raise TelemetryError(
+                f"metric {name!r} already registered as {metric.kind}"
+            )
+        if metric.labelnames != tuple(labelnames):
+            raise TelemetryError(
+                f"metric {name!r} already registered with labels "
+                f"{metric.labelnames}, got {tuple(labelnames)}"
+            )
+
+    def get(self, name: str) -> Optional[Metric]:
+        return self._metrics.get(name)
+
+    def collect(self) -> List[Metric]:
+        """All registered metrics in name order."""
+        return [self._metrics[name] for name in sorted(self._metrics)]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)

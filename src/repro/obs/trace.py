@@ -1,0 +1,141 @@
+"""Lightweight span/timer API building a per-placement trace tree.
+
+A :class:`Span` is one timed operation; spans opened while another span is
+active nest under it, so one ``ostro.place`` call produces a tree::
+
+    ostro.place (0.512s) app=shop algorithm=dba*
+      dba*.search (0.507s)
+        eg.bound (0.031s)
+        eg.bound (0.018s)
+
+Spans are cheap (one object + two ``perf_counter`` calls); the per-call
+hot paths (estimate evaluations, candidate scoring) use plain histogram
+observations instead of spans so the tree stays human-sized.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass
+class Span:
+    """One timed, possibly-nested operation."""
+
+    name: str
+    start_s: float
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    duration_s: Optional[float] = None
+    children: List["Span"] = field(default_factory=list)
+
+    def walk(self, depth: int = 0) -> Iterator[tuple]:
+        """Yield ``(span, depth)`` pairs depth-first."""
+        yield self, depth
+        for child in self.children:
+            yield from child.walk(depth + 1)
+
+
+class Tracer:
+    """Builds span trees via a context-manager API.
+
+    Args:
+        on_close: optional callback ``(span, depth)`` fired when a span
+            finishes (the recorder uses it to mirror spans into the event
+            stream and a duration histogram).
+    """
+
+    def __init__(self, on_close: Optional[Callable[[Span, int], None]] = None):
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+        self._on_close = on_close
+
+    def span(self, name: str, **attrs) -> "_SpanContext":
+        """Open a nested span: ``with tracer.span("eg.bound"):``."""
+        return _SpanContext(self, name, attrs)
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack)
+
+    def _enter(self, name: str, attrs: Dict[str, Any]) -> Span:
+        span = Span(name=name, start_s=time.perf_counter(), attrs=attrs)
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        return span
+
+    def _exit(self, span: Span) -> None:
+        span.duration_s = time.perf_counter() - span.start_s
+        # tolerate mismatched exits instead of corrupting the tree
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        elif span in self._stack:
+            while self._stack and self._stack[-1] is not span:
+                self._stack.pop()
+            if self._stack:
+                self._stack.pop()
+        if self._on_close is not None:
+            self._on_close(span, len(self._stack))
+
+    def clear(self) -> None:
+        self.roots.clear()
+        self._stack.clear()
+
+
+class _SpanContext:
+    """Context manager handed out by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "_name", "_attrs", "span")
+
+    def __init__(self, tracer: Tracer, name: str, attrs: Dict[str, Any]):
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+        self.span: Optional[Span] = None
+
+    def __enter__(self) -> Span:
+        self.span = self._tracer._enter(self._name, self._attrs)
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        assert self.span is not None
+        if exc_type is not None:
+            self.span.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._exit(self.span)
+        return False
+
+
+class NullSpanContext:
+    """Reusable no-op span context (singleton; allocation-free)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NULL_SPAN = NullSpanContext()
+
+
+def render_tree(roots: List[Span], indent: int = 2) -> str:
+    """Human-readable rendering of one or more span trees."""
+    lines: List[str] = []
+    for root in roots:
+        for span, depth in root.walk():
+            duration = (
+                f"{span.duration_s * 1000:.1f} ms"
+                if span.duration_s is not None
+                else "open"
+            )
+            attrs = "".join(
+                f" {k}={v}" for k, v in sorted(span.attrs.items())
+            )
+            lines.append(f"{' ' * (indent * depth)}{span.name} ({duration}){attrs}")
+    return "\n".join(lines)

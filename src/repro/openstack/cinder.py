@@ -11,9 +11,17 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro import obs
 from repro.datacenter.state import DataCenterState
 from repro.errors import SchedulerError
 from repro.openstack.api import VolumeRecord, VolumeRequest
+
+
+def _count_api_call(method: str, **fields) -> None:
+    rec = obs.get_recorder()
+    if rec.enabled:
+        rec.inc("ostro_api_calls_total", service="cinder", method=method)
+        rec.event("api_call", service="cinder", method=method, **fields)
 
 
 class CinderScheduler:
@@ -47,6 +55,7 @@ class CinderScheduler:
 
     def create_volume(self, request: VolumeRequest) -> VolumeRecord:
         """Schedule and reserve one volume; returns the placement record."""
+        _count_api_call("create_volume", name=request.name)
         disk_index = self.select_disk(request)
         self.state.place_volume(disk_index, request.size_gb)
         disk = self.state.cloud.disks[disk_index]
@@ -58,5 +67,6 @@ class CinderScheduler:
         self, record: VolumeRecord, request: VolumeRequest
     ) -> None:
         """Release a previously created volume's reservation."""
+        _count_api_call("delete_volume", name=request.name)
         disk_index = self.state.cloud.disk_by_name(record.disk).index
         self.state.unplace_volume(disk_index, request.size_gb)

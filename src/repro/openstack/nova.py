@@ -17,9 +17,17 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import List, Optional, Sequence
 
+from repro import obs
 from repro.datacenter.state import DataCenterState
 from repro.errors import SchedulerError
 from repro.openstack.api import Server, ServerRequest
+
+
+def _count_api_call(method: str, **fields) -> None:
+    rec = obs.get_recorder()
+    if rec.enabled:
+        rec.inc("ostro_api_calls_total", service="nova", method=method)
+        rec.event("api_call", service="nova", method=method, **fields)
 
 
 class HostFilter(ABC):
@@ -187,11 +195,13 @@ class NovaScheduler:
 
     def create_server(self, request: ServerRequest) -> Server:
         """Schedule and reserve one server; returns the placement record."""
+        _count_api_call("create_server", name=request.name)
         host = self.select_host(request)
         self.state.place_vm(host, request.vcpus, request.ram_gb)
         return Server(name=request.name, host=self.state.cloud.hosts[host].name)
 
     def delete_server(self, server: Server, request: ServerRequest) -> None:
         """Release a previously created server's reservation."""
+        _count_api_call("delete_server", name=request.name)
         host = self.state.cloud.host_by_name(server.host).index
         self.state.unplace_vm(host, request.vcpus, request.ram_gb)

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Sequence
 
+from repro import obs
 from repro.errors import PlacementError
 from repro.sim.experiment import run_placement
 from repro.sim.metrics import MeasurementRow, aggregate_rows
@@ -18,6 +19,7 @@ def sweep(
     aggregate: bool = True,
     skip_infeasible: bool = False,
     deadline_s: Optional[float] = None,
+    recorder: Optional["obs.TelemetryRecorder"] = None,
 ) -> List[MeasurementRow]:
     """Run every (algorithm, size, seed) combination of a sweep.
 
@@ -31,10 +33,24 @@ def sweep(
             place the workload instead of propagating the error (useful
             when sweeping naive baselines close to capacity limits).
         deadline_s: fixed DBA* budget; default scales with size.
+        recorder: optional telemetry recorder; when given, every run in
+            the sweep records into it (and the process-wide recorder is
+            restored afterwards).
 
     Returns:
         Measurement rows ordered by (size, algorithm input order).
     """
+    if recorder is not None:
+        with obs.use(recorder):
+            return sweep(
+                scenario,
+                algorithms,
+                sizes,
+                seeds=seeds,
+                aggregate=aggregate,
+                skip_infeasible=skip_infeasible,
+                deadline_s=deadline_s,
+            )
     rows: List[MeasurementRow] = []
     for size in sizes:
         for algorithm in algorithms:

@@ -1,0 +1,13 @@
+"""Telemetry tests share one invariant: never leak an enabled recorder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _reset_recorder():
+    yield
+    obs.disable()

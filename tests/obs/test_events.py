@@ -1,0 +1,102 @@
+"""Typed event stream: schema enforcement and JSONL round-trip."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.obs import EVENT_SCHEMA, EventLog, TelemetryError, validate_event
+
+
+class TestEmit:
+    def test_emit_records_envelope_and_fields(self):
+        log = EventLog()
+        log.emit("node_placed", node="web0", host="h1", level="rack")
+        log.emit("path_pruned", depth=3, reason="bound")
+        assert log.count() == 2
+        assert log.count("node_placed") == 1
+        first, second = log.events
+        assert first.seq == 1 and second.seq == 2
+        assert first.fields["node"] == "web0"
+        assert second.ts >= first.ts
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(TelemetryError):
+            EventLog().emit("made_up_event")
+
+    def test_missing_required_field_raises(self):
+        with pytest.raises(TelemetryError) as err:
+            EventLog().emit("path_pruned", depth=3)  # no reason
+        assert "reason" in str(err.value)
+
+    def test_extra_fields_allowed(self):
+        log = EventLog()
+        log.emit(
+            "path_pruned", depth=3, reason="bound", evaluation=812.5
+        )
+        assert log.events[0].fields["evaluation"] == 812.5
+
+    def test_cap_drops_and_counts(self):
+        log = EventLog(max_events=2)
+        for _ in range(5):
+            log.emit("remove", app="a")
+        assert log.count() == 2
+        assert log.dropped == 3
+        log.clear()
+        assert log.count() == 0 and log.dropped == 0
+
+
+class TestJsonlRoundTrip:
+    def test_write_then_read_validates_every_type(self):
+        log = EventLog()
+        log.emit("placement_started", app="shop", algorithm="eg", nodes=6, links=8)
+        log.emit("node_placed", node="web0", host="h1", level="rack")
+        log.emit("estimate_computed", node="db0", remaining=3,
+                 est_bw_mbps=400.0, est_hosts=2, seconds=0.0001)
+        log.emit("path_pruned", depth=2, reason="probabilistic")
+        log.emit("deadline_tick", elapsed_s=0.1, remaining_s=0.4,
+                 pruning_range=0.2, pops=17)
+        sink = io.StringIO()
+        assert log.write_jsonl(sink) == 5
+
+        decoded = EventLog.read_jsonl(sink.getvalue().splitlines())
+        assert [d["type"] for d in decoded] == [
+            "placement_started",
+            "node_placed",
+            "estimate_computed",
+            "path_pruned",
+            "deadline_tick",
+        ]
+        assert [d["seq"] for d in decoded] == [1, 2, 3, 4, 5]
+        assert decoded[3]["reason"] == "probabilistic"
+
+    def test_read_skips_blank_lines(self):
+        log = EventLog()
+        log.emit("remove", app="a")
+        sink = io.StringIO()
+        log.write_jsonl(sink)
+        decoded = EventLog.read_jsonl(["", sink.getvalue().strip(), "   "])
+        assert len(decoded) == 1
+
+    def test_read_rejects_corrupted_events(self):
+        good = {"type": "remove", "ts": 1.0, "seq": 1, "app": "a"}
+        with pytest.raises(TelemetryError):
+            EventLog.read_jsonl(
+                [json.dumps({**good, "type": "unknown_type"})]
+            )
+        missing_field = {"type": "remove", "ts": 1.0, "seq": 1}
+        with pytest.raises(TelemetryError):
+            EventLog.read_jsonl([json.dumps(missing_field)])
+        no_envelope = {"type": "remove", "app": "a"}
+        with pytest.raises(TelemetryError):
+            EventLog.read_jsonl([json.dumps(no_envelope)])
+
+
+class TestSchema:
+    def test_every_type_validates_with_exactly_required_fields(self):
+        for etype, required in EVENT_SCHEMA.items():
+            obj = {"type": etype, "ts": 0.0, "seq": 1}
+            obj.update({name: "x" for name in required})
+            validate_event(obj)  # must not raise

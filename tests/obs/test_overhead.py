@@ -1,0 +1,101 @@
+"""Regression: disabled telemetry must stay effectively free.
+
+The guard contract is that every instrumented hot path does at most a
+``get_recorder()`` + ``rec.enabled`` check (plus a handful of no-op span
+contexts) when telemetry is off. Rather than an A/B wall-clock comparison
+(flaky under CI noise), this test derives the bound deterministically:
+
+1. count how often a small EG placement actually consults the recorder,
+   using a counting stand-in that still reports ``enabled = False``;
+2. measure the real per-consultation cost of the null path in isolation;
+3. assert count x cost stays under 5% of the measured placement runtime.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import obs
+from repro.core.scheduler import Ostro
+
+
+class _CountingDisabled(obs.Recorder):
+    """Reports disabled, but counts every consultation."""
+
+    def __init__(self):
+        self.checks = 0
+        self.spans = 0
+
+    @property
+    def enabled(self):
+        self.checks += 1
+        return False
+
+    def span(self, name, **attrs):
+        self.spans += 1
+        return obs.trace.NULL_SPAN
+
+
+def _measure_placement_s(cloud, topology, repeats: int = 3) -> float:
+    Ostro(cloud).place(topology, algorithm="eg", commit=False)  # warm-up
+    best = float("inf")
+    for _ in range(repeats):
+        ostro = Ostro(cloud)
+        t0 = time.perf_counter()
+        ostro.place(topology, algorithm="eg", commit=False)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _measure_null_costs():
+    """Per-call cost of (get_recorder + enabled check) and a null span."""
+    n = 200_000
+    t0 = time.perf_counter()
+    for _ in range(n):
+        rec = obs.get_recorder()
+        if rec.enabled:  # pragma: no cover - never true here
+            raise AssertionError
+    per_check = (time.perf_counter() - t0) / n
+
+    null = obs.NULL
+    m = 20_000
+    t0 = time.perf_counter()
+    for _ in range(m):
+        with null.span("x"):
+            pass
+    per_span = (time.perf_counter() - t0) / m
+    return per_check, per_span
+
+
+class TestDisabledOverhead:
+    def test_noop_recorder_under_five_percent(self, small_dc, three_tier):
+        assert obs.get_recorder() is obs.NULL  # telemetry off
+        placement_s = _measure_placement_s(small_dc, three_tier)
+
+        counting = _CountingDisabled()
+        with obs.use(counting):
+            Ostro(small_dc).place(three_tier, algorithm="eg", commit=False)
+        assert counting.checks > 0  # instrumentation is actually in place
+
+        per_check, per_span = _measure_null_costs()
+        estimated_overhead_s = (
+            counting.checks * per_check + counting.spans * per_span
+        )
+        budget_s = 0.05 * placement_s
+        assert estimated_overhead_s < budget_s, (
+            f"{counting.checks} enabled-checks x {per_check * 1e9:.0f} ns "
+            f"+ {counting.spans} null spans x {per_span * 1e9:.0f} ns = "
+            f"{estimated_overhead_s * 1e6:.1f} us, over 5% of the "
+            f"{placement_s * 1e3:.2f} ms placement"
+        )
+
+    def test_disabled_run_allocates_no_telemetry_state(
+        self, small_dc, three_tier
+    ):
+        # a fresh, *uninstalled* recorder must stay untouched by a
+        # disabled-run placement (nothing records into stray objects)
+        bystander = obs.TelemetryRecorder()
+        Ostro(small_dc).place(three_tier, algorithm="eg", commit=False)
+        assert bystander.events.count() == 0
+        assert len(bystander.registry) == 0
+        assert bystander.tracer.roots == []

@@ -1,0 +1,147 @@
+"""Counter/gauge/histogram semantics and Prometheus rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    Registry,
+    TelemetryError,
+    render_prometheus,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("ostro_test_total")
+        assert c.value() == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value() == 3.5
+
+    def test_rejects_negative_increments(self):
+        c = Counter("ostro_test_total")
+        with pytest.raises(TelemetryError):
+            c.inc(-1.0)
+
+    def test_labels_create_independent_children(self):
+        c = Counter("ostro_test_total", labelnames=("algorithm",))
+        c.inc(algorithm="eg")
+        c.inc(2, algorithm="dba*")
+        assert c.value(algorithm="eg") == 1.0
+        assert c.value(algorithm="dba*") == 2.0
+        assert c.value(algorithm="egc") == 0.0
+
+    def test_label_mismatch_raises(self):
+        c = Counter("ostro_test_total", labelnames=("algorithm",))
+        with pytest.raises(TelemetryError):
+            c.inc()  # missing the declared label
+        with pytest.raises(TelemetryError):
+            c.inc(algorithm="eg", extra="x")  # undeclared label
+
+
+class TestGauge:
+    def test_set_and_inc(self):
+        g = Gauge("ostro_open_list_size")
+        g.set(7)
+        assert g.value() == 7.0
+        g.inc(-3)
+        assert g.value() == 4.0
+
+
+class TestHistogram:
+    def test_count_sum_and_cumulative_buckets(self):
+        h = Histogram("ostro_test_seconds", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            h.observe(value)
+        assert h.count() == 5
+        assert h.sum() == pytest.approx(56.05)
+        # cumulative counts end with +Inf == total count
+        assert h.bucket_values() == [
+            (0.1, 1),
+            (1.0, 3),
+            (10.0, 4),
+            (float("inf"), 5),
+        ]
+
+    def test_buckets_must_increase(self):
+        with pytest.raises(TelemetryError):
+            Histogram("ostro_bad_seconds", buckets=(1.0, 0.5))
+        with pytest.raises(TelemetryError):
+            Histogram("ostro_bad_seconds", buckets=(1.0, 1.0))
+
+    def test_labeled_children_are_independent(self):
+        h = Histogram(
+            "ostro_test_seconds", labelnames=("algorithm",), buckets=(1.0,)
+        )
+        h.observe(0.5, algorithm="eg")
+        assert h.count(algorithm="eg") == 1
+        assert h.count(algorithm="dba*") == 0
+
+
+class TestRegistry:
+    def test_idempotent_registration_returns_same_metric(self):
+        registry = Registry()
+        a = registry.counter("ostro_x_total")
+        b = registry.counter("ostro_x_total")
+        assert a is b
+        assert len(registry) == 1
+
+    def test_kind_conflict_raises(self):
+        registry = Registry()
+        registry.counter("ostro_x_total")
+        with pytest.raises(TelemetryError):
+            registry.gauge("ostro_x_total")
+
+    def test_label_conflict_raises(self):
+        registry = Registry()
+        registry.counter("ostro_x_total", labelnames=("a",))
+        with pytest.raises(TelemetryError):
+            registry.counter("ostro_x_total", labelnames=("b",))
+
+    def test_collect_is_name_ordered(self):
+        registry = Registry()
+        registry.counter("ostro_b_total")
+        registry.counter("ostro_a_total")
+        assert [m.name for m in registry.collect()] == [
+            "ostro_a_total",
+            "ostro_b_total",
+        ]
+
+
+class TestPrometheusRendering:
+    def test_help_type_and_samples(self):
+        registry = Registry()
+        c = registry.counter(
+            "ostro_x_total", "Things counted.", labelnames=("kind",)
+        )
+        c.inc(3, kind="move")
+        text = render_prometheus(registry)
+        assert "# HELP ostro_x_total Things counted." in text
+        assert "# TYPE ostro_x_total counter" in text
+        assert 'ostro_x_total{kind="move"} 3' in text
+
+    def test_histogram_exposition(self):
+        registry = Registry()
+        h = registry.histogram("ostro_x_seconds", buckets=(0.5, 1.0))
+        h.observe(0.25)
+        h.observe(2.0)
+        text = render_prometheus(registry)
+        assert 'ostro_x_seconds_bucket{le="0.5"} 1' in text
+        assert 'ostro_x_seconds_bucket{le="1"} 1' in text
+        assert 'ostro_x_seconds_bucket{le="+Inf"} 2' in text
+        assert "ostro_x_seconds_sum 2.25" in text
+        assert "ostro_x_seconds_count 2" in text
+
+    def test_label_values_escaped(self):
+        registry = Registry()
+        c = registry.counter("ostro_x_total", labelnames=("app",))
+        c.inc(app='we"ird\\app\nname')
+        text = render_prometheus(registry)
+        assert '{app="we\\"ird\\\\app\\nname"}' in text
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(Registry()) == ""

@@ -1,0 +1,89 @@
+"""Span nesting, close callbacks, and tree rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import Tracer, render_tree
+from repro.obs.trace import NULL_SPAN
+
+
+class TestNesting:
+    def test_spans_nest_under_the_active_span(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner1"):
+                pass
+            with tracer.span("inner2"):
+                with tracer.span("leaf"):
+                    pass
+        assert len(tracer.roots) == 1
+        outer = tracer.roots[0]
+        assert [c.name for c in outer.children] == ["inner1", "inner2"]
+        assert [c.name for c in outer.children[1].children] == ["leaf"]
+
+    def test_sequential_roots(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        assert [s.name for s in tracer.roots] == ["a", "b"]
+
+    def test_durations_and_walk_depths(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        outer = tracer.roots[0]
+        assert outer.duration_s is not None and outer.duration_s >= 0
+        inner = outer.children[0]
+        assert inner.duration_s <= outer.duration_s
+        assert [(s.name, d) for s, d in outer.walk()] == [
+            ("outer", 0),
+            ("inner", 1),
+        ]
+
+    def test_exception_recorded_and_propagated(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("failing"):
+                raise ValueError("boom")
+        span = tracer.roots[0]
+        assert span.attrs["error"] == "ValueError"
+        assert span.duration_s is not None
+        assert tracer.depth == 0  # stack unwound despite the raise
+
+
+class TestOnClose:
+    def test_callback_fires_with_remaining_depth(self):
+        closed = []
+        tracer = Tracer(on_close=lambda s, d: closed.append((s.name, d)))
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        # children close first, at their nesting depth
+        assert closed == [("inner", 1), ("outer", 0)]
+
+
+class TestNullSpan:
+    def test_null_span_is_a_shared_noop(self):
+        with NULL_SPAN as inner:
+            assert inner is None
+        # exceptions still propagate through it
+        with pytest.raises(RuntimeError):
+            with NULL_SPAN:
+                raise RuntimeError
+
+
+class TestRenderTree:
+    def test_renders_names_durations_and_attrs(self):
+        tracer = Tracer()
+        with tracer.span("outer", app="shop"):
+            with tracer.span("inner"):
+                pass
+        text = render_tree(tracer.roots)
+        lines = text.splitlines()
+        assert lines[0].startswith("outer (")
+        assert "app=shop" in lines[0]
+        assert lines[1].startswith("  inner (")

@@ -46,6 +46,132 @@ class TestPlace:
         assert rc == 1
         assert "error" in capsys.readouterr().err
 
+    def test_placement_failure_exits_2_with_diagnostic(self, tmp_path, capsys):
+        from repro.core.topology import ApplicationTopology
+
+        impossible = ApplicationTopology("huge")
+        impossible.add_vm("big", vcpus=10_000, mem_gb=10_000)
+        path = tmp_path / "huge.json"
+        path.write_text(json.dumps(template_from_topology(impossible)))
+        rc = main(["place", "--template", str(path), "--dc", "dc:4"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "placement failed" in err
+        assert "Traceback" not in err
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as exit_info:
+            main(["--version"])
+        assert exit_info.value.code == 0
+        assert f"repro {__version__}" in capsys.readouterr().out
+
+    def test_version_single_source(self):
+        """pyproject must defer to repro.__version__ (no drift)."""
+        from pathlib import Path
+
+        pyproject = (
+            Path(__file__).parent.parent / "pyproject.toml"
+        ).read_text()
+        assert 'dynamic = ["version"]' in pyproject
+        assert "repro.__version__" in pyproject
+        assert "\nversion = \"" not in pyproject.split("[tool.setuptools.dynamic]")[0]
+
+
+class TestTelemetryFlags:
+    def test_place_writes_trace_and_metrics(
+        self, template_file, tmp_path, capsys
+    ):
+        from repro import obs
+
+        trace_out = tmp_path / "trace.jsonl"
+        metrics_out = tmp_path / "metrics.txt"
+        rc = main(
+            [
+                "place",
+                "--template",
+                template_file,
+                "--dc",
+                "dc:4",
+                "--algorithm",
+                "dba*",
+                "--deadline",
+                "1.0",
+                "--trace-out",
+                str(trace_out),
+                "--metrics-out",
+                str(metrics_out),
+            ]
+        )
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "ostro telemetry summary" in err
+
+        # every line validates against the schema; the search left a trail
+        events = obs.EventLog.read_jsonl(
+            trace_out.read_text().splitlines()
+        )
+        types = {e["type"] for e in events}
+        assert "estimate_computed" in types
+        assert "placement_finished" in types
+
+        metrics = metrics_out.read_text()
+        assert "ostro_nodes_expanded_total" in metrics
+        assert "ostro_estimate_seconds_bucket" in metrics
+        assert 'ostro_placements_total{algorithm="dba*"} 1' in metrics
+
+        # the CLI must restore the no-op recorder afterwards
+        assert not obs.is_enabled()
+
+    def test_no_flags_means_no_telemetry(self, template_file, capsys):
+        from repro import obs
+
+        rc = main(
+            ["place", "--template", template_file, "--dc", "dc:4"]
+        )
+        assert rc == 0
+        assert "telemetry summary" not in capsys.readouterr().err
+        assert not obs.is_enabled()
+
+    def test_unwritable_trace_path_is_a_clean_error(
+        self, template_file, tmp_path, capsys
+    ):
+        rc = main(
+            [
+                "place",
+                "--template",
+                template_file,
+                "--dc",
+                "dc:4",
+                "--trace-out",
+                str(tmp_path / "no" / "such" / "dir" / "t.jsonl"),
+            ]
+        )
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "cannot write telemetry" in err
+        assert "Traceback" not in err
+
+    def test_sweep_accepts_metrics_out(self, tmp_path, capsys):
+        metrics_out = tmp_path / "metrics.txt"
+        rc = main(
+            [
+                "sweep",
+                "fig7",
+                "--sizes",
+                "25",
+                "--algorithms",
+                "egc",
+                "--metrics-out",
+                str(metrics_out),
+            ]
+        )
+        assert rc == 0
+        assert "ostro_placements_total" in metrics_out.read_text()
+
 
 class TestExperiments:
     def test_table2(self, capsys):

@@ -2,17 +2,19 @@
 
 Extracts every fenced python block from README.md and executes it in one
 shared namespace, so documentation drift breaks the build instead of the
-first user's afternoon.
+first user's afternoon. Also runs the telemetry example end to end.
 """
 
 from __future__ import annotations
 
 import re
+import runpy
 from pathlib import Path
 
 import pytest
 
 README = Path(__file__).parent.parent / "README.md"
+TRACING_EXAMPLE = Path(__file__).parent.parent / "examples" / "tracing.py"
 
 #: blocks containing these markers need artifacts the snippet doesn't
 #: build itself (template dicts, running services); they are validated by
@@ -43,3 +45,16 @@ class TestReadme:
     def test_python_blocks_execute(self, index, block):
         namespace: dict = {}
         exec(compile(block, f"README.md:block{index}", "exec"), namespace)
+
+
+class TestTracingExample:
+    def test_tracing_example_runs(self, capsys):
+        runpy.run_path(str(TRACING_EXAMPLE), run_name="__main__")
+        out = capsys.readouterr().out
+        assert "ostro telemetry summary" in out
+        assert "estimate_computed" in out
+        assert "trace:" in out
+        # the example's scoped enablement must not leak
+        from repro import obs
+
+        assert not obs.is_enabled()
