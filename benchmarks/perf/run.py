@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""CI wrapper around the ``repro.bench`` harness.
+
+Usage (from the repository root):
+
+    PYTHONPATH=src python benchmarks/perf/run.py               # run + write
+    PYTHONPATH=src python benchmarks/perf/run.py --check       # gate vs baseline
+    PYTHONPATH=src python benchmarks/perf/run.py --update-baseline
+
+``--check`` exits non-zero when any gated algorithm's deterministic work
+counters or placement fingerprint deviate from ``baseline.json``, or when
+its machine-normalized cost regresses by more than the tolerance (25% by
+default). ``--update-baseline`` rewrites ``baseline.json`` from a fresh
+run; commit the result when a change is intentional.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(__file__), os.pardir, os.pardir, "src"),
+)
+
+from repro import bench  # noqa: E402
+
+BASELINE_PATH = os.path.join(os.path.dirname(__file__), "baseline.json")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--scenarios", nargs="*", default=None)
+    parser.add_argument(
+        "--out-dir", default=os.path.dirname(__file__) or "."
+    )
+    parser.add_argument("--tolerance", type=float, default=0.25)
+    parser.add_argument("--check", action="store_true")
+    parser.add_argument("--update-baseline", action="store_true")
+    args = parser.parse_args(argv)
+
+    results = bench.run_suite(
+        repeats=args.repeats, scenarios=args.scenarios
+    )
+    for path in bench.write_results(results, args.out_dir):
+        print(f"wrote {path}")
+
+    if args.update_baseline:
+        with open(BASELINE_PATH, "w", encoding="utf-8") as fh:
+            json.dump(
+                bench.baseline_payload(results), fh, indent=2, sort_keys=True
+            )
+            fh.write("\n")
+        print(f"wrote {BASELINE_PATH}")
+        return 0
+
+    if args.check:
+        with open(BASELINE_PATH, encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        failures = bench.compare_to_baseline(
+            results, baseline, tolerance=args.tolerance
+        )
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print("benchmark smoke check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

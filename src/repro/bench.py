@@ -1,0 +1,322 @@
+"""Reproducible benchmark harness for the search hot path.
+
+``repro bench`` (and the CI wrapper ``benchmarks/perf/run.py``) times the
+reference algorithms on the reference scenarios and emits machine-readable
+``BENCH_<scenario>.json`` files. Two kinds of measurements are recorded:
+
+* **Deterministic work counters** -- candidates scored, paths expanded, EG
+  bound runs (from :class:`~repro.core.base.SearchStats`), plus the
+  telemetry counters of the :mod:`repro.obs` registry harvested from one
+  instrumented run (estimates, prunes, expansions). These are exactly
+  reproducible for EG and BA*, so a regression gate can compare them
+  bit-for-bit across commits.
+* **Wall-clock timings** -- best-of-N seconds per algorithm, plus the same
+  number normalized by an in-process *calibration unit* (a fixed
+  pure-Python loop timed in the same run). The normalized cost is stable
+  across machines of different speeds, which is what the CI smoke gate
+  compares against the committed baseline (within a tolerance), following
+  the deterministic-bound pattern of ``tests/obs/test_overhead.py``.
+
+The placement itself is also fingerprinted (a SHA-256 over the sorted
+assignment list), so a baseline comparison doubles as a behavioral
+regression check: a placement change shows up as a hash mismatch, not just
+a timing delta.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro import obs
+from repro.core.base import PlacementResult
+from repro.core.scheduler import make_algorithm
+from repro.sim.scenarios import (
+    Scenario,
+    mesh_scenario,
+    multitier_scenario,
+    qfs_testbed_scenario,
+)
+
+#: registry counters harvested from the instrumented run
+_REGISTRY_COUNTERS = (
+    "ostro_estimates_total",
+    "ostro_candidates_scored_total",
+    "ostro_nodes_expanded_total",
+    "ostro_eg_bound_runs_total",
+)
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One benchmark scenario: a workload plus the algorithms timed on it.
+
+    Attributes:
+        name: scenario key, used in the ``BENCH_<name>.json`` filename.
+        scenario_factory: zero-argument callable building the scenario.
+        size: workload size passed to the scenario's topology builder.
+        algorithms: (label, algorithm name, extra options, gated) tuples.
+            ``gated`` algorithms are deterministic (EG, expansion-capped
+            BA*) and participate in baseline regression checks; ungated
+            ones (deadline-driven DBA*) are reported but not compared.
+    """
+
+    name: str
+    scenario_factory: Callable[[], Scenario]
+    size: int
+    algorithms: Tuple[Tuple[str, str, Tuple[Tuple[str, object], ...], bool], ...]
+
+
+#: The reference suite: the paper's three workload families at sizes small
+#: enough for CI but large enough that the search hot path dominates.
+REFERENCE_CASES: Tuple[BenchCase, ...] = (
+    BenchCase(
+        name="multitier",
+        scenario_factory=lambda: multitier_scenario(heterogeneous=True),
+        size=40,
+        algorithms=(
+            ("eg", "eg", (), True),
+            ("ba*", "ba*", (("max_expansions", 100),), True),
+            ("dba*", "dba*", (("deadline_s", 1.0), ("seed", 0)), False),
+        ),
+    ),
+    BenchCase(
+        name="mesh",
+        scenario_factory=lambda: mesh_scenario(heterogeneous=True),
+        size=25,
+        algorithms=(
+            ("eg", "eg", (), True),
+            ("ba*", "ba*", (("max_expansions", 100),), True),
+        ),
+    ),
+    BenchCase(
+        name="qfs",
+        scenario_factory=lambda: qfs_testbed_scenario(),
+        size=12,
+        algorithms=(
+            ("eg", "eg", (), True),
+            ("ba*", "ba*", (("max_expansions", 1000),), True),
+        ),
+    ),
+)
+
+
+def placement_fingerprint(result: PlacementResult) -> str:
+    """Stable hash of the assignment set (behavioral regression check)."""
+    blob = json.dumps(
+        sorted(
+            (a.node, a.host, a.disk)
+            for a in result.placement.assignments.values()
+        )
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+def calibration_unit_s(repeats: int = 3) -> float:
+    """Seconds for a fixed pure-Python workload on this interpreter.
+
+    The loop exercises the same primitives the search hot path spends its
+    time on (dict get/set, float adds, integer masking), so dividing a
+    benchmark's wall time by this unit yields a machine-independent cost
+    that a CI gate can compare across hosts of different speeds.
+    """
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        ledger: Dict[int, float] = {}
+        acc = 0.0
+        for i in range(200_000):
+            key = i & 1023
+            ledger[key] = ledger.get(key, 0.0) + 1.5
+            acc += ledger[key]
+        best = min(best, time.perf_counter() - started)
+    assert acc > 0.0
+    return best
+
+
+def _run_once(case: BenchCase, algorithm: str, options: Dict) -> Tuple[
+    PlacementResult, float
+]:
+    scenario = case.scenario_factory()
+    cloud = scenario.build_cloud()
+    state = scenario.build_state(cloud, 0)
+    topology = scenario.build_topology(case.size, 0)
+    objective = scenario.objective(topology, cloud)
+    opts = dict(options)
+    opts.setdefault("greedy_config", scenario.greedy_config)
+    algo = make_algorithm(algorithm, **opts)
+    started = time.perf_counter()
+    result = algo.place(topology, cloud, state, objective)
+    return result, time.perf_counter() - started
+
+
+def run_case(
+    case: BenchCase,
+    repeats: int = 3,
+    calibration_s: Optional[float] = None,
+) -> Dict:
+    """Benchmark one scenario; returns the ``BENCH_<name>.json`` payload."""
+    if calibration_s is None:
+        calibration_s = calibration_unit_s()
+    entries: List[Dict] = []
+    for label, algorithm, opt_items, gated in case.algorithms:
+        options = dict(opt_items)
+        best_wall = float("inf")
+        result: Optional[PlacementResult] = None
+        for _ in range(max(1, repeats)):
+            result, wall = _run_once(case, algorithm, options)
+            best_wall = min(best_wall, wall)
+        assert result is not None
+        # One extra instrumented run reuses the repro.obs registry so the
+        # emitted counters match what live telemetry would report.
+        recorder = obs.TelemetryRecorder(record_span_events=False)
+        with obs.use(recorder):
+            counted, _ = _run_once(case, algorithm, options)
+        registry_counters = {}
+        for counter_name in _REGISTRY_COUNTERS:
+            metric = recorder.registry.get(counter_name)
+            total = 0.0
+            if metric is not None:
+                total = sum(value for _, _, value in metric.samples())
+            registry_counters[counter_name] = total
+        entries.append(
+            {
+                "algorithm": label,
+                "gated": gated,
+                "wall_s": best_wall,
+                "normalized_cost": best_wall / calibration_s,
+                "paths_expanded": result.stats.paths_expanded,
+                "candidates_scored": result.stats.candidates_scored,
+                "eg_bound_runs": result.stats.eg_bound_runs,
+                "placement_hash": placement_fingerprint(result),
+                "reserved_bw_mbps": result.reserved_bw_mbps,
+                "new_active_hosts": result.new_active_hosts,
+                "counted_placement_hash": placement_fingerprint(counted),
+                "registry_counters": registry_counters,
+            }
+        )
+    return {
+        "scenario": case.name,
+        "size": case.size,
+        "repeats": repeats,
+        "calibration_unit_s": calibration_s,
+        "algorithms": entries,
+    }
+
+
+def run_suite(
+    cases: Optional[Sequence[BenchCase]] = None,
+    repeats: int = 3,
+    scenarios: Optional[Sequence[str]] = None,
+) -> List[Dict]:
+    """Run the suite (optionally filtered by scenario name)."""
+    selected = list(cases if cases is not None else REFERENCE_CASES)
+    if scenarios:
+        wanted = set(scenarios)
+        unknown = wanted - {c.name for c in selected}
+        if unknown:
+            raise ValueError(f"unknown bench scenarios: {sorted(unknown)}")
+        selected = [c for c in selected if c.name in wanted]
+    calibration_s = calibration_unit_s()
+    return [
+        run_case(case, repeats=repeats, calibration_s=calibration_s)
+        for case in selected
+    ]
+
+
+def write_results(results: Sequence[Dict], out_dir: str) -> List[str]:
+    """Write one ``BENCH_<scenario>.json`` per result; returns the paths."""
+    os.makedirs(out_dir, exist_ok=True)
+    paths = []
+    for payload in results:
+        path = os.path.join(out_dir, f"BENCH_{payload['scenario']}.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        paths.append(path)
+    return paths
+
+
+#: per-algorithm fields that must match the baseline exactly (deterministic)
+_EXACT_FIELDS = (
+    "paths_expanded",
+    "candidates_scored",
+    "eg_bound_runs",
+    "placement_hash",
+    "reserved_bw_mbps",
+    "new_active_hosts",
+)
+
+
+def compare_to_baseline(
+    results: Sequence[Dict],
+    baseline: Dict,
+    tolerance: float = 0.25,
+) -> List[str]:
+    """Regression check against a committed baseline; returns failures.
+
+    Gated algorithms must reproduce the baseline's deterministic work
+    counters and placement fingerprint exactly, and their normalized cost
+    (wall seconds / in-process calibration unit) may exceed the baseline's
+    by at most ``tolerance`` (e.g. 0.25 = +25%).
+    """
+    failures: List[str] = []
+    baseline_by_scenario = {
+        entry["scenario"]: entry for entry in baseline.get("scenarios", [])
+    }
+    for payload in results:
+        scenario = payload["scenario"]
+        base = baseline_by_scenario.get(scenario)
+        if base is None:
+            failures.append(f"{scenario}: missing from baseline")
+            continue
+        base_algos = {e["algorithm"]: e for e in base["algorithms"]}
+        for entry in payload["algorithms"]:
+            if not entry["gated"]:
+                continue
+            label = f"{scenario}/{entry['algorithm']}"
+            base_entry = base_algos.get(entry["algorithm"])
+            if base_entry is None:
+                failures.append(f"{label}: missing from baseline")
+                continue
+            for fieldname in _EXACT_FIELDS:
+                if entry[fieldname] != base_entry[fieldname]:
+                    failures.append(
+                        f"{label}: {fieldname} changed "
+                        f"{base_entry[fieldname]!r} -> {entry[fieldname]!r}"
+                    )
+            allowed = base_entry["normalized_cost"] * (1.0 + tolerance)
+            if entry["normalized_cost"] > allowed:
+                failures.append(
+                    f"{label}: normalized cost {entry['normalized_cost']:.1f} "
+                    f"exceeds baseline {base_entry['normalized_cost']:.1f} "
+                    f"by more than {tolerance:.0%}"
+                )
+    return failures
+
+
+def baseline_payload(results: Sequence[Dict]) -> Dict:
+    """The committed-baseline document for a suite run."""
+    return {
+        "tolerance_hint": 0.25,
+        "scenarios": [
+            {
+                "scenario": payload["scenario"],
+                "size": payload["size"],
+                "algorithms": [
+                    {
+                        key: entry[key]
+                        for key in ("algorithm", "normalized_cost")
+                        + _EXACT_FIELDS
+                    }
+                    for entry in payload["algorithms"]
+                    if entry["gated"]
+                ],
+            }
+            for payload in results
+        ],
+    }

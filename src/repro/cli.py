@@ -9,6 +9,9 @@ Subcommands:
 * ``repro sweep {fig7,fig8,fig9,fig10,fig11} [--hom]`` -- rerun a figure's
   size sweep and print the data series.
 * ``repro tradeoff`` -- the Fig. 6 deadline/optimality tradeoff.
+* ``repro bench`` -- time EG/BA*/DBA* on the reference scenarios and emit
+  machine-readable ``BENCH_<scenario>.json`` files (optionally gated
+  against a committed baseline; see benchmarks/perf/).
 
 ``place``, ``experiment``, and ``sweep`` accept ``--trace-out FILE``
 (JSONL event stream) and ``--metrics-out FILE`` (Prometheus text
@@ -234,6 +237,37 @@ def cmd_tradeoff(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro import bench
+
+    results = bench.run_suite(
+        repeats=args.repeats, scenarios=args.scenarios or None
+    )
+    for path in bench.write_results(results, args.out_dir):
+        print(f"# wrote {path}", file=sys.stderr)
+    for payload in results:
+        for entry in payload["algorithms"]:
+            print(
+                f"{payload['scenario']:>10}-{payload['size']:<3} "
+                f"{entry['algorithm']:>5}  wall={entry['wall_s']:7.3f}s  "
+                f"expanded={entry['paths_expanded']:6d}  "
+                f"scored={entry['candidates_scored']:7d}  "
+                f"hash={entry['placement_hash']}"
+            )
+    if args.baseline:
+        with open(args.baseline, encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        failures = bench.compare_to_baseline(
+            results, baseline, tolerance=args.tolerance
+        )
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print("# baseline check passed", file=sys.stderr)
+    return 0
+
+
 def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--trace-out",
@@ -320,6 +354,32 @@ def build_parser() -> argparse.ArgumentParser:
         default=[0.5, 1.0, 2.0, 4.0, 8.0],
     )
     tradeoff.set_defaults(func=cmd_tradeoff)
+
+    bench_cmd = sub.add_parser(
+        "bench",
+        help="time the search hot path on the reference scenarios",
+    )
+    bench_cmd.add_argument("--repeats", type=int, default=3)
+    bench_cmd.add_argument(
+        "--scenarios",
+        nargs="*",
+        default=None,
+        help="subset of scenarios (multitier, mesh, qfs); default all",
+    )
+    bench_cmd.add_argument(
+        "--out-dir",
+        default=".",
+        help="directory for the BENCH_<scenario>.json files",
+    )
+    bench_cmd.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="compare against a committed baseline JSON and fail on "
+        "regression (see benchmarks/perf/)",
+    )
+    bench_cmd.add_argument("--tolerance", type=float, default=0.25)
+    bench_cmd.set_defaults(func=cmd_bench)
     return parser
 
 

@@ -82,16 +82,47 @@ def node_equivalence_classes(topology: ApplicationTopology) -> Dict[str, int]:
         rest_b = {(o, bw) for o, bw in nbrs[b] if o != a}
         return rest_a == rest_b
 
+    # The naive construction checks every node against every earlier node
+    # (quadratic in |V| with a set comparison per pair). Grouping by full
+    # signature makes it near-linear without changing a single class id:
+    #
+    # * Non-adjacent interchangeable pairs have *identical* signatures
+    #   (requirements, zones, full neighbor set) -- and identical neighbor
+    #   sets imply non-adjacency, since ``b in nbrs[a] == nbrs[b]`` would
+    #   require the self-loop ``b in nbrs[b]``. So a hash bucket finds
+    #   exactly these matches.
+    # * Adjacent interchangeable pairs (e.g. two ends of a symmetric edge)
+    #   differ in their signatures only by each other, so they are found by
+    #   checking ``name`` against its own already-classified neighbors --
+    #   O(degree) pairwise checks instead of O(|V|).
+    #
+    # Joining the *earliest-classified* match (bucket head vs. best
+    # neighbor) reproduces the sequential first-match semantics of the
+    # naive loop exactly.
     class_of: Dict[str, int] = {}
+    order_index: Dict[str, int] = {}
+    buckets: Dict[tuple, List[str]] = {}
     next_class = 0
-    for name in names:
-        for other, cid in class_of.items():
+    for position, name in enumerate(names):
+        signature = (reqs[name], zones[name], nbrs[name])
+        bucket = buckets.setdefault(signature, [])
+        best: Optional[str] = None
+        if bucket:
+            best = bucket[0]
+        for other, _bw in nbrs[name]:
+            if other not in class_of:
+                continue
+            if best is not None and order_index[other] > order_index[best]:
+                continue
             if interchangeable(name, other):
-                class_of[name] = cid
-                break
+                best = other
+        if best is not None:
+            class_of[name] = class_of[best]
         else:
             class_of[name] = next_class
             next_class += 1
+        order_index[name] = position
+        bucket.append(name)
     return class_of
 
 
@@ -112,6 +143,15 @@ class BAStar(PlacementAlgorithm):
             set (Section III-B3). Exact; disable only for ablation.
         max_expansions: optional hard cap on expanded paths; when hit the
             best complete placement found so far is returned.
+        scratch_scoring: score candidates by assign/estimate/undo on the
+            popped path itself, cloning only candidates that survive the
+            bound check and are actually pushed (the dominant case prunes
+            or deduplicates most candidates, so this removes most state
+            copies from the hot loop). Relies on
+            :meth:`~repro.core.placement.PartialPlacement.unassign` being
+            bit-exact for the last-assigned node; placements are identical
+            to the clone-per-candidate path (``False``, kept for ablation
+            and the equivalence regression test).
     """
 
     name = "ba*"
@@ -121,9 +161,11 @@ class BAStar(PlacementAlgorithm):
         greedy_config: Optional[GreedyConfig] = None,
         symmetry_reduction: bool = True,
         max_expansions: Optional[int] = None,
+        scratch_scoring: bool = True,
     ):
         self.greedy_config = greedy_config or GreedyConfig()
         self.symmetry_reduction = symmetry_reduction
+        self.scratch_scoring = scratch_scoring
         self.limits = _SearchLimits(max_expansions=max_expansions)
         # duration of the most recent EG bound re-run, fed to the
         # deadline guard (_allow_bound_rerun)
@@ -191,7 +233,7 @@ class BAStar(PlacementAlgorithm):
         objective: Objective,
         pinned: Dict[str, Tuple[int, Optional[int]]],
     ) -> PlacementResult:
-        resolver = PathResolver(cloud)
+        resolver = PathResolver.for_cloud(cloud)
         root = PartialPlacement(topology, state, resolver)
         stats = SearchStats()
         reason = topology_obviously_infeasible(topology, root)
@@ -203,11 +245,13 @@ class BAStar(PlacementAlgorithm):
         # relaxed admissible variant orders and bounds the A* search so it
         # can explore below -- and improve on -- EG's placement.
         bound_estimator = LowerBoundEstimator(
-            cloud, self.greedy_config.estimator
+            cloud, self.greedy_config.estimator, resolver=resolver
         )
         if self.ordering == "admissible":
             estimator = LowerBoundEstimator(
-                cloud, self.greedy_config.estimator.admissible()
+                cloud,
+                self.greedy_config.estimator.admissible(),
+                resolver=resolver,
             )
         else:
             estimator = bound_estimator
@@ -341,18 +385,29 @@ class BAStar(PlacementAlgorithm):
                     ),
                 )[:cap]
             branched = 0
+            rest = order[depth + 1 :]
             for target in targets:
-                child = partial_p.clone()
-                child.assign(node_name, target.host, target.disk)
-                key = canonical_key(child)
+                # Scratch scoring: apply the candidate to the popped path
+                # itself, score it, and undo -- cloning the state only for
+                # candidates that actually enter the open queue. The undo
+                # is bit-exact (see PartialPlacement.unassign), so the
+                # scored values match the clone-per-candidate path.
+                if self.scratch_scoring:
+                    scored = partial_p
+                    scored.assign(node_name, target.host, target.disk)
+                else:
+                    scored = partial_p.clone()
+                    scored.assign(node_name, target.host, target.disk)
+                key = canonical_key(scored)
                 if key in closed:
+                    if self.scratch_scoring:
+                        scored.unassign(node_name)
                     continue
                 closed.add(key)
-                rest = order[depth + 1 :]
                 if rec.enabled:
                     est_started = time.perf_counter()
                     child_est_bw, child_est_c = estimator.estimate(
-                        child, rest
+                        scored, rest
                     )
                     est_dt = time.perf_counter() - est_started
                     rec.inc("ostro_estimates_total")
@@ -369,10 +424,10 @@ class BAStar(PlacementAlgorithm):
                     )
                 else:
                     child_est_bw, child_est_c = estimator.estimate(
-                        child, rest
+                        scored, rest
                     )
                 u_q = objective.score(
-                    child.ubw + child_est_bw, child.uc + child_est_c
+                    scored.ubw + child_est_bw, scored.uc + child_est_c
                 )
                 stats.candidates_scored += 1
                 if u_q >= u_upper - _BOUND_EPS:
@@ -386,7 +441,14 @@ class BAStar(PlacementAlgorithm):
                             evaluation=u_q,
                             bound=u_upper,
                         )
+                    if self.scratch_scoring:
+                        scored.unassign(node_name)
                     continue
+                if self.scratch_scoring:
+                    child = scored.clone()
+                    scored.unassign(node_name)
+                else:
+                    child = scored
                 heapq.heappush(
                     open_queue, (u_q, next(counter), depth + 1, child)
                 )
@@ -457,11 +519,14 @@ class BAStar(PlacementAlgorithm):
         )
         if bw_order != orders[0]:
             orders.append(bw_order)
-        stats.eg_bound_runs += 1
         rec = obs.get_recorder()
-        if rec.enabled:
-            rec.inc("ostro_eg_bound_runs_total")
         for order in orders:
+            # Count each greedy run actually executed -- a stuck first
+            # order triggers a bandwidth-ordered retry, and runtime
+            # accounting (Fig. 9) must reflect both.
+            stats.eg_bound_runs += 1
+            if rec.enabled:
+                rec.inc("ostro_eg_bound_runs_total")
             clone = partial.clone()
             try:
                 run_greedy_from(

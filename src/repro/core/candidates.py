@@ -47,13 +47,23 @@ class CandidateTarget:
     multiplicity: int = 1
 
 
-def _chain_signature(partial: PartialPlacement, host: int) -> tuple:
-    """Free bandwidth along the host's uplink chain (NIC upward)."""
-    state = partial.state
-    return tuple(
-        round(state.free_bw[link], 6)
-        for link in state.cloud.uplink_chain(host)
-    )
+def _distance_signatures(partial: PartialPlacement):
+    """Factory for per-host distance signatures to all placed hosts.
+
+    Pulls one cached distance row per distinct placed host from the shared
+    :class:`~repro.datacenter.network.PathResolver`, so the per-candidate
+    signature is plain list indexing instead of a pairwise distance call
+    per placed host.
+    """
+    resolver = partial.resolver
+    rows = [
+        resolver.distance_row(p) for p in sorted(partial.placed_hosts())
+    ]
+
+    def signature(host: int) -> tuple:
+        return tuple(row[host] for row in rows)
+
+    return signature
 
 
 def candidate_targets(
@@ -69,7 +79,13 @@ def candidate_targets(
         node_name: the node to place next.
         dedup: collapse interchangeable hosts to one representative each.
         limit: optional hard cap on the number of returned targets
-            (applied after dedup; targets keep cloud index order).
+            (targets keep cloud index order). Without dedup the scan stops
+            as soon as ``limit`` targets are found. With dedup the scan
+            must still visit every host -- later hosts can fold into an
+            already kept class -- but once ``limit`` classes exist no new
+            representative is added, so the result equals truncating the
+            unlimited result to its first ``limit`` entries *with* the
+            full-scan multiplicities.
 
     Returns:
         Feasible :class:`CandidateTarget` records in ascending host order.
@@ -78,9 +94,13 @@ def candidate_targets(
     node = partial.topology.node(node_name)
     state = partial.state
     cloud = state.cloud
+    free_bw = state.free_bw
     # Distances to the *distinct* hosts of the partial placement fully
     # determine the candidate's relation to every placed node.
-    placed_hosts = tuple(sorted(partial.placed_hosts()))
+    distance_signature = _distance_signatures(partial)
+    # Host-independent constraint setup, hoisted out of the host loop.
+    ctx = constraints.NodeConstraintContext(partial, node_name)
+    uplink_chain = cloud.uplink_chain
     results: List[CandidateTarget] = []
     seen: dict = {}
 
@@ -89,19 +109,22 @@ def candidate_targets(
         for host in range(cloud.num_hosts):
             if not state.vm_fits(host, reserved, node.mem_gb):
                 continue
-            if not constraints.diversity_ok(partial, node_name, host):
+            if not ctx.diversity_ok(host):
                 continue
-            if not constraints.latency_ok(partial, node_name, host):
+            if not ctx.latency_ok(host):
                 continue
-            if not constraints.bandwidth_ok(partial, node_name, host):
+            if not ctx.bandwidth_ok(host):
                 continue
             if dedup:
                 sig = (
                     round(state.free_cpu[host], 6),
                     round(state.free_mem[host], 6),
                     state.host_is_active(host),
-                    _chain_signature(partial, host),
-                    tuple(cloud.distance(host, p) for p in placed_hosts),
+                    tuple(
+                        round(free_bw[link], 6)
+                        for link in uplink_chain(host)
+                    ),
+                    distance_signature(host),
                 )
                 existing = seen.get(sig)
                 if existing is not None:
@@ -111,6 +134,8 @@ def candidate_targets(
                         multiplicity=results[existing].multiplicity + 1,
                     )
                     continue
+                if limit is not None and len(results) >= limit:
+                    continue  # keep scanning only to fold multiplicities
                 seen[sig] = len(results)
             results.append(CandidateTarget(host=host))
             if limit is not None and not dedup and len(results) >= limit:
@@ -120,18 +145,21 @@ def candidate_targets(
             if not state.volume_fits(disk_index, node.size_gb):
                 continue
             host = disk.host.index
-            if not constraints.diversity_ok(partial, node_name, host):
+            if not ctx.diversity_ok(host):
                 continue
-            if not constraints.latency_ok(partial, node_name, host):
+            if not ctx.latency_ok(host):
                 continue
-            if not constraints.bandwidth_ok(partial, node_name, host):
+            if not ctx.bandwidth_ok(host):
                 continue
             if dedup:
                 sig = (
                     round(state.free_disk[disk_index], 6),
                     state.host_is_active(host),
-                    _chain_signature(partial, host),
-                    tuple(cloud.distance(host, p) for p in placed_hosts),
+                    tuple(
+                        round(free_bw[link], 6)
+                        for link in uplink_chain(host)
+                    ),
+                    distance_signature(host),
                 )
                 existing = seen.get(sig)
                 if existing is not None:
@@ -141,11 +169,11 @@ def candidate_targets(
                         multiplicity=results[existing].multiplicity + 1,
                     )
                     continue
+                if limit is not None and len(results) >= limit:
+                    continue
                 seen[sig] = len(results)
             results.append(CandidateTarget(host=host, disk=disk_index))
             if limit is not None and not dedup and len(results) >= limit:
                 break
 
-    if limit is not None and len(results) > limit:
-        results = results[:limit]
     return results

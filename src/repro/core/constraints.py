@@ -13,7 +13,7 @@ Three constraint families gate every candidate host:
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.placement import PartialPlacement
 from repro.core.topology import ApplicationTopology
@@ -116,6 +116,82 @@ def latency_ok(
         if len(partial.resolver.path(host, assigned.host)) > link.max_hops:
             return False
     return True
+
+
+class NodeConstraintContext:
+    """Host-independent constraint setup for one (partial, node) pair.
+
+    Candidate generation checks the same node against hundreds of hosts;
+    everything that does not depend on the candidate host -- which
+    neighbors are placed and where, which zone members are placed, which
+    pipes carry latency bounds -- is identical across those checks. This
+    context hoists that setup out of the per-host loop; ``diversity_ok`` /
+    ``latency_ok`` / ``bandwidth_ok`` then reduce to short loops over
+    precollected (placed host, parameter) pairs, each exactly equivalent
+    to its module-level namesake.
+    """
+
+    def __init__(self, partial: PartialPlacement, node_name: str):
+        self.partial = partial
+        topology = partial.topology
+        assignments = partial.assignments
+        #: (placed neighbor host, flow Mbps) for every positive-bandwidth
+        #: link to an already placed neighbor
+        self.flows: List[Tuple[int, float]] = []
+        #: (placed neighbor host, max hops) for every latency-bounded pipe
+        self.hop_limits: List[Tuple[int, int]] = []
+        for neighbor, bw_mbps in topology.neighbors(node_name):
+            assigned = assignments.get(neighbor)
+            if assigned is None:
+                continue
+            if bw_mbps > 0:
+                self.flows.append((assigned.host, bw_mbps))
+            link = topology.link_between(node_name, neighbor)
+            if link is not None and link.max_hops is not None:
+                self.hop_limits.append((assigned.host, link.max_hops))
+        #: (placed zone-member host, separation level) pairs
+        self.separations: List[Tuple[int, object]] = []
+        for zone in topology.zones_of(node_name):
+            for member in zone.members:
+                if member == node_name:
+                    continue
+                assigned = assignments.get(member)
+                if assigned is not None:
+                    self.separations.append((assigned.host, zone.level))
+
+    def diversity_ok(self, host: int) -> bool:
+        """Equivalent of :func:`diversity_ok` for this node."""
+        if not self.separations:
+            return True
+        separated_at = self.partial.state.cloud.separated_at
+        return all(
+            separated_at(host, member_host, level)
+            for member_host, level in self.separations
+        )
+
+    def latency_ok(self, host: int) -> bool:
+        """Equivalent of :func:`latency_ok` for this node."""
+        if not self.hop_limits:
+            return True
+        hop_count = self.partial.resolver.hop_count
+        return all(
+            hop_count(host, neighbor_host) <= max_hops
+            for neighbor_host, max_hops in self.hop_limits
+        )
+
+    def bandwidth_ok(self, host: int) -> bool:
+        """Equivalent of :func:`bandwidth_ok` for this node."""
+        if not self.flows:
+            return True
+        path = self.partial.resolver.path
+        demand: Dict[int, float] = {}
+        for neighbor_host, bw_mbps in self.flows:
+            for link in path(host, neighbor_host):
+                demand[link] = demand.get(link, 0.0) + bw_mbps
+        free = self.partial.state.free_bw
+        return all(
+            needed <= free[link] + EPSILON for link, needed in demand.items()
+        )
 
 
 def feasible(

@@ -64,24 +64,10 @@ def sort_nodes_by_relative_weight(topology: ApplicationTopology) -> List[str]:
 
     The weight of a node is ``sum_x r_x / R_x`` over x in {cpu, mem, disk,
     bandwidth}, where ``R_x`` is the mean requirement of resource x across
-    all nodes (Section III-A1). Ties break on name for determinism.
+    all nodes (Section III-A1). Ties break on name for determinism. The
+    order is cached on the topology until its next structural mutation.
     """
-    names = list(topology.nodes)
-    vectors = {name: topology.requirement_vector(name) for name in names}
-    dims = len(next(iter(vectors.values()))) if names else 0
-    means = [
-        sum(vec[d] for vec in vectors.values()) / len(names) if names else 1.0
-        for d in range(dims)
-    ]
-
-    def weight(name: str) -> float:
-        return sum(
-            vectors[name][d] / means[d]
-            for d in range(dims)
-            if means[d] > 0
-        )
-
-    return sorted(names, key=lambda n: (-weight(n), n))
+    return topology.sorted_by_weight()
 
 
 def apply_pinned(
@@ -121,11 +107,9 @@ def sort_nodes_by_bandwidth(topology: ApplicationTopology) -> List[str]:
 
     The restart ordering for bandwidth-critical topologies: placing the
     most-connected nodes first reserves their flows while the network is
-    still empty (most-constrained-first).
+    still empty (most-constrained-first). Cached on the topology.
     """
-    return sorted(
-        topology.nodes, key=lambda n: (-topology.bandwidth_of(n), n)
-    )
+    return topology.sorted_by_bandwidth()
 
 
 def most_free_nic_tie(partial: PartialPlacement):
@@ -223,13 +207,13 @@ class EG(PlacementAlgorithm):
         objective: Objective,
         pinned: Dict[str, Tuple[int, Optional[int]]],
     ) -> PlacementResult:
-        resolver = PathResolver(cloud)
+        resolver = PathResolver.for_cloud(cloud)
         probe = PartialPlacement(topology, state, resolver)
         stats = SearchStats()
         reason = topology_obviously_infeasible(topology, probe)
         if reason is not None:
             raise PlacementError(reason)
-        estimator = LowerBoundEstimator(cloud, self.config.estimator)
+        estimator = LowerBoundEstimator(cloud, self.config.estimator, resolver=resolver)
         weight_order = [
             n for n in sort_nodes_by_relative_weight(topology) if n not in pinned
         ]
@@ -469,7 +453,7 @@ class EGC(PlacementAlgorithm):
         objective: Objective,
         pinned: Dict[str, Tuple[int, Optional[int]]],
     ) -> PlacementResult:
-        resolver = PathResolver(cloud)
+        resolver = PathResolver.for_cloud(cloud)
         probe = PartialPlacement(topology, state, resolver)
         stats = SearchStats()
         reason = topology_obviously_infeasible(topology, probe)
@@ -551,13 +535,13 @@ class EGBW(PlacementAlgorithm):
         objective: Objective,
         pinned: Dict[str, Tuple[int, Optional[int]]],
     ) -> PlacementResult:
-        resolver = PathResolver(cloud)
+        resolver = PathResolver.for_cloud(cloud)
         probe = PartialPlacement(topology, state, resolver)
         stats = SearchStats()
         reason = topology_obviously_infeasible(topology, probe)
         if reason is not None:
             raise PlacementError(reason)
-        estimator = LowerBoundEstimator(cloud, self.config.estimator)
+        estimator = LowerBoundEstimator(cloud, self.config.estimator, resolver=resolver)
         bw_only = Objective(
             theta_bw=1.0,
             theta_c=0.0,

@@ -33,10 +33,11 @@ behavior of the paper is ``max_nodes=None``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.placement import PartialPlacement
 from repro.datacenter.model import Cloud
+from repro.datacenter.network import PathResolver
 
 
 @dataclass(frozen=True)
@@ -84,11 +85,21 @@ class LowerBoundEstimator:
     Args:
         cloud: the physical structure (for distances and hop minima).
         config: truncation knobs.
+        resolver: shared memoizing path/hop-count resolver. Defaults to
+            the cloud's shared instance; pass the search's resolver so the
+            estimator, candidate generation, and placement bookkeeping all
+            reuse one hop-count cache.
     """
 
-    def __init__(self, cloud: Cloud, config: Optional[EstimatorConfig] = None):
+    def __init__(
+        self,
+        cloud: Cloud,
+        config: Optional[EstimatorConfig] = None,
+        resolver: Optional[PathResolver] = None,
+    ):
         self.cloud = cloud
         self.config = config or EstimatorConfig()
+        self.resolver = resolver or PathResolver.for_cloud(cloud)
         self._imaginary_cpu = max(h.cpu_cores for h in cloud.hosts)
         self._imaginary_mem = max(h.mem_gb for h in cloud.hosts)
         self._imaginary_disk = max(
@@ -139,15 +150,22 @@ class LowerBoundEstimator:
             return 0.0, 0
 
         order = sorted(
-            remaining, key=lambda n: topology.bandwidth_of(n), reverse=True
+            remaining, key=topology.bandwidth_of, reverse=True
         )
-        if self.config.max_nodes is not None and not self._track_nic:
-            # Truncation only loosens the admissible bound. The informative
-            # (NIC-tracking) estimator must approximately place *every*
-            # remaining node, or it cannot see a low-bandwidth node at the
-            # tail getting stranded behind a drained NIC; its bandwidth sum
-            # is still limited to the head below.
-            order = order[: self.config.max_nodes]
+        head: Optional[Set[str]] = None
+        if self.config.max_nodes is not None:
+            if self._track_nic:
+                # The informative (NIC-tracking) estimator must
+                # approximately place *every* remaining node, or it cannot
+                # see a low-bandwidth node at the tail getting stranded
+                # behind a drained NIC; its bandwidth sum is still limited
+                # to the head (links whose estimated endpoint falls beyond
+                # the truncation horizon contribute zero, exactly as they
+                # do when the admissible variant drops those nodes).
+                head = set(order[: self.config.max_nodes])
+            else:
+                # Truncation only loosens the admissible bound.
+                order = order[: self.config.max_nodes]
 
         # Local free-capacity ledger for the real hosts in use.
         state = partial.state
@@ -177,7 +195,7 @@ class LowerBoundEstimator:
                 # drained NICs. Signal an (effectively) infeasible future.
                 return float("inf"), 0
 
-        ubw_bar = self._estimate_bandwidth(partial, location)
+        ubw_bar = self._estimate_bandwidth(partial, location, head)
         return ubw_bar, 0
 
     # ------------------------------------------------------------------
@@ -213,22 +231,36 @@ class LowerBoundEstimator:
 
         force_new = bw_to_placed == 0.0 or bw_to_remaining > bw_to_placed
 
+        def feasible(key: Tuple[str, int]) -> bool:
+            return (
+                self._fits(node, key, real_free, imaginary)
+                and self._diversity_ok(partial, name, key, location)
+                and (
+                    not self._track_nic
+                    or self._nic_ok(key, bw_to_target, real_free, imaginary)
+                )
+            )
+
         def best_existing() -> Optional[Tuple[str, int]]:
-            best, best_bw = None, -1.0
+            # Single pass, equivalent to an argmax over all feasible
+            # targets with first-in-iteration-order tie-breaking, but
+            # checking feasibility only where it can matter: a linked
+            # target that does not beat the best linked bandwidth so far
+            # cannot win regardless of feasibility, and among unlinked
+            # targets (all tied at 0) only the first feasible one can win
+            # -- and none can once any feasible linked target exists.
+            best: Optional[Tuple[str, int]] = None
+            best_bw = 0.0
+            first_unlinked: Optional[Tuple[str, int]] = None
             for key in self._targets(real_free, imaginary):
-                if not self._fits(node, key, real_free, imaginary):
-                    continue
-                if not self._diversity_ok(partial, name, key, location):
-                    continue
-                if self._track_nic and not self._nic_ok(
-                    key, bw_to_target, real_free, imaginary
-                ):
-                    continue
                 linked = bw_to_target.get(key, 0.0)
-                if linked > best_bw:
-                    best_bw = linked
-                    best = key
-            return best
+                if linked > 0.0:
+                    if linked > best_bw and feasible(key):
+                        best_bw = linked
+                        best = key
+                elif best is None and first_unlinked is None and feasible(key):
+                    first_unlinked = key
+            return best if best is not None else first_unlinked
 
         best_key: Optional[Tuple[str, int]] = None
         if not force_new:
@@ -418,6 +450,7 @@ class LowerBoundEstimator:
         self,
         partial: PartialPlacement,
         location: Dict[str, Tuple[str, int]],
+        head: Optional[Set[str]] = None,
     ) -> float:
         """Optimistic reserved bandwidth of all not-yet-reserved links.
 
@@ -426,10 +459,13 @@ class LowerBoundEstimator:
         one estimated endpoint contributes ``bw x hops`` using real hop
         counts where both locations are real hosts and the diversity-forced
         minimum otherwise. Links to nodes beyond the truncation horizon
-        contribute zero (admissible).
+        contribute zero (admissible): either the node was never
+        approximately placed (``location`` miss) or -- for the NIC-tracking
+        estimator, which locates every node -- it falls outside ``head``,
+        the ``max_nodes`` most bandwidth-hungry remaining nodes.
         """
         topology = partial.topology
-        cloud = self.cloud
+        hop_count = self.resolver.hop_count
         total = 0.0
         for link in topology.links:
             if link.bw_mbps <= 0:
@@ -438,14 +474,24 @@ class LowerBoundEstimator:
             b_real = partial.assignments.get(link.b)
             if a_real is not None and b_real is not None:
                 continue  # already reserved in the partial placement
-            loc_a = ("real", a_real.host) if a_real is not None else location.get(link.a)
-            loc_b = ("real", b_real.host) if b_real is not None else location.get(link.b)
+            if a_real is not None:
+                loc_a = ("real", a_real.host)
+            elif head is None or link.a in head:
+                loc_a = location.get(link.a)
+            else:
+                loc_a = None  # estimated, but beyond the truncation head
+            if b_real is not None:
+                loc_b = ("real", b_real.host)
+            elif head is None or link.b in head:
+                loc_b = location.get(link.b)
+            else:
+                loc_b = None
             if loc_a is None or loc_b is None:
                 continue  # beyond the truncation horizon: optimistically 0
             if loc_a == loc_b:
                 continue  # co-located: no network hops
             if loc_a[0] == "real" and loc_b[0] == "real":
-                total += link.bw_mbps * cloud.hop_count(loc_a[1], loc_b[1])
+                total += link.bw_mbps * hop_count(loc_a[1], loc_b[1])
             else:
                 dist = self._forced_distance(topology, link.a, link.b)
                 if not self.config.optimistic_colocation:

@@ -67,7 +67,18 @@ class Placement:
 
 @dataclass
 class _AppliedNode:
-    """Undo record for one applied assignment."""
+    """Undo record for one applied assignment.
+
+    ``saved`` holds ``(kind, index, value)`` triples capturing the exact
+    float stored in each touched state slot *before* this assignment
+    mutated it (kinds: ``"cpu"``, ``"mem"``, ``"disk"``, ``"bw"``), and
+    ``prev_ubw`` the accumulated bandwidth total before it. Restoring
+    these on a LIFO undo makes assign/undo bit-exact: ``(a - v) + v`` is
+    not guaranteed to equal ``a`` in IEEE arithmetic, so scratch-state
+    scoring (assign, estimate, unassign on one shared object) would
+    otherwise drift away from the clone-per-candidate state it must
+    reproduce.
+    """
 
     node: str
     host: int
@@ -75,6 +86,9 @@ class _AppliedNode:
     flows: List[Tuple[Tuple[int, ...], float]] = field(default_factory=list)
     added_bw: float = 0.0
     activated: bool = False
+    saved: List[Tuple[str, int, float]] = field(default_factory=list)
+    prev_ubw: float = 0.0
+    seq: int = 0
 
 
 class PartialPlacement:
@@ -102,6 +116,12 @@ class PartialPlacement:
         self.ubw: float = 0.0
         self.newly_activated: Set[int] = set()
         self._applied: Dict[str, _AppliedNode] = {}
+        # Monotonic assignment counter and exactness watermark: records
+        # with seq <= _exact_floor lost bit-exact undo validity because an
+        # out-of-order unassign happened after them (their saved slot
+        # values may embed a since-reversed reservation).
+        self._seq: int = 0
+        self._exact_floor: int = -1
 
     # ------------------------------------------------------------------
     # queries
@@ -146,36 +166,44 @@ class PartialPlacement:
             raise PlacementError(f"node {node_name!r} is already placed")
         node = self.topology.node(node_name)
         record = _AppliedNode(node=node_name, host=host, disk=disk)
-        was_active = self.state.host_is_active(host)
+        state = self.state
+        was_active = state.host_is_active(host)
         try:
             if node.is_vm:
-                self.state.place_vm(
-                    host, self.state.reserved_vcpus(node), node.mem_gb
-                )
+                record.saved.append(("cpu", host, state.free_cpu[host]))
+                record.saved.append(("mem", host, state.free_mem[host]))
+                state.place_vm(host, state.reserved_vcpus(node), node.mem_gb)
             else:
                 if disk is None:
                     raise PlacementError(
                         f"volume {node_name!r} needs a disk assignment"
                     )
-                if self.state.cloud.disks[disk].host.index != host:
+                if state.cloud.disks[disk].host.index != host:
                     raise PlacementError(
                         f"disk {disk} does not belong to host {host}"
                     )
-                self.state.place_volume(disk, node.size_gb)
+                record.saved.append(("disk", disk, state.free_disk[disk]))
+                state.place_volume(disk, node.size_gb)
         except CapacityError as exc:
+            record.saved.clear()
             raise PlacementError(str(exc), node_name=node_name) from exc
 
+        touched_links: Set[int] = set()
         try:
             for neighbor, bw_mbps in self.topology.neighbors(node_name):
                 placed = self.assignments.get(neighbor)
                 if placed is None or bw_mbps <= 0:
                     continue
                 path = self.resolver.path(host, placed.host)
+                for link in path:
+                    if link not in touched_links:
+                        touched_links.add(link)
+                        record.saved.append(("bw", link, state.free_bw[link]))
                 self.state.reserve_path(path, bw_mbps)
                 record.flows.append((path, bw_mbps))
                 record.added_bw += bw_mbps * len(path)
         except CapacityError as exc:
-            # roll back everything this call reserved
+            # roll back everything this call reserved, bit-exactly
             for path, bw_mbps in record.flows:
                 self.state.release_path(path, bw_mbps)
             if node.is_vm:
@@ -184,21 +212,58 @@ class PartialPlacement:
                 )
             else:
                 self.state.unplace_volume(disk, node.size_gb)
+            self._restore_saved(record)
             raise PlacementError(str(exc), node_name=node_name) from exc
 
         if not was_active:
             record.activated = True
             self.newly_activated.add(host)
+        record.prev_ubw = self.ubw
         self.ubw += record.added_bw
+        self._seq += 1
+        record.seq = self._seq
         self.assignments[node_name] = Assignment(node_name, host, disk)
         self._applied[node_name] = record
 
+    def _restore_saved(self, record: _AppliedNode) -> None:
+        """Overwrite touched float slots with their pre-assign values."""
+        state = self.state
+        arrays = {
+            "cpu": state.free_cpu,
+            "mem": state.free_mem,
+            "disk": state.free_disk,
+            "bw": state.free_bw,
+        }
+        for kind, index, value in record.saved:
+            arrays[kind][index] = value
+
     def unassign(self, node_name: str) -> None:
-        """Undo a previous :meth:`assign`, restoring the state exactly."""
-        record = self._applied.pop(node_name, None)
+        """Undo a previous :meth:`assign`, restoring the state exactly.
+
+        When the node is the most recently assigned one and no
+        out-of-order undo happened since its assignment (the only pattern
+        the search loops use), every touched float slot is overwritten
+        with the exact value saved at assign time, so an assign/unassign
+        pair is a bit-exact no-op on the state. Out-of-order undo falls
+        back to arithmetic reversal, which is correct up to float
+        round-off -- and poisons the saved values of every still-applied
+        later record (they may embed the reversed reservation), so those
+        also fall back.
+        """
+        record = self._applied.get(node_name)
         if record is None:
             raise PlacementError(f"node {node_name!r} is not placed")
+        is_last = record.seq == self._seq and record.seq > self._exact_floor
+        del self._applied[node_name]
         del self.assignments[node_name]
+        if is_last:
+            self._seq = record.seq - 1
+        elif self._applied:
+            # out-of-order undo: later records lose exact-undo validity
+            self._exact_floor = max(
+                self._exact_floor,
+                max(r.seq for r in self._applied.values()),
+            )
         node = self.topology.node(node_name)
         for path, bw_mbps in record.flows:
             self.state.release_path(path, bw_mbps)
@@ -208,7 +273,11 @@ class PartialPlacement:
             )
         else:
             self.state.unplace_volume(record.disk, node.size_gb)
-        self.ubw -= record.added_bw
+        if is_last:
+            self._restore_saved(record)
+            self.ubw = record.prev_ubw
+        else:
+            self.ubw -= record.added_bw
         if record.activated:
             self.newly_activated.discard(record.host)
 
@@ -222,6 +291,8 @@ class PartialPlacement:
         copy.ubw = self.ubw
         copy.newly_activated = set(self.newly_activated)
         copy._applied = dict(self._applied)
+        copy._seq = self._seq
+        copy._exact_floor = self._exact_floor
         return copy
 
     # ------------------------------------------------------------------

@@ -107,6 +107,24 @@ class ApplicationTopology:
         self._adjacency: Dict[str, List[Tuple[str, float]]] = {}
         self._link_index: Dict[Tuple[str, str], PipeLink] = {}
         self._zones: Dict[str, DiversityZone] = {}
+        # Derived-lookup caches, rebuilt lazily after any mutation. The
+        # search algorithms hit bandwidth_of / requirement_vector /
+        # zones_of once per estimator step, i.e. millions of times per
+        # placement; recomputing them from the adjacency lists each call
+        # dominated the profile before these tables existed.
+        self._bw_cache: Optional[Dict[str, float]] = None
+        self._req_cache: Dict[str, Tuple[float, float, float, float]] = {}
+        self._zones_of_cache: Optional[Dict[str, List[DiversityZone]]] = None
+        self._weight_order: Optional[List[str]] = None
+        self._bw_order: Optional[List[str]] = None
+
+    def _invalidate_caches(self) -> None:
+        """Drop derived lookup tables after a structural mutation."""
+        self._bw_cache = None
+        self._req_cache = {}
+        self._zones_of_cache = None
+        self._weight_order = None
+        self._bw_order = None
 
     # ------------------------------------------------------------------
     # construction
@@ -137,6 +155,7 @@ class ApplicationTopology:
         )
         self._nodes[name] = vm
         self._adjacency[name] = []
+        self._invalidate_caches()
         return vm
 
     def add_volume(self, name: str, size_gb: float) -> Volume:
@@ -147,6 +166,7 @@ class ApplicationTopology:
         volume = Volume(name=name, size_gb=float(size_gb))
         self._nodes[name] = volume
         self._adjacency[name] = []
+        self._invalidate_caches()
         return volume
 
     def connect(
@@ -192,6 +212,7 @@ class ApplicationTopology:
         self._link_index[key] = link
         self._adjacency[a].append((b, link.bw_mbps))
         self._adjacency[b].append((a, link.bw_mbps))
+        self._invalidate_caches()
         return link
 
     def link_between(self, a: str, b: str) -> Optional[PipeLink]:
@@ -218,6 +239,7 @@ class ApplicationTopology:
             )
         zone = DiversityZone(name=name, level=level, members=member_set)
         self._zones[name] = zone
+        self._invalidate_caches()
         return zone
 
     def remove_node(self, name: str) -> None:
@@ -250,6 +272,7 @@ class ApplicationTopology:
                     )
                 else:
                     del self._zones[zone_name]
+        self._invalidate_caches()
 
     def _check_new_node(self, name: str) -> None:
         if not name:
@@ -296,12 +319,27 @@ class ApplicationTopology:
         return self._adjacency[name]
 
     def zones_of(self, name: str) -> List[DiversityZone]:
-        """Diversity zones that contain the named node."""
-        return [z for z in self._zones.values() if name in z.members]
+        """Diversity zones that contain the named node (cached table)."""
+        cache = self._zones_of_cache
+        if cache is None:
+            cache = {n: [] for n in self._nodes}
+            for zone in self._zones.values():
+                for member in zone.members:
+                    if member in cache:
+                        cache[member].append(zone)
+            self._zones_of_cache = cache
+        return cache[name]
 
     def bandwidth_of(self, name: str) -> float:
         """Total bandwidth requirement of a node's incident links (Mbps)."""
-        return sum(bw for _, bw in self._adjacency[name])
+        cache = self._bw_cache
+        if cache is None:
+            cache = {
+                n: sum(bw for _, bw in adj)
+                for n, adj in self._adjacency.items()
+            }
+            self._bw_cache = cache
+        return cache[name]
 
     def total_link_bandwidth(self) -> float:
         """Sum of bandwidth requirements over all links (Mbps)."""
@@ -309,10 +347,58 @@ class ApplicationTopology:
 
     def requirement_vector(self, name: str) -> Tuple[float, float, float, float]:
         """(cpu, mem, disk, bandwidth) requirement of one node."""
+        cached = self._req_cache.get(name)
+        if cached is not None:
+            return cached
         node = self.node(name)
         if node.is_vm:
-            return (node.vcpus, node.mem_gb, 0.0, self.bandwidth_of(name))
-        return (0.0, 0.0, node.size_gb, self.bandwidth_of(name))
+            vector = (node.vcpus, node.mem_gb, 0.0, self.bandwidth_of(name))
+        else:
+            vector = (0.0, 0.0, node.size_gb, self.bandwidth_of(name))
+        self._req_cache[name] = vector
+        return vector
+
+    def sorted_by_weight(self) -> List[str]:
+        """Node names by descending aggregate relative resource weight.
+
+        The weight of a node is ``sum_x r_x / R_x`` over x in {cpu, mem,
+        disk, bandwidth}, where ``R_x`` is the mean requirement of resource
+        x across all nodes (Section III-A1). Ties break on name for
+        determinism. The order is computed once and cached until the next
+        structural mutation; a fresh list is returned each call.
+        """
+        if self._weight_order is None:
+            names = list(self._nodes)
+            vectors = {name: self.requirement_vector(name) for name in names}
+            dims = len(next(iter(vectors.values()))) if names else 0
+            means = [
+                sum(vec[d] for vec in vectors.values()) / len(names)
+                if names
+                else 1.0
+                for d in range(dims)
+            ]
+
+            def weight(name: str) -> float:
+                return sum(
+                    vectors[name][d] / means[d]
+                    for d in range(dims)
+                    if means[d] > 0
+                )
+
+            self._weight_order = sorted(names, key=lambda n: (-weight(n), n))
+        return list(self._weight_order)
+
+    def sorted_by_bandwidth(self) -> List[str]:
+        """Node names by descending total incident link bandwidth.
+
+        Cached like :meth:`sorted_by_weight`; a fresh list is returned
+        each call.
+        """
+        if self._bw_order is None:
+            self._bw_order = sorted(
+                self._nodes, key=lambda n: (-self.bandwidth_of(n), n)
+            )
+        return list(self._bw_order)
 
     def size(self) -> int:
         """Number of nodes."""

@@ -205,6 +205,11 @@ class Cloud:
         # (rack_index, implicit_pod_key, dc_index)
         self._ancestors: List[Tuple[int, Tuple[str, int], int]] = []
         self._index()
+        # Link-only view of each chain, precomputed once: uplink_chain()
+        # sits inside the candidate-signature hot loop.
+        self._uplink_chains: List[Tuple[int, ...]] = [
+            tuple(link for link, _ in chain) for chain in self._chains
+        ]
 
     # ------------------------------------------------------------------
     # indexing
@@ -372,7 +377,7 @@ class Cloud:
         the ToR uplink, the pod uplink (when pods exist), and the WAN
         uplink (when the cloud spans several data centers).
         """
-        return tuple(link for link, _ in self._chains[host])
+        return self._uplink_chains[host]
 
     def max_hop_count(self) -> int:
         """Longest possible path length between any two hosts.

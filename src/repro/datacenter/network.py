@@ -12,7 +12,8 @@ need on top of it:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Tuple
+import weakref
+from typing import Dict, Iterable, List, Tuple
 
 from repro.datacenter.model import Cloud
 
@@ -23,12 +24,34 @@ class PathResolver:
     The cache key is the unordered host pair, since paths are symmetric.
     For the scales in the paper (hundreds of placed nodes) the cache stays
     small: only pairs that the search actually inspects are stored.
+
+    One resolver can (and should) be shared by everything operating on the
+    same cloud -- candidate generation, the lower-bound estimator, the
+    scheduler, and placement validation all hit the same pairs, so a shared
+    cache turns repeated structural work into dict lookups. Use
+    :meth:`for_cloud` to get the per-cloud shared instance.
     """
+
+    #: per-cloud shared resolvers; weak keys so dropping a cloud drops its
+    #: caches with it
+    _shared: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
 
     def __init__(self, cloud: Cloud):
         self.cloud = cloud
         self._paths: Dict[Tuple[int, int], Tuple[int, ...]] = {}
         self._distances: Dict[Tuple[int, int], int] = {}
+        self._hops: Dict[Tuple[int, int], int] = {}
+        # host -> list of distances to every other host, built lazily
+        self._distance_rows: Dict[int, List[int]] = {}
+
+    @classmethod
+    def for_cloud(cls, cloud: Cloud) -> "PathResolver":
+        """The shared memoizing resolver for a cloud (created on demand)."""
+        resolver = cls._shared.get(cloud)
+        if resolver is None:
+            resolver = cls(cloud)
+            cls._shared[cloud] = resolver
+        return resolver
 
     def path(self, host_a: int, host_b: int) -> Tuple[int, ...]:
         """Links traversed between two hosts (empty if the same host)."""
@@ -48,9 +71,30 @@ class PathResolver:
             self._distances[key] = cached
         return cached
 
+    def distance_row(self, host: int) -> List[int]:
+        """Distances from one host to every host, as an indexable row.
+
+        Built once per host and cached; candidate deduplication reads the
+        distance to every placed host for every feasible host, and a plain
+        list index beats a per-pair function call there. Treat the returned
+        row as read-only.
+        """
+        row = self._distance_rows.get(host)
+        if row is None:
+            cloud = self.cloud
+            row = [cloud.distance(host, other) for other in range(cloud.num_hosts)]
+            self._distance_rows[host] = row
+        return row
+
     def hop_count(self, host_a: int, host_b: int) -> int:
-        """Number of links between two hosts."""
-        return len(self.path(host_a, host_b))
+        """Number of links between two hosts (memoized separately from
+        :meth:`path` so the hot estimator loop is one dict hit)."""
+        key = (host_a, host_b) if host_a <= host_b else (host_b, host_a)
+        cached = self._hops.get(key)
+        if cached is None:
+            cached = len(self.path(key[0], key[1]))
+            self._hops[key] = cached
+        return cached
 
 
 def tally_flows(
