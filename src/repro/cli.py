@@ -268,6 +268,23 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro import lint
+
+    if args.list_rules:
+        for rule in lint.all_rules():
+            print(f"{rule.code}  {rule.name:<20} {rule.summary}")
+        return 0
+    paths = args.paths or ["src/repro"]
+    try:
+        diagnostics, files_checked = lint.lint_paths(paths)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(lint.render_report(diagnostics, files_checked, args.format))
+    return 1 if diagnostics else 0
+
+
 def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--trace-out",
@@ -380,6 +397,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_cmd.add_argument("--tolerance", type=float, default=0.25)
     bench_cmd.set_defaults(func=cmd_bench)
+
+    lint_cmd = sub.add_parser(
+        "lint",
+        help="run ostrolint, the domain-aware static analysis (OST0xx)",
+    )
+    lint_cmd.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help="files or directories to lint (default: src/repro)",
+    )
+    lint_cmd.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (json is schema-stable; see docs)",
+    )
+    lint_cmd.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the registered rules and exit",
+    )
+    lint_cmd.set_defaults(func=cmd_lint)
     return parser
 
 

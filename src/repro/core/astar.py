@@ -162,7 +162,7 @@ class BAStar(PlacementAlgorithm):
         symmetry_reduction: bool = True,
         max_expansions: Optional[int] = None,
         scratch_scoring: bool = True,
-    ):
+    ) -> None:
         self.greedy_config = greedy_config or GreedyConfig()
         self.symmetry_reduction = symmetry_reduction
         self.scratch_scoring = scratch_scoring

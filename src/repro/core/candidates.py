@@ -25,7 +25,7 @@ disabled (``dedup=False``) for ablation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Callable, List, Optional, Tuple
 
 from repro.core import constraints
 from repro.core.placement import PartialPlacement
@@ -47,7 +47,9 @@ class CandidateTarget:
     multiplicity: int = 1
 
 
-def _distance_signatures(partial: PartialPlacement):
+def _distance_signatures(
+    partial: PartialPlacement,
+) -> Callable[[int], Tuple[int, ...]]:
     """Factory for per-host distance signatures to all placed hosts.
 
     Pulls one cached distance row per distinct placed host from the shared
@@ -60,7 +62,7 @@ def _distance_signatures(partial: PartialPlacement):
         resolver.distance_row(p) for p in sorted(partial.placed_hosts())
     ]
 
-    def signature(host: int) -> tuple:
+    def signature(host: int) -> Tuple[int, ...]:
         return tuple(row[host] for row in rows)
 
     return signature

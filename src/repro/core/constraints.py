@@ -131,7 +131,7 @@ class NodeConstraintContext:
     to its module-level namesake.
     """
 
-    def __init__(self, partial: PartialPlacement, node_name: str):
+    def __init__(self, partial: PartialPlacement, node_name: str) -> None:
         self.partial = partial
         topology = partial.topology
         assignments = partial.assignments

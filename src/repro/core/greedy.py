@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.core.base import PlacementAlgorithm, PlacementResult, SearchStats
@@ -112,7 +112,9 @@ def sort_nodes_by_bandwidth(topology: ApplicationTopology) -> List[str]:
     return topology.sorted_by_bandwidth()
 
 
-def most_free_nic_tie(partial: PartialPlacement):
+def most_free_nic_tie(
+    partial: PartialPlacement,
+) -> Callable[[CandidateTarget], Tuple[float, int]]:
     """Candidate tie-break preferring hosts with the most free NIC bandwidth.
 
     Used by EGBW always, and by EG/EGC as a last-resort restart strategy:
@@ -196,7 +198,7 @@ class EG(PlacementAlgorithm):
 
     name = "eg"
 
-    def __init__(self, config: Optional[GreedyConfig] = None):
+    def __init__(self, config: Optional[GreedyConfig] = None) -> None:
         self.config = config or GreedyConfig()
 
     def _run(
@@ -254,7 +256,11 @@ class EG(PlacementAlgorithm):
         )
 
     @staticmethod
-    def _strategies(weight_order, bw_order, objective):
+    def _strategies(
+        weight_order: List[str],
+        bw_order: List[str],
+        objective: Objective,
+    ) -> List[Tuple]:
         """EG's dead-end restart cascade, cheapest-deviation first.
 
         The paper's sorting comes first; alternative orders, a
@@ -285,7 +291,7 @@ def run_greedy_from(
     estimator: LowerBoundEstimator,
     config: GreedyConfig,
     stats: SearchStats,
-    tie_key=None,
+    tie_key: Optional[Callable[[CandidateTarget], Tuple[float, int]]] = None,
 ) -> None:
     """Greedily place ``remaining`` onto an existing partial placement.
 
@@ -357,7 +363,7 @@ def run_greedy_from(
 def backtracking_place(
     partial: PartialPlacement,
     order: List[str],
-    rank_fn,
+    rank_fn: Callable[[str], List[CandidateTarget]],
     max_backtracks: int,
     stats: SearchStats,
 ) -> None:
@@ -441,7 +447,7 @@ class EGC(PlacementAlgorithm):
 
     name = "egc"
 
-    def __init__(self, dedup: bool = True, max_backtracks: int = 200):
+    def __init__(self, dedup: bool = True, max_backtracks: int = 200) -> None:
         self.dedup = dedup
         self.max_backtracks = max_backtracks
 
@@ -524,7 +530,7 @@ class EGBW(PlacementAlgorithm):
 
     name = "egbw"
 
-    def __init__(self, config: Optional[GreedyConfig] = None):
+    def __init__(self, config: Optional[GreedyConfig] = None) -> None:
         self.config = config or GreedyConfig()
 
     def _run(

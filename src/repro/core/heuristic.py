@@ -33,9 +33,10 @@ behavior of the paper is ``max_nodes=None``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.core.placement import PartialPlacement
+from repro.core.topology import ApplicationTopology, Node
 from repro.datacenter.model import Cloud
 from repro.datacenter.network import PathResolver
 
@@ -72,10 +73,10 @@ class EstimatorConfig:
 class _ImaginaryHost:
     """An optimistically located host invented by the estimator."""
 
-    free_cpu: float
-    free_mem: float
-    free_disk: float
-    free_nic: float
+    free_vcpus: float
+    free_mem_gb: float
+    free_disk_gb: float
+    free_nic_mbps: float
     nodes: List[str]
 
 
@@ -96,7 +97,7 @@ class LowerBoundEstimator:
         cloud: Cloud,
         config: Optional[EstimatorConfig] = None,
         resolver: Optional[PathResolver] = None,
-    ):
+    ) -> None:
         self.cloud = cloud
         self.config = config or EstimatorConfig()
         self.resolver = resolver or PathResolver.for_cloud(cloud)
@@ -270,10 +271,10 @@ class LowerBoundEstimator:
             fresh = ("imag", len(imaginary))
             imaginary.append(
                 _ImaginaryHost(
-                    free_cpu=self._imaginary_cpu,
-                    free_mem=self._imaginary_mem,
-                    free_disk=self._imaginary_disk,
-                    free_nic=self._imaginary_nic,
+                    free_vcpus=self._imaginary_cpu,
+                    free_mem_gb=self._imaginary_mem,
+                    free_disk_gb=self._imaginary_disk,
+                    free_nic_mbps=self._imaginary_nic,
                     nodes=[],
                 )
             )
@@ -301,7 +302,7 @@ class LowerBoundEstimator:
     def _targets(
         real_free: Dict[int, List[float]],
         imaginary: List[_ImaginaryHost],
-    ):
+    ) -> Iterator[Tuple[str, int]]:
         for host in real_free:
             yield ("real", host)
         for i in range(len(imaginary)):
@@ -309,7 +310,7 @@ class LowerBoundEstimator:
 
     def _fits(
         self,
-        node,
+        node: Node,
         key: Tuple[str, int],
         real_free: Dict[int, List[float]],
         imaginary: List[_ImaginaryHost],
@@ -324,12 +325,12 @@ class LowerBoundEstimator:
             return node.size_gb <= free[2]
         imag = imaginary[key[1]]
         if node.is_vm:
-            return vcpus <= imag.free_cpu and node.mem_gb <= imag.free_mem
-        return node.size_gb <= imag.free_disk
+            return vcpus <= imag.free_vcpus and node.mem_gb <= imag.free_mem_gb
+        return node.size_gb <= imag.free_disk_gb
 
     def _consume(
         self,
-        node,
+        node: Node,
         key: Tuple[str, int],
         real_free: Dict[int, List[float]],
         imaginary: List[_ImaginaryHost],
@@ -347,10 +348,10 @@ class LowerBoundEstimator:
             return
         imag = imaginary[key[1]]
         if node.is_vm:
-            imag.free_cpu -= vcpus
-            imag.free_mem -= node.mem_gb
+            imag.free_vcpus -= vcpus
+            imag.free_mem_gb -= node.mem_gb
         else:
-            imag.free_disk -= node.size_gb
+            imag.free_disk_gb -= node.size_gb
 
     @staticmethod
     def _nic_free(
@@ -360,7 +361,7 @@ class LowerBoundEstimator:
     ) -> float:
         if key[0] == "real":
             return real_free[key[1]][3]
-        return imaginary[key[1]].free_nic
+        return imaginary[key[1]].free_nic_mbps
 
     def _nic_ok(
         self,
@@ -395,7 +396,7 @@ class LowerBoundEstimator:
             if key[0] == "real":
                 real_free[key[1]][3] -= amount
             else:
-                imaginary[key[1]].free_nic -= amount
+                imaginary[key[1]].free_nic_mbps -= amount
 
         outbound = 0.0
         for key, bw in bw_to_target.items():
@@ -501,7 +502,7 @@ class LowerBoundEstimator:
         return total
 
     @staticmethod
-    def _forced_distance(topology, a: str, b: str) -> int:
+    def _forced_distance(topology: ApplicationTopology, a: str, b: str) -> int:
         """Minimum separation distance implied by shared diversity zones."""
         forced = 0
         for zone in topology.zones_of(a):

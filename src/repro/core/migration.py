@@ -30,7 +30,7 @@ it against a live state.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro import obs
 from repro.core.placement import Placement
@@ -91,7 +91,7 @@ class _Simulator:
         state: DataCenterState,
         resolver: PathResolver,
         placement: Placement,
-    ):
+    ) -> None:
         self.topology = topology
         self.state = state
         self.resolver = resolver
@@ -100,7 +100,9 @@ class _Simulator:
             for name, a in placement.assignments.items()
         }
 
-    def _flows(self, node: str, host: int):
+    def _flows(
+        self, node: str, host: int
+    ) -> Iterator[Tuple[Tuple[int, ...], float]]:
         for neighbor, bw in self.topology.neighbors(node):
             if bw <= 0:
                 continue

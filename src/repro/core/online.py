@@ -20,12 +20,15 @@ waste scheduler time and needlessly migrate running VMs, so
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Any, List, Optional, Set, Tuple
 
 from repro import obs
 from repro.core.base import PlacementResult
 from repro.core.topology import ApplicationTopology
 from repro.errors import PlacementError
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a circular import
+    from repro.core.scheduler import Ostro
 
 
 @dataclass
@@ -65,11 +68,11 @@ def diff_topologies(
 
 
 def update_application(
-    ostro,
+    ostro: "Ostro",
     new_topology: ApplicationTopology,
     algorithm: str = "dba*",
     max_unpin_rounds: int = 8,
-    **options,
+    **options: Any,
 ) -> UpdateResult:
     """Incrementally re-place a deployed application after a topology update.
 

@@ -84,7 +84,7 @@ class _AppliedNode:
     host: int
     disk: Optional[int]
     flows: List[Tuple[Tuple[int, ...], float]] = field(default_factory=list)
-    added_bw: float = 0.0
+    added_ubw: float = 0.0
     activated: bool = False
     saved: List[Tuple[str, int, float]] = field(default_factory=list)
     prev_ubw: float = 0.0
@@ -108,7 +108,7 @@ class PartialPlacement:
         state: DataCenterState,
         resolver: PathResolver,
         own_state: bool = False,
-    ):
+    ) -> None:
         self.topology = topology
         self.state = state if own_state else state.clone()
         self.resolver = resolver
@@ -201,7 +201,7 @@ class PartialPlacement:
                         record.saved.append(("bw", link, state.free_bw[link]))
                 self.state.reserve_path(path, bw_mbps)
                 record.flows.append((path, bw_mbps))
-                record.added_bw += bw_mbps * len(path)
+                record.added_ubw += bw_mbps * len(path)
         except CapacityError as exc:
             # roll back everything this call reserved, bit-exactly
             for path, bw_mbps in record.flows:
@@ -219,7 +219,7 @@ class PartialPlacement:
             record.activated = True
             self.newly_activated.add(host)
         record.prev_ubw = self.ubw
-        self.ubw += record.added_bw
+        self.ubw += record.added_ubw
         self._seq += 1
         record.seq = self._seq
         self.assignments[node_name] = Assignment(node_name, host, disk)
@@ -277,7 +277,7 @@ class PartialPlacement:
             self._restore_saved(record)
             self.ubw = record.prev_ubw
         else:
-            self.ubw -= record.added_bw
+            self.ubw -= record.added_ubw
         if record.activated:
             self.newly_activated.discard(record.host)
 

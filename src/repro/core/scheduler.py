@@ -16,7 +16,7 @@ plus the aliases "ba"/"astar" and "dba".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from repro import obs
 from repro.core.astar import BAStar
@@ -31,6 +31,10 @@ from repro.datacenter.network import PathResolver
 from repro.datacenter.state import DataCenterState
 from repro.errors import PlacementError, ReproError
 
+if TYPE_CHECKING:  # pragma: no cover - avoids circular imports
+    from repro.core.migration import MigrationPlan
+    from repro.core.online import UpdateResult
+
 #: Canonical algorithm names -> constructor accepting keyword options.
 _ALIASES = {
     "eg": "eg",
@@ -44,7 +48,7 @@ _ALIASES = {
 }
 
 
-def make_algorithm(name: str, **options) -> PlacementAlgorithm:
+def make_algorithm(name: str, **options: Any) -> PlacementAlgorithm:
     """Instantiate a placement algorithm by (case-insensitive) name.
 
     Keyword options are forwarded to the constructor: ``greedy_config`` /
@@ -108,7 +112,7 @@ class Ostro:
         theta_bw: float = 0.6,
         theta_c: float = 0.4,
         greedy_config: Optional[GreedyConfig] = None,
-    ):
+    ) -> None:
         self.cloud = cloud
         self.state = state if state is not None else DataCenterState(cloud)
         self.theta_bw = theta_bw
@@ -127,7 +131,7 @@ class Ostro:
         algorithm: str = "dba*",
         commit: bool = True,
         pinned: Optional[Dict[str, Tuple[int, Optional[int]]]] = None,
-        **options,
+        **options: Any,
     ) -> PlacementResult:
         """Compute (and by default commit) a placement for a topology.
 
@@ -250,7 +254,12 @@ class Ostro:
             rec.inc("ostro_removes_total")
             rec.event("remove", app=app_name)
 
-    def _rollback(self, topology, placement, applied) -> None:
+    def _rollback(
+        self,
+        topology: ApplicationTopology,
+        placement: Placement,
+        applied: List[Tuple[str, Any]],
+    ) -> None:
         for kind, item in reversed(applied):
             if kind == "node":
                 node = topology.node(item)
@@ -280,7 +289,9 @@ class Ostro:
         except KeyError:
             raise PlacementError(f"unknown application: {app_name!r}") from None
 
-    def update(self, new_topology: ApplicationTopology, **kwargs):
+    def update(
+        self, new_topology: ApplicationTopology, **kwargs: Any
+    ) -> "UpdateResult":
         """Online adaptation; see :func:`repro.core.online.update_application`."""
         from repro.core.online import update_application
 
@@ -291,8 +302,8 @@ class Ostro:
         app_name: str,
         algorithm: str = "dba*",
         max_bounces: int = 8,
-        **options,
-    ):
+        **options: Any,
+    ) -> Tuple[PlacementResult, "MigrationPlan"]:
         """Re-place a deployed application from scratch and migrate to it.
 
         The paper's runtime-adaptation scenario (Section I): conditions

@@ -24,7 +24,7 @@ from repro.errors import CapacityError
 class PlacementViolation(AssertionError):
     """A placement failed validation; ``str()`` lists every violation."""
 
-    def __init__(self, violations: List[str]):
+    def __init__(self, violations: List[str]) -> None:
         super().__init__("\n".join(violations))
         self.violations = violations
 

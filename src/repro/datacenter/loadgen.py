@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Sequence, Tuple
 
 from repro.datacenter.state import DataCenterState
 from repro.units import gbps
@@ -32,13 +32,13 @@ class AvailabilityClass:
 
     Attributes:
         cpu_range: inclusive (low, high) free vCPU cores.
-        mem_range: inclusive (low, high) free memory in GB.
-        bw_range: inclusive (low, high) free NIC bandwidth in Mbps.
+        mem_range_gb: inclusive (low, high) free memory in GB.
+        bw_range_mbps: inclusive (low, high) free NIC bandwidth in Mbps.
     """
 
-    cpu_range: tuple
-    mem_range: tuple
-    bw_range: tuple
+    cpu_range: Tuple[float, float]
+    mem_range_gb: Tuple[float, float]
+    bw_range_mbps: Tuple[float, float]
 
 
 #: Table IV of the paper: free-capacity classes for the simulated data
@@ -59,8 +59,8 @@ def _apply_class(
 ) -> None:
     host_obj = state.cloud.hosts[host]
     free_cpu = rng.uniform(*cls.cpu_range)
-    free_mem = rng.uniform(*cls.mem_range)
-    free_bw = rng.uniform(*cls.bw_range)
+    free_mem = rng.uniform(*cls.mem_range_gb)
+    free_bw = rng.uniform(*cls.bw_range_mbps)
     used_cpu = max(0.0, host_obj.cpu_cores - free_cpu)
     used_mem = max(0.0, host_obj.mem_gb - free_mem)
     used_bw = max(0.0, host_obj.nic_bw_mbps - free_bw)
@@ -132,9 +132,9 @@ def apply_testbed_load(state: DataCenterState, seed: int = 0) -> None:
 def apply_random_load(
     state: DataCenterState,
     fraction_hosts: float = 0.5,
-    cpu_utilization: tuple = (0.2, 0.8),
-    mem_utilization: tuple = (0.2, 0.8),
-    bw_utilization: tuple = (0.0, 0.5),
+    cpu_utilization_frac: Tuple[float, float] = (0.2, 0.8),
+    mem_utilization_frac: Tuple[float, float] = (0.2, 0.8),
+    bw_utilization_frac: Tuple[float, float] = (0.0, 0.5),
     seed: int = 0,
 ) -> List[int]:
     """Install random background load on a fraction of hosts.
@@ -151,8 +151,8 @@ def apply_random_load(
         host_obj = state.cloud.hosts[host]
         state.consume_background(
             host,
-            vcpus=host_obj.cpu_cores * rng.uniform(*cpu_utilization),
-            mem_gb=host_obj.mem_gb * rng.uniform(*mem_utilization),
-            nic_mbps=host_obj.nic_bw_mbps * rng.uniform(*bw_utilization),
+            vcpus=host_obj.cpu_cores * rng.uniform(*cpu_utilization_frac),
+            mem_gb=host_obj.mem_gb * rng.uniform(*mem_utilization_frac),
+            nic_mbps=host_obj.nic_bw_mbps * rng.uniform(*bw_utilization_frac),
         )
     return loaded

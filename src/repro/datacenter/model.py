@@ -183,7 +183,7 @@ class Cloud:
     indices; names are for humans and templates.
     """
 
-    def __init__(self, datacenters: Sequence[DataCenter]):
+    def __init__(self, datacenters: Sequence[DataCenter]) -> None:
         if not datacenters:
             raise DataCenterError("a cloud must contain at least one data center")
         self.datacenters: List[DataCenter] = list(datacenters)

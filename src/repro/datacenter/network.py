@@ -36,7 +36,7 @@ class PathResolver:
     #: caches with it
     _shared: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
 
-    def __init__(self, cloud: Cloud):
+    def __init__(self, cloud: Cloud) -> None:
         self.cloud = cloud
         self._paths: Dict[Tuple[int, int], Tuple[int, ...]] = {}
         self._distances: Dict[Tuple[int, int], int] = {}

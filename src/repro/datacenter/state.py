@@ -19,9 +19,12 @@ unchanged.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Iterable, List, Sequence, Tuple
 
 from repro.datacenter.model import Cloud
+
+if TYPE_CHECKING:  # pragma: no cover - layering: core imports datacenter
+    from repro.core.topology import VM
 from repro.datacenter.resources import EPSILON
 from repro.errors import CapacityError
 
@@ -33,7 +36,9 @@ class DataCenterState:
         cloud: the static structure this state tracks.
     """
 
-    def __init__(self, cloud: Cloud, best_effort_cpu_factor: float = 0.5):
+    def __init__(
+        self, cloud: Cloud, best_effort_cpu_factor: float = 0.5
+    ) -> None:
         self.cloud = cloud
         self.free_cpu: List[float] = [h.cpu_cores for h in cloud.hosts]
         self.free_mem: List[float] = [h.mem_gb for h in cloud.hosts]
@@ -60,7 +65,7 @@ class DataCenterState:
         copy.best_effort_cpu_factor = self.best_effort_cpu_factor
         return copy
 
-    def reserved_vcpus(self, node) -> float:
+    def reserved_vcpus(self, node: "VM") -> float:
         """vCPUs a VM node reserves under its CPU policy."""
         return node.effective_vcpus(self.best_effort_cpu_factor)
 

@@ -1,0 +1,52 @@
+"""ostrolint: domain-aware static analysis for the Ostro reproduction.
+
+Enforces the invariants the scheduler's correctness rests on --
+determinism (OST001/OST002), cache discipline (OST003), mutation
+confinement (OST004/OST005), library hygiene (OST006), and units
+discipline (OST007) -- as AST checks with stable codes, inline
+suppressions, and schema-stable JSON output. Run it as
+``repro lint [paths]``; see docs/STATIC_ANALYSIS.md for the rule
+catalogue.
+"""
+
+from repro.lint.diagnostics import (
+    JSON_SCHEMA_VERSION,
+    Diagnostic,
+    render_json,
+    render_report,
+    render_text,
+)
+from repro.lint.engine import (
+    DEFAULT_EXCLUDED_DIRS,
+    FileContext,
+    lint_file,
+    lint_paths,
+    lint_source,
+    module_from_path,
+)
+from repro.lint.registry import (
+    Rule,
+    all_rules,
+    known_codes,
+    register,
+    rule_for_code,
+)
+
+__all__ = [
+    "JSON_SCHEMA_VERSION",
+    "Diagnostic",
+    "render_json",
+    "render_report",
+    "render_text",
+    "DEFAULT_EXCLUDED_DIRS",
+    "FileContext",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "module_from_path",
+    "Rule",
+    "all_rules",
+    "known_codes",
+    "register",
+    "rule_for_code",
+]

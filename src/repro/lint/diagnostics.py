@@ -1,0 +1,113 @@
+"""Diagnostics: what a lint rule reports and how it is rendered.
+
+A :class:`Diagnostic` pins one finding to a file, line, and column, under a
+stable rule code (``OST0xx``). Codes are part of the public contract: they
+appear in suppression comments (``# ostrolint: disable=OST006``), in the
+JSON output consumed by CI tooling, and in docs/STATIC_ANALYSIS.md -- once
+published, a code is never reused for a different rule.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+#: Version of the ``--format json`` schema. Bumped only on incompatible
+#: changes to the payload layout; additive fields keep the version.
+JSON_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of one rule at one source location.
+
+    Attributes:
+        path: file the finding is in (as given to the engine).
+        line: 1-based line number.
+        col: 1-based column number.
+        code: stable rule code, e.g. ``"OST006"``.
+        rule: human-readable rule slug, e.g. ``"no-print"``.
+        message: what is wrong and what to do instead.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    rule: str
+    message: str
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        """Deterministic ordering: path, then position, then code."""
+        return (self.path, self.line, self.col, self.code)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation (keys are part of the schema)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        """The human-readable one-line form."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.code} {self.message} [{self.rule}]"
+        )
+
+
+def render_text(diagnostics: Sequence[Diagnostic], files_checked: int) -> str:
+    """Human-readable report: one line per finding plus a summary line."""
+    ordered = sorted(diagnostics, key=Diagnostic.sort_key)
+    lines = [d.render() for d in ordered]
+    noun = "file" if files_checked == 1 else "files"
+    if ordered:
+        lines.append(
+            f"found {len(ordered)} problem(s) in {files_checked} {noun}"
+        )
+    else:
+        lines.append(f"checked {files_checked} {noun}: no problems found")
+    return "\n".join(lines)
+
+
+def render_json(diagnostics: Sequence[Diagnostic], files_checked: int) -> str:
+    """Schema-stable JSON report (``--format json``).
+
+    The payload shape is::
+
+        {"version": 1,
+         "files_checked": <int>,
+         "counts": {"OST0xx": <int>, ...},
+         "diagnostics": [{"path", "line", "col", "code", "rule",
+                          "message"}, ...]}
+
+    Diagnostics are sorted by (path, line, col, code) and keys are emitted
+    in sorted order, so the output is byte-stable for a given tree.
+    """
+    ordered = sorted(diagnostics, key=Diagnostic.sort_key)
+    counts: Dict[str, int] = {}
+    for diag in ordered:
+        counts[diag.code] = counts.get(diag.code, 0) + 1
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "files_checked": files_checked,
+        "counts": counts,
+        "diagnostics": [d.to_dict() for d in ordered],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_report(
+    diagnostics: List[Diagnostic], files_checked: int, fmt: str = "text"
+) -> str:
+    """Render a report in the requested format (``"text"`` or ``"json"``)."""
+    if fmt == "json":
+        return render_json(diagnostics, files_checked)
+    if fmt == "text":
+        return render_text(diagnostics, files_checked)
+    raise ValueError(f"unknown lint output format: {fmt!r}")

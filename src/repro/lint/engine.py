@@ -1,0 +1,246 @@
+"""The ostrolint engine: file discovery, parsing, suppressions, dispatch.
+
+The engine walks the requested paths (skipping non-source trees such as
+``__pycache__``, VCS metadata, build artifacts, and virtualenvs), parses
+each Python file once, derives its dotted module path (so rules can scope
+themselves to ``repro.core`` / ``repro.datacenter``), collects inline
+suppression comments, and runs every registered rule over the AST.
+
+Suppressions
+------------
+
+A finding is suppressed by a comment on the same line::
+
+    t0 = time.perf_counter()  # ostrolint: disable=OST002
+
+Several codes may be listed (``disable=OST002,OST006``); a bare
+``# ostrolint: disable`` suppresses every rule on that line. Suppression
+comments are themselves grep-able, so the self-check test can assert that
+``repro.core`` carries none.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.registry import all_rules
+
+#: Directory names never descended into (non-source trees).
+DEFAULT_EXCLUDED_DIRS = frozenset(
+    {
+        "__pycache__",
+        ".git",
+        ".hg",
+        ".svn",
+        ".mypy_cache",
+        ".pytest_cache",
+        ".ruff_cache",
+        ".tox",
+        ".venv",
+        "venv",
+        ".eggs",
+        "build",
+        "dist",
+        "node_modules",
+    }
+)
+
+#: Suppression-comment grammar: ``# ostrolint: disable[=CODE[,CODE...]]``.
+_SUPPRESS_RE = re.compile(
+    r"#\s*ostrolint:\s*disable(?:=(?P<codes>[A-Z0-9,\s]+))?"
+)
+
+#: Marker meaning "every code is suppressed on this line".
+_ALL_CODES = frozenset({"*"})
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to know about one parsed file.
+
+    Attributes:
+        path: the file path as reported in diagnostics.
+        module: dotted module path (``"repro.core.greedy"``) when the file
+            lies inside a ``repro`` package tree, else None. Rules use it
+            to scope themselves; fixture tests inject synthetic values.
+        source: full source text.
+        tree: the parsed :mod:`ast` module node.
+        suppressions: line number -> codes suppressed on that line
+            (the ``"*"`` member means all codes).
+    """
+
+    path: str
+    module: Optional[str]
+    source: str
+    tree: ast.AST
+    suppressions: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+
+    def in_package(self, *packages: str) -> bool:
+        """True when this file's module lies in one of the dotted packages."""
+        if self.module is None:
+            return False
+        for package in packages:
+            if self.module == package or self.module.startswith(package + "."):
+                return True
+        return False
+
+    def is_suppressed(self, diagnostic: Diagnostic) -> bool:
+        """True when an inline comment disables this finding's code."""
+        codes = self.suppressions.get(diagnostic.line)
+        if codes is None:
+            return False
+        return "*" in codes or diagnostic.code in codes
+
+
+def module_from_path(path: Path) -> Optional[str]:
+    """Infer the dotted module path of a file inside a ``repro`` tree.
+
+    Walks the path components for the *last* ``repro`` directory (the
+    package root under ``src/``) and joins everything from there:
+    ``src/repro/core/greedy.py`` -> ``repro.core.greedy``;
+    ``__init__.py`` maps to its package. Returns None for files outside
+    any ``repro`` tree (rules scoped by module then skip the file).
+    """
+    parts = list(path.parts)
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    try:
+        anchor = len(parts) - 1 - parts[::-1].index("repro")
+    except ValueError:
+        return None
+    dotted = parts[anchor:]
+    if dotted and dotted[-1] == "__init__":
+        dotted = dotted[:-1]
+    return ".".join(dotted) if dotted else None
+
+
+def parse_suppressions(source: str) -> Dict[int, FrozenSet[str]]:
+    """Collect ``# ostrolint: disable`` comments, by line number.
+
+    Uses the tokenizer, so the directive is only honored in real comments
+    -- a string literal containing the text does not suppress anything.
+    """
+    suppressions: Dict[int, FrozenSet[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(token.string)
+            if match is None:
+                continue
+            raw = match.group("codes")
+            if raw is None:
+                codes = _ALL_CODES
+            else:
+                codes = frozenset(
+                    code.strip() for code in raw.split(",") if code.strip()
+                )
+            line = token.start[0]
+            previous = suppressions.get(line, frozenset())
+            suppressions[line] = previous | codes
+    except tokenize.TokenError:
+        # Unterminated constructs and the like: the ast parse will produce
+        # the real error; suppressions just stay empty.
+        pass
+    return suppressions
+
+
+def iter_source_files(paths: Iterable[str]) -> Iterator[Path]:
+    """Yield every Python file under the given paths, excluded trees
+    skipped, in sorted order for deterministic reports.
+
+    Raises:
+        FileNotFoundError: when a requested path does not exist.
+    """
+    seen = set()
+    for raw in paths:
+        path = Path(raw)
+        if not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+        if path.is_file():
+            if path not in seen:
+                seen.add(path)
+                yield path
+            continue
+        for candidate in sorted(path.rglob("*.py")):
+            relative = candidate.relative_to(path)
+            if any(
+                part in DEFAULT_EXCLUDED_DIRS or part.endswith(".egg-info")
+                for part in relative.parts[:-1]
+            ):
+                continue
+            if candidate not in seen:
+                seen.add(candidate)
+                yield candidate
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    module: Optional[str] = None,
+) -> List[Diagnostic]:
+    """Lint one in-memory source string (the fixture-test entry point).
+
+    Args:
+        source: Python source text.
+        path: path stamped into diagnostics.
+        module: dotted module override; inferred from ``path`` when None.
+    """
+    if module is None:
+        module = module_from_path(Path(path))
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Diagnostic(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1),
+                code="OST000",
+                rule="syntax-error",
+                message=f"cannot parse file: {exc.msg}",
+            )
+        ]
+    ctx = FileContext(
+        path=path,
+        module=module,
+        source=source,
+        tree=tree,
+        suppressions=parse_suppressions(source),
+    )
+    findings: List[Diagnostic] = []
+    for rule in all_rules():
+        for diagnostic in rule.check(ctx):
+            if not ctx.is_suppressed(diagnostic):
+                findings.append(diagnostic)
+    findings.sort(key=Diagnostic.sort_key)
+    return findings
+
+
+def lint_file(path: Path) -> List[Diagnostic]:
+    """Lint one file on disk."""
+    source = path.read_text(encoding="utf-8")
+    return lint_source(source, path=str(path))
+
+
+def lint_paths(paths: Iterable[str]) -> Tuple[List[Diagnostic], int]:
+    """Lint files and directories; returns (diagnostics, files checked).
+
+    Directories are walked recursively with the default non-source
+    excludes; explicit file arguments are always linted.
+    """
+    findings: List[Diagnostic] = []
+    files_checked = 0
+    for file_path in iter_source_files(paths):
+        files_checked += 1
+        findings.extend(lint_file(file_path))
+    findings.sort(key=Diagnostic.sort_key)
+    return findings, files_checked

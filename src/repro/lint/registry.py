@@ -1,0 +1,97 @@
+"""Rule registry: stable codes, one instance per rule, ordered reporting.
+
+Rules self-register at import time via :func:`register`; the engine asks
+:func:`all_rules` for the active set. Codes follow ``OST0xx`` and are
+unique -- duplicate registration is a programming error and raises
+immediately, so a typo cannot silently shadow an existing rule.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterable, List, Type
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.lint.engine import FileContext
+
+from repro.lint.diagnostics import Diagnostic
+
+
+class Rule:
+    """Base class for ostrolint rules.
+
+    Subclasses define the class attributes below and implement
+    :meth:`check`, yielding a :class:`Diagnostic` per finding. A rule is
+    instantiated once and reused across files, so it must not keep
+    per-file state on ``self``.
+    """
+
+    #: stable code, e.g. "OST006"; never reused once published
+    code: str = ""
+    #: short slug used in the human output, e.g. "no-print"
+    name: str = ""
+    #: one-line description for ``repro lint --list-rules`` and the docs
+    summary: str = ""
+
+    def check(self, ctx: "FileContext") -> Iterable[Diagnostic]:
+        """Yield diagnostics for one parsed file."""
+        raise NotImplementedError
+
+    def diagnostic(
+        self, ctx: "FileContext", line: int, col: int, message: str
+    ) -> Diagnostic:
+        """Convenience constructor stamping this rule's code and name."""
+        return Diagnostic(
+            path=ctx.path,
+            line=line,
+            col=col,
+            code=self.code,
+            rule=self.name,
+            message=message,
+        )
+
+
+_RULES: Dict[str, Rule] = {}
+
+
+def register(rule_class: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule (by its stable code) to the registry."""
+    rule = rule_class()
+    if not rule.code or not rule.name:
+        raise ValueError(
+            f"rule {rule_class.__name__} must define 'code' and 'name'"
+        )
+    if rule.code in _RULES:
+        raise ValueError(
+            f"duplicate rule code {rule.code}: "
+            f"{type(_RULES[rule.code]).__name__} vs {rule_class.__name__}"
+        )
+    _RULES[rule.code] = rule
+    return rule_class
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, in stable code order."""
+    _load_builtin_rules()
+    return [_RULES[code] for code in sorted(_RULES)]
+
+
+def rule_for_code(code: str) -> Rule:
+    """Look up one rule by its code; raises KeyError when unknown."""
+    _load_builtin_rules()
+    return _RULES[code]
+
+
+def known_codes() -> List[str]:
+    """All registered rule codes, sorted."""
+    _load_builtin_rules()
+    return sorted(_RULES)
+
+
+def _load_builtin_rules() -> None:
+    """Import the built-in rule modules (registration side effect).
+
+    Deferred to first use to avoid an import cycle between the registry,
+    the engine, and the rule modules; repeated calls are cheap no-ops
+    because the module import is cached.
+    """
+    import repro.lint.rules  # noqa: F401  (imports register the rules)

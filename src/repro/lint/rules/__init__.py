@@ -1,0 +1,16 @@
+"""Built-in ostrolint rules.
+
+Importing this package registers every rule with the registry; the
+registry defers the import until the first ``all_rules()`` call to
+avoid an import cycle with the engine.
+"""
+
+from repro.lint.rules import (  # noqa: F401  (imports register the rules)
+    caches,
+    confinement,
+    determinism,
+    hygiene,
+    units,
+)
+
+__all__ = ["caches", "confinement", "determinism", "hygiene", "units"]

@@ -1,0 +1,153 @@
+"""Cache-discipline rule: OST003.
+
+PR 2 added derived caches to ``ApplicationTopology``
+(``requirement_vector``, ``bandwidth_of``, ``zones_of``, the sorted node
+orders). They are only correct because every mutator of the backing
+state calls ``_invalidate_caches()``. A new mutator that forgets the
+hook produces placements computed from stale requirement vectors -- a
+silent correctness bug the admissibility tests will not always catch.
+
+The rule is structural, not name-based: in any class that defines an
+``_invalidate_caches`` method, the attributes assigned *inside* the hook
+are the cache slots; every other method that writes a different
+``self.*`` attribute (assignment, augmented assignment, deletion,
+subscript store, or an in-place mutator call) must invoke the hook
+somewhere in its body. ``__init__`` is exempt (nothing is cached before
+construction finishes), and writes through other receivers (for example
+``duplicate._nodes`` inside ``copy()``) are ignored.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterable, Iterator, List, Set, Tuple
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.registry import Rule, register
+from repro.lint.rules.common import MUTATOR_METHODS, assignment_targets
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.lint.engine import FileContext
+
+#: Name of the invalidation hook the rule keys on.
+INVALIDATION_HOOK = "_invalidate_caches"
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _first_param(func: ast.AST) -> "str | None":
+    """Receiver parameter name of a method, or None for staticmethods."""
+    for decorator in func.decorator_list:
+        if isinstance(decorator, ast.Name) and decorator.id == "staticmethod":
+            return None
+    params = func.args.posonlyargs + func.args.args
+    if not params:
+        return None
+    return params[0].arg
+
+
+def _self_attribute(node: ast.AST, receiver: str) -> "str | None":
+    """``self.X`` attribute name when node is exactly that, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == receiver
+    ):
+        return node.attr
+    return None
+
+
+def _written_attributes(
+    body: Iterable[ast.stmt], receiver: str
+) -> Iterator[Tuple[ast.AST, str]]:
+    """Yield ``(node, attr)`` for every write to ``receiver.attr``.
+
+    Covers plain/augmented/annotated assignment, deletion, subscript
+    stores (``self.X[k] = v``) and in-place mutator calls
+    (``self.X.append(v)``).
+    """
+    for stmt in body:
+        for node in ast.walk(stmt):
+            for target in assignment_targets(node):
+                if isinstance(target, ast.Subscript):
+                    target = target.value
+                attr = _self_attribute(target, receiver)
+                if attr is not None:
+                    yield node, attr
+            if isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                if node.func.attr in MUTATOR_METHODS:
+                    attr = _self_attribute(node.func.value, receiver)
+                    if attr is not None:
+                        yield node, attr
+
+
+def _calls_hook(body: Iterable[ast.stmt], receiver: str) -> bool:
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == INVALIDATION_HOOK
+                and _self_attribute(node.func, receiver) is not None
+            ):
+                return True
+    return False
+
+
+@register
+class CacheInvalidationRule(Rule):
+    """OST003: mutators of cached-backing state must invalidate caches."""
+
+    code = "OST003"
+    name = "cache-invalidation"
+    summary = (
+        "in classes with an _invalidate_caches hook, any method writing "
+        "non-cache instance state must call the hook"
+    )
+
+    def check(self, ctx: "FileContext") -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(ctx, node)
+
+    def _check_class(
+        self, ctx: "FileContext", cls: ast.ClassDef
+    ) -> Iterator[Diagnostic]:
+        methods: List[ast.AST] = [
+            stmt for stmt in cls.body if isinstance(stmt, _FUNCTION_NODES)
+        ]
+        hook = next(
+            (m for m in methods if m.name == INVALIDATION_HOOK), None
+        )
+        if hook is None:
+            return
+        hook_receiver = _first_param(hook) or "self"
+        cache_attrs: Set[str] = {
+            attr for _, attr in _written_attributes(hook.body, hook_receiver)
+        }
+        for method in methods:
+            if method.name in ("__init__", INVALIDATION_HOOK):
+                continue
+            receiver = _first_param(method)
+            if receiver is None:
+                continue
+            backing_writes = [
+                (node, attr)
+                for node, attr in _written_attributes(method.body, receiver)
+                if attr not in cache_attrs and attr != INVALIDATION_HOOK
+            ]
+            if not backing_writes:
+                continue
+            if _calls_hook(method.body, receiver):
+                continue
+            node, attr = backing_writes[0]
+            yield self.diagnostic(
+                ctx,
+                node.lineno,
+                node.col_offset + 1,
+                f"{cls.name}.{method.name} writes {receiver}.{attr} (backing "
+                f"state) without calling {receiver}.{INVALIDATION_HOOK}(); "
+                "derived caches would go stale",
+            )

@@ -1,0 +1,137 @@
+"""Shared AST helpers for ostrolint rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+#: Method names that mutate their receiver in place. Used by the cache
+#: and confinement rules to catch ``obj.attr.append(...)``-style writes.
+MUTATOR_METHODS = frozenset(
+    {
+        "add",
+        "append",
+        "clear",
+        "discard",
+        "extend",
+        "insert",
+        "pop",
+        "popitem",
+        "remove",
+        "reverse",
+        "setdefault",
+        "sort",
+        "update",
+        # domain mutators on PartialPlacement / DataCenterState / topology
+        "assign",
+        "unassign",
+        "place_vm",
+        "reserve_path",
+        "release_path",
+        "apply",
+        "restore",
+        "add_vm",
+        "add_volume",
+        "connect",
+        "add_zone",
+        "remove_node",
+        "_invalidate_caches",
+    }
+)
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+
+
+def walk_scoped(tree: ast.AST) -> Iterator[Tuple[ast.AST, Tuple[str, ...]]]:
+    """Yield ``(node, scope)`` pairs, depth-first.
+
+    ``scope`` is the tuple of enclosing class/function names -- empty at
+    module level. A def/class node itself carries its *enclosing* scope;
+    its body carries the extended one. ``".".join(scope)`` is the
+    qualname used by the timing allowlist (``"BAStar._run"``).
+    """
+    stack: List[str] = []
+
+    def visit(node: ast.AST) -> Iterator[Tuple[ast.AST, Tuple[str, ...]]]:
+        yield node, tuple(stack)
+        is_scope = isinstance(node, _SCOPE_NODES)
+        if is_scope:
+            stack.append(node.name)
+        for child in ast.iter_child_nodes(node):
+            yield from visit(child)
+        if is_scope:
+            stack.pop()
+
+    return visit(tree)
+
+
+def root_name(node: ast.AST) -> Optional[str]:
+    """The base ``Name`` id of an attribute/subscript chain, else None.
+
+    ``partial.assigned[vm].path`` -> ``"partial"``.
+    """
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def annotation_names(annotation: Optional[ast.AST]) -> Set[str]:
+    """All ``Name``/``Attribute`` identifiers appearing in an annotation.
+
+    ``Optional[List[Disk]]`` -> ``{"Optional", "List", "Disk"}``. String
+    (forward-reference) annotations contribute the literal text as one
+    entry so type-name matching still works.
+    """
+    if annotation is None:
+        return set()
+    names: Set[str] = set()
+    for node in ast.walk(annotation):
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.add(node.attr)
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            names.add(node.value)
+    return names
+
+
+def all_arguments(func: ast.AST) -> List[ast.arg]:
+    """Every parameter of a function def, in declaration order."""
+    args = func.args
+    params = list(args.posonlyargs) + list(args.args)
+    if args.vararg is not None:
+        params.append(args.vararg)
+    params.extend(args.kwonlyargs)
+    if args.kwarg is not None:
+        params.append(args.kwarg)
+    return params
+
+
+def assignment_targets(node: ast.AST) -> List[ast.AST]:
+    """Store-context target expressions of an assignment-like statement.
+
+    Tuple/list destructuring is flattened, so ``a.x, b.y = ...`` yields
+    both attribute targets.
+    """
+    if isinstance(node, ast.Assign):
+        raw = list(node.targets)
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        raw = [node.target]
+    elif isinstance(node, ast.Delete):
+        raw = list(node.targets)
+    elif isinstance(node, (ast.For, ast.AsyncFor)):
+        raw = [node.target]
+    else:
+        return []
+    flat: List[ast.AST] = []
+    while raw:
+        target = raw.pop()
+        if isinstance(target, (ast.Tuple, ast.List)):
+            raw.extend(target.elts)
+        elif isinstance(target, ast.Starred):
+            raw.append(target.value)
+        else:
+            flat.append(target)
+    return flat

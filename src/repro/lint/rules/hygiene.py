@@ -1,0 +1,59 @@
+"""Library-hygiene rule: OST006 no ``print()`` in library code.
+
+Library modules report through ``repro.obs`` (structured events and
+metrics) so experiment runs stay machine-parseable and quiet by default.
+``print`` is reserved for the user-facing surfaces: the CLI, the
+simulation report writer, and the examples (which live outside the
+package and are not linted as library code).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.registry import Rule, register
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.lint.engine import FileContext
+
+#: User-facing modules where print() is the point.
+PRINT_EXEMPT_MODULES = frozenset(
+    {
+        "repro.cli",
+        "repro.__main__",
+        "repro.sim.reporting",
+    }
+)
+
+
+@register
+class NoPrintRule(Rule):
+    """OST006: library modules must not call ``print()``."""
+
+    code = "OST006"
+    name = "no-print"
+    summary = (
+        "library code must use repro.obs instead of print(); only the "
+        "CLI and sim reporting are exempt"
+    )
+
+    def check(self, ctx: "FileContext") -> Iterator[Diagnostic]:
+        if not ctx.in_package("repro"):
+            return
+        if ctx.module in PRINT_EXEMPT_MODULES:
+            return
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                yield self.diagnostic(
+                    ctx,
+                    node.lineno,
+                    node.col_offset + 1,
+                    "print() in library code; emit a repro.obs event or "
+                    "metric instead (CLI and sim reporting are exempt)",
+                )

@@ -1,0 +1,178 @@
+"""Units-discipline rule: OST007.
+
+The model stores bandwidth in Mbps and storage in GB (``repro.units``),
+but nothing in Python stops a caller from handing Gbps to a Mbps slot --
+exactly the class of bug that corrupts the paper's u_bw accounting while
+every test still passes. The rule enforces the naming convention that
+makes such bugs visible in review: an identifier for a bandwidth,
+memory, storage, or duration *quantity* must carry a unit suffix
+(``nic_bw_mbps``, ``capacity_gb``, ``deadline_s``) consistent with
+``units.py``.
+
+Scope is deliberately narrow to stay near-zero-noise: only function
+parameters and class-body field annotations in ``repro.core`` /
+``repro.datacenter``; only identifiers whose underscore-split tokens
+include a quantity word; skipped entirely when the annotation marks the
+value as a non-quantity (``bool``/``int``/``str`` flags and counters, or
+a domain type such as ``Disk``). The paper's dimensionless symbols
+(theta_bw, u_bw-hat and friends) are exempt by name.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator, Optional, Tuple
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.registry import Rule, register
+from repro.lint.rules.common import all_arguments, annotation_names
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.lint.engine import FileContext
+
+#: Packages where the units convention is enforced.
+UNIT_SCOPED_PACKAGES: Tuple[str, ...] = ("repro.core", "repro.datacenter")
+
+#: Underscore-split tokens that mark an identifier as a physical quantity.
+QUANTITY_TOKENS = frozenset(
+    {
+        "bw",
+        "bandwidth",
+        "mem",
+        "memory",
+        "storage",
+        "deadline",
+        "timeout",
+        "duration",
+        "lifetime",
+        "interarrival",
+        "elapsed",
+        "runtime",
+    }
+)
+
+#: Tokens that satisfy the convention (units from repro.units, plus the
+#: dimensionless forms used for normalized utilisation).
+UNIT_TOKENS = frozenset(
+    {
+        "mbps",
+        "gbps",
+        "kbps",
+        "bps",
+        "gb",
+        "mb",
+        "kb",
+        "tb",
+        "gib",
+        "mib",
+        "tib",
+        "bytes",
+        "s",
+        "ms",
+        "us",
+        "ns",
+        "sec",
+        "secs",
+        "seconds",
+        "minutes",
+        "hours",
+        "frac",
+        "fraction",
+        "ratio",
+        "pct",
+        "percent",
+        "units",
+        "norm",
+        "normalized",
+    }
+)
+
+#: Paper symbols kept verbatim (Objective weights and normalizers).
+EXEMPT_NAMES = frozenset(
+    {
+        "theta_bw",
+        "theta_c",
+        "ubw",
+        "uc",
+        "ubw_hat",
+        "uc_hat",
+        "ubw_bar",
+        "uc_bar",
+    }
+)
+
+#: Annotation identifiers that mark the value as not-a-quantity.
+NON_QUANTITY_ANNOTATIONS = frozenset({"int", "bool", "str", "bytes", "object"})
+
+
+def _needs_unit_suffix(name: str) -> bool:
+    if name in EXEMPT_NAMES:
+        return False
+    tokens = [token for token in name.lower().split("_") if token]
+    if not any(token in QUANTITY_TOKENS for token in tokens):
+        return False
+    return not any(token in UNIT_TOKENS for token in tokens)
+
+
+def _annotation_exempts(annotation: Optional[ast.AST]) -> bool:
+    """True when the annotation marks a non-quantity value.
+
+    Plain ``float`` (or a missing annotation) is the quantity case the
+    rule targets; ``bool``/``int``/``str`` flags and any capitalised
+    domain type (``Disk``, ``Optional[...]`` wrappers included) are not
+    raw magnitudes, so they are exempt.
+    """
+    if annotation is None:
+        return False
+    names = annotation_names(annotation)
+    if not names:
+        return False
+    return bool(names & NON_QUANTITY_ANNOTATIONS) or any(
+        name[:1].isupper() for name in names
+    )
+
+
+@register
+class UnitSuffixRule(Rule):
+    """OST007: quantity identifiers must carry a unit suffix."""
+
+    code = "OST007"
+    name = "unit-suffix"
+    summary = (
+        "bandwidth/memory/storage/duration identifiers in core and "
+        "datacenter must carry a unit suffix (_mbps, _gb, _s, ...)"
+    )
+
+    def check(self, ctx: "FileContext") -> Iterator[Diagnostic]:
+        if not ctx.in_package(*UNIT_SCOPED_PACKAGES):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for arg in all_arguments(node):
+                    if _annotation_exempts(arg.annotation):
+                        continue
+                    if _needs_unit_suffix(arg.arg):
+                        yield self._finding(ctx, arg, arg.arg, "parameter")
+            elif isinstance(node, ast.ClassDef):
+                for stmt in node.body:
+                    if not isinstance(stmt, ast.AnnAssign):
+                        continue
+                    if not isinstance(stmt.target, ast.Name):
+                        continue
+                    if _annotation_exempts(stmt.annotation):
+                        continue
+                    if _needs_unit_suffix(stmt.target.id):
+                        yield self._finding(
+                            ctx, stmt, stmt.target.id, "field"
+                        )
+
+    def _finding(
+        self, ctx: "FileContext", node: ast.AST, name: str, kind: str
+    ) -> Diagnostic:
+        return self.diagnostic(
+            ctx,
+            node.lineno,
+            node.col_offset + 1,
+            f"{kind} '{name}' names a physical quantity without a unit "
+            "suffix; use the units.py conventions (_mbps, _gb, _s, ...)",
+        )

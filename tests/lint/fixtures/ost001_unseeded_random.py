@@ -1,0 +1,16 @@
+# ostrolint-fixture module: repro.core.fixture_ost001
+"""OST001 fixture: module-level random use in deterministic code."""
+import random
+from random import Random
+from random import shuffle  # expect: OST001
+
+
+def jitter() -> float:
+    return random.random()  # expect: OST001
+
+
+def seeded(seed: int) -> float:
+    rng = random.Random(seed)
+    rng2 = Random(seed)
+    shuffle([])
+    return rng.random() + rng2.random()

@@ -1,0 +1,15 @@
+# ostrolint-fixture module: repro.core.astar
+"""OST002 allowlist fixture: only ``BAStar._run`` may read the clock."""
+import time
+
+
+class BAStar:
+    def _run(self) -> float:
+        def probe() -> float:
+            # nested scope inside an allowed qualname: still allowed
+            return time.perf_counter()
+
+        return probe() + time.monotonic()
+
+    def _helper(self) -> float:
+        return time.monotonic()  # expect: OST002

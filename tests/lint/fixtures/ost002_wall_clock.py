@@ -1,0 +1,16 @@
+# ostrolint-fixture module: repro.core.fixture_ost002
+"""OST002 fixture: wall-clock reads outside the timing allowlist."""
+import time
+from datetime import datetime
+
+
+def stamp() -> float:
+    return time.perf_counter()  # expect: OST002
+
+
+def label() -> str:
+    return datetime.now().isoformat()  # expect: OST002
+
+
+def threaded_in(elapsed_s: float) -> float:
+    return elapsed_s

@@ -1,0 +1,39 @@
+# ostrolint-fixture module: repro.core.fixture_ost003
+"""OST003 fixture: mutators must call ``_invalidate_caches()``."""
+from typing import List, Optional
+
+
+class Topology:
+    def __init__(self) -> None:
+        self._names: List[str] = []
+        self._order_cache: Optional[List[str]] = None
+
+    def _invalidate_caches(self) -> None:
+        self._order_cache = None
+
+    def add_name(self, name: str) -> None:
+        self._names.append(name)  # expect: OST003
+
+    def rename(self, old: str, new: str) -> None:
+        self._names = [new if n == old else n for n in self._names]
+        self._invalidate_caches()
+
+    def copy(self) -> "Topology":
+        duplicate = Topology()
+        duplicate._names = list(self._names)
+        return duplicate
+
+    def order(self) -> List[str]:
+        if self._order_cache is None:
+            self._order_cache = sorted(self._names)
+        return self._order_cache
+
+
+class NoHook:
+    """Classes without the hook are out of scope for the rule."""
+
+    def __init__(self) -> None:
+        self._names: List[str] = []
+
+    def add_name(self, name: str) -> None:
+        self._names.append(name)

@@ -1,0 +1,30 @@
+# ostrolint-fixture module: repro.core.candidates
+"""OST004 fixture: the scoring pipeline must not mutate model params."""
+from typing import List
+
+
+def enumerate_hosts(cloud, partial) -> List[int]:
+    hosts = list(cloud.hosts)
+    partial.assignments["vm"] = 0  # expect: OST004
+    return hosts
+
+
+def score(topology, weight: float) -> float:
+    topology.nodes.append("vm")  # expect: OST004
+    return weight
+
+
+def annotated(plan: "PartialPlacement", k: int) -> None:
+    plan.slots[k] = 1  # expect: OST004
+
+
+def rebind_is_fine(state) -> None:
+    state = None
+    del state
+
+
+def closure_inherits(partial) -> None:
+    def inner() -> None:
+        partial.marks["a"] = 1  # expect: OST004
+
+    inner()

@@ -1,0 +1,10 @@
+# ostrolint-fixture module: repro.core.fixture_ost006
+"""OST006 fixture: no ``print()`` in library code."""
+
+
+def report(value: float) -> None:
+    print(f"value={value}")  # expect: OST006
+
+
+def format_only(value: float) -> str:
+    return f"value={value}"

@@ -1,0 +1,20 @@
+# ostrolint-fixture module: repro.core.fixture_ost007
+"""OST007 fixture: quantity identifiers need unit suffixes."""
+from typing import Tuple
+
+
+def reserve(bw, capacity_gb: float) -> None:  # expect: OST007
+    del bw, capacity_gb
+
+
+def window(deadline: float, timeout_s: float) -> float:  # expect: OST007
+    return deadline + timeout_s
+
+
+class Request:
+    mem: float  # expect: OST007
+    mem_gb: float = 0.0
+    theta_bw: float = 0.5
+    node_count: int = 0
+    bw_range_mbps: Tuple[float, float] = (0.0, 0.0)
+    bw_window: Tuple[float, float] = (0.0, 0.0)

@@ -1,0 +1,15 @@
+# ostrolint-fixture module: repro.core.fixture_suppressed
+"""Suppression fixture: inline disables silence exact codes only."""
+import random
+
+
+def one_code() -> float:
+    return random.random()  # ostrolint: disable=OST001
+
+
+def all_codes() -> None:
+    print(random.random())  # ostrolint: disable
+
+
+def wrong_code() -> float:
+    return random.random()  # ostrolint: disable=OST006  # expect: OST001

@@ -1,0 +1,63 @@
+"""CLI contract for ``repro lint``: exit codes, formats, --list-rules."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.lint import known_codes
+
+
+@pytest.fixture
+def offending_file(tmp_path):
+    """A file whose on-disk path infers a repro.core module, so the
+    module-scoped rules engage exactly as they would under src/."""
+    pkg = tmp_path / "repro" / "core"
+    pkg.mkdir(parents=True)
+    target = pkg / "fx.py"
+    target.write_text("print('x')\n")
+    return target
+
+
+class TestExitCodes:
+    def test_clean_file_exits_0(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text("x = 1\n")
+        assert main(["lint", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "no problems found" in out
+
+    def test_findings_exit_1(self, offending_file, capsys):
+        rc = main(["lint", str(offending_file)])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "OST006" in out
+        assert "found 1 problem(s)" in out
+
+    def test_missing_path_exits_2(self, capsys):
+        assert main(["lint", "does/not/exist"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestJsonFormat:
+    def test_json_output_parses_and_carries_schema(
+        self, offending_file, capsys
+    ):
+        rc = main(["lint", str(offending_file), "--format", "json"])
+        assert rc == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        assert payload["counts"] == {"OST006": 1}
+        (entry,) = payload["diagnostics"]
+        assert entry["code"] == "OST006"
+        assert entry["rule"] == "no-print"
+
+
+class TestListRules:
+    def test_lists_every_registered_code(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in known_codes():
+            assert code in out

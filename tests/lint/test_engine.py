@@ -1,0 +1,213 @@
+"""Engine tests: discovery, module inference, suppressions, rendering."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    JSON_SCHEMA_VERSION,
+    all_rules,
+    known_codes,
+    lint_paths,
+    lint_source,
+    module_from_path,
+    render_json,
+    render_report,
+    render_text,
+    rule_for_code,
+)
+from repro.lint.engine import iter_source_files, parse_suppressions
+from repro.lint.registry import Rule, register
+
+
+class TestModuleFromPath:
+    def test_package_file(self):
+        path = Path("src/repro/core/greedy.py")
+        assert module_from_path(path) == "repro.core.greedy"
+
+    def test_init_maps_to_package(self):
+        assert module_from_path(Path("src/repro/__init__.py")) == "repro"
+        path = Path("src/repro/lint/rules/__init__.py")
+        assert module_from_path(path) == "repro.lint.rules"
+
+    def test_outside_repro_tree_is_none(self):
+        assert module_from_path(Path("tests/lint/test_engine.py")) is None
+        assert module_from_path(Path("benchmarks/conftest.py")) is None
+
+    def test_last_repro_component_anchors(self):
+        # a checkout under a directory itself named "repro" must anchor
+        # on the *package* root, not the outer directory
+        path = Path("repro/src/repro/core/astar.py")
+        assert module_from_path(path) == "repro.core.astar"
+
+
+class TestSuppressionParsing:
+    def test_single_and_multi_code(self):
+        sup = parse_suppressions(
+            "x = 1  # ostrolint: disable=OST001\n"
+            "y = 2  # ostrolint: disable=OST002,OST006\n"
+        )
+        assert sup[1] == frozenset({"OST001"})
+        assert sup[2] == frozenset({"OST002", "OST006"})
+
+    def test_bare_disable_means_all(self):
+        sup = parse_suppressions("x = 1  # ostrolint: disable\n")
+        assert sup[1] == frozenset({"*"})
+
+    def test_string_literal_is_not_a_directive(self):
+        sup = parse_suppressions('s = "# ostrolint: disable=OST001"\n')
+        assert sup == {}
+
+    def test_unrelated_comments_ignored(self):
+        assert parse_suppressions("x = 1  # a plain comment\n") == {}
+
+
+class TestDiscovery:
+    def test_excluded_trees_are_skipped(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "m.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / "sub").mkdir()
+        (tmp_path / "pkg" / "sub" / "n.py").write_text("y = 2\n")
+        for tree in ("__pycache__", "build", ".venv", "thing.egg-info"):
+            (tmp_path / "pkg" / tree).mkdir()
+            (tmp_path / "pkg" / tree / "z.py").write_text("z = 3\n")
+        found = [
+            p.relative_to(tmp_path).as_posix()
+            for p in iter_source_files([str(tmp_path)])
+        ]
+        assert found == ["pkg/m.py", "pkg/sub/n.py"]
+
+    def test_explicit_file_always_linted(self, tmp_path):
+        cache = tmp_path / "__pycache__"
+        cache.mkdir()
+        target = cache / "m.py"
+        target.write_text("x = 1\n")
+        assert list(iter_source_files([str(target)])) == [target]
+
+    def test_missing_path_raises(self):
+        with pytest.raises(FileNotFoundError):
+            list(iter_source_files(["does/not/exist"]))
+
+    def test_lint_paths_counts_files(self, tmp_path):
+        (tmp_path / "a.py").write_text("x = 1\n")
+        (tmp_path / "b.py").write_text("y = 2\n")
+        diagnostics, files_checked = lint_paths([str(tmp_path)])
+        assert diagnostics == []
+        assert files_checked == 2
+
+
+class TestSyntaxError:
+    def test_unparsable_file_reports_ost000(self):
+        (diag,) = lint_source("def broken(:\n", path="bad.py")
+        assert diag.code == "OST000"
+        assert diag.rule == "syntax-error"
+        assert diag.line == 1
+        assert "cannot parse" in diag.message
+
+
+class TestJsonSchema:
+    def _sample(self):
+        source = (
+            "import random\n"
+            "def f() -> float:\n"
+            "    print('x')\n"
+            "    return random.random()\n"
+        )
+        return lint_source(source, path="s.py", module="repro.core.fx")
+
+    def test_payload_shape_is_stable(self):
+        diags = self._sample()
+        payload = json.loads(render_json(diags, files_checked=1))
+        assert set(payload) == {
+            "version",
+            "files_checked",
+            "counts",
+            "diagnostics",
+        }
+        assert payload["version"] == JSON_SCHEMA_VERSION == 1
+        assert payload["files_checked"] == 1
+        assert payload["counts"] == {"OST001": 1, "OST006": 1}
+        for entry in payload["diagnostics"]:
+            assert set(entry) == {
+                "path",
+                "line",
+                "col",
+                "code",
+                "rule",
+                "message",
+            }
+
+    def test_output_is_byte_stable(self):
+        diags = self._sample()
+        first = render_json(diags, 1)
+        second = render_json(list(reversed(diags)), 1)
+        assert first == second
+
+    def test_diagnostics_sorted_by_position(self):
+        diags = self._sample()
+        payload = json.loads(render_json(diags, 1))
+        positions = [
+            (d["path"], d["line"], d["col"], d["code"])
+            for d in payload["diagnostics"]
+        ]
+        assert positions == sorted(positions)
+
+
+class TestTextRendering:
+    def test_clean_summary(self):
+        assert render_text([], 5) == "checked 5 files: no problems found"
+        assert render_text([], 1) == "checked 1 file: no problems found"
+
+    def test_findings_include_location_code_and_rule(self):
+        (diag,) = lint_source(
+            "print('x')\n", path="lib.py", module="repro.core.fx"
+        )
+        report = render_text([diag], 1)
+        assert "lib.py:1:1: OST006" in report
+        assert "[no-print]" in report
+        assert report.endswith("found 1 problem(s) in 1 file")
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError):
+            render_report([], 0, fmt="yaml")
+
+
+class TestRegistry:
+    def test_all_builtin_codes_registered(self):
+        codes = known_codes()
+        assert codes == sorted(codes)
+        for expected in (
+            "OST001",
+            "OST002",
+            "OST003",
+            "OST004",
+            "OST005",
+            "OST006",
+            "OST007",
+        ):
+            assert expected in codes
+
+    def test_rule_lookup_roundtrip(self):
+        for rule in all_rules():
+            assert rule_for_code(rule.code) is rule
+            assert rule.summary
+
+    def test_duplicate_code_rejected(self):
+        known_codes()  # force builtin registration before the collision
+
+        class Duplicate(Rule):
+            code = "OST006"
+            name = "dup"
+
+        with pytest.raises(ValueError, match="duplicate rule code"):
+            register(Duplicate)
+
+    def test_codeless_rule_rejected(self):
+        class Nameless(Rule):
+            pass
+
+        with pytest.raises(ValueError, match="must define"):
+            register(Nameless)

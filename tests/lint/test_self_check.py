@@ -1,0 +1,35 @@
+"""Self-check: the shipped package is ostrolint-clean, unsuppressed.
+
+The acceptance bar for the lint layer is not "the tool runs" but "the
+scheduler core actually satisfies the invariants it encodes": zero
+findings over ``src/repro``, and zero inline ``# ostrolint:`` escapes in
+``repro.core`` -- the only sanctioned clock sites live in the explicit
+timing allowlist, not in suppression comments.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint import lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC_REPRO = REPO_ROOT / "src" / "repro"
+
+
+def test_src_repro_is_lint_clean():
+    diagnostics, files_checked = lint_paths([str(SRC_REPRO)])
+    assert files_checked > 50  # the whole package, not a stray subdir
+    assert diagnostics == [], "\n".join(d.render() for d in diagnostics)
+
+
+def test_core_carries_no_inline_suppressions():
+    offenders = [
+        path
+        for path in sorted((SRC_REPRO / "core").rglob("*.py"))
+        if "# ostrolint:" in path.read_text(encoding="utf-8")
+    ]
+    assert offenders == [], (
+        "repro.core must stay suppression-free; the timing allowlist in "
+        "repro.lint.rules.determinism is the only sanctioned escape"
+    )
