@@ -13,7 +13,6 @@ Scale: benches default to the reduced scale documented in
 
 from __future__ import annotations
 
-import os
 from pathlib import Path
 from typing import Dict
 

@@ -15,7 +15,7 @@ import pytest
 
 from benchmarks.conftest import run_once, save_report
 from repro.core.astar import BAStar
-from repro.core.greedy import EG, EGBW, GreedyConfig
+from repro.core.greedy import EG, GreedyConfig
 from repro.core.heuristic import EstimatorConfig
 from repro.core.objective import Objective
 from repro.datacenter.builder import build_datacenter

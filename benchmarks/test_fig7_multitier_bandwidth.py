@@ -18,7 +18,6 @@ import pytest
 from benchmarks.conftest import run_once, save_report
 from repro.sim.experiment import run_placement
 from repro.sim.reporting import format_series
-from repro.sim.runner import sweep
 from repro.sim.scenarios import multitier_scenario, sweep_sizes
 
 EXPERIMENT = "fig7-multitier"

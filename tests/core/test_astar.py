@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.astar import BAStar, node_equivalence_classes
-from repro.core.greedy import EG, GreedyConfig
+from repro.core.greedy import EG
 from repro.core.objective import Objective
 from repro.core.topology import ApplicationTopology
 from repro.datacenter.builder import build_datacenter

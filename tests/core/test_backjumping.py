@@ -10,10 +10,9 @@ from __future__ import annotations
 import pytest
 
 from repro.core.base import SearchStats
-from repro.core.candidates import CandidateTarget, candidate_targets
+from repro.core.candidates import candidate_targets
 from repro.core.greedy import EG, GreedyConfig, backtracking_place
 from repro.core.heuristic import EstimatorConfig
-from repro.core.objective import Objective
 from repro.core.placement import PartialPlacement
 from repro.core.topology import ApplicationTopology
 from repro.datacenter.builder import build_datacenter

@@ -14,8 +14,6 @@ from repro.core.greedy import (
 from repro.core.objective import Objective
 from repro.core.topology import ApplicationTopology
 from repro.datacenter.loadgen import apply_testbed_load
-from repro.datacenter.model import Level
-from repro.datacenter.network import PathResolver
 from repro.datacenter.state import DataCenterState
 from repro.errors import PlacementError
 from tests.conftest import make_three_tier

@@ -8,7 +8,6 @@ from repro.core.migration import MigrationStep, apply_plan, plan_migration
 from repro.core.placement import Assignment, Placement
 from repro.core.scheduler import Ostro
 from repro.core.topology import ApplicationTopology
-from repro.datacenter.state import DataCenterState
 from repro.errors import PlacementError
 
 

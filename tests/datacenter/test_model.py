@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.datacenter.builder import build_cloud, build_datacenter, build_testbed
+from repro.datacenter.builder import build_datacenter
 from repro.datacenter.model import Cloud, DataCenter, Disk, Host, Level, Rack
 from repro.errors import DataCenterError
 

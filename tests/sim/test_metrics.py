@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.greedy import EG
 from repro.sim.metrics import MeasurementRow, aggregate_rows

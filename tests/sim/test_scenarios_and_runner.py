@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.sim.experiment import run_placement
-from repro.sim.metrics import MeasurementRow
 from repro.sim.reporting import format_series, format_table
 from repro.sim.runner import sweep
 from repro.sim.scenarios import (
