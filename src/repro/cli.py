@@ -6,6 +6,10 @@ Subcommands:
   optimize a QoS-enhanced Heat template and print the annotated template.
 * ``repro experiment {table1,table2,online}`` -- rerun the paper's
   testbed experiments and print the tables.
+* ``repro experiment chaos --faults hosts=2,links=1,api=0.05`` -- run a
+  seeded fault-injection scenario (host crashes, uplink failures,
+  flaky surrogate APIs) and report availability, recovery time, and the
+  capacity-leak audit (exit code 2 on any leak); see docs/ROBUSTNESS.md.
 * ``repro sweep {fig7,fig8,fig9,fig10,fig11} [--hom]`` -- rerun a figure's
   size sweep and print the data series.
 * ``repro tradeoff`` -- the Fig. 6 deadline/optimality tradeoff.
@@ -137,7 +141,77 @@ def cmd_experiment(args: argparse.Namespace) -> int:
             f"runtime {update.result.runtime_s:.3f} s"
         )
         return 0
+    if args.name == "chaos":
+        from repro.sim.chaos import run_chaos
+        from repro.sim.scenarios import make_fault_plan
+
+        cloud = _build_cloud(args.dc)
+        spec = _parse_fault_spec(args.faults)
+        plan = make_fault_plan(
+            cloud,
+            seed=args.seed,
+            hosts=spec["hosts"],
+            links=spec["links"],
+            api_transient_rate=spec["api"],
+            api_permanent_rate=spec["api-perm"],
+            steps=args.apps,
+            recover_after_steps=spec["recover"],
+        )
+        options = {}
+        if args.deadline is not None:
+            options["deadline_s"] = args.deadline
+        report = run_chaos(
+            plan,
+            cloud=cloud,
+            apps=args.apps,
+            app_vms=args.app_vms,
+            algorithm=args.algorithm,
+            **options,
+        )
+        print(
+            f"chaos run ({args.faults}) on {cloud.num_hosts} hosts, "
+            f"algorithm {args.algorithm}:"
+        )
+        for line in report.summary_lines():
+            print(f"  {line}")
+        if report.invariant_violations:
+            for violation in report.invariant_violations:
+                print(f"LEAK: {violation}", file=sys.stderr)
+            return 2
+        return 0
     raise ReproError(f"unknown experiment: {args.name!r}")
+
+
+#: fault-spec keys -> (parser, default) for ``--faults k=v,...``
+_FAULT_SPEC_KEYS = {
+    "hosts": (int, 0),
+    "links": (int, 0),
+    "api": (float, 0.0),
+    "api-perm": (float, 0.0),
+    "recover": (int, None),
+}
+
+
+def _parse_fault_spec(spec: str) -> dict:
+    """Parse ``--faults`` (e.g. ``hosts=2,links=1,api=0.05``) to a dict."""
+    values = {key: default for key, (_, default) in _FAULT_SPEC_KEYS.items()}
+    if not spec.strip():
+        return values
+    for part in spec.split(","):
+        key, sep, raw = part.strip().partition("=")
+        if not sep or key not in _FAULT_SPEC_KEYS:
+            raise ReproError(
+                f"bad fault spec entry {part.strip()!r}; expected "
+                f"key=value with key in {sorted(_FAULT_SPEC_KEYS)}"
+            )
+        convert = _FAULT_SPEC_KEYS[key][0]
+        try:
+            values[key] = convert(raw)
+        except ValueError as exc:
+            raise ReproError(
+                f"bad fault spec value {raw!r} for {key!r}"
+            ) from exc
+    return values
 
 
 _FIGS = {
@@ -320,9 +394,46 @@ def build_parser() -> argparse.ArgumentParser:
     place.set_defaults(func=cmd_place)
 
     experiment = sub.add_parser("experiment", help="rerun a paper experiment")
-    experiment.add_argument("name", choices=["table1", "table2", "online"])
+    experiment.add_argument(
+        "name", choices=["table1", "table2", "online", "chaos"]
+    )
     experiment.add_argument("--seed", type=int, default=0)
     experiment.add_argument("--size", type=int, default=50)
+    experiment.add_argument(
+        "--faults",
+        default="hosts=2,links=1",
+        metavar="SPEC",
+        help="chaos only: comma-separated hosts=N,links=N,api=RATE,"
+        "api-perm=RATE,recover=STEPS (default: %(default)s)",
+    )
+    experiment.add_argument(
+        "--dc",
+        default="dc:6",
+        help="chaos only: data center spec, 'testbed' or 'dc:<racks>'",
+    )
+    experiment.add_argument(
+        "--apps",
+        type=int,
+        default=8,
+        help="chaos only: applications to deploy (= scenario steps)",
+    )
+    experiment.add_argument(
+        "--app-vms",
+        type=int,
+        default=10,
+        help="chaos only: VMs per application",
+    )
+    experiment.add_argument(
+        "--algorithm",
+        default="dba*",
+        help="chaos only: starting algorithm rung",
+    )
+    experiment.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="chaos only: DBA* deadline in seconds",
+    )
     _add_telemetry_flags(experiment)
     experiment.set_defaults(func=cmd_experiment)
 

@@ -39,6 +39,7 @@ from repro.core.placement import PartialPlacement
 from repro.core.topology import ApplicationTopology, Node
 from repro.datacenter.model import Cloud
 from repro.datacenter.network import PathResolver
+from repro.errors import DataCenterError
 
 
 @dataclass(frozen=True)
@@ -119,7 +120,7 @@ class LowerBoundEstimator:
         for dist in range(1, 5):
             try:
                 self._min_hops[dist] = cloud.min_hops_for_distance(dist)
-            except Exception:
+            except DataCenterError:
                 # distance not realizable in this cloud (e.g. single DC);
                 # any pair forced that far apart is infeasible anyway, use
                 # a large-but-finite pessimistic value so estimates stay

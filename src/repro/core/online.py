@@ -15,17 +15,23 @@ waste scheduler time and needlessly migrate running VMs, so
    observation that updates "can in fact spread out to a large portion of
    the application nodes"), then everything.
 5. Commit the new placement and report which previously placed nodes moved.
+
+The same machinery powers **host evacuation** (:func:`evacuate_host`):
+when a host crashes, every application with nodes on it is re-placed with
+the victims freed and the survivors pinned, preserving anti-affinity and
+bandwidth constraints -- the paper's runtime-adaptation story applied to
+failures instead of updates.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Any, List, Optional, Set, Tuple, Union
 
 from repro import obs
 from repro.core.base import PlacementResult
 from repro.core.topology import ApplicationTopology
-from repro.errors import PlacementError
+from repro.errors import DeadlineError, PlacementError
 
 if TYPE_CHECKING:  # pragma: no cover - avoids a circular import
     from repro.core.scheduler import Ostro
@@ -171,6 +177,154 @@ def _expand_frontier(
             continue
         grown.update(nbr for nbr, _ in topology.neighbors(name))
     return grown
+
+
+@dataclass
+class EvacuationReport:
+    """Outcome of evacuating one crashed host.
+
+    Attributes:
+        host: name of the evacuated host.
+        apps: names of the applications that had nodes on it.
+        moved: ``"app/node"`` entries re-placed onto other hosts
+            (victims, plus any survivors that had to move to make the
+            evacuation feasible).
+        failed: ``"app/node"`` victim entries that could not be
+            re-placed anywhere; their application is left *removed* from
+            the scheduler (its surviving reservations released) rather
+            than half-committed.
+        algorithms: app name -> the algorithm rung that produced its new
+            placement (degradation may have stepped down the ladder).
+        runtime_s: total scheduler runtime of the successful
+            re-placements (the recovery-time metric of chaos runs).
+    """
+
+    host: str
+    apps: List[str] = field(default_factory=list)
+    moved: List[str] = field(default_factory=list)
+    failed: List[str] = field(default_factory=list)
+    algorithms: dict = field(default_factory=dict)
+    runtime_s: float = 0.0
+
+
+def evacuate_host(
+    ostro: "Ostro",
+    host: Union[int, str],
+    algorithm: str = "dba*",
+    max_unpin_rounds: int = 8,
+    **options: Any,
+) -> EvacuationReport:
+    """Re-place every application with nodes on a crashed host.
+
+    The host must already be failed in the state
+    (:meth:`~repro.datacenter.state.DataCenterState.fail_host`), so the
+    search cannot put anything back on it. Per affected application:
+    victims (nodes assigned to the crashed host -- VMs on it and volumes
+    on its disks) are freed while all surviving nodes stay pinned; if
+    that is infeasible, pins are progressively released exactly as in
+    :func:`update_application`. Placement runs under the degradation
+    ladder (:func:`repro.faults.recovery.place_with_degradation`), so
+    deadline pressure weakens the algorithm instead of failing the
+    evacuation.
+
+    Applications whose victims cannot be re-placed anywhere are left
+    removed (reported in ``failed``) -- capacity stays conserved and the
+    caller decides whether to retry after more capacity appears.
+
+    Args:
+        ostro: the scheduler owning the applications.
+        host: index or name of the crashed host.
+        algorithm: starting rung for each re-placement.
+        max_unpin_rounds: progressive-unpinning bound per application.
+        **options: forwarded algorithm options (e.g. ``deadline_s``).
+    """
+    from repro.faults.recovery import place_with_degradation
+
+    cloud = ostro.cloud
+    host_index = (
+        cloud.host_by_name(host).index if isinstance(host, str) else host
+    )
+    host_name = cloud.hosts[host_index].name
+    affected: List[Tuple[str, List[str]]] = []
+    for app_name in sorted(ostro.applications):
+        placement = ostro.applications[app_name].placement
+        victims = sorted(
+            name
+            for name, assignment in placement.assignments.items()
+            if assignment.host == host_index
+        )
+        if victims:
+            affected.append((app_name, victims))
+
+    report = EvacuationReport(host=host_name)
+    for app_name, victims in affected:
+        report.apps.append(app_name)
+        deployed = ostro.applications[app_name]
+        topology, old_placement = deployed.topology, deployed.placement
+        ostro.remove(app_name)
+        unpinned: Set[str] = set(victims)
+        rounds = 0
+        result: Optional[PlacementResult] = None
+        while True:
+            pinned = {
+                name: (assignment.host, assignment.disk)
+                for name, assignment in old_placement.assignments.items()
+                if name not in unpinned
+            }
+            try:
+                result, used_algorithm = place_with_degradation(
+                    ostro,
+                    topology,
+                    algorithm=algorithm,
+                    commit=True,
+                    pinned=pinned,
+                    **options,
+                )
+                report.algorithms[app_name] = used_algorithm
+                report.runtime_s += result.runtime_s
+                break
+            except (DeadlineError, PlacementError):
+                if not pinned or rounds >= max_unpin_rounds:
+                    break  # nowhere to go; leave the app removed
+                frontier = _expand_frontier(topology, unpinned)
+                if frontier == unpinned:
+                    unpinned = set(topology.nodes)
+                else:
+                    unpinned = frontier
+                rounds += 1
+        if result is None:
+            report.failed.extend(f"{app_name}/{v}" for v in victims)
+        else:
+            report.moved.extend(
+                f"{app_name}/{name}"
+                for name in sorted(topology.nodes)
+                if result.placement.host_of(name)
+                != old_placement.host_of(name)
+            )
+
+    rec = obs.get_recorder()
+    if rec.enabled:
+        rec.inc("ostro_evacuations_total")
+        if report.moved:
+            rec.inc(
+                "ostro_evacuated_nodes_total",
+                len(report.moved),
+                outcome="moved",
+            )
+        if report.failed:
+            rec.inc(
+                "ostro_evacuated_nodes_total",
+                len(report.failed),
+                outcome="failed",
+            )
+        rec.event(
+            "host_evacuated",
+            host=host_name,
+            apps=len(report.apps),
+            moved=len(report.moved),
+            failed=len(report.failed),
+        )
+    return report
 
 
 def add_vms_to_tier(

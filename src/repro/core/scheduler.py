@@ -16,7 +16,7 @@ plus the aliases "ba"/"astar" and "dba".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
 
 from repro import obs
 from repro.core.astar import BAStar
@@ -34,6 +34,8 @@ from repro.errors import PlacementError, ReproError
 if TYPE_CHECKING:  # pragma: no cover - avoids circular imports
     from repro.core.migration import MigrationPlan
     from repro.core.online import UpdateResult
+    from repro.faults.injector import FaultInjector
+    from repro.faults.retry import RetryPolicy
 
 #: Canonical algorithm names -> constructor accepting keyword options.
 _ALIASES = {
@@ -103,6 +105,11 @@ class Ostro:
         theta_c: objective weight of the host-count term.
         greedy_config: default EG/candidate configuration used by all
             algorithms this scheduler instantiates.
+        injector: optional fault injector; its ``before_api_call`` gate
+            runs at the start of every commit, so commits can fail by
+            plan (see :mod:`repro.faults`).
+        retry_policy: optional retry/backoff policy wrapped around the
+            commit path; transient commit faults are retried under it.
     """
 
     def __init__(
@@ -112,6 +119,8 @@ class Ostro:
         theta_bw: float = 0.6,
         theta_c: float = 0.4,
         greedy_config: Optional[GreedyConfig] = None,
+        injector: Optional["FaultInjector"] = None,
+        retry_policy: Optional["RetryPolicy"] = None,
     ) -> None:
         self.cloud = cloud
         self.state = state if state is not None else DataCenterState(cloud)
@@ -120,6 +129,13 @@ class Ostro:
         self.greedy_config = greedy_config or GreedyConfig()
         self.resolver = PathResolver(cloud)
         self.applications: Dict[str, DeployedApplication] = {}
+        self.injector = injector
+        self.retry_policy = retry_policy
+        #: free-capacity snapshot taken at construction; the conservation
+        #: check (verify_state) compares the live state against baseline
+        #: minus committed reservations. Call rebaseline() after mutating
+        #: the state outside the scheduler (e.g. background load).
+        self.baseline = self.state.snapshot()
 
     # ------------------------------------------------------------------
     # placement
@@ -182,16 +198,50 @@ class Ostro:
         Applies host/disk reservations for every node and bandwidth
         reservations for every link, then records the application. The
         placement must cover every node of the topology.
+
+        The commit is transactional: the state is snapshotted first and
+        restored bit-exactly on any :class:`~repro.errors.ReproError`
+        (capacity race, injected fault, ...). With a
+        :attr:`retry_policy` installed, transient commit faults are
+        retried under it; each failed attempt rolls back before the next
+        one starts.
         """
         missing = topology.nodes.keys() - placement.assignments.keys()
         if missing:
             raise PlacementError(
                 f"placement does not cover nodes: {sorted(missing)}"
             )
+        if self.retry_policy is not None:
+            from repro.faults.retry import retry_call
+
+            retry_call(
+                self.retry_policy,
+                lambda: self._commit_once(topology, placement),
+                service="ostro",
+                method="commit",
+            )
+        else:
+            self._commit_once(topology, placement)
+        self.applications[topology.name] = DeployedApplication(
+            topology=topology.copy(), placement=placement
+        )
         rec = obs.get_recorder()
-        applied = []
+        if rec.enabled:
+            rec.inc("ostro_commits_total")
+            rec.event(
+                "commit", app=topology.name, nodes=len(topology.nodes)
+            )
+
+    def _commit_once(
+        self, topology: ApplicationTopology, placement: Placement
+    ) -> None:
+        """One commit attempt: apply all reservations or roll back."""
+        rec = obs.get_recorder()
+        baseline = self.state.snapshot()
         try:
             with rec.span("ostro.commit", app=topology.name):
+                if self.injector is not None:
+                    self.injector.before_api_call("ostro", "commit")
                 for name in sorted(topology.nodes):
                     node = topology.node(name)
                     assignment = placement.assignments[name]
@@ -203,29 +253,19 @@ class Ostro:
                         )
                     else:
                         self.state.place_volume(assignment.disk, node.size_gb)
-                    applied.append(("node", name))
                 for link in topology.links:
                     path = self.resolver.path(
                         placement.host_of(link.a), placement.host_of(link.b)
                     )
                     self.state.reserve_path(path, link.bw_mbps)
-                    applied.append(("link", link))
         except ReproError as exc:
-            self._rollback(topology, placement, applied)
+            self.state.restore(baseline)
             if rec.enabled:
                 rec.inc("ostro_rollbacks_total")
                 rec.event(
                     "rollback", app=topology.name, reason=str(exc)
                 )
             raise
-        self.applications[topology.name] = DeployedApplication(
-            topology=topology.copy(), placement=placement
-        )
-        if rec.enabled:
-            rec.inc("ostro_commits_total")
-            rec.event(
-                "commit", app=topology.name, nodes=len(topology.nodes)
-            )
 
     def remove(self, app_name: str) -> None:
         """Release every reservation of a committed application."""
@@ -254,30 +294,6 @@ class Ostro:
             rec.inc("ostro_removes_total")
             rec.event("remove", app=app_name)
 
-    def _rollback(
-        self,
-        topology: ApplicationTopology,
-        placement: Placement,
-        applied: List[Tuple[str, Any]],
-    ) -> None:
-        for kind, item in reversed(applied):
-            if kind == "node":
-                node = topology.node(item)
-                assignment = placement.assignments[item]
-                if node.is_vm:
-                    self.state.unplace_vm(
-                        assignment.host,
-                        self.state.reserved_vcpus(node),
-                        node.mem_gb,
-                    )
-                else:
-                    self.state.unplace_volume(assignment.disk, node.size_gb)
-            else:
-                path = self.resolver.path(
-                    placement.host_of(item.a), placement.host_of(item.b)
-                )
-                self.state.release_path(path, item.bw_mbps)
-
     # ------------------------------------------------------------------
     # convenience
     # ------------------------------------------------------------------
@@ -288,6 +304,31 @@ class Ostro:
             return self.applications[app_name]
         except KeyError:
             raise PlacementError(f"unknown application: {app_name!r}") from None
+
+    def rebaseline(self) -> None:
+        """Re-capture the conservation baseline from the current state.
+
+        Call after mutating the state outside the scheduler's own commit
+        and remove paths (e.g. installing background load) so
+        :meth:`verify_state` measures leaks from the new starting point.
+        """
+        self.baseline = self.state.snapshot()
+
+    def verify_state(self) -> list:
+        """Capacity-leak audit of the live state (empty list = clean).
+
+        Combines the state's local invariants with the conservation check
+        against :attr:`baseline`; see :mod:`repro.core.validate`. The
+        chaos harness calls this after every deploy/fault/evacuation.
+        """
+        from repro.core.validate import (
+            conservation_violations,
+            state_invariant_violations,
+        )
+
+        return state_invariant_violations(self.state) + conservation_violations(
+            self
+        )
 
     def update(
         self, new_topology: ApplicationTopology, **kwargs: Any

@@ -1,4 +1,4 @@
-"""Independent validation of placements.
+"""Independent validation of placements and of the live state.
 
 :func:`validate_placement` re-derives every constraint of Section II-B for
 a finished placement against a base availability state: capacity, path
@@ -7,18 +7,29 @@ It shares no code with the search (reservations are replayed onto a fresh
 clone), so it catches scheduler bugs rather than inheriting them — the
 test suite and the benchmarks both validate through it, and downstream
 users can check placements produced elsewhere.
+
+:func:`state_invariant_violations` and :func:`conservation_violations`
+guard against *capacity leaks* under failures: the first checks the
+state's local invariants (no negative free resources, down elements fully
+absorbed), the second re-derives what the free arrays *should* read from
+the scheduler's baseline snapshot minus its committed reservations. The
+chaos harness runs both after every event.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import TYPE_CHECKING, List
 
 from repro.core.placement import Placement
 from repro.core.topology import ApplicationTopology
 from repro.datacenter.model import Cloud
 from repro.datacenter.network import PathResolver
+from repro.datacenter.resources import EPSILON
 from repro.datacenter.state import DataCenterState
 from repro.errors import CapacityError
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a circular import
+    from repro.core.scheduler import Ostro
 
 
 class PlacementViolation(AssertionError):
@@ -124,3 +135,99 @@ def validate_placement(
     violations = placement_violations(topology, cloud, base_state, placement)
     if violations:
         raise PlacementViolation(violations)
+
+
+def state_invariant_violations(state: DataCenterState) -> List[str]:
+    """The state's local conservation invariants (empty = OK).
+
+    Delegates to
+    :meth:`~repro.datacenter.state.DataCenterState.capacity_invariants`:
+    free values within ``[0, nominal]``, non-negative unit counts, down
+    elements fully absorbed.
+    """
+    return state.capacity_invariants()
+
+
+def conservation_violations(ostro: "Ostro") -> List[str]:
+    """Check the live state against baseline-minus-commitments (empty = OK).
+
+    Re-derives, from the scheduler's :attr:`~repro.core.scheduler
+    .Ostro.baseline` snapshot and its committed applications, what every
+    free array entry should read, and compares against the live state
+    (within :data:`EPSILON`, since replay ordering may differ in the last
+    float bits). Down hosts/links are compared through their *effective*
+    free values -- capacity absorbed while down must still be conserved.
+
+    Any mismatch is a capacity leak: a failed transaction that released
+    too little or too much, a double release, or a fault that resurrected
+    dead capacity.
+    """
+    state = ostro.state
+    cloud = state.cloud
+    cpu0, mem0, disk0, bw0, units0 = ostro.baseline
+    placed_cpu = [0.0] * len(cloud.hosts)
+    placed_mem = [0.0] * len(cloud.hosts)
+    placed_units = [0] * len(cloud.hosts)
+    placed_disk = [0.0] * len(cloud.disks)
+    placed_bw = [0.0] * cloud.num_links
+    for app_name in sorted(ostro.applications):
+        deployed = ostro.applications[app_name]
+        topology, placement = deployed.topology, deployed.placement
+        for name in sorted(topology.nodes):
+            node = topology.node(name)
+            assignment = placement.assignments[name]
+            if node.is_vm:
+                placed_cpu[assignment.host] += state.reserved_vcpus(node)
+                placed_mem[assignment.host] += node.mem_gb
+                placed_units[assignment.host] += 1
+            else:
+                placed_disk[assignment.disk] += node.size_gb
+                placed_units[cloud.disks[assignment.disk].host.index] += 1
+        for link in topology.links:
+            path = ostro.resolver.path(
+                placement.host_of(link.a), placement.host_of(link.b)
+            )
+            for index in path:
+                placed_bw[index] += link.bw_mbps
+
+    violations: List[str] = []
+    for i, host in enumerate(cloud.hosts):
+        expected_cpu = cpu0[i] - placed_cpu[i]
+        actual_cpu = state.effective_free_cpu(i)
+        if abs(actual_cpu - expected_cpu) > EPSILON:
+            violations.append(
+                f"conservation: host {host.name} free cpu {actual_cpu:.6f}, "
+                f"expected {expected_cpu:.6f} (leak of "
+                f"{actual_cpu - expected_cpu:+.6f} vCPU)"
+            )
+        expected_mem = mem0[i] - placed_mem[i]
+        actual_mem = state.effective_free_mem(i)
+        if abs(actual_mem - expected_mem) > EPSILON:
+            violations.append(
+                f"conservation: host {host.name} free mem {actual_mem:.6f}, "
+                f"expected {expected_mem:.6f} (leak of "
+                f"{actual_mem - expected_mem:+.6f} GB)"
+            )
+        expected_units = int(units0[i]) + placed_units[i]
+        if state.host_units[i] != expected_units:
+            violations.append(
+                f"conservation: host {host.name} unit count "
+                f"{state.host_units[i]}, expected {expected_units}"
+            )
+    for j, disk in enumerate(cloud.disks):
+        expected_disk = disk0[j] - placed_disk[j]
+        actual_disk = state.effective_free_disk(j)
+        if abs(actual_disk - expected_disk) > EPSILON:
+            violations.append(
+                f"conservation: disk {disk.name} free space "
+                f"{actual_disk:.6f}, expected {expected_disk:.6f} GB"
+            )
+    for k in range(cloud.num_links):
+        expected_bw = bw0[k] - placed_bw[k]
+        actual_bw = state.effective_free_bw(k)
+        if abs(actual_bw - expected_bw) > EPSILON:
+            violations.append(
+                f"conservation: link {cloud.link_names[k]} free bandwidth "
+                f"{actual_bw:.6f}, expected {expected_bw:.6f} Mbps"
+            )
+    return violations

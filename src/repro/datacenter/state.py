@@ -19,14 +19,46 @@ unchanged.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Sequence, Tuple
 
 from repro.datacenter.model import Cloud
 
 if TYPE_CHECKING:  # pragma: no cover - layering: core imports datacenter
     from repro.core.topology import VM
 from repro.datacenter.resources import EPSILON
-from repro.errors import CapacityError
+from repro.errors import CapacityError, DataCenterError
+
+
+class _DownHost:
+    """Capacity absorbed by a failed host (see :meth:`DataCenterState.fail_host`).
+
+    While a host is down its live free arrays read zero; the capacity that
+    *would* be free had the host been up accumulates here instead, so
+    :meth:`DataCenterState.restore_host` can reconstruct
+    ``nominal - still-placed`` exactly.
+    """
+
+    __slots__ = ("free_vcpus", "free_mem_gb", "free_disk_gb", "nic_failed")
+
+    def __init__(
+        self,
+        free_vcpus: float,
+        free_mem_gb: float,
+        free_disk_gb: Dict[int, float],
+        nic_failed: bool,
+    ) -> None:
+        self.free_vcpus = free_vcpus
+        self.free_mem_gb = free_mem_gb
+        self.free_disk_gb = free_disk_gb
+        self.nic_failed = nic_failed
+
+    def copy(self) -> "_DownHost":
+        return _DownHost(
+            self.free_vcpus,
+            self.free_mem_gb,
+            dict(self.free_disk_gb),
+            self.nic_failed,
+        )
 
 
 class DataCenterState:
@@ -48,6 +80,11 @@ class DataCenterState:
         #: fraction of its nominal vCPUs a best-effort VM reserves
         #: (Section VI's guaranteed-vs-best-effort CPU reservations)
         self.best_effort_cpu_factor = best_effort_cpu_factor
+        # Fault model (repro.faults): capacity absorbed by down elements.
+        # Both dicts stay empty in fault-free runs, so the hot-path guards
+        # below reduce to one falsy check.
+        self._down_hosts: Dict[int, _DownHost] = {}
+        self._down_links: Dict[int, float] = {}
 
     # ------------------------------------------------------------------
     # cloning / snapshots
@@ -63,6 +100,13 @@ class DataCenterState:
         copy.free_bw = self.free_bw.copy()
         copy.host_units = self.host_units.copy()
         copy.best_effort_cpu_factor = self.best_effort_cpu_factor
+        if self._down_hosts:
+            copy._down_hosts = {
+                h: rec.copy() for h, rec in self._down_hosts.items()
+            }
+        else:
+            copy._down_hosts = {}
+        copy._down_links = dict(self._down_links)
         return copy
 
     def reserved_vcpus(self, node: "VM") -> float:
@@ -78,6 +122,23 @@ class DataCenterState:
             tuple(self.free_bw),
             tuple(float(u) for u in self.host_units),
         )
+
+    def restore(self, snapshot: Tuple[Tuple[float, ...], ...]) -> None:
+        """Restore the free arrays from a :meth:`snapshot`, bit-exactly.
+
+        The transactional rollback primitive: a caller snapshots before a
+        multi-step mutation and restores on failure, guaranteeing the
+        pre-transaction state byte for byte (arithmetic undo can drift in
+        the last float bit; slot restore cannot). The snapshot does *not*
+        capture down-element bookkeeping, so a transaction must not span a
+        :meth:`fail_host` / :meth:`restore_host` boundary.
+        """
+        cpu, mem, disk, bw, units = snapshot
+        self.free_cpu[:] = cpu
+        self.free_mem[:] = mem
+        self.free_disk[:] = disk
+        self.free_bw[:] = bw
+        self.host_units[:] = [int(u) for u in units]
 
     # ------------------------------------------------------------------
     # queries
@@ -114,6 +175,10 @@ class DataCenterState:
 
     def place_vm(self, host: int, vcpus: float, mem_gb: float) -> None:
         """Reserve CPU and memory for a VM on a host."""
+        if self._down_hosts and host in self._down_hosts:
+            raise CapacityError(
+                f"host {self.cloud.hosts[host].name} is down"
+            )
         if not self.vm_fits(host, vcpus, mem_gb):
             raise CapacityError(
                 f"VM ({vcpus} vCPU, {mem_gb} GB) does not fit on host "
@@ -125,7 +190,25 @@ class DataCenterState:
         self.host_units[host] += 1
 
     def unplace_vm(self, host: int, vcpus: float, mem_gb: float) -> None:
-        """Release a VM reservation made with :meth:`place_vm`."""
+        """Release a VM reservation made with :meth:`place_vm`.
+
+        Releasing on a *down* host absorbs the capacity into the host's
+        down record instead of the live free arrays: the capacity died
+        with the host and must not become placeable until
+        :meth:`restore_host`.
+        """
+        if self._down_hosts:
+            rec = self._down_hosts.get(host)
+            if rec is not None:
+                rec.free_vcpus += vcpus
+                rec.free_mem_gb += mem_gb
+                self.host_units[host] -= 1
+                if self.host_units[host] < 0:
+                    raise CapacityError(
+                        "unbalanced unplace_vm on down host "
+                        f"{self.cloud.hosts[host].name}"
+                    )
+                return
         self.free_cpu[host] += vcpus
         self.free_mem[host] += mem_gb
         self.host_units[host] -= 1
@@ -136,6 +219,13 @@ class DataCenterState:
 
     def place_volume(self, disk: int, size_gb: float) -> None:
         """Reserve disk space for a volume, activating the owning host."""
+        if (
+            self._down_hosts
+            and self.cloud.disks[disk].host.index in self._down_hosts
+        ):
+            raise CapacityError(
+                f"disk {self.cloud.disks[disk].name}: owning host is down"
+            )
         if not self.volume_fits(disk, size_gb):
             raise CapacityError(
                 f"volume ({size_gb} GB) does not fit on disk "
@@ -145,7 +235,23 @@ class DataCenterState:
         self.host_units[self.cloud.disks[disk].host.index] += 1
 
     def unplace_volume(self, disk: int, size_gb: float) -> None:
-        """Release a volume reservation made with :meth:`place_volume`."""
+        """Release a volume reservation made with :meth:`place_volume`.
+
+        As with :meth:`unplace_vm`, releases on a down host are absorbed
+        into the down record rather than returned to the live free space.
+        """
+        if self._down_hosts:
+            owner = self.cloud.disks[disk].host.index
+            rec = self._down_hosts.get(owner)
+            if rec is not None:
+                rec.free_disk_gb[disk] += size_gb
+                self.host_units[owner] -= 1
+                if self.host_units[owner] < 0:
+                    raise CapacityError(
+                        "unbalanced unplace_volume on down host "
+                        f"{self.cloud.hosts[owner].name}"
+                    )
+                return
         self.free_disk[disk] += size_gb
         host = self.cloud.disks[disk].host.index
         self.host_units[host] -= 1
@@ -169,8 +275,21 @@ class DataCenterState:
             self.free_bw[link] -= mbps
 
     def release_path(self, path: Iterable[int], mbps: float) -> None:
-        """Release bandwidth reserved with :meth:`reserve_path`."""
+        """Release bandwidth reserved with :meth:`reserve_path`.
+
+        Bandwidth released on a *down* link (failed switch uplink or a
+        crashed host's NIC) is absorbed into the link's down record; it
+        becomes free again only on :meth:`restore_link`.
+        """
         if mbps <= 0:
+            return
+        if self._down_links:
+            for link in path:
+                absorbed = self._down_links.get(link)
+                if absorbed is None:
+                    self.free_bw[link] += mbps
+                else:
+                    self._down_links[link] = absorbed + mbps
             return
         for link in path:
             self.free_bw[link] += mbps
@@ -181,6 +300,231 @@ class DataCenterState:
             needed <= self.free_bw[link] + EPSILON
             for link, needed in demand_per_link.items()
         )
+
+    # ------------------------------------------------------------------
+    # fault model (used by repro.faults)
+    # ------------------------------------------------------------------
+
+    def host_is_down(self, host: int) -> bool:
+        """True if the host is currently failed (see :meth:`fail_host`)."""
+        return host in self._down_hosts
+
+    def down_hosts(self) -> List[int]:
+        """Indices of currently failed hosts, ascending."""
+        return sorted(self._down_hosts)
+
+    def down_links(self) -> List[int]:
+        """Indices of currently failed links, ascending."""
+        return sorted(self._down_links)
+
+    def effective_free_cpu(self, host: int) -> float:
+        """Free vCPUs the host has -- or would have, were it not down."""
+        rec = self._down_hosts.get(host)
+        return self.free_cpu[host] if rec is None else rec.free_vcpus
+
+    def effective_free_mem(self, host: int) -> float:
+        """Free memory (GB) the host has, counting absorbed-while-down."""
+        rec = self._down_hosts.get(host)
+        return self.free_mem[host] if rec is None else rec.free_mem_gb
+
+    def effective_free_disk(self, disk: int) -> float:
+        """Free space (GB) of a disk, counting absorbed-while-down."""
+        rec = self._down_hosts.get(self.cloud.disks[disk].host.index)
+        if rec is None:
+            return self.free_disk[disk]
+        return rec.free_disk_gb.get(disk, 0.0)
+
+    def effective_free_bw(self, link: int) -> float:
+        """Free bandwidth (Mbps) of a link, counting absorbed-while-down."""
+        absorbed = self._down_links.get(link)
+        return self.free_bw[link] if absorbed is None else absorbed
+
+    def fail_host(self, host: int) -> None:
+        """Crash a host.
+
+        Its free CPU/memory and the free space of its local disks drop to
+        zero (absorbed into a down record), and its NIC link is failed, so
+        every placement path — all of which check the free arrays — avoids
+        the host with no algorithm changes. VMs/volumes already placed on
+        the host remain recorded; evacuating them is the caller's job
+        (see :func:`repro.core.online.evacuate_host`).
+        """
+        if host in self._down_hosts:
+            raise DataCenterError(
+                f"host {self.cloud.hosts[host].name} is already down"
+            )
+        host_obj = self.cloud.hosts[host]
+        free_disk_gb: Dict[int, float] = {}
+        for d in host_obj.disks:
+            free_disk_gb[d.index] = self.free_disk[d.index]
+            self.free_disk[d.index] = 0.0
+        # Fail the NIC only if it is not already down (e.g. via an explicit
+        # fail_link), and remember which, so restore_host undoes exactly
+        # what fail_host did.
+        nic_failed = host_obj.link_index not in self._down_links
+        record = _DownHost(
+            self.free_cpu[host], self.free_mem[host], free_disk_gb, nic_failed
+        )
+        self.free_cpu[host] = 0.0
+        self.free_mem[host] = 0.0
+        if nic_failed:
+            self.fail_link(host_obj.link_index)
+        self._down_hosts[host] = record
+
+    def restore_host(self, host: int) -> None:
+        """Bring a failed host back, bit-exactly.
+
+        The free values recorded at :meth:`fail_host`, plus anything
+        absorbed by releases while down, are assigned back into the live
+        arrays (slot assignment, not arithmetic, so a fail/restore pair is
+        a bit-exact no-op on an otherwise untouched state).
+        """
+        record = self._down_hosts.pop(host, None)
+        if record is None:
+            raise DataCenterError(
+                f"host {self.cloud.hosts[host].name} is not down"
+            )
+        self.free_cpu[host] = record.free_vcpus
+        self.free_mem[host] = record.free_mem_gb
+        for disk, free in record.free_disk_gb.items():
+            self.free_disk[disk] = free
+        if record.nic_failed:
+            self.restore_link(self.cloud.hosts[host].link_index)
+
+    def fail_link(self, link: int) -> None:
+        """Fail a network link: its free bandwidth drops to zero.
+
+        Failing a ToR uplink or pod uplink cuts all cross-subtree traffic
+        through that switch, since every path crossing it reserves on this
+        link index. Existing reservations remain accounted; releases while
+        down are absorbed (:meth:`release_path`).
+        """
+        if link in self._down_links:
+            raise DataCenterError(
+                f"link {self.cloud.link_names[link]} is already down"
+            )
+        self._down_links[link] = self.free_bw[link]
+        self.free_bw[link] = 0.0
+
+    def restore_link(self, link: int) -> None:
+        """Bring a failed link back with its absorbed free bandwidth."""
+        absorbed = self._down_links.pop(link, None)
+        if absorbed is None:
+            raise DataCenterError(
+                f"link {self.cloud.link_names[link]} is not down"
+            )
+        self.free_bw[link] = absorbed
+
+    def capacity_invariants(self) -> List[str]:
+        """Check conservation invariants; return violations (empty = OK).
+
+        Catches capacity leaks: free values outside ``[0, nominal]``
+        (beyond :data:`EPSILON`), negative unit counts, and down elements
+        whose live free capacity was resurrected while they were down.
+        Called by :func:`repro.core.validate.state_invariant_violations`
+        and after every event in chaos runs.
+        """
+        problems: List[str] = []
+        cloud = self.cloud
+        for i, host in enumerate(cloud.hosts):
+            rec = self._down_hosts.get(i)
+            if rec is not None:
+                if self.free_cpu[i] != 0.0 or self.free_mem[i] != 0.0:
+                    problems.append(
+                        f"down host {host.name} has non-zero live free "
+                        f"cpu/mem ({self.free_cpu[i]}, {self.free_mem[i]})"
+                    )
+                if rec.free_vcpus > host.cpu_cores + EPSILON:
+                    problems.append(
+                        f"down host {host.name}: absorbed free cpu "
+                        f"{rec.free_vcpus:.4f} exceeds nominal {host.cpu_cores}"
+                    )
+                if rec.free_mem_gb > host.mem_gb + EPSILON:
+                    problems.append(
+                        f"down host {host.name}: absorbed free mem "
+                        f"{rec.free_mem_gb:.4f} exceeds nominal {host.mem_gb}"
+                    )
+                if rec.free_vcpus < -EPSILON or rec.free_mem_gb < -EPSILON:
+                    problems.append(
+                        f"down host {host.name}: negative absorbed free "
+                        f"({rec.free_vcpus:.4f} vCPU, {rec.free_mem_gb:.4f} GB)"
+                    )
+            else:
+                if self.free_cpu[i] < -EPSILON:
+                    problems.append(
+                        f"host {host.name}: negative free cpu "
+                        f"{self.free_cpu[i]:.4f}"
+                    )
+                if self.free_cpu[i] > host.cpu_cores + EPSILON:
+                    problems.append(
+                        f"host {host.name}: free cpu {self.free_cpu[i]:.4f} "
+                        f"exceeds nominal {host.cpu_cores}"
+                    )
+                if self.free_mem[i] < -EPSILON:
+                    problems.append(
+                        f"host {host.name}: negative free mem "
+                        f"{self.free_mem[i]:.4f}"
+                    )
+                if self.free_mem[i] > host.mem_gb + EPSILON:
+                    problems.append(
+                        f"host {host.name}: free mem {self.free_mem[i]:.4f} "
+                        f"exceeds nominal {host.mem_gb}"
+                    )
+            if self.host_units[i] < 0:
+                problems.append(
+                    f"host {host.name}: negative unit count "
+                    f"{self.host_units[i]}"
+                )
+        for j, disk in enumerate(cloud.disks):
+            owner_rec = self._down_hosts.get(disk.host.index)
+            if owner_rec is not None:
+                if self.free_disk[j] != 0.0:
+                    problems.append(
+                        f"disk {disk.name} on down host has non-zero live "
+                        f"free space {self.free_disk[j]}"
+                    )
+                absorbed = owner_rec.free_disk_gb.get(j, 0.0)
+                if absorbed < -EPSILON or absorbed > disk.capacity_gb + EPSILON:
+                    problems.append(
+                        f"disk {disk.name}: absorbed free {absorbed:.4f} GB "
+                        f"outside [0, {disk.capacity_gb}]"
+                    )
+            else:
+                if self.free_disk[j] < -EPSILON:
+                    problems.append(
+                        f"disk {disk.name}: negative free space "
+                        f"{self.free_disk[j]:.4f}"
+                    )
+                if self.free_disk[j] > disk.capacity_gb + EPSILON:
+                    problems.append(
+                        f"disk {disk.name}: free space {self.free_disk[j]:.4f} "
+                        f"exceeds nominal {disk.capacity_gb}"
+                    )
+        for k, nominal in enumerate(cloud.link_capacity_mbps):
+            absorbed_bw = self._down_links.get(k)
+            if absorbed_bw is not None:
+                if self.free_bw[k] != 0.0:
+                    problems.append(
+                        f"down link {cloud.link_names[k]} has non-zero live "
+                        f"free bandwidth {self.free_bw[k]}"
+                    )
+                if absorbed_bw < -EPSILON or absorbed_bw > nominal + EPSILON:
+                    problems.append(
+                        f"down link {cloud.link_names[k]}: absorbed free "
+                        f"{absorbed_bw:.4f} Mbps outside [0, {nominal}]"
+                    )
+            else:
+                if self.free_bw[k] < -EPSILON:
+                    problems.append(
+                        f"link {cloud.link_names[k]}: negative free "
+                        f"bandwidth {self.free_bw[k]:.4f}"
+                    )
+                if self.free_bw[k] > nominal + EPSILON:
+                    problems.append(
+                        f"link {cloud.link_names[k]}: free bandwidth "
+                        f"{self.free_bw[k]:.4f} exceeds nominal {nominal}"
+                    )
+        return problems
 
     # ------------------------------------------------------------------
     # background load (used by loadgen and tests)

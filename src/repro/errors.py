@@ -51,3 +51,35 @@ class SchedulerError(ReproError):
 
 class DeadlineError(ReproError):
     """A deadline-bounded search was configured with an unusable deadline."""
+
+
+class FaultError(ReproError):
+    """Base class for injected infrastructure / control-plane faults (see
+    :mod:`repro.faults`)."""
+
+
+class TransientAPIError(FaultError):
+    """A surrogate API call (Nova/Cinder/Heat or the scheduler commit path)
+    failed transiently. Retryable: wrapping the call in
+    :func:`repro.faults.retry_call` is expected to succeed eventually."""
+
+
+class PermanentAPIError(FaultError):
+    """A surrogate API call failed permanently. Never retried; the caller
+    must roll back whatever it partially applied."""
+
+
+class RetryError(FaultError):
+    """A retried call exhausted its attempt or time budget.
+
+    The last underlying error is chained as ``__cause__``.
+
+    Attributes:
+        attempts: how many attempts were made before giving up.
+        backoff_s: total (virtual) backoff delay accumulated across retries.
+    """
+
+    def __init__(self, message: str, attempts: int, backoff_s: float):
+        super().__init__(message)
+        self.attempts = attempts
+        self.backoff_s = backoff_s

@@ -1,0 +1,55 @@
+"""Deterministic fault injection and recovery for the Ostro stack.
+
+Production placement systems are judged on behavior under failure: hosts
+crash, switches fail, and control-plane calls flake. This package makes
+those conditions reproducible so the rest of the stack can be hardened
+and tested against them:
+
+* :class:`~repro.faults.plan.FaultPlan` -- a seeded description of what
+  goes wrong and when: per-call transient/permanent API fault rates plus
+  a schedule of host/link down/up events
+  (:class:`~repro.faults.plan.FaultEvent`).
+* :class:`~repro.faults.injector.FaultInjector` -- binds a plan to a
+  live :class:`~repro.datacenter.state.DataCenterState`: raises
+  :class:`~repro.errors.TransientAPIError` /
+  :class:`~repro.errors.PermanentAPIError` at surrogate API call sites
+  and applies scheduled host/link faults via the state's fault model,
+  emitting a ``fault_injected`` / ``fault_cleared`` telemetry event for
+  every fault.
+* :class:`~repro.faults.retry.RetryPolicy` /
+  :func:`~repro.faults.retry.retry_call` -- exponential backoff with
+  deterministic seeded jitter and a per-call time budget, wrapped around
+  every surrogate API call made by :class:`~repro.heat.engine.HeatEngine`
+  and the scheduler's commit path.
+* :func:`~repro.faults.recovery.place_with_degradation` -- the
+  degradation ladder: under deadline pressure DBA* degrades to BA*, then
+  to EG, instead of failing the request.
+
+Everything is seeded: the same :class:`FaultPlan` seed produces the same
+faults, retries, and recovery decisions on every run. With no plan
+installed (the default everywhere), the entire subsystem is inert and
+the scheduler's behavior is bit-identical to a build without it.
+
+See ``docs/ROBUSTNESS.md`` for the full fault model and protocols.
+"""
+
+from __future__ import annotations
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FAULT_KINDS, FaultEvent, FaultPlan
+from repro.faults.recovery import (
+    DEGRADATION_LADDER,
+    place_with_degradation,
+)
+from repro.faults.retry import RetryPolicy, retry_call
+
+__all__ = [
+    "DEGRADATION_LADDER",
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "RetryPolicy",
+    "place_with_degradation",
+    "retry_call",
+]

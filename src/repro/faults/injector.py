@@ -1,0 +1,141 @@
+"""The fault injector: interprets a FaultPlan against live state.
+
+A :class:`FaultInjector` is handed to the surrogates (NovaScheduler,
+CinderScheduler, HeatEngine, Ostro); each calls
+:meth:`FaultInjector.before_api_call` at its API boundaries, which raises
+the plan's drawn fault (if any). The chaos harness drives
+:meth:`FaultInjector.advance_to` between workload operations, applying
+scheduled host/link events through the state's fault model
+(:meth:`~repro.datacenter.state.DataCenterState.fail_host` and friends).
+
+Every injected or cleared fault is emitted as a ``fault_injected`` /
+``fault_cleared`` telemetry event and counted in
+``ostro_faults_injected_total``; the ``ostro_hosts_down`` gauge tracks
+the current number of failed hosts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro import obs
+from repro.datacenter.model import Cloud
+from repro.datacenter.state import DataCenterState
+from repro.errors import DataCenterError
+from repro.faults.plan import FaultEvent, FaultPlan
+
+
+def _resolve_link(cloud: Cloud, target: str) -> int:
+    """Resolve a link-event target to a global link index.
+
+    Accepts ``"host:<name>"`` (NIC), ``"rack:<name>"`` (ToR uplink), and
+    ``"pod:<name>"`` (pod-switch uplink).
+    """
+    kind, sep, name = target.partition(":")
+    if not sep:
+        raise DataCenterError(
+            f"link fault target {target!r} must be "
+            "'host:<name>', 'rack:<name>', or 'pod:<name>'"
+        )
+    if kind == "host":
+        return cloud.host_by_name(name).link_index
+    if kind == "rack":
+        for rack in cloud.racks:
+            if rack.name == name:
+                return rack.link_index
+        raise DataCenterError(f"unknown rack: {name!r}")
+    if kind == "pod":
+        for pod in cloud.pods:
+            if pod.name == name:
+                return pod.link_index
+        raise DataCenterError(f"unknown pod: {name!r}")
+    raise DataCenterError(
+        f"link fault target {target!r} has unknown element kind {kind!r}"
+    )
+
+
+class FaultInjector:
+    """Applies one :class:`FaultPlan` to one state.
+
+    Args:
+        plan: what goes wrong, and when.
+        state: the live availability state faults are applied to.
+    """
+
+    def __init__(self, plan: FaultPlan, state: DataCenterState) -> None:
+        self.plan = plan
+        self.plan.reset()  # same plan object, same draw stream, every run
+        self.state = state
+        #: last scenario step advanced to (events at step 0 fire on the
+        #: first advance_to(0) call because the cursor starts at -1)
+        self.step = -1
+        #: every scheduled event applied so far, in application order
+        self.applied: List[FaultEvent] = []
+        #: API faults raised so far, by error class name
+        self.api_faults: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # API-call faults
+    # ------------------------------------------------------------------
+
+    def before_api_call(self, service: str, method: str) -> None:
+        """Raise the plan's drawn fault for one API call, if any."""
+        fault = self.plan.draw_api_fault(service, method)
+        if fault is None:
+            return
+        kind = type(fault).__name__
+        self.api_faults[kind] = self.api_faults.get(kind, 0) + 1
+        rec = obs.get_recorder()
+        if rec.enabled:
+            rec.inc("ostro_faults_injected_total", kind=kind)
+            rec.event(
+                "fault_injected", kind=kind, target=f"{service}.{method}"
+            )
+        raise fault
+
+    # ------------------------------------------------------------------
+    # scheduled infrastructure faults
+    # ------------------------------------------------------------------
+
+    def advance_to(self, step: int) -> List[FaultEvent]:
+        """Apply all scheduled events up to (and including) ``step``.
+
+        Returns the events applied by this call, in order. Idempotent per
+        step: advancing to the same or an earlier step applies nothing.
+        """
+        if step <= self.step:
+            return []
+        fired = self.plan.events_between(self.step, step)
+        self.step = step
+        for event in fired:
+            self.apply_event(event)
+        return fired
+
+    def apply_event(self, event: FaultEvent) -> None:
+        """Apply one scheduled event to the state, with telemetry."""
+        state = self.state
+        if event.kind == "host_down":
+            state.fail_host(state.cloud.host_by_name(event.target).index)
+        elif event.kind == "host_up":
+            state.restore_host(state.cloud.host_by_name(event.target).index)
+        elif event.kind == "link_down":
+            state.fail_link(_resolve_link(state.cloud, event.target))
+        elif event.kind == "link_up":
+            state.restore_link(_resolve_link(state.cloud, event.target))
+        else:  # unreachable: FaultEvent validates its kind
+            raise DataCenterError(f"unknown fault kind {event.kind!r}")
+        self.applied.append(event)
+        rec = obs.get_recorder()
+        if rec.enabled:
+            if event.kind.endswith("_down"):
+                rec.inc("ostro_faults_injected_total", kind=event.kind)
+                rec.event(
+                    "fault_injected", kind=event.kind, target=event.target
+                )
+            else:
+                rec.event(
+                    "fault_cleared", kind=event.kind, target=event.target
+                )
+            rec.set_gauge(
+                "ostro_hosts_down", float(len(state.down_hosts()))
+            )

@@ -1,0 +1,148 @@
+"""Fault plans: seeded descriptions of what fails, and when.
+
+A :class:`FaultPlan` carries two independent fault sources:
+
+* **API fault rates** -- every surrogate API call (Nova, Cinder, the
+  Heat engine's orchestration calls, Ostro's commit) draws from a seeded
+  RNG and fails with :class:`~repro.errors.TransientAPIError` (retryable)
+  or :class:`~repro.errors.PermanentAPIError` (must roll back) at the
+  configured rates.
+* **Scheduled infrastructure events** -- a list of
+  :class:`FaultEvent` (step, kind, target) entries crashing and
+  restoring hosts or failing ToR/pod uplinks at deterministic points of
+  a scenario.
+
+Plans are pure descriptions plus the RNG: they touch no state. The
+:class:`~repro.faults.injector.FaultInjector` interprets a plan against
+a live :class:`~repro.datacenter.state.DataCenterState`.
+
+Determinism contract: with a fixed seed, the sequence of API fault draws
+depends only on the order of calls, and the schedule is static -- so a
+chaos run with the same seed and workload is bit-identical every time.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import (
+    DataCenterError,
+    FaultError,
+    PermanentAPIError,
+    TransientAPIError,
+)
+
+#: Scheduled fault kinds. ``*_down`` injects a fault, ``*_up`` clears it.
+FAULT_KINDS: Tuple[str, ...] = (
+    "host_down",
+    "host_up",
+    "link_down",
+    "link_up",
+)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled infrastructure fault.
+
+    Attributes:
+        at_step: scenario step at which the event fires (the chaos harness
+            advances the injector one step per deploy/update operation).
+        kind: one of :data:`FAULT_KINDS`.
+        target: element name. For host events, a host name. For link
+            events, ``"host:<name>"`` (the host's NIC link),
+            ``"rack:<name>"`` (the ToR uplink), or ``"pod:<name>"``
+            (the pod-switch uplink).
+    """
+
+    at_step: int
+    kind: str
+    target: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise DataCenterError(
+                f"unknown fault kind {self.kind!r}; "
+                f"choose from {sorted(FAULT_KINDS)}"
+            )
+        if self.at_step < 0:
+            raise DataCenterError(
+                f"fault event step must be >= 0, got {self.at_step}"
+            )
+
+
+class FaultPlan:
+    """A seeded fault schedule plus per-call API fault rates.
+
+    Args:
+        seed: seeds the API-fault RNG; same seed, same draws.
+        api_transient_rate: probability in ``[0, 1]`` that any one
+            surrogate API call raises :class:`TransientAPIError`.
+        api_permanent_rate: probability that a call raises
+            :class:`PermanentAPIError`. Drawn after the transient check,
+            from the same RNG stream.
+        events: scheduled :class:`FaultEvent` entries, in any order;
+            stored sorted by (step, kind, target) so application order is
+            deterministic.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        api_transient_rate: float = 0.0,
+        api_permanent_rate: float = 0.0,
+        events: Sequence[FaultEvent] = (),
+    ) -> None:
+        for name, rate in (
+            ("api_transient_rate", api_transient_rate),
+            ("api_permanent_rate", api_permanent_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise DataCenterError(
+                    f"{name} must be within [0, 1], got {rate}"
+                )
+        self.seed = seed
+        self.api_transient_rate = api_transient_rate
+        self.api_permanent_rate = api_permanent_rate
+        self.events: List[FaultEvent] = sorted(
+            events, key=lambda e: (e.at_step, e.kind, e.target)
+        )
+        self._rng = random.Random(seed)
+
+    def reset(self) -> None:
+        """Rewind the API-fault RNG to the start of its stream.
+
+        :class:`~repro.faults.injector.FaultInjector` resets the plan at
+        construction, so reusing one plan across runs still yields the
+        same draw sequence each run.
+        """
+        self._rng = random.Random(self.seed)
+
+    def draw_api_fault(self, service: str, method: str) -> Optional[FaultError]:
+        """Roll the dice for one API call; return the fault or None.
+
+        One RNG draw per configured rate per call, so the fault sequence
+        is a pure function of (seed, call order).
+        """
+        if self.api_transient_rate > 0.0:
+            if self._rng.random() < self.api_transient_rate:
+                return TransientAPIError(
+                    f"injected transient fault in {service}.{method}"
+                )
+        if self.api_permanent_rate > 0.0:
+            if self._rng.random() < self.api_permanent_rate:
+                return PermanentAPIError(
+                    f"injected permanent fault in {service}.{method}"
+                )
+        return None
+
+    def events_between(self, after: int, upto: int) -> List[FaultEvent]:
+        """Scheduled events with ``after < at_step <= upto``, in order."""
+        return [e for e in self.events if after < e.at_step <= upto]
+
+    @property
+    def has_api_faults(self) -> bool:
+        """True when any API fault rate is non-zero."""
+        return self.api_transient_rate > 0.0 or self.api_permanent_rate > 0.0

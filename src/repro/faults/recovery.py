@@ -1,0 +1,97 @@
+"""Graceful degradation: weaker algorithms beat failed requests.
+
+Under failure pressure -- a deadline too tight for DBA*, or search made
+infeasible-looking by pruning -- the right production behavior is to
+fall back to a cheaper algorithm, not to fail the placement request.
+:func:`place_with_degradation` walks the ladder
+
+    dba* -> ba* -> eg
+
+retrying the placement one rung down whenever the current rung raises
+:class:`~repro.errors.DeadlineError` or
+:class:`~repro.errors.PlacementError`. The last rung's error propagates
+(EG failing means the request is genuinely infeasible right now). Each
+degradation emits a ``degraded`` telemetry event and increments
+``ostro_degradations_total``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
+
+from repro import obs
+from repro.errors import DeadlineError, PlacementError
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a circular import at runtime
+    from repro.core.base import PlacementResult
+    from repro.core.scheduler import Ostro
+    from repro.core.topology import ApplicationTopology
+
+#: canonical algorithm name -> next (weaker, cheaper) rung
+DEGRADATION_LADDER: Dict[str, str] = {
+    "dba*": "ba*",
+    "dba": "ba*",
+    "ba*": "eg",
+    "ba": "eg",
+    "astar": "eg",
+}
+
+
+def place_with_degradation(
+    ostro: "Ostro",
+    topology: "ApplicationTopology",
+    algorithm: str = "dba*",
+    commit: bool = True,
+    pinned: Optional[Dict[str, Tuple[int, Optional[int]]]] = None,
+    **options: Any,
+) -> Tuple["PlacementResult", str]:
+    """Place with automatic DBA* -> BA* -> EG fallback.
+
+    Args:
+        ostro: the scheduler facade to place through.
+        topology: the application to place.
+        algorithm: the rung to start from.
+        commit: forwarded to :meth:`~repro.core.scheduler.Ostro.place`;
+            a failed rung leaves no reservations behind (commit itself
+            is transactional), so falling back is always safe.
+        pinned: forwarded node pre-assignments.
+        **options: forwarded algorithm options; rungs ignore options
+            they do not accept (e.g. ``deadline_s`` on EG).
+
+    Returns:
+        (result, used_algorithm): the successful placement and the name
+        of the rung that produced it.
+
+    Raises:
+        DeadlineError, PlacementError: from the last rung only.
+    """
+    current = algorithm
+    while True:
+        try:
+            result = ostro.place(
+                topology,
+                algorithm=current,
+                commit=commit,
+                pinned=pinned,
+                **options,
+            )
+            return result, current
+        except (DeadlineError, PlacementError) as exc:
+            fallback = DEGRADATION_LADDER.get(current.strip().lower())
+            if fallback is None:
+                raise
+            rec = obs.get_recorder()
+            if rec.enabled:
+                rec.inc(
+                    "ostro_degradations_total",
+                    from_algorithm=current,
+                    to_algorithm=fallback,
+                )
+                rec.event(
+                    "degraded",
+                    app=topology.name,
+                    from_algorithm=current,
+                    to_algorithm=fallback,
+                    reason=f"{type(exc).__name__}: {exc}",
+                )
+            current = fallback

@@ -8,17 +8,23 @@ each piece where Ostro decided -- completing the Fig. 1 pipeline:
 template -> wrapper -> Ostro -> annotated template -> Heat engine ->
 Nova/Cinder.
 
-Deployment is transactional: if any resource cannot be scheduled, the
-already-created resources of the stack are deleted again.
+Deployment follows a reserve->commit protocol: the engine snapshots the
+availability state before touching it, applies every resource, and
+registers the stack only when all of them succeeded. *Any* library error
+mid-stack -- a scheduling failure, an injected API fault, an exhausted
+retry budget -- restores the snapshot bit-exactly, so a failed deploy can
+never leak capacity. Optional fault injection and retry/backoff hooks
+(see :mod:`repro.faults`) cover every Nova/Cinder call the engine makes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.datacenter.state import DataCenterState
-from repro.errors import SchedulerError
+from repro.errors import ReproError, SchedulerError, TemplateError
 from repro.heat.template import (
     SERVER_TYPE,
     VOLUME_TYPE,
@@ -28,6 +34,10 @@ from repro.openstack.api import Server, ServerRequest, VolumeRecord, VolumeReque
 from repro.openstack.cinder import CinderScheduler
 from repro.openstack.nova import NovaScheduler
 from repro.openstack.api import flavor_by_name
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a circular import at runtime
+    from repro.faults.injector import FaultInjector
+    from repro.faults.retry import RetryPolicy
 
 
 @dataclass
@@ -63,16 +73,51 @@ class HeatEngine:
             deploying a stack whose placement Ostro already committed,
             pass a *fresh clone* dedicated to deployment -- otherwise the
             resources would be double-counted.
+        injector: optional fault injector, forwarded to the Nova and
+            Cinder surrogates so their API calls can fail by plan.
+        retry: optional retry policy; when set, every Nova/Cinder call
+            the engine makes is wrapped in
+            :func:`~repro.faults.retry.retry_call`.
     """
 
-    def __init__(self, state: DataCenterState):
+    def __init__(
+        self,
+        state: DataCenterState,
+        injector: Optional["FaultInjector"] = None,
+        retry: Optional["RetryPolicy"] = None,
+    ):
         self.state = state
-        self.nova = NovaScheduler(state)
-        self.cinder = CinderScheduler(state)
+        self.injector = injector
+        self.retry = retry
+        self.nova = NovaScheduler(state, injector=injector)
+        self.cinder = CinderScheduler(state, injector=injector)
         self.stacks: Dict[str, Stack] = {}
 
+    def _call(
+        self, service: str, method: str, fn: Callable[[], Any]
+    ) -> Any:
+        """Issue one surrogate API call, retried under the policy if set."""
+        if self.retry is None:
+            return fn()
+        from repro.faults.retry import retry_call
+
+        return retry_call(self.retry, fn, service=service, method=method)
+
+    def _rolled_back(self, stack_name: str, exc: ReproError) -> None:
+        rec = obs.get_recorder()
+        if rec.enabled:
+            rec.inc("ostro_rollbacks_total")
+            rec.event("rollback", app=stack_name, reason=str(exc))
+
     def deploy(self, template, stack_name: str = "stack") -> Stack:
-        """Create every resource of the template; transactional."""
+        """Create every resource of the template; transactional.
+
+        Reserve->commit: the availability state is snapshotted first and
+        the stack is registered only after every resource succeeded. Any
+        :class:`~repro.errors.ReproError` mid-stack -- scheduling
+        failure, injected fault, exhausted retries -- restores the
+        snapshot bit-exactly before re-raising.
+        """
         parsed = parse_template(template)
         resources = parsed.get("resources", {})
         if stack_name in self.stacks:
@@ -81,6 +126,7 @@ class HeatEngine:
             )
         stack = Stack(name=stack_name)
         created: List[Tuple[str, Any, Any]] = []
+        baseline = self.state.snapshot()
         try:
             for res_name, resource in resources.items():
                 res_type = resource.get("type")
@@ -88,7 +134,11 @@ class HeatEngine:
                 hints = dict(properties.get("scheduler_hints", {}))
                 if res_type == SERVER_TYPE:
                     request = self._server_request(res_name, properties, hints)
-                    record = self.nova.create_server(request)
+                    record = self._call(
+                        "nova",
+                        "create_server",
+                        lambda r=request: self.nova.create_server(r),
+                    )
                     stack.servers[res_name] = record
                     created.append(("server", record, request))
                 elif res_type == VOLUME_TYPE:
@@ -97,15 +147,16 @@ class HeatEngine:
                         size_gb=float(properties["size"]),
                         scheduler_hints=hints,
                     )
-                    record = self.cinder.create_volume(request)
+                    record = self._call(
+                        "cinder",
+                        "create_volume",
+                        lambda r=request: self.cinder.create_volume(r),
+                    )
                     stack.volumes[res_name] = record
                     created.append(("volume", record, request))
-        except SchedulerError:
-            for kind, record, request in reversed(created):
-                if kind == "server":
-                    self.nova.delete_server(record, request)
-                else:
-                    self.cinder.delete_volume(record, request)
+        except ReproError as exc:
+            self.state.restore(baseline)
+            self._rolled_back(stack_name, exc)
             raise
         stack.template = parsed
         stack._requests = created
@@ -113,32 +164,67 @@ class HeatEngine:
         return stack
 
     def delete_stack(self, stack_name: str) -> None:
-        """Release every resource of a deployed stack."""
+        """Release every resource of a deployed stack; transactional.
+
+        If a delete call fails mid-stack (e.g. under fault injection),
+        the pre-deletion state is restored and the stack stays
+        registered, so a failed deletion never half-releases capacity.
+
+        Raises:
+            TemplateError: when no stack of that name is deployed.
+        """
         stack = self.stacks.pop(stack_name, None)
         if stack is None:
-            raise SchedulerError(f"unknown stack: {stack_name!r}")
-        for kind, record, request in reversed(stack._requests):
-            if kind == "server":
-                self.nova.delete_server(record, request)
-            else:
-                self.cinder.delete_volume(record, request)
+            raise TemplateError(f"unknown stack: {stack_name!r}")
+        baseline = self.state.snapshot()
+        try:
+            for kind, record, request in reversed(stack._requests):
+                if kind == "server":
+                    self._call(
+                        "nova",
+                        "delete_server",
+                        lambda s=record, r=request: self.nova.delete_server(
+                            s, r
+                        ),
+                    )
+                else:
+                    self._call(
+                        "cinder",
+                        "delete_volume",
+                        lambda v=record, r=request: self.cinder.delete_volume(
+                            v, r
+                        ),
+                    )
+        except ReproError as exc:
+            self.state.restore(baseline)
+            self.stacks[stack_name] = stack
+            self._rolled_back(stack_name, exc)
+            raise
 
     def update_stack(self, template, stack_name: str) -> Stack:
         """Replace a deployed stack with a new template, transactionally.
 
         The old resources are released first (so the new deployment can
-        reuse their capacity); if the new template fails to deploy, the
-        old one is re-deployed -- its hints still name hosts that just
-        freed up, so the rollback always fits.
+        reuse their capacity). If anything fails -- the deletion, the new
+        deployment, an injected fault -- the pre-update state snapshot is
+        restored and the old stack record re-registered, with no API
+        calls on the rollback path (pure state restoration cannot itself
+        fail under injection).
+
+        Raises:
+            TemplateError: when no stack of that name is deployed.
         """
         old = self.stacks.get(stack_name)
         if old is None:
-            raise SchedulerError(f"unknown stack: {stack_name!r}")
-        self.delete_stack(stack_name)
+            raise TemplateError(f"unknown stack: {stack_name!r}")
+        baseline = self.state.snapshot()
         try:
+            self.delete_stack(stack_name)
             return self.deploy(template, stack_name)
-        except SchedulerError:
-            self.deploy(old.template, stack_name)
+        except ReproError as exc:
+            self.state.restore(baseline)
+            self.stacks[stack_name] = old
+            self._rolled_back(stack_name, exc)
             raise
 
     @staticmethod

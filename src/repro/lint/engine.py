@@ -146,7 +146,7 @@ def parse_suppressions(source: str) -> Dict[int, FrozenSet[str]]:
             line = token.start[0]
             previous = suppressions.get(line, frozenset())
             suppressions[line] = previous | codes
-    except tokenize.TokenError:
+    except tokenize.TokenError:  # ostrolint: disable=OST008
         # Unterminated constructs and the like: the ast parse will produce
         # the real error; suppressions just stay empty.
         pass

@@ -10,7 +10,15 @@ from repro.lint.rules import (  # noqa: F401  (imports register the rules)
     confinement,
     determinism,
     hygiene,
+    robustness,
     units,
 )
 
-__all__ = ["caches", "confinement", "determinism", "hygiene", "units"]
+__all__ = [
+    "caches",
+    "confinement",
+    "determinism",
+    "hygiene",
+    "robustness",
+    "units",
+]

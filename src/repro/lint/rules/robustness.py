@@ -1,0 +1,113 @@
+"""Robustness rule: OST008 no silent exception swallowing in library code.
+
+The fault-injection layer (:mod:`repro.faults`) relies on errors
+propagating: transient API faults must reach :func:`retry_call`,
+permanent ones must reach the transactional rollback paths, and
+capacity leaks surface as :class:`~repro.errors.ReproError` subclasses.
+A handler that silently eats an exception breaks every one of those
+contracts, so library code may not:
+
+* use a bare ``except:`` (catches ``KeyboardInterrupt`` too);
+* catch ``Exception``/``BaseException`` without re-raising;
+* reduce any handler body to a lone ``pass``/``...``.
+
+A deliberately-ignored narrow exception is justified with an inline
+``# ostrolint: disable=OST008`` plus a comment saying why.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.registry import Rule, register
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.lint.engine import FileContext
+
+#: Catch-all exception names that must re-raise.
+_BROAD_NAMES = frozenset({"Exception", "BaseException"})
+
+
+def _caught_names(handler: ast.ExceptHandler) -> Iterator[str]:
+    """Dotted-name strings of the exception types a handler catches."""
+    node = handler.type
+    types = node.elts if isinstance(node, ast.Tuple) else [node]
+    for entry in types:
+        if isinstance(entry, ast.Name):
+            yield entry.id
+        elif isinstance(entry, ast.Attribute):
+            yield entry.attr
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """True when any statement in the handler body raises."""
+    return any(
+        isinstance(node, ast.Raise)
+        for stmt in handler.body
+        for node in ast.walk(stmt)
+    )
+
+
+def _is_noop_body(handler: ast.ExceptHandler) -> bool:
+    """True when the handler body is a lone ``pass`` or ``...``."""
+    if len(handler.body) != 1:
+        return False
+    stmt = handler.body[0]
+    if isinstance(stmt, ast.Pass):
+        return True
+    return isinstance(stmt, ast.Expr) and isinstance(
+        stmt.value, ast.Constant
+    ) and stmt.value.value is Ellipsis
+
+
+@register
+class NoSilentExceptRule(Rule):
+    """OST008: library handlers must not swallow exceptions silently."""
+
+    code = "OST008"
+    name = "no-silent-except"
+    summary = (
+        "library code must not use bare except, swallow broad "
+        "Exception catches, or reduce a handler to pass"
+    )
+
+    def check(self, ctx: "FileContext") -> Iterator[Diagnostic]:
+        if not ctx.in_package("repro"):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.diagnostic(
+                    ctx,
+                    node.lineno,
+                    node.col_offset + 1,
+                    "bare 'except:' catches everything including "
+                    "KeyboardInterrupt; name the exception type",
+                )
+                continue
+            broad = sorted(
+                name
+                for name in _caught_names(node)
+                if name in _BROAD_NAMES
+            )
+            if broad and not _reraises(node):
+                yield self.diagnostic(
+                    ctx,
+                    node.lineno,
+                    node.col_offset + 1,
+                    f"'except {broad[0]}' without re-raise swallows "
+                    "unexpected errors; catch a ReproError subclass or "
+                    "re-raise",
+                )
+                continue
+            if _is_noop_body(node):
+                yield self.diagnostic(
+                    ctx,
+                    node.lineno,
+                    node.col_offset + 1,
+                    "exception handler silently discards the error; "
+                    "handle it, re-raise, or justify with a suppression",
+                )

@@ -72,6 +72,15 @@ EVENT_SCHEMA: Dict[str, frozenset] = {
     "migration_step": frozenset({"node", "to_host", "bounce", "moved_gb"}),
     # integration surrogates (Heat wrapper, Nova, Cinder)
     "api_call": frozenset({"service", "method"}),
+    # fault injection and recovery (repro.faults)
+    "fault_injected": frozenset({"kind", "target"}),
+    "fault_cleared": frozenset({"kind", "target"}),
+    "retry": frozenset({"service", "method", "attempt", "delay_s"}),
+    "retries_exhausted": frozenset({"service", "method", "attempts"}),
+    "host_evacuated": frozenset({"host", "apps", "moved", "failed"}),
+    "degraded": frozenset(
+        {"app", "from_algorithm", "to_algorithm", "reason"}
+    ),
     # tracing (emitted when a span closes)
     "span": frozenset({"name", "duration_s", "depth"}),
 }

@@ -17,7 +17,7 @@ import math
 from pathlib import Path
 from typing import TYPE_CHECKING, Union
 
-from repro.obs.registry import Histogram, Registry
+from repro.obs.registry import Histogram, Registry, TelemetryError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from repro.obs.recorder import TelemetryRecorder
@@ -81,7 +81,8 @@ def _counter_value(registry: Registry, name: str, **labels) -> float:
         return 0.0
     try:
         return metric.value(**labels)  # type: ignore[union-attr]
-    except Exception:
+    except (AttributeError, TelemetryError):
+        # histograms have no .value(); label mismatches read as zero
         return 0.0
 
 

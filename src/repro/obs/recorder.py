@@ -153,6 +153,46 @@ METRIC_CATALOG: Dict[str, Tuple[str, str, Tuple[str, ...]]] = {
         "Calls into the integration surrogates (heat / nova / cinder).",
         ("service", "method"),
     ),
+    "ostro_faults_injected_total": (
+        "counter",
+        "Faults injected by a FaultPlan, by kind.",
+        ("kind",),
+    ),
+    "ostro_api_retries_total": (
+        "counter",
+        "Retried surrogate API calls, by service and method.",
+        ("service", "method"),
+    ),
+    "ostro_retry_backoff_seconds_total": (
+        "counter",
+        "Total (virtual) backoff delay accumulated across retries.",
+        (),
+    ),
+    "ostro_retries_exhausted_total": (
+        "counter",
+        "Retried calls that exhausted their attempt or time budget.",
+        ("service", "method"),
+    ),
+    "ostro_hosts_down": (
+        "gauge",
+        "Hosts currently failed by fault injection.",
+        (),
+    ),
+    "ostro_evacuations_total": (
+        "counter",
+        "Host evacuations performed after host-down events.",
+        (),
+    ),
+    "ostro_evacuated_nodes_total": (
+        "counter",
+        "VM/volume nodes re-placed by evacuations, by outcome.",
+        ("outcome",),
+    ),
+    "ostro_degradations_total": (
+        "counter",
+        "Algorithm degradations (e.g. dba* -> ba*) under failure pressure.",
+        ("from_algorithm", "to_algorithm"),
+    ),
     "ostro_span_seconds": (
         "histogram",
         "Duration of named trace spans.",

@@ -9,12 +9,15 @@ how Ostro's holistic decision is executed through Cinder (Fig. 1).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro import obs
 from repro.datacenter.state import DataCenterState
 from repro.errors import SchedulerError
 from repro.openstack.api import VolumeRecord, VolumeRequest
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a circular import at runtime
+    from repro.faults.injector import FaultInjector
 
 
 def _count_api_call(method: str, **fields) -> None:
@@ -29,10 +32,17 @@ class CinderScheduler:
 
     Args:
         state: the live availability state (shared with Nova/Ostro).
+        injector: optional fault injector gating every API call (see
+            :class:`~repro.openstack.nova.NovaScheduler`).
     """
 
-    def __init__(self, state: DataCenterState):
+    def __init__(
+        self,
+        state: DataCenterState,
+        injector: Optional["FaultInjector"] = None,
+    ):
         self.state = state
+        self.injector = injector
 
     def select_disk(self, request: VolumeRequest) -> int:
         """Pick the best disk index for a request without reserving it."""
@@ -56,6 +66,8 @@ class CinderScheduler:
     def create_volume(self, request: VolumeRequest) -> VolumeRecord:
         """Schedule and reserve one volume; returns the placement record."""
         _count_api_call("create_volume", name=request.name)
+        if self.injector is not None:
+            self.injector.before_api_call("cinder", "create_volume")
         disk_index = self.select_disk(request)
         self.state.place_volume(disk_index, request.size_gb)
         disk = self.state.cloud.disks[disk_index]
@@ -68,5 +80,7 @@ class CinderScheduler:
     ) -> None:
         """Release a previously created volume's reservation."""
         _count_api_call("delete_volume", name=request.name)
+        if self.injector is not None:
+            self.injector.before_api_call("cinder", "delete_volume")
         disk_index = self.state.cloud.disk_by_name(record.disk).index
         self.state.unplace_volume(disk_index, request.size_gb)

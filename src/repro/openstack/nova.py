@@ -15,12 +15,15 @@ via the ``force_host`` scheduler hint (Fig. 1's deployment path).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from repro import obs
 from repro.datacenter.state import DataCenterState
 from repro.errors import SchedulerError
 from repro.openstack.api import Server, ServerRequest
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a circular import at runtime
+    from repro.faults.injector import FaultInjector
 
 
 def _count_api_call(method: str, **fields) -> None:
@@ -144,6 +147,9 @@ class NovaScheduler:
             with Ostro when the two run side by side).
         filters: filter chain; defaults to force-host + core + RAM.
         weighers: weigher list; defaults to Nova's RAM-spreading default.
+        injector: optional fault injector; when set, every API call first
+            passes through its ``before_api_call`` gate (which may raise
+            an injected :class:`~repro.errors.FaultError`).
     """
 
     def __init__(
@@ -151,8 +157,10 @@ class NovaScheduler:
         state: DataCenterState,
         filters: Optional[Sequence[HostFilter]] = None,
         weighers: Optional[Sequence[HostWeigher]] = None,
+        injector: Optional["FaultInjector"] = None,
     ):
         self.state = state
+        self.injector = injector
         self.filters: List[HostFilter] = list(
             filters
             if filters is not None
@@ -196,6 +204,8 @@ class NovaScheduler:
     def create_server(self, request: ServerRequest) -> Server:
         """Schedule and reserve one server; returns the placement record."""
         _count_api_call("create_server", name=request.name)
+        if self.injector is not None:
+            self.injector.before_api_call("nova", "create_server")
         host = self.select_host(request)
         self.state.place_vm(host, request.vcpus, request.ram_gb)
         return Server(name=request.name, host=self.state.cloud.hosts[host].name)
@@ -203,5 +213,7 @@ class NovaScheduler:
     def delete_server(self, server: Server, request: ServerRequest) -> None:
         """Release a previously created server's reservation."""
         _count_api_call("delete_server", name=request.name)
+        if self.injector is not None:
+            self.injector.before_api_call("nova", "delete_server")
         host = self.state.cloud.host_by_name(server.host).index
         self.state.unplace_vm(host, request.vcpus, request.ram_gb)

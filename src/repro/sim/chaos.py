@@ -1,0 +1,167 @@
+"""Chaos scenarios: deploy a workload while a fault plan fires.
+
+:func:`run_chaos` drives one seeded end-to-end robustness run: a stream
+of multi-tier applications is deployed onto a fresh data center while a
+:class:`~repro.faults.plan.FaultPlan` crashes hosts, fails rack uplinks,
+and makes surrogate API calls raise. Host crashes trigger evacuation
+(:func:`repro.core.online.evacuate_host`); deadline pressure degrades
+the algorithm down the ladder
+(:func:`repro.faults.recovery.place_with_degradation`); transient API
+faults are retried under a seeded
+:class:`~repro.faults.retry.RetryPolicy`.
+
+After *every* operation the harness audits the live state for capacity
+leaks (:meth:`~repro.core.scheduler.Ostro.verify_state`); every finding
+lands in the report. Everything is seeded, so the same plan on the same
+arguments yields a bit-identical :class:`~repro.sim.metrics.ChaosReport`
+-- including its placement fingerprint.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, List, Optional
+
+from repro.core.online import evacuate_host
+from repro.core.scheduler import Ostro
+from repro.datacenter.model import Cloud
+from repro.datacenter.state import DataCenterState
+from repro.errors import DeadlineError, FaultError, PlacementError
+from repro.faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    RetryPolicy,
+    place_with_degradation,
+)
+from repro.sim.metrics import ChaosReport
+from repro.sim.scenarios import chaos_datacenter
+from repro.workloads.multitier import build_multitier
+
+
+def placement_fingerprint(ostro: Ostro) -> str:
+    """Digest of every committed assignment, stable across runs.
+
+    Hashes ``app/node@host:disk`` lines in sorted order, so two runs
+    that end with the same committed placements -- regardless of event
+    interleaving -- produce the same hex digest.
+    """
+    digest = hashlib.sha256()
+    for app_name in sorted(ostro.applications):
+        placement = ostro.applications[app_name].placement
+        for node in sorted(placement.assignments):
+            assignment = placement.assignments[node]
+            digest.update(
+                f"{app_name}/{node}@{assignment.host}:"
+                f"{assignment.disk}\n".encode("utf-8")
+            )
+    return digest.hexdigest()
+
+
+def run_chaos(
+    plan: FaultPlan,
+    cloud: Optional[Cloud] = None,
+    apps: int = 8,
+    app_vms: int = 10,
+    algorithm: str = "dba*",
+    theta_bw: float = 0.6,
+    theta_c: float = 0.4,
+    retry: Optional[RetryPolicy] = None,
+    **options: Any,
+) -> ChaosReport:
+    """Run one seeded chaos scenario and return its report.
+
+    Each scenario step deploys one heterogeneous multi-tier application
+    of ``app_vms`` VMs; the plan's scheduled events fire between steps
+    (a final advance applies any events scheduled past the last deploy,
+    e.g. repairs). Deploys run under the degradation ladder starting at
+    ``algorithm``; host crashes are evacuated immediately with the same
+    ladder. When the plan injects API faults and no ``retry`` policy is
+    given, a default policy seeded from the plan is installed.
+
+    Args:
+        plan: what goes wrong, and when.
+        cloud: physical structure (default: :func:`chaos_datacenter`).
+        apps: number of applications (= scenario steps) to deploy.
+        app_vms: VMs per application.
+        algorithm: starting algorithm rung for deploys and evacuations.
+        theta_bw / theta_c: objective weights.
+        retry: retry policy for the commit path (default: seeded from
+            the plan when it injects API faults, else none).
+        **options: forwarded algorithm options (e.g. ``deadline_s``).
+    """
+    if cloud is None:
+        cloud = chaos_datacenter()
+    state = DataCenterState(cloud)
+    injector = FaultInjector(plan, state)
+    if retry is None and plan.has_api_faults:
+        retry = RetryPolicy(seed=plan.seed)
+    ostro = Ostro(
+        cloud,
+        state=state,
+        theta_bw=theta_bw,
+        theta_c=theta_c,
+        injector=injector,
+        retry_policy=retry,
+    )
+    report = ChaosReport(seed=plan.seed, apps_requested=apps)
+    requested = algorithm.strip().lower()
+
+    def audit(context: str) -> None:
+        report.invariant_violations.extend(
+            f"[{context}] {violation}" for violation in ostro.verify_state()
+        )
+
+    def apply_fired(fired: List[FaultEvent]) -> None:
+        for event in fired:
+            if event.kind == "host_down":
+                evacuation = evacuate_host(
+                    ostro, event.target, algorithm=algorithm, **options
+                )
+                report.evacuations += 1
+                report.nodes_moved += len(evacuation.moved)
+                report.nodes_lost += len(evacuation.failed)
+                report.recovery_s += evacuation.runtime_s
+                report.degradations += sum(
+                    1
+                    for used in evacuation.algorithms.values()
+                    if used.strip().lower() != requested
+                )
+                audit(f"evacuate {event.target}")
+            else:
+                audit(f"{event.kind} {event.target}")
+
+    for step in range(apps):
+        apply_fired(injector.advance_to(step))
+        # largest tier count (<= the paper's 5) dividing the VM count
+        tiers = next(t for t in (5, 4, 3, 2, 1) if app_vms % t == 0)
+        topology = build_multitier(
+            total_vms=app_vms,
+            tiers=tiers,
+            heterogeneous=True,
+            name=f"chaos-app{step}",
+        )
+        try:
+            _, used = place_with_degradation(
+                ostro, topology, algorithm=algorithm, commit=True, **options
+            )
+            if used.strip().lower() != requested:
+                report.degradations += 1
+        except (DeadlineError, FaultError, PlacementError):
+            report.deploy_failures += 1
+        audit(f"deploy {topology.name}")
+
+    last_scheduled = plan.events[-1].at_step if plan.events else 0
+    apply_fired(injector.advance_to(max(apps, last_scheduled)))
+
+    report.hosts_failed = sum(
+        1 for event in injector.applied if event.kind == "host_down"
+    )
+    report.links_failed = sum(
+        1 for event in injector.applied if event.kind == "link_down"
+    )
+    report.api_faults = sum(injector.api_faults.values())
+    report.apps_deployed = len(ostro.applications)
+    report.fingerprint = placement_fingerprint(ostro)
+    audit("final")
+    return report

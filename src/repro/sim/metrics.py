@@ -4,11 +4,15 @@ Every placement run produces a :class:`MeasurementRow` carrying exactly the
 quantities the paper reports: reserved bandwidth, newly activated hosts,
 hosts used, and scheduler runtime. :func:`aggregate_rows` averages rows
 over seeds (the paper averages 20 executions per data point in Fig. 6).
+
+:class:`ChaosReport` carries the robustness metrics of a fault-injection
+run (see :mod:`repro.sim.chaos`): availability, recovery time, and the
+capacity-leak audit trail.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from statistics import mean
 from typing import Dict, Iterable, List, Tuple
 
@@ -83,6 +87,76 @@ class MeasurementRow:
             objective_value=result.objective_value,
             baseline_active_hosts=baseline_active_hosts,
         )
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one seeded chaos run (:func:`repro.sim.chaos.run_chaos`).
+
+    Attributes:
+        seed: the fault plan's seed (same seed => identical report).
+        apps_requested: applications the workload tried to deploy.
+        apps_deployed: applications still committed at the end of the run
+            (deploy failures and failed evacuations both subtract).
+        deploy_failures: deploy attempts that failed even after retries
+            and algorithm degradation.
+        degradations: placements that stepped down the algorithm ladder
+            (deploys and evacuation re-placements alike).
+        hosts_failed / links_failed: scheduled infrastructure faults
+            actually applied.
+        api_faults: surrogate API faults injected (transient + permanent).
+        evacuations: host evacuations performed.
+        nodes_moved: ``app/node`` re-placements performed by evacuations.
+        nodes_lost: victim nodes that could not be re-placed anywhere
+            (their whole application was released).
+        recovery_s: total scheduler runtime spent on evacuation
+            re-placements -- the recovery-time metric.
+        invariant_violations: capacity-leak audit findings, each prefixed
+            with the operation after which it was detected (empty = every
+            audit passed).
+        fingerprint: order-independent digest of the final committed
+            placements; bit-identical across same-seed runs.
+    """
+
+    seed: int
+    apps_requested: int = 0
+    apps_deployed: int = 0
+    deploy_failures: int = 0
+    degradations: int = 0
+    hosts_failed: int = 0
+    links_failed: int = 0
+    api_faults: int = 0
+    evacuations: int = 0
+    nodes_moved: int = 0
+    nodes_lost: int = 0
+    recovery_s: float = 0.0
+    invariant_violations: List[str] = field(default_factory=list)
+    fingerprint: str = ""
+
+    @property
+    def availability(self) -> float:
+        """Fraction of requested applications still deployed at the end."""
+        if self.apps_requested == 0:
+            return 1.0
+        return self.apps_deployed / self.apps_requested
+
+    def summary_lines(self) -> List[str]:
+        """Human-readable report body (one metric per line)."""
+        return [
+            f"seed:                 {self.seed}",
+            f"apps deployed:        {self.apps_deployed}/{self.apps_requested}"
+            f" (availability {self.availability:.2%})",
+            f"deploy failures:      {self.deploy_failures}",
+            f"degradations:         {self.degradations}",
+            f"hosts failed:         {self.hosts_failed}",
+            f"links failed:         {self.links_failed}",
+            f"api faults injected:  {self.api_faults}",
+            f"evacuations:          {self.evacuations}"
+            f" ({self.nodes_moved} nodes moved, {self.nodes_lost} lost)",
+            f"recovery time:        {self.recovery_s:.3f} s",
+            f"capacity leaks:       {len(self.invariant_violations)}",
+            f"fingerprint:          {self.fingerprint[:16]}",
+        ]
 
 
 def aggregate_rows(rows: Iterable[MeasurementRow]) -> List[MeasurementRow]:

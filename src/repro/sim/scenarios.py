@@ -18,8 +18,9 @@ EXPERIMENTS.md records which scale produced the recorded numbers.
 from __future__ import annotations
 
 import os
+import random
 from dataclasses import dataclass, field
-from typing import Callable, List
+from typing import Callable, List, Optional
 
 from repro.core.greedy import GreedyConfig
 from repro.core.heuristic import EstimatorConfig
@@ -29,6 +30,8 @@ from repro.datacenter.builder import build_datacenter, build_testbed
 from repro.datacenter.loadgen import apply_table_iv_load, apply_testbed_load
 from repro.datacenter.model import Cloud
 from repro.datacenter.state import DataCenterState
+from repro.errors import DataCenterError
+from repro.faults import FaultEvent, FaultPlan
 from repro.workloads.mesh import build_mesh
 from repro.workloads.multitier import build_multitier
 from repro.workloads.qfs import build_qfs
@@ -174,6 +177,82 @@ def mesh_scenario(heterogeneous: bool = True) -> Scenario:
         ),
         workload="mesh",
         heterogeneous=heterogeneous,
+    )
+
+
+def chaos_datacenter() -> Cloud:
+    """The chaos experiments' data center: 6 racks = 96 hosts.
+
+    Deliberately smaller than :func:`sim_datacenter` -- chaos runs
+    deploy many applications, evacuate hosts, and audit conservation
+    after every operation, so the suite keeps them laptop-fast.
+    """
+    return build_datacenter(num_racks=6)
+
+
+def make_fault_plan(
+    cloud: Cloud,
+    seed: int = 0,
+    hosts: int = 0,
+    links: int = 0,
+    api_transient_rate: float = 0.0,
+    api_permanent_rate: float = 0.0,
+    steps: int = 8,
+    recover_after_steps: Optional[int] = None,
+) -> FaultPlan:
+    """Build a seeded :class:`~repro.faults.plan.FaultPlan` for a cloud.
+
+    Draws ``hosts`` distinct victim hosts and ``links`` distinct victim
+    rack uplinks with a :class:`random.Random` seeded by ``seed`` (the
+    same seed on the same cloud always yields the same plan), and
+    spreads the failures evenly across ``steps`` scenario steps. With
+    ``recover_after_steps`` set, every failed element is scheduled to
+    come back that many steps after it fails.
+
+    Args:
+        cloud: the physical structure victims are drawn from.
+        seed: seeds both the victim draw and the plan's API-fault RNG.
+        hosts: how many hosts to crash.
+        links: how many rack (ToR) uplinks to fail.
+        api_transient_rate: per-call probability of a transient API fault.
+        api_permanent_rate: per-call probability of a permanent API fault.
+        steps: scenario length the failures are spread over.
+        recover_after_steps: optional repair delay, in steps.
+    """
+    if hosts > len(cloud.hosts):
+        raise DataCenterError(
+            f"cannot fail {hosts} of {len(cloud.hosts)} hosts"
+        )
+    if links > len(cloud.racks):
+        raise DataCenterError(
+            f"cannot fail {links} of {len(cloud.racks)} rack uplinks"
+        )
+    rng = random.Random(seed)
+    targets = [
+        ("host_down", "host_up", name)
+        for name in rng.sample([h.name for h in cloud.hosts], hosts)
+    ] + [
+        ("link_down", "link_up", f"rack:{name}")
+        for name in rng.sample([r.name for r in cloud.racks], links)
+    ]
+    events = []
+    spacing = max(1, steps // (len(targets) + 1))
+    for i, (down, up, target) in enumerate(targets):
+        at_step = spacing * (i + 1)
+        events.append(FaultEvent(at_step=at_step, kind=down, target=target))
+        if recover_after_steps is not None:
+            events.append(
+                FaultEvent(
+                    at_step=at_step + recover_after_steps,
+                    kind=up,
+                    target=target,
+                )
+            )
+    return FaultPlan(
+        seed=seed,
+        api_transient_rate=api_transient_rate,
+        api_permanent_rate=api_permanent_rate,
+        events=tuple(events),
     )
 
 

@@ -1,0 +1,159 @@
+"""End-to-end chaos scenario tests (repro.sim.chaos)."""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.datacenter.builder import build_datacenter
+from repro.errors import DataCenterError
+from repro.sim.chaos import run_chaos
+from repro.sim.scenarios import make_fault_plan
+
+
+@pytest.fixture
+def tiny_cloud():
+    return build_datacenter(num_racks=2, hosts_per_rack=8)
+
+
+class TestMakeFaultPlan:
+    def test_same_seed_same_plan(self, tiny_cloud):
+        a = make_fault_plan(tiny_cloud, seed=5, hosts=3, links=1)
+        b = make_fault_plan(tiny_cloud, seed=5, hosts=3, links=1)
+        c = make_fault_plan(tiny_cloud, seed=6, hosts=3, links=1)
+        assert a.events == b.events
+        assert a.events != c.events
+
+    def test_recovery_events_follow_failures(self, tiny_cloud):
+        plan = make_fault_plan(
+            tiny_cloud, seed=0, hosts=2, links=1, recover_after_steps=2
+        )
+        downs = [e for e in plan.events if e.kind.endswith("_down")]
+        ups = [e for e in plan.events if e.kind.endswith("_up")]
+        assert len(downs) == 3 and len(ups) == 3
+        by_target = {e.target: e.at_step for e in downs}
+        for up in ups:
+            assert up.at_step == by_target[up.target] + 2
+
+    def test_victim_counts_validated(self, tiny_cloud):
+        with pytest.raises(DataCenterError, match="hosts"):
+            make_fault_plan(tiny_cloud, hosts=1000)
+        with pytest.raises(DataCenterError, match="uplinks"):
+            make_fault_plan(tiny_cloud, links=1000)
+
+
+class TestRunChaos:
+    def test_same_seed_runs_are_bit_identical(self, tiny_cloud):
+        def one_run():
+            plan = make_fault_plan(
+                tiny_cloud,
+                seed=2,
+                hosts=3,
+                links=1,
+                api_transient_rate=0.2,
+                steps=5,
+            )
+            return run_chaos(
+                plan,
+                cloud=build_datacenter(num_racks=2, hosts_per_rack=8),
+                apps=5,
+                app_vms=8,
+                algorithm="eg",
+            )
+
+        first, second = one_run(), one_run()
+        assert first.fingerprint == second.fingerprint
+        # recovery_s is scheduler wall-clock; everything else is exact
+        a, b = asdict(first), asdict(second)
+        a.pop("recovery_s"), b.pop("recovery_s")
+        assert a == b
+
+    def test_chaos_run_leaks_no_capacity(self, tiny_cloud):
+        plan = make_fault_plan(
+            tiny_cloud,
+            seed=0,
+            hosts=4,
+            links=1,
+            api_transient_rate=0.3,
+            steps=6,
+            recover_after_steps=2,
+        )
+        report = run_chaos(
+            plan, cloud=tiny_cloud, apps=6, app_vms=8, algorithm="eg"
+        )
+        assert report.invariant_violations == []
+        assert report.hosts_failed == 4
+        assert report.links_failed == 1
+        assert report.apps_requested == 6
+        assert 0.0 <= report.availability <= 1.0
+
+    def test_quiet_plan_is_a_plain_deployment(self, tiny_cloud):
+        plan = make_fault_plan(tiny_cloud, seed=0)
+        report = run_chaos(
+            plan, cloud=tiny_cloud, apps=3, app_vms=6, algorithm="eg"
+        )
+        assert report.apps_deployed == 3
+        assert report.availability == 1.0
+        assert report.evacuations == 0
+        assert report.api_faults == 0
+        assert report.degradations == 0
+        assert report.invariant_violations == []
+
+    def test_degradation_ladder_engages_under_chaos(self, tiny_cloud):
+        plan = make_fault_plan(tiny_cloud, seed=0, hosts=1)
+        report = run_chaos(
+            plan,
+            cloud=tiny_cloud,
+            apps=3,
+            app_vms=6,
+            algorithm="dba*",
+            deadline_s=0.0,  # DBA* unusable; every placement degrades
+        )
+        assert report.degradations >= 3
+        assert report.apps_deployed == 3
+        assert report.invariant_violations == []
+
+    def test_summary_lines_cover_the_headline_metrics(self, tiny_cloud):
+        report = run_chaos(
+            make_fault_plan(tiny_cloud, seed=0, hosts=1),
+            cloud=tiny_cloud,
+            apps=2,
+            app_vms=6,
+            algorithm="eg",
+        )
+        text = "\n".join(report.summary_lines())
+        for needle in ("availability", "fingerprint", "capacity leaks"):
+            assert needle in text
+
+
+class TestChaosCLI:
+    def test_experiment_chaos_exits_clean(self, capsys):
+        rc = cli_main(
+            [
+                "experiment",
+                "chaos",
+                "--dc",
+                "dc:2",
+                "--apps",
+                "3",
+                "--app-vms",
+                "6",
+                "--algorithm",
+                "eg",
+                "--faults",
+                "hosts=2,links=1,api=0.1,recover=2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "availability" in out
+        assert "fingerprint" in out
+
+    def test_bad_fault_spec_is_a_clean_error(self, capsys):
+        rc = cli_main(
+            ["experiment", "chaos", "--faults", "meteors=7", "--dc", "dc:2"]
+        )
+        assert rc == 1
+        assert "fault spec" in capsys.readouterr().err

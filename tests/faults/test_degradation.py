@@ -1,0 +1,96 @@
+"""Graceful-degradation ladder tests (repro.faults.recovery)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.core.scheduler import Ostro
+from repro.errors import PlacementError
+from repro.faults import DEGRADATION_LADDER, place_with_degradation
+from tests.conftest import make_three_tier
+
+
+@pytest.fixture
+def recorder():
+    rec = obs.enable()
+    yield rec
+    obs.disable()
+
+
+class TestLadder:
+    def test_every_rung_terminates_at_eg(self):
+        for start in DEGRADATION_LADDER:
+            current, hops = start, 0
+            while current in DEGRADATION_LADDER:
+                current = DEGRADATION_LADDER[current]
+                hops += 1
+                assert hops <= len(DEGRADATION_LADDER)
+            assert current == "eg"
+
+
+class TestPlaceWithDegradation:
+    def test_healthy_run_uses_the_requested_rung(self, small_dc):
+        ostro = Ostro(small_dc)
+        result, used = place_with_degradation(
+            ostro, make_three_tier(), algorithm="eg"
+        )
+        assert used == "eg"
+        assert "three-tier" in ostro.applications
+        assert result.placement.assignments
+
+    def test_impossible_deadline_steps_down_the_ladder(self, small_dc):
+        """deadline_s=0 makes DBA* unusable; BA* (which ignores the
+        deadline option) takes over instead of the request failing."""
+        ostro = Ostro(small_dc)
+        result, used = place_with_degradation(
+            ostro, make_three_tier(), algorithm="dba*", deadline_s=0.0
+        )
+        assert used in ("ba*", "eg")
+        assert "three-tier" in ostro.applications
+        assert result.placement.assignments
+        assert ostro.verify_state() == []
+
+    def test_degradation_emits_telemetry(self, small_dc, recorder):
+        ostro = Ostro(small_dc)
+        place_with_degradation(
+            ostro, make_three_tier(), algorithm="dba*", deadline_s=0.0
+        )
+        counter = recorder.registry.get("ostro_degradations_total")
+        assert counter.value(from_algorithm="dba*", to_algorithm="ba*") == 1.0
+        (event,) = recorder.events.of_type("degraded")
+        assert event.fields["from_algorithm"] == "dba*"
+        assert event.fields["to_algorithm"] == "ba*"
+
+    def test_infeasible_request_fails_from_the_last_rung(self, small_dc):
+        ostro = Ostro(small_dc)
+        monster = make_three_tier()
+        monster.add_vm("monster", vcpus=10_000, mem_gb=10_000)
+        pristine = ostro.state.snapshot()
+        with pytest.raises(PlacementError):
+            place_with_degradation(
+                ostro, monster, algorithm="dba*", deadline_s=0.0
+            )
+        assert ostro.state.snapshot() == pristine
+        assert ostro.applications == {}
+
+    def test_eg_failure_propagates_without_fallback(self, small_dc):
+        ostro = Ostro(small_dc)
+        monster = make_three_tier()
+        monster.add_vm("monster", vcpus=10_000, mem_gb=10_000)
+        with pytest.raises(PlacementError):
+            place_with_degradation(ostro, monster, algorithm="eg")
+
+    def test_commit_false_leaves_state_untouched(self, small_dc):
+        ostro = Ostro(small_dc)
+        pristine = ostro.state.snapshot()
+        _, used = place_with_degradation(
+            ostro,
+            make_three_tier(),
+            algorithm="dba*",
+            commit=False,
+            deadline_s=0.0,
+        )
+        assert used in ("ba*", "eg")
+        assert ostro.state.snapshot() == pristine
+        assert ostro.applications == {}

@@ -1,0 +1,144 @@
+"""Host-failure evacuation tests (repro.core.online.evacuate_host)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.online import evacuate_host
+from repro.core.scheduler import Ostro
+from repro.core.topology import ApplicationTopology
+from repro.core.validate import placement_violations
+from repro.datacenter.builder import build_datacenter
+from repro.datacenter.model import Level
+from repro.datacenter.state import DataCenterState
+from tests.conftest import make_three_tier
+
+
+def crashed_clone(cloud, host_index):
+    """A pristine state with only the crash applied (validation base)."""
+    state = DataCenterState(cloud)
+    state.fail_host(host_index)
+    return state
+
+
+class TestEvacuateHost:
+    def test_victims_leave_the_down_host(self, small_dc):
+        ostro = Ostro(small_dc)
+        topo = make_three_tier()
+        ostro.place(topo, algorithm="eg", commit=True)
+        victim_host = ostro.deployed("three-tier").placement.host_of("db0")
+        ostro.state.fail_host(victim_host)
+
+        report = evacuate_host(ostro, victim_host, algorithm="eg")
+        assert report.apps == ["three-tier"]
+        assert report.failed == []
+        placement = ostro.deployed("three-tier").placement
+        hosts_used = {a.host for a in placement.assignments.values()}
+        assert victim_host not in hosts_used
+        assert ostro.verify_state() == []
+
+    def test_replacement_passes_independent_validation(self, small_dc):
+        """The evacuated placement satisfies every Section II-B constraint
+        -- capacity, bandwidth, and the db anti-affinity zone -- against
+        a fresh state that knows only about the crash."""
+        ostro = Ostro(small_dc)
+        topo = make_three_tier()
+        ostro.place(topo, algorithm="eg", commit=True)
+        victim_host = ostro.deployed("three-tier").placement.host_of("db1")
+        ostro.state.fail_host(victim_host)
+        evacuate_host(ostro, victim_host, algorithm="eg")
+
+        placement = ostro.deployed("three-tier").placement
+        violations = placement_violations(
+            topo, small_dc, crashed_clone(small_dc, victim_host), placement
+        )
+        assert violations == []
+        # anti-affinity explicitly: the db zone still spans two hosts
+        assert placement.host_of("db0") != placement.host_of("db1")
+
+    def test_host_accepted_by_name(self, small_dc):
+        ostro = Ostro(small_dc)
+        ostro.place(make_three_tier(), algorithm="eg", commit=True)
+        victim_host = ostro.deployed("three-tier").placement.host_of("web0")
+        ostro.state.fail_host(victim_host)
+        report = evacuate_host(
+            ostro, small_dc.hosts[victim_host].name, algorithm="eg"
+        )
+        assert report.host == small_dc.hosts[victim_host].name
+
+    def test_multiple_apps_are_all_evacuated(self, small_dc):
+        ostro = Ostro(small_dc)
+        first = make_three_tier()
+        second = make_three_tier()
+        second.name = "second"
+        ostro.place(first, algorithm="eg", commit=True)
+        ostro.place(second, algorithm="eg", commit=True)
+        # both EG placements pack the same hosts; crash db0's host
+        victim_host = ostro.deployed("three-tier").placement.host_of("db0")
+        ostro.state.fail_host(victim_host)
+        report = evacuate_host(ostro, victim_host, algorithm="eg")
+        assert set(report.apps) <= {"three-tier", "second"}
+        for app_name in ostro.applications:
+            placement = ostro.applications[app_name].placement
+            assert victim_host not in {
+                a.host for a in placement.assignments.values()
+            }
+        assert ostro.verify_state() == []
+
+    def test_unaffected_host_evacuates_nothing(self, small_dc):
+        ostro = Ostro(small_dc)
+        ostro.place(make_three_tier(), algorithm="eg", commit=True)
+        used = {
+            a.host
+            for a in ostro.deployed("three-tier").placement
+            .assignments.values()
+        }
+        idle = next(i for i in range(len(small_dc.hosts)) if i not in used)
+        ostro.state.fail_host(idle)
+        report = evacuate_host(ostro, idle, algorithm="eg")
+        assert report.apps == []
+        assert report.moved == []
+
+    def test_infeasible_evacuation_releases_the_app(self):
+        """When victims fit nowhere, the app is removed whole -- capacity
+        conserved -- instead of being left half-committed."""
+        cloud = build_datacenter(num_racks=1, hosts_per_rack=2)
+        ostro = Ostro(cloud)
+        topo = ApplicationTopology("pair")
+        topo.add_vm("a", vcpus=10, mem_gb=4)
+        topo.add_vm("b", vcpus=10, mem_gb=4)
+        topo.add_zone("spread", Level.HOST, ["a", "b"])
+        ostro.place(topo, algorithm="eg", commit=True)
+        victim_host = ostro.deployed("pair").placement.host_of("a")
+        ostro.state.fail_host(victim_host)
+
+        report = evacuate_host(ostro, victim_host, algorithm="eg")
+        assert report.failed == ["pair/a"]
+        assert "pair" not in ostro.applications
+        assert ostro.verify_state() == []
+
+    def test_evacuating_a_live_host_is_rejected_by_search(self, small_dc):
+        """Evacuation of a host that is *not* down re-places onto it --
+        the caller must fail the host first; this documents why."""
+        ostro = Ostro(small_dc)
+        ostro.place(make_three_tier(), algorithm="eg", commit=True)
+        victim_host = ostro.deployed("three-tier").placement.host_of("web0")
+        report = evacuate_host(ostro, victim_host, algorithm="eg")
+        # nothing guarantees the victims moved: the host is still the
+        # cheapest feasible location
+        assert report.apps == ["three-tier"]
+        assert ostro.verify_state() == []
+
+
+class TestDegradedEvacuation:
+    def test_zero_deadline_degrades_instead_of_failing(self, small_dc):
+        ostro = Ostro(small_dc)
+        ostro.place(make_three_tier(), algorithm="eg", commit=True)
+        victim_host = ostro.deployed("three-tier").placement.host_of("db0")
+        ostro.state.fail_host(victim_host)
+        report = evacuate_host(
+            ostro, victim_host, algorithm="dba*", deadline_s=0.0
+        )
+        assert report.failed == []
+        assert report.algorithms["three-tier"] in ("ba*", "eg")
+        assert ostro.verify_state() == []

@@ -1,0 +1,162 @@
+"""Tests for fault plans and the injector (repro.faults.{plan,injector})."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datacenter.state import DataCenterState
+from repro.errors import (
+    DataCenterError,
+    PermanentAPIError,
+    TransientAPIError,
+)
+from repro.faults import FaultEvent, FaultInjector, FaultPlan
+
+
+class TestFaultEvent:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(DataCenterError, match="unknown fault kind"):
+            FaultEvent(at_step=0, kind="meteor_strike", target="h1")
+
+    def test_negative_step_rejected(self):
+        with pytest.raises(DataCenterError, match=">= 0"):
+            FaultEvent(at_step=-1, kind="host_down", target="h1")
+
+
+class TestFaultPlan:
+    def test_rates_validated(self):
+        with pytest.raises(DataCenterError, match="api_transient_rate"):
+            FaultPlan(api_transient_rate=1.5)
+        with pytest.raises(DataCenterError, match="api_permanent_rate"):
+            FaultPlan(api_permanent_rate=-0.1)
+
+    def test_events_sorted_and_filtered_by_step(self):
+        late = FaultEvent(at_step=5, kind="host_down", target="b")
+        early = FaultEvent(at_step=1, kind="host_down", target="a")
+        plan = FaultPlan(events=[late, early])
+        assert plan.events == [early, late]
+        assert plan.events_between(-1, 1) == [early]
+        assert plan.events_between(1, 5) == [late]
+        assert plan.events_between(5, 100) == []
+
+    def test_draws_are_deterministic_per_seed(self):
+        def sequence(plan):
+            return [
+                type(plan.draw_api_fault("nova", "create_server")).__name__
+                for _ in range(50)
+            ]
+
+        a = FaultPlan(seed=3, api_transient_rate=0.3, api_permanent_rate=0.1)
+        b = FaultPlan(seed=3, api_transient_rate=0.3, api_permanent_rate=0.1)
+        c = FaultPlan(seed=4, api_transient_rate=0.3, api_permanent_rate=0.1)
+        seq_a, seq_b, seq_c = sequence(a), sequence(b), sequence(c)
+        assert seq_a == seq_b
+        assert seq_a != seq_c
+        assert "TransientAPIError" in seq_a
+        assert "PermanentAPIError" in seq_a
+
+    def test_reset_rewinds_the_draw_stream(self):
+        plan = FaultPlan(seed=3, api_transient_rate=0.5)
+        first = [plan.draw_api_fault("s", "m") for _ in range(20)]
+        plan.reset()
+        second = [plan.draw_api_fault("s", "m") for _ in range(20)]
+        assert [type(f).__name__ for f in first] == [
+            type(f).__name__ for f in second
+        ]
+
+    def test_zero_rates_never_fault(self):
+        plan = FaultPlan(seed=0)
+        assert not plan.has_api_faults
+        assert all(
+            plan.draw_api_fault("s", "m") is None for _ in range(100)
+        )
+
+
+class TestFaultInjector:
+    def test_scheduled_events_fire_in_step_order(self, small_dc):
+        state = DataCenterState(small_dc)
+        h0, h1 = small_dc.hosts[0].name, small_dc.hosts[1].name
+        plan = FaultPlan(
+            events=[
+                FaultEvent(at_step=2, kind="host_down", target=h1),
+                FaultEvent(at_step=0, kind="host_down", target=h0),
+                FaultEvent(at_step=3, kind="host_up", target=h0),
+            ]
+        )
+        injector = FaultInjector(plan, state)
+        assert [e.target for e in injector.advance_to(0)] == [h0]
+        assert state.host_is_down(0)
+        # idempotent: advancing to the same or an earlier step is a no-op
+        assert injector.advance_to(0) == []
+        fired = injector.advance_to(10)
+        assert [(e.at_step, e.kind) for e in fired] == [
+            (2, "host_down"),
+            (3, "host_up"),
+        ]
+        assert not state.host_is_down(0)
+        assert state.host_is_down(1)
+        assert len(injector.applied) == 3
+
+    def test_link_targets_resolve_by_element_kind(self, podded_cloud):
+        state = DataCenterState(podded_cloud)
+        host = podded_cloud.hosts[0]
+        rack = podded_cloud.racks[0]
+        pod = podded_cloud.pods[0]
+        plan = FaultPlan(
+            events=[
+                FaultEvent(0, "link_down", f"host:{host.name}"),
+                FaultEvent(0, "link_down", f"rack:{rack.name}"),
+                FaultEvent(0, "link_down", f"pod:{pod.name}"),
+            ]
+        )
+        FaultInjector(plan, state).advance_to(0)
+        down = set(state.down_links())
+        assert {host.link_index, rack.link_index, pod.link_index} == down
+        for link in down:
+            assert state.free_bw[link] == 0.0
+
+    @pytest.mark.parametrize(
+        "target", ["unqualified", "disk:whatever", "rack:nope", "pod:nope"]
+    )
+    def test_bad_link_targets_raise(self, small_dc, target):
+        state = DataCenterState(small_dc)
+        plan = FaultPlan(events=[FaultEvent(0, "link_down", target)])
+        with pytest.raises(DataCenterError):
+            FaultInjector(plan, state).advance_to(0)
+
+    def test_api_faults_raise_and_are_counted(self, small_dc):
+        state = DataCenterState(small_dc)
+        injector = FaultInjector(
+            FaultPlan(seed=1, api_transient_rate=1.0), state
+        )
+        for _ in range(3):
+            with pytest.raises(TransientAPIError):
+                injector.before_api_call("nova", "create_server")
+        assert injector.api_faults == {"TransientAPIError": 3}
+
+    def test_permanent_faults_identified(self, small_dc):
+        state = DataCenterState(small_dc)
+        injector = FaultInjector(
+            FaultPlan(seed=1, api_permanent_rate=1.0), state
+        )
+        with pytest.raises(PermanentAPIError):
+            injector.before_api_call("cinder", "create_volume")
+        assert injector.api_faults == {"PermanentAPIError": 1}
+
+    def test_constructing_injector_resets_plan_stream(self, small_dc):
+        plan = FaultPlan(seed=9, api_transient_rate=0.4)
+
+        def run(state):
+            injector = FaultInjector(plan, state)
+            outcomes = []
+            for _ in range(30):
+                try:
+                    injector.before_api_call("s", "m")
+                    outcomes.append("ok")
+                except TransientAPIError:
+                    outcomes.append("fault")
+            return outcomes
+
+        first = run(DataCenterState(small_dc))
+        second = run(DataCenterState(small_dc))
+        assert first == second

@@ -1,0 +1,118 @@
+"""Tests for the retry/backoff policy (repro.faults.retry)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    DataCenterError,
+    PermanentAPIError,
+    RetryError,
+    TransientAPIError,
+)
+from repro.faults import RetryPolicy, retry_call
+
+
+class Flaky:
+    """Callable that raises the scripted errors, then returns a value."""
+
+    def __init__(self, errors, value="ok"):
+        self.errors = list(errors)
+        self.value = value
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.errors:
+            raise self.errors.pop(0)
+        return self.value
+
+
+class TestRetryCall:
+    def test_succeeds_after_transient_failures(self):
+        fn = Flaky([TransientAPIError("t1"), TransientAPIError("t2")])
+        policy = RetryPolicy(max_attempts=4)
+        assert retry_call(policy, fn) == "ok"
+        assert fn.calls == 3
+
+    def test_attempt_exhaustion_raises_chained_retry_error(self):
+        fn = Flaky([TransientAPIError(f"t{i}") for i in range(10)])
+        policy = RetryPolicy(max_attempts=3)
+        with pytest.raises(RetryError) as excinfo:
+            retry_call(policy, fn, service="nova", method="create_server")
+        assert fn.calls == 3
+        assert excinfo.value.attempts == 3
+        assert isinstance(excinfo.value.__cause__, TransientAPIError)
+        assert "nova.create_server" in str(excinfo.value)
+
+    def test_budget_exhaustion_stops_early(self):
+        fn = Flaky([TransientAPIError(f"t{i}") for i in range(10)])
+        policy = RetryPolicy(
+            max_attempts=10,
+            base_delay_s=1.0,
+            jitter=0.0,
+            timeout_budget_s=2.5,
+        )
+        # delays 1, 2 fit (total 3 > 2.5 already on the second retry)
+        with pytest.raises(RetryError, match="budget"):
+            retry_call(policy, fn)
+        assert fn.calls < 10
+
+    def test_permanent_error_is_not_retried(self):
+        fn = Flaky([PermanentAPIError("dead")])
+        policy = RetryPolicy(max_attempts=5)
+        with pytest.raises(PermanentAPIError):
+            retry_call(policy, fn)
+        assert fn.calls == 1
+
+    def test_unrelated_errors_propagate(self):
+        def boom():
+            raise ValueError("not an API fault")
+
+        with pytest.raises(ValueError):
+            retry_call(RetryPolicy(), boom)
+
+    def test_virtual_sleep_by_default_and_real_sleep_hook(self):
+        slept = []
+        fn = Flaky([TransientAPIError("t")])
+        policy = RetryPolicy(max_attempts=3, sleep=slept.append)
+        retry_call(policy, fn)
+        assert len(slept) == 1 and slept[0] > 0.0
+
+
+class TestRetryPolicy:
+    def test_delays_are_exponential_without_jitter(self):
+        policy = RetryPolicy(
+            base_delay_s=0.1, backoff_factor=2.0, jitter=0.0
+        )
+        assert [policy.next_delay_s(a) for a in (1, 2, 3)] == pytest.approx(
+            [0.1, 0.2, 0.4]
+        )
+
+    def test_jitter_is_deterministic_per_seed(self):
+        first = RetryPolicy(jitter=0.5, seed=7)
+        second = RetryPolicy(jitter=0.5, seed=7)
+        other = RetryPolicy(jitter=0.5, seed=8)
+        seq_a = [first.next_delay_s(a) for a in range(1, 6)]
+        seq_b = [second.next_delay_s(a) for a in range(1, 6)]
+        seq_c = [other.next_delay_s(a) for a in range(1, 6)]
+        assert seq_a == seq_b
+        assert seq_a != seq_c
+
+    def test_jitter_stays_within_band(self):
+        policy = RetryPolicy(base_delay_s=1.0, backoff_factor=1.0, jitter=0.5)
+        for attempt in range(1, 50):
+            assert 0.5 <= policy.next_delay_s(attempt) <= 1.5
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"base_delay_s": -1.0},
+            {"backoff_factor": 0.5},
+            {"jitter": 1.5},
+        ],
+    )
+    def test_invalid_configuration_rejected(self, kwargs):
+        with pytest.raises(DataCenterError):
+            RetryPolicy(**kwargs)

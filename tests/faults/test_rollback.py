@@ -1,0 +1,148 @@
+"""Transactional rollback tests: a failed deploy leaks nothing.
+
+The scripted injector fails the k-th surrogate API call; every test
+asserts the state fingerprint (``snapshot()``) after the failed
+operation is bit-identical to the fingerprint before it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.scheduler import Ostro
+from repro.datacenter.state import DataCenterState
+from repro.errors import PermanentAPIError, RetryError, TransientAPIError
+from repro.faults import RetryPolicy
+from repro.heat.engine import HeatEngine
+from repro.heat.template import template_from_topology
+from tests.conftest import make_three_tier
+
+#: three-tier = 6 servers + 2 volumes -> 8 create calls per deploy
+N_CREATE_CALLS = 8
+
+
+class ScriptedInjector:
+    """Duck-typed injector that fails exactly the scripted call numbers."""
+
+    def __init__(self, fail_calls, error=PermanentAPIError):
+        self.fail_calls = set(fail_calls)
+        self.error = error
+        self.calls = 0
+
+    def before_api_call(self, service, method):
+        self.calls += 1
+        if self.calls in self.fail_calls:
+            raise self.error(
+                f"scripted fault on call {self.calls} ({service}.{method})"
+            )
+
+
+class TestDeployRollback:
+    @pytest.mark.parametrize("fail_at", range(1, N_CREATE_CALLS + 1))
+    def test_mid_stack_failure_restores_state_bit_exactly(
+        self, small_dc, fail_at
+    ):
+        engine = HeatEngine(
+            DataCenterState(small_dc),
+            injector=ScriptedInjector([fail_at]),
+        )
+        template = template_from_topology(make_three_tier())
+        before = engine.state.snapshot()
+        with pytest.raises(PermanentAPIError):
+            engine.deploy(template, "s1")
+        assert engine.state.snapshot() == before
+        assert "s1" not in engine.stacks
+        assert engine.state.capacity_invariants() == []
+        # the state is fully usable afterwards: the same deploy succeeds
+        engine.nova.injector = engine.cinder.injector = None
+        stack = engine.deploy(template, "s1")
+        assert len(stack.servers) == 6 and len(stack.volumes) == 2
+
+    def test_transient_faults_are_retried_to_success(self, small_dc):
+        injector = ScriptedInjector([1, 2], error=TransientAPIError)
+        engine = HeatEngine(
+            DataCenterState(small_dc),
+            injector=injector,
+            retry=RetryPolicy(max_attempts=3),
+        )
+        stack = engine.deploy(
+            template_from_topology(make_three_tier()), "s1"
+        )
+        assert len(stack.servers) == 6
+        assert injector.calls > N_CREATE_CALLS  # retries happened
+
+    def test_exhausted_retries_roll_back(self, small_dc):
+        injector = ScriptedInjector(range(1, 100), error=TransientAPIError)
+        engine = HeatEngine(
+            DataCenterState(small_dc),
+            injector=injector,
+            retry=RetryPolicy(max_attempts=3),
+        )
+        before = engine.state.snapshot()
+        with pytest.raises(RetryError):
+            engine.deploy(template_from_topology(make_three_tier()), "s1")
+        assert engine.state.snapshot() == before
+        assert "s1" not in engine.stacks
+
+
+class TestUpdateRollback:
+    @pytest.mark.parametrize("fail_at", [1, 5, 9, 12, 16])
+    def test_failed_update_restores_state_and_old_stack(
+        self, small_dc, fail_at
+    ):
+        """Failure anywhere in delete-then-redeploy rolls the update back.
+
+        An update issues 8 delete calls then 8 create calls; ``fail_at``
+        samples both phases.
+        """
+        engine = HeatEngine(DataCenterState(small_dc))
+        topo = make_three_tier()
+        engine.deploy(template_from_topology(topo), "s1")
+        before = engine.state.snapshot()
+        old_servers = dict(engine.stacks["s1"].servers)
+
+        injector = ScriptedInjector([fail_at])
+        engine.nova.injector = engine.cinder.injector = injector
+        grown = topo.copy()
+        grown.add_vm("extra", 1, 1)
+        with pytest.raises(PermanentAPIError):
+            engine.update_stack(template_from_topology(grown), "s1")
+        assert engine.state.snapshot() == before
+        assert engine.stacks["s1"].servers == old_servers
+        assert engine.state.capacity_invariants() == []
+
+
+class TestCommitRollback:
+    def test_injected_commit_fault_restores_scheduler_state(self, small_dc):
+        ostro = Ostro(small_dc, injector=ScriptedInjector([1]))
+        pristine = ostro.state.snapshot()
+        with pytest.raises(PermanentAPIError):
+            ostro.place(make_three_tier(), algorithm="eg", commit=True)
+        assert ostro.state.snapshot() == pristine
+        assert ostro.applications == {}
+        assert ostro.verify_state() == []
+
+    def test_commit_retries_transient_faults(self, small_dc):
+        injector = ScriptedInjector([1], error=TransientAPIError)
+        ostro = Ostro(
+            small_dc,
+            injector=injector,
+            retry_policy=RetryPolicy(max_attempts=3),
+        )
+        result = ostro.place(make_three_tier(), algorithm="eg", commit=True)
+        assert "three-tier" in ostro.applications
+        assert result.placement.assignments
+        assert ostro.verify_state() == []
+
+    def test_remove_after_faulty_commit_cycle_is_leak_free(self, small_dc):
+        injector = ScriptedInjector([1], error=TransientAPIError)
+        ostro = Ostro(
+            small_dc,
+            injector=injector,
+            retry_policy=RetryPolicy(max_attempts=3),
+        )
+        pristine = ostro.state.snapshot()
+        ostro.place(make_three_tier(), algorithm="eg", commit=True)
+        ostro.remove("three-tier")
+        assert ostro.state.snapshot() == pristine
+        assert ostro.verify_state() == []

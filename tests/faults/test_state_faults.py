@@ -1,0 +1,154 @@
+"""Tests for the state's down-element fault model and leak invariants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datacenter.state import DataCenterState
+from repro.errors import CapacityError, DataCenterError
+
+
+class TestHostFailures:
+    def test_fail_host_zeroes_all_free_capacity(self, small_state):
+        cloud = small_state.cloud
+        host = cloud.hosts[0]
+        small_state.fail_host(0)
+        assert small_state.host_is_down(0)
+        assert small_state.free_cpu[0] == 0.0
+        assert small_state.free_mem[0] == 0.0
+        for disk in host.disks:
+            assert small_state.free_disk[disk.index] == 0.0
+        assert small_state.free_bw[host.link_index] == 0.0
+        assert small_state.down_hosts() == [0]
+        assert small_state.capacity_invariants() == []
+
+    def test_effective_free_sees_absorbed_capacity(self, small_state):
+        cloud = small_state.cloud
+        before_cpu = small_state.free_cpu[0]
+        small_state.fail_host(0)
+        assert small_state.effective_free_cpu(0) == before_cpu
+        assert small_state.effective_free_mem(0) == cloud.hosts[0].mem_gb
+
+    def test_fail_restore_round_trip_is_bit_exact(self, small_state):
+        # non-trivial occupancy first
+        small_state.place_vm(0, 4, 8)
+        small_state.place_volume(0, 100)
+        before = small_state.snapshot()
+        small_state.fail_host(0)
+        assert small_state.snapshot() != before
+        small_state.restore_host(0)
+        assert small_state.snapshot() == before
+        assert small_state.capacity_invariants() == []
+
+    def test_double_fail_and_stray_restore_rejected(self, small_state):
+        small_state.fail_host(0)
+        with pytest.raises(DataCenterError, match="already down"):
+            small_state.fail_host(0)
+        with pytest.raises(DataCenterError):
+            small_state.restore_host(1)
+
+    def test_placing_on_down_host_raises(self, small_state):
+        small_state.fail_host(0)
+        with pytest.raises(CapacityError, match="down"):
+            small_state.place_vm(0, 1, 1)
+        disk = small_state.cloud.hosts[0].disks[0]
+        with pytest.raises(CapacityError, match="down"):
+            small_state.place_volume(disk.index, 1)
+
+    def test_release_on_down_host_absorbs_then_restores(self, small_state):
+        """Capacity released while a host is down comes back on repair."""
+        pristine = small_state.snapshot()
+        small_state.place_vm(0, 4, 8)
+        small_state.fail_host(0)
+        # tenant teardown while the host is dead: release absorbs
+        small_state.unplace_vm(0, 4, 8)
+        assert small_state.free_cpu[0] == 0.0
+        assert small_state.capacity_invariants() == []
+        small_state.restore_host(0)
+        assert small_state.snapshot() == pristine
+
+    def test_nic_comes_back_with_the_host(self, small_state):
+        link = small_state.cloud.hosts[0].link_index
+        nic_bw = small_state.free_bw[link]
+        small_state.fail_host(0)
+        assert small_state.free_bw[link] == 0.0
+        small_state.restore_host(0)
+        assert small_state.free_bw[link] == nic_bw
+        assert small_state.down_links() == []
+
+    def test_host_failure_respects_separately_failed_nic(self, small_state):
+        """A link failed before the host stays failed after host repair."""
+        link = small_state.cloud.hosts[0].link_index
+        small_state.fail_link(link)
+        small_state.fail_host(0)
+        small_state.restore_host(0)
+        assert small_state.down_links() == [link]
+        small_state.restore_link(link)
+        assert small_state.capacity_invariants() == []
+
+
+class TestLinkFailures:
+    def test_fail_link_zeroes_bandwidth(self, small_state):
+        link = small_state.cloud.racks[0].link_index
+        uplink_bw = small_state.free_bw[link]
+        small_state.fail_link(link)
+        assert small_state.free_bw[link] == 0.0
+        assert small_state.effective_free_bw(link) == uplink_bw
+        assert small_state.down_links() == [link]
+        small_state.restore_link(link)
+        assert small_state.free_bw[link] == uplink_bw
+
+    def test_double_fail_and_stray_restore_rejected(self, small_state):
+        link = small_state.cloud.racks[0].link_index
+        small_state.fail_link(link)
+        with pytest.raises(DataCenterError):
+            small_state.fail_link(link)
+        with pytest.raises(DataCenterError):
+            small_state.restore_link(link + 1)
+
+    def test_release_on_down_link_absorbs(self, small_state):
+        host_a = small_state.cloud.hosts[0]
+        host_b = small_state.cloud.hosts[1]
+        path = [host_a.link_index, host_b.link_index]
+        small_state.reserve_path(path, 100)
+        small_state.fail_link(host_a.link_index)
+        small_state.release_path(path, 100)
+        assert small_state.free_bw[host_a.link_index] == 0.0
+        nic_nominal = host_b.nic_bw_mbps
+        assert small_state.free_bw[host_b.link_index] == nic_nominal
+        assert small_state.capacity_invariants() == []
+        small_state.restore_link(host_a.link_index)
+        assert small_state.free_bw[host_a.link_index] == host_a.nic_bw_mbps
+
+
+class TestCapacityInvariants:
+    def test_clean_state_has_no_violations(self, small_state):
+        assert small_state.capacity_invariants() == []
+
+    def test_overfree_cpu_detected(self, small_state):
+        small_state.free_cpu[0] += 1000.0
+        assert any(
+            "cpu" in v for v in small_state.capacity_invariants()
+        )
+
+    def test_negative_free_detected(self, small_state):
+        small_state.free_mem[1] = -5.0
+        assert small_state.capacity_invariants() != []
+
+    def test_down_host_with_live_capacity_detected(self, small_state):
+        small_state.fail_host(0)
+        small_state.free_cpu[0] = 1.0  # resurrects dead capacity
+        assert any(
+            "down" in v for v in small_state.capacity_invariants()
+        )
+
+    def test_clone_preserves_fault_bookkeeping(self, small_state):
+        small_state.fail_host(0)
+        small_state.fail_link(small_state.cloud.racks[1].link_index)
+        copy = small_state.clone()
+        assert copy.down_hosts() == small_state.down_hosts()
+        assert copy.down_links() == small_state.down_links()
+        copy.restore_host(0)  # independent bookkeeping
+        assert small_state.host_is_down(0)
+        assert not copy.host_is_down(0)
+        assert copy.capacity_invariants() == []

@@ -6,7 +6,7 @@ import pytest
 
 from repro.core.scheduler import Ostro
 from repro.datacenter.state import DataCenterState
-from repro.errors import PlacementError, SchedulerError
+from repro.errors import PlacementError, SchedulerError, TemplateError
 from repro.heat.engine import HeatEngine
 from repro.heat.template import template_from_topology
 from repro.heat.wrapper import OstroHeatWrapper
@@ -69,8 +69,13 @@ class TestEngineLifecycle:
         assert "s1" not in engine.stacks
 
     def test_delete_unknown_stack(self, engine):
-        with pytest.raises(SchedulerError, match="unknown stack"):
+        with pytest.raises(TemplateError, match="unknown stack"):
             engine.delete_stack("ghost")
+
+    def test_update_unknown_stack(self, engine):
+        template = template_from_topology(make_three_tier())
+        with pytest.raises(TemplateError, match="unknown stack"):
+            engine.update_stack(template, "ghost")
 
     def test_duplicate_stack_name_rejected(self, engine):
         template = template_from_topology(make_three_tier())

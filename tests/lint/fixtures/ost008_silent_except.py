@@ -1,0 +1,62 @@
+# ostrolint-fixture module: repro.core.fixture_ost008
+"""OST008 fixture: no silent exception swallowing in library code."""
+import tokenize
+
+from repro.errors import CapacityError, ReproError, TransientAPIError
+
+
+def bare_except() -> int:
+    try:
+        return 1
+    except:  # noqa: E722  # expect: OST008
+        return 0
+
+
+def broad_swallow() -> int:
+    try:
+        return 1
+    except Exception:  # expect: OST008
+        return 0
+
+
+def base_exception_swallow() -> int:
+    try:
+        return 1
+    except (ValueError, BaseException):  # expect: OST008
+        return 0
+
+
+def noop_handler() -> None:
+    try:
+        pass
+    except tokenize.TokenError:  # expect: OST008
+        pass
+
+
+def ellipsis_handler() -> None:
+    try:
+        pass
+    except CapacityError:  # expect: OST008
+        ...
+
+
+def broad_but_reraises() -> int:
+    try:
+        return 1
+    except Exception as exc:
+        raise ReproError("wrapped") from exc
+
+
+def narrow_handled(log: list) -> int:
+    try:
+        return 1
+    except TransientAPIError as exc:
+        log.append(str(exc))
+        return 0
+
+
+def justified() -> None:
+    try:
+        pass
+    except tokenize.TokenError:  # ostrolint: disable=OST008
+        pass

@@ -138,6 +138,20 @@ class TestOST007UnitSuffix:
         assert {d.rule for d in diags} == {"unit-suffix"}
 
 
+class TestOST008SilentExcept:
+    def test_swallowing_handlers_fire(self):
+        check_fixture("ost008_silent_except.py")
+
+    def test_out_of_scope_module_is_clean(self):
+        source, _, _ = load_fixture("ost008_silent_except.py")
+        assert lint_source(source, module=None, path="examples/x.py") == []
+
+    def test_rule_identity(self):
+        source, module, _ = load_fixture("ost008_silent_except.py")
+        diags = lint_source(source, module=module)
+        assert {d.rule for d in diags} == {"no-silent-except"}
+
+
 class TestSuppressions:
     def test_inline_disable_silences_exact_codes_only(self):
         check_fixture("suppressed.py")
