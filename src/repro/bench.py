@@ -208,12 +208,31 @@ def run_case(
     }
 
 
+def _run_case_payload(payload: Tuple[str, int, float]) -> Dict:
+    """Worker entry for a pooled suite run: look the case up by name.
+
+    BenchCase factories are lambdas and cannot pickle; the name can, and
+    the reference suite is import-time state every worker shares.
+    """
+    name, repeats, calibration_s = payload
+    case = next(c for c in REFERENCE_CASES if c.name == name)
+    return run_case(case, repeats=repeats, calibration_s=calibration_s)
+
+
 def run_suite(
     cases: Optional[Sequence[BenchCase]] = None,
     repeats: int = 3,
     scenarios: Optional[Sequence[str]] = None,
+    workers: int = 1,
 ) -> List[Dict]:
-    """Run the suite (optionally filtered by scenario name)."""
+    """Run the suite (optionally filtered by scenario name).
+
+    ``workers > 1`` fans the *reference* cases across worker processes
+    (custom ``cases`` run serially -- their factories do not pickle).
+    Deterministic counters and placement hashes are unaffected; wall
+    times can inflate when workers outnumber idle cores, so keep pooled
+    runs for smoke checks, not for updating timing baselines.
+    """
     selected = list(cases if cases is not None else REFERENCE_CASES)
     if scenarios:
         wanted = set(scenarios)
@@ -222,10 +241,82 @@ def run_suite(
             raise ValueError(f"unknown bench scenarios: {sorted(unknown)}")
         selected = [c for c in selected if c.name in wanted]
     calibration_s = calibration_unit_s()
+    if workers > 1 and cases is None:
+        from repro.sim.parallel import merge_outcomes, run_tasks
+
+        payloads = [(c.name, repeats, calibration_s) for c in selected]
+        outcomes = run_tasks(_run_case_payload, payloads, workers=workers)
+        return merge_outcomes(outcomes)
     return [
         run_case(case, repeats=repeats, calibration_s=calibration_s)
         for case in selected
     ]
+
+
+def parallel_sweep_benchmark(
+    workers: int = 4,
+    sizes: Sequence[int] = (10, 20, 30, 40, 50),
+    algorithms: Sequence[str] = ("egc", "egbw", "eg"),
+    seeds: Sequence[int] = (0, 1, 2, 3),
+    deadline_s: Optional[float] = None,
+) -> Dict:
+    """Serial-vs-parallel acceptance bench for the process-pool layer.
+
+    Runs the same multitier sweep (5 sizes x 3 algorithms x 4 seeds by
+    default) with ``workers=1`` and ``workers=N``, then reports both wall
+    clocks, the speedup, and whether the aggregated rows are byte-
+    identical (wall-clock ``runtime_s`` excluded via
+    :func:`~repro.sim.metrics.rows_fingerprint`). The payload lands in
+    ``BENCH_parallel_sweep.json``; ``cpu_count`` records how many cores
+    the speedup had to work with.
+
+    The default algorithm trio is fully deterministic under any machine
+    load. DBA* is excluded on purpose: how much search fits before a
+    *binding* wall-clock deadline depends on machine speed and
+    contention, so two runs -- serial or parallel alike -- can return
+    different incumbents. That is a property of deadline-bounded search,
+    not of the pool.
+    """
+    from repro.sim.metrics import rows_fingerprint
+    from repro.sim.runner import sweep
+    from repro.sim.scenarios import multitier_scenario
+
+    scenario = multitier_scenario(heterogeneous=True)
+    walls: Dict[int, float] = {}
+    fingerprints: Dict[int, str] = {}
+    row_counts: Dict[int, int] = {}
+    for n in (1, workers):
+        started = time.perf_counter()
+        rows = sweep(
+            scenario,
+            algorithms,
+            sizes,
+            seeds=seeds,
+            aggregate=True,
+            deadline_s=deadline_s,
+            workers=n,
+        )
+        walls[n] = time.perf_counter() - started
+        fingerprints[n] = rows_fingerprint(rows)
+        row_counts[n] = len(rows)
+    return {
+        "scenario": "parallel_sweep",
+        "workload": "multitier",
+        "sizes": list(sizes),
+        "algorithms": list(algorithms),
+        "seeds": list(seeds),
+        "deadline_s": deadline_s,
+        "cells": len(sizes) * len(algorithms) * len(seeds),
+        "cpu_count": os.cpu_count(),
+        "workers": workers,
+        "serial_wall_s": walls[1],
+        "parallel_wall_s": walls[workers],
+        "speedup": walls[1] / max(walls[workers], 1e-9),
+        "rows": row_counts[1],
+        "rows_identical": fingerprints[1] == fingerprints[workers],
+        "rows_fingerprint_serial": fingerprints[1],
+        "rows_fingerprint_parallel": fingerprints[workers],
+    }
 
 
 def write_results(results: Sequence[Dict], out_dir: str) -> List[str]:

@@ -46,16 +46,9 @@ from repro.sim.scenarios import (
 
 
 def _build_cloud(spec: str):
-    from repro.datacenter.builder import build_datacenter, build_testbed
+    from repro.datacenter.builder import cloud_from_spec
 
-    if spec == "testbed":
-        return build_testbed()
-    if spec.startswith("dc:"):
-        racks = int(spec.split(":", 1)[1])
-        return build_datacenter(num_racks=racks)
-    raise ReproError(
-        f"unknown data center spec {spec!r}; use 'testbed' or 'dc:<racks>'"
-    )
+    return cloud_from_spec(spec)
 
 
 def cmd_place(args: argparse.Namespace) -> int:
@@ -142,43 +135,47 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         )
         return 0
     if args.name == "chaos":
-        from repro.sim.chaos import run_chaos
-        from repro.sim.scenarios import make_fault_plan
+        from repro.sim.chaos import run_chaos_many
 
         cloud = _build_cloud(args.dc)
         spec = _parse_fault_spec(args.faults)
-        plan = make_fault_plan(
-            cloud,
-            seed=args.seed,
-            hosts=spec["hosts"],
-            links=spec["links"],
-            api_transient_rate=spec["api"],
-            api_permanent_rate=spec["api-perm"],
-            steps=args.apps,
-            recover_after_steps=spec["recover"],
-        )
         options = {}
         if args.deadline is not None:
             options["deadline_s"] = args.deadline
-        report = run_chaos(
-            plan,
-            cloud=cloud,
+        seeds = list(range(args.seed, args.seed + max(1, args.seeds)))
+        reports = run_chaos_many(
+            seeds,
+            workers=args.workers,
+            cloud_spec=args.dc,
+            faults={
+                "hosts": spec["hosts"],
+                "links": spec["links"],
+                "api_transient_rate": spec["api"],
+                "api_permanent_rate": spec["api-perm"],
+                "steps": args.apps,
+                "recover_after_steps": spec["recover"],
+            },
             apps=args.apps,
             app_vms=args.app_vms,
             algorithm=args.algorithm,
             **options,
         )
-        print(
-            f"chaos run ({args.faults}) on {cloud.num_hosts} hosts, "
-            f"algorithm {args.algorithm}:"
-        )
-        for line in report.summary_lines():
-            print(f"  {line}")
-        if report.invariant_violations:
-            for violation in report.invariant_violations:
-                print(f"LEAK: {violation}", file=sys.stderr)
-            return 2
-        return 0
+        leaked = False
+        for report in reports:
+            print(
+                f"chaos run ({args.faults}) on {cloud.num_hosts} hosts, "
+                f"algorithm {args.algorithm}:"
+            )
+            for line in report.summary_lines():
+                print(f"  {line}")
+            if report.invariant_violations:
+                leaked = True
+                for violation in report.invariant_violations:
+                    print(
+                        f"LEAK: [seed {report.seed}] {violation}",
+                        file=sys.stderr,
+                    )
+        return 2 if leaked else 0
     raise ReproError(f"unknown experiment: {args.name!r}")
 
 
@@ -239,6 +236,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         sizes,
         seeds=tuple(range(args.seeds)),
         skip_infeasible=True,
+        workers=args.workers,
     )
     regime = "heterogeneous" if heterogeneous else "homogeneous"
     title = f"{args.figure} ({workload}, {regime}): {metric}"
@@ -273,8 +271,18 @@ def cmd_replay(args: argparse.Namespace) -> int:
     )
     print(f"{'algorithm':>9}  {'accepted':>8}  {'rejected':>8}  "
           f"{'acceptance':>10}  {'peak cpu':>8}")
-    for algorithm in args.algorithms:
-        report = replay(trace, cloud, algorithm=algorithm)
+    if args.workers > 1:
+        from repro.sim.parallel import parallel_replay
+
+        reports = parallel_replay(
+            trace, cloud, args.algorithms, workers=args.workers
+        )
+    else:
+        reports = [
+            replay(trace, cloud, algorithm=algorithm)
+            for algorithm in args.algorithms
+        ]
+    for algorithm, report in zip(args.algorithms, reports):
         print(
             f"{algorithm:>9}  {report.accepted:8d}  {report.rejected:8d}  "
             f"{report.acceptance_rate:10.1%}  "
@@ -314,8 +322,25 @@ def cmd_tradeoff(args: argparse.Namespace) -> int:
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro import bench
 
+    if args.parallel_sweep:
+        workers = args.workers if args.workers > 1 else 4
+        payload = bench.parallel_sweep_benchmark(workers=workers)
+        for path in bench.write_results([payload], args.out_dir):
+            print(f"# wrote {path}", file=sys.stderr)
+        print(
+            f"parallel sweep ({payload['cells']} cells, "
+            f"{payload['cpu_count']} cores): "
+            f"serial {payload['serial_wall_s']:.2f}s, "
+            f"workers={payload['workers']} "
+            f"{payload['parallel_wall_s']:.2f}s, "
+            f"speedup {payload['speedup']:.2f}x, "
+            f"rows identical: {payload['rows_identical']}"
+        )
+        return 0 if payload["rows_identical"] else 1
     results = bench.run_suite(
-        repeats=args.repeats, scenarios=args.scenarios or None
+        repeats=args.repeats,
+        scenarios=args.scenarios or None,
+        workers=args.workers,
     )
     for path in bench.write_results(results, args.out_dir):
         print(f"# wrote {path}", file=sys.stderr)
@@ -357,6 +382,17 @@ def cmd_lint(args: argparse.Namespace) -> int:
         return 2
     print(lint.render_report(diagnostics, files_checked, args.format))
     return 1 if diagnostics else 0
+
+
+def _add_workers_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan work across N worker processes (default: 1 = serial; "
+        "results are identical for any N, wall-clock aside)",
+    )
 
 
 def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
@@ -434,6 +470,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="chaos only: DBA* deadline in seconds",
     )
+    experiment.add_argument(
+        "--seeds",
+        type=int,
+        default=1,
+        metavar="K",
+        help="chaos only: run K consecutive seeds starting at --seed",
+    )
+    _add_workers_flag(experiment)
     _add_telemetry_flags(experiment)
     experiment.set_defaults(func=cmd_experiment)
 
@@ -448,6 +492,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_cmd.add_argument(
         "--chart", action="store_true", help="also draw an ASCII chart"
     )
+    _add_workers_flag(sweep_cmd)
     _add_telemetry_flags(sweep_cmd)
     sweep_cmd.set_defaults(func=cmd_sweep)
 
@@ -462,6 +507,7 @@ def build_parser() -> argparse.ArgumentParser:
     replay_cmd.add_argument(
         "--algorithms", nargs="*", default=["egc", "egbw", "eg"]
     )
+    _add_workers_flag(replay_cmd)
     replay_cmd.set_defaults(func=cmd_replay)
 
     util = sub.add_parser("util", help="show cluster utilization")
@@ -507,6 +553,14 @@ def build_parser() -> argparse.ArgumentParser:
         "regression (see benchmarks/perf/)",
     )
     bench_cmd.add_argument("--tolerance", type=float, default=0.25)
+    bench_cmd.add_argument(
+        "--parallel-sweep",
+        action="store_true",
+        help="run the serial-vs-parallel sweep acceptance benchmark "
+        "instead of the reference suite (records speedup + row "
+        "equality in BENCH_parallel_sweep.json)",
+    )
+    _add_workers_flag(bench_cmd)
     bench_cmd.set_defaults(func=cmd_bench)
 
     lint_cmd = sub.add_parser(

@@ -191,5 +191,9 @@ class DBAStar(BAStar):
                 continue
             live = level[i] * survive(i)
             paths_left += live
-            level[i + 1] += live * survive(i) * self._avg_branching
+            # Children sit at depth i+1 and are culled at *that* depth's
+            # rate before insertion; survive(i) is already folded into
+            # `live`, so applying it again here would double-count the
+            # depth-i pruning and systematically under-estimate |P_left|.
+            level[i + 1] += live * survive(i + 1) * self._avg_branching
         return paths_left

@@ -15,7 +15,31 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.datacenter.model import Cloud, DataCenter, Disk, Host, Pod, Rack
+from repro.errors import DataCenterError
 from repro.units import gbps, tb
+
+
+def cloud_from_spec(spec: str) -> Cloud:
+    """Build a cloud from a CLI-style spec string.
+
+    ``"testbed"`` builds the 16-host experimental cluster and
+    ``"dc:<racks>"`` a simulated data center with that many 16-host
+    racks. The spec is plain data, so parallel workers can rebuild the
+    same cloud deterministically instead of pickling a Cloud object.
+    """
+    if spec == "testbed":
+        return build_testbed()
+    if spec.startswith("dc:"):
+        try:
+            racks = int(spec.split(":", 1)[1])
+        except ValueError:
+            raise DataCenterError(
+                f"bad rack count in data center spec {spec!r}"
+            ) from None
+        return build_datacenter(num_racks=racks)
+    raise DataCenterError(
+        f"unknown data center spec {spec!r}; use 'testbed' or 'dc:<racks>'"
+    )
 
 
 def _make_host(

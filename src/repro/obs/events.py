@@ -160,6 +160,32 @@ class EventLog:
             Event(type=type, ts=self._clock(), seq=self._seq, fields=fields)
         )
 
+    def merge(self, other: "EventLog") -> None:
+        """Append another log's events, renumbering ``seq`` to continue
+        this log's sequence.
+
+        Timestamps are preserved; the buffer cap still applies, so merged
+        events beyond ``max_events`` are counted as dropped. The other
+        log's own drop count carries over too, keeping the total honest.
+        """
+        for event in other.events:
+            self._seq += 1
+            if (
+                self.max_events is not None
+                and len(self.events) >= self.max_events
+            ):
+                self.dropped += 1
+                continue
+            self.events.append(
+                Event(
+                    type=event.type,
+                    ts=event.ts,
+                    seq=self._seq,
+                    fields=event.fields,
+                )
+            )
+        self.dropped += other.dropped
+
     def count(self, type: str | None = None) -> int:
         if type is None:
             return len(self.events)

@@ -338,6 +338,29 @@ class TelemetryRecorder(Recorder):
             **{k: v for k, v in span.attrs.items() if k not in reserved},
         )
 
+    # -- merging (parallel execution) -----------------------------------
+
+    def merge(self, other: "TelemetryRecorder") -> None:
+        """Fold another recorder's registry and events into this one.
+
+        This is how per-worker recorders from :mod:`repro.sim.parallel`
+        collapse back into the parent after a process-pool run: counters
+        add, gauges take the merged recorder's values (so merging worker
+        recorders in cell order reproduces the serial final gauge),
+        histograms merge bucket-by-bucket, and events are appended with
+        ``seq`` renumbered to continue the parent's sequence. Span trees
+        are not merged -- closing spans were already mirrored into the
+        event stream and the ``ostro_span_seconds`` histogram, both of
+        which do merge. A ``TelemetryRecorder`` is picklable (spans and
+        all), so workers can return theirs across the process boundary.
+        """
+        self.registry.merge(other.registry)
+        self.events.merge(other.events)
+        if self.events.dropped:
+            self._metric("ostro_events_dropped_total", "counter")._values[
+                ()
+            ] = float(self.events.dropped)
+
     # -- convenience ----------------------------------------------------
 
     def summary(self) -> str:

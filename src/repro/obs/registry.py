@@ -88,6 +88,11 @@ class Counter(Metric):
         key = _label_key(self.labelnames, labels, self.name)
         self._values[key] = self._values.get(key, 0.0) + value
 
+    def merge_from(self, other: "Counter") -> None:
+        """Add another counter's per-label totals into this one."""
+        for key, value in other._values.items():
+            self._values[key] = self._values.get(key, 0.0) + value
+
     def value(self, **labels) -> float:
         key = _label_key(self.labelnames, labels, self.name)
         return self._values.get(key, 0.0)
@@ -109,6 +114,10 @@ class Gauge(Metric):
     def set(self, value: float, **labels) -> None:
         key = _label_key(self.labelnames, labels, self.name)
         self._values[key] = float(value)
+
+    def merge_from(self, other: "Gauge") -> None:
+        """Adopt another gauge's label values (last writer wins)."""
+        self._values.update(other._values)
 
     def inc(self, value: float = 1.0, **labels) -> None:
         key = _label_key(self.labelnames, labels, self.name)
@@ -165,6 +174,24 @@ class Histogram(Metric):
                 break
         child.total += value
         child.count += 1
+
+    def merge_from(self, other: "Histogram") -> None:
+        """Fold another histogram's buckets, sums, and counts into this one."""
+        if other.buckets != self.buckets:
+            raise TelemetryError(
+                f"histogram {self.name!r} bucket bounds differ; cannot merge"
+            )
+        for key, child in other._children.items():
+            mine = self._children.get(key)
+            if mine is None:
+                self._children[key] = _HistogramChild(
+                    list(child.bucket_counts), child.total, child.count
+                )
+                continue
+            for i, n in enumerate(child.bucket_counts):
+                mine.bucket_counts[i] += n
+            mine.total += child.total
+            mine.count += child.count
 
     def count(self, **labels) -> int:
         key = _label_key(self.labelnames, labels, self.name)
@@ -268,6 +295,36 @@ class Registry:
                 f"metric {name!r} already registered with labels "
                 f"{metric.labelnames}, got {tuple(labelnames)}"
             )
+
+    def merge(self, other: "Registry") -> None:
+        """Fold another registry's metrics into this one.
+
+        Counters add, gauges take the other registry's values (last
+        writer wins), histograms merge bucket-by-bucket. Metrics missing
+        here are created with the other registry's metadata. This is how
+        per-worker registries from a parallel run collapse back into the
+        parent's recorder (see :mod:`repro.sim.parallel`).
+        """
+        for metric in other.collect():
+            if isinstance(metric, Counter):
+                mine: Metric = self.counter(
+                    metric.name, metric.help, metric.labelnames
+                )
+            elif isinstance(metric, Gauge):
+                mine = self.gauge(metric.name, metric.help, metric.labelnames)
+            elif isinstance(metric, Histogram):
+                mine = self.histogram(
+                    metric.name,
+                    metric.help,
+                    metric.labelnames,
+                    buckets=metric.buckets,
+                )
+            else:
+                raise TelemetryError(
+                    f"cannot merge metric {metric.name!r} of kind "
+                    f"{metric.kind!r}"
+                )
+            mine.merge_from(metric)  # type: ignore[attr-defined]
 
     def get(self, name: str) -> Optional[Metric]:
         return self._metrics.get(name)

@@ -48,6 +48,17 @@ class TraceEvent:
     app_id: int
 
 
+def event_sort_key(event: TraceEvent) -> tuple:
+    """Canonical trace ordering: time, then departures before arrivals.
+
+    Departures at a timestamp must drain *before* a simultaneous arrival
+    is admitted, or capacity that is free at that instant looks occupied
+    and the arrival is spuriously rejected. (Sorting on the raw ``kind``
+    string gets this backwards: "arrive" < "depart" lexicographically.)
+    """
+    return (event.time, 0 if event.kind == "depart" else 1, event.app_id)
+
+
 @dataclass
 class WorkloadTrace:
     """A deterministic sequence of arrivals/departures plus app builders.
@@ -90,7 +101,7 @@ class WorkloadTrace:
             trace.topologies[app_id] = renamed
             raw.append(TraceEvent(clock, "arrive", app_id))
             raw.append(TraceEvent(clock + lifetime, "depart", app_id))
-        trace.events = sorted(raw, key=lambda e: (e.time, e.kind, e.app_id))
+        trace.events = sorted(raw, key=event_sort_key)
         return trace
 
 

@@ -20,7 +20,8 @@ arguments yields a bit-identical :class:`~repro.sim.metrics.ChaosReport`
 from __future__ import annotations
 
 import hashlib
-from typing import Any, List, Optional
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.online import evacuate_host
 from repro.core.scheduler import Ostro
@@ -165,3 +166,77 @@ def run_chaos(
     report.fingerprint = placement_fingerprint(ostro)
     audit("final")
     return report
+
+
+@dataclass(frozen=True)
+class ChaosCell:
+    """One picklable seeded chaos run.
+
+    The cell carries a cloud *spec* (rebuilt deterministically in the
+    worker) and the :func:`~repro.sim.scenarios.make_fault_plan` keyword
+    arguments rather than a built plan, so the worker derives everything
+    -- victims, API-fault draws, retry jitter -- from the cell's seed and
+    never from inherited process state. ``faults`` and ``options`` are
+    sorted key/value tuples to stay hashable and pickle-stable.
+    """
+
+    seed: int
+    cloud_spec: Optional[str] = None
+    faults: Tuple[Tuple[str, Any], ...] = ()
+    apps: int = 8
+    app_vms: int = 10
+    algorithm: str = "dba*"
+    options: Tuple[Tuple[str, Any], ...] = ()
+
+
+def run_chaos_cell(cell: ChaosCell) -> ChaosReport:
+    """Execute one chaos cell (module-level, so pools can pickle it)."""
+    from repro.datacenter.builder import cloud_from_spec
+    from repro.sim.scenarios import make_fault_plan
+
+    cloud = (
+        cloud_from_spec(cell.cloud_spec)
+        if cell.cloud_spec is not None
+        else chaos_datacenter()
+    )
+    fault_kwargs: Dict[str, Any] = dict(cell.faults)
+    fault_kwargs.setdefault("steps", cell.apps)
+    plan = make_fault_plan(cloud, seed=cell.seed, **fault_kwargs)
+    return run_chaos(
+        plan,
+        cloud=cloud,
+        apps=cell.apps,
+        app_vms=cell.app_vms,
+        algorithm=cell.algorithm,
+        **dict(cell.options),
+    )
+
+
+def run_chaos_many(
+    seeds: Sequence[int],
+    workers: int = 1,
+    cloud_spec: Optional[str] = None,
+    faults: Optional[Dict[str, Any]] = None,
+    apps: int = 8,
+    app_vms: int = 10,
+    algorithm: str = "dba*",
+    **options: Any,
+) -> List[ChaosReport]:
+    """Run one seeded chaos scenario per seed, optionally in parallel.
+
+    A thin veneer over :func:`repro.sim.parallel.parallel_chaos`: reports
+    come back in ``seeds`` order and are bit-identical (fingerprints
+    included, wall-clock ``recovery_s`` aside) for any worker count.
+    """
+    from repro.sim.parallel import parallel_chaos
+
+    return parallel_chaos(
+        seeds,
+        workers=workers,
+        cloud_spec=cloud_spec,
+        faults=faults,
+        apps=apps,
+        app_vms=app_vms,
+        algorithm=algorithm,
+        **options,
+    )

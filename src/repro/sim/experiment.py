@@ -2,11 +2,12 @@
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.scheduler import make_algorithm
 from repro.sim.metrics import MeasurementRow
-from repro.sim.scenarios import Scenario, dba_deadline_s
+from repro.sim.scenarios import Scenario, ScenarioSpec, dba_deadline_s
 
 #: Display labels matching the paper's tables and figures.
 ALGORITHM_LABELS = {
@@ -64,4 +65,34 @@ def run_placement(
         heterogeneous=scenario.heterogeneous,
         seed=seed,
         baseline_active_hosts=baseline_active,
+    )
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One picklable (algorithm, size, seed) cell of a sweep.
+
+    The scenario travels as a :class:`~repro.sim.scenarios.ScenarioSpec`
+    so the cell can cross a process boundary; the worker rebuilds the
+    scenario, cloud, background load, and workload from the cell alone.
+    Everything a run needs is derived from these fields -- never from
+    inherited process state -- which is what makes ``--workers 1`` and
+    ``--workers 8`` produce identical rows.
+    """
+
+    scenario_spec: ScenarioSpec
+    algorithm: str
+    size: int
+    seed: int
+    deadline_s: Optional[float] = None
+
+
+def run_cell(cell: SweepCell) -> MeasurementRow:
+    """Execute one sweep cell (module-level, so pools can pickle it)."""
+    return run_placement(
+        cell.algorithm,
+        cell.scenario_spec.build(),
+        cell.size,
+        seed=cell.seed,
+        deadline_s=cell.deadline_s,
     )

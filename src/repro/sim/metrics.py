@@ -12,7 +12,9 @@ capacity-leak audit trail.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, replace
 from statistics import mean
 from typing import Dict, Iterable, List, Tuple
 
@@ -157,6 +159,24 @@ class ChaosReport:
             f"capacity leaks:       {len(self.invariant_violations)}",
             f"fingerprint:          {self.fingerprint[:16]}",
         ]
+
+
+def rows_fingerprint(rows: Iterable[MeasurementRow]) -> str:
+    """Order-sensitive SHA-256 over the deterministic fields of rows.
+
+    Wall-clock ``runtime_s`` is excluded: it is the one field that
+    legitimately varies between executions, while every other field (and
+    the row order) must be bit-identical between serial and parallel runs
+    of the same sweep. Used by the parallel-determinism tests and the
+    ``BENCH_parallel_sweep.json`` entry.
+    """
+    digest = hashlib.sha256()
+    for row in rows:
+        payload = asdict(row)
+        payload.pop("runtime_s", None)
+        digest.update(json.dumps(payload, sort_keys=True).encode("utf-8"))
+        digest.update(b"\n")
+    return digest.hexdigest()
 
 
 def aggregate_rows(rows: Iterable[MeasurementRow]) -> List[MeasurementRow]:

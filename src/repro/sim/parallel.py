@@ -1,0 +1,325 @@
+"""Process-pool execution for the evaluation harness.
+
+Every evaluation surface of this repro -- :func:`~repro.sim.runner.sweep`
+cells, per-algorithm :func:`~repro.sim.arrivals.replay` comparisons,
+multi-seed :func:`~repro.sim.chaos.run_chaos` campaigns, and the bench
+suite -- is an embarrassingly parallel, seed-replicated workload: cells
+share no mutable state and every cell re-derives its world (cloud,
+background load, workload, fault plan) from its own ``(..., seed)``
+tuple. This module fans those cells out across worker processes while
+keeping the results indistinguishable from the serial loop:
+
+* **Deterministic merging.** Results come back in submission order (the
+  exact order the serial nested loop would produce), so aggregation,
+  fingerprints, and report ordering are bit-identical for any worker
+  count. Only wall-clock fields (``runtime_s``, ``recovery_s``) differ.
+* **Seeding discipline.** Workers never consume inherited process state:
+  each task payload carries everything the cell needs, and the cell
+  builders re-seed from the payload. ``workers=1`` runs inline with no
+  pool at all, preserving the original serial behavior byte for byte.
+* **Telemetry merge.** When the installed recorder is live, each task
+  runs under a fresh per-worker :class:`~repro.obs.TelemetryRecorder`
+  that returns with the result; the parent merges them in submission
+  order (:meth:`~repro.obs.TelemetryRecorder.merge`), reproducing the
+  serial run's event order, event counts, and counter totals.
+* **Error transparency.** A task that raises ships its exception back;
+  the parent re-raises at the same point in iteration order the serial
+  loop would have, after merging the telemetry of every earlier cell
+  (plus the failing cell's partial telemetry, matching serial).
+
+The pool uses the ``fork`` start method where available (cheap on
+Linux), falling back to ``spawn``; results do not depend on the choice.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro import obs
+from repro.errors import PlacementError, ReproError
+from repro.sim.metrics import ChaosReport, MeasurementRow, aggregate_rows
+
+
+def default_workers() -> int:
+    """Worker count that saturates the machine: one per available core."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # platforms without affinity (macOS, Windows)
+        return os.cpu_count() or 1
+
+
+@dataclass
+class TaskOutcome:
+    """What one pool task produced: a value or an error, plus telemetry."""
+
+    value: Any = None
+    error: Optional[BaseException] = None
+    recorder: Optional["obs.TelemetryRecorder"] = None
+
+
+def _run_task(
+    task: Tuple[Callable[[Any], Any], Any, bool]
+) -> TaskOutcome:
+    """Worker-side wrapper: run one payload, capture result + telemetry.
+
+    Exceptions are captured, not raised, so the pool delivers every
+    outcome in order and the parent can reproduce the serial loop's
+    error position exactly.
+    """
+    fn, payload, telemetry = task
+    if not telemetry:
+        try:
+            return TaskOutcome(value=fn(payload))
+        except Exception as exc:  # ostrolint: disable=OST008
+            return TaskOutcome(error=exc)  # re-raised by the parent
+    recorder = obs.TelemetryRecorder()
+    with obs.use(recorder):
+        try:
+            return TaskOutcome(value=fn(payload), recorder=recorder)
+        except Exception as exc:  # ostrolint: disable=OST008
+            return TaskOutcome(error=exc, recorder=recorder)
+
+
+def _pool_context(
+    start_method: Optional[str],
+) -> multiprocessing.context.BaseContext:
+    if start_method is None:
+        methods = multiprocessing.get_all_start_methods()
+        start_method = "fork" if "fork" in methods else "spawn"
+    return multiprocessing.get_context(start_method)
+
+
+def run_tasks(
+    fn: Callable[[Any], Any],
+    payloads: Sequence[Any],
+    workers: int = 1,
+    recorder: Optional["obs.Recorder"] = None,
+    start_method: Optional[str] = None,
+) -> List[TaskOutcome]:
+    """Run ``fn`` over payloads, returning outcomes in payload order.
+
+    Args:
+        fn: module-level callable (must be picklable by reference).
+        payloads: one picklable argument per task.
+        workers: process count; ``<= 1`` runs inline with no pool.
+        recorder: telemetry destination; defaults to the process-wide
+            recorder. When it is live, workers record into fresh
+            recorders that ride back with the outcomes (merge them with
+            :func:`merge_outcomes` or let the callers here do it).
+        start_method: multiprocessing start method override; the default
+            prefers ``fork`` and falls back to ``spawn``.
+
+    Worker recorders are *not* merged here -- callers decide how far to
+    merge when an error cuts the serial loop short.
+    """
+    if recorder is None:
+        recorder = obs.get_recorder()
+    telemetry = recorder.enabled
+    if workers <= 1 or len(payloads) <= 1:
+        # Inline execution: identical code path, no per-task recorder --
+        # the installed recorder sees every cell directly, exactly as
+        # the serial loops always did.
+        outcomes = []
+        for payload in payloads:
+            try:
+                outcomes.append(TaskOutcome(value=fn(payload)))
+            except Exception as exc:  # ostrolint: disable=OST008
+                outcomes.append(TaskOutcome(error=exc))  # re-raised later
+                break
+        return outcomes
+    ctx = _pool_context(start_method)
+    tasks = [(fn, payload, telemetry) for payload in payloads]
+    with ctx.Pool(processes=min(workers, len(payloads))) as pool:
+        return pool.map(_run_task, tasks, chunksize=1)
+
+
+def merge_outcomes(
+    outcomes: Iterable[TaskOutcome],
+    recorder: Optional["obs.Recorder"] = None,
+    reraise: bool = True,
+    skip_errors: Tuple[type, ...] = (),
+) -> List[Any]:
+    """Collapse outcomes into values, merging telemetry in task order.
+
+    Mirrors the serial loop's semantics: outcomes are visited in order;
+    an error whose type is in ``skip_errors`` drops that cell (its
+    telemetry still merges -- the serial loop recorded the failed
+    attempt too); any other error is re-raised after merging the
+    telemetry of every cell up to and including the failing one, so the
+    recorder holds exactly what a serial run would have recorded at the
+    moment it raised. Cells after the failure are discarded.
+    """
+    if recorder is None:
+        recorder = obs.get_recorder()
+    values: List[Any] = []
+    for outcome in outcomes:
+        if outcome.recorder is not None and isinstance(
+            recorder, obs.TelemetryRecorder
+        ):
+            recorder.merge(outcome.recorder)
+        if outcome.error is not None:
+            if isinstance(outcome.error, skip_errors):
+                continue
+            if reraise:
+                raise outcome.error
+            continue
+        values.append(outcome.value)
+    return values
+
+
+# ----------------------------------------------------------------------
+# sweep fan-out
+# ----------------------------------------------------------------------
+
+
+def parallel_sweep(
+    scenario: "Any",
+    algorithms: Sequence[str],
+    sizes: Iterable[int],
+    seeds: Sequence[int] = (0,),
+    workers: int = 1,
+    aggregate: bool = True,
+    skip_infeasible: bool = False,
+    deadline_s: Optional[float] = None,
+    recorder: Optional["obs.Recorder"] = None,
+) -> List[MeasurementRow]:
+    """Fan the (size, algorithm, seed) cells of a sweep across a pool.
+
+    Semantics match :func:`repro.sim.runner.sweep` exactly -- same cell
+    order, same rows (wall-clock ``runtime_s`` aside), same exception at
+    the same cell when a placement fails and ``skip_infeasible`` is off.
+    The scenario must carry a picklable
+    :class:`~repro.sim.scenarios.ScenarioSpec` (the canned factories
+    attach one); each worker rebuilds cloud, load, and workload from the
+    cell tuple alone.
+    """
+    from repro.sim.experiment import SweepCell, run_cell
+
+    if scenario.spec is None:
+        raise ReproError(
+            f"scenario {scenario.name!r} has no ScenarioSpec; parallel "
+            "sweeps need a picklable rebuild recipe (use a canned "
+            "scenario factory or set scenario.spec)"
+        )
+    if recorder is not None:
+        with obs.use(recorder):
+            return parallel_sweep(
+                scenario,
+                algorithms,
+                list(sizes),
+                seeds=seeds,
+                workers=workers,
+                aggregate=aggregate,
+                skip_infeasible=skip_infeasible,
+                deadline_s=deadline_s,
+            )
+    cells = [
+        SweepCell(
+            scenario_spec=scenario.spec,
+            algorithm=algorithm,
+            size=size,
+            seed=seed,
+            deadline_s=deadline_s,
+        )
+        for size in sizes
+        for algorithm in algorithms
+        for seed in seeds
+    ]
+    outcomes = run_tasks(run_cell, cells, workers=workers)
+    skip = (PlacementError,) if skip_infeasible else ()
+    rows = merge_outcomes(outcomes, skip_errors=skip)
+    return aggregate_rows(rows) if aggregate else rows
+
+
+# ----------------------------------------------------------------------
+# replay fan-out
+# ----------------------------------------------------------------------
+
+
+def _replay_cell(payload: Tuple[Any, Any, str, float, float, Dict]) -> Any:
+    from repro.sim.arrivals import replay
+
+    trace, cloud, algorithm, theta_bw, theta_c, options = payload
+    return replay(
+        trace,
+        cloud,
+        algorithm=algorithm,
+        theta_bw=theta_bw,
+        theta_c=theta_c,
+        **options,
+    )
+
+
+def parallel_replay(
+    trace: "Any",
+    cloud: "Any",
+    algorithms: Sequence[str],
+    workers: int = 1,
+    theta_bw: float = 0.6,
+    theta_c: float = 0.4,
+    **options: Any,
+) -> List[Any]:
+    """Replay one trace with several algorithms concurrently.
+
+    Each algorithm gets its own worker and a pickled copy of the trace
+    and cloud, so the comparisons stay perfectly like-for-like; reports
+    return in the order ``algorithms`` lists them.
+    """
+    payloads = [
+        (trace, cloud, algorithm, theta_bw, theta_c, dict(options))
+        for algorithm in algorithms
+    ]
+    outcomes = run_tasks(_replay_cell, payloads, workers=workers)
+    return merge_outcomes(outcomes)
+
+
+# ----------------------------------------------------------------------
+# chaos fan-out
+# ----------------------------------------------------------------------
+
+
+def parallel_chaos(
+    seeds: Sequence[int],
+    workers: int = 1,
+    cloud_spec: Optional[str] = None,
+    faults: Optional[Dict[str, Any]] = None,
+    apps: int = 8,
+    app_vms: int = 10,
+    algorithm: str = "dba*",
+    **options: Any,
+) -> List[ChaosReport]:
+    """Run one seeded chaos scenario per seed, fanned across a pool.
+
+    Each worker rebuilds its cloud from ``cloud_spec`` (default: the
+    chaos data center) and derives its fault plan from the cell's seed,
+    so reports are bit-identical to serial runs of the same seeds --
+    fingerprints included -- and return in ``seeds`` order.
+    """
+    from repro.sim.chaos import ChaosCell, run_chaos_cell
+
+    cells = [
+        ChaosCell(
+            seed=seed,
+            cloud_spec=cloud_spec,
+            faults=tuple(sorted((faults or {}).items())),
+            apps=apps,
+            app_vms=app_vms,
+            algorithm=algorithm,
+            options=tuple(sorted(options.items())),
+        )
+        for seed in seeds
+    ]
+    outcomes = run_tasks(run_chaos_cell, cells, workers=workers)
+    return merge_outcomes(outcomes)

@@ -20,6 +20,7 @@ def sweep(
     skip_infeasible: bool = False,
     deadline_s: Optional[float] = None,
     recorder: Optional["obs.TelemetryRecorder"] = None,
+    workers: int = 1,
 ) -> List[MeasurementRow]:
     """Run every (algorithm, size, seed) combination of a sweep.
 
@@ -36,10 +37,28 @@ def sweep(
         recorder: optional telemetry recorder; when given, every run in
             the sweep records into it (and the process-wide recorder is
             restored afterwards).
+        workers: fan the (size, algorithm, seed) cells across this many
+            worker processes (see :mod:`repro.sim.parallel`). The default
+            of 1 keeps the original serial loop; any value produces the
+            same rows in the same order, wall-clock runtimes aside.
 
     Returns:
         Measurement rows ordered by (size, algorithm input order).
     """
+    if workers > 1:
+        from repro.sim.parallel import parallel_sweep
+
+        return parallel_sweep(
+            scenario,
+            algorithms,
+            sizes,
+            seeds=seeds,
+            workers=workers,
+            aggregate=aggregate,
+            skip_infeasible=skip_infeasible,
+            deadline_s=deadline_s,
+            recorder=recorder,
+        )
     if recorder is not None:
         with obs.use(recorder):
             return sweep(

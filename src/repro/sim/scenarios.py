@@ -20,7 +20,7 @@ from __future__ import annotations
 import os
 import random
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
 from repro.core.greedy import GreedyConfig
 from repro.core.heuristic import EstimatorConfig
@@ -83,6 +83,26 @@ def tuned_greedy_config() -> GreedyConfig:
     )
 
 
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A picklable recipe for rebuilding a :class:`Scenario` in a worker.
+
+    Scenario objects close over lambdas and cannot cross a process
+    boundary; a spec carries only a module-level factory plus its keyword
+    arguments, which pickle by name. The canned factories below attach
+    their own spec to every scenario they build, so
+    :mod:`repro.sim.parallel` can fan sweep cells out to worker processes
+    and have each worker rebuild an identical scenario from scratch.
+    """
+
+    factory: Callable[..., "Scenario"]
+    kwargs: Tuple[Tuple[str, Any], ...] = ()
+
+    def build(self) -> "Scenario":
+        """Rebuild the scenario this spec describes."""
+        return self.factory(**dict(self.kwargs))
+
+
 @dataclass
 class Scenario:
     """One experiment configuration.
@@ -96,6 +116,8 @@ class Scenario:
         greedy_config: algorithm configuration for this scale.
         workload: workload label for measurement rows.
         heterogeneous: requirement regime label.
+        spec: picklable rebuild recipe, required for parallel sweeps
+            (set automatically by the canned factories).
     """
 
     name: str
@@ -107,6 +129,9 @@ class Scenario:
     greedy_config: GreedyConfig = field(default_factory=tuned_greedy_config)
     workload: str = "generic"
     heterogeneous: bool = True
+    spec: Optional[ScenarioSpec] = field(
+        default=None, repr=False, compare=False
+    )
 
     def objective(self, topology: ApplicationTopology, cloud: Cloud) -> Objective:
         """The scenario's objective for a concrete topology."""
@@ -142,6 +167,7 @@ def qfs_testbed_scenario(uniform: bool = False) -> Scenario:
         greedy_config=GreedyConfig(),  # testbed scale: exhaustive
         workload="qfs",
         heterogeneous=True,
+        spec=ScenarioSpec(qfs_testbed_scenario, (("uniform", uniform),)),
     )
 
 
@@ -162,6 +188,9 @@ def multitier_scenario(heterogeneous: bool = True) -> Scenario:
         ),
         workload="multitier",
         heterogeneous=heterogeneous,
+        spec=ScenarioSpec(
+            multitier_scenario, (("heterogeneous", heterogeneous),)
+        ),
     )
 
 
@@ -177,6 +206,7 @@ def mesh_scenario(heterogeneous: bool = True) -> Scenario:
         ),
         workload="mesh",
         heterogeneous=heterogeneous,
+        spec=ScenarioSpec(mesh_scenario, (("heterogeneous", heterogeneous),)),
     )
 
 

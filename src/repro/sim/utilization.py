@@ -63,16 +63,18 @@ def utilization_report(state: DataCenterState) -> UtilizationReport:
     cpu_total = sum(h.cpu_cores for h in cloud.hosts)
     mem_total = sum(h.mem_gb for h in cloud.hosts)
     disk_total = sum(d.capacity_gb for d in cloud.disks)
-    nic_indices = [h.link_index for h in cloud.hosts]
-    nic_set = set(nic_indices)
-    nic_total = sum(cloud.link_capacity_mbps[i] for i in nic_indices)
+    # Deduplicate before summing: when several hosts share one link index
+    # (a chassis NIC, a shared uplink model), counting the link once per
+    # host would inflate the capacity pool and understate utilization.
+    nic_set = {h.link_index for h in cloud.hosts}
+    nic_total = sum(cloud.link_capacity_mbps[i] for i in nic_set)
     uplink_indices = [
         i for i in range(cloud.num_links) if i not in nic_set
     ]
     uplink_total = sum(cloud.link_capacity_mbps[i] for i in uplink_indices)
 
     busiest = 0.0
-    for i in nic_indices:
+    for i in nic_set:
         capacity = cloud.link_capacity_mbps[i]
         if capacity > 0:
             busiest = max(
@@ -86,7 +88,7 @@ def utilization_report(state: DataCenterState) -> UtilizationReport:
         mem_used_frac=_used_fraction(mem_total, sum(state.free_mem)),
         disk_used_frac=_used_fraction(disk_total, sum(state.free_disk)),
         nic_used_frac=_used_fraction(
-            nic_total, sum(state.free_bw[i] for i in nic_indices)
+            nic_total, sum(state.free_bw[i] for i in nic_set)
         ),
         uplink_used_frac=_used_fraction(
             uplink_total, sum(state.free_bw[i] for i in uplink_indices)

@@ -120,3 +120,26 @@ class TestPruningController:
 
         dba = DBAStar(deadline_s=1.0)
         assert dba._estimate_paths_left(Counter()) == 0.0
+
+    def test_estimate_recurrence_hand_computed(self):
+        """|P_left| against a hand-computed histogram.
+
+        r = 1.0, |P|-bar = 3, open queue = 6 paths at depth 1, so
+        horizon = 2 and survive = [0.0, 0.5, 1.0] by depth:
+
+        * depth 1: 6 * 0.5 = 3 surviving pops
+        * depth 2: those 3 spawn 3 * 3 = 9 children, culled at the
+          *children's* depth-2 rate (1.0) before insertion -> 9 pops
+
+        Total 3 + 9 = 12. The old recurrence applied the parent's
+        depth-1 survival a second time to the children (3 * 0.5 * 3 =
+        4.5 -> total 7.5), under-estimating |P_left| and letting the
+        controller keep r too low under deadline pressure.
+        """
+        from collections import Counter
+
+        dba = DBAStar(deadline_s=1.0)
+        dba._r = 1.0
+        dba._avg_branching = 3.0
+        estimate = dba._estimate_paths_left(Counter({1: 6}))
+        assert estimate == pytest.approx(12.0)

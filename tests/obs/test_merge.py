@@ -1,0 +1,155 @@
+"""Telemetry merge semantics (the parallel-execution contract).
+
+Worker processes record into fresh recorders; the parent folds them back
+in cell order. These tests pin the semantics that make a merged parallel
+run indistinguishable from a serial one: counters add, gauges take the
+last merged value, histograms merge bucket-by-bucket, and event ``seq``
+numbers continue the parent's sequence.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro import obs
+from repro.obs import (
+    Counter,
+    EventLog,
+    Gauge,
+    Histogram,
+    Registry,
+    TelemetryError,
+    TelemetryRecorder,
+)
+
+
+class TestCounterMerge:
+    def test_totals_add_per_label(self):
+        a = Counter("ostro_test_total", labelnames=("algorithm",))
+        b = Counter("ostro_test_total", labelnames=("algorithm",))
+        a.inc(2, algorithm="eg")
+        b.inc(3, algorithm="eg")
+        b.inc(1, algorithm="dba*")
+        a.merge_from(b)
+        assert a.value(algorithm="eg") == 5.0
+        assert a.value(algorithm="dba*") == 1.0
+        # the source is untouched
+        assert b.value(algorithm="eg") == 3.0
+
+
+class TestGaugeMerge:
+    def test_merged_value_wins(self):
+        a = Gauge("ostro_open_list_size")
+        b = Gauge("ostro_open_list_size")
+        a.set(10)
+        b.set(3)
+        a.merge_from(b)
+        assert a.value() == 3.0
+
+    def test_labels_missing_from_other_survive(self):
+        a = Gauge("ostro_test", labelnames=("k",))
+        b = Gauge("ostro_test", labelnames=("k",))
+        a.set(1, k="only-a")
+        b.set(2, k="both")
+        a.set(9, k="both")
+        a.merge_from(b)
+        assert a.value(k="only-a") == 1.0
+        assert a.value(k="both") == 2.0
+
+
+class TestHistogramMerge:
+    def test_buckets_counts_and_sums_add(self):
+        a = Histogram("ostro_test_seconds", buckets=(0.1, 1.0))
+        b = Histogram("ostro_test_seconds", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5):
+            a.observe(v)
+        for v in (0.5, 5.0):
+            b.observe(v)
+        a.merge_from(b)
+        assert a.count() == 4
+        assert a.sum() == pytest.approx(6.05)
+
+    def test_bucket_mismatch_rejected(self):
+        a = Histogram("ostro_test_seconds", buckets=(0.1, 1.0))
+        b = Histogram("ostro_test_seconds", buckets=(0.1, 2.0))
+        with pytest.raises(TelemetryError):
+            a.merge_from(b)
+
+
+class TestRegistryMerge:
+    def test_missing_metrics_created_with_metadata(self):
+        parent, worker = Registry(), Registry()
+        worker.counter("ostro_w_total", "from the worker", ("k",)).inc(
+            2, k="x"
+        )
+        parent.merge(worker)
+        merged = parent.counter("ostro_w_total", "from the worker", ("k",))
+        assert merged.value(k="x") == 2.0
+
+    def test_existing_metrics_accumulate(self):
+        parent, worker = Registry(), Registry()
+        parent.counter("ostro_t_total", "", ()).inc(1)
+        worker.counter("ostro_t_total", "", ()).inc(4)
+        parent.merge(worker)
+        assert parent.counter("ostro_t_total", "", ()).value() == 5.0
+
+
+class TestEventLogMerge:
+    def test_seq_continues_parent_sequence(self):
+        parent, worker = EventLog(), EventLog()
+        parent.emit("commit", app="a", nodes=1)
+        worker.emit("commit", app="b", nodes=2)
+        worker.emit("remove", app="b")
+        parent.merge(worker)
+        assert [e.seq for e in parent.events] == [1, 2, 3]
+        assert [e.fields.get("app") for e in parent.events] == ["a", "b", "b"]
+
+    def test_cap_still_applies_and_drops_carry_over(self):
+        parent = EventLog(max_events=2)
+        worker = EventLog()
+        parent.emit("commit", app="a", nodes=1)
+        worker.emit("commit", app="b", nodes=1)
+        worker.emit("commit", app="c", nodes=1)
+        parent.merge(worker)
+        assert len(parent.events) == 2
+        assert parent.dropped == 1
+
+
+class TestRecorderMerge:
+    def test_counts_match_equivalent_serial_run(self):
+        serial = TelemetryRecorder()
+        with obs.use(serial):
+            obs.get_recorder().inc("ostro_commits_total")
+            obs.get_recorder().event("commit", app="a", nodes=3)
+            obs.get_recorder().inc("ostro_commits_total")
+            obs.get_recorder().event("commit", app="b", nodes=2)
+
+        parent = TelemetryRecorder()
+        workers = [TelemetryRecorder(), TelemetryRecorder()]
+        for recorder, app, nodes in zip(workers, ("a", "b"), (3, 2)):
+            with obs.use(recorder):
+                obs.get_recorder().inc("ostro_commits_total")
+                obs.get_recorder().event("commit", app=app, nodes=nodes)
+        for recorder in workers:
+            parent.merge(recorder)
+
+        counter = parent.registry.counter("ostro_commits_total", "", ())
+        assert counter.value() == 2.0
+        assert parent.events.count("commit") == serial.events.count("commit")
+        assert [e.fields["app"] for e in parent.events.of_type("commit")] == [
+            "a",
+            "b",
+        ]
+
+    def test_recorder_pickles_across_process_boundary(self):
+        recorder = TelemetryRecorder()
+        with obs.use(recorder):
+            obs.get_recorder().inc("ostro_commits_total")
+            with obs.get_recorder().span("placement", algorithm="eg"):
+                pass
+        clone = pickle.loads(pickle.dumps(recorder))
+        counter = clone.registry.counter("ostro_commits_total", "", ())
+        assert counter.value() == 1.0
+        assert clone.events.count("span") == 1

@@ -4,10 +4,13 @@ from __future__ import annotations
 
 import pytest
 
+from repro.core.topology import ApplicationTopology
 from repro.datacenter.builder import build_datacenter
 from repro.sim.arrivals import (
+    TraceEvent,
     WorkloadTrace,
     default_app_factory,
+    event_sort_key,
     replay,
 )
 
@@ -53,6 +56,47 @@ class TestTraceGeneration:
     def test_topologies_renamed_by_id(self):
         trace = WorkloadTrace.poisson(3, default_app_factory, seed=4)
         assert trace.topologies[0].name == "app-0"
+
+    def test_departures_sort_before_simultaneous_arrivals(self):
+        events = [
+            TraceEvent(5.0, "arrive", 1),
+            TraceEvent(5.0, "depart", 0),
+            TraceEvent(0.0, "arrive", 0),
+        ]
+        ordered = sorted(events, key=event_sort_key)
+        assert [(e.time, e.kind) for e in ordered] == [
+            (0.0, "arrive"),
+            (5.0, "depart"),
+            (5.0, "arrive"),
+        ]
+
+
+class TestSimultaneousEvents:
+    def test_departure_drains_before_equal_time_arrival(self):
+        """An arrival at the exact instant a tenant departs must fit.
+
+        One host, and each app needs the whole host: app 1 arrives at
+        t=5.0, the moment app 0 departs. With departures draining first
+        both are admitted; sorting arrivals first would spuriously
+        reject app 1 against capacity that is free at that instant.
+        """
+        cloud = build_datacenter(num_racks=1, hosts_per_rack=1)
+        host = cloud.hosts[0]
+        trace = WorkloadTrace()
+        for app_id in range(2):
+            topo = ApplicationTopology(f"full-{app_id}")
+            topo.add_vm("vm0", vcpus=host.cpu_cores, mem_gb=host.mem_gb)
+            trace.topologies[app_id] = topo.copy(f"app-{app_id}")
+        raw = [
+            TraceEvent(0.0, "arrive", 0),
+            TraceEvent(5.0, "depart", 0),
+            TraceEvent(5.0, "arrive", 1),
+            TraceEvent(10.0, "depart", 1),
+        ]
+        trace.events = sorted(raw, key=event_sort_key)
+        report = replay(trace, cloud, algorithm="eg")
+        assert report.rejected == 0
+        assert report.accepted == 2
 
 
 class TestReplay:

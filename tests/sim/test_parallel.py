@@ -1,0 +1,187 @@
+"""Tests for the process-pool execution layer (repro.sim.parallel).
+
+The contract under test: any worker count produces the same results, in
+the same order, as the serial loop -- rows, chaos fingerprints, replay
+reports, telemetry event counts -- wall-clock fields aside.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro import obs
+from repro.errors import ReproError
+from repro.sim.chaos import run_chaos_many
+from repro.sim.metrics import rows_fingerprint
+from repro.sim.parallel import (
+    TaskOutcome,
+    default_workers,
+    merge_outcomes,
+    run_tasks,
+)
+from repro.sim.runner import sweep
+from repro.sim.scenarios import Scenario, multitier_scenario
+
+SIZES = [10, 15]
+ALGORITHMS = ["egc", "eg"]
+SEEDS = (0, 1)
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def _explode(x: int) -> int:
+    if x == 2:
+        raise ValueError(f"boom at {x}")
+    return x
+
+
+class TestRunTasks:
+    def test_inline_and_pooled_agree(self):
+        inline = run_tasks(_square, [1, 2, 3], workers=1)
+        pooled = run_tasks(_square, [1, 2, 3], workers=2)
+        assert [o.value for o in inline] == [o.value for o in pooled] == [
+            1,
+            4,
+            9,
+        ]
+
+    def test_error_reraised_at_serial_position(self):
+        for workers in (1, 2):
+            outcomes = run_tasks(_explode, [0, 1, 2, 3], workers=workers)
+            with pytest.raises(ValueError, match="boom at 2"):
+                merge_outcomes(outcomes)
+
+    def test_skip_errors_drops_only_failing_cells(self):
+        outcomes = run_tasks(_explode, [0, 1, 2, 3], workers=2)
+        values = merge_outcomes(outcomes, skip_errors=(ValueError,))
+        assert values == [0, 1, 3]
+
+    def test_default_workers_positive(self):
+        assert default_workers() >= 1
+
+    def test_outcome_is_picklable(self):
+        outcome = TaskOutcome(value=3, error=ValueError("x"))
+        clone = pickle.loads(pickle.dumps(outcome))
+        assert clone.value == 3
+        assert isinstance(clone.error, ValueError)
+
+
+class TestParallelSweep:
+    def test_rows_identical_to_serial(self):
+        scenario = multitier_scenario()
+        serial = sweep(
+            scenario, ALGORITHMS, SIZES, seeds=SEEDS, workers=1
+        )
+        parallel = sweep(
+            scenario, ALGORITHMS, SIZES, seeds=SEEDS, workers=4
+        )
+        assert rows_fingerprint(serial) == rows_fingerprint(parallel)
+        assert [(r.algorithm, r.size) for r in serial] == [
+            (r.algorithm, r.size) for r in parallel
+        ]
+
+    def test_raw_rows_identical_to_serial(self):
+        scenario = multitier_scenario()
+        serial = sweep(
+            scenario, ALGORITHMS, SIZES, seeds=SEEDS, workers=1,
+            aggregate=False,
+        )
+        parallel = sweep(
+            scenario, ALGORITHMS, SIZES, seeds=SEEDS, workers=2,
+            aggregate=False,
+        )
+        assert len(serial) == len(SIZES) * len(ALGORITHMS) * len(SEEDS)
+        assert rows_fingerprint(serial) == rows_fingerprint(parallel)
+
+    def test_scenario_without_spec_rejected(self):
+        canned = multitier_scenario()
+        bare = Scenario(
+            name="adhoc",
+            build_cloud=canned.build_cloud,
+            build_state=canned.build_state,
+            build_topology=canned.build_topology,
+        )
+        with pytest.raises(ReproError, match="ScenarioSpec"):
+            sweep(bare, ["eg"], [10], workers=2)
+
+    def test_scenario_spec_round_trips_through_pickle(self):
+        scenario = multitier_scenario(heterogeneous=False)
+        spec = pickle.loads(pickle.dumps(scenario.spec))
+        rebuilt = spec.build()
+        assert rebuilt.name == scenario.name
+
+    def test_telemetry_counts_match_serial(self):
+        scenario = multitier_scenario()
+        serial_rec = obs.TelemetryRecorder()
+        sweep(
+            scenario, ["eg"], [10], seeds=(0, 1), workers=1,
+            recorder=serial_rec,
+        )
+        parallel_rec = obs.TelemetryRecorder()
+        sweep(
+            scenario, ["eg"], [10], seeds=(0, 1), workers=2,
+            recorder=parallel_rec,
+        )
+        s_counter = serial_rec.registry.counter(
+            "ostro_placements_total", "", ("algorithm",)
+        )
+        p_counter = parallel_rec.registry.counter(
+            "ostro_placements_total", "", ("algorithm",)
+        )
+        assert s_counter.value(algorithm="eg") == p_counter.value(
+            algorithm="eg"
+        )
+        assert serial_rec.events.count() == parallel_rec.events.count()
+        assert [e.type for e in serial_rec.events.events] == [
+            e.type for e in parallel_rec.events.events
+        ]
+
+
+class TestParallelChaos:
+    def test_reports_identical_across_worker_counts(self):
+        kwargs = dict(
+            apps=3,
+            app_vms=10,
+            faults={"hosts": 1, "api_transient_rate": 0.3},
+        )
+        serial = run_chaos_many([0, 1, 2], workers=1, **kwargs)
+        parallel = run_chaos_many([0, 1, 2], workers=2, **kwargs)
+        assert [r.seed for r in serial] == [0, 1, 2]
+        for a, b in zip(serial, parallel):
+            assert a.fingerprint == b.fingerprint
+            assert a.apps_deployed == b.apps_deployed
+            assert a.hosts_failed == b.hosts_failed
+            assert a.api_faults == b.api_faults
+            assert a.invariant_violations == b.invariant_violations
+
+
+class TestParallelReplay:
+    def test_reports_match_serial_replay(self):
+        from repro.datacenter.builder import build_datacenter
+        from repro.sim.arrivals import (
+            WorkloadTrace,
+            default_app_factory,
+            replay,
+        )
+        from repro.sim.parallel import parallel_replay
+
+        cloud = build_datacenter(num_racks=2, hosts_per_rack=2)
+        trace = WorkloadTrace.poisson(
+            8, default_app_factory, mean_lifetime_s=120, seed=3
+        )
+        serial = [
+            replay(trace, cloud, algorithm=a) for a in ("eg", "egc")
+        ]
+        parallel = parallel_replay(trace, cloud, ["eg", "egc"], workers=2)
+        for a, b in zip(serial, parallel):
+            assert a.algorithm == b.algorithm
+            assert a.accepted == b.accepted
+            assert a.rejected == b.rejected
+            assert a.rejections == b.rejections
+            assert a.peak_cpu_used_frac == pytest.approx(
+                b.peak_cpu_used_frac
+            )

@@ -50,6 +50,25 @@ class TestReport:
         assert report.uplink_used_frac > 0
         assert report.nic_used_frac == 0.0
 
+    def test_shared_nic_counted_once(self):
+        """Hosts sharing one NIC link must not inflate the capacity pool.
+
+        Two hosts behind one chassis NIC: the pool is one NIC's capacity,
+        so half-filling that link reads 50% used. Summing per host counts
+        the shared link twice (and orphans the second host's original
+        NIC index into the uplink pool), reporting 25% instead.
+        """
+        from repro.datacenter.builder import build_datacenter
+
+        cloud = build_datacenter(num_racks=1, hosts_per_rack=2)
+        cloud.hosts[1].link_index = cloud.hosts[0].link_index
+        shared = cloud.hosts[0].link_index
+        state = DataCenterState(cloud)
+        state.reserve_path((shared,), cloud.link_capacity_mbps[shared] / 2)
+        report = utilization_report(state)
+        assert report.nic_used_frac == pytest.approx(0.5)
+        assert report.busiest_nic_frac == pytest.approx(0.5)
+
 
 class TestFormatting:
     def test_dashboard_lines(self, small_dc):
