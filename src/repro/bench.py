@@ -319,6 +319,96 @@ def parallel_sweep_benchmark(
     }
 
 
+def service_benchmark(
+    arrivals: int = 500,
+    pods: int = 4,
+    racks_per_pod: int = 2,
+    hosts_per_rack: int = 8,
+    mean_interarrival_s: float = 12.0,
+    mean_lifetime_s: float = 400.0,
+    horizon_s: float = 30.0,
+    max_batch: int = 16,
+    deadline_s: float = 180.0,
+    update_fraction: float = 0.2,
+    algorithm: str = "eg",
+    seed: int = 0,
+) -> Dict:
+    """Throughput + determinism bench for the admission service.
+
+    Runs one Poisson arrival storm (bursty, prioritized, with online
+    tier-growth churn) through the batched pod-sharded pipeline twice --
+    serial reference ordering and batched -- and reports sustained
+    placements/sec, the virtual p99 admission latency, and the
+    serial-equivalence gate (the two runs' decision-trajectory
+    fingerprints must match byte for byte). The payload lands in
+    ``BENCH_service.json``; ``audit_violations`` counts capacity-
+    conservation findings across both runs (must be zero).
+    """
+    from repro.datacenter.builder import build_cloud
+    from repro.service import ServiceConfig, run_service
+    from repro.sim.arrivals import WorkloadTrace, default_app_factory
+
+    cloud = build_cloud(
+        num_datacenters=1,
+        pods_per_dc=pods,
+        racks_per_pod=racks_per_pod,
+        hosts_per_rack=hosts_per_rack,
+    )
+    trace = WorkloadTrace.poisson_storm(
+        arrivals,
+        default_app_factory,
+        mean_interarrival_s=mean_interarrival_s,
+        mean_lifetime_s=mean_lifetime_s,
+        seed=seed,
+        burst_every_s=20 * mean_interarrival_s,
+        burst_len_s=4 * mean_interarrival_s,
+        burst_factor=4.0,
+        priority_levels=3,
+        update_fraction=update_fraction,
+    )
+    config = ServiceConfig(
+        algorithm=algorithm,
+        horizon_s=horizon_s,
+        max_batch=max_batch,
+        deadline_s=deadline_s,
+    )
+    serial = run_service(trace, cloud, config, serial=True)
+    batched = run_service(trace, cloud, config)
+    return {
+        "scenario": "service",
+        "arrivals": arrivals,
+        "pods": pods,
+        "hosts": cloud.num_hosts,
+        "algorithm": algorithm,
+        "horizon_s": horizon_s,
+        "max_batch": max_batch,
+        "deadline_s": deadline_s,
+        "seed": seed,
+        "admitted": batched.admitted,
+        "rejected": batched.rejected,
+        "expired": batched.expired,
+        "cancelled": batched.cancelled,
+        "updates_applied": batched.updates_applied,
+        "updates_failed": batched.updates_failed,
+        "batches": batched.batches,
+        "escalations": batched.escalations,
+        "shard_admissions": batched.shard_admissions,
+        "peak_queue_depth": batched.peak_queue_depth,
+        "latency_p50_s": batched.latency_p50_s,
+        "latency_p95_s": batched.latency_p95_s,
+        "latency_p99_s": batched.latency_p99_s,
+        "placements_per_sec": batched.placements_per_sec,
+        "serial_placements_per_sec": serial.placements_per_sec,
+        "batched_wall_s": batched.wall_s,
+        "serial_wall_s": serial.wall_s,
+        "fingerprint_serial": serial.fingerprint,
+        "fingerprint_batched": batched.fingerprint,
+        "fingerprints_identical": serial.fingerprint == batched.fingerprint,
+        "audit_violations": len(serial.audit_violations)
+        + len(batched.audit_violations),
+    }
+
+
 def write_results(results: Sequence[Dict], out_dir: str) -> List[str]:
     """Write one ``BENCH_<scenario>.json`` per result; returns the paths."""
     os.makedirs(out_dir, exist_ok=True)

@@ -16,6 +16,10 @@ Subcommands:
 * ``repro bench`` -- time EG/BA*/DBA* on the reference scenarios and emit
   machine-readable ``BENCH_<scenario>.json`` files (optionally gated
   against a committed baseline; see benchmarks/perf/).
+* ``repro serve --dc pods:4 --arrivals 200 --serial-check`` -- run a
+  Poisson arrival storm through the batched, pod-sharded admission
+  pipeline and gate the batched fingerprint against the serial
+  reference (see docs/SERVICE.md).
 
 ``place``, ``experiment``, and ``sweep`` accept ``--trace-out FILE``
 (JSONL event stream) and ``--metrics-out FILE`` (Prometheus text
@@ -319,9 +323,105 @@ def cmd_tradeoff(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import ServiceConfig, run_service
+    from repro.sim.arrivals import WorkloadTrace, default_app_factory
+
+    cloud = _build_cloud(args.dc)
+    trace = WorkloadTrace.poisson_storm(
+        arrivals=args.arrivals,
+        app_factory=default_app_factory,
+        mean_interarrival_s=args.interarrival,
+        mean_lifetime_s=args.lifetime,
+        seed=args.seed,
+        burst_every_s=args.burst_every,
+        burst_len_s=args.burst_len,
+        burst_factor=args.burst_factor,
+        priority_levels=args.priorities,
+        update_fraction=args.updates,
+    )
+    config = ServiceConfig(
+        algorithm=args.algorithm,
+        horizon_s=args.horizon,
+        max_batch=args.max_batch,
+        deadline_s=args.deadline,
+        audit_every=args.audit_every,
+    )
+    mode = "serial" if args.serial else f"batched(max={args.max_batch})"
+    print(
+        f"serving {args.arrivals} submissions on {cloud.num_hosts} hosts "
+        f"({len(cloud.pods)} pods), horizon {args.horizon:.0f}s, {mode}, "
+        f"algorithm {args.algorithm}"
+    )
+    report = run_service(trace, cloud, config, serial=args.serial)
+    print(
+        f"  admitted {report.admitted}/{report.requests} "
+        f"(rejected {report.rejected}, expired {report.expired}, "
+        f"cancelled {report.cancelled}), updates "
+        f"{report.updates_applied}+{report.updates_failed} failed"
+    )
+    print(
+        f"  batches: {report.batches}, escalations: "
+        f"{report.escalations or '{}'}"
+    )
+    routes = ", ".join(
+        f"{name}={count}"
+        for name, count in sorted(report.shard_admissions.items())
+    )
+    print(f"  routes: {routes or 'none'}")
+    print(
+        f"  latency p50/p95/p99: {report.latency_p50_s:.1f}/"
+        f"{report.latency_p95_s:.1f}/{report.latency_p99_s:.1f} s "
+        f"(virtual); {report.placements_per_sec:.0f} placements/s "
+        f"(wall {report.wall_s:.2f}s)"
+    )
+    print(f"  fingerprint: {report.fingerprint}")
+    rc = 0
+    if report.audit_violations:
+        for violation in report.audit_violations:
+            print(f"LEAK: {violation}", file=sys.stderr)
+        rc = 2
+    if args.serial_check and not args.serial:
+        reference = run_service(trace, cloud, config, serial=True)
+        identical = reference.fingerprint == report.fingerprint
+        print(
+            f"  serial check: {'identical' if identical else 'MISMATCH'} "
+            f"(serial fingerprint {reference.fingerprint})"
+        )
+        if reference.audit_violations:
+            for violation in reference.audit_violations:
+                print(f"LEAK: [serial] {violation}", file=sys.stderr)
+            rc = 2
+        if not identical:
+            print(
+                "error: batched admission diverged from the serial "
+                "reference ordering",
+                file=sys.stderr,
+            )
+            rc = 2
+    return rc
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro import bench
 
+    if args.service:
+        payload = bench.service_benchmark()
+        for path in bench.write_results([payload], args.out_dir):
+            print(f"# wrote {path}", file=sys.stderr)
+        print(
+            f"service storm ({payload['arrivals']} submissions, "
+            f"{payload['pods']} pods, {payload['hosts']} hosts): "
+            f"{payload['placements_per_sec']:.0f} placements/s, "
+            f"p99 {payload['latency_p99_s']:.1f}s (virtual), "
+            f"fingerprints identical: {payload['fingerprints_identical']}, "
+            f"audit violations: {payload['audit_violations']}"
+        )
+        ok = (
+            payload["fingerprints_identical"]
+            and payload["audit_violations"] == 0
+        )
+        return 0 if ok else 1
     if args.parallel_sweep:
         workers = args.workers if args.workers > 1 else 4
         payload = bench.parallel_sweep_benchmark(workers=workers)
@@ -560,8 +660,97 @@ def build_parser() -> argparse.ArgumentParser:
         "instead of the reference suite (records speedup + row "
         "equality in BENCH_parallel_sweep.json)",
     )
+    bench_cmd.add_argument(
+        "--service",
+        action="store_true",
+        help="run the admission-service throughput benchmark instead of "
+        "the reference suite (records placements/sec, p99 latency, and "
+        "the serial-equivalence gate in BENCH_service.json)",
+    )
     _add_workers_flag(bench_cmd)
     bench_cmd.set_defaults(func=cmd_bench)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run an arrival storm through the batched, pod-sharded "
+        "admission pipeline (see docs/SERVICE.md)",
+    )
+    serve.add_argument(
+        "--dc",
+        default="pods:4",
+        help="data center spec; 'pods:<P>[x<R>x<H>]' builds a podded DC "
+        "the service shards per pod (default: %(default)s)",
+    )
+    serve.add_argument("--arrivals", type=int, default=200)
+    serve.add_argument("--interarrival", type=float, default=20.0)
+    serve.add_argument("--lifetime", type=float, default=600.0)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--algorithm", default="eg")
+    serve.add_argument(
+        "--horizon",
+        type=float,
+        default=30.0,
+        help="virtual seconds between queue drains (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=16,
+        help="largest joint admission batch (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="per-request patience in virtual seconds (default: none)",
+    )
+    serve.add_argument(
+        "--priorities",
+        type=int,
+        default=1,
+        metavar="K",
+        help="draw admission priorities from range(K) (default: 1 = all "
+        "equal)",
+    )
+    serve.add_argument(
+        "--updates",
+        type=float,
+        default=0.0,
+        metavar="FRAC",
+        help="fraction of tenants that grow mid-lifetime through the "
+        "online-adaptation path (default: %(default)s)",
+    )
+    serve.add_argument("--burst-every", type=float, default=0.0)
+    serve.add_argument("--burst-len", type=float, default=0.0)
+    serve.add_argument("--burst-factor", type=float, default=4.0)
+    serve.add_argument(
+        "--audit-every",
+        type=int,
+        default=10,
+        metavar="N",
+        help="capacity-conservation audit every N drains (default: "
+        "%(default)s; the final audit always runs)",
+    )
+    serve.add_argument(
+        "--serial",
+        action="store_true",
+        help="force per-request admission (max-batch=1), the reference "
+        "ordering",
+    )
+    serve.add_argument(
+        "--serial-check",
+        action="store_true",
+        help="also run the serial reference and fail (exit 2) unless the "
+        "batched fingerprint matches it bit-for-bit",
+    )
+    serve.add_argument(
+        "--virtual-time",
+        action="store_true",
+        help="drive the horizon clock from the trace's virtual "
+        "timestamps (always on; flag accepted for explicitness in "
+        "scripts)",
+    )
+    serve.set_defaults(func=cmd_serve)
 
     lint_cmd = sub.add_parser(
         "lint",

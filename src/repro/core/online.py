@@ -25,6 +25,7 @@ failures instead of updates.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, List, Optional, Set, Tuple, Union
 
@@ -132,6 +133,17 @@ def update_application(
             if not pinned or rounds >= max_unpin_rounds:
                 # Even the fully free search failed: restore the original.
                 ostro.commit(old_topology, old_placement)
+                rec = obs.get_recorder()
+                if rec.enabled:
+                    rec.inc("ostro_update_failures_total")
+                    rec.event(
+                        "update_failed",
+                        app=new_topology.name,
+                        added=len(added),
+                        removed=len(removed),
+                        changed=len(changed),
+                        unpin_rounds=rounds,
+                    )
                 raise
             frontier = _expand_frontier(new_topology, unpinned)
             if frontier == unpinned:
@@ -348,7 +360,10 @@ def add_vms_to_tier(
         raise PlacementError(f"no VMs with prefix {tier_prefix!r}")
     template_name = members[0]
     template = topology.node(template_name)
-    count = max(1, int(round(fraction * len(members))))
+    # ceil, as documented -- with a tiny slack so binary-float noise in
+    # fraction * size (e.g. 0.2 * 15 = 3.0000000000000004) cannot round a
+    # whole-number product up an extra step.
+    count = math.ceil(fraction * len(members) - 1e-9)
     grown = topology.copy()
     for i in range(count):
         new_name = f"{tier_prefix}-extra{i + 1}"

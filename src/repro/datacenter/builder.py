@@ -22,10 +22,13 @@ from repro.units import gbps, tb
 def cloud_from_spec(spec: str) -> Cloud:
     """Build a cloud from a CLI-style spec string.
 
-    ``"testbed"`` builds the 16-host experimental cluster and
+    ``"testbed"`` builds the 16-host experimental cluster,
     ``"dc:<racks>"`` a simulated data center with that many 16-host
-    racks. The spec is plain data, so parallel workers can rebuild the
-    same cloud deterministically instead of pickling a Cloud object.
+    racks, and ``"pods:<P>"`` (or ``"pods:<P>x<R>x<H>"``) a single
+    podded data center with P pods of R racks of H hosts (R and H
+    default to 2 and 8 -- the shape the sharded admission service
+    partitions). The spec is plain data, so parallel workers can rebuild
+    the same cloud deterministically instead of pickling a Cloud object.
     """
     if spec == "testbed":
         return build_testbed()
@@ -37,8 +40,25 @@ def cloud_from_spec(spec: str) -> Cloud:
                 f"bad rack count in data center spec {spec!r}"
             ) from None
         return build_datacenter(num_racks=racks)
+    if spec.startswith("pods:"):
+        dims = spec.split(":", 1)[1].split("x")
+        try:
+            pods = int(dims[0])
+            racks_per_pod = int(dims[1]) if len(dims) > 1 else 2
+            hosts_per_rack = int(dims[2]) if len(dims) > 2 else 8
+        except (ValueError, IndexError):
+            raise DataCenterError(
+                f"bad pod spec {spec!r}; use 'pods:<P>' or 'pods:<P>x<R>x<H>'"
+            ) from None
+        return build_cloud(
+            num_datacenters=1,
+            pods_per_dc=pods,
+            racks_per_pod=racks_per_pod,
+            hosts_per_rack=hosts_per_rack,
+        )
     raise DataCenterError(
-        f"unknown data center spec {spec!r}; use 'testbed' or 'dc:<racks>'"
+        f"unknown data center spec {spec!r}; use 'testbed', 'dc:<racks>', "
+        "or 'pods:<P>[x<R>x<H>]'"
     )
 
 

@@ -68,6 +68,19 @@ EVENT_SCHEMA: Dict[str, frozenset] = {
     "update_applied": frozenset(
         {"app", "added", "removed", "changed", "moved", "unpin_rounds"}
     ),
+    "update_failed": frozenset(
+        {"app", "added", "removed", "changed", "unpin_rounds"}
+    ),
+    # admission service (repro.service)
+    "request_enqueued": frozenset({"request", "app", "priority"}),
+    "request_admitted": frozenset({"request", "app", "route", "latency_s"}),
+    "request_rejected": frozenset({"request", "app", "reason"}),
+    "request_expired": frozenset({"request", "app", "waited_s"}),
+    "request_cancelled": frozenset({"request", "app"}),
+    "batch_drained": frozenset({"batch", "size", "mode"}),
+    "batch_fallback": frozenset({"batch", "failed_app", "reason"}),
+    "shard_routed": frozenset({"app", "shard", "load"}),
+    "escalated": frozenset({"app", "reason"}),
     # runtime adaptation / migration
     "migration_step": frozenset({"node", "to_host", "bounce", "moved_gb"}),
     # integration surrogates (Heat wrapper, Nova, Cinder)

@@ -138,6 +138,11 @@ METRIC_CATALOG: Dict[str, Tuple[str, str, Tuple[str, ...]]] = {
         "Online topology updates applied.",
         (),
     ),
+    "ostro_update_failures_total": (
+        "counter",
+        "Online topology updates that failed and were rolled back.",
+        (),
+    ),
     "ostro_migration_steps_total": (
         "counter",
         "Executed migration moves, by kind (move / bounce).",
@@ -192,6 +197,33 @@ METRIC_CATALOG: Dict[str, Tuple[str, str, Tuple[str, ...]]] = {
         "counter",
         "Algorithm degradations (e.g. dba* -> ba*) under failure pressure.",
         ("from_algorithm", "to_algorithm"),
+    ),
+    "ostro_service_requests_total": (
+        "counter",
+        "Admission requests decided by the service pipeline, by outcome.",
+        ("outcome",),
+    ),
+    "ostro_service_batches_total": (
+        "counter",
+        "Batches drained by the admission engine, by mode "
+        "(single / joint / fallback).",
+        ("mode",),
+    ),
+    "ostro_service_admission_latency_seconds": (
+        "histogram",
+        "Virtual-time latency from submission to admission decision.",
+        (),
+    ),
+    "ostro_service_queue_depth": (
+        "gauge",
+        "Requests waiting in the admission queue after the last drain.",
+        (),
+    ),
+    "ostro_service_escalations_total": (
+        "counter",
+        "Placements escalated from the pod shards to the global pass, "
+        "by reason.",
+        ("reason",),
     ),
     "ostro_span_seconds": (
         "histogram",

@@ -1,0 +1,44 @@
+"""Ostro-as-a-service: a long-running, batched admission pipeline.
+
+The paper frames placement as one ``place()`` call that owns the whole
+data center; a production scheduler instead runs as a *service*: stack
+submissions arrive concurrently, are queued, drained in batches on a
+horizon, and placed by per-pod scheduler shards behind a root
+coordinator. This package provides the three layers:
+
+* :mod:`repro.service.queue` -- the admission queue: deterministic
+  virtual-time ordering, priorities, per-request deadlines.
+* :mod:`repro.service.batch` -- the batch admission engine: drains the
+  queue on a configurable horizon and places each batch jointly under one
+  transactional boundary, falling back to per-request admission when a
+  batch member is infeasible.
+* :mod:`repro.service.shard` / :mod:`repro.service.coordinator` -- the
+  pod-sharded scheduler: per-pod search domains behind a root coordinator
+  that routes to the least-loaded feasible shard and escalates cross-pod
+  or shard-infeasible placements to a global pass.
+
+:mod:`repro.service.driver` wires the layers into a virtual-time arrival
+storm (``repro serve``); see docs/SERVICE.md for the semantics and the
+serial-equivalence determinism guarantee.
+"""
+
+from repro.service.batch import AdmissionOutcome, BatchAdmissionEngine, BatchPolicy
+from repro.service.coordinator import ShardedCoordinator
+from repro.service.driver import ServiceConfig, ServiceReport, run_service
+from repro.service.queue import AdmissionQueue, AdmissionRequest, request_sort_key
+from repro.service.shard import PodShard, build_shards
+
+__all__ = [
+    "AdmissionOutcome",
+    "AdmissionQueue",
+    "AdmissionRequest",
+    "BatchAdmissionEngine",
+    "BatchPolicy",
+    "PodShard",
+    "ServiceConfig",
+    "ServiceReport",
+    "ShardedCoordinator",
+    "build_shards",
+    "request_sort_key",
+    "run_service",
+]

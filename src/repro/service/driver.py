@@ -1,0 +1,290 @@
+"""The service driver: a virtual-time arrival storm through the pipeline.
+
+:func:`run_service` replays a :class:`~repro.sim.arrivals.WorkloadTrace`
+(typically a :meth:`~repro.sim.arrivals.WorkloadTrace.poisson_storm`)
+against the full admission pipeline: arrivals enqueue, the queue drains
+at every horizon boundary into the batch engine, the engine places
+batches through the pod-sharded coordinator, departures release live
+applications or cancel still-queued requests, and "update" events grow a
+live application's first tier through the online-adaptation path
+(:func:`repro.core.online.update_application`).
+
+Time is *virtual* -- the trace's simulated seconds drive the horizon
+clock, so a run is a pure function of (trace, cloud, config) and the
+serial/batched fingerprint gate is meaningful. Wall-clock is measured
+only as throughput instrumentation (placements per second), which is why
+this module lives outside the wall-clock-banned core packages.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro import obs
+from repro.core.online import add_vms_to_tier
+from repro.datacenter.model import Cloud
+from repro.errors import PlacementError
+from repro.service.batch import (
+    AdmissionOutcome,
+    BatchAdmissionEngine,
+    BatchPolicy,
+    expire_outcomes,
+)
+from repro.service.coordinator import ShardedCoordinator
+from repro.service.queue import AdmissionQueue
+from repro.sim.arrivals import WorkloadTrace
+from repro.sim.chaos import placement_fingerprint
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Knobs of one service run.
+
+    Attributes:
+        algorithm: placement algorithm for every admission.
+        horizon_s: virtual seconds between queue drains.
+        max_batch: largest joint batch (1 = serial reference mode).
+        deadline_s: per-request patience; None = requests never expire.
+        update_fraction: tier-growth factor applied on "update" events
+            (fraction of the first tier's size, see
+            :func:`repro.core.online.add_vms_to_tier`).
+        audit_every: run the coordinator's capacity-conservation audit
+            every N drains (0 = only the final audit).
+        theta_bw / theta_c: objective weights, forwarded everywhere.
+    """
+
+    algorithm: str = "eg"
+    horizon_s: float = 30.0
+    max_batch: int = 16
+    deadline_s: Optional[float] = None
+    update_fraction: float = 0.2
+    audit_every: int = 10
+    theta_bw: float = 0.6
+    theta_c: float = 0.4
+
+
+@dataclass
+class ServiceReport:
+    """What one service run did, end to end.
+
+    Attributes:
+        requests: total submissions seen.
+        admitted / rejected / expired / cancelled: decision counts
+            (the four sum to ``requests`` once the run finishes).
+        updates_applied / updates_failed: online-adaptation outcomes.
+        drains: horizon boundaries processed.
+        batches: batch counts by mode ("single" / "joint" / "fallback").
+        escalations: escalation counts by reason.
+        shard_admissions: admitted count per route (shard name or
+            "global").
+        latency_p50_s / latency_p95_s / latency_p99_s: virtual admission
+            latency percentiles over admitted requests.
+        placements_per_sec: admitted placements per wall-clock second.
+        wall_s: wall-clock duration of the run.
+        peak_queue_depth: most requests ever waiting at a drain.
+        fingerprint: digest of the *whole decision trajectory* -- every
+            admitted placement's assignments (in
+            :func:`~repro.sim.chaos.placement_fingerprint` line format),
+            every rejection/expiry/cancellation, every update outcome,
+            in decision order, with the final committed state's
+            fingerprint mixed in. The serial-equivalence gate compares
+            these across runs; hashing only the final state would go
+            vacuous whenever every tenant departs before the trace ends.
+        audit_violations: findings from every capacity audit (empty =
+            conservation held throughout).
+        outcomes: every per-request decision, in decision order.
+    """
+
+    requests: int = 0
+    admitted: int = 0
+    rejected: int = 0
+    expired: int = 0
+    cancelled: int = 0
+    updates_applied: int = 0
+    updates_failed: int = 0
+    drains: int = 0
+    batches: Dict[str, int] = field(default_factory=dict)
+    escalations: Dict[str, int] = field(default_factory=dict)
+    shard_admissions: Dict[str, int] = field(default_factory=dict)
+    latency_p50_s: float = 0.0
+    latency_p95_s: float = 0.0
+    latency_p99_s: float = 0.0
+    placements_per_sec: float = 0.0
+    wall_s: float = 0.0
+    peak_queue_depth: int = 0
+    fingerprint: str = ""
+    audit_violations: List[str] = field(default_factory=list)
+    outcomes: List[AdmissionOutcome] = field(default_factory=list, repr=False)
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation)."""
+    if not sorted_values:
+        return 0.0
+    index = max(0, math.ceil(q * len(sorted_values)) - 1)
+    return sorted_values[index]
+
+
+def _feed_outcome(digest: "hashlib._Hash", outcome: AdmissionOutcome) -> None:
+    """Hash one decision into the trajectory digest."""
+    app = outcome.request.app_name
+    if outcome.status == "admitted" and outcome.result is not None:
+        assignments = outcome.result.placement.assignments
+        for node in sorted(assignments):
+            a = assignments[node]
+            digest.update(f"{app}/{node}@{a.host}:{a.disk}\n".encode("utf-8"))
+    else:
+        digest.update(f"{app}:{outcome.status}\n".encode("utf-8"))
+
+
+def run_service(
+    trace: WorkloadTrace,
+    cloud: Cloud,
+    config: Optional[ServiceConfig] = None,
+    serial: bool = False,
+) -> ServiceReport:
+    """Run one arrival storm through the full admission pipeline.
+
+    Args:
+        trace: the workload (its events drive the virtual clock).
+        cloud: the physical structure to admit into.
+        config: pipeline knobs.
+        serial: force ``max_batch=1`` -- the per-request reference
+            ordering whose fingerprint batched runs must reproduce.
+
+    Returns a :class:`ServiceReport`; ``report.fingerprint`` digests the
+    final committed placements for the serial-equivalence gate.
+    """
+    cfg = config or ServiceConfig()
+    coordinator = ShardedCoordinator(
+        cloud,
+        algorithm=cfg.algorithm,
+        theta_bw=cfg.theta_bw,
+        theta_c=cfg.theta_c,
+    )
+    policy = BatchPolicy(
+        horizon_s=cfg.horizon_s,
+        max_batch=1 if serial else cfg.max_batch,
+    )
+    engine = BatchAdmissionEngine(coordinator, policy)
+    queue = AdmissionQueue()
+    report = ServiceReport()
+    rec = obs.get_recorder()
+
+    #: app_id -> pending request id (still queued)
+    queued: Dict[int, int] = {}
+    #: app_id -> live topology (admitted and not yet departed)
+    live: Dict[int, object] = {}
+    latencies: List[float] = []
+    digest = hashlib.sha256()
+    wall_start = time.perf_counter()
+
+    def drain(now: float) -> None:
+        report.peak_queue_depth = max(report.peak_queue_depth, len(queue))
+        ready, timed_out = queue.drain(now)
+        if not ready and not timed_out:
+            return
+        report.drains += 1
+        outcomes = expire_outcomes(timed_out, now)
+        outcomes.extend(engine.admit_batch(ready, now))
+        for outcome in outcomes:
+            app_id = int(outcome.request.app_name.split("-", 1)[1])
+            queued.pop(app_id, None)
+            if outcome.status == "admitted":
+                report.admitted += 1
+                latencies.append(outcome.latency_s)
+                route = outcome.route
+                report.shard_admissions[route] = (
+                    report.shard_admissions.get(route, 0) + 1
+                )
+                live[app_id] = outcome.request.topology
+            elif outcome.status == "rejected":
+                report.rejected += 1
+            elif outcome.status == "expired":
+                report.expired += 1
+            _feed_outcome(digest, outcome)
+        report.outcomes.extend(outcomes)
+        if cfg.audit_every > 0 and report.drains % cfg.audit_every == 0:
+            report.audit_violations.extend(coordinator.verify_state())
+
+    horizon = max(cfg.horizon_s, 1e-9)
+    boundary = horizon
+    for event in trace.events:
+        while event.time > boundary:
+            drain(boundary)
+            boundary += horizon
+        if event.kind == "arrive":
+            report.requests += 1
+            request = queue.submit(
+                trace.topologies[event.app_id],
+                submit_time_s=event.time,
+                priority=trace.priorities.get(event.app_id, 0),
+                deadline_s=cfg.deadline_s,
+            )
+            queued[event.app_id] = request.request_id
+        elif event.kind == "depart":
+            if event.app_id in live:
+                coordinator.remove(f"app-{event.app_id}")
+                del live[event.app_id]
+            elif event.app_id in queued:
+                request = queue.cancel(queued.pop(event.app_id))
+                report.cancelled += 1
+                if rec.enabled:
+                    rec.inc(
+                        "ostro_service_requests_total", outcome="cancelled"
+                    )
+                cancelled = AdmissionOutcome(
+                    request=request,
+                    status="cancelled",
+                    latency_s=event.time - request.submit_time_s,
+                )
+                _feed_outcome(digest, cancelled)
+                report.outcomes.append(cancelled)
+            # rejected / expired apps: their departure is a no-op
+        elif event.kind == "update":
+            if event.app_id not in live:
+                continue
+            name = f"app-{event.app_id}"
+            current = coordinator.ostro.deployed(name).topology
+            grown = add_vms_to_tier(current, "vm", cfg.update_fraction)
+            try:
+                coordinator.update(grown)
+            except PlacementError:
+                report.updates_failed += 1
+                digest.update(f"{name}:update-failed\n".encode("utf-8"))
+            else:
+                report.updates_applied += 1
+                live[event.app_id] = grown
+                assignments = coordinator.ostro.deployed(name).placement.assignments
+                for node in sorted(assignments):
+                    a = assignments[node]
+                    digest.update(
+                        f"{name}/{node}~{a.host}:{a.disk}\n".encode("utf-8")
+                    )
+
+    # the trace is exhausted; drain whatever is still queued
+    while len(queue):
+        drain(boundary)
+        boundary += horizon
+
+    report.wall_s = time.perf_counter() - wall_start
+    report.audit_violations.extend(coordinator.verify_state())
+    report.batches = {
+        "single": engine.batches - engine.joint_batches - engine.fallback_batches,
+        "joint": engine.joint_batches,
+        "fallback": engine.fallback_batches,
+    }
+    report.escalations = dict(coordinator.escalations)
+    latencies.sort()
+    report.latency_p50_s = _percentile(latencies, 0.50)
+    report.latency_p95_s = _percentile(latencies, 0.95)
+    report.latency_p99_s = _percentile(latencies, 0.99)
+    if report.wall_s > 0:
+        report.placements_per_sec = report.admitted / report.wall_s
+    digest.update(placement_fingerprint(coordinator.ostro).encode("utf-8"))
+    report.fingerprint = digest.hexdigest()
+    return report

@@ -1,0 +1,153 @@
+"""The admission queue: deterministic ordering of concurrent submissions.
+
+Requests carry a *virtual* submission time (simulated seconds, exactly
+like :class:`repro.sim.arrivals.TraceEvent` timestamps), an integer
+priority (lower = more urgent), and an optional per-request deadline.
+Draining follows the same discipline as
+:func:`repro.sim.arrivals.event_sort_key`: a total, tie-broken order so
+any two runs over the same submissions admit in the same sequence --
+this is what makes batched admission reproducible against the serial
+baseline (see docs/SERVICE.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro import obs
+from repro.core.topology import ApplicationTopology
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class AdmissionRequest:
+    """One queued stack submission.
+
+    Attributes:
+        request_id: unique, monotonically increasing id within the queue.
+        topology: the application to admit (its name identifies the app).
+        submit_time_s: virtual submission timestamp.
+        priority: admission priority; *lower* numbers drain first
+            (priority 0 preempts priority 1 within the same drain).
+        deadline_s: optional patience budget; a request still queued more
+            than this many virtual seconds after submission expires
+            instead of being admitted.
+    """
+
+    request_id: int
+    topology: ApplicationTopology
+    submit_time_s: float
+    priority: int = 0
+    deadline_s: Optional[float] = None
+
+    @property
+    def app_name(self) -> str:
+        return self.topology.name
+
+    def expired(self, now: float) -> bool:
+        """True when the request's patience ran out at virtual time now."""
+        if self.deadline_s is None:
+            return False
+        return now > self.submit_time_s + self.deadline_s
+
+
+def request_sort_key(request: AdmissionRequest) -> Tuple[int, float, int]:
+    """Canonical drain order: priority, then virtual time, then id.
+
+    Mirrors the :func:`repro.sim.arrivals.event_sort_key` discipline --
+    every comparison ends at a unique integer (the request id), so the
+    order is total and two drains over the same pending set are
+    bit-identical.
+    """
+    return (request.priority, request.submit_time_s, request.request_id)
+
+
+class AdmissionQueue:
+    """FIFO-with-priorities buffer of pending admission requests.
+
+    Submissions accumulate between horizon boundaries; :meth:`drain`
+    returns everything submitted up to (and including) the boundary in
+    :func:`request_sort_key` order, separating requests whose deadline
+    already passed.
+    """
+
+    def __init__(self) -> None:
+        self._pending: Dict[int, AdmissionRequest] = {}
+        self._next_id = 0
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def submit(
+        self,
+        topology: ApplicationTopology,
+        submit_time_s: float,
+        priority: int = 0,
+        deadline_s: Optional[float] = None,
+    ) -> AdmissionRequest:
+        """Enqueue one submission and return its request record."""
+        request = AdmissionRequest(
+            request_id=self._next_id,
+            topology=topology,
+            submit_time_s=submit_time_s,
+            priority=priority,
+            deadline_s=deadline_s,
+        )
+        self._next_id += 1
+        self._pending[request.request_id] = request
+        rec = obs.get_recorder()
+        if rec.enabled:
+            rec.event(
+                "request_enqueued",
+                request=request.request_id,
+                app=request.app_name,
+                priority=priority,
+            )
+        return request
+
+    def cancel(self, request_id: int) -> AdmissionRequest:
+        """Withdraw a still-pending request (e.g. the tenant departed)."""
+        request = self._pending.pop(request_id, None)
+        if request is None:
+            raise ReproError(f"unknown or already drained request {request_id}")
+        rec = obs.get_recorder()
+        if rec.enabled:
+            rec.event(
+                "request_cancelled",
+                request=request.request_id,
+                app=request.app_name,
+            )
+        return request
+
+    def pending_ids(self) -> List[int]:
+        """Ids of all pending requests, ascending."""
+        return sorted(self._pending)
+
+    def drain(
+        self, now: float
+    ) -> Tuple[List[AdmissionRequest], List[AdmissionRequest]]:
+        """Remove everything submitted by virtual time ``now``.
+
+        Returns ``(ready, expired)``: both in :func:`request_sort_key`
+        order, with ``expired`` holding the requests whose per-request
+        deadline passed while they waited. Requests submitted after
+        ``now`` stay queued for a later drain.
+        """
+        due = sorted(
+            (
+                r
+                for r in self._pending.values()
+                if r.submit_time_s <= now
+            ),
+            key=request_sort_key,
+        )
+        ready: List[AdmissionRequest] = []
+        expired: List[AdmissionRequest] = []
+        for request in due:
+            del self._pending[request.request_id]
+            (expired if request.expired(now) else ready).append(request)
+        rec = obs.get_recorder()
+        if rec.enabled:
+            rec.set_gauge("ostro_service_queue_depth", float(len(self._pending)))
+        return ready, expired

@@ -39,13 +39,16 @@ class TraceEvent:
 
     Attributes:
         time: event timestamp (simulated seconds).
-        kind: "arrive" or "depart".
+        kind: "arrive", "depart", or "update" (online tier growth).
         app_id: unique application id within the trace.
     """
 
     time: float
     kind: str
     app_id: int
+
+
+_KIND_RANK = {"depart": 0, "arrive": 1, "update": 2}
 
 
 def event_sort_key(event: TraceEvent) -> tuple:
@@ -55,8 +58,10 @@ def event_sort_key(event: TraceEvent) -> tuple:
     is admitted, or capacity that is free at that instant looks occupied
     and the arrival is spuriously rejected. (Sorting on the raw ``kind``
     string gets this backwards: "arrive" < "depart" lexicographically.)
+    Updates order after arrivals at the same instant: an application must
+    exist before it can grow.
     """
-    return (event.time, 0 if event.kind == "depart" else 1, event.app_id)
+    return (event.time, _KIND_RANK.get(event.kind, 1), event.app_id)
 
 
 @dataclass
@@ -66,10 +71,14 @@ class WorkloadTrace:
     Attributes:
         events: time-ordered events.
         topologies: app_id -> topology (named ``app-<id>``).
+        priorities: app_id -> admission priority (lower = more urgent);
+            apps absent from the map default to priority 0. Only storm
+            traces populate this; plain Poisson traces leave it empty.
     """
 
     events: List[TraceEvent] = field(default_factory=list)
     topologies: Dict[int, ApplicationTopology] = field(default_factory=dict)
+    priorities: Dict[int, int] = field(default_factory=dict)
 
     @staticmethod
     def poisson(
@@ -101,6 +110,60 @@ class WorkloadTrace:
             trace.topologies[app_id] = renamed
             raw.append(TraceEvent(clock, "arrive", app_id))
             raw.append(TraceEvent(clock + lifetime, "depart", app_id))
+        trace.events = sorted(raw, key=event_sort_key)
+        return trace
+
+    @staticmethod
+    def poisson_storm(
+        arrivals: int,
+        app_factory: Callable[[int, random.Random], ApplicationTopology],
+        mean_interarrival_s: float = 60.0,
+        mean_lifetime_s: float = 600.0,
+        seed: int = 0,
+        burst_every_s: float = 0.0,
+        burst_len_s: float = 0.0,
+        burst_factor: float = 4.0,
+        priority_levels: int = 1,
+        update_fraction: float = 0.0,
+    ) -> "WorkloadTrace":
+        """A Poisson arrival storm: flash-crowd bursts, priorities, churn.
+
+        Like :meth:`poisson`, but the arrival rate is modulated by
+        periodic burst windows (every ``burst_every_s`` simulated
+        seconds, the rate multiplies by ``burst_factor`` for
+        ``burst_len_s`` seconds -- the flash crowds an admission service
+        must absorb), each application draws an admission priority from
+        ``range(priority_levels)``, and a ``update_fraction`` share of
+        applications emits one mid-lifetime "update" event (online tier
+        growth, exercised through :func:`repro.core.online.
+        update_application` by the service driver).
+
+        Identical arguments yield identical traces, event for event.
+        """
+        rng = random.Random(seed)
+        trace = WorkloadTrace()
+        clock = 0.0
+        raw: List[TraceEvent] = []
+        for app_id in range(arrivals):
+            in_burst = (
+                burst_every_s > 0.0
+                and burst_len_s > 0.0
+                and clock % burst_every_s < burst_len_s
+            )
+            rate = 1.0 / mean_interarrival_s
+            if in_burst:
+                rate *= max(burst_factor, 1.0)
+            clock += rng.expovariate(rate)
+            lifetime = rng.expovariate(1.0 / mean_lifetime_s)
+            topology = app_factory(app_id, rng)
+            trace.topologies[app_id] = topology.copy(f"app-{app_id}")
+            if priority_levels > 1:
+                trace.priorities[app_id] = rng.randrange(priority_levels)
+            raw.append(TraceEvent(clock, "arrive", app_id))
+            raw.append(TraceEvent(clock + lifetime, "depart", app_id))
+            if update_fraction > 0.0 and rng.random() < update_fraction:
+                offset = lifetime * rng.uniform(0.25, 0.75)
+                raw.append(TraceEvent(clock + offset, "update", app_id))
         trace.events = sorted(raw, key=event_sort_key)
         return trace
 
@@ -176,7 +239,10 @@ def replay(
             report.peak_cpu_used_frac = max(
                 report.peak_cpu_used_frac, snapshot.cpu_used_frac
             )
-        else:
+        elif event.kind == "depart":
+            # other kinds (e.g. storm "update" events) are service-driver
+            # concerns; plain replay ignores them rather than treating
+            # every non-arrival as a departure
             if event.app_id in live:
                 ostro.remove(f"app-{event.app_id}")
                 live.discard(event.app_id)

@@ -4,11 +4,19 @@ from __future__ import annotations
 
 import pytest
 
+from repro import obs
 from repro.core.online import add_vms_to_tier, diff_topologies
 from repro.core.scheduler import Ostro
 from repro.core.topology import ApplicationTopology
 from repro.errors import PlacementError
 from tests.conftest import make_three_tier
+
+
+@pytest.fixture
+def recorder():
+    rec = obs.enable()
+    yield rec
+    obs.disable()
 
 
 def deploy_three_tier(small_dc):
@@ -126,6 +134,100 @@ class TestUpdate:
             "a"
         ) == update.result.placement.host_of("c")
 
+    def test_failed_update_records_telemetry(self, small_dc, recorder):
+        ostro, topo = deploy_three_tier(small_dc)
+        impossible = topo.copy()
+        impossible.add_vm("monster", 1000, 1000)
+        with pytest.raises(PlacementError):
+            ostro.update(impossible, algorithm="eg")
+        assert (
+            recorder.registry.get("ostro_update_failures_total").value() == 1
+        )
+        (event,) = recorder.events.of_type("update_failed")
+        assert event.fields["app"] == topo.name
+        assert event.fields["added"] == 1
+        assert "unpin_rounds" in event.fields
+        assert recorder.events.count("update_applied") == 0
+
+    def test_saturated_frontier_unpins_everything(self, small_dc):
+        """An isolated added VM has no neighbors, so the first frontier
+        expansion cannot grow the unpinned set -- the fallback must jump
+        straight to a full unpin (and succeed by moving the pinned VM)."""
+        ostro = Ostro(small_dc)
+        topo = ApplicationTopology("solo")
+        topo.add_vm("a", 8, 8)
+        ostro.place(topo, algorithm="eg")
+        host_a = ostro.deployed("solo").placement.host_of("a")
+        spare = next(
+            h
+            for h in range(small_dc.num_hosts)
+            if h != host_a and not ostro.state.host_is_active(h)
+        )
+        # every host fills up except a's (8 cores left) and one spare
+        # with exactly 8 free: the isolated 12-core newcomer only fits on
+        # a's host once a itself moves to the spare
+        for h in range(small_dc.num_hosts):
+            if h == host_a:
+                continue
+            leave = 8.0 if h == spare else 0.0
+            ostro.state.place_vm(
+                h, ostro.state.free_cpu[h] - leave, ostro.state.free_mem[h] / 2
+            )
+        grown = topo.copy()
+        grown.add_vm("c", 12, 8)  # isolated: no links to a
+        update = ostro.update(grown, algorithm="eg")
+        assert update.unpin_rounds == 1
+        assert update.moved == ["a"]
+        assert update.result.placement.host_of("c") == host_a
+        assert update.result.placement.host_of("a") == spare
+
+    def test_unpin_round_budget_restores_original(self, small_dc, recorder):
+        """Exhausting max_unpin_rounds with pins still in place must
+        restore the original deployment bit-for-bit and report the rounds
+        actually burned."""
+        ostro = Ostro(small_dc)
+        topo = ApplicationTopology("chain")
+        for i in range(6):
+            topo.add_vm(f"n{i}", 2, 2)
+            if i:
+                topo.connect(f"n{i - 1}", f"n{i}", 50)
+        ostro.place(topo, algorithm="eg")
+        original = dict(ostro.deployed("chain").placement.assignments)
+        snapshot = ostro.state.snapshot()
+        impossible = topo.copy()
+        impossible.add_vm("monster", 1000, 1000)
+        impossible.connect("monster", "n0", 10)
+        with pytest.raises(PlacementError):
+            ostro.update(impossible, algorithm="eg", max_unpin_rounds=2)
+        # the budget was really exhausted (not a first-try fall-through)
+        (event,) = recorder.events.of_type("update_failed")
+        assert event.fields["unpin_rounds"] == 2
+        # and the rollback is exact: same state, same assignments, no leak
+        assert ostro.state.snapshot() == snapshot
+        assert dict(ostro.deployed("chain").placement.assignments) == original
+        assert ostro.verify_state() == []
+
+    def test_changed_node_not_counted_as_moved(self, small_dc):
+        """A resized node is re-placed by definition; ``moved`` must only
+        count *unchanged* nodes whose host shifted."""
+        ostro = Ostro(small_dc)
+        topo = ApplicationTopology("pair")
+        topo.add_vm("x", 2, 2)
+        topo.add_vm("y", 2, 2)
+        topo.connect("x", "y", 100)
+        ostro.place(topo, algorithm="eg")
+        y_host = ostro.deployed("pair").placement.host_of("y")
+        resized = ApplicationTopology("pair")
+        resized.add_vm("x", 1, 1)  # shrunk
+        resized.add_vm("y", 2, 2)
+        resized.connect("x", "y", 100)
+        update = ostro.update(resized, algorithm="eg")
+        assert update.changed == ["x"]
+        assert update.unpin_rounds == 0
+        assert "x" not in update.moved
+        assert update.moved == []  # y stayed pinned in place
+        assert update.result.placement.host_of("y") == y_host
+
 
 class TestAddVmsToTier:
     def test_grows_by_fraction(self):
@@ -144,3 +246,20 @@ class TestAddVmsToTier:
     def test_unknown_prefix_raises(self):
         with pytest.raises(PlacementError):
             add_vms_to_tier(make_three_tier(), "nope", 0.1)
+
+    @pytest.mark.parametrize(
+        ("tier_size", "fraction", "expected"),
+        [
+            (25, 0.10, 3),  # 2.5 -> ceil -> 3, the documented half-way case
+            (15, 0.20, 3),  # 3.0000000000000004 in floats: must stay 3
+            (10, 0.10, 1),
+            (2, 0.50, 1),
+            (3, 0.50, 2),  # 1.5 -> 2
+            (4, 0.25, 1),
+        ],
+    )
+    def test_ceil_growth(self, tier_size, fraction, expected):
+        topo = make_three_tier(web=tier_size)
+        grown = add_vms_to_tier(topo, "web", fraction)
+        new = [n for n in grown.nodes if n.startswith("web-extra")]
+        assert len(new) == expected

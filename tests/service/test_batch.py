@@ -1,0 +1,176 @@
+"""Batch admission engine tests: grouping, joint placement, fallback."""
+
+from __future__ import annotations
+
+from repro import obs
+from repro.core.topology import ApplicationTopology
+from repro.service.batch import BatchAdmissionEngine, BatchPolicy
+from repro.service.coordinator import ShardedCoordinator
+from repro.service.queue import AdmissionQueue
+
+
+def tiny(name: str, vcpus: int = 2) -> ApplicationTopology:
+    topo = ApplicationTopology(name)
+    topo.add_vm("vm0", vcpus, 2)
+    topo.add_vm("vm1", vcpus, 2)
+    topo.connect("vm0", "vm1", 100)
+    return topo
+
+
+def submit_all(queue: AdmissionQueue, topologies, t: float = 0.0):
+    for topo in topologies:
+        queue.submit(topo, t)
+    ready, _ = queue.drain(t + 1.0)
+    return ready
+
+
+class TestGrouping:
+    def make_engine(self, podded_cloud, max_batch=16):
+        coordinator = ShardedCoordinator(podded_cloud)
+        return BatchAdmissionEngine(
+            coordinator, BatchPolicy(max_batch=max_batch)
+        )
+
+    def test_splits_at_max_batch(self, podded_cloud):
+        engine = self.make_engine(podded_cloud, max_batch=2)
+        queue = AdmissionQueue()
+        ready = submit_all(queue, [tiny(f"a{i}") for i in range(5)])
+        groups = engine.group(ready)
+        assert [len(g) for g in groups] == [2, 2, 1]
+
+    def test_splits_on_duplicate_app_name(self, podded_cloud):
+        engine = self.make_engine(podded_cloud)
+        queue = AdmissionQueue()
+        ready = submit_all(
+            queue, [tiny("a"), tiny("b"), tiny("a"), tiny("c")]
+        )
+        groups = engine.group(ready)
+        assert [[r.app_name for r in g] for g in groups] == [
+            ["a", "b"],
+            ["a", "c"],
+        ]
+
+    def test_preserves_drain_order(self, podded_cloud):
+        engine = self.make_engine(podded_cloud, max_batch=3)
+        queue = AdmissionQueue()
+        ready = submit_all(queue, [tiny(f"t{i}") for i in range(7)])
+        flat = [r.app_name for g in engine.group(ready) for r in g]
+        assert flat == [r.app_name for r in ready]
+
+
+class TestJointAdmission:
+    def test_feasible_batch_admits_jointly(self, podded_cloud):
+        coordinator = ShardedCoordinator(podded_cloud)
+        engine = BatchAdmissionEngine(coordinator, BatchPolicy(max_batch=8))
+        queue = AdmissionQueue()
+        ready = submit_all(queue, [tiny(f"j{i}") for i in range(4)])
+        outcomes = engine.admit_batch(ready, now=30.0)
+        assert [o.status for o in outcomes] == ["admitted"] * 4
+        assert {o.mode for o in outcomes} == {"joint"}
+        assert engine.joint_batches == 1
+        assert engine.fallback_batches == 0
+        assert coordinator.verify_state() == []
+
+    def test_latency_measured_from_submission(self, podded_cloud):
+        coordinator = ShardedCoordinator(podded_cloud)
+        engine = BatchAdmissionEngine(coordinator, BatchPolicy())
+        queue = AdmissionQueue()
+        queue.submit(tiny("early"), 5.0)
+        queue.submit(tiny("late"), 25.0)
+        ready, _ = queue.drain(30.0)
+        outcomes = engine.admit_batch(ready, now=30.0)
+        by_name = {o.request.app_name: o for o in outcomes}
+        assert by_name["early"].latency_s == 25.0
+        assert by_name["late"].latency_s == 5.0
+
+    def test_single_request_batch_mode(self, podded_cloud):
+        coordinator = ShardedCoordinator(podded_cloud)
+        engine = BatchAdmissionEngine(coordinator, BatchPolicy(max_batch=1))
+        queue = AdmissionQueue()
+        ready = submit_all(queue, [tiny("solo"), tiny("duo")])
+        outcomes = engine.admit_batch(ready, now=1.0)
+        assert {o.mode for o in outcomes} == {"single"}
+        assert engine.batches == 2
+
+
+class TestFallback:
+    def test_one_bad_request_cannot_reject_its_cohort(self, podded_cloud):
+        coordinator = ShardedCoordinator(podded_cloud)
+        engine = BatchAdmissionEngine(coordinator, BatchPolicy(max_batch=8))
+        queue = AdmissionQueue()
+        monster = ApplicationTopology("monster")
+        monster.add_vm("vm0", 1000, 1000)
+        ready = submit_all(
+            queue, [tiny("good1"), monster, tiny("good2")]
+        )
+        before = coordinator.state.snapshot()
+        outcomes = engine.admit_batch(ready, now=1.0)
+        by_name = {o.request.app_name: o for o in outcomes}
+        assert by_name["good1"].status == "admitted"
+        assert by_name["good2"].status == "admitted"
+        assert by_name["monster"].status == "rejected"
+        assert {o.mode for o in outcomes} == {"fallback"}
+        assert engine.fallback_batches == 1
+        # capacity conserved: only the two good tenants' reservations differ
+        assert coordinator.verify_state() == []
+        coordinator.remove("good1")
+        coordinator.remove("good2")
+        assert coordinator.state.snapshot() == before
+
+    def test_fallback_matches_serial_decisions(self, podded_cloud):
+        """The fallback replay must reach exactly the placements a
+        max_batch=1 engine reaches on the same drain."""
+        monster = ApplicationTopology("monster")
+        monster.add_vm("vm0", 1000, 1000)
+        topos = [tiny("a"), monster, tiny("b"), tiny("c")]
+
+        def run(max_batch):
+            coordinator = ShardedCoordinator(podded_cloud)
+            engine = BatchAdmissionEngine(
+                coordinator, BatchPolicy(max_batch=max_batch)
+            )
+            queue = AdmissionQueue()
+            ready = submit_all(queue, [t.copy() for t in topos])
+            engine.admit_batch(ready, now=1.0)
+            return {
+                name: {
+                    n: (a.host, a.disk)
+                    for n, a in app.placement.assignments.items()
+                }
+                for name, app in coordinator.ostro.applications.items()
+            }
+
+        assert run(8) == run(1)
+
+
+class TestTelemetry:
+    def test_batch_metrics_and_events(self, podded_cloud):
+        rec = obs.enable()
+        try:
+            coordinator = ShardedCoordinator(podded_cloud)
+            engine = BatchAdmissionEngine(
+                coordinator, BatchPolicy(max_batch=8)
+            )
+            queue = AdmissionQueue()
+            monster = ApplicationTopology("monster")
+            monster.add_vm("vm0", 1000, 1000)
+            ready = submit_all(queue, [tiny("x"), tiny("y")])
+            engine.admit_batch(ready, now=1.0)
+            ready = submit_all(queue, [tiny("z"), monster], t=2.0)
+            engine.admit_batch(ready, now=3.0)
+            registry = rec.registry
+            requests = registry.get("ostro_service_requests_total")
+            assert requests.value(outcome="admitted") == 3
+            assert requests.value(outcome="rejected") == 1
+            batches = registry.get("ostro_service_batches_total")
+            assert batches.value(mode="joint") == 1
+            assert batches.value(mode="fallback") == 1
+            assert rec.events.count("batch_fallback") == 1
+            (fallback,) = rec.events.of_type("batch_fallback")
+            assert fallback.fields["failed_app"] == "monster"
+            latency = registry.get(
+                "ostro_service_admission_latency_seconds"
+            )
+            assert latency.count() == 3
+        finally:
+            obs.disable()

@@ -1,0 +1,165 @@
+"""Sharded coordinator tests: routing, escalation, audits, rollback."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.scheduler import Ostro
+from repro.core.topology import ApplicationTopology
+from repro.datacenter.builder import build_cloud
+from repro.datacenter.model import Level
+from repro.errors import PlacementError
+from repro.service.coordinator import ShardedCoordinator
+from tests.conftest import make_three_tier
+
+
+def tiny(name: str, vcpus: int = 2) -> ApplicationTopology:
+    topo = ApplicationTopology(name)
+    topo.add_vm("vm0", vcpus, 2)
+    topo.add_vm("vm1", vcpus, 2)
+    topo.connect("vm0", "vm1", 100)
+    return topo
+
+
+class TestRouting:
+    def test_admission_lands_inside_one_shard(self, podded_cloud):
+        coordinator = ShardedCoordinator(podded_cloud)
+        result, route = coordinator.admit(make_three_tier())
+        shard = next(s for s in coordinator.shards if s.name == route)
+        for assignment in result.placement.assignments.values():
+            assert shard.owns_host(assignment.host)
+        assert coordinator.routes["three-tier"] == route
+
+    def test_load_spreads_across_shards(self, podded_cloud):
+        coordinator = ShardedCoordinator(podded_cloud)
+        routes = {coordinator.admit(tiny(f"t{i}"))[1] for i in range(4)}
+        # least-loaded-first routing cannot pile everything on one pod
+        assert len(routes) >= 2
+
+    def test_least_loaded_tie_breaks_on_shard_id(self, podded_cloud):
+        coordinator = ShardedCoordinator(podded_cloud)
+        _, route = coordinator.admit(tiny("first"))
+        assert route == coordinator.shards[0].name
+
+    def test_duplicate_admission_raises(self, podded_cloud):
+        coordinator = ShardedCoordinator(podded_cloud)
+        coordinator.admit(tiny("dup"))
+        with pytest.raises(PlacementError):
+            coordinator.admit(tiny("dup"))
+
+    def test_remove_releases_and_forgets_route(self, podded_cloud):
+        coordinator = ShardedCoordinator(podded_cloud)
+        before = coordinator.state.snapshot()
+        coordinator.admit(tiny("gone"))
+        coordinator.remove("gone")
+        assert coordinator.state.snapshot() == before
+        assert "gone" not in coordinator.routes
+        assert coordinator.verify_state() == []
+
+
+class TestEscalation:
+    def test_pod_zone_escalates_cross_pod(self, podded_cloud):
+        coordinator = ShardedCoordinator(podded_cloud)
+        topo = tiny("wide")
+        topo.add_zone("z", Level.POD, ["vm0", "vm1"])
+        result, route = coordinator.admit(topo)
+        assert route == "global"
+        assert coordinator.escalations == {"cross_pod": 1}
+        hosts = {a.host for a in result.placement.assignments.values()}
+        pods = {
+            next(
+                s.shard_id
+                for s in coordinator.shards
+                if s.owns_host(h)
+            )
+            for h in hosts
+        }
+        assert len(pods) == 2  # genuinely pod-separated
+
+    def test_wide_host_zone_escalates_no_feasible_shard(self, podded_cloud):
+        coordinator = ShardedCoordinator(podded_cloud)
+        topo = ApplicationTopology("spread")
+        for i in range(5):  # every pod has only 4 hosts
+            topo.add_vm(f"v{i}", 1, 1)
+        topo.add_zone("z", Level.HOST, [f"v{i}" for i in range(5)])
+        _, route = coordinator.admit(topo)
+        assert route == "global"
+        assert coordinator.escalations == {"no_feasible_shard": 1}
+
+    def test_search_failure_everywhere_escalates_shard_infeasible(
+        self, podded_cloud
+    ):
+        """A bandwidth-forced co-location that exceeds any single host
+        passes every shard's screen but fails every shard's search -- and
+        the global pass too. The escalation reason must still be
+        recorded, and nothing committed."""
+        coordinator = ShardedCoordinator(podded_cloud)
+        topo = ApplicationTopology("hot-pair")
+        topo.add_vm("a", 10, 2)
+        topo.add_vm("b", 10, 2)
+        topo.connect("a", "b", 20000)  # 20 Gbps: no inter-host path
+        with pytest.raises(PlacementError):
+            coordinator.admit(topo)
+        assert coordinator.escalations == {"shard_infeasible": 1}
+        assert "hot-pair" not in coordinator.ostro.applications
+        assert coordinator.verify_state() == []
+
+
+class TestSerialEquivalence:
+    def test_single_shard_matches_plain_ostro(self):
+        """With one pod owning every host, the masked view equals the
+        global state, so the coordinator must place exactly like a plain
+        serial Ostro."""
+        cloud = build_cloud(
+            num_datacenters=1, pods_per_dc=1, racks_per_pod=2,
+            hosts_per_rack=4,
+        )
+        coordinator = ShardedCoordinator(cloud)
+        reference = Ostro(cloud)
+        for i in range(5):
+            topo = tiny(f"app{i}", vcpus=2 + i % 3)
+            result, route = coordinator.admit(topo)
+            expected = reference.place(topo, algorithm="eg")
+            assert route == coordinator.shards[0].name
+            assert {
+                n: (a.host, a.disk)
+                for n, a in result.placement.assignments.items()
+            } == {
+                n: (a.host, a.disk)
+                for n, a in expected.placement.assignments.items()
+            }
+        assert coordinator.state.snapshot() == reference.state.snapshot()
+
+
+class TestRollback:
+    def test_rollback_to_undoes_admissions(self, podded_cloud):
+        coordinator = ShardedCoordinator(podded_cloud)
+        coordinator.admit(tiny("keeper"))
+        snapshot = coordinator.state.snapshot()
+        coordinator.admit(tiny("x1"))
+        coordinator.admit(tiny("x2"))
+        coordinator.rollback_to(snapshot, ["x1", "x2"])
+        assert coordinator.state.snapshot() == snapshot
+        assert set(coordinator.ostro.applications) == {"keeper"}
+        assert set(coordinator.routes) == {"keeper"}
+        assert coordinator.verify_state() == []
+
+
+class TestUpdate:
+    def test_update_keeps_capacity_conserved(self, podded_cloud):
+        coordinator = ShardedCoordinator(podded_cloud)
+        coordinator.admit(tiny("grow"))
+        grown = tiny("grow")
+        grown.add_vm("vm2", 1, 1)
+        grown.connect("vm2", "vm0", 50)
+        update = coordinator.update(grown)
+        assert update.added == ["vm2"]
+        assert coordinator.verify_state() == []
+        assert "grow" in coordinator.routes
+
+    def test_audit_catches_route_registry_drift(self, podded_cloud):
+        coordinator = ShardedCoordinator(podded_cloud)
+        coordinator.admit(tiny("tracked"))
+        coordinator.routes["ghost"] = "global"
+        findings = coordinator.verify_state()
+        assert any("ghost" in finding for finding in findings)

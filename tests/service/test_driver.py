@@ -1,0 +1,159 @@
+"""Service driver tests: storms, fingerprints, churn, report math."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datacenter.builder import build_cloud
+from repro.service import ServiceConfig, run_service
+from repro.sim.arrivals import (
+    WorkloadTrace,
+    default_app_factory,
+    event_sort_key,
+    replay,
+)
+
+
+@pytest.fixture(scope="module")
+def pods4():
+    return build_cloud(
+        num_datacenters=1, pods_per_dc=4, racks_per_pod=2, hosts_per_rack=4
+    )
+
+
+def storm(arrivals=40, **kwargs):
+    defaults = dict(
+        mean_interarrival_s=15.0,
+        mean_lifetime_s=300.0,
+        seed=11,
+        burst_every_s=200.0,
+        burst_len_s=40.0,
+        burst_factor=4.0,
+        priority_levels=3,
+        update_fraction=0.25,
+    )
+    defaults.update(kwargs)
+    return WorkloadTrace.poisson_storm(
+        arrivals, default_app_factory, **defaults
+    )
+
+
+class TestStormTrace:
+    def test_storm_is_deterministic(self):
+        assert storm().events == storm().events
+
+    def test_events_are_sorted(self):
+        events = storm().events
+        keys = [event_sort_key(e) for e in events]
+        assert keys == sorted(keys)
+
+    def test_updates_scheduled_mid_lifetime(self):
+        trace = storm(update_fraction=1.0)
+        spans = {}
+        for event in trace.events:
+            spans.setdefault(event.app_id, {})[event.kind] = event.time
+        updates = 0
+        for times in spans.values():
+            if "update" in times:
+                updates += 1
+                assert times["arrive"] < times["update"] < times["depart"]
+        assert updates == len(spans)
+
+    def test_priorities_drawn_per_app(self):
+        trace = storm(arrivals=60, priority_levels=3)
+        assert set(trace.priorities.values()) == {0, 1, 2}
+
+    def test_plain_replay_ignores_update_events(self, pods4):
+        trace = storm(arrivals=15, update_fraction=1.0)
+        report = replay(trace, pods4, algorithm="eg")
+        assert report.arrivals == 15  # update events neither admit nor remove
+        assert report.accepted + report.rejected == 15
+
+
+class TestSerialEquivalence:
+    def test_batched_reproduces_serial_fingerprint(self, pods4):
+        trace = storm()
+        config = ServiceConfig(horizon_s=30.0, max_batch=8, deadline_s=120.0)
+        serial = run_service(trace, pods4, config, serial=True)
+        batched = run_service(trace, pods4, config)
+        assert serial.fingerprint == batched.fingerprint
+        assert serial.admitted == batched.admitted
+        assert serial.audit_violations == []
+        assert batched.audit_violations == []
+        # batching actually batched (otherwise the gate is vacuous)
+        assert batched.batches["joint"] > 0
+        assert serial.batches["joint"] == 0
+
+    def test_fingerprint_stable_across_runs(self, pods4):
+        trace = storm(arrivals=25)
+        config = ServiceConfig(horizon_s=30.0, max_batch=8)
+        assert (
+            run_service(trace, pods4, config).fingerprint
+            == run_service(trace, pods4, config).fingerprint
+        )
+
+    def test_different_workloads_differ(self, pods4):
+        config = ServiceConfig(horizon_s=30.0, max_batch=8)
+        a = run_service(storm(arrivals=20, seed=1), pods4, config)
+        b = run_service(storm(arrivals=20, seed=2), pods4, config)
+        assert a.fingerprint != b.fingerprint
+
+
+class TestLifecycle:
+    def test_decisions_partition_requests(self, pods4):
+        report = run_service(
+            storm(arrivals=50, mean_lifetime_s=120.0),
+            pods4,
+            ServiceConfig(horizon_s=30.0, deadline_s=90.0),
+        )
+        assert report.requests == 50
+        assert (
+            report.admitted
+            + report.rejected
+            + report.expired
+            + report.cancelled
+            == report.requests
+        )
+        assert len(report.outcomes) == report.requests
+
+    def test_short_lifetimes_cancel_queued_requests(self, pods4):
+        # lifetimes much shorter than the horizon: many tenants depart
+        # before their admission boundary ever arrives
+        report = run_service(
+            storm(arrivals=40, mean_lifetime_s=10.0, update_fraction=0.0),
+            pods4,
+            ServiceConfig(horizon_s=60.0),
+        )
+        assert report.cancelled > 0
+
+    def test_tight_deadlines_expire(self, pods4):
+        report = run_service(
+            storm(arrivals=30, mean_lifetime_s=5000.0, update_fraction=0.0),
+            pods4,
+            ServiceConfig(horizon_s=120.0, deadline_s=1.0),
+        )
+        assert report.expired > 0
+        assert report.expired + report.admitted + report.cancelled == 30
+
+    def test_updates_flow_through_online_adaptation(self, pods4):
+        report = run_service(
+            storm(arrivals=30, mean_lifetime_s=600.0, update_fraction=1.0),
+            pods4,
+            ServiceConfig(horizon_s=30.0),
+        )
+        assert report.updates_applied > 0
+        assert report.audit_violations == []
+
+    def test_shard_admissions_sum_to_admitted(self, pods4):
+        report = run_service(storm(), pods4, ServiceConfig())
+        assert sum(report.shard_admissions.values()) == report.admitted
+
+    def test_latency_percentiles_ordered(self, pods4):
+        report = run_service(storm(), pods4, ServiceConfig())
+        assert (
+            0.0
+            <= report.latency_p50_s
+            <= report.latency_p95_s
+            <= report.latency_p99_s
+        )
+        assert report.placements_per_sec > 0

@@ -1,0 +1,122 @@
+"""Admission queue tests: ordering, deadlines, cancellation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.core.topology import ApplicationTopology
+from repro.errors import ReproError
+from repro.service.queue import AdmissionQueue, request_sort_key
+
+
+def app(name: str) -> ApplicationTopology:
+    topo = ApplicationTopology(name)
+    topo.add_vm("vm0", 1, 1)
+    return topo
+
+
+class TestOrdering:
+    def test_drain_orders_by_priority_time_id(self):
+        queue = AdmissionQueue()
+        queue.submit(app("late-urgent"), 30.0, priority=0)
+        queue.submit(app("early-lazy"), 10.0, priority=1)
+        queue.submit(app("early-urgent"), 10.0, priority=0)
+        ready, expired = queue.drain(60.0)
+        assert expired == []
+        assert [r.app_name for r in ready] == [
+            "early-urgent",
+            "late-urgent",
+            "early-lazy",
+        ]
+
+    def test_ties_break_on_request_id(self):
+        queue = AdmissionQueue()
+        first = queue.submit(app("a"), 5.0)
+        second = queue.submit(app("b"), 5.0)
+        assert first.request_id < second.request_id
+        ready, _ = queue.drain(10.0)
+        assert [r.request_id for r in ready] == [
+            first.request_id,
+            second.request_id,
+        ]
+
+    def test_sort_key_is_total(self):
+        queue = AdmissionQueue()
+        requests = [
+            queue.submit(app(f"t{i}"), float(i % 3), priority=i % 2)
+            for i in range(12)
+        ]
+        keys = sorted(request_sort_key(r) for r in requests)
+        assert len(set(keys)) == len(keys)  # no two requests compare equal
+
+    def test_future_submissions_stay_queued(self):
+        queue = AdmissionQueue()
+        queue.submit(app("now"), 10.0)
+        queue.submit(app("later"), 90.0)
+        ready, _ = queue.drain(30.0)
+        assert [r.app_name for r in ready] == ["now"]
+        assert len(queue) == 1
+        ready, _ = queue.drain(90.0)
+        assert [r.app_name for r in ready] == ["later"]
+        assert len(queue) == 0
+
+
+class TestDeadlines:
+    def test_expired_requests_separated(self):
+        queue = AdmissionQueue()
+        queue.submit(app("patient"), 0.0, deadline_s=1000.0)
+        queue.submit(app("hasty"), 0.0, deadline_s=10.0)
+        ready, expired = queue.drain(30.0)
+        assert [r.app_name for r in ready] == ["patient"]
+        assert [r.app_name for r in expired] == ["hasty"]
+
+    def test_deadline_boundary_is_inclusive(self):
+        queue = AdmissionQueue()
+        request = queue.submit(app("edge"), 0.0, deadline_s=30.0)
+        assert not request.expired(30.0)  # exactly at the deadline: alive
+        assert request.expired(30.0 + 1e-9)
+
+    def test_no_deadline_never_expires(self):
+        queue = AdmissionQueue()
+        request = queue.submit(app("forever"), 0.0)
+        assert not request.expired(1e12)
+
+
+class TestCancel:
+    def test_cancel_removes_pending(self):
+        queue = AdmissionQueue()
+        request = queue.submit(app("gone"), 0.0)
+        cancelled = queue.cancel(request.request_id)
+        assert cancelled.app_name == "gone"
+        assert len(queue) == 0
+
+    def test_cancel_unknown_raises(self):
+        queue = AdmissionQueue()
+        with pytest.raises(ReproError):
+            queue.cancel(7)
+
+    def test_cancel_after_drain_raises(self):
+        queue = AdmissionQueue()
+        request = queue.submit(app("drained"), 0.0)
+        queue.drain(1.0)
+        with pytest.raises(ReproError):
+            queue.cancel(request.request_id)
+
+
+class TestTelemetry:
+    def test_queue_events_and_depth_gauge(self):
+        rec = obs.enable()
+        try:
+            queue = AdmissionQueue()
+            queue.submit(app("a"), 0.0)
+            victim = queue.submit(app("b"), 100.0)
+            queue.cancel(victim.request_id)
+            queue.submit(app("c"), 50.0)
+            queue.drain(10.0)
+            assert rec.events.count("request_enqueued") == 3
+            assert rec.events.count("request_cancelled") == 1
+            depth = rec.registry.get("ostro_service_queue_depth").value()
+            assert depth == 1.0  # only "c" (submitted at 50) still waits
+        finally:
+            obs.disable()
