@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import math
 import os
 import time
 from dataclasses import dataclass
@@ -158,10 +159,35 @@ def run_case(
     case: BenchCase,
     repeats: int = 3,
     calibration_s: Optional[float] = None,
+    gap: bool = False,
+    gap_time_limit_s: float = 60.0,
 ) -> Dict:
-    """Benchmark one scenario; returns the ``BENCH_<name>.json`` payload."""
+    """Benchmark one scenario; returns the ``BENCH_<name>.json`` payload.
+
+    With ``gap=True`` the payload also carries the optimality-gap
+    oracle's certified lower bound (``lower_bound`` key) and each
+    algorithm entry gains ``score`` (the objective value it achieved)
+    and ``optimality_gap`` (``(score - lb) / lb``; ``None`` when the
+    bound is zero or the oracle could not certify one). The bound comes
+    from a relaxation, so the reported gap is an *upper* bound on the
+    true distance from optimal.
+    """
     if calibration_s is None:
         calibration_s = calibration_unit_s()
+    bound = None
+    objective = None
+    if gap:
+        from repro.core.oracle import lower_bound
+
+        scenario = case.scenario_factory()
+        cloud = scenario.build_cloud()
+        state = scenario.build_state(cloud, 0)
+        topology = scenario.build_topology(case.size, 0)
+        objective = scenario.objective(topology, cloud)
+        bound = lower_bound(
+            topology, cloud, state, objective,
+            time_limit_s=gap_time_limit_s,
+        )
     entries: List[Dict] = []
     for label, algorithm, opt_items, gated in case.algorithms:
         options = dict(opt_items)
@@ -199,24 +225,48 @@ def run_case(
                 "registry_counters": registry_counters,
             }
         )
-    return {
+        if bound is not None and objective is not None:
+            score = objective.score(
+                result.reserved_bw_mbps, result.new_active_hosts
+            )
+            entries[-1]["score"] = score
+            lb = bound.score
+            entries[-1]["optimality_gap"] = (
+                (score - lb) / lb
+                if lb > 0 and math.isfinite(lb)
+                else None
+            )
+    payload = {
         "scenario": case.name,
         "size": case.size,
         "repeats": repeats,
         "calibration_unit_s": calibration_s,
         "algorithms": entries,
     }
+    if bound is not None:
+        from repro.core.oracle import gap_payload
+
+        payload["lower_bound"] = gap_payload(bound)
+    return payload
 
 
-def _run_case_payload(payload: Tuple[str, int, float]) -> Dict:
+def _run_case_payload(
+    payload: Tuple[str, int, float, bool, float]
+) -> Dict:
     """Worker entry for a pooled suite run: look the case up by name.
 
     BenchCase factories are lambdas and cannot pickle; the name can, and
     the reference suite is import-time state every worker shares.
     """
-    name, repeats, calibration_s = payload
+    name, repeats, calibration_s, gap, gap_time_limit_s = payload
     case = next(c for c in REFERENCE_CASES if c.name == name)
-    return run_case(case, repeats=repeats, calibration_s=calibration_s)
+    return run_case(
+        case,
+        repeats=repeats,
+        calibration_s=calibration_s,
+        gap=gap,
+        gap_time_limit_s=gap_time_limit_s,
+    )
 
 
 def run_suite(
@@ -224,6 +274,8 @@ def run_suite(
     repeats: int = 3,
     scenarios: Optional[Sequence[str]] = None,
     workers: int = 1,
+    gap: bool = False,
+    gap_time_limit_s: float = 60.0,
 ) -> List[Dict]:
     """Run the suite (optionally filtered by scenario name).
 
@@ -244,11 +296,20 @@ def run_suite(
     if workers > 1 and cases is None:
         from repro.sim.parallel import merge_outcomes, run_tasks
 
-        payloads = [(c.name, repeats, calibration_s) for c in selected]
+        payloads = [
+            (c.name, repeats, calibration_s, gap, gap_time_limit_s)
+            for c in selected
+        ]
         outcomes = run_tasks(_run_case_payload, payloads, workers=workers)
         return merge_outcomes(outcomes)
     return [
-        run_case(case, repeats=repeats, calibration_s=calibration_s)
+        run_case(
+            case,
+            repeats=repeats,
+            calibration_s=calibration_s,
+            gap=gap,
+            gap_time_limit_s=gap_time_limit_s,
+        )
         for case in selected
     ]
 

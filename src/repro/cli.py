@@ -437,22 +437,36 @@ def cmd_bench(args: argparse.Namespace) -> int:
             f"rows identical: {payload['rows_identical']}"
         )
         return 0 if payload["rows_identical"] else 1
-    results = bench.run_suite(
-        repeats=args.repeats,
-        scenarios=args.scenarios or None,
-        workers=args.workers,
-    )
+    from repro.core import kernel as kernel_mod
+
+    with kernel_mod.use_kernel(args.kernel or kernel_mod.get_kernel()):
+        results = bench.run_suite(
+            repeats=args.repeats,
+            scenarios=args.scenarios or None,
+            workers=args.workers,
+            gap=args.gap,
+            gap_time_limit_s=args.gap_time_limit,
+        )
     for path in bench.write_results(results, args.out_dir):
         print(f"# wrote {path}", file=sys.stderr)
     for payload in results:
+        bound = payload.get("lower_bound")
         for entry in payload["algorithms"]:
-            print(
+            line = (
                 f"{payload['scenario']:>10}-{payload['size']:<3} "
                 f"{entry['algorithm']:>5}  wall={entry['wall_s']:7.3f}s  "
                 f"expanded={entry['paths_expanded']:6d}  "
                 f"scored={entry['candidates_scored']:7d}  "
                 f"hash={entry['placement_hash']}"
             )
+            if bound is not None:
+                gap = entry.get("optimality_gap")
+                line += (
+                    f"  score={entry['score']:.4f}"
+                    f"  lb={bound['score_lower_bound']:.4f}"
+                    + (f"  gap<={gap:.0%}" if gap is not None else "  gap=n/a")
+                )
+            print(line)
     if args.baseline:
         with open(args.baseline, encoding="utf-8") as fh:
             baseline = json.load(fh)
@@ -666,6 +680,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the admission-service throughput benchmark instead of "
         "the reference suite (records placements/sec, p99 latency, and "
         "the serial-equivalence gate in BENCH_service.json)",
+    )
+    bench_cmd.add_argument(
+        "--gap",
+        action="store_true",
+        help="also compute the MILP optimality-gap oracle per scenario "
+        "and report each algorithm's gap against the certified lower "
+        "bound (a relaxation: the gap over-states true suboptimality)",
+    )
+    bench_cmd.add_argument(
+        "--gap-time-limit",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="HiGHS budget for the gap oracle; on timeout the solver's "
+        "dual bound is used (default 60)",
+    )
+    bench_cmd.add_argument(
+        "--kernel",
+        choices=("python", "numpy", "crosscheck"),
+        default=None,
+        help="scoring kernel for the run (default: the process-wide "
+        "kernel, numpy when available)",
     )
     _add_workers_flag(bench_cmd)
     bench_cmd.set_defaults(func=cmd_bench)

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro import obs
+from repro.core import kernel
 from repro.core.base import PlacementAlgorithm, PlacementResult, SearchStats
 from repro.core.candidates import candidate_targets
 from repro.core.constraints import topology_obviously_infeasible
@@ -374,18 +375,107 @@ class BAStar(PlacementAlgorithm):
                 partial_p, node_name, dedup=self.greedy_config.dedup
             )
             cap = self.greedy_config.max_full_candidates
+            use_numpy = kernel.numpy_active()
             if cap is not None and len(targets) > cap:
                 # Preselect by the cheap immediate-cost proxy, as EG does:
                 # estimating hundreds of symmetric children would starve
                 # the search of depth.
-                targets = sorted(
-                    targets,
-                    key=lambda t: _immediate_cost(
-                        partial_p, objective, node_name, t
-                    ),
-                )[:cap]
+                if use_numpy:
+                    costs = kernel.immediate_costs(
+                        partial_p, objective, node_name, targets
+                    )
+                    if kernel.crosscheck_active():
+                        kernel.verify_immediate_costs(
+                            partial_p, objective, node_name, targets, costs
+                        )
+                    # stable, like sorted() with a key: ties keep order
+                    index = sorted(
+                        range(len(targets)), key=costs.__getitem__
+                    )
+                    targets = [targets[i] for i in index][:cap]
+                else:
+                    targets = sorted(
+                        targets,
+                        key=lambda t: _immediate_cost(
+                            partial_p, objective, node_name, t
+                        ),
+                    )[:cap]
             branched = 0
             rest = order[depth + 1 :]
+            if use_numpy:
+                # Closed-set dedup first, against canonical keys built
+                # without mutating the path: the surviving targets are
+                # then estimated in one array batch and replayed with the
+                # exact per-candidate stats/event/prune/push sequence of
+                # the scalar loop below.
+                node_class = class_of[node_name]
+                base_counted = Counter(
+                    (class_of[a.node], a.host, a.disk)
+                    for a in partial_p.assignments.values()
+                )
+                survivors = []
+                for target in targets:
+                    counted = base_counted.copy()
+                    counted[(node_class, target.host, target.disk)] += 1
+                    key = frozenset(counted.items())
+                    if key in closed:
+                        continue
+                    closed.add(key)
+                    survivors.append(target)
+                batch_started = time.perf_counter()
+                batch = kernel.batch_score(
+                    partial_p, node_name, survivors, rest, objective,
+                    estimator,
+                )
+                batch_dt = time.perf_counter() - batch_started
+                if kernel.crosscheck_active():
+                    kernel.verify_batch(
+                        partial_p, node_name, survivors, rest, objective,
+                        estimator, batch,
+                    )
+                per_cand_dt = (
+                    batch_dt / len(survivors) if survivors else 0.0
+                )
+                for target, (u_q, child_est_bw, child_est_c) in zip(
+                    survivors, batch
+                ):
+                    if rec.enabled:
+                        rec.inc("ostro_estimates_total")
+                        rec.inc("ostro_candidates_scored_total")
+                        rec.observe("ostro_estimate_seconds", per_cand_dt)
+                        rec.event(
+                            "estimate_computed",
+                            node=node_name,
+                            host=target.host,
+                            remaining=len(rest),
+                            est_bw_mbps=child_est_bw,
+                            est_hosts=child_est_c,
+                            seconds=per_cand_dt,
+                        )
+                    stats.candidates_scored += 1
+                    if u_q >= u_upper - _BOUND_EPS:
+                        stats.paths_pruned += 1
+                        if rec.enabled:
+                            rec.inc(
+                                "ostro_paths_pruned_total", reason="bound"
+                            )
+                            rec.event(
+                                "path_pruned",
+                                depth=depth + 1,
+                                reason="bound",
+                                evaluation=u_q,
+                                bound=u_upper,
+                            )
+                        continue
+                    # clone-then-assign == assign-then-clone, bit-exactly
+                    child = partial_p.clone()
+                    child.assign(node_name, target.host, target.disk)
+                    heapq.heappush(
+                        open_queue, (u_q, next(counter), depth + 1, child)
+                    )
+                    open_depths[depth + 1] += 1
+                    branched += 1
+                targets = []
             for target in targets:
                 # Scratch scoring: apply the candidate to the popped path
                 # itself, score it, and undo -- cloning the state only for

@@ -27,7 +27,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
-from repro.core import constraints
+from repro.core import constraints, kernel
+from repro.core.kernel import quantize
 from repro.core.placement import PartialPlacement
 
 
@@ -92,7 +93,37 @@ def candidate_targets(
     Returns:
         Feasible :class:`CandidateTarget` records in ascending host order.
         Empty when the node cannot be placed anywhere right now.
+
+    Dispatches to the vectorized kernel when it is active (see
+    :mod:`repro.core.kernel`); results are bit-identical either way, and
+    the ``crosscheck`` kernel verifies that on every call.
     """
+    if kernel.numpy_active():
+        results = kernel.candidate_targets_numpy(
+            partial, node_name, dedup=dedup, limit=limit
+        )
+        if kernel.crosscheck_active():
+            reference = _candidate_targets_python(
+                partial, node_name, dedup=dedup, limit=limit
+            )
+            if results != reference:
+                raise kernel.KernelMismatch(
+                    f"candidate set mismatch for node {node_name!r}: "
+                    f"numpy {results!r} != python {reference!r}"
+                )
+        return results
+    return _candidate_targets_python(
+        partial, node_name, dedup=dedup, limit=limit
+    )
+
+
+def _candidate_targets_python(
+    partial: PartialPlacement,
+    node_name: str,
+    dedup: bool = True,
+    limit: Optional[int] = None,
+) -> List[CandidateTarget]:
+    """Pure-Python reference scan (see :func:`candidate_targets`)."""
     node = partial.topology.node(node_name)
     state = partial.state
     cloud = state.cloud
@@ -119,11 +150,11 @@ def candidate_targets(
                 continue
             if dedup:
                 sig = (
-                    round(state.free_cpu[host], 6),
-                    round(state.free_mem[host], 6),
+                    quantize(state.free_cpu[host]),
+                    quantize(state.free_mem[host]),
                     state.host_is_active(host),
                     tuple(
-                        round(free_bw[link], 6)
+                        quantize(free_bw[link])
                         for link in uplink_chain(host)
                     ),
                     distance_signature(host),
@@ -155,10 +186,10 @@ def candidate_targets(
                 continue
             if dedup:
                 sig = (
-                    round(state.free_disk[disk_index], 6),
+                    quantize(state.free_disk[disk_index]),
                     state.host_is_active(host),
                     tuple(
-                        round(free_bw[link], 6)
+                        quantize(free_bw[link])
                         for link in uplink_chain(host)
                     ),
                     distance_signature(host),

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
+from repro.core import kernel
 from repro.core.base import PlacementAlgorithm, PlacementResult, SearchStats
 from repro.core.candidates import CandidateTarget, candidate_targets
 from repro.core.constraints import topology_obviously_infeasible
@@ -315,18 +316,69 @@ def run_greedy_from(
             # stable sort: tie_key settles equal-cost candidates below
             targets.sort(key=tie_key)
         tail: List[CandidateTarget] = []
+        use_numpy = kernel.numpy_active()
         if (
             config.max_full_candidates is not None
             and len(targets) > config.max_full_candidates
         ):
-            targets.sort(
-                key=lambda t: _immediate_cost(partial, objective, node_name, t)
-            )
+            if use_numpy:
+                costs = kernel.immediate_costs(
+                    partial, objective, node_name, targets
+                )
+                if kernel.crosscheck_active():
+                    kernel.verify_immediate_costs(
+                        partial, objective, node_name, targets, costs
+                    )
+                # stable, like list.sort with a key: ties keep input order
+                index = sorted(range(len(targets)), key=costs.__getitem__)
+                targets = [targets[i] for i in index]
+            else:
+                targets.sort(
+                    key=lambda t: _immediate_cost(
+                        partial, objective, node_name, t
+                    )
+                )
             targets, tail = (
                 targets[: config.max_full_candidates],
                 targets[config.max_full_candidates :],
             )
         scored = []
+        if use_numpy:
+            rest = [
+                n
+                for n in order
+                if n != node_name and not partial.is_placed(n)
+            ]
+            t0 = time.perf_counter()
+            batch = kernel.batch_score(
+                partial, node_name, targets, rest, objective, estimator
+            )
+            batch_dt = time.perf_counter() - t0
+            if kernel.crosscheck_active():
+                kernel.verify_batch(
+                    partial, node_name, targets, rest, objective,
+                    estimator, batch,
+                )
+            per_cand_dt = batch_dt / len(targets) if targets else 0.0
+            for rank, target in enumerate(targets):
+                score, est_bw, est_c = batch[rank]
+                if rec.enabled:
+                    rec.inc("ostro_estimates_total")
+                    rec.inc("ostro_candidates_scored_total")
+                    rec.observe("ostro_estimate_seconds", per_cand_dt)
+                    rec.event(
+                        "estimate_computed",
+                        node=node_name,
+                        host=target.host,
+                        remaining=len(rest),
+                        est_bw_mbps=est_bw,
+                        est_hosts=est_c,
+                        seconds=per_cand_dt,
+                    )
+                stats.candidates_scored += 1
+                scored.append((score, rank, target))
+            scored.sort(key=lambda item: (item[0], item[1]))
+            return [target for _, _, target in scored] + tail
         for rank, target in enumerate(targets):
             partial.assign(node_name, target.host, target.disk)
             rest = [n for n in order if not partial.is_placed(n)]

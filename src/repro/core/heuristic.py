@@ -81,6 +81,21 @@ class _ImaginaryHost:
     nodes: List[str]
 
 
+@dataclass
+class _RealHostLedger:
+    """Scratch free-capacity ledger for one in-use real host.
+
+    Disks are tracked individually (``disk_free`` parallels
+    ``cloud.hosts[h].disks``): collapsing them into one scalar wrongly
+    rejects two volumes that fit on *different* disks of the host.
+    """
+
+    free_vcpus: float
+    free_mem_gb: float
+    disk_free: List[float]
+    free_nic_mbps: float
+
+
 class LowerBoundEstimator:
     """Reusable estimator bound to one topology/cloud pair.
 
@@ -116,16 +131,24 @@ class LowerBoundEstimator:
         # include bandwidth). The admissible variant stays optimistic.
         self._track_nic = not self.config.optimistic_colocation
         # hop minima per separation distance, precomputed once
-        self._min_hops = [0] * 5
+        self._min_hops: List[float] = [0.0] * 5
         for dist in range(1, 5):
             try:
-                self._min_hops[dist] = cloud.min_hops_for_distance(dist)
+                self._min_hops[dist] = float(
+                    cloud.min_hops_for_distance(dist)
+                )
             except DataCenterError:
-                # distance not realizable in this cloud (e.g. single DC);
-                # any pair forced that far apart is infeasible anyway, use
-                # a large-but-finite pessimistic value so estimates stay
-                # comparable.
-                self._min_hops[dist] = 2 * 4
+                # Distance not realizable in this cloud (e.g. single DC):
+                # a pair *forced* that far apart is genuinely infeasible.
+                # The admissible variant must say so -- an infinite hop
+                # count propagates to an infinite bound, so BA*/DBA* treat
+                # such states as the dead ends they are. The informative
+                # variant keeps a large-but-finite pessimistic value so
+                # EG's candidate ranking stays comparable.
+                if self.config.optimistic_colocation:
+                    self._min_hops[dist] = float("inf")
+                else:
+                    self._min_hops[dist] = float(2 * 4)
 
     # ------------------------------------------------------------------
 
@@ -172,17 +195,22 @@ class LowerBoundEstimator:
         # Local free-capacity ledger for the real hosts in use.
         state = partial.state
         self._cpu_factor = state.best_effort_cpu_factor
-        real_free: Dict[int, List[float]] = {}
-        for host in partial.placed_hosts():
-            real_free[host] = [
-                state.free_cpu[host],
-                state.free_mem[host],
-                max(
-                    (state.free_disk[d.index] for d in self.cloud.hosts[host].disks),
-                    default=0.0,
-                ),
-                state.free_bw[self.cloud.hosts[host].link_index],
-            ]
+        real_free: Dict[int, _RealHostLedger] = {}
+        # Sorted host order canonicalizes the ledger's iteration order so
+        # the vectorized kernel's column layout (and therefore its
+        # first-feasible / first-max tie-breaks) matches bit-for-bit.
+        for host in sorted(partial.placed_hosts()):
+            real_free[host] = _RealHostLedger(
+                free_vcpus=state.free_cpu[host],
+                free_mem_gb=state.free_mem[host],
+                disk_free=[
+                    state.free_disk[d.index]
+                    for d in self.cloud.hosts[host].disks
+                ],
+                free_nic_mbps=state.free_bw[
+                    self.cloud.hosts[host].link_index
+                ],
+            )
         imaginary: List[_ImaginaryHost] = []
         # node -> ('real', host_index) or ('imag', list_index)
         location: Dict[str, Tuple[str, int]] = {}
@@ -206,7 +234,7 @@ class LowerBoundEstimator:
         self,
         partial: PartialPlacement,
         name: str,
-        real_free: Dict[int, List[float]],
+        real_free: Dict[int, _RealHostLedger],
         imaginary: List[_ImaginaryHost],
         location: Dict[str, Tuple[str, int]],
     ) -> bool:
@@ -301,7 +329,7 @@ class LowerBoundEstimator:
 
     @staticmethod
     def _targets(
-        real_free: Dict[int, List[float]],
+        real_free: Dict[int, _RealHostLedger],
         imaginary: List[_ImaginaryHost],
     ) -> Iterator[Tuple[str, int]]:
         for host in real_free:
@@ -313,17 +341,20 @@ class LowerBoundEstimator:
         self,
         node: Node,
         key: Tuple[str, int],
-        real_free: Dict[int, List[float]],
+        real_free: Dict[int, _RealHostLedger],
         imaginary: List[_ImaginaryHost],
     ) -> bool:
         vcpus = (
             node.effective_vcpus(self._cpu_factor) if node.is_vm else 0.0
         )
         if key[0] == "real":
-            free = real_free[key[1]]
+            ledger = real_free[key[1]]
             if node.is_vm:
-                return vcpus <= free[0] and node.mem_gb <= free[1]
-            return node.size_gb <= free[2]
+                return (
+                    vcpus <= ledger.free_vcpus
+                    and node.mem_gb <= ledger.free_mem_gb
+                )
+            return any(node.size_gb <= free for free in ledger.disk_free)
         imag = imaginary[key[1]]
         if node.is_vm:
             return vcpus <= imag.free_vcpus and node.mem_gb <= imag.free_mem_gb
@@ -333,19 +364,28 @@ class LowerBoundEstimator:
         self,
         node: Node,
         key: Tuple[str, int],
-        real_free: Dict[int, List[float]],
+        real_free: Dict[int, _RealHostLedger],
         imaginary: List[_ImaginaryHost],
     ) -> None:
         vcpus = (
             node.effective_vcpus(self._cpu_factor) if node.is_vm else 0.0
         )
         if key[0] == "real":
-            free = real_free[key[1]]
+            ledger = real_free[key[1]]
             if node.is_vm:
-                free[0] -= vcpus
-                free[1] -= node.mem_gb
+                ledger.free_vcpus -= vcpus
+                ledger.free_mem_gb -= node.mem_gb
             else:
-                free[2] -= node.size_gb
+                # debit the emptiest disk that fits (ties: lowest index),
+                # the same worst-fit rule used for real volume placement
+                best = -1
+                for i, free in enumerate(ledger.disk_free):
+                    if node.size_gb <= free and (
+                        best < 0 or free > ledger.disk_free[best]
+                    ):
+                        best = i
+                if best >= 0:
+                    ledger.disk_free[best] -= node.size_gb
             return
         imag = imaginary[key[1]]
         if node.is_vm:
@@ -357,18 +397,18 @@ class LowerBoundEstimator:
     @staticmethod
     def _nic_free(
         key: Tuple[str, int],
-        real_free: Dict[int, List[float]],
+        real_free: Dict[int, _RealHostLedger],
         imaginary: List[_ImaginaryHost],
     ) -> float:
         if key[0] == "real":
-            return real_free[key[1]][3]
+            return real_free[key[1]].free_nic_mbps
         return imaginary[key[1]].free_nic_mbps
 
     def _nic_ok(
         self,
         target: Tuple[str, int],
         bw_to_target: Dict[Tuple[str, int], float],
-        real_free: Dict[int, List[float]],
+        real_free: Dict[int, _RealHostLedger],
         imaginary: List[_ImaginaryHost],
     ) -> bool:
         """NIC feasibility of routing the node's flows from ``target``.
@@ -390,12 +430,12 @@ class LowerBoundEstimator:
         self,
         target: Tuple[str, int],
         bw_to_target: Dict[Tuple[str, int], float],
-        real_free: Dict[int, List[float]],
+        real_free: Dict[int, _RealHostLedger],
         imaginary: List[_ImaginaryHost],
     ) -> None:
         def debit(key: Tuple[str, int], amount: float) -> None:
             if key[0] == "real":
-                real_free[key[1]][3] -= amount
+                real_free[key[1]].free_nic_mbps -= amount
             else:
                 imaginary[key[1]].free_nic_mbps -= amount
 

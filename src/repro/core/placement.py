@@ -236,6 +236,7 @@ class PartialPlacement:
         }
         for kind, index, value in record.saved:
             arrays[kind][index] = value
+        state.version += 1
 
     def unassign(self, node_name: str) -> None:
         """Undo a previous :meth:`assign`, restoring the state exactly.

@@ -120,6 +120,9 @@ class ApplicationTopology:
         self._zones_of_cache: Optional[Dict[str, List[DiversityZone]]] = None
         self._weight_order: Optional[List[str]] = None
         self._bw_order: Optional[List[str]] = None
+        # Monotonic structural version; lets external caches (e.g. the
+        # vectorized kernel's per-topology plan) detect mutations.
+        self.cache_version: int = 0
 
     def _invalidate_caches(self) -> None:
         """Drop derived lookup tables after a structural mutation."""
@@ -128,6 +131,7 @@ class ApplicationTopology:
         self._zones_of_cache = None
         self._weight_order = None
         self._bw_order = None
+        self.cache_version += 1
 
     # ------------------------------------------------------------------
     # construction

@@ -77,6 +77,9 @@ class DataCenterState:
         self.free_disk: List[float] = [d.capacity_gb for d in cloud.disks]
         self.free_bw: List[float] = list(cloud.link_capacity_mbps)
         self.host_units: List[int] = [0] * len(cloud.hosts)
+        #: monotonically bumped on every mutation; lets array mirrors
+        #: (repro.core.kernel.StateView) refresh only when stale
+        self.version: int = 0
         #: fraction of its nominal vCPUs a best-effort VM reserves
         #: (Section VI's guaranteed-vs-best-effort CPU reservations)
         self.best_effort_cpu_factor = best_effort_cpu_factor
@@ -99,6 +102,7 @@ class DataCenterState:
         copy.free_disk = self.free_disk.copy()
         copy.free_bw = self.free_bw.copy()
         copy.host_units = self.host_units.copy()
+        copy.version = 0
         copy.best_effort_cpu_factor = self.best_effort_cpu_factor
         if self._down_hosts:
             copy._down_hosts = {
@@ -139,6 +143,7 @@ class DataCenterState:
         self.free_disk[:] = disk
         self.free_bw[:] = bw
         self.host_units[:] = [int(u) for u in units]
+        self.version += 1
 
     # ------------------------------------------------------------------
     # queries
@@ -188,6 +193,7 @@ class DataCenterState:
         self.free_cpu[host] -= vcpus
         self.free_mem[host] -= mem_gb
         self.host_units[host] += 1
+        self.version += 1
 
     def unplace_vm(self, host: int, vcpus: float, mem_gb: float) -> None:
         """Release a VM reservation made with :meth:`place_vm`.
@@ -203,6 +209,7 @@ class DataCenterState:
                 rec.free_vcpus += vcpus
                 rec.free_mem_gb += mem_gb
                 self.host_units[host] -= 1
+                self.version += 1
                 if self.host_units[host] < 0:
                     raise CapacityError(
                         "unbalanced unplace_vm on down host "
@@ -212,6 +219,7 @@ class DataCenterState:
         self.free_cpu[host] += vcpus
         self.free_mem[host] += mem_gb
         self.host_units[host] -= 1
+        self.version += 1
         if self.host_units[host] < 0:
             raise CapacityError(
                 f"unbalanced unplace_vm on host {self.cloud.hosts[host].name}"
@@ -233,6 +241,7 @@ class DataCenterState:
             )
         self.free_disk[disk] -= size_gb
         self.host_units[self.cloud.disks[disk].host.index] += 1
+        self.version += 1
 
     def unplace_volume(self, disk: int, size_gb: float) -> None:
         """Release a volume reservation made with :meth:`place_volume`.
@@ -246,6 +255,7 @@ class DataCenterState:
             if rec is not None:
                 rec.free_disk_gb[disk] += size_gb
                 self.host_units[owner] -= 1
+                self.version += 1
                 if self.host_units[owner] < 0:
                     raise CapacityError(
                         "unbalanced unplace_volume on down host "
@@ -255,6 +265,7 @@ class DataCenterState:
         self.free_disk[disk] += size_gb
         host = self.cloud.disks[disk].host.index
         self.host_units[host] -= 1
+        self.version += 1
         if self.host_units[host] < 0:
             raise CapacityError(
                 f"unbalanced unplace_volume on disk {self.cloud.disks[disk].name}"
@@ -273,6 +284,7 @@ class DataCenterState:
                 )
         for link in links:
             self.free_bw[link] -= mbps
+        self.version += 1
 
     def release_path(self, path: Iterable[int], mbps: float) -> None:
         """Release bandwidth reserved with :meth:`reserve_path`.
@@ -290,9 +302,11 @@ class DataCenterState:
                     self.free_bw[link] += mbps
                 else:
                     self._down_links[link] = absorbed + mbps
+            self.version += 1
             return
         for link in path:
             self.free_bw[link] += mbps
+        self.version += 1
 
     def can_reserve(self, demand_per_link: dict) -> bool:
         """True if all per-link demands fit simultaneously."""
@@ -370,6 +384,7 @@ class DataCenterState:
         if nic_failed:
             self.fail_link(host_obj.link_index)
         self._down_hosts[host] = record
+        self.version += 1
 
     def restore_host(self, host: int) -> None:
         """Bring a failed host back, bit-exactly.
@@ -390,6 +405,7 @@ class DataCenterState:
             self.free_disk[disk] = free
         if record.nic_failed:
             self.restore_link(self.cloud.hosts[host].link_index)
+        self.version += 1
 
     def fail_link(self, link: int) -> None:
         """Fail a network link: its free bandwidth drops to zero.
@@ -405,6 +421,7 @@ class DataCenterState:
             )
         self._down_links[link] = self.free_bw[link]
         self.free_bw[link] = 0.0
+        self.version += 1
 
     def restore_link(self, link: int) -> None:
         """Bring a failed link back with its absorbed free bandwidth."""
@@ -414,6 +431,7 @@ class DataCenterState:
                 f"link {self.cloud.link_names[link]} is not down"
             )
         self.free_bw[link] = absorbed
+        self.version += 1
 
     def capacity_invariants(self) -> List[str]:
         """Check conservation invariants; return violations (empty = OK).

@@ -19,7 +19,6 @@ this module lives outside the wall-clock-banned core packages.
 from __future__ import annotations
 
 import hashlib
-import math
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -38,6 +37,7 @@ from repro.service.coordinator import ShardedCoordinator
 from repro.service.queue import AdmissionQueue
 from repro.sim.arrivals import WorkloadTrace
 from repro.sim.chaos import placement_fingerprint
+from repro.sim.metrics import nearest_rank_percentile
 
 
 @dataclass(frozen=True)
@@ -119,14 +119,6 @@ class ServiceReport:
     fingerprint: str = ""
     audit_violations: List[str] = field(default_factory=list)
     outcomes: List[AdmissionOutcome] = field(default_factory=list, repr=False)
-
-
-def _percentile(sorted_values: List[float], q: float) -> float:
-    """Nearest-rank percentile (deterministic, no interpolation)."""
-    if not sorted_values:
-        return 0.0
-    index = max(0, math.ceil(q * len(sorted_values)) - 1)
-    return sorted_values[index]
 
 
 def _feed_outcome(digest: "hashlib._Hash", outcome: AdmissionOutcome) -> None:
@@ -279,10 +271,9 @@ def run_service(
         "fallback": engine.fallback_batches,
     }
     report.escalations = dict(coordinator.escalations)
-    latencies.sort()
-    report.latency_p50_s = _percentile(latencies, 0.50)
-    report.latency_p95_s = _percentile(latencies, 0.95)
-    report.latency_p99_s = _percentile(latencies, 0.99)
+    report.latency_p50_s = nearest_rank_percentile(latencies, 0.50)
+    report.latency_p95_s = nearest_rank_percentile(latencies, 0.95)
+    report.latency_p99_s = nearest_rank_percentile(latencies, 0.99)
     if report.wall_s > 0:
         report.placements_per_sec = report.admitted / report.wall_s
     digest.update(placement_fingerprint(coordinator.ostro).encode("utf-8"))

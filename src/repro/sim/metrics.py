@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import math
 from dataclasses import asdict, dataclass, field, replace
 from statistics import mean
 from typing import Dict, Iterable, List, Tuple
@@ -159,6 +160,29 @@ class ChaosReport:
             f"capacity leaks:       {len(self.invariant_violations)}",
             f"fingerprint:          {self.fingerprint[:16]}",
         ]
+
+
+def nearest_rank_percentile(values: Iterable[float], q: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation).
+
+    Implements the textbook nearest-rank definition: for ``0 < q <= 1``
+    and ``n`` sorted values, the result is the value at 1-indexed rank
+    ``ceil(q * n)`` -- always one of the inputs, never interpolated.
+    Edge behavior, pinned by tests:
+
+    * empty input returns ``0.0`` (there is no rank to pick);
+    * ``n == 1`` returns the single value for every ``q``;
+    * ``q <= 0`` returns the minimum (rank clamps up to 1);
+    * ``q >= 1`` returns the maximum (rank clamps down to ``n``).
+
+    This is the single shared helper for latency/runtime percentiles;
+    callers may pass unsorted data.
+    """
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    index = max(0, math.ceil(q * len(ordered)) - 1)
+    return ordered[min(index, len(ordered) - 1)]
 
 
 def rows_fingerprint(rows: Iterable[MeasurementRow]) -> str:

@@ -135,6 +135,123 @@ class TestTruncation:
         assert trunc_bw <= full_bw
 
 
+class TestPerDiskLedger:
+    """Regression: the real-host ledger must track disks individually.
+
+    The old ledger collapsed a host's disks into one max-free scalar, so
+    two volumes that each fit on *different* disks of the same host were
+    wrongly declared infeasible there and pushed onto imaginary hosts.
+    """
+
+    def _two_disk_cloud(self):
+        from repro.datacenter.model import (
+            Cloud,
+            DataCenter,
+            Disk,
+            Host,
+            Rack,
+        )
+
+        hosts = [
+            Host(
+                name=f"h{i}",
+                cpu_cores=16,
+                mem_gb=32,
+                disks=[
+                    Disk(name=f"h{i}-d0", capacity_gb=50),
+                    Disk(name=f"h{i}-d1", capacity_gb=50),
+                ],
+            )
+            for i in range(4)
+        ]
+        rack = Rack(name="r0", hosts=hosts)
+        return Cloud([DataCenter(name="dc", racks=[rack])])
+
+    def test_two_volumes_fit_on_two_disks_of_one_host(self):
+        cloud = self._two_disk_cloud()
+        t = ApplicationTopology()
+        t.add_vm("vm", 2, 2)
+        t.add_volume("va", size_gb=40)
+        t.add_volume("vb", size_gb=40)
+        t.connect("vm", "va", 100)
+        t.connect("vm", "vb", 100)
+        partial = make_partial(t, cloud)
+        partial.assign("vm", 0)
+        estimator = LowerBoundEstimator(cloud)
+        ubw, _ = estimator.estimate(partial, ["va", "vb"])
+        # 40 + 40 exceeds either single 50 GB disk, but each volume fits
+        # on its own disk: both co-locate with the VM, zero extra hops.
+        assert ubw == 0.0
+
+    def test_single_disk_sequence_still_bounded(self):
+        cloud = self._two_disk_cloud()
+        t = ApplicationTopology()
+        t.add_vm("vm", 2, 2)
+        t.add_volume("va", size_gb=45)
+        t.add_volume("vb", size_gb=45)
+        t.add_volume("vc", size_gb=45)
+        t.connect("vm", "va", 100)
+        t.connect("vm", "vb", 100)
+        t.connect("vm", "vc", 100)
+        partial = make_partial(t, cloud)
+        partial.assign("vm", 0)
+        estimator = LowerBoundEstimator(cloud)
+        ubw, _ = estimator.estimate(partial, ["va", "vb", "vc"])
+        # Only two 45 GB volumes fit host 0 (one per disk); the third must
+        # leave the host and its link costs at least one host separation.
+        assert ubw == 100 * 2
+
+
+class TestUnrealizableForcedDistance:
+    """Regression: zone-forced separations the cloud cannot realize.
+
+    A DATACENTER-level zone in a single-DC cloud is genuinely infeasible.
+    The admissible estimator must signal that with ``inf`` rather than a
+    finite pessimistic hop count (which under-reports an infeasible future
+    and lets BA* keep such states comparable with feasible ones); the
+    informative estimator keeps the finite value so EG ranking still works.
+    """
+
+    def _zone_forced_topo(self):
+        t = ApplicationTopology()
+        t.add_vm("a", 2, 2)
+        t.add_vm("b", 2, 2)
+        t.connect("a", "b", 100)
+        t.add_zone("z", Level.DATACENTER, ["a", "b"])
+        return t
+
+    def test_admissible_variant_returns_inf(self, small_dc):
+        t = self._zone_forced_topo()
+        partial = make_partial(t, small_dc)
+        estimator = LowerBoundEstimator(
+            small_dc, EstimatorConfig(optimistic_colocation=True)
+        )
+        ubw, _ = estimator.estimate(partial, ["a", "b"])
+        assert ubw == float("inf")
+
+    def test_informative_variant_stays_finite(self, small_dc):
+        t = self._zone_forced_topo()
+        partial = make_partial(t, small_dc)
+        estimator = LowerBoundEstimator(small_dc)
+        ubw, _ = estimator.estimate(partial, ["a", "b"])
+        assert ubw == 100 * 2 * 4  # pessimistic max-hop stand-in, finite
+        assert ubw != float("inf")
+
+    def test_realizable_distance_unchanged(self, podded_cloud):
+        # Two DCs exist: the same zone is realizable and costs the real
+        # minimum for distance 4 in both variants.
+        t = self._zone_forced_topo()
+        partial = make_partial(t, podded_cloud)
+        expected = 100 * podded_cloud.min_hops_for_distance(4)
+        for cfg in (
+            EstimatorConfig(),
+            EstimatorConfig(optimistic_colocation=True),
+        ):
+            estimator = LowerBoundEstimator(podded_cloud, cfg)
+            ubw, _ = estimator.estimate(partial, ["a", "b"])
+            assert ubw == expected
+
+
 class TestAdmissibilityOnSmallInstances:
     """Estimator bound vs. true optimum found by brute force."""
 

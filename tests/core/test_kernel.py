@@ -1,0 +1,187 @@
+"""Cross-kernel bit-exactness: numpy scoring must equal the reference.
+
+The array kernel (:mod:`repro.core.kernel`) promises *bit-identical*
+results to the pure-Python reference -- same scores, same candidate
+sets, same placements -- because it replays the same float operations in
+the same order. These tests drive both kernels over fixed and
+hypothesis-generated inputs and compare everything observable:
+objective values, placement fingerprints, and the deterministic work
+counters. The ``crosscheck`` kernel additionally asserts equality at
+every internal comparison point and raises :class:`KernelMismatch` on
+the first divergence, so merely completing a crosscheck run is itself
+the strongest assertion.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import kernel
+from repro.core.astar import BAStar
+from repro.core.greedy import EG, EGBW, EGC
+from repro.core.objective import Objective
+from repro.datacenter.loadgen import apply_random_load
+from repro.datacenter.state import DataCenterState
+from repro.errors import PlacementError
+from tests.conftest import make_three_tier
+from tests.test_properties import small_cloud, topologies
+
+pytestmark = pytest.mark.skipif(
+    not kernel.HAVE_NUMPY, reason="numpy kernel unavailable"
+)
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _placement_blob(result):
+    return sorted(
+        (a.node, a.host, a.disk)
+        for a in result.placement.assignments.values()
+    )
+
+
+def _run(algorithm, topo, cloud, state, kernel_name):
+    with kernel.use_kernel(kernel_name):
+        return algorithm.place(topo, cloud, state)
+
+
+class TestKernelSelection:
+    def test_set_kernel_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            kernel.set_kernel("fortran")
+
+    def test_use_kernel_restores_previous(self):
+        before = kernel.get_kernel()
+        with kernel.use_kernel("python"):
+            assert kernel.get_kernel() == "python"
+        assert kernel.get_kernel() == before
+
+    def test_crosscheck_implies_numpy_active(self):
+        with kernel.use_kernel("crosscheck"):
+            assert kernel.numpy_active()
+            assert kernel.crosscheck_active()
+        with kernel.use_kernel("python"):
+            assert not kernel.numpy_active()
+
+
+class TestFixedTopologyEquivalence:
+    @pytest.mark.parametrize("algo_factory", [
+        EG, EGC, EGBW, lambda: BAStar(max_expansions=200),
+    ])
+    def test_three_tier_bit_identical(self, small_dc, algo_factory):
+        topo = make_three_tier()
+        state = DataCenterState(small_dc)
+        apply_random_load(state, fraction_hosts=0.3, seed=7)
+        results = {
+            name: _run(algo_factory(), topo, small_dc, state, name)
+            for name in ("python", "numpy")
+        }
+        py, np_ = results["python"], results["numpy"]
+        assert py.objective_value == np_.objective_value
+        assert _placement_blob(py) == _placement_blob(np_)
+        assert py.stats.candidates_scored == np_.stats.candidates_scored
+        assert py.stats.paths_expanded == np_.stats.paths_expanded
+
+    def test_three_tier_crosscheck_clean(self, small_dc):
+        topo = make_three_tier()
+        state = DataCenterState(small_dc)
+        apply_random_load(state, fraction_hosts=0.3, seed=7)
+        # KernelMismatch (an AssertionError) would propagate out of place()
+        result = _run(BAStar(max_expansions=200), topo, small_dc, state,
+                      "crosscheck")
+        assert set(result.placement.assignments) == set(topo.nodes)
+
+
+class TestReferenceScenarioFingerprints:
+    """The bench scenarios' placements must not depend on the kernel."""
+
+    @pytest.mark.parametrize("scenario", ["multitier", "mesh", "qfs"])
+    def test_bench_scenario_bit_identical(self, scenario):
+        from repro import bench
+
+        case = next(c for c in bench.REFERENCE_CASES if c.name == scenario)
+        label, algorithm, opt_items, _gated = case.algorithms[0]  # EG
+        assert label == "eg"
+        fingerprints = {}
+        for name in ("python", "numpy"):
+            with kernel.use_kernel(name):
+                result, _wall = bench._run_once(
+                    case, algorithm, dict(opt_items)
+                )
+            fingerprints[name] = bench.placement_fingerprint(result)
+        assert fingerprints["python"] == fingerprints["numpy"]
+
+    def test_vnf_chain_bit_identical(self, small_dc):
+        from repro.workloads.vnf import build_vnf_chain
+
+        topo = build_vnf_chain()
+        state = DataCenterState(small_dc)
+        apply_random_load(state, fraction_hosts=0.2, seed=11)
+        py = _run(EG(), topo, small_dc, state, "python")
+        np_ = _run(EG(), topo, small_dc, state, "numpy")
+        assert py.objective_value == np_.objective_value
+        assert _placement_blob(py) == _placement_blob(np_)
+
+
+class TestPropertyEquivalence:
+    @SETTINGS
+    @given(topo=topologies(), seed=st.integers(0, 50), algo_i=st.integers(0, 2))
+    def test_greedy_placements_bit_identical(self, topo, seed, algo_i):
+        cloud = small_cloud()
+        state = DataCenterState(cloud)
+        apply_random_load(state, fraction_hosts=0.4, seed=seed)
+        algo_factory = [EG, EGC, EGBW][algo_i]
+        outcomes = {}
+        for name in ("python", "numpy"):
+            try:
+                outcomes[name] = _run(algo_factory(), topo, cloud, state, name)
+            except PlacementError:
+                outcomes[name] = None
+        py, np_ = outcomes["python"], outcomes["numpy"]
+        if py is None or np_ is None:
+            assert py is None and np_ is None
+            return
+        assert py.objective_value == np_.objective_value
+        assert _placement_blob(py) == _placement_blob(np_)
+        assert py.stats.candidates_scored == np_.stats.candidates_scored
+
+    @SETTINGS
+    @given(topo=topologies(max_vms=4, max_volumes=2), seed=st.integers(0, 20))
+    def test_bastar_placements_bit_identical(self, topo, seed):
+        cloud = small_cloud()
+        state = DataCenterState(cloud)
+        apply_random_load(state, fraction_hosts=0.3, seed=seed)
+        outcomes = {}
+        for name in ("python", "numpy"):
+            try:
+                outcomes[name] = _run(
+                    BAStar(max_expansions=150), topo, cloud, state, name
+                )
+            except PlacementError:
+                outcomes[name] = None
+        py, np_ = outcomes["python"], outcomes["numpy"]
+        if py is None or np_ is None:
+            assert py is None and np_ is None
+            return
+        assert py.objective_value == np_.objective_value
+        assert _placement_blob(py) == _placement_blob(np_)
+        assert py.stats.paths_expanded == np_.stats.paths_expanded
+
+    @SETTINGS
+    @given(topo=topologies(max_vms=5, max_volumes=2), seed=st.integers(0, 30))
+    def test_crosscheck_never_trips(self, topo, seed):
+        cloud = small_cloud()
+        state = DataCenterState(cloud)
+        apply_random_load(state, fraction_hosts=0.4, seed=seed)
+        objective = Objective.for_topology(topo, cloud)
+        try:
+            with kernel.use_kernel("crosscheck"):
+                EG().place(topo, cloud, state, objective)
+        except PlacementError:
+            pass  # infeasible inputs may fail; KernelMismatch must not

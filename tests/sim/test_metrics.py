@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import pytest
+
 
 from repro.core.greedy import EG
 from repro.sim.metrics import MeasurementRow, aggregate_rows
@@ -72,3 +74,49 @@ class TestAggregate:
 
     def test_empty(self):
         assert aggregate_rows([]) == []
+
+
+class TestNearestRankPercentile:
+    """Edge-pinning tests for the single shared percentile helper."""
+
+    def test_empty_returns_zero(self):
+        from repro.sim.metrics import nearest_rank_percentile
+
+        assert nearest_rank_percentile([], 0.5) == 0.0
+
+    @pytest.mark.parametrize("q", [0.0, 0.01, 0.5, 0.95, 0.99, 1.0])
+    def test_single_value_for_every_q(self, q):
+        from repro.sim.metrics import nearest_rank_percentile
+
+        assert nearest_rank_percentile([7.5], q) == 7.5
+
+    @pytest.mark.parametrize(
+        "n,q,rank",
+        [
+            (100, 0.99, 99),  # ceil(99) = rank 99, not the max
+            (100, 0.50, 50),
+            (100, 0.95, 95),
+            (10, 0.99, 10),  # ceil(9.9) = rank 10: the max
+            (10, 0.91, 10),
+            (10, 0.90, 9),  # exact multiple: rank q*n, no bump
+            (5, 0.5, 3),  # ceil(2.5) = 3, the median of odd-ish ranks
+            (4, 0.5, 2),
+            (3, 1.0, 3),
+            (3, 0.0, 1),  # degenerate q clamps to the minimum
+        ],
+    )
+    def test_nearest_rank_definition(self, n, q, rank):
+        from repro.sim.metrics import nearest_rank_percentile
+
+        values = [float(i + 1) for i in range(n)]  # value == its rank
+        assert nearest_rank_percentile(values, q) == float(rank)
+
+    def test_unsorted_input_is_sorted_internally(self):
+        from repro.sim.metrics import nearest_rank_percentile
+
+        assert nearest_rank_percentile([3.0, 1.0, 2.0], 0.5) == 2.0
+
+    def test_q_above_one_clamps_to_max(self):
+        from repro.sim.metrics import nearest_rank_percentile
+
+        assert nearest_rank_percentile([1.0, 2.0, 3.0], 1.5) == 3.0
