@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""CI gate for ostrolint's incremental-cache performance.
+
+Lints ``src/repro`` twice against a scratch cache -- once cold, once
+warm -- and exits non-zero unless:
+
+* the cold run fits the wall-clock budget (generous: it only exists to
+  catch an accidental quadratic blow-up in the analysis),
+* the warm run is at least ``MIN_SPEEDUP``x faster than the cold one
+  (or absolutely fast, for machines where the cold run is already
+  near-instant), and
+* the two runs' reports are byte-identical -- the cache must be a pure
+  wall-clock optimization.
+
+Usage (from the repository root):
+
+    PYTHONPATH=src python benchmarks/perf/lint_perf.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(__file__), os.pardir, os.pardir, "src"),
+)
+
+from repro.lint import LintCache, lint_paths, render_json  # noqa: E402
+
+#: Cold-run wall-clock budget (seconds). The full tree takes ~3-4s on a
+#: developer laptop; 30s only trips on a complexity regression.
+COLD_BUDGET_S = 30.0
+
+#: Warm runs must beat the cold run by at least this factor ...
+MIN_SPEEDUP = 5.0
+
+#: ... unless they are already this fast in absolute terms (a tiny tree
+#: or a very fast machine leaves no room for a 5x ratio).
+WARM_FAST_ENOUGH_S = 0.3
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--paths", nargs="*", default=["src/repro"])
+    parser.add_argument("--cold-budget", type=float, default=COLD_BUDGET_S)
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory(prefix="ostrolint-perf-") as tmp:
+        cache_path = Path(tmp) / "cache.json"
+
+        cache = LintCache(cache_path)
+        t0 = time.perf_counter()
+        cold_diags, cold_checked = lint_paths(args.paths, cache=cache)
+        cold_s = time.perf_counter() - t0
+        cache.save()
+
+        cache = LintCache(cache_path)
+        t0 = time.perf_counter()
+        warm_diags, warm_checked = lint_paths(args.paths, cache=cache)
+        warm_s = time.perf_counter() - t0
+
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    print(
+        f"lint-perf: {cold_checked} files | cold {cold_s:.2f}s | "
+        f"warm {warm_s:.2f}s | speedup {speedup:.1f}x"
+    )
+
+    failures = []
+    if cold_s > args.cold_budget:
+        failures.append(
+            f"cold run {cold_s:.2f}s exceeds budget {args.cold_budget:.1f}s"
+        )
+    if speedup < MIN_SPEEDUP and warm_s > WARM_FAST_ENOUGH_S:
+        failures.append(
+            f"warm speedup {speedup:.1f}x below {MIN_SPEEDUP:.1f}x "
+            f"(warm {warm_s:.2f}s > {WARM_FAST_ENOUGH_S:.2f}s)"
+        )
+    cold_report = render_json(cold_diags, cold_checked)
+    warm_report = render_json(warm_diags, warm_checked)
+    if cold_report != warm_report:
+        failures.append("warm report differs from cold report")
+
+    for failure in failures:
+        print(f"lint-perf: FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

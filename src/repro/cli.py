@@ -481,19 +481,91 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _git_changed_files() -> Optional[List[str]]:
+    """Python files touched in the working tree (staged, unstaged, or
+    untracked), per ``git status``; None when git is unavailable."""
+    import subprocess
+    from pathlib import Path
+
+    try:
+        proc = subprocess.run(
+            ["git", "status", "--porcelain", "--untracked-files=all"],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return None
+    files = set()
+    for line in proc.stdout.splitlines():
+        if len(line) < 4:
+            continue
+        path = line[3:]
+        if " -> " in path:  # rename: lint the new name
+            path = path.split(" -> ", 1)[1]
+        path = path.strip().strip('"')
+        if path.endswith(".py") and Path(path).exists():
+            files.add(path)
+    return sorted(files)
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
     from repro import lint
 
     if args.list_rules:
-        for rule in lint.all_rules():
+        for rule in lint.every_rule():
             print(f"{rule.code}  {rule.name:<20} {rule.summary}")
         return 0
     paths = args.paths or ["src/repro"]
+    analysis_paths = None
+    if args.changed:
+        changed = _git_changed_files()
+        if changed is None:
+            print(
+                "error: --changed requires a git checkout",
+                file=sys.stderr,
+            )
+            return 2
+        # project rules still see the whole tree; only the report is
+        # scoped to the touched files
+        analysis_paths = paths
+        paths = changed
+        if not paths:
+            print(lint.render_report([], 0, args.format))
+            return 0
+    cache = None
+    if not args.no_cache:
+        cache = lint.LintCache(Path(args.cache_path))
     try:
-        diagnostics, files_checked = lint.lint_paths(paths)
+        diagnostics, files_checked = lint.lint_paths(
+            paths, analysis_paths=analysis_paths, cache=cache
+        )
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.update_baseline:
+        target = Path(args.baseline or lint.DEFAULT_BASELINE_PATH)
+        lint.write_baseline(target, diagnostics)
+        noun = "entry" if len(diagnostics) == 1 else "entries"
+        print(
+            f"wrote {len(diagnostics)} {noun} to {target}",
+            file=sys.stderr,
+        )
+        return 0
+    if args.baseline:
+        try:
+            entries = lint.load_baseline(Path(args.baseline))
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            print(f"error: bad baseline: {exc}", file=sys.stderr)
+            return 2
+        diagnostics, stale = lint.compare_baseline(diagnostics, entries)
+        for path, code, message in stale:
+            print(
+                f"stale baseline entry: {path}: {code} {message}",
+                file=sys.stderr,
+            )
     print(lint.render_report(diagnostics, files_checked, args.format))
     return 1 if diagnostics else 0
 
@@ -800,14 +872,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint_cmd.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
-        help="report format (json is schema-stable; see docs)",
+        help="report format (json and sarif are schema-stable; see docs)",
     )
     lint_cmd.add_argument(
         "--list-rules",
         action="store_true",
         help="list the registered rules and exit",
+    )
+    lint_cmd.add_argument(
+        "--changed",
+        action="store_true",
+        help="report only findings in files touched per git status; the "
+        "project-wide rules still analyze the full paths",
+    )
+    lint_cmd.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="subtract the baselined findings from the report "
+        "(stale entries are listed on stderr)",
+    )
+    lint_cmd.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline (--baseline or "
+        ".ostrolint-baseline.json) from the current findings and exit",
+    )
+    lint_cmd.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the incremental cache (.ostrolint-cache.json)",
+    )
+    lint_cmd.add_argument(
+        "--cache-path",
+        default=".ostrolint-cache.json",
+        metavar="FILE",
+        help="incremental cache location (default: %(default)s)",
     )
     lint_cmd.set_defaults(func=cmd_lint)
     return parser

@@ -158,6 +158,11 @@ class HeatEngine:
             self.state.restore(baseline)
             self._rolled_back(stack_name, exc)
             raise
+        except BaseException:
+            # Unexpected errors (malformed template properties, injected
+            # non-library faults) must not leak reserved capacity either.
+            self.state.restore(baseline)
+            raise
         stack.template = parsed
         stack._requests = created
         self.stacks[stack_name] = stack
@@ -200,6 +205,10 @@ class HeatEngine:
             self.stacks[stack_name] = stack
             self._rolled_back(stack_name, exc)
             raise
+        except BaseException:
+            self.state.restore(baseline)
+            self.stacks[stack_name] = stack
+            raise
 
     def update_stack(self, template, stack_name: str) -> Stack:
         """Replace a deployed stack with a new template, transactionally.
@@ -225,6 +234,10 @@ class HeatEngine:
             self.state.restore(baseline)
             self.stacks[stack_name] = old
             self._rolled_back(stack_name, exc)
+            raise
+        except BaseException:
+            self.state.restore(baseline)
+            self.stacks[stack_name] = old
             raise
 
     @staticmethod

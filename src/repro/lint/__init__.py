@@ -9,6 +9,13 @@ suppressions, and schema-stable JSON output. Run it as
 catalogue.
 """
 
+from repro.lint.baseline import (
+    DEFAULT_BASELINE_PATH,
+    compare as compare_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.cache import DEFAULT_CACHE_PATH, LintCache
 from repro.lint.diagnostics import (
     JSON_SCHEMA_VERSION,
     Diagnostic,
@@ -21,31 +28,47 @@ from repro.lint.engine import (
     FileContext,
     lint_file,
     lint_paths,
+    lint_project_sources,
     lint_source,
     module_from_path,
 )
 from repro.lint.registry import (
+    ProjectRule,
     Rule,
+    all_project_rules,
     all_rules,
+    every_rule,
     known_codes,
     register,
     rule_for_code,
 )
+from repro.lint.sarif import render_sarif
 
 __all__ = [
     "JSON_SCHEMA_VERSION",
+    "DEFAULT_BASELINE_PATH",
+    "DEFAULT_CACHE_PATH",
     "Diagnostic",
+    "LintCache",
+    "compare_baseline",
+    "load_baseline",
+    "write_baseline",
     "render_json",
     "render_report",
+    "render_sarif",
     "render_text",
     "DEFAULT_EXCLUDED_DIRS",
     "FileContext",
     "lint_file",
     "lint_paths",
+    "lint_project_sources",
     "lint_source",
     "module_from_path",
+    "ProjectRule",
     "Rule",
+    "all_project_rules",
     "all_rules",
+    "every_rule",
     "known_codes",
     "register",
     "rule_for_code",

@@ -1,0 +1,318 @@
+"""Shared AST utilities for the ostrolint engine and rules.
+
+One home for everything both the engine and the rule modules need:
+scope-aware walking, assignment-target flattening, identifier harvesting,
+module-path inference, and suppression-comment parsing. Before v2 these
+helpers were split between ``lint/rules/common.py`` and ``lint/engine.py``;
+the project-level analysis (symbol table, CFGs, taint) made one shared
+module the only sane layout.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+#: Method names that mutate their receiver in place. Used by the cache
+#: and confinement rules to catch ``obj.attr.append(...)``-style writes.
+MUTATOR_METHODS = frozenset(
+    {
+        "add",
+        "append",
+        "clear",
+        "discard",
+        "extend",
+        "insert",
+        "pop",
+        "popitem",
+        "remove",
+        "reverse",
+        "setdefault",
+        "sort",
+        "update",
+        # domain mutators on PartialPlacement / DataCenterState / topology
+        "assign",
+        "unassign",
+        "place_vm",
+        "reserve_path",
+        "release_path",
+        "apply",
+        "restore",
+        "add_vm",
+        "add_volume",
+        "connect",
+        "add_zone",
+        "remove_node",
+        "_invalidate_caches",
+    }
+)
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+
+FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+#: Suppression-comment grammar: ``# ostrolint: disable[=CODE[,CODE...]]``.
+_SUPPRESS_RE = re.compile(
+    r"#\s*ostrolint:\s*disable(?:=(?P<codes>[A-Z0-9,\s]+))?"
+)
+
+#: Marker meaning "every code is suppressed on this line".
+_ALL_CODES = frozenset({"*"})
+
+
+def walk_scoped(tree: ast.AST) -> Iterator[Tuple[ast.AST, Tuple[str, ...]]]:
+    """Yield ``(node, scope)`` pairs, depth-first.
+
+    ``scope`` is the tuple of enclosing class/function names -- empty at
+    module level. A def/class node itself carries its *enclosing* scope;
+    its body carries the extended one. ``".".join(scope)`` is the
+    qualname used by the timing allowlist (``"BAStar._run"``).
+    """
+    stack: List[str] = []
+
+    def visit(node: ast.AST) -> Iterator[Tuple[ast.AST, Tuple[str, ...]]]:
+        yield node, tuple(stack)
+        is_scope = isinstance(node, _SCOPE_NODES)
+        if is_scope:
+            stack.append(node.name)
+        for child in ast.iter_child_nodes(node):
+            yield from visit(child)
+        if is_scope:
+            stack.pop()
+
+    return visit(tree)
+
+
+def root_name(node: ast.AST) -> Optional[str]:
+    """The base ``Name`` id of an attribute/subscript chain, else None.
+
+    ``partial.assigned[vm].path`` -> ``"partial"``.
+    """
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """The full dotted form of a Name/Attribute chain, else None.
+
+    ``self.coordinator.admit`` -> ``"self.coordinator.admit"``. Chains
+    interrupted by calls or subscripts return None (the receiver is not
+    a static name).
+    """
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def annotation_names(annotation: Optional[ast.AST]) -> Set[str]:
+    """All ``Name``/``Attribute`` identifiers appearing in an annotation.
+
+    ``Optional[List[Disk]]`` -> ``{"Optional", "List", "Disk"}``. String
+    (forward-reference) annotations contribute the literal text as one
+    entry so type-name matching still works.
+    """
+    if annotation is None:
+        return set()
+    names: Set[str] = set()
+    for node in ast.walk(annotation):
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.add(node.attr)
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            names.add(node.value)
+    return names
+
+
+def all_arguments(func: ast.AST) -> List[ast.arg]:
+    """Every parameter of a function def, in declaration order."""
+    args = func.args
+    params = list(args.posonlyargs) + list(args.args)
+    if args.vararg is not None:
+        params.append(args.vararg)
+    params.extend(args.kwonlyargs)
+    if args.kwarg is not None:
+        params.append(args.kwarg)
+    return params
+
+
+def assignment_targets(node: ast.AST) -> List[ast.AST]:
+    """Store-context target expressions of an assignment-like statement.
+
+    Tuple/list destructuring is flattened, so ``a.x, b.y = ...`` yields
+    both attribute targets. Walrus targets (``x := ...``) are *not*
+    statements and are handled by :func:`walrus_targets`.
+    """
+    if isinstance(node, ast.Assign):
+        raw = list(node.targets)
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        raw = [node.target]
+    elif isinstance(node, ast.Delete):
+        raw = list(node.targets)
+    elif isinstance(node, (ast.For, ast.AsyncFor)):
+        raw = [node.target]
+    else:
+        return []
+    flat: List[ast.AST] = []
+    while raw:
+        target = raw.pop()
+        if isinstance(target, (ast.Tuple, ast.List)):
+            raw.extend(target.elts)
+        elif isinstance(target, ast.Starred):
+            raw.append(target.value)
+        else:
+            flat.append(target)
+    return flat
+
+
+def walrus_targets(node: ast.AST) -> List[ast.Name]:
+    """``Name`` targets of every walrus (``:=``) inside a statement."""
+    return [
+        sub.target
+        for sub in ast.walk(node)
+        if isinstance(sub, ast.NamedExpr)
+        and isinstance(sub.target, ast.Name)
+    ]
+
+
+def bound_names(stmt: ast.AST) -> Set[str]:
+    """Local names a statement (re)binds: assignments, loops, walrus,
+    ``with ... as``, ``except ... as``, and comprehension-free simple
+    bindings. Used by the reaching-definitions pass."""
+    names: Set[str] = set()
+    for target in assignment_targets(stmt):
+        if isinstance(target, ast.Name):
+            names.add(target.id)
+    for target in walrus_targets(stmt):
+        names.add(target.id)
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            if isinstance(item.optional_vars, ast.Name):
+                names.add(item.optional_vars.id)
+    return names
+
+
+#: Statements whose CFG node is a head for a larger construct.
+COMPOUND_NODES = (
+    ast.If,
+    ast.While,
+    ast.For,
+    ast.AsyncFor,
+    ast.With,
+    ast.AsyncWith,
+    ast.Try,
+)
+
+
+def own_expressions(stmt: ast.AST) -> List[ast.expr]:
+    """The expressions a statement *itself* evaluates.
+
+    Compound statements appear in a CFG as a head node whose ``stmt``
+    is the whole construct; their bodies have nodes of their own, so
+    only the head's test/iter/items must be read here (walking the full
+    subtree would double-count).
+    """
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return [item.context_expr for item in stmt.items]
+    if isinstance(stmt, ast.Try):
+        return []
+    if isinstance(stmt, ast.ExceptHandler):
+        return []
+    match_type = getattr(ast, "Match", None)
+    if match_type is not None and isinstance(stmt, match_type):
+        return [stmt.subject]
+    if isinstance(stmt, FUNCTION_NODES) or isinstance(stmt, ast.ClassDef):
+        return []
+    if isinstance(stmt, ast.Return):
+        return [stmt.value] if stmt.value is not None else []
+    if isinstance(stmt, ast.Assign):
+        return [stmt.value]
+    if isinstance(stmt, ast.AugAssign):
+        return [stmt.target, stmt.value]
+    if isinstance(stmt, ast.AnnAssign):
+        return [stmt.value] if stmt.value is not None else []
+    if isinstance(stmt, ast.Expr):
+        return [stmt.value]
+    if isinstance(stmt, ast.Raise):
+        return [e for e in (stmt.exc, stmt.cause) if e is not None]
+    if isinstance(stmt, ast.Assert):
+        return [e for e in (stmt.test, stmt.msg) if e is not None]
+    if isinstance(stmt, (ast.Delete, ast.Pass, ast.Break, ast.Continue)):
+        return []
+    if isinstance(stmt, (ast.Import, ast.ImportFrom, ast.Global, ast.Nonlocal)):
+        return []
+    # fallback: any expression children
+    return [
+        child for child in ast.iter_child_nodes(stmt)
+        if isinstance(child, ast.expr)
+    ]
+
+
+def module_from_path(path: Path) -> Optional[str]:
+    """Infer the dotted module path of a file inside a ``repro`` tree.
+
+    Walks the path components for the *last* ``repro`` directory (the
+    package root under ``src/``) and joins everything from there:
+    ``src/repro/core/greedy.py`` -> ``repro.core.greedy``;
+    ``__init__.py`` maps to its package. Returns None for files outside
+    any ``repro`` tree (rules scoped by module then skip the file).
+    """
+    parts = list(path.parts)
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    try:
+        anchor = len(parts) - 1 - parts[::-1].index("repro")
+    except ValueError:
+        return None
+    dotted = parts[anchor:]
+    if dotted and dotted[-1] == "__init__":
+        dotted = dotted[:-1]
+    return ".".join(dotted) if dotted else None
+
+
+def parse_suppressions(source: str) -> Dict[int, FrozenSet[str]]:
+    """Collect ``# ostrolint: disable`` comments, by line number.
+
+    Uses the tokenizer, so the directive is only honored in real comments
+    -- a string literal containing the text does not suppress anything.
+    """
+    suppressions: Dict[int, FrozenSet[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(token.string)
+            if match is None:
+                continue
+            raw = match.group("codes")
+            if raw is None:
+                codes = _ALL_CODES
+            else:
+                codes = frozenset(
+                    code.strip() for code in raw.split(",") if code.strip()
+                )
+            line = token.start[0]
+            previous = suppressions.get(line, frozenset())
+            suppressions[line] = previous | codes
+    except tokenize.TokenError:  # ostrolint: disable=OST008
+        # Unterminated constructs and the like: the ast parse will produce
+        # the real error; suppressions just stay empty.
+        pass
+    return suppressions

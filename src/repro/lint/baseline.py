@@ -1,0 +1,94 @@
+"""Finding baseline: accepted-debt ledger for ``repro lint``.
+
+A baseline is a checked-in JSON file listing findings the team has
+explicitly accepted; ``repro lint --baseline FILE`` subtracts them from
+the report so CI only fails on *new* findings, and ``--update-baseline``
+rewrites the file from the current tree. Entries are identified by
+``(path, code, message)`` -- deliberately **line-number free**, so
+unrelated edits above a baselined finding do not resurrect it.
+
+The intended steady state of this repo's baseline is *empty*: every
+real finding gets fixed, and the enforce mode exists so a regression
+cannot land quietly. Matching is multiset-aware -- two identical
+findings need two baseline entries -- and stale entries (baselined
+findings that no longer occur) are reported by :func:`compare` so the
+ledger cannot rot.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.lint.diagnostics import Diagnostic
+
+#: Layout version of the baseline payload.
+BASELINE_SCHEMA = 1
+
+#: Default baseline location, relative to the repo root.
+DEFAULT_BASELINE_PATH = ".ostrolint-baseline.json"
+
+#: A baseline entry: (path, code, message).
+Entry = Tuple[str, str, str]
+
+
+def entry_of(diagnostic: Diagnostic) -> Entry:
+    return (diagnostic.path, diagnostic.code, diagnostic.message)
+
+
+def load_baseline(path: Path) -> List[Entry]:
+    """Read a baseline file; raises ValueError on malformed payloads."""
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if (
+        not isinstance(payload, dict)
+        or payload.get("schema") != BASELINE_SCHEMA
+        or not isinstance(payload.get("entries"), list)
+    ):
+        raise ValueError(f"not an ostrolint baseline: {path}")
+    entries: List[Entry] = []
+    for raw in payload["entries"]:
+        entries.append((raw["path"], raw["code"], raw["message"]))
+    return entries
+
+
+def write_baseline(
+    path: Path, diagnostics: Sequence[Diagnostic]
+) -> None:
+    """Write the current findings as the new baseline (sorted, stable)."""
+    entries = sorted(entry_of(d) for d in diagnostics)
+    payload = {
+        "schema": BASELINE_SCHEMA,
+        "entries": [
+            {"path": p, "code": c, "message": m} for p, c, m in entries
+        ],
+    }
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def compare(
+    diagnostics: Sequence[Diagnostic], entries: Sequence[Entry]
+) -> Tuple[List[Diagnostic], List[Entry]]:
+    """Split findings against a baseline.
+
+    Returns ``(new, stale)``: findings not covered by the baseline, and
+    baseline entries no finding matched (candidates for removal).
+    Matching is by multiset, so N identical findings consume N entries.
+    """
+    budget: Dict[Entry, int] = {}
+    for entry in entries:
+        budget[entry] = budget.get(entry, 0) + 1
+    new: List[Diagnostic] = []
+    for diag in sorted(diagnostics, key=Diagnostic.sort_key):
+        key = entry_of(diag)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+        else:
+            new.append(diag)
+    stale: List[Entry] = []
+    for entry in sorted(budget):
+        stale.extend([entry] * budget[entry])
+    return new, stale

@@ -1,0 +1,159 @@
+"""Incremental lint cache: per-file facts keyed by content hash.
+
+A cache entry stores everything the engine derives from one file --
+dotted module, suppression table, post-suppression *file-rule*
+diagnostics, and the serialized :class:`~repro.lint.symbols.ModuleFacts`
+-- keyed by the SHA-256 of the file's bytes. On a warm run, unchanged
+files skip parsing, the per-file rules, and fact extraction entirely;
+only the cross-file fixpoints (cheap: pure dict/set iteration over
+facts) and the project rules re-run, which is what makes warm runs
+near-instant while still being exactly as correct as cold ones -- the
+project pass always sees every file's current facts.
+
+The cache invalidates wholesale when the engine schema
+(:data:`CACHE_SCHEMA`), the registered rule set, or the Python
+major.minor changes; a stale or corrupt cache file is simply ignored.
+Entries are stored under the path string the file was requested as, so
+the reconstructed diagnostics are byte-identical to a cold run's.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.symbols import ModuleFacts
+
+#: Layout version of the cache payload; bump on incompatible changes to
+#: the entry shape or the fact schema.
+CACHE_SCHEMA = 2
+
+#: Default cache location, relative to the working directory.
+DEFAULT_CACHE_PATH = ".ostrolint-cache.json"
+
+
+def content_hash(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def _rules_signature() -> str:
+    from repro.lint.registry import known_codes
+
+    return ",".join(known_codes())
+
+
+def _environment_key() -> str:
+    import sys
+
+    return f"py{sys.version_info[0]}.{sys.version_info[1]}"
+
+
+class LintCache:
+    """Content-hash keyed store of per-file lint facts."""
+
+    def __init__(self, path: Optional[Path] = None):
+        self.path = Path(path) if path is not None else None
+        self.entries: Dict[str, Dict[str, Any]] = {}
+        self.dirty = False
+        if self.path is not None and self.path.exists():
+            self._load()
+
+    def _load(self) -> None:
+        try:
+            payload = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if not isinstance(payload, dict):
+            return
+        if payload.get("schema") != CACHE_SCHEMA:
+            return
+        if payload.get("rules") != _rules_signature():
+            return
+        if payload.get("environment") != _environment_key():
+            return
+        entries = payload.get("entries")
+        if isinstance(entries, dict):
+            self.entries = entries
+
+    def save(self) -> None:
+        """Persist to disk (no-op for in-memory caches or clean runs)."""
+        if self.path is None or not self.dirty:
+            return
+        payload = {
+            "schema": CACHE_SCHEMA,
+            "rules": _rules_signature(),
+            "environment": _environment_key(),
+            "entries": self.entries,
+        }
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        tmp.write_text(
+            json.dumps(payload, sort_keys=True), encoding="utf-8"
+        )
+        tmp.replace(self.path)
+        self.dirty = False
+
+    # -- entries --------------------------------------------------------
+
+    def get(
+        self, key: str, digest: str
+    ) -> Optional[
+        Tuple[
+            Optional[str],
+            Dict[int, frozenset],
+            List[Diagnostic],
+            Optional[ModuleFacts],
+        ]
+    ]:
+        """(module, suppressions, file diagnostics, facts) or None."""
+        entry = self.entries.get(key)
+        if entry is None or entry.get("hash") != digest:
+            return None
+        try:
+            suppressions = {
+                int(line): frozenset(codes)
+                for line, codes in entry["suppressions"].items()
+            }
+            diagnostics = [
+                Diagnostic(**diag) for diag in entry["diagnostics"]
+            ]
+            facts_data = entry["facts"]
+            facts = (
+                ModuleFacts.from_dict(facts_data)
+                if facts_data is not None
+                else None
+            )
+        except (KeyError, TypeError, ValueError):
+            return None
+        return entry.get("module"), suppressions, diagnostics, facts
+
+    def put(
+        self,
+        key: str,
+        digest: str,
+        module: Optional[str],
+        suppressions: Dict[int, frozenset],
+        diagnostics: List[Diagnostic],
+        facts: Optional[ModuleFacts],
+    ) -> None:
+        self.entries[key] = {
+            "hash": digest,
+            "module": module,
+            "suppressions": {
+                str(line): sorted(codes)
+                for line, codes in suppressions.items()
+            },
+            "diagnostics": [diag.to_dict() for diag in diagnostics],
+            "facts": facts.to_dict() if facts is not None else None,
+        }
+        self.dirty = True
+
+    def prune(self, live_keys) -> None:
+        """Drop entries for files no longer in the analyzed set."""
+        live = set(live_keys)
+        stale = [key for key in self.entries if key not in live]
+        for key in stale:
+            del self.entries[key]
+            self.dirty = True

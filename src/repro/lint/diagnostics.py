@@ -105,9 +105,13 @@ def render_json(diagnostics: Sequence[Diagnostic], files_checked: int) -> str:
 def render_report(
     diagnostics: List[Diagnostic], files_checked: int, fmt: str = "text"
 ) -> str:
-    """Render a report in the requested format (``"text"`` or ``"json"``)."""
+    """Render a report: ``"text"``, ``"json"``, or ``"sarif"``."""
     if fmt == "json":
         return render_json(diagnostics, files_checked)
+    if fmt == "sarif":
+        from repro.lint.sarif import render_sarif
+
+        return render_sarif(diagnostics, files_checked)
     if fmt == "text":
         return render_text(diagnostics, files_checked)
     raise ValueError(f"unknown lint output format: {fmt!r}")

@@ -1,10 +1,29 @@
-"""The ostrolint engine: file discovery, parsing, suppressions, dispatch.
+"""The ostrolint engine: discovery, parsing, caching, rule dispatch.
 
 The engine walks the requested paths (skipping non-source trees such as
 ``__pycache__``, VCS metadata, build artifacts, and virtualenvs), parses
-each Python file once, derives its dotted module path (so rules can scope
-themselves to ``repro.core`` / ``repro.datacenter``), collects inline
-suppression comments, and runs every registered rule over the AST.
+each Python file once, derives its dotted module path (so rules can
+scope themselves to ``repro.core`` / ``repro.datacenter``), collects
+inline suppression comments, runs every registered per-file rule over
+the AST, and extracts the file's flow facts
+(:mod:`repro.lint.symbols`). The facts from *every* analyzed file feed
+one :class:`~repro.lint.project.ProjectContext`, against which the
+project-wide rules (OST010-OST012) run once per invocation.
+
+Analysis scope vs report scope
+------------------------------
+
+``lint_paths(paths, analysis_paths=...)`` separates what is *analyzed*
+from what is *reported*: the project pass always needs the whole tree's
+call graph, but ``repro lint --changed`` only wants findings in the
+touched files. Findings -- file-rule and project-rule alike -- are
+reported only for files in ``paths``; ``analysis_paths`` (default: the
+report paths themselves) widens the fact extraction.
+
+With a :class:`~repro.lint.cache.LintCache`, unchanged files (by
+content hash) skip parse/rules/extraction and replay their stored
+diagnostics and facts; the project fixpoints re-run from facts every
+time, so warm results are byte-identical to cold ones.
 
 Suppressions
 ------------
@@ -14,23 +33,39 @@ A finding is suppressed by a comment on the same line::
     t0 = time.perf_counter()  # ostrolint: disable=OST002
 
 Several codes may be listed (``disable=OST002,OST006``); a bare
-``# ostrolint: disable`` suppresses every rule on that line. Suppression
-comments are themselves grep-able, so the self-check test can assert that
-``repro.core`` carries none.
+``# ostrolint: disable`` suppresses every rule on that line.
+Suppression comments are themselves grep-able, so the self-check test
+can assert that ``repro.core`` carries none. Project-rule findings
+honor the suppressions of the file they are reported in.
 """
 
 from __future__ import annotations
 
 import ast
-import io
-import re
-import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
+# Re-exported from astutils for backward compatibility: these lived here
+# before the v2 helper consolidation and are part of the public surface.
+from repro.lint.astutils import (  # noqa: F401
+    module_from_path,
+    parse_suppressions,
+)
+from repro.lint.cache import LintCache, content_hash
 from repro.lint.diagnostics import Diagnostic
-from repro.lint.registry import all_rules
+from repro.lint.project import ProjectContext
+from repro.lint.registry import all_project_rules, all_rules
+from repro.lint.symbols import ModuleFacts, extract_module_facts
 
 #: Directory names never descended into (non-source trees).
 DEFAULT_EXCLUDED_DIRS = frozenset(
@@ -52,18 +87,10 @@ DEFAULT_EXCLUDED_DIRS = frozenset(
     }
 )
 
-#: Suppression-comment grammar: ``# ostrolint: disable[=CODE[,CODE...]]``.
-_SUPPRESS_RE = re.compile(
-    r"#\s*ostrolint:\s*disable(?:=(?P<codes>[A-Z0-9,\s]+))?"
-)
-
-#: Marker meaning "every code is suppressed on this line".
-_ALL_CODES = frozenset({"*"})
-
 
 @dataclass
 class FileContext:
-    """Everything a rule needs to know about one parsed file.
+    """Everything a per-file rule needs to know about one parsed file.
 
     Attributes:
         path: the file path as reported in diagnostics.
@@ -99,58 +126,13 @@ class FileContext:
         return "*" in codes or diagnostic.code in codes
 
 
-def module_from_path(path: Path) -> Optional[str]:
-    """Infer the dotted module path of a file inside a ``repro`` tree.
-
-    Walks the path components for the *last* ``repro`` directory (the
-    package root under ``src/``) and joins everything from there:
-    ``src/repro/core/greedy.py`` -> ``repro.core.greedy``;
-    ``__init__.py`` maps to its package. Returns None for files outside
-    any ``repro`` tree (rules scoped by module then skip the file).
-    """
-    parts = list(path.parts)
-    if parts and parts[-1].endswith(".py"):
-        parts[-1] = parts[-1][: -len(".py")]
-    try:
-        anchor = len(parts) - 1 - parts[::-1].index("repro")
-    except ValueError:
-        return None
-    dotted = parts[anchor:]
-    if dotted and dotted[-1] == "__init__":
-        dotted = dotted[:-1]
-    return ".".join(dotted) if dotted else None
-
-
-def parse_suppressions(source: str) -> Dict[int, FrozenSet[str]]:
-    """Collect ``# ostrolint: disable`` comments, by line number.
-
-    Uses the tokenizer, so the directive is only honored in real comments
-    -- a string literal containing the text does not suppress anything.
-    """
-    suppressions: Dict[int, FrozenSet[str]] = {}
-    try:
-        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
-        for token in tokens:
-            if token.type != tokenize.COMMENT:
-                continue
-            match = _SUPPRESS_RE.search(token.string)
-            if match is None:
-                continue
-            raw = match.group("codes")
-            if raw is None:
-                codes = _ALL_CODES
-            else:
-                codes = frozenset(
-                    code.strip() for code in raw.split(",") if code.strip()
-                )
-            line = token.start[0]
-            previous = suppressions.get(line, frozenset())
-            suppressions[line] = previous | codes
-    except tokenize.TokenError:  # ostrolint: disable=OST008
-        # Unterminated constructs and the like: the ast parse will produce
-        # the real error; suppressions just stay empty.
-        pass
-    return suppressions
+def _suppressed(
+    suppressions: Dict[int, FrozenSet[str]], diagnostic: Diagnostic
+) -> bool:
+    codes = suppressions.get(diagnostic.line)
+    if codes is None:
+        return False
+    return "*" in codes or diagnostic.code in codes
 
 
 def iter_source_files(paths: Iterable[str]) -> Iterator[Path]:
@@ -182,12 +164,73 @@ def iter_source_files(paths: Iterable[str]) -> Iterator[Path]:
                 yield candidate
 
 
+def _analyze_source(
+    source: str, path: str, module: Optional[str]
+) -> Tuple[
+    Dict[int, FrozenSet[str]], List[Diagnostic], Optional[ModuleFacts]
+]:
+    """Parse one source and run the per-file stage.
+
+    Returns (suppressions, post-suppression file-rule diagnostics,
+    facts). A syntax error yields the OST000 diagnostic and no facts.
+    """
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        diagnostic = Diagnostic(
+            path=path,
+            line=exc.lineno or 1,
+            col=(exc.offset or 1),
+            code="OST000",
+            rule="syntax-error",
+            message=f"cannot parse file: {exc.msg}",
+        )
+        return {}, [diagnostic], None
+    suppressions = parse_suppressions(source)
+    ctx = FileContext(
+        path=path,
+        module=module,
+        source=source,
+        tree=tree,
+        suppressions=suppressions,
+    )
+    findings: List[Diagnostic] = []
+    for rule in all_rules():
+        for diagnostic in rule.check(ctx):
+            if not ctx.is_suppressed(diagnostic):
+                findings.append(diagnostic)
+    findings.sort(key=Diagnostic.sort_key)
+    facts = extract_module_facts(tree, path, module)
+    return suppressions, findings, facts
+
+
+def _project_diagnostics(
+    facts_list: List[ModuleFacts],
+    report_paths: FrozenSet[str],
+    suppressions_by_path: Dict[str, Dict[int, FrozenSet[str]]],
+) -> List[Diagnostic]:
+    project = ProjectContext(facts_list)
+    findings: List[Diagnostic] = []
+    for rule in all_project_rules():
+        for diagnostic in rule.check_project(project):
+            if diagnostic.path not in report_paths:
+                continue
+            suppressions = suppressions_by_path.get(diagnostic.path, {})
+            if _suppressed(suppressions, diagnostic):
+                continue
+            findings.append(diagnostic)
+    return findings
+
+
 def lint_source(
     source: str,
     path: str = "<string>",
     module: Optional[str] = None,
 ) -> List[Diagnostic]:
     """Lint one in-memory source string (the fixture-test entry point).
+
+    Runs the per-file rules only; project-wide rules need a multi-file
+    view (:func:`lint_project_sources`).
 
     Args:
         source: Python source text.
@@ -196,51 +239,118 @@ def lint_source(
     """
     if module is None:
         module = module_from_path(Path(path))
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        return [
-            Diagnostic(
-                path=path,
-                line=exc.lineno or 1,
-                col=(exc.offset or 1),
-                code="OST000",
-                rule="syntax-error",
-                message=f"cannot parse file: {exc.msg}",
-            )
-        ]
-    ctx = FileContext(
-        path=path,
-        module=module,
-        source=source,
-        tree=tree,
-        suppressions=parse_suppressions(source),
-    )
+    _, findings, _ = _analyze_source(source, path, module)
+    return findings
+
+
+def lint_project_sources(
+    files: Sequence[Tuple[str, str]],
+    modules: Optional[Dict[str, str]] = None,
+) -> List[Diagnostic]:
+    """Lint in-memory sources as one project (fixture entry point).
+
+    Args:
+        files: ``(path, source)`` pairs; every file is analyzed and
+            reported.
+        modules: optional path -> dotted-module overrides; inferred from
+            each path when absent.
+
+    Runs both the per-file rules and the project-wide rules.
+    """
+    modules = modules or {}
     findings: List[Diagnostic] = []
-    for rule in all_rules():
-        for diagnostic in rule.check(ctx):
-            if not ctx.is_suppressed(diagnostic):
-                findings.append(diagnostic)
+    facts_list: List[ModuleFacts] = []
+    suppressions_by_path: Dict[str, Dict[int, FrozenSet[str]]] = {}
+    for path, source in files:
+        module = modules.get(path)
+        if module is None:
+            module = module_from_path(Path(path))
+        suppressions, file_findings, facts = _analyze_source(
+            source, path, module
+        )
+        suppressions_by_path[path] = suppressions
+        findings.extend(file_findings)
+        if facts is not None:
+            facts_list.append(facts)
+    report_paths = frozenset(path for path, _ in files)
+    findings.extend(
+        _project_diagnostics(
+            facts_list, report_paths, suppressions_by_path
+        )
+    )
     findings.sort(key=Diagnostic.sort_key)
     return findings
 
 
 def lint_file(path: Path) -> List[Diagnostic]:
-    """Lint one file on disk."""
+    """Lint one file on disk (per-file rules only)."""
     source = path.read_text(encoding="utf-8")
     return lint_source(source, path=str(path))
 
 
-def lint_paths(paths: Iterable[str]) -> Tuple[List[Diagnostic], int]:
+def lint_paths(
+    paths: Iterable[str],
+    analysis_paths: Optional[Iterable[str]] = None,
+    cache: Optional[LintCache] = None,
+) -> Tuple[List[Diagnostic], int]:
     """Lint files and directories; returns (diagnostics, files checked).
 
     Directories are walked recursively with the default non-source
-    excludes; explicit file arguments are always linted.
+    excludes; explicit file arguments are always linted. Findings are
+    reported for files under ``paths``; fact extraction (and therefore
+    the project rules' call graph) additionally covers
+    ``analysis_paths`` when given. ``files checked`` counts report-scope
+    files.
     """
+    report_files = list(iter_source_files(paths))
+    report_paths = frozenset(str(p) for p in report_files)
+    if analysis_paths is not None:
+        all_files = list(iter_source_files(analysis_paths))
+        known = {str(p) for p in all_files}
+        all_files.extend(
+            p for p in report_files if str(p) not in known
+        )
+    else:
+        all_files = report_files
+
     findings: List[Diagnostic] = []
-    files_checked = 0
-    for file_path in iter_source_files(paths):
-        files_checked += 1
-        findings.extend(lint_file(file_path))
+    facts_list: List[ModuleFacts] = []
+    suppressions_by_path: Dict[str, Dict[int, FrozenSet[str]]] = {}
+    for file_path in all_files:
+        key = str(file_path)
+        data = file_path.read_bytes()
+        digest = content_hash(data)
+        cached = cache.get(key, digest) if cache is not None else None
+        if cached is not None:
+            _, suppressions, file_findings, facts = cached
+        else:
+            source = data.decode("utf-8")
+            module = module_from_path(file_path)
+            suppressions, file_findings, facts = _analyze_source(
+                source, key, module
+            )
+            if cache is not None:
+                cache.put(
+                    key,
+                    digest,
+                    module,
+                    suppressions,
+                    file_findings,
+                    facts,
+                )
+        suppressions_by_path[key] = suppressions
+        if facts is not None:
+            facts_list.append(facts)
+        if key in report_paths:
+            findings.extend(file_findings)
+
+    findings.extend(
+        _project_diagnostics(
+            facts_list, report_paths, suppressions_by_path
+        )
+    )
+    if cache is not None:
+        cache.prune(str(p) for p in all_files)
+        cache.save()
     findings.sort(key=Diagnostic.sort_key)
-    return findings, files_checked
+    return findings, len(report_files)

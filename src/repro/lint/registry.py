@@ -12,6 +12,7 @@ from typing import TYPE_CHECKING, Dict, Iterable, List, Type
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.lint.engine import FileContext
+    from repro.lint.project import ProjectContext
 
 from repro.lint.diagnostics import Diagnostic
 
@@ -50,6 +51,26 @@ class Rule:
         )
 
 
+class ProjectRule(Rule):
+    """Base class for project-wide (cross-file) rules.
+
+    Runs once per lint invocation against the
+    :class:`~repro.lint.project.ProjectContext` built from every
+    analyzed file's facts, instead of once per file. The per-file
+    :meth:`check` is a no-op so project rules are inert in the
+    single-file fixture path (:func:`repro.lint.engine.lint_source`).
+    """
+
+    def check(self, ctx: "FileContext") -> Iterable[Diagnostic]:
+        return ()
+
+    def check_project(
+        self, project: "ProjectContext"
+    ) -> Iterable[Diagnostic]:
+        """Yield diagnostics for the whole analyzed tree."""
+        raise NotImplementedError
+
+
 _RULES: Dict[str, Rule] = {}
 
 
@@ -70,7 +91,27 @@ def register(rule_class: Type[Rule]) -> Type[Rule]:
 
 
 def all_rules() -> List[Rule]:
-    """Every registered rule, in stable code order."""
+    """Every registered *file* rule, in stable code order."""
+    _load_builtin_rules()
+    return [
+        _RULES[code]
+        for code in sorted(_RULES)
+        if not isinstance(_RULES[code], ProjectRule)
+    ]
+
+
+def all_project_rules() -> List[ProjectRule]:
+    """Every registered project-wide rule, in stable code order."""
+    _load_builtin_rules()
+    return [
+        _RULES[code]
+        for code in sorted(_RULES)
+        if isinstance(_RULES[code], ProjectRule)
+    ]
+
+
+def every_rule() -> List[Rule]:
+    """Every registered rule -- file and project -- in code order."""
     _load_builtin_rules()
     return [_RULES[code] for code in sorted(_RULES)]
 

@@ -8,17 +8,25 @@ avoid an import cycle with the engine.
 from repro.lint.rules import (  # noqa: F401  (imports register the rules)
     caches,
     confinement,
+    crossmodule,
     determinism,
     hygiene,
+    parity,
     robustness,
+    taint,
+    transactions,
     units,
 )
 
 __all__ = [
     "caches",
     "confinement",
+    "crossmodule",
     "determinism",
     "hygiene",
+    "parity",
     "robustness",
+    "taint",
+    "transactions",
     "units",
 ]

@@ -24,7 +24,7 @@ from typing import TYPE_CHECKING, Iterable, Iterator, List, Set, Tuple
 
 from repro.lint.diagnostics import Diagnostic
 from repro.lint.registry import Rule, register
-from repro.lint.rules.common import MUTATOR_METHODS, assignment_targets
+from repro.lint.astutils import MUTATOR_METHODS, assignment_targets
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.lint.engine import FileContext

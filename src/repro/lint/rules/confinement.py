@@ -23,7 +23,7 @@ from typing import TYPE_CHECKING, FrozenSet, Iterator, List, Set
 
 from repro.lint.diagnostics import Diagnostic
 from repro.lint.registry import Rule, register
-from repro.lint.rules.common import (
+from repro.lint.astutils import (
     MUTATOR_METHODS,
     all_arguments,
     annotation_names,

@@ -17,7 +17,7 @@ from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, Iterator, Tuple
 
 from repro.lint.diagnostics import Diagnostic
 from repro.lint.registry import Rule, register
-from repro.lint.rules.common import walk_scoped
+from repro.lint.astutils import walk_scoped
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.lint.engine import FileContext

@@ -1,0 +1,111 @@
+"""Determinism-taint rule: OST010.
+
+OST001/OST002 police *local* use of RNG and clocks inside the
+deterministic packages. OST010 closes the composition gap: a wall-clock
+or RNG value produced anywhere in the project must never *reach
+fingerprinted code* -- the ``rows_fingerprint``/``placement_fingerprint``
+hashes the bench gates diff across runs, and telemetry event payloads
+(the decision trajectory), however many helper calls it is laundered
+through.
+
+The analysis is the project taint machinery of
+:mod:`repro.lint.project`: per-function flow-sensitive taint summaries
+(:mod:`repro.lint.symbols`), a tainted-return fixpoint over the call
+graph, and a sink-parameter fixpoint so that passing a tainted value
+into a helper that forwards it to a sink is reported at the call site
+that introduced the value. Values flowing into the documented volatile
+event keys (``elapsed_s``, ``seconds``, ...) are exempt: the replay and
+fingerprint tooling excludes those keys, which is also why taint does
+not cross object construction (``rows_fingerprint`` strips
+``runtime_s`` itself).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.lint.registry import ProjectRule, register
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.lint.project import ProjectContext
+
+from repro.lint.diagnostics import Diagnostic
+
+
+@register
+class DeterminismTaintRule(ProjectRule):
+    """OST010: no RNG/clock value may reach fingerprinted code."""
+
+    code = "OST010"
+    name = "determinism-taint"
+    summary = (
+        "wall-clock/RNG values must not reach fingerprints or "
+        "non-volatile telemetry payloads, through any call chain"
+    )
+
+    def check_project(
+        self, project: "ProjectContext"
+    ) -> Iterator[Diagnostic]:
+        sink_params = project.sink_params()
+        for ref in sorted(project.functions):
+            fn = project.functions[ref]
+            path = project.path_of(ref)
+            # direct / return-tainted values hitting a sink in this body
+            for sink in fn.sinks:
+                sources = project.taint_sources(fn, sink.taint)
+                if sources:
+                    yield Diagnostic(
+                        path=path,
+                        line=sink.line,
+                        col=sink.col,
+                        code=self.code,
+                        rule=self.name,
+                        message=(
+                            f"non-deterministic value from "
+                            f"{', '.join(sources[:3])} reaches "
+                            f"determinism sink '{sink.sink}' in "
+                            f"{fn.qualname}; fingerprinted data must be "
+                            "reproducible from the seed"
+                        ),
+                    )
+            # tainted arguments handed to a helper that sinks them
+            for site in fn.calls:
+                candidates = project.resolve(site)
+                if not candidates:
+                    continue
+                for arg_key, arg_taint in sorted(site.arg_taints.items()):
+                    sources = project.taint_sources(fn, arg_taint)
+                    if not sources:
+                        continue
+                    if all(
+                        self._param_sinks(
+                            project, sink_params, candidate, site, arg_key
+                        )
+                        for candidate in candidates
+                    ):
+                        yield Diagnostic(
+                            path=path,
+                            line=site.line,
+                            col=site.col,
+                            code=self.code,
+                            rule=self.name,
+                            message=(
+                                f"non-deterministic value from "
+                                f"{', '.join(sources[:3])} is passed to "
+                                f"'{site.name}' (argument {arg_key}), "
+                                "which forwards it into a determinism "
+                                "sink"
+                            ),
+                        )
+
+    @staticmethod
+    def _param_sinks(
+        project: "ProjectContext",
+        sink_params,
+        candidate: str,
+        site,
+        arg_key: str,
+    ) -> bool:
+        callee = project.functions[candidate]
+        mapped = project.param_index(callee, site, arg_key)
+        return mapped is not None and mapped in sink_params[candidate]

@@ -25,7 +25,7 @@ from typing import TYPE_CHECKING, Iterator, Optional, Tuple
 
 from repro.lint.diagnostics import Diagnostic
 from repro.lint.registry import Rule, register
-from repro.lint.rules.common import all_arguments, annotation_names
+from repro.lint.astutils import all_arguments, annotation_names
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.lint.engine import FileContext

@@ -1,0 +1,94 @@
+"""SARIF 2.1.0 output for ostrolint (``repro lint --format sarif``).
+
+SARIF (Static Analysis Results Interchange Format) is the report format
+code-scanning UIs ingest -- GitHub's security tab, VS Code's SARIF
+viewer. One run, one driver (``ostrolint``), every registered rule
+listed in the driver's rule table so viewers can show the catalogue even
+for clean runs, and one result per diagnostic pointing at the file,
+line, and column.
+
+The rendering is byte-stable for a given tree: rules are listed in code
+order, results in the engine's (path, line, col, code) order, and the
+JSON is serialized with sorted keys and fixed indentation -- the same
+guarantee the ``--format json`` schema gives, which the golden test
+locks in.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.registry import every_rule
+
+#: SARIF specification version emitted.
+SARIF_VERSION = "2.1.0"
+
+_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def render_sarif(
+    diagnostics: Sequence[Diagnostic], files_checked: int
+) -> str:
+    """Render diagnostics as a SARIF 2.1.0 log (byte-stable)."""
+    from repro import __version__
+
+    rules = every_rule()
+    rule_index = {rule.code: i for i, rule in enumerate(rules)}
+    ordered = sorted(diagnostics, key=Diagnostic.sort_key)
+    results: List[Dict[str, Any]] = []
+    for diag in ordered:
+        result: Dict[str, Any] = {
+            "ruleId": diag.code,
+            "level": "error",
+            "message": {"text": diag.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": diag.path.replace("\\", "/"),
+                        },
+                        "region": {
+                            "startLine": diag.line,
+                            "startColumn": diag.col,
+                        },
+                    }
+                }
+            ],
+        }
+        # OST000 (syntax error) has no registered rule entry
+        if diag.code in rule_index:
+            result["ruleIndex"] = rule_index[diag.code]
+        results.append(result)
+    payload = {
+        "$schema": _SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "ostrolint",
+                        "version": __version__,
+                        "rules": [
+                            {
+                                "id": rule.code,
+                                "name": rule.name,
+                                "shortDescription": {
+                                    "text": rule.summary
+                                },
+                            }
+                            for rule in rules
+                        ],
+                    }
+                },
+                "columnKind": "unicodeCodePoints",
+                "properties": {"filesChecked": files_checked},
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

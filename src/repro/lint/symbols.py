@@ -1,0 +1,999 @@
+"""Per-file fact extraction for the project-wide lint analysis.
+
+One parse of a file yields a :class:`ModuleFacts`: every function and
+method (at any nesting depth) with its call sites, determinism-taint
+summary, sink uses, resource writes, metric-name literals, constructor
+kwargs, and attribute reads, plus the module's import map and class
+declarations. The facts are plain-data (JSON round-trippable) so the
+incremental cache can persist them per content hash; everything
+cross-file -- call resolution, taint fixpoints, writer propagation,
+parity comparison -- happens later in :mod:`repro.lint.project` from
+facts alone, never from the AST.
+
+Taint model
+-----------
+
+A value is *taint-local* when it (transitively, through local
+assignments) contains a call to a non-deterministic source: ``time.*``
+clocks, ``datetime``/``date`` constructors that read the clock,
+module-level ``random.*``, ``uuid.uuid1/uuid4``, ``os.urandom``,
+``secrets.*``. Taint is tracked flow-sensitively inside a function with
+the CFG's reaching definitions; at function boundaries the summary keeps
+symbolic dependencies -- call sites whose *return value* feeds the
+expression and parameter indices that feed it -- which the project pass
+resolves interprocedurally. Taint deliberately does **not** cross object
+construction (``MeasurementRow(runtime_s=...)`` does not taint the row:
+``rows_fingerprint`` strips the volatile field before hashing) and does
+not track control dependence (a branch on the clock is OST002's
+business, not OST010's).
+
+Sinks are the fingerprint functions (:data:`SINK_FUNCTIONS`) and
+telemetry event payload values, except the documented volatile keys
+(:data:`VOLATILE_EVENT_KEYS`) that the determinism gates already exclude
+from comparison.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.astutils import (
+    COMPOUND_NODES,
+    FUNCTION_NODES,
+    MUTATOR_METHODS,
+    assignment_targets,
+    dotted_name,
+    own_expressions,
+)
+from repro.lint.cfg import CFG
+from repro.lint.rules.confinement import RESOURCE_FIELDS
+from repro.lint.rules.determinism import (
+    CLOCK_FUNCTIONS,
+    DATETIME_CLOCK_METHODS,
+    SEEDED_RANDOM_FACTORIES,
+)
+
+#: Functions whose arguments are determinism sinks: their output is
+#: diffed bit-for-bit across runs by the bench/parallel gates.
+SINK_FUNCTIONS = frozenset({"rows_fingerprint", "placement_fingerprint"})
+
+#: Event payload keys documented as volatile (wall-clock durations and
+#: timestamps); the replay/fingerprint tooling excludes them, so tainted
+#: values may flow into them. Everything else in an event payload is
+#: part of the decision trajectory.
+VOLATILE_EVENT_KEYS = frozenset(
+    {
+        "elapsed_s",
+        "remaining_s",
+        "duration_s",
+        "runtime_s",
+        "wall_s",
+        "waited_s",
+        "latency_s",
+        "seconds",
+        "ts",
+    }
+)
+
+#: Event *types* whose entire payload is volatile by design: diagnostics
+#: of the wall-clock-adaptive DBA* deadline controller (the paper's
+#: deadline-based pruning adapts to real elapsed time, so every value in
+#: a ``deadline_tick`` -- pruning range, affordable paths -- is
+#: machine-dependent). The replay/fingerprint tooling excludes these
+#: events wholesale; OST010 must not demand determinism of them.
+VOLATILE_EVENT_TYPES = frozenset({"deadline_tick"})
+
+#: Recorder methods whose first string argument is a metric/event name.
+METRIC_CALL_ATTRS = frozenset({"inc", "observe", "event", "set_gauge"})
+
+_UUID_SOURCES = frozenset({"uuid.uuid1", "uuid.uuid4"})
+
+
+def source_name(full: str) -> Optional[str]:
+    """The source description when ``full`` (a resolved dotted call
+    target) is a non-deterministic source, else None."""
+    parts = full.split(".")
+    last = parts[-1]
+    if len(parts) == 2 and parts[0] == "time" and last in CLOCK_FUNCTIONS:
+        return full
+    if last in DATETIME_CLOCK_METHODS and (
+        "datetime" in parts[:-1] or "date" in parts[:-1]
+    ):
+        return full
+    if (
+        len(parts) == 2
+        and parts[0] == "random"
+        and last not in SEEDED_RANDOM_FACTORIES
+    ):
+        return full
+    if full in _UUID_SOURCES or full == "os.urandom":
+        return full
+    if parts[0] == "secrets" and len(parts) > 1:
+        return full
+    return None
+
+
+# ----------------------------------------------------------------------
+# plain-data facts
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TaintValue:
+    """Symbolic taint of one expression.
+
+    Attributes:
+        sources: non-deterministic sources reached locally.
+        calls: indices (into the function's call-site list) whose return
+            value feeds the expression.
+        params: indices of the enclosing function's parameters feeding it.
+        elems: ``(call index, tuple element)`` pairs -- the expression
+            depends on one *element* of a call's returned tuple
+            (``result, wall = _run_once(...)``). Element deps resolve
+            against the callee's ``ret_elements``, so a timing wrapper
+            returning ``(value, wall)`` does not taint ``value``.
+    """
+
+    sources: Tuple[str, ...] = ()
+    calls: Tuple[int, ...] = ()
+    params: Tuple[int, ...] = ()
+    elems: Tuple[Tuple[int, int], ...] = ()
+
+    def is_empty(self) -> bool:
+        return not (self.sources or self.calls or self.params or self.elems)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "sources": list(self.sources),
+            "calls": list(self.calls),
+            "params": list(self.params),
+            "elems": [list(pair) for pair in self.elems],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TaintValue":
+        return cls(
+            sources=tuple(data["sources"]),
+            calls=tuple(data["calls"]),
+            params=tuple(data["params"]),
+            elems=tuple(
+                (pair[0], pair[1]) for pair in data.get("elems", ())
+            ),
+        )
+
+
+EMPTY_TAINT = TaintValue()
+
+
+def _union_taints(values: Sequence[TaintValue]) -> TaintValue:
+    sources: Set[str] = set()
+    calls: Set[int] = set()
+    params: Set[int] = set()
+    elems: Set[Tuple[int, int]] = set()
+    for value in values:
+        sources.update(value.sources)
+        calls.update(value.calls)
+        params.update(value.params)
+        elems.update(value.elems)
+    if not (sources or calls or params or elems):
+        return EMPTY_TAINT
+    return TaintValue(
+        sources=tuple(sorted(sources)),
+        calls=tuple(sorted(calls)),
+        params=tuple(sorted(params)),
+        elems=tuple(sorted(elems)),
+    )
+
+
+@dataclass
+class CallSite:
+    """One call expression inside a function.
+
+    ``name`` is the call target after import-map resolution: a full
+    dotted path (``"time.perf_counter"``, ``"repro.sim.metrics.
+    rows_fingerprint"``) when the receiver chain is static, else the
+    bare attribute/function name. ``resolved`` is a ``"module:qualname"``
+    funcref when the target was pinned at extraction time (same-module
+    functions, ``self`` methods); otherwise the project pass resolves by
+    name. ``arg_taints`` maps positional index (as str) or keyword name
+    to the non-empty taint of that argument.
+    """
+
+    index: int
+    line: int
+    col: int
+    kind: str  # "name" | "attr"
+    name: str
+    attr: Optional[str]
+    resolved: Optional[str]
+    arg_taints: Dict[str, TaintValue] = field(default_factory=dict)
+    keywords: Tuple[str, ...] = ()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "line": self.line,
+            "col": self.col,
+            "kind": self.kind,
+            "name": self.name,
+            "attr": self.attr,
+            "resolved": self.resolved,
+            "arg_taints": {
+                key: taint.to_dict()
+                for key, taint in sorted(self.arg_taints.items())
+            },
+            "keywords": list(self.keywords),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CallSite":
+        return cls(
+            index=data["index"],
+            line=data["line"],
+            col=data["col"],
+            kind=data["kind"],
+            name=data["name"],
+            attr=data["attr"],
+            resolved=data["resolved"],
+            arg_taints={
+                key: TaintValue.from_dict(value)
+                for key, value in data["arg_taints"].items()
+            },
+            keywords=tuple(data["keywords"]),
+        )
+
+
+@dataclass
+class SinkUse:
+    """A value flowing into a determinism sink inside one function."""
+
+    sink: str  # "rows_fingerprint" | "event:<key>" | ...
+    line: int
+    col: int
+    taint: TaintValue
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "sink": self.sink,
+            "line": self.line,
+            "col": self.col,
+            "taint": self.taint.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SinkUse":
+        return cls(
+            sink=data["sink"],
+            line=data["line"],
+            col=data["col"],
+            taint=TaintValue.from_dict(data["taint"]),
+        )
+
+
+@dataclass
+class FunctionFacts:
+    """Flow summary of one function or method."""
+
+    qualname: str
+    module: str
+    lineno: int
+    params: Tuple[str, ...]
+    calls: List[CallSite] = field(default_factory=list)
+    ret: TaintValue = EMPTY_TAINT
+    #: Per-element return taints when every value-bearing ``return`` is a
+    #: tuple literal of one arity; None otherwise. Lets callers that
+    #: destructure the result keep element precision.
+    ret_elements: Optional[Tuple[TaintValue, ...]] = None
+    sinks: List[SinkUse] = field(default_factory=list)
+    writes: List[Tuple[str, int, int]] = field(default_factory=list)
+    metrics: Tuple[str, ...] = ()
+    ctor_kwargs: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    attr_reads: Tuple[str, ...] = ()
+
+    @property
+    def funcref(self) -> str:
+        return f"{self.module}:{self.qualname}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "qualname": self.qualname,
+            "module": self.module,
+            "lineno": self.lineno,
+            "params": list(self.params),
+            "calls": [c.to_dict() for c in self.calls],
+            "ret": self.ret.to_dict(),
+            "ret_elements": (
+                [t.to_dict() for t in self.ret_elements]
+                if self.ret_elements is not None
+                else None
+            ),
+            "sinks": [s.to_dict() for s in self.sinks],
+            "writes": [list(w) for w in self.writes],
+            "metrics": list(self.metrics),
+            "ctor_kwargs": {
+                name: list(kwargs)
+                for name, kwargs in sorted(self.ctor_kwargs.items())
+            },
+            "attr_reads": list(self.attr_reads),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FunctionFacts":
+        return cls(
+            qualname=data["qualname"],
+            module=data["module"],
+            lineno=data["lineno"],
+            params=tuple(data["params"]),
+            calls=[CallSite.from_dict(c) for c in data["calls"]],
+            ret=TaintValue.from_dict(data["ret"]),
+            ret_elements=(
+                tuple(
+                    TaintValue.from_dict(t)
+                    for t in data["ret_elements"]
+                )
+                if data.get("ret_elements") is not None
+                else None
+            ),
+            sinks=[SinkUse.from_dict(s) for s in data["sinks"]],
+            writes=[
+                (w[0], w[1], w[2]) for w in data["writes"]
+            ],
+            metrics=tuple(data["metrics"]),
+            ctor_kwargs={
+                name: tuple(kwargs)
+                for name, kwargs in data["ctor_kwargs"].items()
+            },
+            attr_reads=tuple(data["attr_reads"]),
+        )
+
+
+@dataclass
+class ClassFacts:
+    """Declared fields (annotated class-body names) and method names."""
+
+    qualname: str
+    fields: Tuple[str, ...] = ()
+    methods: Tuple[str, ...] = ()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "qualname": self.qualname,
+            "fields": list(self.fields),
+            "methods": list(self.methods),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ClassFacts":
+        return cls(
+            qualname=data["qualname"],
+            fields=tuple(data["fields"]),
+            methods=tuple(data["methods"]),
+        )
+
+
+@dataclass
+class ModuleFacts:
+    """Everything the project pass needs to know about one file."""
+
+    module: str
+    path: str
+    imports: Dict[str, str] = field(default_factory=dict)
+    functions: Dict[str, FunctionFacts] = field(default_factory=dict)
+    classes: Dict[str, ClassFacts] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "module": self.module,
+            "path": self.path,
+            "imports": dict(sorted(self.imports.items())),
+            "functions": {
+                name: fn.to_dict()
+                for name, fn in sorted(self.functions.items())
+            },
+            "classes": {
+                name: cl.to_dict()
+                for name, cl in sorted(self.classes.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ModuleFacts":
+        return cls(
+            module=data["module"],
+            path=data["path"],
+            imports=dict(data["imports"]),
+            functions={
+                name: FunctionFacts.from_dict(fn)
+                for name, fn in data["functions"].items()
+            },
+            classes={
+                name: ClassFacts.from_dict(cl)
+                for name, cl in data["classes"].items()
+            },
+        )
+
+
+# ----------------------------------------------------------------------
+# statement anatomy helpers
+# ----------------------------------------------------------------------
+
+_COMPOUND_NODES = COMPOUND_NODES
+
+
+def _node_bound_names(stmt: ast.AST) -> Set[str]:
+    """Names a CFG node binds -- like astutils.bound_names, but scoped to
+    the node's own expressions for compound heads, plus handler names."""
+    names: Set[str] = set()
+    if isinstance(stmt, ast.ExceptHandler):
+        if stmt.name:
+            names.add(stmt.name)
+        return names
+    for target in assignment_targets(stmt):
+        if isinstance(target, ast.Name):
+            names.add(target.id)
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            if isinstance(item.optional_vars, ast.Name):
+                names.add(item.optional_vars.id)
+    for expr in own_expressions(stmt):
+        for sub in ast.walk(expr):
+            if isinstance(sub, ast.NamedExpr) and isinstance(
+                sub.target, ast.Name
+            ):
+                names.add(sub.target.id)
+    if isinstance(stmt, FUNCTION_NODES) or isinstance(stmt, ast.ClassDef):
+        names.add(stmt.name)
+    return names
+
+
+# ----------------------------------------------------------------------
+# import map
+# ----------------------------------------------------------------------
+
+
+def build_import_map(tree: ast.Module, module: Optional[str]) -> Dict[str, str]:
+    """Alias -> dotted target for every top-of-module import.
+
+    ``import time`` -> ``{"time": "time"}``; ``import repro.obs as obs``
+    -> ``{"obs": "repro.obs"}``; ``from repro.sim.metrics import
+    rows_fingerprint`` -> ``{"rows_fingerprint":
+    "repro.sim.metrics.rows_fingerprint"}``. Relative imports resolve
+    against ``module``.
+    """
+    imports: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    imports[alias.asname] = alias.name
+                else:
+                    imports[alias.name.split(".")[0]] = alias.name.split(".")[0]
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            if node.level and module:
+                package_parts = module.split(".")
+                # level 1 = the containing package of this module
+                anchor = package_parts[: len(package_parts) - node.level]
+                base = ".".join(anchor + ([base] if base else []))
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name
+                imports[bound] = f"{base}.{alias.name}" if base else alias.name
+    return imports
+
+
+# ----------------------------------------------------------------------
+# extraction
+# ----------------------------------------------------------------------
+
+
+def extract_module_facts(
+    tree: ast.Module, path: str, module: Optional[str]
+) -> ModuleFacts:
+    """Extract the flow facts of one parsed file."""
+    mod = module or ""
+    facts = ModuleFacts(module=mod, path=path)
+    facts.imports = build_import_map(tree, module)
+
+    local_functions: Set[str] = {
+        node.name for node in tree.body if isinstance(node, FUNCTION_NODES)
+    }
+
+    def visit(
+        body: Sequence[ast.stmt], scope: Tuple[str, ...], in_class: bool
+    ) -> None:
+        for node in body:
+            if isinstance(node, ast.ClassDef):
+                qualname = ".".join(scope + (node.name,))
+                fields = tuple(
+                    stmt.target.id
+                    for stmt in node.body
+                    if isinstance(stmt, ast.AnnAssign)
+                    and isinstance(stmt.target, ast.Name)
+                )
+                methods = tuple(
+                    stmt.name
+                    for stmt in node.body
+                    if isinstance(stmt, FUNCTION_NODES)
+                )
+                facts.classes[qualname] = ClassFacts(
+                    qualname=qualname, fields=fields, methods=methods
+                )
+                visit(node.body, scope + (node.name,), True)
+            elif isinstance(node, FUNCTION_NODES):
+                qualname = ".".join(scope + (node.name,))
+                facts.functions[qualname] = _extract_function(
+                    node,
+                    qualname,
+                    facts,
+                    local_functions,
+                    enclosing_class=scope[-1] if in_class and scope else None,
+                )
+                visit(node.body, scope + (node.name,), False)
+
+    visit(tree.body, (), False)
+    return facts
+
+
+class _FunctionExtractor:
+    """Runs the intraprocedural taint analysis over one function."""
+
+    def __init__(
+        self,
+        func: ast.AST,
+        qualname: str,
+        module_facts: ModuleFacts,
+        local_functions: Set[str],
+        enclosing_class: Optional[str],
+    ):
+        self.func = func
+        self.qualname = qualname
+        self.module_facts = module_facts
+        self.local_functions = local_functions
+        self.enclosing_class = enclosing_class
+        args = func.args
+        params = [a.arg for a in args.posonlyargs] + [a.arg for a in args.args]
+        if args.vararg:
+            params.append(args.vararg.arg)
+        params.extend(a.arg for a in args.kwonlyargs)
+        if args.kwarg:
+            params.append(args.kwarg.arg)
+        self.params = params
+        self.param_index = {name: i for i, name in enumerate(params)}
+        self.cfg = CFG.for_function(func)
+        self.envs = self.cfg.reaching_definitions()
+        #: per defining node: taint of each name it binds (kept per name
+        #: so tuple destructuring can split a call result element-wise)
+        self.def_taint: Dict[int, Dict[str, TaintValue]] = {}
+        self.facts = FunctionFacts(
+            qualname=qualname,
+            module=module_facts.module,
+            lineno=func.lineno,
+            params=tuple(params),
+        )
+        self._call_ids: Dict[int, int] = {}  # id(Call node) -> call index
+
+    # -- taint evaluation ----------------------------------------------
+
+    def _call_index(self, node: ast.Call) -> int:
+        key = id(node)
+        index = self._call_ids.get(key)
+        if index is None:
+            index = len(self._call_ids)
+            self._call_ids[key] = index
+        return index
+
+    def _resolve_dotted(self, func_expr: ast.expr) -> Tuple[str, Optional[str]]:
+        """(resolved dotted name, funcref-or-None) of a call target."""
+        imports = self.module_facts.imports
+        if isinstance(func_expr, ast.Name):
+            name = func_expr.id
+            if name in self.local_functions:
+                return name, f"{self.module_facts.module}:{name}"
+            target = imports.get(name)
+            return (target if target else name), None
+        dotted = dotted_name(func_expr)
+        if dotted is None:
+            attr = (
+                func_expr.attr
+                if isinstance(func_expr, ast.Attribute)
+                else "<dynamic>"
+            )
+            return attr, None
+        parts = dotted.split(".")
+        if parts[0] in ("self", "cls") and len(parts) == 2:
+            if self.enclosing_class:
+                funcref = (
+                    f"{self.module_facts.module}:"
+                    f"{self.enclosing_class}.{parts[1]}"
+                )
+                return dotted, funcref
+            return dotted, None
+        target = imports.get(parts[0])
+        if target:
+            return ".".join([target] + parts[1:]), None
+        return dotted, None
+
+    def eval_expr(self, expr: ast.expr, env: Dict[str, Set[int]]) -> TaintValue:
+        """Symbolic taint of an expression under a reaching-defs env."""
+        sources: Set[str] = set()
+        calls: Set[int] = set()
+        params: Set[int] = set()
+        elems: Set[Tuple[int, int]] = set()
+
+        def walk(node: ast.AST) -> None:
+            if isinstance(node, ast.Call):
+                dotted, _ = self._resolve_dotted(node.func)
+                source = source_name(dotted)
+                if source is not None:
+                    sources.add(source)
+                else:
+                    calls.add(self._call_index(node))
+                # The call result's taint comes from the callee summary;
+                # arguments do not taint the result here (the project
+                # pass routes param-to-return flows). Still walk args so
+                # nested source calls are found.
+                for child in ast.iter_child_nodes(node):
+                    if child is not node.func:
+                        walk(child)
+                return
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                for site in env.get(node.id, ()):
+                    site_taints = self.def_taint.get(site)
+                    taint = (
+                        site_taints.get(node.id)
+                        if site_taints is not None
+                        else None
+                    )
+                    if taint is not None:
+                        sources.update(taint.sources)
+                        calls.update(taint.calls)
+                        params.update(taint.params)
+                        elems.update(taint.elems)
+                # self/cls never carry taint: object state is a taint
+                # boundary (attribute stores are not tracked).
+                if node.id not in ("self", "cls"):
+                    index = self.param_index.get(node.id)
+                    if index is not None:
+                        params.add(index)
+                return
+            if isinstance(node, (ast.Lambda,)) or isinstance(
+                node, FUNCTION_NODES
+            ):
+                return
+            for child in ast.iter_child_nodes(node):
+                walk(child)
+
+        walk(expr)
+        if not (sources or calls or params or elems):
+            return EMPTY_TAINT
+        return TaintValue(
+            sources=tuple(sorted(sources)),
+            calls=tuple(sorted(calls)),
+            params=tuple(sorted(params)),
+            elems=tuple(sorted(elems)),
+        )
+
+    def _merged_taint(
+        self, stmt: ast.AST, env: Dict[str, Set[int]]
+    ) -> TaintValue:
+        return _union_taints(
+            [self.eval_expr(expr, env) for expr in own_expressions(stmt)]
+        )
+
+    def _destructured_taints(
+        self, stmt: ast.AST, env: Dict[str, Set[int]]
+    ) -> Optional[Dict[str, TaintValue]]:
+        """Element-wise taints of ``a, b = <tuple literal | call>``.
+
+        Destructuring a call keeps the element symbolic -- ``(call, i)``
+        in :attr:`TaintValue.elems` -- so a timing wrapper's ``(value,
+        wall)`` result does not taint ``value``. Anything else returns
+        None and falls back to the merged binding.
+        """
+        if not (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1):
+            return None
+        target = stmt.targets[0]
+        if not isinstance(target, (ast.Tuple, ast.List)):
+            return None
+        if not all(isinstance(elt, ast.Name) for elt in target.elts):
+            return None
+        names = [elt.id for elt in target.elts]
+        value = stmt.value
+        if isinstance(value, (ast.Tuple, ast.List)) and len(
+            value.elts
+        ) == len(names):
+            return {
+                name: self.eval_expr(elt, env)
+                for name, elt in zip(names, value.elts)
+            }
+        if isinstance(value, ast.Call):
+            dotted, _ = self._resolve_dotted(value.func)
+            if source_name(dotted) is not None:
+                return None
+            call_index = self._call_index(value)
+            base = self.eval_expr(value, env)
+            residual_calls = tuple(
+                c for c in base.calls if c != call_index
+            )
+            return {
+                name: TaintValue(
+                    sources=base.sources,
+                    calls=residual_calls,
+                    params=base.params,
+                    elems=tuple(
+                        sorted(set(base.elems) | {(call_index, i)})
+                    ),
+                )
+                for i, name in enumerate(names)
+            }
+        return None
+
+    def _bind_taints(
+        self,
+        stmt: ast.AST,
+        names: Set[str],
+        env: Dict[str, Set[int]],
+    ) -> Dict[str, TaintValue]:
+        """Taint of each name a node binds (element-precise when it can)."""
+        special = self._destructured_taints(stmt, env)
+        if special is not None:
+            merged: Optional[TaintValue] = None
+            out: Dict[str, TaintValue] = {}
+            for name in names:
+                if name in special:
+                    out[name] = special[name]
+                else:
+                    if merged is None:
+                        merged = self._merged_taint(stmt, env)
+                    out[name] = merged
+            return out
+        merged = self._merged_taint(stmt, env)
+        return {name: merged for name in names}
+
+    def run(self) -> FunctionFacts:
+        stmt_nodes = list(self.cfg.statement_nodes())
+
+        # 1. fixpoint over definition-site taints (loops feed back)
+        changed = True
+        while changed:
+            changed = False
+            for node in stmt_nodes:
+                stmt = node.stmt
+                names = _node_bound_names(stmt)
+                if not names:
+                    continue
+                env = self.envs[node.index]
+                per_name = self._bind_taints(stmt, names, env)
+                if self.def_taint.get(node.index) != per_name:
+                    self.def_taint[node.index] = per_name
+                    changed = True
+
+        # 2. final pass: call sites, sinks, returns, writes, metrics
+        ret_sources: Set[str] = set()
+        ret_calls: Set[int] = set()
+        ret_params: Set[int] = set()
+        ret_elems: Set[Tuple[int, int]] = set()
+        ret_tuples: List[List[TaintValue]] = []
+        tuple_returns_only = True
+        calls_by_index: Dict[int, CallSite] = {}
+        for node in stmt_nodes:
+            stmt = node.stmt
+            env = self.envs[node.index]
+            for expr in own_expressions(stmt):
+                for sub in ast.walk(expr):
+                    if isinstance(sub, ast.Call):
+                        site = self._extract_call(sub, env)
+                        calls_by_index[site.index] = site
+            if isinstance(stmt, ast.Return) and stmt.value is not None:
+                value = self.eval_expr(stmt.value, env)
+                ret_sources.update(value.sources)
+                ret_calls.update(value.calls)
+                ret_params.update(value.params)
+                ret_elems.update(value.elems)
+                if isinstance(stmt.value, ast.Tuple):
+                    ret_tuples.append(
+                        [
+                            self.eval_expr(elt, env)
+                            for elt in stmt.value.elts
+                        ]
+                    )
+                else:
+                    tuple_returns_only = False
+            self._extract_writes(stmt)
+
+        self.facts.calls = [
+            calls_by_index[i] for i in sorted(calls_by_index)
+        ]
+        if ret_sources or ret_calls or ret_params or ret_elems:
+            self.facts.ret = TaintValue(
+                tuple(sorted(ret_sources)),
+                tuple(sorted(ret_calls)),
+                tuple(sorted(ret_params)),
+                tuple(sorted(ret_elems)),
+            )
+        if (
+            tuple_returns_only
+            and ret_tuples
+            and len({len(t) for t in ret_tuples}) == 1
+        ):
+            self.facts.ret_elements = tuple(
+                _union_taints([t[i] for t in ret_tuples])
+                for i in range(len(ret_tuples[0]))
+            )
+        own_nodes = self._own_nodes()
+        self.facts.metrics = tuple(sorted(set(self._metric_names(own_nodes))))
+        self.facts.attr_reads = tuple(
+            sorted(
+                {
+                    node.attr
+                    for node in own_nodes
+                    if isinstance(node, ast.Attribute)
+                    and isinstance(node.ctx, ast.Load)
+                }
+            )
+        )
+        return self.facts
+
+    def _extract_call(
+        self, node: ast.Call, env: Dict[str, Set[int]]
+    ) -> CallSite:
+        dotted, funcref = self._resolve_dotted(node.func)
+        kind = "name" if isinstance(node.func, ast.Name) else "attr"
+        attr = (
+            node.func.attr if isinstance(node.func, ast.Attribute) else None
+        )
+        arg_taints: Dict[str, TaintValue] = {}
+        for position, arg in enumerate(node.args):
+            if isinstance(arg, ast.Starred):
+                continue
+            taint = self.eval_expr(arg, env)
+            if not taint.is_empty():
+                arg_taints[str(position)] = taint
+        keywords: List[str] = []
+        for keyword in node.keywords:
+            if keyword.arg is None:
+                continue
+            keywords.append(keyword.arg)
+            taint = self.eval_expr(keyword.value, env)
+            if not taint.is_empty():
+                arg_taints[keyword.arg] = taint
+        site = CallSite(
+            index=self._call_index(node),
+            line=node.lineno,
+            col=node.col_offset + 1,
+            kind=kind,
+            name=dotted,
+            attr=attr,
+            resolved=funcref,
+            arg_taints=arg_taints,
+            keywords=tuple(keywords),
+        )
+        self._collect_sinks(node, site)
+        self._collect_ctor_kwargs(node, site)
+        return site
+
+    def _collect_sinks(self, node: ast.Call, site: CallSite) -> None:
+        last = site.name.split(".")[-1]
+        if last in SINK_FUNCTIONS or (site.attr in SINK_FUNCTIONS):
+            sink_name = site.attr if site.attr in SINK_FUNCTIONS else last
+            for key, taint in sorted(site.arg_taints.items()):
+                self.facts.sinks.append(
+                    SinkUse(
+                        sink=sink_name,
+                        line=site.line,
+                        col=site.col,
+                        taint=taint,
+                    )
+                )
+            return
+        if site.attr == "event":
+            if (
+                node.args
+                and isinstance(node.args[0], ast.Constant)
+                and node.args[0].value in VOLATILE_EVENT_TYPES
+            ):
+                return
+            for keyword in node.keywords:
+                if keyword.arg is None or keyword.arg in VOLATILE_EVENT_KEYS:
+                    continue
+                taint = site.arg_taints.get(keyword.arg)
+                if taint is not None:
+                    self.facts.sinks.append(
+                        SinkUse(
+                            sink=f"event:{keyword.arg}",
+                            line=keyword.value.lineno,
+                            col=keyword.value.col_offset + 1,
+                            taint=taint,
+                        )
+                    )
+
+    def _collect_ctor_kwargs(self, node: ast.Call, site: CallSite) -> None:
+        last = site.name.split(".")[-1]
+        if not last or not last[0].isupper():
+            return
+        if not site.keywords:
+            return
+        existing = set(self.facts.ctor_kwargs.get(last, ()))
+        existing.update(site.keywords)
+        self.facts.ctor_kwargs[last] = tuple(sorted(existing))
+
+    def _own_nodes(self) -> List[ast.AST]:
+        """All nodes of this function, excluding nested def/class bodies."""
+        collected: List[ast.AST] = []
+        stack: List[ast.AST] = list(ast.iter_child_nodes(self.func))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, FUNCTION_NODES) or isinstance(
+                node, ast.ClassDef
+            ):
+                continue
+            collected.append(node)
+            stack.extend(ast.iter_child_nodes(node))
+        return collected
+
+    def _extract_writes(self, stmt: ast.AST) -> None:
+        if (
+            isinstance(stmt, _COMPOUND_NODES)
+            or isinstance(stmt, FUNCTION_NODES)
+            or isinstance(stmt, (ast.ClassDef, ast.ExceptHandler))
+            or (
+                getattr(ast, "Match", None) is not None
+                and isinstance(stmt, getattr(ast, "Match"))
+            )
+        ):
+            return
+        for node in ast.walk(stmt):
+            for target in assignment_targets(node):
+                if isinstance(target, ast.Subscript):
+                    target = target.value
+                if (
+                    isinstance(target, ast.Attribute)
+                    and target.attr in RESOURCE_FIELDS
+                ):
+                    self.facts.writes.append(
+                        (target.attr, node.lineno, node.col_offset + 1)
+                    )
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in MUTATOR_METHODS
+                and isinstance(node.func.value, ast.Attribute)
+                and node.func.value.attr in RESOURCE_FIELDS
+            ):
+                self.facts.writes.append(
+                    (
+                        node.func.value.attr,
+                        node.lineno,
+                        node.col_offset + 1,
+                    )
+                )
+
+    def _metric_names(self, own_nodes: List[ast.AST]) -> List[str]:
+        names: List[str] = []
+        for node in own_nodes:
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in METRIC_CALL_ATTRS
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)
+            ):
+                names.append(node.args[0].value)
+        return names
+
+
+def _extract_function(
+    func: ast.AST,
+    qualname: str,
+    module_facts: ModuleFacts,
+    local_functions: Set[str],
+    enclosing_class: Optional[str],
+) -> FunctionFacts:
+    return _FunctionExtractor(
+        func, qualname, module_facts, local_functions, enclosing_class
+    ).run()

@@ -167,26 +167,35 @@ class BatchAdmissionEngine:
         admitted_names: List[str] = []
         failed: Optional[AdmissionRequest] = None
         reason = ""
-        with rec.span("service.batch", batch=batch_id, size=len(members)):
-            for request in members:
-                try:
-                    result, route = self.coordinator.admit(
-                        request.topology,
-                        algorithm=self.algorithm,
-                        **self.options,
+        try:
+            with rec.span(
+                "service.batch", batch=batch_id, size=len(members)
+            ):
+                for request in members:
+                    try:
+                        result, route = self.coordinator.admit(
+                            request.topology,
+                            algorithm=self.algorithm,
+                            **self.options,
+                        )
+                    except (PlacementError, DeadlineError) as exc:
+                        failed, reason = request, str(exc)
+                        break
+                    admitted_names.append(request.app_name)
+                    # telemetry deferred: if a later member aborts the
+                    # batch, this admission is rolled back and must never
+                    # have counted
+                    outcomes.append(
+                        self._admitted(
+                            request, now, batch_id, "joint", route, result,
+                            emit=False,
+                        )
                     )
-                except (PlacementError, DeadlineError) as exc:
-                    failed, reason = request, str(exc)
-                    break
-                admitted_names.append(request.app_name)
-                # telemetry deferred: if a later member aborts the batch,
-                # this admission is rolled back and must never have counted
-                outcomes.append(
-                    self._admitted(
-                        request, now, batch_id, "joint", route, result,
-                        emit=False,
-                    )
-                )
+        except BaseException:
+            # An unexpected error is not an admission verdict: undo the
+            # members already placed before letting it propagate.
+            self.coordinator.rollback_to(snapshot, admitted_names)
+            raise
         if failed is None:
             self.joint_batches += 1
             for outcome in outcomes:

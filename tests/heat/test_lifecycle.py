@@ -105,3 +105,57 @@ class TestEngineLifecycle:
         assert engine.state.snapshot() == before
         assert "s1" in engine.stacks
         assert "web0" in engine.stacks["s1"].servers
+
+
+class TestUnexpectedErrorRollback:
+    """Non-library exceptions mid-transaction must also restore state.
+
+    The ``except ReproError`` handlers cover scheduling failures and
+    injected faults; a RuntimeError escaping a surrogate API call is not
+    an admission verdict and must not leak half-applied capacity
+    (OST009's exception-path condition)."""
+
+    def _wedge_after(self, monkeypatch, owner, method, n):
+        real = getattr(owner, method)
+        calls = {"n": 0}
+
+        def flaky(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == n:
+                raise RuntimeError("surrogate wedged")
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(owner, method, flaky)
+
+    def test_deploy_restores_state(self, engine, monkeypatch):
+        pristine = engine.state.snapshot()
+        self._wedge_after(monkeypatch, engine.nova, "create_server", 2)
+        with pytest.raises(RuntimeError):
+            engine.deploy(
+                template_from_topology(make_three_tier()), "s1"
+            )
+        assert engine.state.snapshot() == pristine
+        assert "s1" not in engine.stacks
+
+    def test_delete_restores_state_and_stack(self, engine, monkeypatch):
+        engine.deploy(template_from_topology(make_three_tier()), "s1")
+        deployed = engine.state.snapshot()
+        self._wedge_after(monkeypatch, engine.nova, "delete_server", 2)
+        with pytest.raises(RuntimeError):
+            engine.delete_stack("s1")
+        assert engine.state.snapshot() == deployed
+        assert "s1" in engine.stacks
+
+    def test_update_restores_state_and_old_stack(
+        self, engine, monkeypatch
+    ):
+        engine.deploy(template_from_topology(make_three_tier()), "s1")
+        old = engine.stacks["s1"]
+        deployed = engine.state.snapshot()
+        self._wedge_after(monkeypatch, engine.nova, "create_server", 2)
+        with pytest.raises(RuntimeError):
+            engine.update_stack(
+                template_from_topology(make_three_tier()), "s1"
+            )
+        assert engine.state.snapshot() == deployed
+        assert engine.stacks["s1"] is old

@@ -1,13 +1,21 @@
-"""CLI contract for ``repro lint``: exit codes, formats, --list-rules."""
+"""CLI contract for ``repro lint``: exit codes, formats, flags."""
 
 from __future__ import annotations
 
 import json
+import subprocess
 
 import pytest
 
 from repro.cli import main
 from repro.lint import known_codes
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cwd(tmp_path, monkeypatch):
+    """Run every CLI test from a scratch directory so the default cache
+    and baseline paths never touch the real repo."""
+    monkeypatch.chdir(tmp_path)
 
 
 @pytest.fixture
@@ -61,3 +69,188 @@ class TestListRules:
         out = capsys.readouterr().out
         for code in known_codes():
             assert code in out
+
+
+class TestSarifFormat:
+    def test_sarif_output_is_valid_and_located(
+        self, offending_file, capsys
+    ):
+        rc = main(["lint", str(offending_file), "--format", "sarif"])
+        assert rc == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == "2.1.0"
+        (run,) = payload["runs"]
+        assert run["tool"]["driver"]["name"] == "ostrolint"
+        (result,) = run["results"]
+        assert result["ruleId"] == "OST006"
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == 1
+
+    def test_clean_sarif_exits_0(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text("x = 1\n")
+        assert main(["lint", str(target), "--format", "sarif"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["runs"][0]["results"] == []
+
+
+class TestBaseline:
+    def test_update_then_enforce(self, offending_file, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        rc = main(
+            [
+                "lint",
+                str(offending_file),
+                "--update-baseline",
+                "--baseline",
+                str(baseline),
+            ]
+        )
+        assert rc == 0
+        assert "wrote 1 entry" in capsys.readouterr().err
+        assert baseline.exists()
+
+        rc = main(
+            ["lint", str(offending_file), "--baseline", str(baseline)]
+        )
+        assert rc == 0
+        assert "no problems found" in capsys.readouterr().out
+
+    def test_new_finding_beyond_baseline_fails(
+        self, offending_file, tmp_path, capsys
+    ):
+        baseline = tmp_path / "baseline.json"
+        main(
+            [
+                "lint",
+                str(offending_file),
+                "--update-baseline",
+                "--baseline",
+                str(baseline),
+            ]
+        )
+        capsys.readouterr()
+        offending_file.write_text("print('x')\nprint('y')\n")
+        rc = main(
+            ["lint", str(offending_file), "--baseline", str(baseline)]
+        )
+        assert rc == 1
+        # only the finding the baseline does not cover is reported
+        assert "found 1 problem(s)" in capsys.readouterr().out
+
+    def test_stale_entries_are_reported(
+        self, offending_file, tmp_path, capsys
+    ):
+        baseline = tmp_path / "baseline.json"
+        main(
+            [
+                "lint",
+                str(offending_file),
+                "--update-baseline",
+                "--baseline",
+                str(baseline),
+            ]
+        )
+        capsys.readouterr()
+        offending_file.write_text("x = 1\n")
+        rc = main(
+            ["lint", str(offending_file), "--baseline", str(baseline)]
+        )
+        assert rc == 0
+        assert "stale baseline entry" in capsys.readouterr().err
+
+    def test_malformed_baseline_exits_2(
+        self, offending_file, tmp_path, capsys
+    ):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text("{}")
+        rc = main(
+            ["lint", str(offending_file), "--baseline", str(baseline)]
+        )
+        assert rc == 2
+        assert "bad baseline" in capsys.readouterr().err
+
+
+def _git(*argv, cwd):
+    subprocess.run(
+        ["git", *argv],
+        cwd=cwd,
+        check=True,
+        capture_output=True,
+        env={
+            "GIT_AUTHOR_NAME": "t",
+            "GIT_AUTHOR_EMAIL": "t@t",
+            "GIT_COMMITTER_NAME": "t",
+            "GIT_COMMITTER_EMAIL": "t@t",
+            "HOME": str(cwd),
+            "PATH": "/usr/bin:/bin:/usr/local/bin",
+        },
+    )
+
+
+class TestChangedFlag:
+    def test_only_touched_files_are_reported(
+        self, offending_file, tmp_path, capsys
+    ):
+        _git("init", "-q", cwd=tmp_path)
+        _git("add", "-A", cwd=tmp_path)
+        _git("commit", "-q", "-m", "seed", cwd=tmp_path)
+        # the committed offender is untouched; only the new clean file
+        # is in report scope
+        extra = tmp_path / "repro" / "core" / "extra.py"
+        extra.write_text("x = 1\n")
+        rc = main(["lint", str(tmp_path / "repro"), "--changed"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "no problems found" in out
+
+    def test_touched_offender_fails(self, offending_file, tmp_path, capsys):
+        _git("init", "-q", cwd=tmp_path)
+        # untracked counts as changed
+        rc = main(["lint", str(tmp_path / "repro"), "--changed"])
+        assert rc == 1
+        assert "OST006" in capsys.readouterr().out
+
+    def test_clean_tree_exits_0(self, offending_file, tmp_path, capsys):
+        _git("init", "-q", cwd=tmp_path)
+        _git("add", "-A", cwd=tmp_path)
+        _git("commit", "-q", "-m", "seed", cwd=tmp_path)
+        rc = main(["lint", str(tmp_path / "repro"), "--changed"])
+        assert rc == 0
+        assert "no problems found" in capsys.readouterr().out
+
+
+class TestCacheFlags:
+    def test_cache_file_written_and_reused(
+        self, offending_file, tmp_path, capsys
+    ):
+        cache = tmp_path / "cache.json"
+        rc = main(
+            [
+                "lint",
+                str(offending_file),
+                "--cache-path",
+                str(cache),
+                "--format",
+                "json",
+            ]
+        )
+        assert rc == 1
+        cold = capsys.readouterr().out
+        assert cache.exists()
+        rc = main(
+            [
+                "lint",
+                str(offending_file),
+                "--cache-path",
+                str(cache),
+                "--format",
+                "json",
+            ]
+        )
+        assert rc == 1
+        assert capsys.readouterr().out == cold
+
+    def test_no_cache_writes_nothing(self, offending_file, tmp_path):
+        main(["lint", str(offending_file), "--no-cache"])
+        assert not (tmp_path / ".ostrolint-cache.json").exists()

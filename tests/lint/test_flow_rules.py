@@ -1,0 +1,580 @@
+"""Flow-aware rules OST009-OST012: true positives and FP guards.
+
+OST009 is a per-file CFG rule and runs through ``lint_source``;
+OST010/OST011/OST012 need the cross-file view and run through
+``lint_project_sources``.
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.lint import lint_project_sources, lint_source
+from repro.lint.rules.transactions import _mutates_state, _restores
+
+
+def codes(diags, code):
+    return [d for d in diags if d.code == code]
+
+
+def lint_service_source(body: str):
+    return lint_source(
+        textwrap.dedent(body),
+        path="src/repro/service/fx.py",
+        module="repro.service.fx",
+    )
+
+
+class TestTransactionDiscipline:
+    """OST009: snapshot must reach a restore on exception paths."""
+
+    def test_unrestored_mutation_fires(self):
+        diags = lint_service_source(
+            """
+            def admit(state, group):
+                snap = state.snapshot()
+                try:
+                    state.apply(group)
+                except ValueError:
+                    return None
+                return snap
+            """
+        )
+        found = codes(diags, "OST009")
+        assert len(found) == 1
+        assert "'snap'" in found[0].message
+        assert "'apply()'" in found[0].message
+
+    def test_restore_in_finally_is_clean(self):
+        diags = lint_service_source(
+            """
+            def admit(state, group):
+                snap = state.snapshot()
+                try:
+                    state.apply(group)
+                finally:
+                    state.restore(snap)
+            """
+        )
+        assert codes(diags, "OST009") == []
+
+    def test_restore_in_broad_except_is_clean(self):
+        diags = lint_service_source(
+            """
+            def admit(state, group):
+                snap = state.snapshot()
+                try:
+                    state.apply(group)
+                except BaseException:
+                    state.restore(snap)
+                    raise
+            """
+        )
+        assert codes(diags, "OST009") == []
+
+    def test_narrow_except_alone_still_fires(self):
+        # a narrow handler restores, but an unexpected exception type
+        # bypasses it -- exactly the heat-engine bug class
+        diags = lint_service_source(
+            """
+            def admit(state, group):
+                snap = state.snapshot()
+                try:
+                    state.apply(group)
+                except ValueError:
+                    state.restore(snap)
+                    raise
+            """
+        )
+        assert len(codes(diags, "OST009")) == 1
+
+    def test_read_only_snapshot_is_clean(self):
+        diags = lint_service_source(
+            """
+            def probe(state, group):
+                snap = state.snapshot()
+                try:
+                    return estimate(snap, group)
+                except ValueError:
+                    return None
+            """
+        )
+        assert codes(diags, "OST009") == []
+
+    def test_rollback_to_counts_as_restore(self):
+        diags = lint_service_source(
+            """
+            def admit(coordinator, group):
+                snap = coordinator.snapshot()
+                try:
+                    coordinator.admit(group)
+                except BaseException:
+                    coordinator.rollback_to(snap, group)
+                    raise
+            """
+        )
+        assert codes(diags, "OST009") == []
+
+    def test_mutation_after_try_is_clean(self):
+        # commit after the guarded region: per the CFG model an
+        # unguarded trailing call is not an exception path
+        diags = lint_service_source(
+            """
+            def admit(state, group):
+                snap = state.snapshot()
+                try:
+                    validate(group)
+                except ValueError:
+                    state.restore(snap)
+                    raise
+                state.commit(group)
+            """
+        )
+        assert codes(diags, "OST009") == []
+
+    def test_outside_transaction_packages_is_ignored(self):
+        diags = lint_source(
+            textwrap.dedent(
+                """
+                def admit(state, group):
+                    snap = state.snapshot()
+                    try:
+                        state.apply(group)
+                    except ValueError:
+                        return None
+                """
+            ),
+            path="src/repro/core/fx.py",
+            module="repro.core.fx",
+        )
+        assert codes(diags, "OST009") == []
+
+
+class TestCompoundHeadScanning:
+    """Regression: compound CFG heads must not absorb body calls."""
+
+    def _stmt(self, source: str) -> ast.stmt:
+        return ast.parse(textwrap.dedent(source)).body[0]
+
+    def test_loop_head_does_not_own_body_mutation(self):
+        stmt = self._stmt(
+            """
+            for group in groups:
+                state.commit(group)
+            """
+        )
+        assert _mutates_state(stmt) is None
+
+    def test_loop_head_does_not_own_body_restore(self):
+        stmt = self._stmt(
+            """
+            for group in groups:
+                state.restore(snap)
+            """
+        )
+        assert not _restores(stmt, "snap")
+
+    def test_loop_head_owns_its_iter_expression(self):
+        stmt = self._stmt(
+            """
+            for group in state.apply(groups):
+                pass
+            """
+        )
+        assert _mutates_state(stmt) == "apply"
+
+    def test_simple_statement_is_fully_scanned(self):
+        stmt = self._stmt("result = state.commit(group)\n")
+        assert _mutates_state(stmt) == "commit"
+        assert _restores(self._stmt("state.restore(snap)\n"), "snap")
+
+
+HELPER_CLOCK = textwrap.dedent(
+    """
+    import time
+
+
+    def stamp():
+        return time.perf_counter()
+    """
+)
+
+
+def lint_sim_project(files):
+    """Project-lint fixture files under repro.sim.* module names."""
+    paths = {}
+    sources = []
+    for name, source in files:
+        path = f"src/repro/sim/{name}.py"
+        paths[path] = f"repro.sim.{name}"
+        sources.append((path, textwrap.dedent(source)))
+    return lint_project_sources(sources, modules=paths)
+
+
+class TestDeterminismTaint:
+    """OST010: clock/RNG values must not reach fingerprinted code."""
+
+    def test_cross_module_clock_reaching_fingerprint_fires(self):
+        diags = lint_sim_project(
+            [
+                ("helper", HELPER_CLOCK),
+                (
+                    "emit",
+                    """
+                    from repro.sim.helper import stamp
+
+
+                    def fingerprint(rows):
+                        return rows_fingerprint(rows, stamp())
+                    """,
+                ),
+            ]
+        )
+        found = codes(diags, "OST010")
+        assert len(found) == 1
+        assert found[0].path == "src/repro/sim/emit.py"
+        assert "time.perf_counter" in found[0].message
+        assert "rows_fingerprint" in found[0].message
+
+    def test_tainted_event_payload_fires(self):
+        diags = lint_sim_project(
+            [
+                ("helper", HELPER_CLOCK),
+                (
+                    "emit",
+                    """
+                    from repro.sim.helper import stamp
+
+
+                    def emit(rec):
+                        rec.event("placed", score=stamp())
+                    """,
+                ),
+            ]
+        )
+        found = codes(diags, "OST010")
+        assert len(found) == 1
+        assert "event:score" in found[0].message
+
+    def test_volatile_event_key_is_exempt(self):
+        diags = lint_sim_project(
+            [
+                ("helper", HELPER_CLOCK),
+                (
+                    "emit",
+                    """
+                    from repro.sim.helper import stamp
+
+
+                    def emit(rec):
+                        rec.event("placed", elapsed_s=stamp())
+                    """,
+                ),
+            ]
+        )
+        assert codes(diags, "OST010") == []
+
+    def test_volatile_event_type_is_exempt(self):
+        # deadline_tick is wall-clock telemetry by design; the whole
+        # payload is excluded from replay comparison
+        diags = lint_sim_project(
+            [
+                ("helper", HELPER_CLOCK),
+                (
+                    "emit",
+                    """
+                    from repro.sim.helper import stamp
+
+
+                    def emit(rec):
+                        rec.event("deadline_tick", budget=stamp())
+                    """,
+                ),
+            ]
+        )
+        assert codes(diags, "OST010") == []
+
+    def test_destructured_timing_wrapper_keeps_result_clean(self):
+        # result, wall = _run_once(...): only the wall element carries
+        # clock taint, so fingerprinting the result is fine
+        diags = lint_sim_project(
+            [
+                (
+                    "bench",
+                    """
+                    import time
+
+
+                    def _run_once(fn):
+                        start = time.perf_counter()
+                        result = fn()
+                        wall = time.perf_counter() - start
+                        return result, wall
+
+
+                    def measure(fn):
+                        result, wall = _run_once(fn)
+                        return rows_fingerprint(result)
+                    """,
+                ),
+            ]
+        )
+        assert codes(diags, "OST010") == []
+
+    def test_destructured_timing_wrapper_still_flags_wall(self):
+        diags = lint_sim_project(
+            [
+                (
+                    "bench",
+                    """
+                    import time
+
+
+                    def _run_once(fn):
+                        start = time.perf_counter()
+                        result = fn()
+                        wall = time.perf_counter() - start
+                        return result, wall
+
+
+                    def measure(fn):
+                        result, wall = _run_once(fn)
+                        return rows_fingerprint(wall)
+                    """,
+                ),
+            ]
+        )
+        assert len(codes(diags, "OST010")) == 1
+
+    def test_rng_never_reaching_sink_is_clean(self):
+        diags = lint_sim_project(
+            [
+                (
+                    "jitter",
+                    """
+                    import random
+                    import time
+
+
+                    def backoff():
+                        return random.random()
+
+
+                    def wait():
+                        time.sleep(backoff())
+                    """,
+                ),
+            ]
+        )
+        assert codes(diags, "OST010") == []
+
+    def test_seeded_rng_is_clean(self):
+        diags = lint_sim_project(
+            [
+                (
+                    "seeded",
+                    """
+                    import random
+
+
+                    def sample(rows):
+                        rng = random.Random(7)
+                        return rows_fingerprint(rows, rng.random())
+                    """,
+                ),
+            ]
+        )
+        assert codes(diags, "OST010") == []
+
+
+class TestCrossModuleWrites:
+    """OST011: no laundering resource writes through foreign helpers."""
+
+    WRITER = """
+        def _drain(state):
+            state.free_cpu[0] = 0
+        """
+
+    def test_foreign_laundered_write_fires(self):
+        diags = lint_sim_project(
+            [
+                ("helper", self.WRITER),
+                (
+                    "caller",
+                    """
+                    from repro.sim.helper import _drain
+
+
+                    def evict(state):
+                        _drain(state)
+                    """,
+                ),
+            ]
+        )
+        found = codes(diags, "OST011")
+        assert len(found) == 1
+        assert found[0].path == "src/repro/sim/caller.py"
+        assert "repro.sim.helper" in found[0].message
+
+    def test_same_module_helper_is_clean(self):
+        diags = lint_sim_project(
+            [
+                (
+                    "helper",
+                    self.WRITER
+                    + """
+
+                    def evict(state):
+                        _drain(state)
+                    """,
+                ),
+            ]
+        )
+        assert codes(diags, "OST011") == []
+
+    def test_sanctioned_public_api_is_clean(self):
+        diags = lint_project_sources(
+            [
+                (
+                    "src/repro/datacenter/resources.py",
+                    textwrap.dedent(
+                        """
+                        def release(state, host):
+                            state.free_cpu[host] += 1
+                        """
+                    ),
+                ),
+                (
+                    "src/repro/sim/caller.py",
+                    textwrap.dedent(
+                        """
+                        from repro.datacenter.resources import release
+
+
+                        def evict(state, host):
+                            release(state, host)
+                        """
+                    ),
+                ),
+            ],
+            modules={
+                "src/repro/datacenter/resources.py": (
+                    "repro.datacenter.resources"
+                ),
+                "src/repro/sim/caller.py": "repro.sim.caller",
+            },
+        )
+        assert codes(diags, "OST011") == []
+
+
+CANDIDATES_MODULE = """
+    from typing import NamedTuple
+
+
+    class CandidateTarget(NamedTuple):
+        host: int
+        cpu: float
+        disk: float
+
+
+    def candidate_targets(tuples):
+        return [t.host for t in tuples if t.cpu > 0]
+    """
+
+
+def lint_parity_project(kernel_source, candidates_source=CANDIDATES_MODULE):
+    files = [
+        ("src/repro/core/candidates.py", textwrap.dedent(candidates_source)),
+        ("src/repro/core/kernel.py", textwrap.dedent(kernel_source)),
+    ]
+    return lint_project_sources(
+        files,
+        modules={
+            "src/repro/core/candidates.py": "repro.core.candidates",
+            "src/repro/core/kernel.py": "repro.core.kernel",
+        },
+    )
+
+
+class TestKernelParity:
+    """OST012: numpy/python twins must touch identical footprints."""
+
+    def test_field_drift_fires_on_the_blind_side(self):
+        diags = lint_parity_project(
+            """
+            def candidate_targets_numpy(tuples):
+                return [(t.host, t.cpu, t.disk) for t in tuples]
+            """
+        )
+        found = codes(diags, "OST012")
+        assert len(found) == 1
+        # the python side never touches 'disk'; report lands there
+        assert found[0].path == "src/repro/core/candidates.py"
+        assert "disk" in found[0].message
+        assert "candidate_targets" in found[0].message
+
+    def test_matching_footprints_are_clean(self):
+        diags = lint_parity_project(
+            """
+            def candidate_targets_numpy(tuples):
+                return [(t.host, t.cpu) for t in tuples]
+            """
+        )
+        assert codes(diags, "OST012") == []
+
+    def test_private_helper_closure_is_included(self):
+        # the numpy side reads 'cpu' inside a private helper: still part
+        # of its footprint, so the pair stays balanced
+        diags = lint_parity_project(
+            """
+            def _cpu_of(t):
+                return t.cpu
+
+
+            def candidate_targets_numpy(tuples):
+                return [(t.host, _cpu_of(t)) for t in tuples]
+            """
+        )
+        assert codes(diags, "OST012") == []
+
+    def test_private_class_instantiation_closure(self):
+        # _Batch(...).run() style: methods of an instantiated private
+        # class join the closure even though the call is unresolvable
+        diags = lint_parity_project(
+            """
+            class _Batch:
+                def __init__(self, tuples):
+                    self.tuples = tuples
+
+                def run(self):
+                    return [(t.host, t.cpu) for t in self.tuples]
+
+
+            def candidate_targets_numpy(tuples):
+                return _Batch(tuples).run()
+            """
+        )
+        assert codes(diags, "OST012") == []
+
+    def test_metric_drift_fires(self):
+        diags = lint_parity_project(
+            """
+            def candidate_targets_numpy(tuples, rec):
+                rec.inc("kernel.batches")
+                return [(t.host, t.cpu) for t in tuples]
+            """
+        )
+        found = codes(diags, "OST012")
+        assert len(found) == 1
+        assert "kernel.batches" in found[0].message
+        assert "metric" in found[0].message
+
+    def test_missing_twin_is_skipped(self):
+        diags = lint_parity_project(
+            """
+            def unrelated(tuples):
+                return len(tuples)
+            """
+        )
+        assert codes(diags, "OST012") == []

@@ -1,0 +1,271 @@
+"""Project machinery: fact extraction, call resolution, taint fixpoints,
+and the incremental cache."""
+
+from __future__ import annotations
+
+import ast
+import json
+import textwrap
+
+from repro.lint import LintCache, lint_paths, render_json
+from repro.lint.cache import CACHE_SCHEMA
+from repro.lint.project import ProjectContext
+from repro.lint.symbols import extract_module_facts
+
+
+def facts_of(source: str, module: str, path: str = "fx.py"):
+    tree = ast.parse(textwrap.dedent(source))
+    return extract_module_facts(tree, path, module)
+
+
+class TestExtraction:
+    def test_qualnames_and_classes(self):
+        facts = facts_of(
+            """
+            class Planner:
+                def place(self, vm):
+                    return self._fit(vm)
+
+                def _fit(self, vm):
+                    return vm
+
+
+            def entry(planner, vm):
+                return planner.place(vm)
+            """,
+            module="repro.sim.plan",
+        )
+        assert set(facts.functions) == {
+            "Planner.place",
+            "Planner._fit",
+            "entry",
+        }
+        assert facts.functions["Planner.place"].funcref == (
+            "repro.sim.plan:Planner.place"
+        )
+        assert facts.classes["Planner"].methods == ("place", "_fit")
+
+    def test_import_map(self):
+        facts = facts_of(
+            """
+            import time
+            import repro.obs as obs
+            from repro.sim.helper import stamp
+            """,
+            module="repro.sim.use",
+        )
+        assert facts.imports["time"] == "time"
+        assert facts.imports["obs"] == "repro.obs"
+        assert facts.imports["stamp"] == "repro.sim.helper.stamp"
+
+    def test_ret_elements_for_uniform_tuple_returns(self):
+        facts = facts_of(
+            """
+            import time
+
+
+            def timed(fn):
+                start = time.perf_counter()
+                result = fn()
+                return result, time.perf_counter() - start
+            """,
+            module="repro.sim.t",
+        )
+        elements = facts.functions["timed"].ret_elements
+        assert elements is not None and len(elements) == 2
+        assert not elements[0].sources  # the payload element is clean
+        assert "time.perf_counter" in elements[1].sources
+
+    def test_ret_elements_absent_for_mixed_returns(self):
+        facts = facts_of(
+            """
+            def maybe(fn, flag):
+                if flag:
+                    return fn(), 1
+                return None
+            """,
+            module="repro.sim.t",
+        )
+        assert facts.functions["maybe"].ret_elements is None
+
+
+class TestResolution:
+    def _project(self):
+        helper = facts_of(
+            """
+            def stamp():
+                return 1
+
+
+            def wrap():
+                return stamp()
+            """,
+            module="repro.sim.helper",
+            path="helper.py",
+        )
+        user = facts_of(
+            """
+            from repro.sim.helper import stamp
+
+
+            def use():
+                return stamp()
+            """,
+            module="repro.sim.use",
+            path="use.py",
+        )
+        return ProjectContext([helper, user])
+
+    def test_same_module_call_is_pinned(self):
+        project = self._project()
+        wrap = project.functions["repro.sim.helper:wrap"]
+        (site,) = wrap.calls
+        assert project.resolve(site) == ["repro.sim.helper:stamp"]
+
+    def test_imported_call_resolves_across_modules(self):
+        project = self._project()
+        use = project.functions["repro.sim.use:use"]
+        (site,) = use.calls
+        assert project.resolve(site) == ["repro.sim.helper:stamp"]
+
+    def test_overly_common_bare_name_stays_unresolved(self):
+        modules = [
+            facts_of(
+                f"""
+                class Thing{i}:
+                    def run(self):
+                        return {i}
+                """,
+                module=f"repro.sim.m{i}",
+                path=f"m{i}.py",
+            )
+            for i in range(5)
+        ]
+        caller = facts_of(
+            """
+            def go(thing):
+                return thing.run()
+            """,
+            module="repro.sim.go",
+            path="go.py",
+        )
+        project = ProjectContext(modules + [caller])
+        go = project.functions["repro.sim.go:go"]
+        (site,) = go.calls
+        # five candidates named 'run' exceed the ambiguity cap
+        assert project.resolve(site) == []
+
+
+class TestTaintFixpoint:
+    def test_taint_propagates_through_call_chain(self):
+        helper = facts_of(
+            """
+            import time
+
+
+            def now():
+                return time.perf_counter()
+
+
+            def wrapped():
+                return now()
+            """,
+            module="repro.sim.h",
+            path="h.py",
+        )
+        project = ProjectContext([helper])
+        tainted = project.tainted_returns()
+        assert "repro.sim.h:now" in tainted
+        assert "repro.sim.h:wrapped" in tainted
+
+    def test_element_precision(self):
+        helper = facts_of(
+            """
+            import time
+
+
+            def timed(fn):
+                return fn(), time.perf_counter()
+            """,
+            module="repro.sim.h",
+            path="h.py",
+        )
+        project = ProjectContext([helper])
+        project.tainted_returns()
+        elements = project.tainted_elements()
+        assert ("repro.sim.h:timed", 1) in elements
+        assert ("repro.sim.h:timed", 0) not in elements
+
+
+def write_tree(root, body="VALUE = 1\n"):
+    pkg = root / "repro" / "core"
+    pkg.mkdir(parents=True, exist_ok=True)
+    target = pkg / "fx.py"
+    target.write_text(body, encoding="utf-8")
+    return target
+
+
+class TestIncrementalCache:
+    def test_warm_run_is_byte_identical(self, tmp_path):
+        target = write_tree(tmp_path, "def f():\n    print('x')\n")
+        cache_path = tmp_path / "cache.json"
+
+        cold_cache = LintCache(cache_path)
+        cold, checked = lint_paths([str(target)], cache=cold_cache)
+        cold_cache.save()
+        assert cache_path.exists()
+
+        warm_cache = LintCache(cache_path)
+        warm, warm_checked = lint_paths([str(target)], cache=warm_cache)
+        assert render_json(cold, checked) == render_json(
+            warm, warm_checked
+        )
+        assert [d.code for d in warm] == ["OST006"]
+
+    def test_content_change_invalidates_entry(self, tmp_path):
+        target = write_tree(tmp_path)
+        cache_path = tmp_path / "cache.json"
+
+        cache = LintCache(cache_path)
+        clean, _ = lint_paths([str(target)], cache=cache)
+        cache.save()
+        assert clean == []
+
+        target.write_text("def f():\n    print('x')\n", encoding="utf-8")
+        warm_cache = LintCache(cache_path)
+        warm, _ = lint_paths([str(target)], cache=warm_cache)
+        assert [d.code for d in warm] == ["OST006"]
+
+    def test_corrupt_cache_file_is_ignored(self, tmp_path):
+        target = write_tree(tmp_path, "def f():\n    print('x')\n")
+        cache_path = tmp_path / "cache.json"
+        cache_path.write_text("{not json", encoding="utf-8")
+
+        cache = LintCache(cache_path)
+        diags, _ = lint_paths([str(target)], cache=cache)
+        assert [d.code for d in diags] == ["OST006"]
+        cache.save()
+        # the rewritten cache is valid again
+        payload = json.loads(cache_path.read_text(encoding="utf-8"))
+        assert payload["schema"] == CACHE_SCHEMA
+
+    def test_schema_mismatch_drops_entries(self, tmp_path):
+        target = write_tree(tmp_path)
+        cache_path = tmp_path / "cache.json"
+        cache = LintCache(cache_path)
+        lint_paths([str(target)], cache=cache)
+        cache.save()
+
+        payload = json.loads(cache_path.read_text(encoding="utf-8"))
+        payload["schema"] = CACHE_SCHEMA - 1
+        cache_path.write_text(json.dumps(payload), encoding="utf-8")
+        reloaded = LintCache(cache_path)
+        assert reloaded.entries == {}
+
+    def test_prune_drops_dead_entries(self, tmp_path):
+        target = write_tree(tmp_path)
+        cache = LintCache(tmp_path / "cache.json")
+        lint_paths([str(target)], cache=cache)
+        assert str(target) in cache.entries
+        cache.prune([])
+        assert cache.entries == {}

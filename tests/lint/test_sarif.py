@@ -1,0 +1,103 @@
+"""SARIF 2.1.0 rendering: structure, ordering, and byte stability."""
+
+from __future__ import annotations
+
+import json
+
+from repro import __version__
+from repro.lint import every_rule, render_sarif
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.sarif import SARIF_VERSION
+
+
+def diag(path="src/repro/core/fx.py", line=3, col=5, code="OST006"):
+    return Diagnostic(
+        path=path,
+        line=line,
+        col=col,
+        code=code,
+        rule="no-print",
+        message="print() bypasses the recorder",
+    )
+
+
+class TestStructure:
+    def test_clean_run_still_lists_the_catalogue(self):
+        payload = json.loads(render_sarif([], files_checked=7))
+        assert payload["version"] == SARIF_VERSION
+        (run,) = payload["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "ostrolint"
+        assert driver["version"] == __version__
+        assert [r["id"] for r in driver["rules"]] == [
+            rule.code for rule in every_rule()
+        ]
+        assert run["results"] == []
+        assert run["properties"]["filesChecked"] == 7
+
+    def test_result_location_and_rule_index(self):
+        payload = json.loads(render_sarif([diag()], files_checked=1))
+        (result,) = payload["runs"][0]["results"]
+        assert result["ruleId"] == "OST006"
+        assert result["level"] == "error"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == (
+            "src/repro/core/fx.py"
+        )
+        assert location["region"] == {"startLine": 3, "startColumn": 5}
+        rules = payload["runs"][0]["tool"]["driver"]["rules"]
+        assert rules[result["ruleIndex"]]["id"] == "OST006"
+
+    def test_syntax_error_has_no_rule_index(self):
+        syntax = Diagnostic(
+            path="bad.py",
+            line=1,
+            col=1,
+            code="OST000",
+            rule="syntax-error",
+            message="invalid syntax",
+        )
+        payload = json.loads(render_sarif([syntax], files_checked=1))
+        (result,) = payload["runs"][0]["results"]
+        assert "ruleIndex" not in result
+
+    def test_results_are_sorted_by_location(self):
+        diags = [
+            diag(path="b.py", line=9),
+            diag(path="a.py", line=2),
+            diag(path="a.py", line=1),
+        ]
+        payload = json.loads(render_sarif(diags, files_checked=2))
+        seen = [
+            (
+                r["locations"][0]["physicalLocation"]["artifactLocation"][
+                    "uri"
+                ],
+                r["locations"][0]["physicalLocation"]["region"][
+                    "startLine"
+                ],
+            )
+            for r in payload["runs"][0]["results"]
+        ]
+        assert seen == [("a.py", 1), ("a.py", 2), ("b.py", 9)]
+
+
+class TestByteStability:
+    def test_double_render_is_byte_identical(self):
+        diags = [diag(), diag(path="src/repro/core/other.py", line=8)]
+        assert render_sarif(diags, 2) == render_sarif(diags, 2)
+
+    def test_golden_shape(self):
+        """Lock the serialization contract a SARIF consumer relies on."""
+        golden = (
+            "{\n"
+            '  "$schema": "https://raw.githubusercontent.com/oasis-tcs/'
+            'sarif-spec/master/Schemata/sarif-schema-2.1.0.json",\n'
+            '  "runs": ['
+        )
+        rendered = render_sarif([diag()], files_checked=1)
+        assert rendered.startswith(golden)
+        # sorted keys, two-space indentation, no trailing newline
+        assert rendered.endswith('"version": "2.1.0"\n}')
+        payload = json.loads(rendered)
+        assert list(payload) == sorted(payload)

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import pytest
+
 from repro import obs
 from repro.core.topology import ApplicationTopology
 from repro.service.batch import BatchAdmissionEngine, BatchPolicy
@@ -91,6 +93,35 @@ class TestJointAdmission:
         outcomes = engine.admit_batch(ready, now=1.0)
         assert {o.mode for o in outcomes} == {"single"}
         assert engine.batches == 2
+
+
+class TestUnexpectedErrorRollback:
+    def test_crash_mid_batch_rolls_back_admitted_members(
+        self, podded_cloud, monkeypatch
+    ):
+        """A non-verdict exception (not Placement/DeadlineError) must
+        undo the members already placed before it propagates."""
+        coordinator = ShardedCoordinator(podded_cloud)
+        engine = BatchAdmissionEngine(
+            coordinator, BatchPolicy(max_batch=8)
+        )
+        queue = AdmissionQueue()
+        ready = submit_all(queue, [tiny(f"u{i}") for i in range(3)])
+        before = coordinator.state.snapshot()
+        real = coordinator.admit
+        calls = {"n": 0}
+
+        def flaky(topology, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise RuntimeError("shard crashed")
+            return real(topology, **kwargs)
+
+        monkeypatch.setattr(coordinator, "admit", flaky)
+        with pytest.raises(RuntimeError):
+            engine.admit_batch(ready, now=1.0)
+        assert coordinator.state.snapshot() == before
+        assert coordinator.verify_state() == []
 
 
 class TestFallback:
