@@ -470,6 +470,105 @@ def service_benchmark(
     }
 
 
+def defrag_chaos_case(seed: int = 0) -> Dict:
+    """Canned fragmented chaos scenario shared by the defrag gates.
+
+    Host crashes with quick repairs scatter applications: each crash
+    evacuates its tenants onto whatever hosts still have room, and the
+    repaired host comes back empty -- survivors end up dispersed over
+    long paths while revived capacity idles, exactly the fragmentation
+    the background defragmenter exists to recover. No API faults are
+    injected, so the defrag-off run is fully deterministic and the
+    defrag-on run exercises planning and execution rather than retries.
+
+    Returns :func:`~repro.sim.chaos.run_chaos` keyword arguments.
+    """
+    from repro.datacenter.builder import build_datacenter
+    from repro.sim.scenarios import make_fault_plan
+
+    cloud = build_datacenter(num_racks=2)
+    plan = make_fault_plan(
+        cloud, seed=seed, hosts=6, steps=24, recover_after_steps=2
+    )
+    return {
+        "plan": plan,
+        "cloud": cloud,
+        "apps": 24,
+        "app_vms": 10,
+        "algorithm": "eg",
+    }
+
+
+def defrag_case_config() -> "object":
+    """The canned scenario's defragmenter knobs.
+
+    The move budget is sized so one whole 10-VM application fits in a
+    single pass (the default budget of 8 rejects every 10-step plan).
+    """
+    from repro.defrag import DefragConfig
+
+    return DefragConfig(algorithm="eg", max_moves_per_pass=16)
+
+
+def defrag_benchmark(seed: int = 0) -> Dict:
+    """Acceptance bench for the continuous defragmenter.
+
+    Runs the canned fragmented chaos scenario three ways -- no defrag,
+    defrag constructed but disabled, and defrag on -- and reports the
+    fragmentation recovered, the disruption charged for it (moves and
+    virtual VM-move-seconds), availability under both regimes, and the
+    determinism gate: the disabled run's placement fingerprint must be
+    bit-identical to the no-defrag baseline. The payload lands in
+    ``BENCH_defrag.json``; ``leaks`` counts capacity-conservation
+    findings across all three runs (must be zero).
+    """
+    from repro.defrag import DefragConfig
+    from repro.sim.chaos import run_chaos
+
+    case = defrag_chaos_case(seed)
+    started = time.perf_counter()
+    baseline = run_chaos(**case)
+    baseline_wall_s = time.perf_counter() - started
+    config = defrag_case_config()
+    disabled = run_chaos(
+        **case, defrag=DefragConfig(enabled=False, algorithm="eg")
+    )
+    started = time.perf_counter()
+    defragged = run_chaos(**case, defrag=config)
+    defrag_wall_s = time.perf_counter() - started
+    leaks = (
+        len(baseline.invariant_violations)
+        + len(disabled.invariant_violations)
+        + len(defragged.invariant_violations)
+    )
+    return {
+        "scenario": "defrag",
+        "seed": seed,
+        "apps": case["apps"],
+        "app_vms": case["app_vms"],
+        "hosts": case["cloud"].num_hosts,
+        "hosts_failed": defragged.hosts_failed,
+        "algorithm": case["algorithm"],
+        "frag_recovered": defragged.frag_recovered,
+        "defrag_passes": defragged.defrag_passes,
+        "defrag_aborted_passes": defragged.defrag_aborted_passes,
+        "defrag_replans": defragged.defrag_replans,
+        "defrag_moves": defragged.defrag_moves,
+        "defrag_move_seconds": defragged.defrag_move_seconds,
+        "availability_baseline": baseline.availability,
+        "availability_defrag": defragged.availability,
+        "baseline_wall_s": baseline_wall_s,
+        "defrag_wall_s": defrag_wall_s,
+        "fingerprint_baseline": baseline.fingerprint,
+        "fingerprint_disabled": disabled.fingerprint,
+        "fingerprint_defrag": defragged.fingerprint,
+        "disabled_fingerprint_identical": (
+            disabled.fingerprint == baseline.fingerprint
+        ),
+        "leaks": leaks,
+    }
+
+
 def write_results(results: Sequence[Dict], out_dir: str) -> List[str]:
     """Write one ``BENCH_<scenario>.json`` per result; returns the paths."""
     os.makedirs(out_dir, exist_ok=True)

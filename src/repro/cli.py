@@ -9,7 +9,9 @@ Subcommands:
 * ``repro experiment chaos --faults hosts=2,links=1,api=0.05`` -- run a
   seeded fault-injection scenario (host crashes, uplink failures,
   flaky surrogate APIs) and report availability, recovery time, and the
-  capacity-leak audit (exit code 2 on any leak); see docs/ROBUSTNESS.md.
+  capacity-leak audit (exit code 2 on any leak); add ``--defrag`` to
+  interleave the bounded-disruption background defragmenter; see
+  docs/ROBUSTNESS.md.
 * ``repro sweep {fig7,fig8,fig9,fig10,fig11} [--hom]`` -- rerun a figure's
   size sweep and print the data series.
 * ``repro tradeoff`` -- the Fig. 6 deadline/optimality tradeoff.
@@ -146,6 +148,9 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         options = {}
         if args.deadline is not None:
             options["deadline_s"] = args.deadline
+        defrag_config = _defrag_config_from_args(args)
+        if defrag_config is not None:
+            options["defrag"] = defrag_config
         seeds = list(range(args.seed, args.seed + max(1, args.seeds)))
         reports = run_chaos_many(
             seeds,
@@ -340,12 +345,22 @@ def cmd_serve(args: argparse.Namespace) -> int:
         priority_levels=args.priorities,
         update_fraction=args.updates,
     )
+    defrag_config = _defrag_config_from_args(args)
+    if defrag_config is not None and args.serial_check:
+        print(
+            "error: --serial-check requires --defrag off (batched and "
+            "serial runs legitimately diverge once background moves "
+            "depend on the admission interleaving)",
+            file=sys.stderr,
+        )
+        return 1
     config = ServiceConfig(
         algorithm=args.algorithm,
         horizon_s=args.horizon,
         max_batch=args.max_batch,
         deadline_s=args.deadline,
         audit_every=args.audit_every,
+        defrag=defrag_config,
     )
     mode = "serial" if args.serial else f"batched(max={args.max_batch})"
     print(
@@ -375,6 +390,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
         f"(virtual); {report.placements_per_sec:.0f} placements/s "
         f"(wall {report.wall_s:.2f}s)"
     )
+    if defrag_config is not None:
+        print(
+            f"  defrag: {report.defrag_passes} passes, "
+            f"{report.defrag_moves} moves "
+            f"({report.defrag_aborted_passes} aborted, "
+            f"{report.defrag_replans} replans), "
+            f"{report.defrag_move_seconds:.1f} VM-move-s, "
+            f"frag recovered {report.frag_recovered:.4f}"
+        )
     print(f"  fingerprint: {report.fingerprint}")
     rc = 0
     if report.audit_violations:
@@ -420,6 +444,28 @@ def cmd_bench(args: argparse.Namespace) -> int:
         ok = (
             payload["fingerprints_identical"]
             and payload["audit_violations"] == 0
+        )
+        return 0 if ok else 1
+    if args.defrag:
+        payload = bench.defrag_benchmark()
+        for path in bench.write_results([payload], args.out_dir):
+            print(f"# wrote {path}", file=sys.stderr)
+        print(
+            f"defrag chaos ({payload['apps']} apps, "
+            f"{payload['hosts']} hosts, {payload['hosts_failed']} "
+            f"crashes): frag recovered {payload['frag_recovered']:.4f} "
+            f"in {payload['defrag_passes']} passes "
+            f"({payload['defrag_moves']} moves, "
+            f"{payload['defrag_move_seconds']:.1f} VM-move-s), "
+            f"availability {payload['availability_defrag']:.2%} vs "
+            f"{payload['availability_baseline']:.2%} baseline, "
+            f"leaks: {payload['leaks']}, disabled-run fingerprint "
+            f"identical: {payload['disabled_fingerprint_identical']}"
+        )
+        ok = (
+            payload["frag_recovered"] > 0
+            and payload["leaks"] == 0
+            and payload["disabled_fingerprint_identical"]
         )
         return 0 if ok else 1
     if args.parallel_sweep:
@@ -570,6 +616,51 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 1 if diagnostics else 0
 
 
+def _add_defrag_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--defrag",
+        action="store_true",
+        help="run the bounded-disruption background defragmenter between "
+        "steps (see docs/ROBUSTNESS.md, 'Continuous defragmentation')",
+    )
+    parser.add_argument(
+        "--defrag-every",
+        type=int,
+        default=1,
+        metavar="N",
+        help="defrag cadence: consider a pass every N steps (default: "
+        "%(default)s)",
+    )
+    parser.add_argument(
+        "--defrag-moves",
+        type=int,
+        default=8,
+        metavar="N",
+        help="per-pass migration-step budget (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--defrag-margin",
+        type=float,
+        default=0.0,
+        metavar="GAIN",
+        help="minimum objective gain (net of migration cost) a pass must "
+        "clear to execute (default: %(default)s)",
+    )
+
+
+def _defrag_config_from_args(args: argparse.Namespace):
+    """Build a DefragConfig from the --defrag* flags (None when off)."""
+    if not getattr(args, "defrag", False):
+        return None
+    from repro.defrag import DefragConfig
+
+    return DefragConfig(
+        cadence=args.defrag_every,
+        max_moves_per_pass=args.defrag_moves,
+        margin=args.defrag_margin,
+    )
+
+
 def _add_workers_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--workers",
@@ -663,6 +754,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="K",
         help="chaos only: run K consecutive seeds starting at --seed",
     )
+    _add_defrag_flags(experiment)
     _add_workers_flag(experiment)
     _add_telemetry_flags(experiment)
     experiment.set_defaults(func=cmd_experiment)
@@ -752,6 +844,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the admission-service throughput benchmark instead of "
         "the reference suite (records placements/sec, p99 latency, and "
         "the serial-equivalence gate in BENCH_service.json)",
+    )
+    bench_cmd.add_argument(
+        "--defrag",
+        action="store_true",
+        help="run the continuous-defragmentation acceptance benchmark "
+        "instead of the reference suite (canned fragmented chaos "
+        "scenario; records frag recovered, availability impact, and "
+        "the defrag-off fingerprint gate in BENCH_defrag.json)",
     )
     bench_cmd.add_argument(
         "--gap",
@@ -858,6 +958,7 @@ def build_parser() -> argparse.ArgumentParser:
         "timestamps (always on; flag accepted for explicitness in "
         "scripts)",
     )
+    _add_defrag_flags(serve)
     serve.set_defaults(func=cmd_serve)
 
     lint_cmd = sub.add_parser(

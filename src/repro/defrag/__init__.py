@@ -1,0 +1,42 @@
+"""Continuous defragmentation: a bounded-disruption background
+re-optimizer that runs interleaved with arrivals, departures, and fault
+events.
+
+* :class:`~repro.defrag.planner.DefragPlanner` periodically plans
+  migration passes whose benefit (objective gain) must clear the cost of
+  the moves themselves, under explicit disruption budgets.
+* :class:`~repro.defrag.executor.DefragExecutor` applies plans
+  transactionally under faults: every step gates through the injector's
+  API boundary, rolls back bit-exactly on any fault, and keeps the
+  scheduler's recorded placements synchronized so leak audits stay exact
+  mid-plan.
+* :func:`~repro.defrag.executor.run_defrag_tick` is the lowest-priority
+  background tick wired into :func:`repro.sim.chaos.run_chaos` and
+  :func:`repro.service.driver.run_service`.
+
+See docs/ROBUSTNESS.md, "Continuous defragmentation".
+"""
+
+from repro.defrag.executor import (
+    DefragExecutor,
+    DefragStats,
+    StepHook,
+    run_defrag_tick,
+)
+from repro.defrag.planner import (
+    AppMigration,
+    DefragConfig,
+    DefragPassPlan,
+    DefragPlanner,
+)
+
+__all__ = [
+    "AppMigration",
+    "DefragConfig",
+    "DefragExecutor",
+    "DefragPassPlan",
+    "DefragPlanner",
+    "DefragStats",
+    "StepHook",
+    "run_defrag_tick",
+]

@@ -83,6 +83,11 @@ EVENT_SCHEMA: Dict[str, frozenset] = {
     "escalated": frozenset({"app", "reason"}),
     # runtime adaptation / migration
     "migration_step": frozenset({"node", "to_host", "bounce", "moved_gb"}),
+    # continuous defragmentation (repro.defrag)
+    "defrag_pass": frozenset({"apps", "moves", "gain"}),
+    "defrag_pass_aborted": frozenset({"app", "reason"}),
+    "defrag_step_rolled_back": frozenset({"app", "node", "reason"}),
+    "defrag_replan": frozenset({"attempt"}),
     # integration surrogates (Heat wrapper, Nova, Cinder)
     "api_call": frozenset({"service", "method"}),
     # fault injection and recovery (repro.faults)

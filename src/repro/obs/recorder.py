@@ -153,6 +153,39 @@ METRIC_CATALOG: Dict[str, Tuple[str, str, Tuple[str, ...]]] = {
         "Gigabytes (VM memory + volume size) relocated by migrations.",
         (),
     ),
+    "ostro_defrag_passes_total": (
+        "counter",
+        "Background defragmentation passes, by outcome "
+        "(completed / aborted).",
+        ("outcome",),
+    ),
+    "ostro_defrag_moves_total": (
+        "counter",
+        "Migration steps executed by defrag passes, by kind "
+        "(move / bounce).",
+        ("kind",),
+    ),
+    "ostro_defrag_moved_gb_total": (
+        "counter",
+        "Gigabytes relocated by background defragmentation.",
+        (),
+    ),
+    "ostro_defrag_rollbacks_total": (
+        "counter",
+        "Defrag migration steps rolled back after a fault mid-step.",
+        (),
+    ),
+    "ostro_defrag_replans_total": (
+        "counter",
+        "Fresh defrag planning rounds triggered by aborted passes.",
+        (),
+    ),
+    "ostro_defrag_fragmentation_index": (
+        "gauge",
+        "Fragmentation index (stranded capacity + dispersion) after the "
+        "last executed defrag pass.",
+        (),
+    ),
     "ostro_api_calls_total": (
         "counter",
         "Calls into the integration surrogates (heat / nova / cinder).",

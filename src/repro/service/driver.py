@@ -26,6 +26,13 @@ from typing import Dict, List, Optional
 from repro import obs
 from repro.core.online import add_vms_to_tier
 from repro.datacenter.model import Cloud
+from repro.defrag import (
+    DefragConfig,
+    DefragExecutor,
+    DefragPlanner,
+    DefragStats,
+    run_defrag_tick,
+)
 from repro.errors import PlacementError
 from repro.service.batch import (
     AdmissionOutcome,
@@ -55,6 +62,12 @@ class ServiceConfig:
         audit_every: run the coordinator's capacity-conservation audit
             every N drains (0 = only the final audit).
         theta_bw / theta_c: objective weights, forwarded everywhere.
+        defrag: optional background-defragmenter configuration; ticks as
+            the lowest-priority action of every drain. Note that with
+            defrag on, batched and serial runs legitimately diverge (a
+            different admission interleaving yields different
+            fragmentation, hence different background moves), so the
+            serial-equivalence gate only applies with defrag off.
     """
 
     algorithm: str = "eg"
@@ -65,6 +78,7 @@ class ServiceConfig:
     audit_every: int = 10
     theta_bw: float = 0.6
     theta_c: float = 0.4
+    defrag: Optional[DefragConfig] = None
 
 
 @dataclass
@@ -97,6 +111,10 @@ class ServiceReport:
         audit_violations: findings from every capacity audit (empty =
             conservation held throughout).
         outcomes: every per-request decision, in decision order.
+        defrag_passes / defrag_aborted_passes / defrag_replans /
+            defrag_moves / defrag_move_seconds / frag_recovered:
+            background-defragmentation accounting (all 0 with the
+            defragmenter off); see :mod:`repro.defrag`.
     """
 
     requests: int = 0
@@ -119,6 +137,12 @@ class ServiceReport:
     fingerprint: str = ""
     audit_violations: List[str] = field(default_factory=list)
     outcomes: List[AdmissionOutcome] = field(default_factory=list, repr=False)
+    defrag_passes: int = 0
+    defrag_aborted_passes: int = 0
+    defrag_replans: int = 0
+    defrag_moves: int = 0
+    defrag_move_seconds: float = 0.0
+    frag_recovered: float = 0.0
 
 
 def _feed_outcome(digest: "hashlib._Hash", outcome: AdmissionOutcome) -> None:
@@ -167,6 +191,14 @@ def run_service(
     report = ServiceReport()
     rec = obs.get_recorder()
 
+    planner: Optional[DefragPlanner] = None
+    executor: Optional[DefragExecutor] = None
+    defrag_stats: Optional[DefragStats] = None
+    if cfg.defrag is not None and cfg.defrag.enabled:
+        planner = DefragPlanner(cfg.defrag)
+        executor = DefragExecutor(coordinator.ostro, cfg.defrag)
+        defrag_stats = DefragStats()
+
     #: app_id -> pending request id (still queued)
     queued: Dict[int, int] = {}
     #: app_id -> live topology (admitted and not yet departed)
@@ -202,6 +234,14 @@ def run_service(
         report.outcomes.extend(outcomes)
         if cfg.audit_every > 0 and report.drains % cfg.audit_every == 0:
             report.audit_violations.extend(coordinator.verify_state())
+        # background defrag runs last, after every admission decision of
+        # the drain has been made (lowest priority)
+        if (
+            planner is not None
+            and executor is not None
+            and defrag_stats is not None
+        ):
+            run_defrag_tick(coordinator.ostro, planner, executor, defrag_stats)
 
     horizon = max(cfg.horizon_s, 1e-9)
     boundary = horizon
@@ -264,6 +304,13 @@ def run_service(
         boundary += horizon
 
     report.wall_s = time.perf_counter() - wall_start
+    if defrag_stats is not None:
+        report.defrag_passes = defrag_stats.passes
+        report.defrag_aborted_passes = defrag_stats.aborted_passes
+        report.defrag_replans = defrag_stats.replans
+        report.defrag_moves = defrag_stats.moves + defrag_stats.bounces
+        report.defrag_move_seconds = defrag_stats.move_seconds
+        report.frag_recovered = defrag_stats.frag_recovered
     report.audit_violations.extend(coordinator.verify_state())
     report.batches = {
         "single": engine.batches - engine.joint_batches - engine.fallback_batches,

@@ -27,6 +27,13 @@ from repro.core.online import evacuate_host
 from repro.core.scheduler import Ostro
 from repro.datacenter.model import Cloud
 from repro.datacenter.state import DataCenterState
+from repro.defrag import (
+    DefragConfig,
+    DefragExecutor,
+    DefragPlanner,
+    DefragStats,
+    run_defrag_tick,
+)
 from repro.errors import DeadlineError, FaultError, PlacementError
 from repro.faults import (
     FaultEvent,
@@ -68,17 +75,20 @@ def run_chaos(
     theta_bw: float = 0.6,
     theta_c: float = 0.4,
     retry: Optional[RetryPolicy] = None,
+    defrag: Optional[DefragConfig] = None,
     **options: Any,
 ) -> ChaosReport:
     """Run one seeded chaos scenario and return its report.
 
     Each scenario step deploys one heterogeneous multi-tier application
-    of ``app_vms`` VMs; the plan's scheduled events fire between steps
-    (a final advance applies any events scheduled past the last deploy,
-    e.g. repairs). Deploys run under the degradation ladder starting at
-    ``algorithm``; host crashes are evacuated immediately with the same
-    ladder. When the plan injects API faults and no ``retry`` policy is
-    given, a default policy seeded from the plan is installed.
+    of ``app_vms`` VMs; the plan's scheduled events fire between steps,
+    and events scheduled past the last deploy are applied through the
+    same per-step handler (so late crashes are evacuated and audited
+    exactly like mid-run ones). Deploys run under the degradation ladder
+    starting at ``algorithm``; host crashes are evacuated immediately
+    with the same ladder. When the plan injects API faults and no
+    ``retry`` policy is given, a default policy seeded from the plan is
+    installed.
 
     Args:
         plan: what goes wrong, and when.
@@ -89,6 +99,10 @@ def run_chaos(
         theta_bw / theta_c: objective weights.
         retry: retry policy for the commit path (default: seeded from
             the plan when it injects API faults, else none).
+        defrag: optional background-defragmenter configuration; ticks as
+            the lowest-priority action of every scenario step. ``None``
+            (and ``enabled=False``) leave the run bit-identical to a
+            defrag-free baseline.
         **options: forwarded algorithm options (e.g. ``deadline_s``).
     """
     if cloud is None:
@@ -108,10 +122,22 @@ def run_chaos(
     report = ChaosReport(seed=plan.seed, apps_requested=apps)
     requested = algorithm.strip().lower()
 
+    defrag_on = defrag is not None and defrag.enabled
+    planner = DefragPlanner(defrag) if defrag_on else None
+    executor = DefragExecutor(ostro, defrag) if defrag_on else None
+    defrag_stats = DefragStats() if defrag_on else None
+
     def audit(context: str) -> None:
         report.invariant_violations.extend(
             f"[{context}] {violation}" for violation in ostro.verify_state()
         )
+
+    def defrag_tick(step: int) -> None:
+        """Lowest-priority background action of one scenario step."""
+        if planner is None or executor is None or defrag_stats is None:
+            return
+        run_defrag_tick(ostro, planner, executor, defrag_stats)
+        audit(f"defrag tick {step}")
 
     def apply_fired(fired: List[FaultEvent]) -> None:
         for event in fired:
@@ -151,9 +177,25 @@ def run_chaos(
         except (DeadlineError, FaultError, PlacementError):
             report.deploy_failures += 1
         audit(f"deploy {topology.name}")
+        defrag_tick(step)
 
+    # Route trailing events (repairs, late crashes) through the same
+    # per-step handler as mid-run ones: a crash scheduled after the last
+    # arrival must still be evacuated and audited before a later repair
+    # of the same host is applied.
     last_scheduled = plan.events[-1].at_step if plan.events else 0
-    apply_fired(injector.advance_to(max(apps, last_scheduled)))
+    for step in range(apps, max(apps, last_scheduled) + 1):
+        apply_fired(injector.advance_to(step))
+        defrag_tick(step)
+
+    if defrag_stats is not None:
+        report.defrag_enabled = True
+        report.defrag_passes = defrag_stats.passes
+        report.defrag_aborted_passes = defrag_stats.aborted_passes
+        report.defrag_replans = defrag_stats.replans
+        report.defrag_moves = defrag_stats.moves + defrag_stats.bounces
+        report.defrag_move_seconds = defrag_stats.move_seconds
+        report.frag_recovered = defrag_stats.frag_recovered
 
     report.hosts_failed = sum(
         1 for event in injector.applied if event.kind == "host_down"

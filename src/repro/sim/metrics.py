@@ -119,6 +119,17 @@ class ChaosReport:
             audit passed).
         fingerprint: order-independent digest of the final committed
             placements; bit-identical across same-seed runs.
+        defrag_enabled: whether the background defragmenter ticked during
+            the run (all defrag fields stay 0 when it did not).
+        defrag_passes: defrag passes that reached execution.
+        defrag_aborted_passes: passes aborted by a fault, a stale plan,
+            or the planning deadline.
+        defrag_replans: fresh planning rounds after aborted passes.
+        defrag_moves: migration steps executed (bounces included).
+        defrag_move_seconds: virtual VM move-seconds of unavailability
+            charged for those steps -- the availability-impact metric.
+        frag_recovered: cumulative drop of the fragmentation index
+            across executed passes (fragmentation recovered).
     """
 
     seed: int
@@ -135,6 +146,13 @@ class ChaosReport:
     recovery_s: float = 0.0
     invariant_violations: List[str] = field(default_factory=list)
     fingerprint: str = ""
+    defrag_enabled: bool = False
+    defrag_passes: int = 0
+    defrag_aborted_passes: int = 0
+    defrag_replans: int = 0
+    defrag_moves: int = 0
+    defrag_move_seconds: float = 0.0
+    frag_recovered: float = 0.0
 
     @property
     def availability(self) -> float:
@@ -145,6 +163,19 @@ class ChaosReport:
 
     def summary_lines(self) -> List[str]:
         """Human-readable report body (one metric per line)."""
+        defrag_lines = (
+            [
+                f"defrag passes:        {self.defrag_passes}"
+                f" ({self.defrag_moves} moves,"
+                f" {self.defrag_aborted_passes} aborted,"
+                f" {self.defrag_replans} replans)",
+                f"defrag move time:     {self.defrag_move_seconds:.1f}"
+                " VM-move-s",
+                f"frag recovered:       {self.frag_recovered:.4f}",
+            ]
+            if self.defrag_enabled
+            else []
+        )
         return [
             f"seed:                 {self.seed}",
             f"apps deployed:        {self.apps_deployed}/{self.apps_requested}"
@@ -157,6 +188,7 @@ class ChaosReport:
             f"evacuations:          {self.evacuations}"
             f" ({self.nodes_moved} nodes moved, {self.nodes_lost} lost)",
             f"recovery time:        {self.recovery_s:.3f} s",
+            *defrag_lines,
             f"capacity leaks:       {len(self.invariant_violations)}",
             f"fingerprint:          {self.fingerprint[:16]}",
         ]

@@ -9,9 +9,13 @@ objective trades off. Used by the CLI and handy in notebooks and tests.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional
 
 from repro.datacenter.state import DataCenterState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.placement import Placement
+    from repro.datacenter.model import Cloud
 
 
 @dataclass(frozen=True)
@@ -94,6 +98,144 @@ def utilization_report(state: DataCenterState) -> UtilizationReport:
             uplink_total, sum(state.free_bw[i] for i in uplink_indices)
         ),
         busiest_nic_frac=busiest,
+    )
+
+
+@dataclass(frozen=True)
+class FragmentationReport:
+    """Fragmentation view of one data-center state.
+
+    Two complementary indices, both in ``[0, 1]`` and both 0 on an empty
+    or perfectly consolidated cloud:
+
+    Attributes:
+        stranded_cpu_frac / stranded_mem_frac: fraction of the cluster's
+            *nominal* CPU / memory capacity that sits free on hosts that
+            are already active -- capacity the host-count term of the
+            objective has paid for but nothing uses. An empty DC strands
+            nothing (no host is active); a perfectly packed DC strands
+            nothing (active hosts have no free capacity); scattering the
+            same load over more hosts strands more.
+        stranded_index: mean of the CPU and memory stranded fractions.
+        dispersion_index: mean over committed applications of
+            :func:`placement_spread` -- 0 when every application is
+            fully consolidated on one host, growing as applications
+            spread over more hosts and those hosts over more racks.
+            0 with no applications.
+        fragmentation_index: mean of ``stranded_index`` and
+            ``dispersion_index`` -- the defragmentation trigger metric
+            (see :mod:`repro.defrag`).
+    """
+
+    stranded_cpu_frac: float
+    stranded_mem_frac: float
+    stranded_index: float
+    dispersion_index: float
+    fragmentation_index: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dict form for logging/JSON (insertion order is fixed, so
+        sorted-key serialization is byte-stable across recomputation)."""
+        return {
+            "stranded_cpu_frac": self.stranded_cpu_frac,
+            "stranded_mem_frac": self.stranded_mem_frac,
+            "stranded_index": self.stranded_index,
+            "dispersion_index": self.dispersion_index,
+            "fragmentation_index": self.fragmentation_index,
+        }
+
+
+def stranded_capacity_index(state: DataCenterState) -> float:
+    """Mean fraction of nominal CPU/memory capacity free on active hosts."""
+    cloud = state.cloud
+    cpu_total = sum(h.cpu_cores for h in cloud.hosts)
+    mem_total = sum(h.mem_gb for h in cloud.hosts)
+    active = state.active_host_indices()
+    stranded_cpu = sum(state.free_cpu[h] for h in active)
+    stranded_mem = sum(state.free_mem[h] for h in active)
+    cpu_frac = stranded_cpu / cpu_total if cpu_total > 0 else 0.0
+    mem_frac = stranded_mem / mem_total if mem_total > 0 else 0.0
+    return (cpu_frac + mem_frac) / 2.0
+
+
+def placement_spread(cloud: "Cloud", placement: "Placement") -> float:
+    """Topology-aware spread of one placement, in ``[0, 1]``.
+
+    The mean of two terms: how many hosts the application touches beyond
+    the single-host ideal (``(hosts - 1) / (nodes - 1)``), and how many
+    racks those hosts straddle beyond the single-rack ideal
+    (``(racks - 1) / (hosts - 1)``). A one-host placement scores 0; a
+    placement whose every node sits on its own host in its own rack
+    scores 1. The rack term is what makes a cross-rack pair of hosts
+    read as more fragmented than a same-rack pair -- exactly the spread
+    a network-aware defragmenter can profitably undo.
+    """
+    nodes = len(placement.assignments)
+    if nodes == 0:
+        return 0.0
+    host_set = {a.host for a in placement.assignments.values()}
+    hosts = len(host_set)
+    host_spread = (hosts - 1) / max(1, nodes - 1)
+    if hosts <= 1:
+        return host_spread / 2.0
+    racks = len({cloud.hosts[h].rack.index for h in host_set})
+    rack_spread = (racks - 1) / (hosts - 1)
+    return (host_spread + rack_spread) / 2.0
+
+
+def dispersion_index(
+    cloud: "Cloud", placements: Iterable["Placement"]
+) -> float:
+    """Mean :func:`placement_spread` over committed applications."""
+    spreads: List[float] = []
+    for placement in placements:
+        if not placement.assignments:
+            continue
+        spreads.append(placement_spread(cloud, placement))
+    if not spreads:
+        return 0.0
+    return sum(spreads) / len(spreads)
+
+
+def fragmentation_report(
+    state: DataCenterState,
+    placements: Optional[Iterable["Placement"]] = None,
+) -> FragmentationReport:
+    """Compute the fragmentation indices of a state.
+
+    Args:
+        state: the live availability state.
+        placements: committed placements for the dispersion term (e.g.
+            ``(d.placement for d in ostro.applications.values())``);
+            omitted, dispersion reads 0 and only stranded capacity
+            contributes.
+    """
+    cloud = state.cloud
+    cpu_total = sum(h.cpu_cores for h in cloud.hosts)
+    mem_total = sum(h.mem_gb for h in cloud.hosts)
+    active = state.active_host_indices()
+    cpu_frac = (
+        sum(state.free_cpu[h] for h in active) / cpu_total
+        if cpu_total > 0
+        else 0.0
+    )
+    mem_frac = (
+        sum(state.free_mem[h] for h in active) / mem_total
+        if mem_total > 0
+        else 0.0
+    )
+    stranded = (cpu_frac + mem_frac) / 2.0
+    dispersion = (
+        dispersion_index(cloud, placements)
+        if placements is not None
+        else 0.0
+    )
+    return FragmentationReport(
+        stranded_cpu_frac=cpu_frac,
+        stranded_mem_frac=mem_frac,
+        stranded_index=stranded,
+        dispersion_index=dispersion,
+        fragmentation_index=(stranded + dispersion) / 2.0,
     )
 
 

@@ -1,0 +1,63 @@
+"""Shared fixtures: a deterministically fragmented scheduler.
+
+The canonical way real fleets fragment is crash -> evacuate -> repair:
+the evacuation scatters the survivors into whatever slivers of capacity
+exist, and the repaired host comes back empty. The fixture reproduces
+that sequence exactly, with filler tenants pinning down where the
+slivers are, so every test starts from the same scattered placement.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.online import evacuate_host
+from repro.core.scheduler import Ostro
+from repro.core.topology import ApplicationTopology
+from repro.datacenter.builder import build_datacenter
+from repro.workloads.multitier import build_multitier
+
+
+def make_fragmented_ostro() -> Ostro:
+    """Crash/evacuate/repair one application into a cross-rack scatter.
+
+    A 10-VM multi-tier application lands consolidated on the first hosts
+    of rack 1 (2 racks x 4 hosts, 16 cores / 32 GB each). Near-host-sized
+    fillers then occupy every other host, the application's first host is
+    crashed and evacuated -- forced into the 3-core slivers the fillers
+    left -- and finally the host is repaired and the fillers depart. The
+    result: the application straddles four hosts across both racks of an
+    otherwise almost-empty data center (exactly what a defragmenter
+    exists to undo), and ``verify_state()`` is clean.
+    """
+    cloud = build_datacenter(num_racks=2, hosts_per_rack=4)
+    ostro = Ostro(cloud)
+    topology = build_multitier(
+        total_vms=10, tiers=5, heterogeneous=True, name="app0"
+    )
+    ostro.place(topology, algorithm="eg", commit=True)
+    app_hosts = sorted(
+        {
+            a.host
+            for a in ostro.applications["app0"].placement.assignments.values()
+        }
+    )
+    fillers = []
+    for i in range(6):
+        filler = ApplicationTopology(f"filler{i}")
+        filler.add_vm("big", vcpus=13, mem_gb=26)
+        ostro.place(filler, algorithm="eg", commit=True)
+        fillers.append(filler.name)
+    victim = app_hosts[0]
+    ostro.state.fail_host(victim)
+    evacuate_host(ostro, victim, algorithm="eg")
+    ostro.state.restore_host(victim)
+    for name in fillers:
+        ostro.remove(name)
+    assert ostro.verify_state() == []
+    return ostro
+
+
+@pytest.fixture
+def fragmented_ostro() -> Ostro:
+    return make_fragmented_ostro()

@@ -8,7 +8,9 @@ import pytest
 
 from repro.cli import main as cli_main
 from repro.datacenter.builder import build_datacenter
+from repro.defrag import DefragConfig
 from repro.errors import DataCenterError
+from repro.faults import FaultEvent, FaultPlan
 from repro.sim.chaos import run_chaos
 from repro.sim.scenarios import make_fault_plan
 
@@ -128,6 +130,60 @@ class TestRunChaos:
             assert needle in text
 
 
+class TestTrailingEvents:
+    def test_late_crash_is_evacuated_before_its_repair(self, tiny_cloud):
+        """Regression: a crash scheduled after the last arrival must go
+        through the same per-step handler as mid-run ones -- evacuated
+        and audited *before* the later repair of the same host fires."""
+        victim = tiny_cloud.hosts[0].name  # eg packs the apps here
+        plan = FaultPlan(
+            seed=0,
+            events=[
+                FaultEvent(at_step=4, kind="host_down", target=victim),
+                FaultEvent(at_step=6, kind="host_up", target=victim),
+            ],
+        )
+        report = run_chaos(
+            plan, cloud=tiny_cloud, apps=2, app_vms=6, algorithm="eg"
+        )
+        assert report.apps_deployed == 2
+        assert report.hosts_failed == 1
+        assert report.evacuations == 1
+        assert report.nodes_moved > 0  # the host held tenants when it died
+        assert report.invariant_violations == []
+
+
+class TestChaosDefrag:
+    def test_defrag_recovers_fragmentation_leak_free(self):
+        from repro.bench import defrag_case_config, defrag_chaos_case
+
+        report = run_chaos(defrag=defrag_case_config(), **defrag_chaos_case())
+        assert report.defrag_enabled
+        assert report.defrag_passes >= 1
+        assert report.frag_recovered > 0
+        assert report.invariant_violations == []
+
+    def test_disabled_defrag_is_bit_identical_to_none(self, tiny_cloud):
+        def one_run(defrag):
+            plan = make_fault_plan(
+                tiny_cloud, seed=3, hosts=2, steps=4, recover_after_steps=1
+            )
+            return run_chaos(
+                plan,
+                cloud=tiny_cloud,
+                apps=4,
+                app_vms=6,
+                algorithm="eg",
+                defrag=defrag,
+            )
+
+        baseline = one_run(None)
+        disabled = one_run(DefragConfig(enabled=False, algorithm="eg"))
+        assert disabled.fingerprint == baseline.fingerprint
+        assert not disabled.defrag_enabled
+        assert not baseline.defrag_enabled
+
+
 class TestChaosCLI:
     def test_experiment_chaos_exits_clean(self, capsys):
         rc = cli_main(
@@ -150,6 +206,30 @@ class TestChaosCLI:
         assert rc == 0
         assert "availability" in out
         assert "fingerprint" in out
+
+    def test_defrag_flag_reports_defrag_summary(self, capsys):
+        rc = cli_main(
+            [
+                "experiment",
+                "chaos",
+                "--dc",
+                "dc:2",
+                "--apps",
+                "6",
+                "--app-vms",
+                "10",
+                "--algorithm",
+                "eg",
+                "--defrag",
+                "--defrag-moves",
+                "16",
+                "--faults",
+                "hosts=3,recover=2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "defrag" in out
 
     def test_bad_fault_spec_is_a_clean_error(self, capsys):
         rc = cli_main(

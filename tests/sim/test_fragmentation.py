@@ -1,0 +1,132 @@
+"""Fragmentation metrics (repro.sim.utilization): the defrag trigger.
+
+The contract the background defragmenter leans on: both indices are 0 on
+an empty or perfectly consolidated cloud, grow monotonically as the same
+load scatters over more hosts (and those hosts over more racks), and
+serialize byte-stably so report fingerprints are reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.core.placement import Assignment, Placement
+from repro.datacenter.builder import build_datacenter
+from repro.datacenter.state import DataCenterState
+from repro.sim.utilization import (
+    dispersion_index,
+    fragmentation_report,
+    placement_spread,
+    stranded_capacity_index,
+)
+
+
+def make_cloud():
+    """2 racks x 4 hosts (16 cores / 32 GB each): rack 1 is hosts 0-3."""
+    return build_datacenter(num_racks=2, hosts_per_rack=4)
+
+
+def make_placement(hosts):
+    """One VM per entry of ``hosts``, placed on that host index."""
+    assignments = {
+        f"vm{i}": Assignment(node=f"vm{i}", host=h)
+        for i, h in enumerate(hosts)
+    }
+    used = len(set(hosts))
+    return Placement(
+        app_name="a",
+        assignments=assignments,
+        reserved_bw_mbps=0.0,
+        new_active_hosts=used,
+        hosts_used=used,
+    )
+
+
+class TestEmptyAndPacked:
+    def test_empty_dc_scores_zero_everywhere(self):
+        report = fragmentation_report(DataCenterState(make_cloud()), [])
+        assert report.as_dict() == {
+            "stranded_cpu_frac": 0.0,
+            "stranded_mem_frac": 0.0,
+            "stranded_index": 0.0,
+            "dispersion_index": 0.0,
+            "fragmentation_index": 0.0,
+        }
+
+    def test_perfectly_packed_host_strands_nothing(self):
+        state = DataCenterState(make_cloud())
+        state.place_vm(0, 16, 32)  # the host's entire capacity
+        assert stranded_capacity_index(state) == 0.0
+
+    def test_partially_used_active_host_strands_capacity(self):
+        state = DataCenterState(make_cloud())
+        state.place_vm(0, 8, 16)  # half the host sits active but idle
+        assert stranded_capacity_index(state) > 0.0
+
+    def test_one_host_placement_has_zero_spread(self):
+        cloud = make_cloud()
+        assert placement_spread(cloud, make_placement([0, 0, 0])) == 0.0
+        assert placement_spread(cloud, make_placement([])) == 0.0
+
+
+class TestMonotoneUnderScatter:
+    def test_more_hosts_reads_more_fragmented(self):
+        cloud = make_cloud()
+        packed = placement_spread(cloud, make_placement([0, 0, 1, 1]))
+        scattered = placement_spread(cloud, make_placement([0, 1, 2, 3]))
+        assert 0.0 < packed < scattered
+
+    def test_cross_rack_reads_more_fragmented_than_same_rack(self):
+        cloud = make_cloud()
+        same_rack = placement_spread(cloud, make_placement([0, 0, 1, 1]))
+        cross_rack = placement_spread(cloud, make_placement([0, 0, 4, 4]))
+        assert same_rack < cross_rack
+
+    def test_dispersion_index_averages_over_applications(self):
+        cloud = make_cloud()
+        packed = make_placement([0, 0])
+        scattered = make_placement([0, 4])
+        assert dispersion_index(cloud, []) == 0.0
+        assert dispersion_index(cloud, [packed]) == 0.0
+        both = dispersion_index(cloud, [packed, scattered])
+        assert both == (
+            placement_spread(cloud, packed)
+            + placement_spread(cloud, scattered)
+        ) / 2.0
+
+    def test_empty_placements_do_not_dilute_the_mean(self):
+        cloud = make_cloud()
+        scattered = make_placement([0, 4])
+        with_empty = dispersion_index(
+            cloud, [scattered, make_placement([])]
+        )
+        assert with_empty == placement_spread(cloud, scattered)
+
+
+class TestReport:
+    def test_fragmentation_index_is_the_mean_of_both_terms(self):
+        state = DataCenterState(make_cloud())
+        state.place_vm(0, 4, 8)
+        state.place_vm(4, 4, 8)
+        report = fragmentation_report(state, [make_placement([0, 4])])
+        assert report.stranded_index == (
+            report.stranded_cpu_frac + report.stranded_mem_frac
+        ) / 2.0
+        assert report.fragmentation_index == (
+            report.stranded_index + report.dispersion_index
+        ) / 2.0
+        assert report.dispersion_index > 0.0
+
+    def test_as_dict_fingerprint_is_byte_stable(self):
+        def fingerprint():
+            state = DataCenterState(make_cloud())
+            state.place_vm(0, 4, 8)
+            state.place_vm(5, 4, 8)
+            report = fragmentation_report(
+                state, [make_placement([0, 5]), make_placement([1, 1])]
+            )
+            blob = json.dumps(report.as_dict(), sort_keys=True)
+            return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+        assert fingerprint() == fingerprint()
