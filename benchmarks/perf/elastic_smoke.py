@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""CI smoke check for the autoscaling / elasticity lifecycle.
+
+Runs a scaled-down elasticity storm (every tenant emits periodic scale
+evaluations; the threshold policy grows and shrinks live tiers through
+the online-update and scale-in paths) across several seeds and exits
+non-zero unless, for every seed:
+
+* zero capacity leaks across the scaling-free baseline, the
+  scaling-disabled run, and both scaled runs (``Ostro.verify_state``
+  audits after every operation);
+* a run with scaling constructed but *disabled* reproduces the
+  scaling-free baseline's decision-trajectory fingerprint bit-for-bit
+  (the determinism contract of ``repro.scaling``: skipped scale events
+  leave no trace);
+* two same-seed scaled runs produce byte-identical fingerprints;
+* the scaled run actually scaled (a vacuous gate would mean the storm
+  stopped emitting actionable scale events).
+
+Usage (from the repository root):
+
+    PYTHONPATH=src python benchmarks/perf/elastic_smoke.py [--seeds 3]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(__file__), os.pardir, os.pardir, "src"),
+)
+
+from repro.bench import elastic_benchmark  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seeds", type=int, default=3)
+    parser.add_argument("--arrivals", type=int, default=150)
+    args = parser.parse_args(argv)
+
+    rc = 0
+    for seed in range(args.seeds):
+        payload = elastic_benchmark(
+            arrivals=args.arrivals,
+            mean_interarrival_s=60.0,
+            mean_lifetime_s=3600.0,
+            scale_every_s=600.0,
+            seed=seed,
+        )
+        print(
+            f"seed {seed}: {payload['scale_events']} scale events -> "
+            f"{payload['scale_outs']} out / {payload['scale_ins']} in "
+            f"(+{payload['vms_added']}/-{payload['vms_removed']} VMs, "
+            f"{payload['scale_consolidation_moves']} consolidation moves), "
+            f"leaks={payload['leaks']}, "
+            f"disabled identical: "
+            f"{payload['disabled_fingerprint_identical']}, "
+            f"repeat identical: {payload['scaled_fingerprints_identical']}"
+        )
+        if payload["leaks"]:
+            print(f"FAIL: seed {seed} leaked capacity")
+            rc = 1
+        if not payload["disabled_fingerprint_identical"]:
+            print(
+                f"FAIL: seed {seed} scaling-disabled run diverged from "
+                f"the scaling-free baseline"
+            )
+            rc = 1
+        if not payload["scaled_fingerprints_identical"]:
+            print(
+                f"FAIL: seed {seed} same-seed scaled runs were not "
+                f"byte-identical"
+            )
+            rc = 1
+        if payload["scale_outs"] + payload["scale_ins"] == 0:
+            print(f"FAIL: seed {seed} never scaled -- the gate is vacuous")
+            rc = 1
+    if rc == 0:
+        print(
+            "OK: all seeds leak-free, disabled runs bit-identical, "
+            "scaled runs reproducible"
+        )
+    return rc
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -569,6 +569,127 @@ def defrag_benchmark(seed: int = 0) -> Dict:
     }
 
 
+def elastic_benchmark(
+    arrivals: int = 1000,
+    pods: int = 4,
+    racks_per_pod: int = 2,
+    hosts_per_rack: int = 8,
+    mean_interarrival_s: float = 90.0,
+    mean_lifetime_s: float = 7200.0,
+    scale_every_s: float = 900.0,
+    horizon_s: float = 60.0,
+    max_batch: int = 16,
+    algorithm: str = "eg",
+    seed: int = 0,
+) -> Dict:
+    """Long-horizon elasticity bench for the autoscaling loop.
+
+    Generates one arrival storm spanning at least a simulated day
+    (``arrivals * mean_interarrival_s`` virtual seconds) in which every
+    tenant emits a scale-evaluation event each ``scale_every_s`` seconds
+    of its lifetime, then runs it through the service pipeline four ways:
+    a scaling-free baseline, scaling constructed but ``enabled=False``
+    (must be bit-identical to the baseline), and the same scaled
+    configuration twice (the two fingerprints must be bit-identical to
+    each other). The payload lands in ``BENCH_elastic.json``; ``leaks``
+    counts capacity-conservation findings across all four runs (must be
+    zero).
+    """
+    from repro.datacenter.builder import build_cloud
+    from repro.scaling import ScalingConfig
+    from repro.service import ServiceConfig, run_service
+    from repro.sim.arrivals import WorkloadTrace, default_app_factory
+
+    cloud = build_cloud(
+        num_datacenters=1,
+        pods_per_dc=pods,
+        racks_per_pod=racks_per_pod,
+        hosts_per_rack=hosts_per_rack,
+    )
+    trace = WorkloadTrace.poisson_storm(
+        arrivals,
+        default_app_factory,
+        mean_interarrival_s=mean_interarrival_s,
+        mean_lifetime_s=mean_lifetime_s,
+        seed=seed,
+        priority_levels=3,
+        update_fraction=0.1,
+        scale_every_s=scale_every_s,
+    )
+    scale_events = sum(1 for e in trace.events if e.kind == "scale")
+    span_s = trace.events[-1].time if trace.events else 0.0
+    base_config = ServiceConfig(
+        algorithm=algorithm, horizon_s=horizon_s, max_batch=max_batch
+    )
+    scaled_config = ServiceConfig(
+        algorithm=algorithm,
+        horizon_s=horizon_s,
+        max_batch=max_batch,
+        scaling=ScalingConfig(
+            policy="threshold",
+            tier_prefix="vm",
+            scale_out_at=0.70,
+            scale_in_at=0.35,
+            step_fraction=0.34,
+            cooldown_s=scale_every_s,
+            seed=seed,
+            consolidate=True,
+        ),
+    )
+    disabled_config = ServiceConfig(
+        algorithm=algorithm,
+        horizon_s=horizon_s,
+        max_batch=max_batch,
+        scaling=ScalingConfig(enabled=False),
+    )
+    started = time.perf_counter()
+    baseline = run_service(trace, cloud, base_config)
+    baseline_wall_s = time.perf_counter() - started
+    disabled = run_service(trace, cloud, disabled_config)
+    started = time.perf_counter()
+    scaled = run_service(trace, cloud, scaled_config)
+    scaled_wall_s = time.perf_counter() - started
+    repeat = run_service(trace, cloud, scaled_config)
+    leaks = (
+        len(baseline.audit_violations)
+        + len(disabled.audit_violations)
+        + len(scaled.audit_violations)
+        + len(repeat.audit_violations)
+    )
+    return {
+        "scenario": "elastic",
+        "seed": seed,
+        "arrivals": arrivals,
+        "hosts": cloud.num_hosts,
+        "algorithm": algorithm,
+        "trace_span_s": span_s,
+        "scale_events": scale_events,
+        "scale_every_s": scale_every_s,
+        "admitted": scaled.admitted,
+        "rejected": scaled.rejected,
+        "scale_evaluations": scaled.scale_evaluations,
+        "scale_outs": scaled.scale_outs,
+        "scale_ins": scaled.scale_ins,
+        "scale_out_failures": scaled.scale_out_failures,
+        "vms_added": scaled.vms_added,
+        "vms_removed": scaled.vms_removed,
+        "scale_consolidation_moves": scaled.scale_consolidation_moves,
+        "baseline_wall_s": baseline_wall_s,
+        "scaled_wall_s": scaled_wall_s,
+        "fingerprint_baseline": baseline.fingerprint,
+        "fingerprint_disabled": disabled.fingerprint,
+        "fingerprint_scaled": scaled.fingerprint,
+        "fingerprint_repeat": repeat.fingerprint,
+        "disabled_fingerprint_identical": (
+            disabled.fingerprint == baseline.fingerprint
+        ),
+        "scaled_fingerprints_identical": (
+            scaled.fingerprint == repeat.fingerprint
+        ),
+        "leaks": leaks,
+    }
+
+
 def write_results(results: Sequence[Dict], out_dir: str) -> List[str]:
     """Write one ``BENCH_<scenario>.json`` per result; returns the paths."""
     os.makedirs(out_dir, exist_ok=True)

@@ -344,8 +344,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
         burst_factor=args.burst_factor,
         priority_levels=args.priorities,
         update_fraction=args.updates,
+        scale_every_s=args.scale_every,
     )
     defrag_config = _defrag_config_from_args(args)
+    scaling_config = _scaling_config_from_args(args)
     if defrag_config is not None and args.serial_check:
         print(
             "error: --serial-check requires --defrag off (batched and "
@@ -361,6 +363,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         deadline_s=args.deadline,
         audit_every=args.audit_every,
         defrag=defrag_config,
+        scaling=scaling_config,
     )
     mode = "serial" if args.serial else f"batched(max={args.max_batch})"
     print(
@@ -398,6 +401,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
             f"{report.defrag_replans} replans), "
             f"{report.defrag_move_seconds:.1f} VM-move-s, "
             f"frag recovered {report.frag_recovered:.4f}"
+        )
+    if scaling_config is not None:
+        print(
+            f"  scaling: {report.scale_outs} out / {report.scale_ins} in "
+            f"({report.scale_evaluations} evaluations, "
+            f"{report.scale_out_failures} failures), "
+            f"+{report.vms_added}/-{report.vms_removed} VMs, "
+            f"{report.scale_consolidation_moves} consolidation moves"
         )
     print(f"  fingerprint: {report.fingerprint}")
     rc = 0
@@ -466,6 +477,31 @@ def cmd_bench(args: argparse.Namespace) -> int:
             payload["frag_recovered"] > 0
             and payload["leaks"] == 0
             and payload["disabled_fingerprint_identical"]
+        )
+        return 0 if ok else 1
+    if args.elastic:
+        payload = bench.elastic_benchmark()
+        for path in bench.write_results([payload], args.out_dir):
+            print(f"# wrote {path}", file=sys.stderr)
+        print(
+            f"elastic storm ({payload['arrivals']} submissions over "
+            f"{payload['trace_span_s'] / 86400.0:.1f} simulated days, "
+            f"{payload['scale_events']} scale events, "
+            f"{payload['hosts']} hosts): "
+            f"{payload['scale_outs']} out / {payload['scale_ins']} in "
+            f"({payload['vms_added']} VMs added, "
+            f"{payload['vms_removed']} removed, "
+            f"{payload['scale_consolidation_moves']} consolidation "
+            f"moves), leaks: {payload['leaks']}, disabled-run "
+            f"fingerprint identical: "
+            f"{payload['disabled_fingerprint_identical']}, same-seed "
+            f"scaled fingerprints identical: "
+            f"{payload['scaled_fingerprints_identical']}"
+        )
+        ok = (
+            payload["leaks"] == 0
+            and payload["disabled_fingerprint_identical"]
+            and payload["scaled_fingerprints_identical"]
         )
         return 0 if ok else 1
     if args.parallel_sweep:
@@ -658,6 +694,74 @@ def _defrag_config_from_args(args: argparse.Namespace):
         cadence=args.defrag_every,
         max_moves_per_pass=args.defrag_moves,
         margin=args.defrag_margin,
+    )
+
+
+def _add_scaling_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scaling",
+        action="store_true",
+        help="evaluate trace scale events through the autoscaling loop "
+        "(see docs/SERVICE.md, 'Elasticity lifecycle'); requires "
+        "--scale-every > 0 to generate any scale events",
+    )
+    parser.add_argument(
+        "--scale-every",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="emit a scale-evaluation event per tenant every N virtual "
+        "seconds of its lifetime (default: %(default)s = none)",
+    )
+    parser.add_argument(
+        "--scaling-policy",
+        choices=("threshold", "ewma"),
+        default="threshold",
+        help="scaling policy (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--scale-out-at",
+        type=float,
+        default=0.75,
+        metavar="FRAC",
+        help="scale-out utilization threshold (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--scale-in-at",
+        type=float,
+        default=0.30,
+        metavar="FRAC",
+        help="scale-in utilization threshold (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--scale-cooldown",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="per-tier hold window after an applied action (default: "
+        "%(default)s)",
+    )
+    parser.add_argument(
+        "--scale-consolidate",
+        action="store_true",
+        help="run a targeted defrag pass over the survivors after every "
+        "scale-in",
+    )
+
+
+def _scaling_config_from_args(args: argparse.Namespace):
+    """Build a ScalingConfig from the --scaling* flags (None when off)."""
+    if not getattr(args, "scaling", False):
+        return None
+    from repro.scaling import ScalingConfig
+
+    return ScalingConfig(
+        policy=args.scaling_policy,
+        scale_out_at=args.scale_out_at,
+        scale_in_at=args.scale_in_at,
+        cooldown_s=args.scale_cooldown,
+        seed=args.seed,
+        consolidate=args.scale_consolidate,
     )
 
 
@@ -854,6 +958,14 @@ def build_parser() -> argparse.ArgumentParser:
         "the defrag-off fingerprint gate in BENCH_defrag.json)",
     )
     bench_cmd.add_argument(
+        "--elastic",
+        action="store_true",
+        help="run the long-horizon autoscaling benchmark instead of the "
+        "reference suite (a simulated day of arrivals with scale "
+        "events; records action counts, the scaling-off fingerprint "
+        "gate, and same-seed reproducibility in BENCH_elastic.json)",
+    )
+    bench_cmd.add_argument(
         "--gap",
         action="store_true",
         help="also compute the MILP optimality-gap oracle per scenario "
@@ -959,6 +1071,7 @@ def build_parser() -> argparse.ArgumentParser:
         "scripts)",
     )
     _add_defrag_flags(serve)
+    _add_scaling_flags(serve)
     serve.set_defaults(func=cmd_serve)
 
     lint_cmd = sub.add_parser(

@@ -27,15 +27,29 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, List, Optional, Set, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Set,
+    Tuple,
+    Union,
+)
 
 from repro import obs
 from repro.core.base import PlacementResult
+from repro.core.objective import Objective
 from repro.core.topology import ApplicationTopology
-from repro.errors import DeadlineError, PlacementError
+from repro.errors import DeadlineError, PlacementError, ReproError
 
 if TYPE_CHECKING:  # pragma: no cover - avoids a circular import
+    from repro.core.migration import MigrationStep
     from repro.core.scheduler import Ostro
+    from repro.defrag.executor import DefragStats
+    from repro.defrag.planner import DefragConfig
 
 
 @dataclass
@@ -100,6 +114,22 @@ def update_application(
     old_topology = deployed.topology
     old_placement = deployed.placement
     added, removed, changed = diff_topologies(old_topology, new_topology)
+
+    if not added and not removed and not changed:
+        # Empty diff: the deployment already satisfies the request. A
+        # true no-op -- no release/re-commit cycle, no search work, no
+        # state mutation, and no update telemetry.
+        objective = Objective.for_topology(
+            old_topology, ostro.cloud, ostro.theta_bw, ostro.theta_c
+        )
+        return UpdateResult(
+            result=PlacementResult(
+                placement=old_placement,
+                objective_value=ostro._placement_value(
+                    old_topology, old_placement, objective
+                ),
+            )
+        )
 
     # Release the old deployment; we re-commit (old or new) before returning.
     ostro.remove(new_topology.name)
@@ -339,34 +369,66 @@ def evacuate_host(
     return report
 
 
+def tier_members(
+    topology: ApplicationTopology, tier_prefix: str
+) -> List[str]:
+    """Sorted names of the VMs whose name starts with ``tier_prefix``."""
+    return sorted(
+        name
+        for name in topology.nodes
+        if name.startswith(tier_prefix) and topology.node(name).is_vm
+    )
+
+
+def _next_extra_index(members: List[str], tier_prefix: str) -> int:
+    """Highest ``<prefix>-extra<N>`` index among members (0 when none)."""
+    extra_prefix = f"{tier_prefix}-extra"
+    highest = 0
+    for name in members:
+        if name.startswith(extra_prefix):
+            try:
+                highest = max(highest, int(name[len(extra_prefix):]))
+            except ValueError:
+                continue
+    return highest
+
+
 def add_vms_to_tier(
     topology: ApplicationTopology,
     tier_prefix: str,
     fraction: float,
     link_bw_mbps: Optional[float] = None,
+    count: Optional[int] = None,
 ) -> ApplicationTopology:
     """Grow a tier of a topology by a fraction of small VMs (Section IV-E).
 
-    Clones the topology and adds ``ceil(fraction * tier_size)`` VMs whose
-    requirements and link structure mirror the tier's first member. Used by
-    the online-adaptation experiment ("adding 10% more small VMs on the
-    first or second tier").
+    Clones the topology and adds ``ceil(fraction * tier_size)`` VMs (or
+    exactly ``count`` when given) whose requirements and link structure
+    mirror the tier's first member. Used by the online-adaptation
+    experiment ("adding 10% more small VMs on the first or second tier")
+    and by the autoscaling scale-out path (:mod:`repro.scaling`).
+
+    New members are named ``<prefix>-extra<N>`` with ``N`` continuing
+    past the highest existing extra, so repeated growths never collide.
+    A zero delta is a true no-op: the input topology is returned as-is,
+    uncloned.
     """
-    members = [
-        name for name in topology.nodes if name.startswith(tier_prefix)
-        and topology.node(name).is_vm
-    ]
+    members = tier_members(topology, tier_prefix)
     if not members:
         raise PlacementError(f"no VMs with prefix {tier_prefix!r}")
     template_name = members[0]
     template = topology.node(template_name)
-    # ceil, as documented -- with a tiny slack so binary-float noise in
-    # fraction * size (e.g. 0.2 * 15 = 3.0000000000000004) cannot round a
-    # whole-number product up an extra step.
-    count = math.ceil(fraction * len(members) - 1e-9)
+    if count is None:
+        # ceil, as documented -- with a tiny slack so binary-float noise
+        # in fraction * size (e.g. 0.2 * 15 = 3.0000000000000004) cannot
+        # round a whole-number product up an extra step.
+        count = math.ceil(fraction * len(members) - 1e-9)
+    if count <= 0:
+        return topology
+    start = _next_extra_index(members, tier_prefix)
     grown = topology.copy()
     for i in range(count):
-        new_name = f"{tier_prefix}-extra{i + 1}"
+        new_name = f"{tier_prefix}-extra{start + i + 1}"
         grown.add_vm(new_name, template.vcpus, template.mem_gb)
         for neighbor, bw in topology.neighbors(template_name):
             grown.connect(
@@ -375,3 +437,226 @@ def add_vms_to_tier(
                 bw if link_bw_mbps is None else link_bw_mbps,
             )
     return grown
+
+
+@dataclass
+class ScaleInResult:
+    """Outcome of one :func:`remove_vms_from_tier` call.
+
+    Attributes:
+        removed: names of the released tier members (empty = no-op).
+        remaining: tier members still deployed after the shrink.
+        consolidated: True when the optional consolidation pass executed
+            to completion (False when not requested, nothing beneficial
+            was found, or a fault aborted it -- the shrink itself stands
+            regardless).
+        consolidation_moves: migration steps the consolidation executed.
+    """
+
+    removed: List[str] = field(default_factory=list)
+    remaining: int = 0
+    consolidated: bool = False
+    consolidation_moves: int = 0
+
+
+def _removal_preference(members: List[str], tier_prefix: str) -> Dict[str, int]:
+    """Deterministic tie-break order for victim selection.
+
+    Scale-out extras go first, last-added first (LIFO over the
+    ``-extra<N>`` index), then original members in reverse name order --
+    so absent load information a scale-in exactly unwinds prior
+    scale-outs before touching the tier's original population.
+    """
+    extra_prefix = f"{tier_prefix}-extra"
+
+    def extra_index(name: str) -> Optional[int]:
+        if not name.startswith(extra_prefix):
+            return None
+        try:
+            return int(name[len(extra_prefix):])
+        except ValueError:
+            return None
+
+    extras = sorted(
+        (name for name in members if extra_index(name) is not None),
+        key=lambda name: -(extra_index(name) or 0),
+    )
+    originals = sorted(
+        (name for name in members if extra_index(name) is None),
+        reverse=True,
+    )
+    return {name: rank for rank, name in enumerate(extras + originals)}
+
+
+def remove_vms_from_tier(
+    ostro: "Ostro",
+    app_name: str,
+    tier_prefix: str,
+    fraction: float = 0.0,
+    count: Optional[int] = None,
+    loads: Optional[Dict[str, float]] = None,
+    min_members: int = 1,
+    consolidate: Optional["DefragConfig"] = None,
+    defrag_stats: Optional["DefragStats"] = None,
+    step_hook: Optional[Callable[[str, int, "MigrationStep"], None]] = None,
+) -> ScaleInResult:
+    """Scale a deployed application's tier *in*, releasing members live.
+
+    The inverse of :func:`add_vms_to_tier`, but operating on a committed
+    deployment: ``ceil(fraction * tier_size)`` members (or exactly
+    ``count``) are selected least-loaded-first and their reservations --
+    incident link bandwidth, then host/disk capacity -- are released
+    under a transactional snapshot, exactly mirroring
+    :meth:`~repro.core.scheduler.Ostro.commit`: the release is gated
+    through the fault injector (service ``"ostro"``, method
+    ``"scale_in"``), retried under the scheduler's
+    :class:`~repro.faults.retry.RetryPolicy` when one is installed, and
+    rolled back bit-exactly on any :class:`~repro.errors.ReproError`.
+    No search runs: shrinking never needs placement work.
+
+    Victim selection is fully deterministic: members sort by
+    ``(load, preference)`` where ``loads`` maps member name to its
+    current load (missing entries read 0.0) and the preference order
+    unwinds prior scale-outs first (see :func:`_removal_preference`).
+    At least ``min_members`` members always survive.
+
+    With ``consolidate`` given (and enabled), the survivors are handed
+    to the PR 9 migration engine for a targeted single-application
+    defragmentation pass (:meth:`repro.defrag.planner.DefragPlanner.
+    plan_app` executed by :class:`repro.defrag.executor.DefragExecutor`)
+    -- scale-in is precisely the moment an application's placement has
+    just become sparser than it needs to be. A fault mid-consolidation
+    aborts that pass transactionally; the shrink itself is already
+    durable at that point.
+
+    Returns a :class:`ScaleInResult`; a resolved delta of zero returns
+    immediately with no state mutation, no injector gate, and no events.
+    """
+    deployed = ostro.deployed(app_name)
+    topology = deployed.topology
+    placement = deployed.placement
+    members = tier_members(topology, tier_prefix)
+    if not members:
+        raise PlacementError(
+            f"no VMs with prefix {tier_prefix!r} in {app_name!r}"
+        )
+    if count is None:
+        count = math.ceil(fraction * len(members) - 1e-9)
+    count = min(count, len(members) - max(0, min_members))
+    if count <= 0:
+        return ScaleInResult(remaining=len(members))
+
+    preference = _removal_preference(members, tier_prefix)
+    victims = sorted(
+        members,
+        key=lambda name: (
+            (loads or {}).get(name, 0.0),
+            preference[name],
+        ),
+    )[:count]
+    victim_set = set(victims)
+
+    shrunk = topology.copy()
+    for name in victims:
+        shrunk.remove_node(name)
+
+    released_links = [
+        link
+        for link in topology.links
+        if link.a in victim_set or link.b in victim_set
+    ]
+
+    def release_once() -> None:
+        baseline = ostro.state.snapshot()
+        try:
+            if ostro.injector is not None:
+                ostro.injector.before_api_call("ostro", "scale_in")
+            for link in released_links:
+                path = ostro.resolver.path(
+                    placement.host_of(link.a), placement.host_of(link.b)
+                )
+                ostro.state.release_path(path, link.bw_mbps)
+            for name in victims:
+                node = topology.node(name)
+                ostro.state.unplace_vm(
+                    placement.host_of(name),
+                    ostro.state.reserved_vcpus(node),
+                    node.mem_gb,
+                )
+        except ReproError as exc:
+            ostro.state.restore(baseline)
+            rec = obs.get_recorder()
+            if rec.enabled:
+                rec.inc("ostro_rollbacks_total")
+                rec.event("rollback", app=app_name, reason=str(exc))
+            raise
+
+    if ostro.retry_policy is not None:
+        from repro.faults.retry import retry_call
+
+        retry_call(
+            ostro.retry_policy,
+            release_once,
+            service="ostro",
+            method="scale_in",
+        )
+    else:
+        release_once()
+
+    released_ubw = 0.0
+    for link in released_links:
+        path = ostro.resolver.path(
+            placement.host_of(link.a), placement.host_of(link.b)
+        )
+        released_ubw += link.bw_mbps * len(path)
+    kept_assignments = {
+        name: assignment
+        for name, assignment in placement.assignments.items()
+        if name not in victim_set
+    }
+    kept_hosts = {a.host for a in kept_assignments.values()}
+    vacated = len(
+        {a.host for a in placement.assignments.values()} - kept_hosts
+    )
+    from repro.core.placement import Placement
+    from repro.core.scheduler import DeployedApplication
+
+    ostro.applications[app_name] = DeployedApplication(
+        topology=shrunk,
+        placement=Placement(
+            app_name=app_name,
+            assignments=kept_assignments,
+            reserved_bw_mbps=placement.reserved_bw_mbps - released_ubw,
+            new_active_hosts=max(0, placement.new_active_hosts - vacated),
+            hosts_used=len(kept_hosts),
+        ),
+    )
+
+    result = ScaleInResult(
+        removed=victims, remaining=len(members) - len(victims)
+    )
+    rec = obs.get_recorder()
+    if rec.enabled:
+        rec.inc("ostro_scaling_vms_total", len(victims), direction="removed")
+        rec.event(
+            "scale_in",
+            app=app_name,
+            tier=tier_prefix,
+            removed=len(victims),
+            remaining=result.remaining,
+        )
+
+    if consolidate is not None and consolidate.enabled:
+        from repro.defrag.executor import DefragExecutor, DefragStats
+        from repro.defrag.planner import DefragPlanner
+
+        plan = DefragPlanner(consolidate).plan_app(ostro, app_name)
+        if plan.migrations:
+            stats = defrag_stats if defrag_stats is not None else DefragStats()
+            moves_before = stats.moves + stats.bounces
+            executor = DefragExecutor(ostro, consolidate, step_hook=step_hook)
+            result.consolidated = executor.execute(plan, stats)
+            result.consolidation_moves = (
+                stats.moves + stats.bounces - moves_before
+            )
+    return result

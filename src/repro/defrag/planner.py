@@ -249,86 +249,133 @@ class DefragPlanner:
         ]:
             if budget <= 0:
                 break
-            deployed = ostro.deployed(app_name)
-            topology, old = deployed.topology, deployed.placement
-            scratch = ostro.state.clone()
-            _release_placement(scratch, ostro.resolver, topology, old)
-            objective = Objective.for_topology(
-                topology, ostro.cloud, ostro.theta_bw, ostro.theta_c
-            )
-            try:
-                # construction validates the deadline too: an exhausted
-                # (or zero) budget aborts the pass, never the fleet
-                algo = make_algorithm(
-                    cfg.algorithm,
-                    greedy_config=ostro.greedy_config,
-                    **(
-                        {"deadline_s": deadline_left}
-                        if deadline_left is not None
-                        else {}
-                    ),
-                )
-                result = algo.place(topology, ostro.cloud, scratch, objective)
-            except DeadlineError:
-                pass_plan.aborted = True
-                break
-            except PlacementError:
-                continue
-            if deadline_left is not None:
-                deadline_left -= result.runtime_s
-                if deadline_left <= 0:
-                    pass_plan.aborted = True
-            current_value = _placement_value(
-                ostro, topology, old, objective, scratch
-            )
-            gain = current_value - result.objective_value
-            # This is a DEfragmenter: only consolidating moves qualify.
-            # A pure-bandwidth win that spreads the application wider
-            # (more hosts, or the same hosts across more racks) would
-            # raise the dispersion index -- leave those to the
-            # foreground reoptimize path.
-            spreads_wider = placement_spread(
-                ostro.cloud, result.placement
-            ) > placement_spread(ostro.cloud, old)
-            if gain <= 0 or spreads_wider:
-                if pass_plan.aborted:
-                    break
-                continue
-            try:
-                plan = plan_migration(
-                    topology,
-                    ostro.state,
-                    old,
-                    result.placement,
-                    max_bounces=cfg.max_bounces,
-                )
-            except PlacementError:
-                if pass_plan.aborted:
-                    break
-                continue
-            moved_gb = _plan_moved_gb(topology, plan)
-            move_cost = cfg.move_cost_weight * moved_gb
-            if (
-                len(plan.steps) == 0
-                or len(plan.steps) > budget
-                or gain - move_cost <= cfg.margin
-            ):
-                if pass_plan.aborted:
-                    break
-                continue
-            budget -= len(plan.steps)
-            pass_plan.migrations.append(
-                AppMigration(
-                    app_name=app_name,
-                    topology=topology,
-                    old_placement=old,
-                    new_placement=result.placement,
-                    plan=plan,
-                    gain=gain,
-                    move_cost=move_cost,
-                    moved_gb=moved_gb,
-                )
+            budget, deadline_left = self._consider(
+                ostro, app_name, budget, deadline_left, pass_plan
             )
             if pass_plan.aborted:
                 break
         return pass_plan
+
+    def plan_app(
+        self,
+        ostro: "Ostro",
+        app_name: str,
+        budget: Optional[int] = None,
+    ) -> DefragPassPlan:
+        """Plan a targeted pass for a single application (read-only).
+
+        The scale-in path's consolidation hook
+        (:func:`repro.core.online.remove_vms_from_tier`): one application
+        has just shed members, so only its own placement is re-derived --
+        no fleet-wide candidate ranking, no fragmentation threshold, no
+        cadence tick. Acceptance uses the exact same gain / consolidation
+        / move-budget rules as a full pass.
+
+        Applications with any node on a down host yield an empty plan
+        (crashed hosts belong to evacuation, as in :meth:`_candidates`).
+        """
+        pass_plan = DefragPassPlan(
+            fragmentation_before=self.fragmentation(ostro)
+        )
+        deployed = ostro.applications.get(app_name)
+        if deployed is None or not deployed.placement.assignments:
+            return pass_plan
+        if any(
+            ostro.state.host_is_down(a.host)
+            for a in deployed.placement.assignments.values()
+        ):
+            return pass_plan
+        self._consider(
+            ostro,
+            app_name,
+            budget if budget is not None else self.config.max_moves_per_pass,
+            self.config.deadline_s,
+            pass_plan,
+        )
+        return pass_plan
+
+    def _consider(
+        self,
+        ostro: "Ostro",
+        app_name: str,
+        budget: int,
+        deadline_left: Optional[float],
+        pass_plan: DefragPassPlan,
+    ) -> Tuple[int, Optional[float]]:
+        """Evaluate one candidate, appending to ``pass_plan`` when it is
+        accepted; returns the remaining (move budget, deadline)."""
+        cfg = self.config
+        deployed = ostro.deployed(app_name)
+        topology, old = deployed.topology, deployed.placement
+        scratch = ostro.state.clone()
+        _release_placement(scratch, ostro.resolver, topology, old)
+        objective = Objective.for_topology(
+            topology, ostro.cloud, ostro.theta_bw, ostro.theta_c
+        )
+        try:
+            # construction validates the deadline too: an exhausted
+            # (or zero) budget aborts the pass, never the fleet
+            algo = make_algorithm(
+                cfg.algorithm,
+                greedy_config=ostro.greedy_config,
+                **(
+                    {"deadline_s": deadline_left}
+                    if deadline_left is not None
+                    else {}
+                ),
+            )
+            result = algo.place(topology, ostro.cloud, scratch, objective)
+        except DeadlineError:
+            pass_plan.aborted = True
+            return budget, deadline_left
+        except PlacementError:
+            return budget, deadline_left
+        if deadline_left is not None:
+            deadline_left -= result.runtime_s
+            if deadline_left <= 0:
+                pass_plan.aborted = True
+        current_value = _placement_value(
+            ostro, topology, old, objective, scratch
+        )
+        gain = current_value - result.objective_value
+        # This is a DEfragmenter: only consolidating moves qualify.
+        # A pure-bandwidth win that spreads the application wider
+        # (more hosts, or the same hosts across more racks) would
+        # raise the dispersion index -- leave those to the
+        # foreground reoptimize path.
+        spreads_wider = placement_spread(
+            ostro.cloud, result.placement
+        ) > placement_spread(ostro.cloud, old)
+        if gain <= 0 or spreads_wider:
+            return budget, deadline_left
+        try:
+            plan = plan_migration(
+                topology,
+                ostro.state,
+                old,
+                result.placement,
+                max_bounces=cfg.max_bounces,
+            )
+        except PlacementError:
+            return budget, deadline_left
+        moved_gb = _plan_moved_gb(topology, plan)
+        move_cost = cfg.move_cost_weight * moved_gb
+        if (
+            len(plan.steps) == 0
+            or len(plan.steps) > budget
+            or gain - move_cost <= cfg.margin
+        ):
+            return budget, deadline_left
+        pass_plan.migrations.append(
+            AppMigration(
+                app_name=app_name,
+                topology=topology,
+                old_placement=old,
+                new_placement=result.placement,
+                plan=plan,
+                gain=gain,
+                move_cost=move_cost,
+                moved_gb=moved_gb,
+            )
+        )
+        return budget - len(plan.steps), deadline_left

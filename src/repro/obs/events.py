@@ -83,6 +83,10 @@ EVENT_SCHEMA: Dict[str, frozenset] = {
     "escalated": frozenset({"app", "reason"}),
     # runtime adaptation / migration
     "migration_step": frozenset({"node", "to_host", "bounce", "moved_gb"}),
+    # autoscaling lifecycle (repro.scaling)
+    "scale_out": frozenset({"app", "added"}),
+    "scale_in": frozenset({"app", "tier", "removed", "remaining"}),
+    "scale_failed": frozenset({"app", "direction"}),
     # continuous defragmentation (repro.defrag)
     "defrag_pass": frozenset({"apps", "moves", "gain"}),
     "defrag_pass_aborted": frozenset({"app", "reason"}),

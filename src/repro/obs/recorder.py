@@ -258,6 +258,32 @@ METRIC_CATALOG: Dict[str, Tuple[str, str, Tuple[str, ...]]] = {
         "by reason.",
         ("reason",),
     ),
+    "ostro_scaling_evaluations_total": (
+        "counter",
+        "Autoscaling policy evaluations performed.",
+        (),
+    ),
+    "ostro_scaling_actions_total": (
+        "counter",
+        "Autoscaling actions applied, by direction (out / in).",
+        ("direction",),
+    ),
+    "ostro_scaling_failures_total": (
+        "counter",
+        "Autoscaling actions that could not be applied, by direction.",
+        ("direction",),
+    ),
+    "ostro_scaling_vms_total": (
+        "counter",
+        "Tier members added/removed by autoscaling, by direction "
+        "(added / removed).",
+        ("direction",),
+    ),
+    "ostro_scaling_utilization": (
+        "gauge",
+        "Last measured tier utilization per application.",
+        ("app",),
+    ),
     "ostro_span_seconds": (
         "histogram",
         "Duration of named trace spans.",

@@ -1,0 +1,46 @@
+"""Deterministic autoscaling: load signals, policies, and the engine.
+
+Closes the elasticity loop over live placements (ROADMAP open item 3):
+per-tier load signals (:mod:`~repro.scaling.signals`) feed pluggable
+policies (:mod:`~repro.scaling.policy`) through the
+:class:`~repro.scaling.engine.AutoScaler`; scale-out places only the
+delta via :func:`repro.core.online.add_vms_to_tier` +
+``update_application``, scale-in releases members transactionally via
+:func:`repro.core.online.remove_vms_from_tier`. Every value is seeded
+and bit-reproducible.
+"""
+
+from repro.scaling.engine import (
+    AutoScaler,
+    ScalingConfig,
+    ScalingDecision,
+    ScalingStats,
+    consolidation_config,
+    make_policy,
+)
+from repro.scaling.policy import (
+    ACTION_HOLD,
+    ACTION_IN,
+    ACTION_OUT,
+    EwmaSlopePolicy,
+    ScalingPolicy,
+    ThresholdPolicy,
+)
+from repro.scaling.signals import LoadSignal, tier_utilization
+
+__all__ = [
+    "ACTION_HOLD",
+    "ACTION_IN",
+    "ACTION_OUT",
+    "AutoScaler",
+    "EwmaSlopePolicy",
+    "LoadSignal",
+    "ScalingConfig",
+    "ScalingDecision",
+    "ScalingPolicy",
+    "ScalingStats",
+    "ThresholdPolicy",
+    "consolidation_config",
+    "make_policy",
+    "tier_utilization",
+]

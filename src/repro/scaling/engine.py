@@ -1,0 +1,325 @@
+"""The autoscaling engine: config, per-tier evaluation, accounting.
+
+:class:`AutoScaler` is the piece the service driver and the chaos
+harness share. It owns the policy instance and the load signal, tracks
+each application's initial tier size (the demand anchor), and turns one
+evaluation into a :class:`ScalingDecision` carrying the resolved member
+delta -- bounded by ``min_members``/``max_members`` so the fleet can
+neither collapse a tier nor grow it without limit.
+
+Applying a decision stays with the caller, because the two hosts differ:
+the service driver grows through the sharded coordinator's update path
+and shrinks through :func:`repro.core.online.remove_vms_from_tier` on
+the coordinator's global scheduler, while the chaos harness talks to its
+:class:`~repro.core.scheduler.Ostro` directly. After applying, callers
+report back through :meth:`AutoScaler.applied` / :meth:`AutoScaler.
+failed` so cooldowns, stats, and the ``ostro_scaling_*`` metrics stay
+consistent regardless of the host.
+
+Everything is deterministic: the signal is seeded per (seed, tier,
+time), the policies are pure state machines, and the engine itself
+draws no randomness -- same trace, same decisions, bit for bit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro import obs
+from repro.core.online import tier_members
+from repro.core.placement import Placement
+from repro.core.topology import ApplicationTopology
+from repro.datacenter.state import DataCenterState
+from repro.defrag.planner import DefragConfig
+from repro.errors import ReproError
+from repro.scaling.policy import (
+    ACTION_HOLD,
+    ACTION_IN,
+    ACTION_OUT,
+    EwmaSlopePolicy,
+    ScalingPolicy,
+    ThresholdPolicy,
+)
+from repro.scaling.signals import LoadSignal, tier_utilization
+from repro.sim.utilization import hosts_cpu_used_frac
+
+
+@dataclass(frozen=True)
+class ScalingConfig:
+    """Knobs of the autoscaling loop (hashable and picklable, so it can
+    ride inside frozen service/chaos configurations).
+
+    Attributes:
+        enabled: master switch; disabled scalers are never constructed
+            and leave every run bit-identical to a scaling-free baseline.
+        policy: ``"threshold"`` (reactive, hysteresis + cooldown) or
+            ``"ewma"`` (predictive EWMA-slope projection).
+        tier_prefix: name prefix of the scaled tier's VMs (``"vm"`` for
+            the service tenants, ``"tier1"`` for chaos multitier apps).
+        scale_out_at / scale_in_at: utilization thresholds; the gap is
+            the primary hysteresis band.
+        breaches: consecutive breaches required before the threshold
+            policy acts (ignored by ``"ewma"``).
+        cooldown_s: per-tier hold window after every applied action.
+        step_fraction: member delta per action, as a fraction of the
+            current tier size (minimum 1 member).
+        min_members / max_members: hard bounds on the tier size.
+        ewma_alpha / lead_s: EWMA smoothing and projection horizon
+            (``"ewma"`` policy only).
+        seed: load-signal seed.
+        signal_base / signal_amplitude / signal_period_s / signal_noise:
+            the diurnal offered-load model, see
+            :class:`repro.scaling.signals.LoadSignal`.
+        pressure_weight: blend weight of the live host-pressure term in
+            the utilization signal (0 = pure demand model).
+        consolidate: run a targeted defrag pass over the survivors after
+            every scale-in (the PR 9 migration engine).
+        max_consolidation_moves: move budget of that pass.
+    """
+
+    enabled: bool = True
+    policy: str = "threshold"
+    tier_prefix: str = "vm"
+    scale_out_at: float = 0.75
+    scale_in_at: float = 0.30
+    breaches: int = 1
+    cooldown_s: float = 0.0
+    step_fraction: float = 0.25
+    min_members: int = 1
+    max_members: int = 64
+    ewma_alpha: float = 0.3
+    lead_s: float = 600.0
+    seed: int = 0
+    signal_base: float = 0.55
+    signal_amplitude: float = 0.35
+    signal_period_s: float = 86400.0
+    signal_noise: float = 0.05
+    pressure_weight: float = 0.0
+    consolidate: bool = False
+    max_consolidation_moves: int = 8
+
+
+def make_policy(config: ScalingConfig) -> ScalingPolicy:
+    """Instantiate the configured policy."""
+    name = config.policy.strip().lower()
+    if name == "threshold":
+        return ThresholdPolicy(
+            scale_out_at=config.scale_out_at,
+            scale_in_at=config.scale_in_at,
+            breaches=config.breaches,
+            cooldown_s=config.cooldown_s,
+        )
+    if name == "ewma":
+        return EwmaSlopePolicy(
+            scale_out_at=config.scale_out_at,
+            scale_in_at=config.scale_in_at,
+            alpha=config.ewma_alpha,
+            lead_s=config.lead_s,
+            cooldown_s=config.cooldown_s,
+        )
+    raise ReproError(
+        f"unknown scaling policy {config.policy!r}; "
+        "choose from ['threshold', 'ewma']"
+    )
+
+
+def consolidation_config(
+    config: ScalingConfig, algorithm: str
+) -> Optional[DefragConfig]:
+    """The defrag configuration of the post-scale-in consolidation pass
+    (None when consolidation is off)."""
+    if not config.consolidate:
+        return None
+    return DefragConfig(
+        enabled=True,
+        algorithm=algorithm,
+        max_apps_per_pass=1,
+        max_moves_per_pass=config.max_consolidation_moves,
+    )
+
+
+@dataclass
+class ScalingStats:
+    """What one run's autoscaling loop did.
+
+    Attributes:
+        evaluations: scale evaluations performed.
+        scale_outs / scale_ins: actions applied.
+        holds: evaluations that decided (or were bounded) to hold.
+        scale_out_failures: grow attempts the placement search rejected.
+        vms_added / vms_removed: total member delta applied.
+        consolidation_moves: migration steps executed by post-scale-in
+            consolidation passes.
+    """
+
+    evaluations: int = 0
+    scale_outs: int = 0
+    scale_ins: int = 0
+    holds: int = 0
+    scale_out_failures: int = 0
+    vms_added: int = 0
+    vms_removed: int = 0
+    consolidation_moves: int = 0
+
+
+@dataclass(frozen=True)
+class ScalingDecision:
+    """One evaluation's verdict, with the resolved member delta.
+
+    Attributes:
+        app: application name.
+        action: ``"out"``, ``"in"``, or ``"hold"``.
+        delta: members to add/remove (0 for holds); already bounded by
+            the configured min/max tier size.
+        members: current tier size at evaluation time.
+        utilization: the measured utilization the policy saw.
+        reason: why (policy reason, or ``"at-max"``/``"at-min"`` when
+            the bounds vetoed an action).
+    """
+
+    app: str
+    action: str
+    delta: int
+    members: int
+    utilization: float
+    reason: str
+
+
+class AutoScaler:
+    """Deterministic per-tier scaling evaluator (one per run)."""
+
+    def __init__(self, config: ScalingConfig) -> None:
+        self.config = config
+        self.policy = make_policy(config)
+        self.signal = LoadSignal(
+            seed=config.seed,
+            base=config.signal_base,
+            amplitude=config.signal_amplitude,
+            period_s=config.signal_period_s,
+            noise=config.signal_noise,
+        )
+        #: app name -> initial tier size (the demand anchor)
+        self.initial: Dict[str, int] = {}
+        self.stats = ScalingStats()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def register(self, app: str, topology: ApplicationTopology) -> None:
+        """Start tracking an admitted application (idempotent)."""
+        if app not in self.initial:
+            members = tier_members(topology, self.config.tier_prefix)
+            self.initial[app] = len(members)
+
+    def forget(self, app: str) -> None:
+        """Stop tracking a departed application."""
+        self.initial.pop(app, None)
+        self.policy.forget(app)
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+
+    def evaluate(
+        self,
+        app: str,
+        topology: ApplicationTopology,
+        now: float,
+        state: Optional[DataCenterState] = None,
+        placement: Optional[Placement] = None,
+    ) -> ScalingDecision:
+        """Measure one tier and ask the policy what to do.
+
+        ``state``/``placement`` feed the optional host-pressure term;
+        omitted (or with ``pressure_weight == 0``) the signal is the
+        pure demand model.
+        """
+        cfg = self.config
+        members = len(tier_members(topology, cfg.tier_prefix))
+        if app not in self.initial:
+            self.initial[app] = members
+        pressure = 0.0
+        if (
+            cfg.pressure_weight > 0.0
+            and state is not None
+            and placement is not None
+        ):
+            pressure = hosts_cpu_used_frac(
+                state, {a.host for a in placement.assignments.values()}
+            )
+        utilization = tier_utilization(
+            self.signal,
+            app,
+            self.initial[app],
+            members,
+            now,
+            pressure=pressure,
+            pressure_weight=cfg.pressure_weight,
+        )
+        action, reason = self.policy.decide(app, now, utilization)
+        delta = 0
+        if action == ACTION_OUT:
+            step = max(1, math.ceil(cfg.step_fraction * members - 1e-9))
+            delta = min(step, cfg.max_members - members)
+            if delta <= 0:
+                action, reason, delta = ACTION_HOLD, "at-max", 0
+        elif action == ACTION_IN:
+            step = max(1, math.ceil(cfg.step_fraction * members - 1e-9))
+            delta = min(step, members - max(0, cfg.min_members))
+            if delta <= 0:
+                action, reason, delta = ACTION_HOLD, "at-min", 0
+        self.stats.evaluations += 1
+        if action == ACTION_HOLD:
+            self.stats.holds += 1
+        rec = obs.get_recorder()
+        if rec.enabled:
+            rec.inc("ostro_scaling_evaluations_total")
+            rec.set_gauge(
+                "ostro_scaling_utilization", utilization, app=app
+            )
+        return ScalingDecision(
+            app=app,
+            action=action,
+            delta=delta,
+            members=members,
+            utilization=utilization,
+            reason=reason,
+        )
+
+    # ------------------------------------------------------------------
+    # outcome reporting (callers apply, then report)
+    # ------------------------------------------------------------------
+
+    def applied(self, app: str, now: float, action: str, delta: int) -> None:
+        """An action landed: stamp the cooldown and account for it."""
+        self.policy.record_action(app, now)
+        rec = obs.get_recorder()
+        if action == ACTION_OUT:
+            self.stats.scale_outs += 1
+            self.stats.vms_added += delta
+            if rec.enabled:
+                rec.inc("ostro_scaling_actions_total", direction="out")
+                rec.inc(
+                    "ostro_scaling_vms_total", delta, direction="added"
+                )
+                rec.event("scale_out", app=app, added=delta)
+        elif action == ACTION_IN:
+            self.stats.scale_ins += 1
+            self.stats.vms_removed += delta
+            if rec.enabled:
+                rec.inc("ostro_scaling_actions_total", direction="in")
+            # the scale-in primitive itself emits the "scale_in" event
+            # and the removed-VM counter
+
+    def failed(self, app: str, action: str) -> None:
+        """An action could not be applied (placement search rejected the
+        grown topology, or a fault aborted the shrink)."""
+        if action == ACTION_OUT:
+            self.stats.scale_out_failures += 1
+        rec = obs.get_recorder()
+        if rec.enabled:
+            rec.inc("ostro_scaling_failures_total", direction=action)
+            rec.event("scale_failed", app=app, direction=action)

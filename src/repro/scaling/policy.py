@@ -1,0 +1,174 @@
+"""Pluggable scaling policies: threshold-with-hysteresis and EWMA slope.
+
+A policy is a deterministic state machine: ``decide`` maps (tier key,
+virtual time, measured utilization) to an action -- ``"out"``, ``"in"``,
+or ``"hold"`` -- plus a reason string. Policies keep only per-tier
+bookkeeping (breach streaks, cooldown stamps, EWMA levels); they draw no
+randomness and never read the wall clock, so identical evaluation
+sequences produce identical action sequences, bit for bit. All
+randomness in the scaling loop lives in the seeded load signal
+(:mod:`repro.scaling.signals`).
+
+Two implementations:
+
+* :class:`ThresholdPolicy` -- the classic reactive rule: scale out when
+  utilization holds above the high threshold for ``breaches``
+  consecutive evaluations, in below the low one, with a per-tier
+  cooldown after every action. The threshold gap plus the breach streak
+  is the hysteresis that stops flapping.
+* :class:`EwmaSlopePolicy` -- a simple predictive rule: track an EWMA of
+  utilization and its slope, project ``lead_s`` seconds ahead, and apply
+  the same thresholds to the *projected* value -- scaling out before the
+  peak arrives instead of after.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Tuple
+
+#: decide() verdicts
+ACTION_OUT = "out"
+ACTION_IN = "in"
+ACTION_HOLD = "hold"
+
+
+class ScalingPolicy(ABC):
+    """Base class: per-tier decision state plus cooldown bookkeeping."""
+
+    def __init__(self, cooldown_s: float = 0.0) -> None:
+        self.cooldown_s = cooldown_s
+        self._last_action_at: Dict[str, float] = {}
+
+    @abstractmethod
+    def decide(self, key: str, now: float, utilization: float) -> Tuple[str, str]:
+        """Return ``(action, reason)`` for one evaluation."""
+
+    def in_cooldown(self, key: str, now: float) -> bool:
+        """True while the tier's post-action cooldown window is open."""
+        last = self._last_action_at.get(key)
+        return (
+            last is not None
+            and self.cooldown_s > 0.0
+            and now - last < self.cooldown_s
+        )
+
+    def record_action(self, key: str, now: float) -> None:
+        """Stamp an applied action (opens the cooldown window)."""
+        self._last_action_at[key] = now
+
+    def forget(self, key: str) -> None:
+        """Drop all per-tier state (the tier departed)."""
+        self._last_action_at.pop(key, None)
+
+
+class ThresholdPolicy(ScalingPolicy):
+    """Utilization thresholds with breach-streak hysteresis and cooldown.
+
+    Args:
+        scale_out_at: utilization at or above which the tier is hot.
+        scale_in_at: utilization at or below which the tier is cold.
+        breaches: consecutive hot/cold evaluations required before
+            acting (the hysteresis depth; 1 = act immediately).
+        cooldown_s: virtual seconds after an applied action during which
+            the tier holds regardless of utilization.
+    """
+
+    def __init__(
+        self,
+        scale_out_at: float = 0.75,
+        scale_in_at: float = 0.30,
+        breaches: int = 1,
+        cooldown_s: float = 0.0,
+    ) -> None:
+        super().__init__(cooldown_s=cooldown_s)
+        self.scale_out_at = scale_out_at
+        self.scale_in_at = scale_in_at
+        self.breaches = max(1, breaches)
+        self._hot: Dict[str, int] = {}
+        self._cold: Dict[str, int] = {}
+
+    def decide(self, key: str, now: float, utilization: float) -> Tuple[str, str]:
+        if self.in_cooldown(key, now):
+            return ACTION_HOLD, "cooldown"
+        if utilization >= self.scale_out_at:
+            self._hot[key] = self._hot.get(key, 0) + 1
+            self._cold[key] = 0
+            if self._hot[key] >= self.breaches:
+                return ACTION_OUT, "above-threshold"
+            return ACTION_HOLD, "hysteresis"
+        if utilization <= self.scale_in_at:
+            self._cold[key] = self._cold.get(key, 0) + 1
+            self._hot[key] = 0
+            if self._cold[key] >= self.breaches:
+                return ACTION_IN, "below-threshold"
+            return ACTION_HOLD, "hysteresis"
+        self._hot[key] = 0
+        self._cold[key] = 0
+        return ACTION_HOLD, "in-band"
+
+    def record_action(self, key: str, now: float) -> None:
+        super().record_action(key, now)
+        self._hot[key] = 0
+        self._cold[key] = 0
+
+    def forget(self, key: str) -> None:
+        super().forget(key)
+        self._hot.pop(key, None)
+        self._cold.pop(key, None)
+
+
+class EwmaSlopePolicy(ScalingPolicy):
+    """Predictive thresholds on an EWMA-projected utilization.
+
+    Args:
+        scale_out_at / scale_in_at: thresholds applied to the projection.
+        alpha: EWMA smoothing factor in ``(0, 1]`` (1 = no smoothing).
+        lead_s: how far ahead to project the smoothed trend.
+        cooldown_s: post-action hold window, as in the base class.
+    """
+
+    def __init__(
+        self,
+        scale_out_at: float = 0.75,
+        scale_in_at: float = 0.30,
+        alpha: float = 0.3,
+        lead_s: float = 600.0,
+        cooldown_s: float = 0.0,
+    ) -> None:
+        super().__init__(cooldown_s=cooldown_s)
+        self.scale_out_at = scale_out_at
+        self.scale_in_at = scale_in_at
+        self.alpha = alpha
+        self.lead_s = lead_s
+        #: key -> (last evaluation time, EWMA level, EWMA slope per second)
+        self._trend: Dict[str, Tuple[float, float, float]] = {}
+
+    def projected(self, key: str, now: float, utilization: float) -> float:
+        """Update the tier's trend and return the ``lead_s``-ahead value."""
+        previous = self._trend.get(key)
+        if previous is None:
+            self._trend[key] = (now, utilization, 0.0)
+            return utilization
+        last_at, level, slope = previous
+        new_level = level + self.alpha * (utilization - level)
+        dt = now - last_at
+        if dt > 0:
+            step_slope = (new_level - level) / dt
+            slope = slope + self.alpha * (step_slope - slope)
+        self._trend[key] = (now, new_level, slope)
+        return new_level + slope * self.lead_s
+
+    def decide(self, key: str, now: float, utilization: float) -> Tuple[str, str]:
+        projected = self.projected(key, now, utilization)
+        if self.in_cooldown(key, now):
+            return ACTION_HOLD, "cooldown"
+        if projected >= self.scale_out_at:
+            return ACTION_OUT, "projected-above-threshold"
+        if projected <= self.scale_in_at:
+            return ACTION_IN, "projected-below-threshold"
+        return ACTION_HOLD, "in-band"
+
+    def forget(self, key: str) -> None:
+        super().forget(key)
+        self._trend.pop(key, None)

@@ -1,0 +1,101 @@
+"""Per-tier load signals: deterministic offered load and utilization.
+
+The autoscaling loop needs something to react to. Real fleets read tier
+metrics from monitoring; a reproduction needs a signal that is (a)
+realistic enough to exercise both scaling directions -- a diurnal swell
+with seeded jitter, per the day/night cycles the SAP Cloud
+Infrastructure Dataset paper reports dominating real clouds -- and (b)
+**bit-reproducible**: every value is a pure function of (seed, tier key,
+virtual time), drawn from a :class:`random.Random` seeded per
+evaluation, never from shared RNG state or the wall clock. Two runs of
+the same trace therefore see byte-identical signals regardless of what
+else executed in the process.
+
+:func:`tier_utilization` closes the control loop: offered load is
+expressed in units of the tier's *initial* capacity, so a tier that
+scales out spreads the same demand over more members and its measured
+utilization drops -- without this, a threshold policy would scale out
+forever. An optional host-pressure term blends in the live placement's
+CPU occupancy (:func:`repro.sim.utilization.hosts_cpu_used_frac`),
+tying the signal to the existing utilization metrics.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LoadSignal:
+    """Seeded diurnal offered-load model for one application tier.
+
+    Attributes:
+        seed: signal seed; identical seeds yield identical signals.
+        base: mean offered load, in units of the tier's initial capacity
+            (1.0 = the tier as originally sized running flat out).
+        amplitude: half-swing of the diurnal sinusoid around ``base``.
+        period_s: period of the sinusoid (default: one simulated day).
+        noise: half-width of the per-evaluation uniform jitter.
+    """
+
+    seed: int = 0
+    base: float = 0.55
+    amplitude: float = 0.35
+    period_s: float = 86400.0
+    noise: float = 0.05
+
+    def phase_s(self, key: str) -> float:
+        """Per-tier phase offset, fixed for the tier's lifetime.
+
+        Seeded from ``(seed, key)`` so distinct applications peak at
+        distinct times -- a fleet never scales in lockstep.
+        """
+        rng = random.Random(f"{self.seed}:{key}:phase")
+        return rng.uniform(0.0, self.period_s)
+
+    def offered(self, key: str, now: float) -> float:
+        """Offered load at virtual time ``now`` (>= 0, in initial-capacity
+        units): diurnal sinusoid plus seeded per-evaluation jitter."""
+        if self.period_s <= 0:
+            diurnal = self.base
+        else:
+            angle = (
+                2.0 * math.pi * (now + self.phase_s(key)) / self.period_s
+            )
+            diurnal = self.base + self.amplitude * math.sin(angle)
+        jitter = 0.0
+        if self.noise > 0:
+            rng = random.Random(f"{self.seed}:{key}:{now!r}")
+            jitter = rng.uniform(-self.noise, self.noise)
+        return max(0.0, diurnal + jitter)
+
+
+def tier_utilization(
+    signal: LoadSignal,
+    key: str,
+    initial_members: int,
+    current_members: int,
+    now: float,
+    pressure: float = 0.0,
+    pressure_weight: float = 0.0,
+) -> float:
+    """Measured utilization of one tier at virtual time ``now``.
+
+    Offered load (in initial-capacity units) scales with the tier's
+    initial size and is served by its *current* members, so utilization
+    falls as the tier scales out and rises as it scales in -- the closed
+    loop a policy regulates. ``pressure`` (the used-CPU fraction of the
+    hosts the tier occupies, see
+    :func:`repro.sim.utilization.hosts_cpu_used_frac`) blends in
+    multiplicatively with weight ``pressure_weight``: a packed host
+    reads as hotter than an idle one, neutral at pressure 0.5.
+    """
+    demand = signal.offered(key, now) * max(1, initial_members)
+    utilization = demand / max(1, current_members)
+    if pressure_weight > 0.0:
+        utilization *= (
+            1.0 - pressure_weight + pressure_weight * 2.0 * pressure
+        )
+    return utilization

@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro import obs
-from repro.core.online import add_vms_to_tier
+from repro.core.online import add_vms_to_tier, remove_vms_from_tier
 from repro.datacenter.model import Cloud
 from repro.defrag import (
     DefragConfig,
@@ -33,7 +33,14 @@ from repro.defrag import (
     DefragStats,
     run_defrag_tick,
 )
-from repro.errors import PlacementError
+from repro.errors import PlacementError, ReproError
+from repro.scaling import (
+    ACTION_IN,
+    ACTION_OUT,
+    AutoScaler,
+    ScalingConfig,
+    consolidation_config,
+)
 from repro.service.batch import (
     AdmissionOutcome,
     BatchAdmissionEngine,
@@ -68,6 +75,14 @@ class ServiceConfig:
             different admission interleaving yields different
             fragmentation, hence different background moves), so the
             serial-equivalence gate only applies with defrag off.
+        scaling: optional autoscaling configuration
+            (:class:`repro.scaling.ScalingConfig`). Trace "scale" events
+            evaluate live applications through the configured policy;
+            scale-out goes through the coordinator's update path,
+            scale-in through :func:`repro.core.online.
+            remove_vms_from_tier`. ``None`` (or ``enabled=False``)
+            ignores scale events entirely, leaving the run bit-identical
+            to a scaling-free baseline.
     """
 
     algorithm: str = "eg"
@@ -79,6 +94,7 @@ class ServiceConfig:
     theta_bw: float = 0.6
     theta_c: float = 0.4
     defrag: Optional[DefragConfig] = None
+    scaling: Optional[ScalingConfig] = None
 
 
 @dataclass
@@ -115,6 +131,10 @@ class ServiceReport:
             defrag_moves / defrag_move_seconds / frag_recovered:
             background-defragmentation accounting (all 0 with the
             defragmenter off); see :mod:`repro.defrag`.
+        scale_evaluations / scale_outs / scale_ins /
+            scale_out_failures / vms_added / vms_removed /
+            scale_consolidation_moves: autoscaling accounting (all 0
+            with scaling off); see :mod:`repro.scaling`.
     """
 
     requests: int = 0
@@ -143,6 +163,13 @@ class ServiceReport:
     defrag_moves: int = 0
     defrag_move_seconds: float = 0.0
     frag_recovered: float = 0.0
+    scale_evaluations: int = 0
+    scale_outs: int = 0
+    scale_ins: int = 0
+    scale_out_failures: int = 0
+    vms_added: int = 0
+    vms_removed: int = 0
+    scale_consolidation_moves: int = 0
 
 
 def _feed_outcome(digest: "hashlib._Hash", outcome: AdmissionOutcome) -> None:
@@ -199,6 +226,14 @@ def run_service(
         executor = DefragExecutor(coordinator.ostro, cfg.defrag)
         defrag_stats = DefragStats()
 
+    scaler: Optional[AutoScaler] = None
+    consolidate: Optional[DefragConfig] = None
+    scale_defrag_stats: Optional[DefragStats] = None
+    if cfg.scaling is not None and cfg.scaling.enabled:
+        scaler = AutoScaler(cfg.scaling)
+        consolidate = consolidation_config(cfg.scaling, cfg.algorithm)
+        scale_defrag_stats = DefragStats()
+
     #: app_id -> pending request id (still queued)
     queued: Dict[int, int] = {}
     #: app_id -> live topology (admitted and not yet departed)
@@ -226,6 +261,10 @@ def run_service(
                     report.shard_admissions.get(route, 0) + 1
                 )
                 live[app_id] = outcome.request.topology
+                if scaler is not None:
+                    scaler.register(
+                        outcome.request.app_name, outcome.request.topology
+                    )
             elif outcome.status == "rejected":
                 report.rejected += 1
             elif outcome.status == "expired":
@@ -262,8 +301,20 @@ def run_service(
             if event.app_id in live:
                 coordinator.remove(f"app-{event.app_id}")
                 del live[event.app_id]
+                if scaler is not None:
+                    scaler.forget(f"app-{event.app_id}")
             elif event.app_id in queued:
-                request = queue.cancel(queued.pop(event.app_id))
+                # Pop the bookkeeping entry first, then cancel. The queue
+                # may have already expired or drained this request within
+                # the same horizon (the stale map entry is cleared lazily
+                # at the next drain) -- a duplicate departure or a
+                # departure racing an expiry must neither raise nor
+                # double-count ``report.cancelled``.
+                request_id = queued.pop(event.app_id)
+                try:
+                    request = queue.cancel(request_id)
+                except ReproError:
+                    continue
                 report.cancelled += 1
                 if rec.enabled:
                     rec.inc(
@@ -297,6 +348,82 @@ def run_service(
                     digest.update(
                         f"{name}/{node}~{a.host}:{a.disk}\n".encode("utf-8")
                     )
+        elif event.kind == "scale":
+            # ignored entirely with scaling off: no evaluation, no digest
+            # input, so scaling-free runs stay bit-identical to baseline
+            if scaler is None or event.app_id not in live:
+                continue
+            name = f"app-{event.app_id}"
+            prefix = scaler.config.tier_prefix
+            current = coordinator.ostro.deployed(name).topology
+            decision = scaler.evaluate(name, current, event.time)
+            if decision.action == ACTION_OUT:
+                grown = add_vms_to_tier(
+                    current, prefix, 0.0, count=decision.delta
+                )
+                try:
+                    coordinator.update(grown)
+                except PlacementError:
+                    scaler.failed(name, ACTION_OUT)
+                    digest.update(
+                        f"{name}:scale-out-failed\n".encode("utf-8")
+                    )
+                else:
+                    scaler.applied(
+                        name, event.time, ACTION_OUT, decision.delta
+                    )
+                    live[event.app_id] = grown
+                    assignments = coordinator.ostro.deployed(
+                        name
+                    ).placement.assignments
+                    for node in sorted(assignments):
+                        a = assignments[node]
+                        digest.update(
+                            f"{name}/{node}+{a.host}:{a.disk}\n".encode(
+                                "utf-8"
+                            )
+                        )
+            elif decision.action == ACTION_IN:
+                try:
+                    shrink = remove_vms_from_tier(
+                        coordinator.ostro,
+                        name,
+                        prefix,
+                        count=decision.delta,
+                        min_members=scaler.config.min_members,
+                        consolidate=consolidate,
+                        defrag_stats=scale_defrag_stats,
+                    )
+                except ReproError:
+                    scaler.failed(name, ACTION_IN)
+                    digest.update(
+                        f"{name}:scale-in-failed\n".encode("utf-8")
+                    )
+                else:
+                    if shrink.removed:
+                        scaler.applied(
+                            name, event.time, ACTION_IN, len(shrink.removed)
+                        )
+                        scaler.stats.consolidation_moves += (
+                            shrink.consolidation_moves
+                        )
+                        live[event.app_id] = coordinator.ostro.deployed(
+                            name
+                        ).topology
+                        for node in shrink.removed:
+                            digest.update(
+                                f"{name}/{node}-\n".encode("utf-8")
+                            )
+                        if shrink.consolidated:
+                            assignments = coordinator.ostro.deployed(
+                                name
+                            ).placement.assignments
+                            for node in sorted(assignments):
+                                a = assignments[node]
+                                digest.update(
+                                    f"{name}/{node}~{a.host}:{a.disk}\n"
+                                    .encode("utf-8")
+                                )
 
     # the trace is exhausted; drain whatever is still queued
     while len(queue):
@@ -311,6 +438,14 @@ def run_service(
         report.defrag_moves = defrag_stats.moves + defrag_stats.bounces
         report.defrag_move_seconds = defrag_stats.move_seconds
         report.frag_recovered = defrag_stats.frag_recovered
+    if scaler is not None:
+        report.scale_evaluations = scaler.stats.evaluations
+        report.scale_outs = scaler.stats.scale_outs
+        report.scale_ins = scaler.stats.scale_ins
+        report.scale_out_failures = scaler.stats.scale_out_failures
+        report.vms_added = scaler.stats.vms_added
+        report.vms_removed = scaler.stats.vms_removed
+        report.scale_consolidation_moves = scaler.stats.consolidation_moves
     report.audit_violations.extend(coordinator.verify_state())
     report.batches = {
         "single": engine.batches - engine.joint_batches - engine.fallback_batches,

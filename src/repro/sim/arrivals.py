@@ -29,7 +29,7 @@ from repro.core.scheduler import Ostro
 from repro.core.topology import ApplicationTopology
 from repro.datacenter.model import Cloud
 from repro.datacenter.state import DataCenterState
-from repro.errors import PlacementError
+from repro.errors import PlacementError, ReproError
 from repro.sim.utilization import utilization_report
 
 
@@ -39,7 +39,8 @@ class TraceEvent:
 
     Attributes:
         time: event timestamp (simulated seconds).
-        kind: "arrive", "depart", or "update" (online tier growth).
+        kind: "arrive", "depart", "update" (online tier growth), or
+            "scale" (an autoscaling evaluation point).
         app_id: unique application id within the trace.
     """
 
@@ -48,7 +49,7 @@ class TraceEvent:
     app_id: int
 
 
-_KIND_RANK = {"depart": 0, "arrive": 1, "update": 2}
+_KIND_RANK = {"depart": 0, "arrive": 1, "update": 2, "scale": 3}
 
 
 def event_sort_key(event: TraceEvent) -> tuple:
@@ -58,10 +59,22 @@ def event_sort_key(event: TraceEvent) -> tuple:
     is admitted, or capacity that is free at that instant looks occupied
     and the arrival is spuriously rejected. (Sorting on the raw ``kind``
     string gets this backwards: "arrive" < "depart" lexicographically.)
-    Updates order after arrivals at the same instant: an application must
-    exist before it can grow.
+    Updates order after arrivals at the same instant (an application
+    must exist before it can grow), and scale evaluations order last (a
+    same-instant update must land before the tier is measured).
+
+    Unknown kinds are an error: silently defaulting them to the arrival
+    rank would misorder them against same-timestamp departures with no
+    diagnostic, so a typo'd producer would corrupt replay ordering.
     """
-    return (event.time, _KIND_RANK.get(event.kind, 1), event.app_id)
+    try:
+        rank = _KIND_RANK[event.kind]
+    except KeyError:
+        raise ReproError(
+            f"unknown trace event kind {event.kind!r}; "
+            f"expected one of {sorted(_KIND_RANK)}"
+        ) from None
+    return (event.time, rank, event.app_id)
 
 
 @dataclass
@@ -125,6 +138,7 @@ class WorkloadTrace:
         burst_factor: float = 4.0,
         priority_levels: int = 1,
         update_fraction: float = 0.0,
+        scale_every_s: float = 0.0,
     ) -> "WorkloadTrace":
         """A Poisson arrival storm: flash-crowd bursts, priorities, churn.
 
@@ -137,6 +151,14 @@ class WorkloadTrace:
         applications emits one mid-lifetime "update" event (online tier
         growth, exercised through :func:`repro.core.online.
         update_application` by the service driver).
+
+        With ``scale_every_s > 0`` every application additionally emits a
+        "scale" event each ``scale_every_s`` simulated seconds of its
+        lifetime -- the evaluation points of the autoscaling loop
+        (:mod:`repro.scaling`). Scale-event times are derived
+        arithmetically from the arrival and lifetime draws, consuming
+        **no** RNG draws, so adding (or removing) them leaves every other
+        event of the trace byte-identical.
 
         Identical arguments yield identical traces, event for event.
         """
@@ -164,6 +186,11 @@ class WorkloadTrace:
             if update_fraction > 0.0 and rng.random() < update_fraction:
                 offset = lifetime * rng.uniform(0.25, 0.75)
                 raw.append(TraceEvent(clock + offset, "update", app_id))
+            if scale_every_s > 0.0:
+                at = clock + scale_every_s
+                while at < clock + lifetime:
+                    raw.append(TraceEvent(at, "scale", app_id))
+                    at += scale_every_s
         trace.events = sorted(raw, key=event_sort_key)
         return trace
 

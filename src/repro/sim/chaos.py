@@ -34,13 +34,26 @@ from repro.defrag import (
     DefragStats,
     run_defrag_tick,
 )
-from repro.errors import DeadlineError, FaultError, PlacementError
+from repro.core.online import add_vms_to_tier, remove_vms_from_tier
+from repro.errors import (
+    DeadlineError,
+    FaultError,
+    PlacementError,
+    ReproError,
+)
 from repro.faults import (
     FaultEvent,
     FaultInjector,
     FaultPlan,
     RetryPolicy,
     place_with_degradation,
+)
+from repro.scaling import (
+    ACTION_IN,
+    ACTION_OUT,
+    AutoScaler,
+    ScalingConfig,
+    consolidation_config,
 )
 from repro.sim.metrics import ChaosReport
 from repro.sim.scenarios import chaos_datacenter
@@ -76,6 +89,8 @@ def run_chaos(
     theta_c: float = 0.4,
     retry: Optional[RetryPolicy] = None,
     defrag: Optional[DefragConfig] = None,
+    scaling: Optional[ScalingConfig] = None,
+    scaling_step_s: float = 3600.0,
     **options: Any,
 ) -> ChaosReport:
     """Run one seeded chaos scenario and return its report.
@@ -103,6 +118,18 @@ def run_chaos(
             the lowest-priority action of every scenario step. ``None``
             (and ``enabled=False``) leave the run bit-identical to a
             defrag-free baseline.
+        scaling: optional autoscaling configuration. Each scenario step
+            evaluates every live application (sorted order, virtual time
+            ``step * scaling_step_s``) through the configured policy,
+            growing via the online-update path and shrinking via
+            :func:`repro.core.online.remove_vms_from_tier` -- under the
+            same fault injector, so crashes and API faults land mid
+            scale just like mid deploy. Use ``tier_prefix="tier1"`` to
+            scale the first tier of the multitier chaos apps. ``None``
+            (and ``enabled=False``) leave the run bit-identical to a
+            scaling-free baseline.
+        scaling_step_s: virtual seconds per scenario step on the scaling
+            clock (drives the diurnal load signal).
         **options: forwarded algorithm options (e.g. ``deadline_s``).
     """
     if cloud is None:
@@ -127,6 +154,12 @@ def run_chaos(
     executor = DefragExecutor(ostro, defrag) if defrag_on else None
     defrag_stats = DefragStats() if defrag_on else None
 
+    scaler: Optional[AutoScaler] = None
+    consolidate: Optional[DefragConfig] = None
+    if scaling is not None and scaling.enabled:
+        scaler = AutoScaler(scaling)
+        consolidate = consolidation_config(scaling, algorithm)
+
     def audit(context: str) -> None:
         report.invariant_violations.extend(
             f"[{context}] {violation}" for violation in ostro.verify_state()
@@ -138,6 +171,61 @@ def run_chaos(
             return
         run_defrag_tick(ostro, planner, executor, defrag_stats)
         audit(f"defrag tick {step}")
+
+    def scaling_tick(step: int) -> None:
+        """Evaluate every live application on the virtual scaling clock."""
+        if scaler is None or scaling is None:
+            return
+        report.scaling_enabled = True
+        now = step * scaling_step_s
+        down = set(ostro.state.down_hosts())
+        for app_name in sorted(ostro.applications):
+            deployed = ostro.applications[app_name]
+            hosts = {
+                a.host for a in deployed.placement.assignments.values()
+            }
+            if down and hosts & down:
+                continue  # mid-evacuation tiers are not resized
+            decision = scaler.evaluate(
+                app_name,
+                deployed.topology,
+                now,
+                state=ostro.state,
+                placement=deployed.placement,
+            )
+            if decision.action == ACTION_OUT:
+                grown = add_vms_to_tier(
+                    deployed.topology,
+                    scaling.tier_prefix,
+                    0.0,
+                    count=decision.delta,
+                )
+                try:
+                    ostro.update(grown, algorithm=algorithm, **options)
+                except (DeadlineError, FaultError, PlacementError):
+                    scaler.failed(app_name, ACTION_OUT)
+                else:
+                    scaler.applied(
+                        app_name, now, ACTION_OUT, decision.delta
+                    )
+            elif decision.action == ACTION_IN:
+                try:
+                    shrink = remove_vms_from_tier(
+                        ostro,
+                        app_name,
+                        scaling.tier_prefix,
+                        count=decision.delta,
+                        min_members=scaling.min_members,
+                        consolidate=consolidate,
+                    )
+                except ReproError:
+                    scaler.failed(app_name, ACTION_IN)
+                else:
+                    if shrink.removed:
+                        scaler.applied(
+                            app_name, now, ACTION_IN, len(shrink.removed)
+                        )
+            audit(f"scale {app_name} step {step}")
 
     def apply_fired(fired: List[FaultEvent]) -> None:
         for event in fired:
@@ -177,6 +265,7 @@ def run_chaos(
         except (DeadlineError, FaultError, PlacementError):
             report.deploy_failures += 1
         audit(f"deploy {topology.name}")
+        scaling_tick(step)
         defrag_tick(step)
 
     # Route trailing events (repairs, late crashes) through the same
@@ -186,6 +275,7 @@ def run_chaos(
     last_scheduled = plan.events[-1].at_step if plan.events else 0
     for step in range(apps, max(apps, last_scheduled) + 1):
         apply_fired(injector.advance_to(step))
+        scaling_tick(step)
         defrag_tick(step)
 
     if defrag_stats is not None:
@@ -196,6 +286,14 @@ def run_chaos(
         report.defrag_moves = defrag_stats.moves + defrag_stats.bounces
         report.defrag_move_seconds = defrag_stats.move_seconds
         report.frag_recovered = defrag_stats.frag_recovered
+
+    if scaler is not None:
+        report.scale_evaluations = scaler.stats.evaluations
+        report.scale_outs = scaler.stats.scale_outs
+        report.scale_ins = scaler.stats.scale_ins
+        report.scale_out_failures = scaler.stats.scale_out_failures
+        report.vms_added = scaler.stats.vms_added
+        report.vms_removed = scaler.stats.vms_removed
 
     report.hosts_failed = sum(
         1 for event in injector.applied if event.kind == "host_down"

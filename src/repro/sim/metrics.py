@@ -130,6 +130,13 @@ class ChaosReport:
             charged for those steps -- the availability-impact metric.
         frag_recovered: cumulative drop of the fragmentation index
             across executed passes (fragmentation recovered).
+        scaling_enabled: whether the autoscaling loop evaluated during
+            the run (all scaling fields stay 0 when it did not).
+        scale_evaluations: scale evaluations performed.
+        scale_outs / scale_ins: scaling actions applied.
+        scale_out_failures: grow attempts rejected by the placement
+            search (or aborted by an injected fault).
+        vms_added / vms_removed: total member delta applied by scaling.
     """
 
     seed: int
@@ -153,6 +160,13 @@ class ChaosReport:
     defrag_moves: int = 0
     defrag_move_seconds: float = 0.0
     frag_recovered: float = 0.0
+    scaling_enabled: bool = False
+    scale_evaluations: int = 0
+    scale_outs: int = 0
+    scale_ins: int = 0
+    scale_out_failures: int = 0
+    vms_added: int = 0
+    vms_removed: int = 0
 
     @property
     def availability(self) -> float:
@@ -176,6 +190,18 @@ class ChaosReport:
             if self.defrag_enabled
             else []
         )
+        scaling_lines = (
+            [
+                f"scale actions:        {self.scale_outs} out /"
+                f" {self.scale_ins} in"
+                f" ({self.scale_evaluations} evaluations,"
+                f" {self.scale_out_failures} failures)",
+                f"vms scaled:           +{self.vms_added}"
+                f" / -{self.vms_removed}",
+            ]
+            if self.scaling_enabled
+            else []
+        )
         return [
             f"seed:                 {self.seed}",
             f"apps deployed:        {self.apps_deployed}/{self.apps_requested}"
@@ -189,6 +215,7 @@ class ChaosReport:
             f" ({self.nodes_moved} nodes moved, {self.nodes_lost} lost)",
             f"recovery time:        {self.recovery_s:.3f} s",
             *defrag_lines,
+            *scaling_lines,
             f"capacity leaks:       {len(self.invariant_violations)}",
             f"fingerprint:          {self.fingerprint[:16]}",
         ]

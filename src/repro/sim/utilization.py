@@ -101,6 +101,23 @@ def utilization_report(state: DataCenterState) -> UtilizationReport:
     )
 
 
+def hosts_cpu_used_frac(
+    state: DataCenterState, hosts: Iterable[int]
+) -> float:
+    """Used CPU fraction over a specific host subset (0.0 when empty).
+
+    The host-pressure input of the autoscaling signal
+    (:func:`repro.scaling.signals.tier_utilization`): the same
+    used-over-nominal ratio :func:`utilization_report` computes cluster-
+    wide, restricted to the hosts one application actually occupies.
+    """
+    cloud = state.cloud
+    host_list = sorted(set(hosts))
+    total = sum(cloud.hosts[h].cpu_cores for h in host_list)
+    free = sum(state.free_cpu[h] for h in host_list)
+    return _used_fraction(total, free)
+
+
 @dataclass(frozen=True)
 class FragmentationReport:
     """Fragmentation view of one data-center state.

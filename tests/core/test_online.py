@@ -263,3 +263,50 @@ class TestAddVmsToTier:
         grown = add_vms_to_tier(topo, "web", fraction)
         new = [n for n in grown.nodes if n.startswith("web-extra")]
         assert len(new) == expected
+
+
+class TestZeroDeltaNoOps:
+    """Regression: zero-delta elasticity requests must be true no-ops.
+
+    ``add_vms_to_tier`` used to clone the topology even when the
+    resolved delta was zero, and an identical-topology update went
+    through the full release/re-commit cycle -- both made "nothing to
+    do" paths mutate state and emit telemetry.
+    """
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"fraction": 0.0},
+            {"fraction": -0.25},
+            {"fraction": 0.9, "count": 0},
+            {"fraction": 0.0, "count": -3},
+        ],
+    )
+    def test_zero_delta_growth_returns_input_uncloned(self, kwargs):
+        topo = make_three_tier()
+        assert add_vms_to_tier(topo, "web", **kwargs) is topo
+
+    def test_identical_topology_update_is_a_no_op(self, small_dc, recorder):
+        ostro, topo = deploy_three_tier(small_dc)
+        before = ostro.state.snapshot()
+        placement_before = ostro.deployed(topo.name).placement
+        recorder.events.clear()
+        outcome = ostro.update(topo.copy(), algorithm="eg")
+        assert ostro.state.snapshot() == before
+        assert ostro.deployed(topo.name).placement is placement_before
+        assert outcome.added == []
+        assert outcome.removed == []
+        assert outcome.changed == []
+        assert outcome.moved == []
+        assert outcome.unpin_rounds == 0
+        assert outcome.result.placement is placement_before
+        # no search ran, so no telemetry was produced at all
+        assert recorder.events.events == []
+
+    def test_no_op_update_reports_current_objective(self, small_dc):
+        ostro, topo = deploy_three_tier(small_dc)
+        outcome = ostro.update(topo.copy(), algorithm="eg")
+        assert outcome.result.objective_value == pytest.approx(
+            ostro.update(topo.copy(), algorithm="eg").result.objective_value
+        )

@@ -184,6 +184,53 @@ class TestChaosDefrag:
         assert not baseline.defrag_enabled
 
 
+class TestChaosScaling:
+    def scaled_run(self, cloud, scaling):
+        plan = make_fault_plan(
+            cloud, seed=2, hosts=2, links=1, steps=6, recover_after_steps=2
+        )
+        return run_chaos(
+            plan,
+            cloud=cloud,
+            apps=4,
+            app_vms=6,
+            algorithm="eg",
+            scaling=scaling,
+        )
+
+    def test_scaling_under_chaos_is_deterministic_and_clean(
+        self, tiny_cloud
+    ):
+        from repro.scaling import ScalingConfig
+
+        config = ScalingConfig(
+            tier_prefix="tier1",
+            scale_out_at=0.65,
+            scale_in_at=0.45,
+            step_fraction=0.5,
+            seed=3,
+            consolidate=True,
+        )
+        a = self.scaled_run(tiny_cloud, config)
+        b = self.scaled_run(tiny_cloud, config)
+        assert a.fingerprint == b.fingerprint
+        assert a.scaling_enabled
+        assert a.scale_evaluations > 0
+        assert a.scale_outs > 0 and a.scale_ins > 0
+        assert a.invariant_violations == []
+
+    def test_disabled_scaling_is_bit_identical_to_none(self, tiny_cloud):
+        from repro.scaling import ScalingConfig
+
+        baseline = self.scaled_run(tiny_cloud, None)
+        disabled = self.scaled_run(
+            tiny_cloud, ScalingConfig(enabled=False)
+        )
+        assert disabled.fingerprint == baseline.fingerprint
+        assert not disabled.scaling_enabled
+        assert disabled.scale_evaluations == 0
+
+
 class TestChaosCLI:
     def test_experiment_chaos_exits_clean(self, capsys):
         rc = cli_main(

@@ -1,0 +1,96 @@
+"""Shared fixtures: a deployed application with a scaled-out tier.
+
+The scale-in and fault tests need a committed application whose tier
+has already grown past its original size and whose members spread over
+several hosts -- the state an autoscaler actually shrinks from. The
+fixture builds it the same way the service driver would: deploy, then
+grow twice through the online-update path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.online import add_vms_to_tier, evacuate_host
+from repro.core.scheduler import Ostro
+from repro.core.topology import ApplicationTopology
+from repro.datacenter.builder import build_datacenter
+
+
+def make_elastic_topology(name: str = "web-fleet") -> ApplicationTopology:
+    """A single-tier fleet of 4 chatty VMs behind one volume."""
+    topo = ApplicationTopology(name)
+    for i in range(4):
+        topo.add_vm(f"vm{i}", vcpus=2, mem_gb=4)
+    for i in range(1, 4):
+        topo.connect("vm0", f"vm{i}", bw_mbps=100)
+    topo.add_volume("vol", size_gb=50)
+    topo.connect("vm0", "vol", bw_mbps=200)
+    return topo
+
+
+def make_scaled_out_ostro() -> Ostro:
+    """Deploy the fleet and grow it twice (4 -> 6 -> 8 members).
+
+    Small hosts (8 cores / 16 GB) force the grown tier across several
+    hosts, so a later scale-in actually vacates capacity and gives the
+    consolidation pass something to undo.
+    """
+    cloud = build_datacenter(
+        num_racks=2, hosts_per_rack=4, cpu_cores=8, mem_gb=16
+    )
+    ostro = Ostro(cloud)
+    topology = make_elastic_topology()
+    ostro.place(topology, algorithm="eg", commit=True)
+    for _ in range(2):
+        current = ostro.deployed(topology.name).topology
+        grown = add_vms_to_tier(current, "vm", 0.0, count=2)
+        ostro.update(grown, algorithm="eg")
+    assert ostro.verify_state() == []
+    return ostro
+
+
+@pytest.fixture
+def scaled_out_ostro() -> Ostro:
+    return make_scaled_out_ostro()
+
+
+def make_fragmented_elastic_ostro() -> Ostro:
+    """A scaled-out fleet scattered by crash -> evacuate -> repair.
+
+    Same recipe as ``tests/defrag/conftest.py`` but starting from the
+    grown 8-member tier: fillers pin down capacity slivers, the fleet's
+    first host is crashed and evacuated into them, then the host is
+    repaired and the fillers depart. The survivors straddle several
+    hosts of an almost-empty data center, so a scale-in's consolidation
+    pass has real migrations to execute -- which is exactly what the
+    fault-mid-consolidation tests need to interrupt.
+    """
+    ostro = make_scaled_out_ostro()
+    app_hosts = sorted(
+        {
+            a.host
+            for a in ostro.deployed(
+                "web-fleet"
+            ).placement.assignments.values()
+        }
+    )
+    fillers = []
+    for i in range(6):
+        filler = ApplicationTopology(f"filler{i}")
+        filler.add_vm("big", vcpus=6, mem_gb=12)
+        ostro.place(filler, algorithm="eg", commit=True)
+        fillers.append(filler.name)
+    victim = app_hosts[0]
+    ostro.state.fail_host(victim)
+    evacuate_host(ostro, victim, algorithm="eg")
+    ostro.state.restore_host(victim)
+    for name in fillers:
+        ostro.remove(name)
+    assert ostro.verify_state() == []
+    return ostro
+
+
+@pytest.fixture
+def fragmented_elastic_ostro() -> Ostro:
+    return make_fragmented_elastic_ostro()

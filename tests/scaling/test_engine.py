@@ -1,0 +1,224 @@
+"""AutoScaler engine tests: deltas, bounds, accounting, metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.errors import ReproError
+from repro.scaling import (
+    ACTION_HOLD,
+    ACTION_IN,
+    ACTION_OUT,
+    AutoScaler,
+    EwmaSlopePolicy,
+    ScalingConfig,
+    ThresholdPolicy,
+    consolidation_config,
+    make_policy,
+)
+from repro.scaling.signals import LoadSignal
+from tests.scaling.conftest import make_elastic_topology
+
+
+@pytest.fixture
+def recorder():
+    rec = obs.enable()
+    yield rec
+    obs.disable()
+
+
+def forced_scaler(action: str, **kwargs) -> AutoScaler:
+    """A scaler whose thresholds force the requested action."""
+    if action == ACTION_OUT:
+        kwargs.setdefault("scale_out_at", 0.0)
+        kwargs.setdefault("scale_in_at", -1.0)
+    elif action == ACTION_IN:
+        kwargs.setdefault("scale_out_at", 99.0)
+        kwargs.setdefault("scale_in_at", 99.0)
+    else:
+        kwargs.setdefault("scale_out_at", 99.0)
+        kwargs.setdefault("scale_in_at", -1.0)
+    return AutoScaler(ScalingConfig(**kwargs))
+
+
+class TestMakePolicy:
+    def test_threshold(self):
+        policy = make_policy(ScalingConfig(policy="threshold"))
+        assert isinstance(policy, ThresholdPolicy)
+
+    def test_ewma(self):
+        policy = make_policy(ScalingConfig(policy="ewma"))
+        assert isinstance(policy, EwmaSlopePolicy)
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(ReproError, match="unknown scaling policy"):
+            make_policy(ScalingConfig(policy="oracle"))
+
+
+class TestConsolidationConfig:
+    def test_none_when_disabled(self):
+        assert (
+            consolidation_config(ScalingConfig(consolidate=False), "eg")
+            is None
+        )
+
+    def test_single_app_pass_when_enabled(self):
+        config = consolidation_config(
+            ScalingConfig(consolidate=True, max_consolidation_moves=5), "eg"
+        )
+        assert config is not None
+        assert config.enabled
+        assert config.algorithm == "eg"
+        assert config.max_apps_per_pass == 1
+        assert config.max_moves_per_pass == 5
+
+
+class TestEvaluate:
+    def test_delta_is_step_fraction_of_members(self):
+        scaler = forced_scaler(ACTION_OUT, step_fraction=0.5)
+        decision = scaler.evaluate(
+            "app", make_elastic_topology(), 0.0
+        )
+        assert decision.action == ACTION_OUT
+        assert decision.members == 4
+        assert decision.delta == 2
+
+    def test_delta_is_at_least_one(self):
+        scaler = forced_scaler(ACTION_OUT, step_fraction=0.01)
+        decision = scaler.evaluate("app", make_elastic_topology(), 0.0)
+        assert decision.delta == 1
+
+    def test_max_members_vetoes_scale_out(self):
+        scaler = forced_scaler(ACTION_OUT, max_members=4)
+        decision = scaler.evaluate("app", make_elastic_topology(), 0.0)
+        assert decision.action == ACTION_HOLD
+        assert decision.reason == "at-max"
+        assert decision.delta == 0
+
+    def test_max_members_caps_the_delta(self):
+        scaler = forced_scaler(ACTION_OUT, step_fraction=0.9, max_members=5)
+        decision = scaler.evaluate("app", make_elastic_topology(), 0.0)
+        assert decision.action == ACTION_OUT
+        assert decision.delta == 1
+
+    def test_min_members_vetoes_scale_in(self):
+        scaler = forced_scaler(ACTION_IN, min_members=4)
+        decision = scaler.evaluate("app", make_elastic_topology(), 0.0)
+        assert decision.action == ACTION_HOLD
+        assert decision.reason == "at-min"
+
+    def test_min_members_caps_the_delta(self):
+        scaler = forced_scaler(
+            ACTION_IN, step_fraction=0.9, min_members=3
+        )
+        decision = scaler.evaluate("app", make_elastic_topology(), 0.0)
+        assert decision.action == ACTION_IN
+        assert decision.delta == 1
+
+    def test_initial_size_anchors_demand(self):
+        """A registered tier's demand anchor survives later growth."""
+        scaler = AutoScaler(ScalingConfig())
+        topo = make_elastic_topology()
+        scaler.register("app", topo)
+        assert scaler.initial["app"] == 4
+        grown = topo.copy()
+        grown.add_vm("vm-extra1", 2, 4)
+        scaler.evaluate("app", grown, 0.0)
+        assert scaler.initial["app"] == 4  # unchanged
+
+    def test_register_is_idempotent(self):
+        scaler = AutoScaler(ScalingConfig())
+        topo = make_elastic_topology()
+        scaler.register("app", topo)
+        grown = topo.copy()
+        grown.add_vm("vm-extra1", 2, 4)
+        scaler.register("app", grown)
+        assert scaler.initial["app"] == 4
+
+    def test_forget_drops_tracking(self):
+        scaler = AutoScaler(ScalingConfig())
+        scaler.register("app", make_elastic_topology())
+        scaler.forget("app")
+        assert "app" not in scaler.initial
+
+    def test_evaluations_are_deterministic(self):
+        config = ScalingConfig(seed=11)
+        topo = make_elastic_topology()
+        runs = []
+        for _ in range(2):
+            scaler = AutoScaler(config)
+            runs.append(
+                [
+                    (d.action, d.delta, d.utilization)
+                    for d in (
+                        scaler.evaluate("app", topo, t * 900.0)
+                        for t in range(20)
+                    )
+                ]
+            )
+        assert runs[0] == runs[1]
+
+
+class TestAccounting:
+    def test_applied_out_updates_stats(self):
+        scaler = AutoScaler(ScalingConfig())
+        scaler.applied("app", 0.0, ACTION_OUT, 3)
+        assert scaler.stats.scale_outs == 1
+        assert scaler.stats.vms_added == 3
+
+    def test_applied_in_updates_stats(self):
+        scaler = AutoScaler(ScalingConfig())
+        scaler.applied("app", 0.0, ACTION_IN, 2)
+        assert scaler.stats.scale_ins == 1
+        assert scaler.stats.vms_removed == 2
+
+    def test_applied_opens_cooldown(self):
+        scaler = AutoScaler(ScalingConfig(cooldown_s=900.0))
+        scaler.applied("app", 0.0, ACTION_OUT, 1)
+        assert scaler.policy.in_cooldown("app", 100.0)
+
+    def test_failed_out_counts(self):
+        scaler = AutoScaler(ScalingConfig())
+        scaler.failed("app", ACTION_OUT)
+        assert scaler.stats.scale_out_failures == 1
+
+    def test_metrics_emitted(self, recorder):
+        scaler = AutoScaler(ScalingConfig())
+        scaler.evaluate("app", make_elastic_topology(), 0.0)
+        scaler.applied("app", 0.0, ACTION_OUT, 2)
+        scaler.failed("app", ACTION_IN)
+        registry = recorder.registry
+        assert (
+            registry.get("ostro_scaling_evaluations_total").value() == 1.0
+        )
+        assert (
+            registry.get("ostro_scaling_actions_total").value(
+                direction="out"
+            )
+            == 1.0
+        )
+        assert (
+            registry.get("ostro_scaling_vms_total").value(direction="added")
+            == 2.0
+        )
+        assert (
+            registry.get("ostro_scaling_failures_total").value(
+                direction="in"
+            )
+            == 1.0
+        )
+        assert registry.get("ostro_scaling_utilization").value(
+            app="app"
+        ) == pytest.approx(scaler.signal.offered("app", 0.0))
+        assert len(recorder.events.of_type("scale_out")) == 1
+        assert len(recorder.events.of_type("scale_failed")) == 1
+
+
+class TestSignalWiring:
+    def test_scaler_signal_uses_config_seed(self):
+        scaler = AutoScaler(ScalingConfig(seed=42, signal_noise=0.0))
+        reference = LoadSignal(seed=42, noise=0.0)
+        assert scaler.signal.offered("app", 1234.0) == reference.offered(
+            "app", 1234.0
+        )

@@ -1,0 +1,120 @@
+"""Policy tests: hysteresis, cooldown, breach streaks, EWMA projection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scaling.policy import (
+    ACTION_HOLD,
+    ACTION_IN,
+    ACTION_OUT,
+    EwmaSlopePolicy,
+    ThresholdPolicy,
+)
+
+
+class TestThresholdPolicy:
+    def test_above_threshold_scales_out(self):
+        policy = ThresholdPolicy(scale_out_at=0.75, scale_in_at=0.30)
+        assert policy.decide("a", 0.0, 0.80) == (ACTION_OUT, "above-threshold")
+
+    def test_below_threshold_scales_in(self):
+        policy = ThresholdPolicy(scale_out_at=0.75, scale_in_at=0.30)
+        assert policy.decide("a", 0.0, 0.20) == (ACTION_IN, "below-threshold")
+
+    def test_band_holds(self):
+        policy = ThresholdPolicy(scale_out_at=0.75, scale_in_at=0.30)
+        assert policy.decide("a", 0.0, 0.50) == (ACTION_HOLD, "in-band")
+
+    def test_breach_streak_is_hysteresis(self):
+        policy = ThresholdPolicy(breaches=3)
+        assert policy.decide("a", 0.0, 0.9)[0] == ACTION_HOLD
+        assert policy.decide("a", 1.0, 0.9)[0] == ACTION_HOLD
+        assert policy.decide("a", 2.0, 0.9)[0] == ACTION_OUT
+
+    def test_streak_resets_on_in_band_sample(self):
+        policy = ThresholdPolicy(breaches=2)
+        assert policy.decide("a", 0.0, 0.9)[0] == ACTION_HOLD
+        assert policy.decide("a", 1.0, 0.5)[0] == ACTION_HOLD
+        assert policy.decide("a", 2.0, 0.9)[0] == ACTION_HOLD  # streak restarted
+        assert policy.decide("a", 3.0, 0.9)[0] == ACTION_OUT
+
+    def test_cooldown_blocks_consecutive_actions(self):
+        policy = ThresholdPolicy(cooldown_s=300.0)
+        assert policy.decide("a", 0.0, 0.9)[0] == ACTION_OUT
+        policy.record_action("a", 0.0)
+        assert policy.decide("a", 100.0, 0.9) == (ACTION_HOLD, "cooldown")
+        assert policy.decide("a", 300.0, 0.9)[0] == ACTION_OUT
+
+    def test_cooldown_is_per_tier(self):
+        policy = ThresholdPolicy(cooldown_s=300.0)
+        policy.record_action("a", 0.0)
+        assert policy.decide("a", 100.0, 0.9)[0] == ACTION_HOLD
+        assert policy.decide("b", 100.0, 0.9)[0] == ACTION_OUT
+
+    def test_record_action_resets_streaks(self):
+        policy = ThresholdPolicy(breaches=2)
+        policy.decide("a", 0.0, 0.9)
+        policy.record_action("a", 0.0)
+        # the streak restarted: one more hot sample is not enough
+        assert policy.decide("a", 1.0, 0.9)[0] == ACTION_HOLD
+
+    def test_forget_clears_state(self):
+        policy = ThresholdPolicy(breaches=2, cooldown_s=300.0)
+        policy.decide("a", 0.0, 0.9)
+        policy.record_action("a", 0.0)
+        policy.forget("a")
+        assert not policy.in_cooldown("a", 1.0)
+        assert policy.decide("a", 1.0, 0.9)[0] == ACTION_HOLD  # fresh streak
+
+    def test_deterministic_replay(self):
+        samples = [0.8, 0.9, 0.5, 0.2, 0.1, 0.6, 0.95]
+        a = ThresholdPolicy(breaches=2, cooldown_s=10.0)
+        b = ThresholdPolicy(breaches=2, cooldown_s=10.0)
+        run_a = [a.decide("x", float(t), u) for t, u in enumerate(samples)]
+        run_b = [b.decide("x", float(t), u) for t, u in enumerate(samples)]
+        assert run_a == run_b
+
+
+class TestEwmaSlopePolicy:
+    def test_first_sample_is_level(self):
+        policy = EwmaSlopePolicy()
+        assert policy.projected("a", 0.0, 0.5) == pytest.approx(0.5)
+
+    def test_rising_trend_scales_out_before_threshold(self):
+        """Utilization is still below the threshold, but the projection
+        crosses it -- the predictive policy acts early."""
+        policy = EwmaSlopePolicy(
+            scale_out_at=0.75, alpha=1.0, lead_s=600.0
+        )
+        policy.decide("a", 0.0, 0.50)
+        action, reason = policy.decide("a", 600.0, 0.65)
+        assert action == ACTION_OUT
+        assert reason == "projected-above-threshold"
+
+    def test_flat_signal_holds(self):
+        policy = EwmaSlopePolicy(scale_out_at=0.75, scale_in_at=0.30)
+        for t in range(5):
+            action, _ = policy.decide("a", t * 600.0, 0.5)
+        assert action == ACTION_HOLD
+
+    def test_falling_trend_scales_in(self):
+        policy = EwmaSlopePolicy(
+            scale_in_at=0.30, alpha=1.0, lead_s=600.0
+        )
+        policy.decide("a", 0.0, 0.55)
+        action, reason = policy.decide("a", 600.0, 0.40)
+        assert action == ACTION_IN
+        assert reason == "projected-below-threshold"
+
+    def test_cooldown_applies(self):
+        policy = EwmaSlopePolicy(cooldown_s=900.0, alpha=1.0)
+        policy.record_action("a", 0.0)
+        assert policy.decide("a", 100.0, 0.99) == (ACTION_HOLD, "cooldown")
+
+    def test_forget_drops_trend(self):
+        policy = EwmaSlopePolicy(alpha=1.0)
+        policy.decide("a", 0.0, 0.9)
+        policy.forget("a")
+        # re-seeded: first sample is taken at face value, no slope
+        assert policy.projected("a", 600.0, 0.5) == pytest.approx(0.5)

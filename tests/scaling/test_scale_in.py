@@ -1,0 +1,189 @@
+"""Scale-in primitive tests: victim selection, accounting, conservation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.core.online import (
+    add_vms_to_tier,
+    remove_vms_from_tier,
+    tier_members,
+)
+from repro.core.validate import conservation_violations
+from repro.defrag import DefragConfig
+from repro.errors import PlacementError
+
+APP = "web-fleet"
+
+
+@pytest.fixture
+def recorder():
+    rec = obs.enable()
+    yield rec
+    obs.disable()
+
+
+class TestVictimSelection:
+    def test_unwinds_scale_outs_lifo(self, scaled_out_ostro):
+        result = remove_vms_from_tier(scaled_out_ostro, APP, "vm", count=3)
+        assert result.removed == ["vm-extra4", "vm-extra3", "vm-extra2"]
+        assert result.remaining == 5
+
+    def test_loads_override_preference(self, scaled_out_ostro):
+        loads = {name: 1.0 for name in ("vm-extra4", "vm-extra3")}
+        loads["vm2"] = 0.0
+        result = remove_vms_from_tier(
+            scaled_out_ostro, APP, "vm", count=2, loads=loads
+        )
+        # the loaded extras survive; idle members go first
+        assert "vm-extra4" not in result.removed
+        assert "vm-extra3" not in result.removed
+        assert result.removed == ["vm-extra2", "vm-extra1"]
+
+    def test_originals_removed_reverse_name_order(self, scaled_out_ostro):
+        result = remove_vms_from_tier(scaled_out_ostro, APP, "vm", count=6)
+        assert result.removed == [
+            "vm-extra4",
+            "vm-extra3",
+            "vm-extra2",
+            "vm-extra1",
+            "vm3",
+            "vm2",
+        ]
+
+    def test_min_members_caps_count(self, scaled_out_ostro):
+        result = remove_vms_from_tier(
+            scaled_out_ostro, APP, "vm", count=100, min_members=3
+        )
+        assert len(result.removed) == 5
+        assert result.remaining == 3
+
+    def test_fraction_uses_ceil(self, scaled_out_ostro):
+        result = remove_vms_from_tier(
+            scaled_out_ostro, APP, "vm", fraction=0.3
+        )
+        # ceil(0.3 * 8) = 3
+        assert len(result.removed) == 3
+
+
+class TestZeroDelta:
+    def test_zero_count_is_a_no_op(self, scaled_out_ostro, recorder):
+        before = scaled_out_ostro.state.snapshot()
+        result = remove_vms_from_tier(scaled_out_ostro, APP, "vm", count=0)
+        assert result.removed == []
+        assert result.remaining == 8
+        assert scaled_out_ostro.state.snapshot() == before
+        assert recorder.events.of_type("scale_in") == []
+
+    def test_zero_fraction_is_a_no_op(self, scaled_out_ostro):
+        before = scaled_out_ostro.state.snapshot()
+        result = remove_vms_from_tier(
+            scaled_out_ostro, APP, "vm", fraction=0.0
+        )
+        assert result.removed == []
+        assert scaled_out_ostro.state.snapshot() == before
+
+    def test_at_min_members_is_a_no_op(self, scaled_out_ostro):
+        remove_vms_from_tier(scaled_out_ostro, APP, "vm", count=7)
+        before = scaled_out_ostro.state.snapshot()
+        result = remove_vms_from_tier(scaled_out_ostro, APP, "vm", count=1)
+        assert result.removed == []
+        assert result.remaining == 1
+        assert scaled_out_ostro.state.snapshot() == before
+
+
+class TestStateConsistency:
+    def test_topology_and_placement_shrink_together(self, scaled_out_ostro):
+        result = remove_vms_from_tier(scaled_out_ostro, APP, "vm", count=3)
+        deployed = scaled_out_ostro.deployed(APP)
+        for name in result.removed:
+            assert name not in deployed.topology.nodes
+            assert name not in deployed.placement.assignments
+        assert len(tier_members(deployed.topology, "vm")) == 5
+
+    def test_conservation_holds_after_shrink(self, scaled_out_ostro):
+        remove_vms_from_tier(scaled_out_ostro, APP, "vm", count=3)
+        assert conservation_violations(scaled_out_ostro) == []
+        assert scaled_out_ostro.verify_state() == []
+
+    def test_shrink_releases_capacity(self, scaled_out_ostro):
+        free_before = sum(scaled_out_ostro.state.free_cpu)
+        remove_vms_from_tier(scaled_out_ostro, APP, "vm", count=4)
+        assert sum(scaled_out_ostro.state.free_cpu) > free_before
+
+    def test_repeated_shrinks_stay_clean(self, scaled_out_ostro):
+        for _ in range(7):
+            remove_vms_from_tier(scaled_out_ostro, APP, "vm", count=1)
+        deployed = scaled_out_ostro.deployed(APP)
+        assert len(tier_members(deployed.topology, "vm")) == 1
+        assert scaled_out_ostro.verify_state() == []
+
+    def test_grow_shrink_cycle_roundtrips_capacity(self, scaled_out_ostro):
+        """Scaling out then all the way back in frees what it reserved."""
+        cpu_before = sum(scaled_out_ostro.state.free_cpu)
+        mem_before = sum(scaled_out_ostro.state.free_mem)
+        current = scaled_out_ostro.deployed(APP).topology
+        grown = add_vms_to_tier(current, "vm", 0.0, count=2)
+        scaled_out_ostro.update(grown, algorithm="eg")
+        remove_vms_from_tier(scaled_out_ostro, APP, "vm", count=2)
+        assert sum(scaled_out_ostro.state.free_cpu) == cpu_before
+        assert sum(scaled_out_ostro.state.free_mem) == mem_before
+        assert scaled_out_ostro.verify_state() == []
+
+    def test_remove_after_shrink_is_leak_free(self, scaled_out_ostro):
+        """A shrunk application's departure releases exactly the rest."""
+        remove_vms_from_tier(scaled_out_ostro, APP, "vm", count=3)
+        scaled_out_ostro.remove(APP)
+        assert scaled_out_ostro.verify_state() == []
+        state = scaled_out_ostro.state
+        assert state.active_host_indices() == []
+
+    def test_unknown_app_raises(self, scaled_out_ostro):
+        with pytest.raises(PlacementError, match="unknown application"):
+            remove_vms_from_tier(scaled_out_ostro, "ghost", "vm", count=1)
+
+    def test_unknown_prefix_raises(self, scaled_out_ostro):
+        with pytest.raises(PlacementError, match="no VMs with prefix"):
+            remove_vms_from_tier(scaled_out_ostro, APP, "nope", count=1)
+
+
+class TestTelemetry:
+    def test_scale_in_event_and_counter(self, scaled_out_ostro, recorder):
+        remove_vms_from_tier(scaled_out_ostro, APP, "vm", count=2)
+        (event,) = recorder.events.of_type("scale_in")
+        assert event.fields["app"] == APP
+        assert event.fields["removed"] == 2
+        assert event.fields["remaining"] == 6
+        assert (
+            recorder.registry.get("ostro_scaling_vms_total").value(
+                direction="removed"
+            )
+            == 2.0
+        )
+
+
+class TestConsolidation:
+    def test_consolidation_pass_runs_and_stays_clean(self, scaled_out_ostro):
+        result = remove_vms_from_tier(
+            scaled_out_ostro,
+            APP,
+            "vm",
+            count=4,
+            consolidate=DefragConfig(algorithm="eg", max_moves_per_pass=8),
+        )
+        assert len(result.removed) == 4
+        assert scaled_out_ostro.verify_state() == []
+        if result.consolidated:
+            assert result.consolidation_moves > 0
+
+    def test_disabled_consolidation_is_skipped(self, scaled_out_ostro):
+        result = remove_vms_from_tier(
+            scaled_out_ostro,
+            APP,
+            "vm",
+            count=4,
+            consolidate=DefragConfig(enabled=False, algorithm="eg"),
+        )
+        assert not result.consolidated
+        assert result.consolidation_moves == 0

@@ -1,0 +1,75 @@
+"""Load-signal tests: determinism, the closed loop, host pressure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scaling.signals import LoadSignal, tier_utilization
+
+
+class TestLoadSignal:
+    def test_same_seed_same_values(self):
+        a = LoadSignal(seed=7)
+        b = LoadSignal(seed=7)
+        for now in (0.0, 900.0, 43200.0, 86399.0):
+            assert a.offered("app-1", now) == b.offered("app-1", now)
+
+    def test_different_seeds_diverge(self):
+        a = LoadSignal(seed=1)
+        b = LoadSignal(seed=2)
+        values_a = [a.offered("app-1", t) for t in (0.0, 900.0, 1800.0)]
+        values_b = [b.offered("app-1", t) for t in (0.0, 900.0, 1800.0)]
+        assert values_a != values_b
+
+    def test_per_tier_phases_differ(self):
+        signal = LoadSignal(seed=0)
+        assert signal.phase_s("app-1") != signal.phase_s("app-2")
+
+    def test_offered_is_nonnegative(self):
+        signal = LoadSignal(seed=3, base=0.1, amplitude=0.9, noise=0.2)
+        assert all(
+            signal.offered("app-1", t) >= 0.0
+            for t in range(0, 86400, 3600)
+        )
+
+    def test_diurnal_cycle_spans_the_band(self):
+        signal = LoadSignal(seed=5, noise=0.0)
+        values = [
+            signal.offered("app-1", float(t)) for t in range(0, 86400, 600)
+        ]
+        assert max(values) > 0.7
+        assert min(values) < 0.4
+
+
+class TestTierUtilization:
+    def test_scale_out_lowers_utilization(self):
+        """The loop closes: more members dilute the same offered load."""
+        signal = LoadSignal(seed=0, noise=0.0)
+        before = tier_utilization(signal, "app-1", 4, 4, 1000.0)
+        after = tier_utilization(signal, "app-1", 4, 8, 1000.0)
+        assert after == pytest.approx(before / 2.0)
+
+    def test_scale_in_raises_utilization(self):
+        signal = LoadSignal(seed=0, noise=0.0)
+        before = tier_utilization(signal, "app-1", 4, 4, 1000.0)
+        after = tier_utilization(signal, "app-1", 4, 2, 1000.0)
+        assert after == pytest.approx(before * 2.0)
+
+    def test_pressure_neutral_at_half(self):
+        signal = LoadSignal(seed=0, noise=0.0)
+        plain = tier_utilization(signal, "app-1", 4, 4, 0.0)
+        blended = tier_utilization(
+            signal, "app-1", 4, 4, 0.0, pressure=0.5, pressure_weight=0.5
+        )
+        assert blended == pytest.approx(plain)
+
+    def test_pressure_scales_signal(self):
+        signal = LoadSignal(seed=0, noise=0.0)
+        plain = tier_utilization(signal, "app-1", 4, 4, 0.0)
+        hot = tier_utilization(
+            signal, "app-1", 4, 4, 0.0, pressure=1.0, pressure_weight=0.5
+        )
+        cold = tier_utilization(
+            signal, "app-1", 4, 4, 0.0, pressure=0.0, pressure_weight=0.5
+        )
+        assert hot > plain > cold

@@ -1,0 +1,199 @@
+"""Elasticity-path service tests: scale events end to end, departure
+bookkeeping hardening, and the scaling-off determinism gate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.topology import ApplicationTopology
+from repro.datacenter.builder import build_cloud
+from repro.scaling import ScalingConfig
+from repro.service import ServiceConfig, run_service
+from repro.sim.arrivals import (
+    TraceEvent,
+    WorkloadTrace,
+    default_app_factory,
+    event_sort_key,
+)
+
+
+@pytest.fixture(scope="module")
+def pods4():
+    return build_cloud(
+        num_datacenters=1, pods_per_dc=4, racks_per_pod=2, hosts_per_rack=4
+    )
+
+
+def storm(arrivals=40, **kwargs):
+    defaults = dict(
+        mean_interarrival_s=15.0,
+        mean_lifetime_s=600.0,
+        seed=11,
+        priority_levels=3,
+        update_fraction=0.0,
+        scale_every_s=120.0,
+    )
+    defaults.update(kwargs)
+    return WorkloadTrace.poisson_storm(
+        arrivals, default_app_factory, **defaults
+    )
+
+
+def scaling(**kwargs):
+    defaults = dict(
+        policy="threshold",
+        tier_prefix="vm",
+        scale_out_at=0.65,
+        scale_in_at=0.45,
+        step_fraction=0.5,
+        cooldown_s=0.0,
+        seed=11,
+    )
+    defaults.update(kwargs)
+    return ScalingConfig(**defaults)
+
+
+def crafted_trace(events):
+    """A hand-written trace of tiny single-VM tenants."""
+    trace = WorkloadTrace()
+    trace.events = sorted(events, key=event_sort_key)
+    for event in events:
+        if event.app_id not in trace.topologies:
+            topo = ApplicationTopology(f"app-{event.app_id}")
+            topo.add_vm("vm0", vcpus=1, mem_gb=1)
+            trace.topologies[event.app_id] = topo
+    return trace
+
+
+class TestDepartureBookkeeping:
+    """Regression: crafted departure anomalies must neither raise
+    KeyError out of ``run_service`` nor double-count cancellations."""
+
+    def test_duplicate_departure_of_live_app_is_a_no_op(self, pods4):
+        trace = crafted_trace(
+            [
+                TraceEvent(0.0, "arrive", 0),
+                TraceEvent(100.0, "depart", 0),
+                TraceEvent(150.0, "depart", 0),
+            ]
+        )
+        report = run_service(trace, pods4, ServiceConfig(horizon_s=10.0))
+        assert report.admitted == 1
+        assert report.cancelled == 0
+        assert report.audit_violations == []
+
+    def test_duplicate_departure_of_queued_app_counts_once(self, pods4):
+        # both departures land before the app's admission boundary
+        trace = crafted_trace(
+            [
+                TraceEvent(0.0, "arrive", 0),
+                TraceEvent(5.0, "depart", 0),
+                TraceEvent(6.0, "depart", 0),
+            ]
+        )
+        report = run_service(trace, pods4, ServiceConfig(horizon_s=50.0))
+        assert report.cancelled == 1
+        assert report.admitted == 0
+
+    def test_departure_racing_expiry_does_not_double_count(self, pods4):
+        # the request expires at the first drain (deadline << horizon);
+        # its departure arrives later and must not raise or cancel
+        trace = crafted_trace(
+            [
+                TraceEvent(0.0, "arrive", 0),
+                TraceEvent(25.0, "depart", 0),
+            ]
+        )
+        report = run_service(
+            trace, pods4, ServiceConfig(horizon_s=20.0, deadline_s=1.0)
+        )
+        assert report.expired == 1
+        assert report.cancelled == 0
+        assert (
+            report.admitted
+            + report.rejected
+            + report.expired
+            + report.cancelled
+            == report.requests
+        )
+
+    def test_departure_of_never_arrived_app_is_ignored(self, pods4):
+        trace = crafted_trace(
+            [
+                TraceEvent(0.0, "arrive", 0),
+                TraceEvent(10.0, "depart", 7),
+                TraceEvent(100.0, "depart", 0),
+            ]
+        )
+        report = run_service(trace, pods4, ServiceConfig(horizon_s=10.0))
+        assert report.requests == 1
+        assert report.cancelled == 0
+
+
+class TestScalingDriver:
+    def test_scale_events_drive_outs_and_ins(self, pods4):
+        report = run_service(
+            storm(), pods4, ServiceConfig(horizon_s=30.0, scaling=scaling())
+        )
+        assert report.scale_evaluations > 0
+        assert report.scale_outs > 0
+        assert report.scale_ins > 0
+        assert report.vms_added >= report.scale_outs
+        assert report.vms_removed >= report.scale_ins
+        assert report.audit_violations == []
+
+    def test_same_seed_scaled_runs_are_byte_identical(self, pods4):
+        config = ServiceConfig(horizon_s=30.0, scaling=scaling())
+        a = run_service(storm(), pods4, config)
+        b = run_service(storm(), pods4, config)
+        assert a.fingerprint == b.fingerprint
+        assert a.scale_outs == b.scale_outs
+        assert a.scale_ins == b.scale_ins
+
+    def test_scaling_disabled_matches_no_scaling_config(self, pods4):
+        """Scale events with scaling off are skipped entirely: the run
+        must be bit-identical to one with no scaling configured."""
+        baseline = run_service(
+            storm(), pods4, ServiceConfig(horizon_s=30.0)
+        )
+        disabled = run_service(
+            storm(),
+            pods4,
+            ServiceConfig(
+                horizon_s=30.0, scaling=scaling(enabled=False)
+            ),
+        )
+        assert disabled.fingerprint == baseline.fingerprint
+        assert disabled.scale_evaluations == 0
+        assert disabled.scale_outs == 0
+
+    def test_scaled_run_differs_from_baseline(self, pods4):
+        baseline = run_service(
+            storm(), pods4, ServiceConfig(horizon_s=30.0)
+        )
+        scaled = run_service(
+            storm(), pods4, ServiceConfig(horizon_s=30.0, scaling=scaling())
+        )
+        assert scaled.fingerprint != baseline.fingerprint
+
+    def test_consolidating_scale_in_stays_leak_free(self, pods4):
+        report = run_service(
+            storm(),
+            pods4,
+            ServiceConfig(
+                horizon_s=30.0, scaling=scaling(consolidate=True)
+            ),
+        )
+        assert report.scale_ins > 0
+        assert report.audit_violations == []
+
+    def test_ewma_policy_runs_clean(self, pods4):
+        report = run_service(
+            storm(),
+            pods4,
+            ServiceConfig(
+                horizon_s=30.0, scaling=scaling(policy="ewma")
+            ),
+        )
+        assert report.scale_evaluations > 0
+        assert report.audit_violations == []

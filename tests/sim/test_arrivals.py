@@ -70,6 +70,47 @@ class TestTraceGeneration:
             (5.0, "arrive"),
         ]
 
+    def test_same_instant_rank_is_depart_arrive_update_scale(self):
+        events = [
+            TraceEvent(5.0, "scale", 0),
+            TraceEvent(5.0, "update", 0),
+            TraceEvent(5.0, "arrive", 1),
+            TraceEvent(5.0, "depart", 0),
+        ]
+        ordered = sorted(events, key=event_sort_key)
+        assert [e.kind for e in ordered] == [
+            "depart",
+            "arrive",
+            "update",
+            "scale",
+        ]
+
+    def test_unknown_event_kind_raises(self):
+        """Regression: unknown kinds used to silently rank as arrivals,
+        corrupting replay ordering with no diagnostic."""
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="unknown trace event kind"):
+            event_sort_key(TraceEvent(0.0, "arive", 0))
+
+    def test_scale_events_interleave_without_perturbing_the_trace(self):
+        """Enabling scale events must not move, add, or drop any other
+        event -- the non-scale subsequence stays byte-identical."""
+        plain = WorkloadTrace.poisson_storm(
+            20, default_app_factory, seed=7
+        )
+        elastic = WorkloadTrace.poisson_storm(
+            20, default_app_factory, seed=7, scale_every_s=300.0
+        )
+        scale_events = [e for e in elastic.events if e.kind == "scale"]
+        assert scale_events, "scale_every_s should emit scale events"
+        assert [
+            e for e in elastic.events if e.kind != "scale"
+        ] == plain.events
+        assert {
+            i: (t.name, sorted(t.nodes)) for i, t in elastic.topologies.items()
+        } == {i: (t.name, sorted(t.nodes)) for i, t in plain.topologies.items()}
+
 
 class TestSimultaneousEvents:
     def test_departure_drains_before_equal_time_arrival(self):
